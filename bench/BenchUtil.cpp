@@ -1,0 +1,234 @@
+//===- bench/BenchUtil.cpp -------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "img/PGM.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+using namespace kperf;
+using namespace kperf::bench;
+using namespace kperf::apps;
+
+BenchSettings BenchSettings::fromEnvironment() {
+  BenchSettings S;
+  if (const char *E = std::getenv("KPERF_IMG_SIZE"))
+    S.ImageSize = static_cast<unsigned>(std::atoi(E));
+  if (const char *E = std::getenv("KPERF_NUM_IMAGES"))
+    S.NumImages = static_cast<unsigned>(std::atoi(E));
+  if (const char *E = std::getenv("KPERF_IMG_DIR"))
+    S.ImageDir = E;
+  if (S.ImageSize < 32)
+    S.ImageSize = 32;
+  if (S.NumImages < 1)
+    S.NumImages = 1;
+  return S;
+}
+
+VariantSpec VariantSpec::baseline() {
+  VariantSpec V;
+  V.K = Kind::Baseline;
+  V.Label = "Baseline";
+  return V;
+}
+
+VariantSpec VariantSpec::perforated(perf::PerforationScheme S) {
+  VariantSpec V;
+  V.K = Kind::Perforated;
+  V.Scheme = S;
+  V.Label = S.str();
+  return V;
+}
+
+VariantSpec VariantSpec::outputApprox(perf::OutputSchemeKind K,
+                                      unsigned N) {
+  VariantSpec V;
+  V.K = Kind::OutputApprox;
+  V.OutKind = K;
+  V.ApproxPerComputed = N;
+  const char *KindName = K == perf::OutputSchemeKind::Rows   ? "Rows"
+                         : K == perf::OutputSchemeKind::Cols ? "Cols"
+                                                             : "Center";
+  V.Label = format("Paraprox-%s%u", KindName, N / 2);
+  return V;
+}
+
+namespace {
+
+Expected<BuiltKernel> buildVariant(const App &TheApp, rt::Context &Ctx,
+                                   const VariantSpec &Variant,
+                                   sim::Range2 Local) {
+  switch (Variant.K) {
+  case VariantSpec::Kind::Baseline:
+    return TheApp.buildBaseline(Ctx, Local);
+  case VariantSpec::Kind::Plain:
+    return TheApp.buildPlain(Ctx, Local);
+  case VariantSpec::Kind::Perforated:
+    return TheApp.buildPerforated(Ctx, Variant.Scheme, Local);
+  case VariantSpec::Kind::OutputApprox:
+    return TheApp.buildOutputApprox(Ctx, Variant.OutKind,
+                                    Variant.ApproxPerComputed, Local);
+  }
+  return makeError("unknown variant kind");
+}
+
+} // namespace
+
+Expected<VariantEval>
+bench::evaluateVariant(const App &TheApp, const VariantSpec &Variant,
+                       sim::Range2 Local,
+                       const std::vector<Workload> &Workloads) {
+  if (Workloads.empty())
+    return makeError("evaluateVariant: no workloads");
+
+  VariantEval Eval;
+  Eval.Label = Variant.Label;
+
+  // Timing: baseline vs. variant on the first workload (speedup does not
+  // depend on input content, paper section 6.2).
+  {
+    rt::Context Ctx;
+    Expected<BuiltKernel> Base = TheApp.buildBaseline(Ctx, Local);
+    if (!Base)
+      return Base.takeError();
+    Expected<RunOutcome> RB = TheApp.run(Ctx, *Base, Workloads.front());
+    if (!RB)
+      return RB.takeError();
+    Eval.BaselineTimeMs = RB->Report.TimeMs;
+  }
+  {
+    rt::Context Ctx;
+    Expected<BuiltKernel> BK = buildVariant(TheApp, Ctx, Variant, Local);
+    if (!BK)
+      return BK.takeError();
+    Expected<RunOutcome> RV = TheApp.run(Ctx, *BK, Workloads.front());
+    if (!RV)
+      return RV.takeError();
+    Eval.TimeMs = RV->Report.TimeMs;
+  }
+  Eval.SpeedupVsBaseline = Eval.BaselineTimeMs / Eval.TimeMs;
+
+  // Error distribution over all workloads.
+  for (const Workload &W : Workloads) {
+    rt::Context Ctx;
+    Expected<BuiltKernel> BK = buildVariant(TheApp, Ctx, Variant, Local);
+    if (!BK)
+      return BK.takeError();
+    Expected<RunOutcome> R = TheApp.run(Ctx, *BK, W);
+    if (!R)
+      return R.takeError();
+    Eval.Errors.push_back(TheApp.score(TheApp.reference(W), R->Output));
+  }
+  Eval.ErrorSummary = summarize(Eval.Errors);
+  return Eval;
+}
+
+namespace {
+
+/// Center-crops \p In to the largest multiple of 128 in each dimension,
+/// so that every work-group shape the benchmarks sweep divides it.
+/// Returns an empty image if \p In is smaller than 128x128.
+img::Image cropToWorkGroupMultiple(const img::Image &In) {
+  unsigned W = In.width() / 128 * 128;
+  unsigned H = In.height() / 128 * 128;
+  if (W == 0 || H == 0)
+    return img::Image();
+  unsigned X0 = (In.width() - W) / 2;
+  unsigned Y0 = (In.height() - H) / 2;
+  img::Image Out(W, H);
+  for (unsigned Y = 0; Y < H; ++Y)
+    for (unsigned X = 0; X < W; ++X)
+      Out.set(X, Y, In.at(X0 + X, Y0 + Y));
+  return Out;
+}
+
+/// Loads up to \p Limit PGM images from \p Dir (sorted by filename for
+/// reproducibility), cropped for the benchmark work-group shapes.
+std::vector<img::Image> loadPgmDataset(const std::string &Dir,
+                                       unsigned Limit) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Paths;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".pgm")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+
+  std::vector<img::Image> Images;
+  for (const std::string &Path : Paths) {
+    if (Images.size() >= Limit)
+      break;
+    Expected<img::Image> I = img::readPGM(Path);
+    if (!I) {
+      std::fprintf(stderr, "warning: skipping %s: %s\n", Path.c_str(),
+                   I.error().message().c_str());
+      continue;
+    }
+    img::Image Cropped = cropToWorkGroupMultiple(*I);
+    if (Cropped.size() == 0) {
+      std::fprintf(stderr, "warning: skipping %s: smaller than 128x128\n",
+                   Path.c_str());
+      continue;
+    }
+    Images.push_back(std::move(Cropped));
+  }
+  return Images;
+}
+
+} // namespace
+
+std::vector<Workload> bench::workloadsFor(const App &TheApp,
+                                          const BenchSettings &S) {
+  std::vector<Workload> Workloads;
+  if (TheApp.name() == "hotspot") {
+    // Eight input sets differing in size (paper 6.2), scaled down with
+    // the benchmark image size.
+    unsigned Base = std::max(32u, S.ImageSize / 4);
+    for (unsigned I = 0; I < 8; ++I) {
+      unsigned Size = std::min(Base * (1u + I / 2), S.ImageSize);
+      Workloads.push_back(
+          makeHotspotWorkload(Size, 1000 + I, /*Iterations=*/4));
+    }
+    return Workloads;
+  }
+  std::vector<img::Image> Images;
+  if (!S.ImageDir.empty()) {
+    Images = loadPgmDataset(S.ImageDir, S.NumImages);
+    if (Images.empty())
+      std::fprintf(stderr,
+                   "warning: no usable .pgm images in %s, using the "
+                   "synthetic dataset\n",
+                   S.ImageDir.c_str());
+  }
+  if (Images.empty())
+    Images = img::generateDataset(S.NumImages, S.ImageSize, S.ImageSize,
+                                  20180224);
+  for (img::Image &I : Images)
+    Workloads.push_back(makeImageWorkload(std::move(I)));
+  return Workloads;
+}
+
+void bench::printSummaryHeader() {
+  std::printf("%-10s %-14s %8s | %8s %8s %8s %8s %8s %8s\n", "app",
+              "config", "speedup", "min", "q1", "median", "q3", "max",
+              "mean");
+  std::printf("%.*s\n", 100,
+              "--------------------------------------------------------"
+              "--------------------------------------------");
+}
+
+void bench::printSummaryRow(const std::string &Name,
+                            const std::string &Config, double Speedup,
+                            const Summary &S) {
+  std::printf("%-10s %-14s %7.2fx | %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+              Name.c_str(), Config.c_str(), Speedup, S.Min, S.Q1, S.Median,
+              S.Q3, S.Max, S.Mean);
+}

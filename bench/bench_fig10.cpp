@@ -1,0 +1,81 @@
+//===- bench/bench_fig10.cpp - Paper Fig. 10 --------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 10: Pareto-optimal configurations, our local
+// memory-aware perforation (Rows1, Stencil1) versus the Paraprox
+// output-approximation schemes (Center/Rows/Cols, variants 1 and 2), on
+// Gaussian, Inversion, and Median. Prints (speedup, error) per
+// configuration and marks the Pareto front.
+//
+// Expected shapes (paper 6.4): our schemes dominate Paraprox's at similar
+// speedup with much lower error; Cols is slower than Rows (layout
+// mismatch); Stencil1 is infeasible for Inversion (1x1 kernel).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "perforation/Pareto.h"
+
+#include <cstdio>
+
+using namespace kperf;
+using namespace kperf::bench;
+using namespace kperf::apps;
+
+int main() {
+  BenchSettings S = BenchSettings::fromEnvironment();
+  std::printf("=== Figure 10: Pareto fronts, ours vs. Paraprox ===\n");
+  std::printf("dataset: %u inputs, %ux%u\n\n", S.NumImages, S.ImageSize,
+              S.ImageSize);
+
+  for (const char *AppName : {"gaussian", "inversion", "median"}) {
+    auto App = makeApp(AppName);
+    std::vector<Workload> Workloads = workloadsFor(*App, S);
+
+    std::vector<VariantSpec> Variants;
+    Variants.push_back(VariantSpec::baseline()); // "Accurate": speedup 1.
+    Variants.push_back(
+        VariantSpec::outputApprox(perf::OutputSchemeKind::Center, 2));
+    Variants.push_back(
+        VariantSpec::outputApprox(perf::OutputSchemeKind::Center, 4));
+    Variants.push_back(
+        VariantSpec::outputApprox(perf::OutputSchemeKind::Rows, 2));
+    Variants.push_back(
+        VariantSpec::outputApprox(perf::OutputSchemeKind::Rows, 4));
+    Variants.push_back(
+        VariantSpec::outputApprox(perf::OutputSchemeKind::Cols, 2));
+    Variants.push_back(
+        VariantSpec::outputApprox(perf::OutputSchemeKind::Cols, 4));
+    if (std::string(AppName) != "inversion")
+      Variants.push_back(
+          VariantSpec::perforated(perf::PerforationScheme::stencil()));
+    Variants.push_back(VariantSpec::perforated(perf::PerforationScheme::rows(
+        2, perf::ReconstructionKind::NearestNeighbor)));
+
+    std::vector<perf::TradeoffPoint> Points;
+    std::printf("%s:\n  %-16s %10s %10s\n", AppName, "config", "speedup",
+                "mean err");
+    for (const VariantSpec &V : Variants) {
+      Expected<VariantEval> E =
+          evaluateVariant(*App, V, {16, 16}, Workloads);
+      if (!E) {
+        std::printf("  %-16s infeasible: %s\n", V.Label.c_str(),
+                    E.error().message().c_str());
+        continue;
+      }
+      std::printf("  %-16s %9.2fx %10.4f\n", E->Label.c_str(),
+                  E->SpeedupVsBaseline, E->ErrorSummary.Mean);
+      Points.push_back(
+          {E->Label, E->SpeedupVsBaseline, E->ErrorSummary.Mean});
+    }
+
+    std::printf("  Pareto front:");
+    for (size_t I : perf::paretoFront(Points))
+      std::printf(" %s", Points[I].Label.c_str());
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- bench/bench_fig6.cpp - Paper Fig. 6 ----------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 6: the distribution of the output error over the
+// input dataset (boxplot summary) and the speedup of the perforated
+// version over the accurate baseline, per application.
+//
+// Paper configuration (section 6.2): row scheme 1 for Hotspot and
+// Inversion, stencil scheme for the other applications; NN reconstruction;
+// Pareto-chosen work-group shapes. Paper-reported speedups for reference:
+// gaussian 2.2x, inversion 1.59x, median 1.62x, hotspot 1.98x,
+// sobel3 1.79x, sobel5 3.05x; average error below ~6%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <cstdio>
+
+using namespace kperf;
+using namespace kperf::bench;
+
+int main() {
+  BenchSettings S = BenchSettings::fromEnvironment();
+  std::printf("=== Figure 6: error distribution and speedup per app ===\n");
+  std::printf("dataset: %u inputs, %ux%u (paper: 100 inputs, 1024x1024)\n\n",
+              S.NumImages, S.ImageSize, S.ImageSize);
+  printSummaryHeader();
+
+  struct Row {
+    const char *AppName;
+    perf::PerforationScheme Scheme;
+    double PaperSpeedup;
+  };
+  const Row Rows[] = {
+      {"gaussian", perf::PerforationScheme::stencil(), 2.2},
+      {"inversion",
+       perf::PerforationScheme::rows(
+           2, perf::ReconstructionKind::NearestNeighbor),
+       1.59},
+      {"median", perf::PerforationScheme::stencil(), 1.62},
+      {"hotspot",
+       perf::PerforationScheme::rows(
+           2, perf::ReconstructionKind::NearestNeighbor),
+       1.98},
+      {"sobel3", perf::PerforationScheme::stencil(), 1.79},
+      {"sobel5", perf::PerforationScheme::stencil(), 3.05},
+  };
+
+  for (const Row &R : Rows) {
+    auto App = apps::makeApp(R.AppName);
+    std::vector<apps::Workload> Workloads = workloadsFor(*App, S);
+    Expected<VariantEval> E = evaluateVariant(
+        *App, VariantSpec::perforated(R.Scheme), {16, 16}, Workloads);
+    if (!E) {
+      std::printf("%-10s ERROR: %s\n", R.AppName,
+                  E.error().message().c_str());
+      continue;
+    }
+    printSummaryRow(App->name(), E->Label, E->SpeedupVsBaseline,
+                    E->ErrorSummary);
+    std::printf("%-10s %-14s %7.2fx | (paper-reported speedup)\n", "",
+                "paper", R.PaperSpeedup);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- bench/bench_fig8.cpp - Paper Fig. 8 ----------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 8: runtime vs. mean relative error for different
+// perforation scheme / reconstruction configurations on Gaussian,
+// Inversion, and Median:
+//   Rows1:NN    perforate every other row, nearest-neighbor
+//   Rows2:NN    perforate 3 of 4 rows, nearest-neighbor
+//   Rows1:LI    perforate every other row, linear interpolation
+//   Stencil1:NN perforate the work-group halo only
+//
+// Expected shapes (paper 6.3): error(Rows2) ~ 2x error(Rows1); LI lowers
+// the Rows1 error by ~20-45%; Stencil1 error < 1%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <cstdio>
+
+using namespace kperf;
+using namespace kperf::bench;
+using namespace kperf::apps;
+
+int main() {
+  BenchSettings S = BenchSettings::fromEnvironment();
+  std::printf("=== Figure 8: perforation schemes with different "
+              "parameters ===\n");
+  std::printf("dataset: %u inputs, %ux%u\n\n", S.NumImages, S.ImageSize,
+              S.ImageSize);
+
+  // The paper's four configurations plus two extensions (Cols1, Grid1).
+  const perf::PerforationScheme Schemes[] = {
+      perf::PerforationScheme::rows(2,
+                                    perf::ReconstructionKind::NearestNeighbor),
+      perf::PerforationScheme::rows(4,
+                                    perf::ReconstructionKind::NearestNeighbor),
+      perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
+      perf::PerforationScheme::stencil(),
+      perf::PerforationScheme::cols(2,
+                                    perf::ReconstructionKind::NearestNeighbor),
+      perf::PerforationScheme::grid(2, perf::ReconstructionKind::Linear),
+  };
+
+  for (const char *AppName : {"gaussian", "inversion", "median"}) {
+    auto App = makeApp(AppName);
+    std::vector<Workload> Workloads = workloadsFor(*App, S);
+    std::printf("%s:\n", AppName);
+    std::printf("  %-14s %12s %12s %12s\n", "config", "runtime[ms]",
+                "mean MRE", "median MRE");
+    for (const perf::PerforationScheme &Scheme : Schemes) {
+      if (Scheme.Kind == perf::SchemeKind::Stencil &&
+          std::string(AppName) == "inversion")
+        continue; // 1x1 filter: stencil degenerates (paper Fig. 8b).
+      Expected<VariantEval> E = evaluateVariant(
+          *App, VariantSpec::perforated(Scheme), {16, 16}, Workloads);
+      if (!E) {
+        std::printf("  %-14s ERROR: %s\n", Scheme.str().c_str(),
+                    E.error().message().c_str());
+        continue;
+      }
+      std::printf("  %-14s %12.4f %12.4f %12.4f\n", E->Label.c_str(),
+                  E->TimeMs, E->ErrorSummary.Mean, E->ErrorSummary.Median);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

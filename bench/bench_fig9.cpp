@@ -1,0 +1,127 @@
+//===- bench/bench_fig9.cpp - Paper Fig. 9 ----------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 9: local work-group size tuning. For Gaussian,
+// Inversion, and Median, sweeps the ten work-group shapes {2x128 ...
+// 128x2} for the accurate baseline, Rows1, and Stencil1 variants and
+// prints runtimes normalized to the slowest configuration of each variant.
+//
+// Expected shapes (paper 6.3): wide-x shapes beat tall-y shapes (they
+// align with the memory interface / coalescing); the optimal shape differs
+// between the baseline and the perforated kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "perforation/Tuner.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace kperf;
+using namespace kperf::bench;
+using namespace kperf::apps;
+
+int main() {
+  BenchSettings S = BenchSettings::fromEnvironment();
+  std::printf("=== Figure 9: local work-group size tuning ===\n");
+  std::printf("image %ux%u; runtimes normalized per variant (lower is "
+              "better)\n\n",
+              S.ImageSize, S.ImageSize);
+
+  auto Shapes = perf::figure9WorkGroupShapes();
+
+  for (const char *AppName : {"gaussian", "inversion", "median"}) {
+    auto App = makeApp(AppName);
+    Workload W = makeImageWorkload(img::generateImage(
+        img::ImageClass::Natural, S.ImageSize, S.ImageSize, 9));
+
+    struct VariantRow {
+      const char *Name;
+      VariantSpec Spec;
+      bool Applicable = true;
+    };
+    std::vector<VariantRow> Variants;
+    Variants.push_back({"Baseline", VariantSpec::baseline(), true});
+    Variants.push_back(
+        {"Rows1",
+         VariantSpec::perforated(perf::PerforationScheme::rows(
+             2, perf::ReconstructionKind::NearestNeighbor)),
+         true});
+    Variants.push_back(
+        {"Stencil1",
+         VariantSpec::perforated(perf::PerforationScheme::stencil()),
+         std::string(AppName) != "inversion"});
+
+    std::printf("%s:\n  %-10s", AppName, "wg");
+    for (const VariantRow &V : Variants)
+      if (V.Applicable)
+        std::printf(" %10s", V.Name);
+    std::printf("\n");
+
+    // Collect absolute times first so each variant can be normalized to
+    // its own maximum, as the paper's per-plot normalization does.
+    std::vector<std::vector<double>> Times(Variants.size());
+    for (auto [X, Y] : Shapes) {
+      for (size_t VI = 0; VI < Variants.size(); ++VI) {
+        if (!Variants[VI].Applicable)
+          continue;
+        rt::Context Ctx;
+        Expected<BuiltKernel> BK = [&]() -> Expected<BuiltKernel> {
+          switch (Variants[VI].Spec.K) {
+          case VariantSpec::Kind::Baseline:
+            return App->buildBaseline(Ctx, {X, Y});
+          default:
+            return App->buildPerforated(Ctx, Variants[VI].Spec.Scheme,
+                                        {X, Y});
+          }
+        }();
+        if (!BK) {
+          Times[VI].push_back(-1);
+          continue;
+        }
+        Expected<RunOutcome> R = App->run(Ctx, *BK, W);
+        Times[VI].push_back(R ? R->Report.TimeMs : -1);
+      }
+    }
+    std::vector<double> Max(Variants.size(), 0);
+    for (size_t VI = 0; VI < Variants.size(); ++VI)
+      for (double T : Times[VI])
+        Max[VI] = std::max(Max[VI], T);
+
+    for (size_t SI = 0; SI < Shapes.size(); ++SI) {
+      std::printf("  %3ux%-6u", Shapes[SI].first, Shapes[SI].second);
+      for (size_t VI = 0; VI < Variants.size(); ++VI) {
+        if (!Variants[VI].Applicable)
+          continue;
+        double T = Times[VI][SI];
+        if (T < 0)
+          std::printf(" %10s", "n/a");
+        else
+          std::printf(" %10.3f", Max[VI] > 0 ? T / Max[VI] : 0);
+      }
+      std::printf("\n");
+    }
+
+    // Report each variant's best shape (paper: optima differ).
+    std::printf("  best:     ");
+    for (size_t VI = 0; VI < Variants.size(); ++VI) {
+      if (!Variants[VI].Applicable)
+        continue;
+      size_t Best = 0;
+      for (size_t SI = 0; SI < Shapes.size(); ++SI)
+        if (Times[VI][SI] >= 0 &&
+            (Times[VI][Best] < 0 || Times[VI][SI] < Times[VI][Best]))
+          Best = SI;
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%ux%u", Shapes[Best].first,
+                    Shapes[Best].second);
+      std::printf(" %10s", Buf);
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- bench/bench_interp.cpp - Interpreter microbenchmarks -----------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the *wall-clock* cost of the
+// simulator itself (not the modeled GPU time): end-to-end kernel execution
+// for representative apps and variants, plus compile/transform latency.
+// Useful to size experiment sweeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "img/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace kperf;
+using namespace kperf::apps;
+
+namespace {
+
+void BM_CompileGaussian(benchmark::State &State) {
+  auto App = makeApp("gaussian");
+  for (auto _ : State) {
+    rt::Context Ctx;
+    benchmark::DoNotOptimize(cantFail(App->buildPlain(Ctx, {16, 16})));
+  }
+}
+BENCHMARK(BM_CompileGaussian);
+
+void BM_PerforateGaussian(benchmark::State &State) {
+  auto App = makeApp("gaussian");
+  for (auto _ : State) {
+    rt::Context Ctx;
+    benchmark::DoNotOptimize(cantFail(App->buildPerforated(
+        Ctx,
+        perf::PerforationScheme::rows(
+            2, perf::ReconstructionKind::NearestNeighbor),
+        {16, 16})));
+  }
+}
+BENCHMARK(BM_PerforateGaussian);
+
+void BM_RunApp(benchmark::State &State, const char *Name, bool Perforated) {
+  auto App = makeApp(Name);
+  unsigned Size = static_cast<unsigned>(State.range(0));
+  Workload W =
+      std::string(Name) == "hotspot"
+          ? makeHotspotWorkload(Size, 5, 1)
+          : makeImageWorkload(img::generateImage(img::ImageClass::Natural,
+                                                 Size, Size, 5));
+  for (auto _ : State) {
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(
+        Perforated ? App->buildPerforated(
+                         Ctx,
+                         perf::PerforationScheme::rows(
+                             2, perf::ReconstructionKind::NearestNeighbor),
+                         {16, 16})
+                   : App->buildBaseline(Ctx, {16, 16}));
+    benchmark::DoNotOptimize(cantFail(App->run(Ctx, BK, W)));
+  }
+  State.SetItemsProcessed(State.iterations() * Size * Size);
+}
+
+void BM_GaussianBaseline(benchmark::State &State) {
+  BM_RunApp(State, "gaussian", false);
+}
+BENCHMARK(BM_GaussianBaseline)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GaussianRows1(benchmark::State &State) {
+  BM_RunApp(State, "gaussian", true);
+}
+BENCHMARK(BM_GaussianRows1)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MedianRows1(benchmark::State &State) {
+  BM_RunApp(State, "median", true);
+}
+BENCHMARK(BM_MedianRows1)->Arg(64)->Arg(128);
+
+void BM_HotspotBaseline(benchmark::State &State) {
+  BM_RunApp(State, "hotspot", false);
+}
+BENCHMARK(BM_HotspotBaseline)->Arg(64)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+//===- bench/bench_passes.cpp - Compiler-pass ablation ------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Not a paper figure: ablation of the cleanup pipeline (simplify, CSE,
+// DCE) that runs over every generated perforated kernel. The perforation
+// transform clones the original address arithmetic into the loader, the
+// reconstruction, and the rewritten body, so without the pipeline the
+// generated kernels carry substantial redundant ALU work -- enough to
+// shift compute-bound kernels' modeled time and hence the reported
+// speedups. The table shows, per application:
+//
+//   instructions  static instruction count of the perforated kernel
+//   ALU/item      dynamic ALU ops per work item
+//   time          modeled execution time
+//
+// for three pipeline settings: none, simplify+DCE (no CSE), and the full
+// default pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "ir/Passes.h"
+
+#include <cstdio>
+
+using namespace kperf;
+using namespace kperf::bench;
+using namespace kperf::apps;
+
+namespace {
+
+size_t instructionCount(const ir::Function &F) {
+  size_t N = 0;
+  for (const auto &BB : F.blocks())
+    N += BB->size();
+  return N;
+}
+
+struct AblationRow {
+  size_t Instructions = 0;
+  double AluPerItem = 0;
+  double TimeMs = 0;
+  double EnergyMJ = 0;
+};
+
+/// Builds the Rows1:LI perforated kernel of \p AppName with \p Pipeline
+/// and measures one launch on \p W.
+AblationRow measure(const char *AppName, const Workload &W,
+                    ir::PipelineOptions Pipeline) {
+  auto TheApp = makeApp(AppName);
+  rt::Context Ctx;
+  rt::Kernel K =
+      cantFail(Ctx.compile(TheApp->source(), TheApp->kernelName()));
+  perf::PerforationPlan Plan;
+  Plan.Scheme = perf::PerforationScheme::rows(
+      2, perf::ReconstructionKind::Linear);
+  Plan.TileX = 16;
+  Plan.TileY = 16;
+  Plan.Pipeline = Pipeline;
+  rt::PerforatedKernel P = cantFail(Ctx.perforate(K, Plan));
+
+  unsigned Width = W.Input.width();
+  unsigned Height = W.Input.height();
+  unsigned In = Ctx.createBufferFrom(W.Input.pixels());
+  unsigned Out = Ctx.createBuffer(W.Input.size());
+  sim::SimReport R = cantFail(
+      Ctx.launch(P.K, {Width, Height}, {P.LocalX, P.LocalY},
+                 {rt::arg::buffer(In), rt::arg::buffer(Out),
+                  rt::arg::i32(static_cast<int32_t>(Width)),
+                  rt::arg::i32(static_cast<int32_t>(Height))}));
+
+  AblationRow Row;
+  Row.Instructions = instructionCount(*P.K.F);
+  Row.AluPerItem =
+      static_cast<double>(R.Totals.AluOps) / R.Totals.WorkItems;
+  Row.TimeMs = R.TimeMs;
+  Row.EnergyMJ = R.EnergyMJ;
+  return Row;
+}
+
+} // namespace
+
+int main() {
+  BenchSettings S = BenchSettings::fromEnvironment();
+  unsigned Size = S.ImageSize;
+  Workload W = makeImageWorkload(
+      img::generateImage(img::ImageClass::Natural, Size, Size, 3));
+
+  std::printf("=== Pass ablation: Rows1:LI perforated kernels, %ux%u "
+              "input ===\n\n",
+              Size, Size);
+  std::printf("pipeline settings: none | simplify+DCE | full "
+              "(simplify+CSE+MemOpt+LICM+DCE)\n\n");
+  std::printf("%-10s %35s %35s %35s\n", "", "none", "simplify+DCE",
+              "full");
+  std::printf("%-10s %8s %9s %7s %8s %8s %9s %7s %8s %8s %9s %7s %8s\n",
+              "app", "instrs", "ALU/item", "ms", "mJ", "instrs",
+              "ALU/item", "ms", "mJ", "instrs", "ALU/item", "ms", "mJ");
+
+  // Single-pass image apps only: convsep/hotspot need their own launch
+  // plumbing and add nothing to the pass comparison.
+  for (const char *Name : {"gaussian", "inversion", "median", "sobel3",
+                           "sobel5", "mean", "sharpen"}) {
+    ir::PipelineOptions None = ir::PipelineOptions::none();
+    ir::PipelineOptions NoCse; // simplify+DCE only.
+    NoCse.CSE = false;
+    NoCse.MemOpt = false;
+    NoCse.LICM = false;
+    AblationRow RNone = measure(Name, W, None);
+    AblationRow RNoCse = measure(Name, W, NoCse);
+    AblationRow RFull = measure(Name, W, ir::PipelineOptions());
+    std::printf("%-10s %8zu %9.1f %7.3f %8.3f %8zu %9.1f %7.3f %8.3f "
+                "%8zu %9.1f %7.3f %8.3f\n",
+                Name, RNone.Instructions, RNone.AluPerItem, RNone.TimeMs,
+                RNone.EnergyMJ, RNoCse.Instructions, RNoCse.AluPerItem,
+                RNoCse.TimeMs, RNoCse.EnergyMJ, RFull.Instructions,
+                RFull.AluPerItem, RFull.TimeMs, RFull.EnergyMJ);
+  }
+
+  std::printf("\nExpected shape: full < simplify+DCE < none in static "
+              "and dynamic ALU\ncounts, and in energy (ALU events cost "
+              "energy even when latency hides\nthem). Modeled time only "
+              "moves for compute-bound kernels; with the\ndefault device "
+              "every perforated kernel here stays memory-bound, which\n"
+              "is exactly why input perforation pays off on it.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- bench/bench_probe.cpp - Cost-model diagnostic ------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Not a paper figure: prints the raw simulator counters and cost
+// decomposition per app and variant, used to understand and calibrate the
+// performance model (see DeviceConfig.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <cstdio>
+
+using namespace kperf;
+using namespace kperf::bench;
+using namespace kperf::apps;
+
+namespace {
+
+void probe(const App &TheApp, const char *Label, const BuiltKernel &BK,
+           rt::Context &Ctx, const Workload &W) {
+  Expected<RunOutcome> R = TheApp.run(Ctx, BK, W);
+  if (!R) {
+    std::printf("  %-12s ERROR: %s\n", Label, R.error().message().c_str());
+    return;
+  }
+  const sim::Counters &C = R->Report.Totals;
+  std::printf("  %-12s cyc=%10.0f comp=%10.0f mem=%10.0f | rdTx=%8llu "
+              "wrTx=%7llu loc=%9llu locWf=%8llu bank+=%7llu alu=%10llu "
+              "priv=%9llu\n",
+              Label, R->Report.Cycles, R->Report.ComputeCycles,
+              R->Report.MemoryCycles,
+              static_cast<unsigned long long>(C.GlobalReadTransactions),
+              static_cast<unsigned long long>(C.GlobalWriteTransactions),
+              static_cast<unsigned long long>(C.LocalAccesses),
+              static_cast<unsigned long long>(C.LocalWavefrontOps),
+              static_cast<unsigned long long>(C.BankConflictExtra),
+              static_cast<unsigned long long>(C.AluOps),
+              static_cast<unsigned long long>(C.PrivateAccesses));
+}
+
+} // namespace
+
+int main() {
+  BenchSettings S = BenchSettings::fromEnvironment();
+  for (const auto &App : makeAllApps()) {
+    Workload W = App->name() == "hotspot"
+                     ? makeHotspotWorkload(S.ImageSize, 7, 1)
+                     : makeImageWorkload(img::generateImage(
+                           img::ImageClass::Smooth, S.ImageSize,
+                           S.ImageSize, 42));
+    std::printf("%s:\n", App->name().c_str());
+    {
+      rt::Context Ctx;
+      probe(*App, "plain", cantFail(App->buildPlain(Ctx, {16, 16})), Ctx, W);
+    }
+    {
+      rt::Context Ctx;
+      probe(*App, "baseline", cantFail(App->buildBaseline(Ctx, {16, 16})),
+            Ctx, W);
+    }
+    {
+      rt::Context Ctx;
+      probe(*App, "rows1",
+            cantFail(App->buildPerforated(
+                Ctx,
+                perf::PerforationScheme::rows(
+                    2, perf::ReconstructionKind::NearestNeighbor),
+                {16, 16})),
+            Ctx, W);
+    }
+    {
+      rt::Context Ctx;
+      Expected<BuiltKernel> BK = App->buildPerforated(
+          Ctx, perf::PerforationScheme::stencil(), {16, 16});
+      if (BK)
+        probe(*App, "stencil1", *BK, Ctx, W);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- bench/bench_schemes.cpp - Paper Figs. 2-5 visualizations -------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Renders the perforation schemes of Figures 4 and 5 (and the Paraprox
+// schemes of Figure 3 by construction) as ASCII masks: '#' elements are
+// fetched from global memory, '.' elements are reconstructed in local
+// memory. Shows two adjacent work groups so the seamless global parity of
+// the row scheme is visible (paper 4.4: "the schemes match each other").
+//
+//===----------------------------------------------------------------------===//
+
+#include "perforation/Scheme.h"
+
+#include <cstdio>
+
+using namespace kperf;
+using namespace kperf::perf;
+
+namespace {
+
+void show(const char *Title, const PerforationScheme &Scheme,
+          unsigned TileW, unsigned TileH, unsigned HaloX, unsigned HaloY,
+          int OriginX, int OriginY) {
+  std::printf("%s (tile %ux%u, halo %ux%u, origin %d,%d):\n", Title, TileW,
+              TileH, HaloX, HaloY, OriginX, OriginY);
+  for (const std::string &Row :
+       schemeMask(Scheme, TileW, TileH, HaloX, HaloY, OriginX, OriginY))
+    std::printf("  %s\n", Row.c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Perforation schemes (Figures 4 and 5) ===\n\n");
+
+  // Rows1 on two vertically adjacent 8x8 tiles with halo 1: the loaded
+  // rows continue seamlessly across the group boundary.
+  PerforationScheme Rows1 =
+      PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor);
+  show("Rows1, work group (0,0)", Rows1, 10, 10, 1, 1, -1, -1);
+  show("Rows1, work group (0,1)", Rows1, 10, 10, 1, 1, -1, 7);
+
+  PerforationScheme Rows2 =
+      PerforationScheme::rows(4, ReconstructionKind::NearestNeighbor);
+  show("Rows2 (3 of 4 rows skipped)", Rows2, 10, 10, 1, 1, -1, -1);
+
+  PerforationScheme Cols1 =
+      PerforationScheme::cols(2, ReconstructionKind::NearestNeighbor);
+  show("Cols1 (extension)", Cols1, 10, 10, 1, 1, -1, -1);
+
+  // Stencil scheme of Figure 5: 6x6 tile, 3x3 stencil -> halo 1.
+  show("Stencil1 (Figure 5: 6x6 tile, 3x3 stencil)",
+       PerforationScheme::stencil(), 8, 8, 1, 1, -1, -1);
+
+  PerforationScheme Grid1 =
+      PerforationScheme::grid(2, ReconstructionKind::Linear);
+  show("Grid1 (extension: rows x cols, bilinear reconstruction)", Grid1,
+       10, 10, 1, 1, -1, -1);
+
+  // Loaded-fraction summary per scheme.
+  std::printf("loaded fraction of an 18x18 tile (halo 1):\n");
+  for (const PerforationScheme &S :
+       {PerforationScheme::none(), Rows1, Rows2, Cols1, Grid1,
+        PerforationScheme::stencil()})
+    std::printf("  %-12s %5.1f%%\n", S.str().c_str(),
+                100.0 * S.loadedFraction(18, 18, 1, 1));
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- examples/autotune.cpp - Autotuning demo -------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's future-work scenario realized: given a kernel and an error
+// budget, automatically explore scheme x reconstruction x work-group
+// configurations, print the Pareto front, and pick the fastest
+// configuration within the budget.
+//
+// Usage: autotune [app] [error-budget]     (default: median 0.05)
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "img/Generators.h"
+#include "perforation/Tuner.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace kperf;
+using namespace kperf::apps;
+
+int main(int Argc, char **Argv) {
+  std::string AppName = Argc > 1 ? Argv[1] : "median";
+  double Budget = Argc > 2 ? std::atof(Argv[2]) : 0.05;
+  auto App = makeApp(AppName);
+  if (!App) {
+    std::fprintf(stderr, "unknown app '%s'\n", AppName.c_str());
+    return 1;
+  }
+
+  const unsigned Size = 128;
+  Workload W = AppName == "hotspot"
+                   ? makeHotspotWorkload(Size, 11, 4)
+                   : makeImageWorkload(img::generateImage(
+                         img::ImageClass::Natural, Size, Size, 11));
+  std::vector<float> Reference = App->reference(W);
+
+  // Measure one configuration: speedup vs. the baseline at the same
+  // work-group shape, plus output error.
+  perf::EvaluateFn Evaluate =
+      [&](const perf::TunerConfig &Config)
+      -> Expected<perf::Measurement> {
+    sim::Range2 Local{Config.TileX, Config.TileY};
+    double BaseMs;
+    {
+      rt::Context Ctx;
+      Expected<BuiltKernel> Base = App->buildBaseline(Ctx, Local);
+      if (!Base)
+        return Base.takeError();
+      Expected<RunOutcome> R = App->run(Ctx, *Base, W);
+      if (!R)
+        return R.takeError();
+      BaseMs = R->Report.TimeMs;
+    }
+    rt::Context Ctx;
+    Expected<BuiltKernel> BK =
+        Config.Scheme.Kind == perf::SchemeKind::None
+            ? App->buildBaseline(Ctx, Local)
+            : App->buildPerforated(Ctx, Config.Scheme, Local);
+    if (!BK)
+      return BK.takeError();
+    Expected<RunOutcome> R = App->run(Ctx, *BK, W);
+    if (!R)
+      return R.takeError();
+    perf::Measurement M;
+    M.Speedup = BaseMs / R->Report.TimeMs;
+    M.Error = App->score(Reference, R->Output);
+    return M;
+  };
+
+  std::printf("autotuning %s, error budget %.3f, %zu configurations...\n\n",
+              AppName.c_str(), Budget, perf::defaultTuningSpace().size());
+  std::vector<perf::TunerResult> Results =
+      perf::tuneExhaustive(perf::defaultTuningSpace(), Evaluate);
+
+  unsigned Feasible = 0;
+  for (const perf::TunerResult &R : Results)
+    if (R.Feasible)
+      ++Feasible;
+  std::printf("%u/%zu configurations feasible\n", Feasible, Results.size());
+
+  std::printf("\nPareto front (speedup vs. error):\n");
+  std::vector<perf::TradeoffPoint> Points = toTradeoffPoints(Results);
+  for (size_t I : perf::paretoFront(Points))
+    std::printf("  %-24s speedup %5.2fx  error %.5f\n",
+                Points[I].Label.c_str(), Points[I].Speedup,
+                Points[I].Error);
+
+  size_t Best = perf::bestWithinErrorBudget(Results, Budget);
+  if (Best == ~size_t(0)) {
+    std::printf("\nno configuration meets the %.3f budget\n", Budget);
+    return 0;
+  }
+  std::printf("\nchosen for budget %.3f: %s (speedup %.2fx, error %.5f)\n",
+              Budget, Results[Best].Config.str().c_str(),
+              Results[Best].M.Speedup, Results[Best].M.Error);
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- examples/thermal_sim.cpp - Approximate thermal simulation -------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Hotspot as a downstream user would run it: a multi-step transient
+// thermal simulation where every step's temperature input is perforated.
+// Shows how the error accumulates (or does not) over simulation time and
+// what the end-to-end speedup is.
+//
+// Usage: thermal_sim [grid-size] [steps]    (default: 128 16)
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace kperf;
+using namespace kperf::apps;
+
+int main(int Argc, char **Argv) {
+  unsigned Size = Argc > 1 ? static_cast<unsigned>(std::atoi(Argv[1])) : 128;
+  unsigned Steps = Argc > 2 ? static_cast<unsigned>(std::atoi(Argv[2])) : 16;
+  if (Size % 16 != 0) {
+    std::fprintf(stderr, "grid size must be a multiple of 16\n");
+    return 1;
+  }
+
+  auto App = makeApp("hotspot");
+  std::printf("hotspot: %ux%u grid, %u steps, Rows1:LI perforation of the "
+              "temperature field\n\n",
+              Size, Size, Steps);
+
+  std::printf("%6s %14s %14s %10s\n", "step", "max temp (acc)",
+              "max temp (perf)", "MRE");
+
+  // Error trajectory: compare accurate and perforated after 1..Steps.
+  for (unsigned Checkpoint : {1u, Steps / 4, Steps / 2, Steps}) {
+    if (Checkpoint == 0)
+      continue;
+    Workload W = makeHotspotWorkload(Size, 5, Checkpoint);
+    std::vector<float> Ref = App->reference(W);
+
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(App->buildPerforated(
+        Ctx,
+        perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
+        {16, 16}));
+    RunOutcome R = cantFail(App->run(Ctx, BK, W));
+
+    float MaxAcc = 0, MaxPerf = 0;
+    for (float V : Ref)
+      MaxAcc = std::max(MaxAcc, V);
+    for (float V : R.Output)
+      MaxPerf = std::max(MaxPerf, V);
+    std::printf("%6u %14.3f %14.3f %10.5f\n", Checkpoint, MaxAcc, MaxPerf,
+                App->score(Ref, R.Output));
+  }
+
+  // End-to-end timing over the full run.
+  Workload W = makeHotspotWorkload(Size, 5, Steps);
+  double BaseMs, PerfMs;
+  {
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(App->buildBaseline(Ctx, {16, 16}));
+    BaseMs = cantFail(App->run(Ctx, BK, W)).Report.TimeMs;
+  }
+  {
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(App->buildPerforated(
+        Ctx,
+        perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
+        {16, 16}));
+    PerfMs = cantFail(App->run(Ctx, BK, W)).Report.TimeMs;
+  }
+  std::printf("\naccurate:   %.4f ms\nperforated: %.4f ms\nspeedup:    "
+              "%.2fx over %u steps\n",
+              BaseMs, PerfMs, BaseMs / PerfMs, Steps);
+  return 0;
+}

@@ -1,0 +1,189 @@
+//===- apps/References.cpp -------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/References.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace kperf;
+using namespace kperf::img;
+
+Image apps::referenceGaussian(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      // Same association order as the kernel so results match exactly.
+      float Acc = 0.0625f * In.atClamped(X - 1, Y - 1) +
+                  0.125f * In.atClamped(X, Y - 1) +
+                  0.0625f * In.atClamped(X + 1, Y - 1) +
+                  0.125f * In.atClamped(X - 1, Y) +
+                  0.25f * In.atClamped(X, Y) +
+                  0.125f * In.atClamped(X + 1, Y) +
+                  0.0625f * In.atClamped(X - 1, Y + 1) +
+                  0.125f * In.atClamped(X, Y + 1) +
+                  0.0625f * In.atClamped(X + 1, Y + 1);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y), Acc);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceInversion(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (unsigned Y = 0; Y < In.height(); ++Y)
+    for (unsigned X = 0; X < In.width(); ++X)
+      Out.set(X, Y, 1.0f - In.at(X, Y));
+  return Out;
+}
+
+Image apps::referenceMedian(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      float P[9];
+      for (int Ky = 0; Ky < 3; ++Ky)
+        for (int Kx = 0; Kx < 3; ++Kx)
+          P[Ky * 3 + Kx] = In.atClamped(X + Kx - 1, Y + Ky - 1);
+      std::nth_element(P, P + 4, P + 9);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y), P[4]);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceSobel3(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      float A = In.atClamped(X - 1, Y - 1);
+      float B = In.atClamped(X, Y - 1);
+      float C = In.atClamped(X + 1, Y - 1);
+      float D = In.atClamped(X - 1, Y);
+      float E = In.atClamped(X + 1, Y);
+      float F = In.atClamped(X - 1, Y + 1);
+      float G = In.atClamped(X, Y + 1);
+      float I = In.atClamped(X + 1, Y + 1);
+      float Sx = (C + 2.0f * E + I) - (A + 2.0f * D + F);
+      float Sy = (F + 2.0f * G + I) - (A + 2.0f * B + C);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y),
+              std::sqrt(Sx * Sx + Sy * Sy) / 6.0f);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceSobel5(const Image &In) {
+  static const float Deriv[5] = {-1, -2, 0, 2, 1};
+  static const float Smooth[5] = {1, 4, 6, 4, 1};
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      float Sx = 0, Sy = 0;
+      for (int Ky = 0; Ky < 5; ++Ky) {
+        for (int Kx = 0; Kx < 5; ++Kx) {
+          float V = In.atClamped(X + Kx - 2, Y + Ky - 2);
+          Sx += V * Deriv[Kx] * Smooth[Ky];
+          Sy += V * Smooth[Kx] * Deriv[Ky];
+        }
+      }
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y),
+              std::sqrt(Sx * Sx + Sy * Sy) / 96.0f);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceMean(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      // Same accumulation order as the kernel (row-major window walk).
+      float Acc = 0;
+      for (int Ky = -1; Ky <= 1; ++Ky)
+        for (int Kx = -1; Kx <= 1; ++Kx)
+          Acc += In.atClamped(X + Kx, Y + Ky);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y),
+              Acc / 9.0f);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceSharpen(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      float Acc = 5.0f * In.atClamped(X, Y) - In.atClamped(X, Y - 1) -
+                  In.atClamped(X, Y + 1) - In.atClamped(X - 1, Y) -
+                  In.atClamped(X + 1, Y);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y),
+              std::min(1.0f, std::max(0.0f, Acc)));
+    }
+  }
+  return Out;
+}
+
+static const float ConvSepTaps[5] = {0.0625f, 0.25f, 0.375f, 0.25f, 0.0625f};
+
+Image apps::referenceConvSepRow(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      float Acc = 0;
+      for (int K = -2; K <= 2; ++K)
+        Acc += ConvSepTaps[K + 2] * In.atClamped(X + K, Y);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y), Acc);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceConvSepCol(const Image &In) {
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < static_cast<int>(In.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(In.width()); ++X) {
+      float Acc = 0;
+      for (int K = -2; K <= 2; ++K)
+        Acc += ConvSepTaps[K + 2] * In.atClamped(X, Y + K);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y), Acc);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceConvSep(const Image &In) {
+  return referenceConvSepCol(referenceConvSepRow(In));
+}
+
+Image apps::referenceHotspotStep(const Image &Power, const Image &Temp,
+                                 const HotspotParams &P) {
+  Image Out(Temp.width(), Temp.height());
+  for (int Y = 0; Y < static_cast<int>(Temp.height()); ++Y) {
+    for (int X = 0; X < static_cast<int>(Temp.width()); ++X) {
+      float T = Temp.atClamped(X, Y);
+      float Tn = Temp.atClamped(X, Y - 1);
+      float Ts = Temp.atClamped(X, Y + 1);
+      float Tw = Temp.atClamped(X - 1, Y);
+      float Te = Temp.atClamped(X + 1, Y);
+      float Delta = P.Cap * (Power.atClamped(X, Y) +
+                             (Tn + Ts - 2.0f * T) / P.Ry +
+                             (Te + Tw - 2.0f * T) / P.Rx +
+                             (P.Ambient - T) / P.Rz);
+      Out.set(static_cast<unsigned>(X), static_cast<unsigned>(Y),
+              T + Delta);
+    }
+  }
+  return Out;
+}
+
+Image apps::referenceHotspot(const Image &Power, const Image &Temp,
+                             const HotspotParams &P, unsigned Iterations) {
+  Image Cur = Temp;
+  for (unsigned I = 0; I < Iterations; ++I)
+    Cur = referenceHotspotStep(Power, Cur, P);
+  return Cur;
+}

@@ -1,0 +1,63 @@
+//===- apps/References.h - Native reference implementations -------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain C++ implementations of the six applications, used as ground truth
+/// in the test suite (interpreter output must match them bit-for-bit where
+/// the operation order is identical, or to float tolerance otherwise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_APPS_REFERENCES_H
+#define KPERF_APPS_REFERENCES_H
+
+#include "img/Image.h"
+
+namespace kperf {
+namespace apps {
+
+/// Physical parameters of the Hotspot step (see hotspotSource()).
+struct HotspotParams {
+  float Cap = 0.1f;
+  float Rx = 1.0f;
+  float Ry = 1.0f;
+  float Rz = 100.0f;
+  float Ambient = 80.0f;
+};
+
+img::Image referenceGaussian(const img::Image &In);
+img::Image referenceInversion(const img::Image &In);
+img::Image referenceMedian(const img::Image &In);
+img::Image referenceSobel3(const img::Image &In);
+img::Image referenceSobel5(const img::Image &In);
+
+/// One Hotspot step (power, temperature -> new temperature).
+img::Image referenceHotspotStep(const img::Image &Power,
+                                const img::Image &Temp,
+                                const HotspotParams &P);
+
+/// \p Iterations Hotspot steps.
+img::Image referenceHotspot(const img::Image &Power, const img::Image &Temp,
+                            const HotspotParams &P, unsigned Iterations);
+
+//===--- Extension applications (paper 4.3 Paraprox suite) ---------------===//
+
+img::Image referenceMean(const img::Image &In);
+img::Image referenceSharpen(const img::Image &In);
+
+/// Horizontal 5-tap [1 4 6 4 1]/16 pass of the separable convolution.
+img::Image referenceConvSepRow(const img::Image &In);
+
+/// Vertical 5-tap pass.
+img::Image referenceConvSepCol(const img::Image &In);
+
+/// Both passes (row then column) -- the full separable 5x5 Gaussian.
+img::Image referenceConvSep(const img::Image &In);
+
+} // namespace apps
+} // namespace kperf
+
+#endif // KPERF_APPS_REFERENCES_H

@@ -1,0 +1,80 @@
+//===- gpusim/Buffer.h - Device buffer storage --------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backing storage for simulated global-memory buffers. Elements are 32-bit
+/// words interpreted as int or float according to the pointer type used to
+/// access them, mirroring how OpenCL buffers are untyped byte ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_GPUSIM_BUFFER_H
+#define KPERF_GPUSIM_BUFFER_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace kperf {
+namespace sim {
+
+/// A device buffer of 32-bit elements.
+class BufferData {
+public:
+  BufferData() = default;
+  explicit BufferData(size_t NumElements) : Words(NumElements, 0) {}
+
+  size_t size() const { return Words.size(); }
+
+  uint32_t word(size_t I) const {
+    assert(I < Words.size() && "buffer read out of range");
+    return Words[I];
+  }
+  void setWord(size_t I, uint32_t W) {
+    assert(I < Words.size() && "buffer write out of range");
+    Words[I] = W;
+  }
+
+  float floatAt(size_t I) const {
+    float F;
+    uint32_t W = word(I);
+    std::memcpy(&F, &W, 4);
+    return F;
+  }
+  void setFloat(size_t I, float F) {
+    uint32_t W;
+    std::memcpy(&W, &F, 4);
+    setWord(I, W);
+  }
+
+  int32_t intAt(size_t I) const { return static_cast<int32_t>(word(I)); }
+  void setInt(size_t I, int32_t V) { setWord(I, static_cast<uint32_t>(V)); }
+
+  /// Bulk upload of floats starting at element 0.
+  void uploadFloats(const std::vector<float> &Values) {
+    Words.resize(Values.size());
+    std::memcpy(Words.data(), Values.data(), Values.size() * 4);
+  }
+
+  /// Bulk download of the whole buffer as floats.
+  std::vector<float> downloadFloats() const {
+    std::vector<float> Values(Words.size());
+    std::memcpy(Values.data(), Words.data(), Words.size() * 4);
+    return Values;
+  }
+
+  uint32_t *data() { return Words.data(); }
+  const uint32_t *data() const { return Words.data(); }
+
+private:
+  std::vector<uint32_t> Words;
+};
+
+} // namespace sim
+} // namespace kperf
+
+#endif // KPERF_GPUSIM_BUFFER_H

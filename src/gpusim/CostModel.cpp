@@ -1,0 +1,60 @@
+//===- gpusim/CostModel.cpp ------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/CostModel.h"
+
+#include <algorithm>
+
+using namespace kperf;
+using namespace kperf::sim;
+
+GroupCost sim::costOfGroup(const Counters &Group,
+                           const DeviceConfig &Device) {
+  GroupCost Cost;
+  double AluWork = static_cast<double>(Group.AluOps) +
+                   Device.PrivateAccessOps *
+                       static_cast<double>(Group.PrivateAccesses);
+  double AluCycles =
+      AluWork / (static_cast<double>(Device.WavefrontSize) *
+                 Device.AluIssueWidth);
+  double LocalCycles =
+      Device.LocalAccessCycles *
+      static_cast<double>(Group.LocalWavefrontOps + Group.BankConflictExtra);
+  Cost.ComputeCycles = AluCycles + LocalCycles;
+  Cost.MemoryCycles =
+      Device.ReadCostCycles *
+          static_cast<double>(Group.GlobalReadTransactions) +
+      Device.WriteCostCycles *
+          static_cast<double>(Group.GlobalWriteTransactions);
+  Cost.TotalCycles = Device.WorkGroupOverheadCycles +
+                     std::max(Cost.ComputeCycles, Cost.MemoryCycles);
+  return Cost;
+}
+
+SimReport sim::finalizeReport(const Counters &Totals, double SumGroupCycles,
+                              double SumCompute, double SumMemory,
+                              const DeviceConfig &Device) {
+  SimReport Report;
+  Report.Totals = Totals;
+  Report.ComputeCycles = SumCompute;
+  Report.MemoryCycles = SumMemory;
+  Report.Cycles =
+      SumGroupCycles / static_cast<double>(Device.NumComputeUnits);
+  Report.TimeMs = Report.Cycles / (Device.ClockGHz * 1e6);
+
+  // Energy: dynamic per-event energies plus static power over the run.
+  double DynamicNJ =
+      Device.DramEnergyPerTransactionNJ *
+          static_cast<double>(Totals.GlobalReadTransactions +
+                              Totals.GlobalWriteTransactions) +
+      Device.LocalEnergyPerAccessNJ *
+          static_cast<double>(Totals.LocalAccesses) +
+      Device.AluEnergyPerOpNJ *
+          static_cast<double>(Totals.AluOps + Totals.PrivateAccesses);
+  double StaticNJ = Device.StaticPowerW * Report.TimeMs * 1e3;
+  Report.EnergyMJ = (DynamicNJ + StaticNJ) * 1e-6;
+  return Report;
+}

@@ -1,0 +1,54 @@
+//===- gpusim/CostModel.h - Analytic timing model -----------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts per-work-group event counters into modeled cycles.
+///
+/// Model (per work group):
+/// \code
+///   compute = (AluOps + PrivateAccessOps * PrivateAccesses) /
+///             (WavefrontSize * AluIssueWidth)
+///           + LocalAccessCycles * (LocalWavefrontOps + BankConflictExtra)
+///   memory  = ReadCostCycles  * GlobalReadTransactions
+///           + WriteCostCycles * GlobalWriteTransactions
+///   cycles  = WorkGroupOverheadCycles + max(compute, memory)
+/// \endcode
+///
+/// The max() expresses that a GPU overlaps ALU work with outstanding
+/// memory traffic (latency hiding across wavefronts): a kernel is either
+/// memory-bound or compute-bound per work group. Launch cycles are the sum
+/// over groups divided by the compute-unit count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_GPUSIM_COSTMODEL_H
+#define KPERF_GPUSIM_COSTMODEL_H
+
+#include "gpusim/DeviceConfig.h"
+#include "gpusim/SimReport.h"
+
+namespace kperf {
+namespace sim {
+
+/// Per-group cost decomposition.
+struct GroupCost {
+  double ComputeCycles = 0;
+  double MemoryCycles = 0;
+  double TotalCycles = 0;
+};
+
+/// Applies the analytic model to one work group's counters.
+GroupCost costOfGroup(const Counters &Group, const DeviceConfig &Device);
+
+/// Finalizes a launch report from accumulated group costs.
+SimReport finalizeReport(const Counters &Totals, double SumGroupCycles,
+                         double SumCompute, double SumMemory,
+                         const DeviceConfig &Device);
+
+} // namespace sim
+} // namespace kperf
+
+#endif // KPERF_GPUSIM_COSTMODEL_H

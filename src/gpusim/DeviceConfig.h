@@ -1,0 +1,94 @@
+//===- gpusim/DeviceConfig.h - Simulated device parameters -------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the simulated GPU. Defaults are loosely calibrated to the
+/// AMD FirePro W5100 used in the paper (GCN: 64-lane wavefronts, 32 LDS
+/// banks, 64-byte memory transactions). Only *ratios* matter for the
+/// reproduced figures; see DESIGN.md section 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_GPUSIM_DEVICECONFIG_H
+#define KPERF_GPUSIM_DEVICECONFIG_H
+
+#include <cstdint>
+
+namespace kperf {
+namespace sim {
+
+/// All knobs of the performance model in one place.
+struct DeviceConfig {
+  /// Number of compute units; work groups distribute evenly across them.
+  unsigned NumComputeUnits = 8;
+
+  /// Threads that issue in lockstep; granularity of memory coalescing.
+  unsigned WavefrontSize = 64;
+
+  /// Global-memory transaction (cache line / burst) size in bytes.
+  unsigned SegmentBytes = 64;
+
+  /// Cycles of memory-pipe occupancy per coalesced *read* transaction.
+  /// Reads are on the critical path of a memory-bound kernel.
+  double ReadCostCycles = 32.0;
+
+  /// Cycles per coalesced *write* transaction. Writes retire through the
+  /// write-combining path and overlap better, hence cheaper than reads.
+  double WriteCostCycles = 10.0;
+
+  /// Local (LDS) banks; conflicting lanes within a wavefront serialize.
+  unsigned NumLocalBanks = 32;
+
+  /// Cycles per local-memory wavefront access (times the conflict factor).
+  /// GCN LDS services a 64-lane wavefront in two 32-bank passes.
+  double LocalAccessCycles = 0.5;
+
+  /// Effective ALU operations retired per lane per cycle. This is
+  /// deliberately high (8): the interpreter executes the *naive* IR --
+  /// every address computation, loop counter, and clamp -- whereas a real
+  /// kernel compiler register-allocates, strength-reduces, and co-issues
+  /// most of that away. Calibrated so the compute/memory balance of the
+  /// six paper kernels lands in the regime the paper's GPU exhibits
+  /// (memory-bound stencils, sobel5 near the compute/memory crossover).
+  double AluIssueWidth = 8.0;
+
+  /// Register-file/private-memory access cost, in ALU-op equivalents.
+  /// Private scalars and small arrays live in registers on a real GPU.
+  double PrivateAccessOps = 0.25;
+
+  /// Fixed cycles per work group (dispatch, drain).
+  double WorkGroupOverheadCycles = 64.0;
+
+  /// Core clock in GHz; converts cycles to milliseconds for reports.
+  double ClockGHz = 0.93;
+
+  /// Local memory capacity per work group, bytes. Launches that exceed it
+  /// fail, like an OpenCL CL_OUT_OF_RESOURCES.
+  unsigned LocalMemBytes = 32 * 1024;
+
+  //===--- Energy model (approximate computing's second motivation) -------===//
+  // First-order per-event energies in nanojoules, in the ballpark of
+  // published 28nm-GPU numbers: DRAM traffic costs orders of magnitude
+  // more than on-chip work, which is why perforating *loads* saves
+  // energy roughly proportionally to the saved transactions.
+
+  /// Energy per 64-byte DRAM transaction (read or write).
+  double DramEnergyPerTransactionNJ = 20.0;
+
+  /// Energy per local-memory (LDS) lane access.
+  double LocalEnergyPerAccessNJ = 0.05;
+
+  /// Energy per ALU op / register-file access.
+  double AluEnergyPerOpNJ = 0.01;
+
+  /// Static (leakage + clocking) power burned while the kernel runs.
+  double StaticPowerW = 10.0;
+};
+
+} // namespace sim
+} // namespace kperf
+
+#endif // KPERF_GPUSIM_DEVICECONFIG_H

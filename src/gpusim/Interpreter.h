@@ -1,0 +1,90 @@
+//===- gpusim/Interpreter.h - Kernel IR executor ------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes kernel IR over a simulated NDRange with OpenCL semantics:
+///
+///  * Work groups run independently; inside a group, work items execute
+///    sequentially but are suspended and resumed around barriers (phase
+///    execution), so `barrier()` behaves exactly as on a GPU. Divergent
+///    barriers (not reached by all items) are detected and reported.
+///  * Memory is split into private (per item), local (per group), and
+///    global (host buffers) arenas; all accesses are bounds-checked.
+///  * While executing, the interpreter accumulates the event counters of
+///    SimReport: coalesced global transactions are counted per wavefront
+///    and access instance over unique 64-byte segments; local accesses are
+///    grouped the same way and charged their bank-conflict factor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_GPUSIM_INTERPRETER_H
+#define KPERF_GPUSIM_INTERPRETER_H
+
+#include "gpusim/Buffer.h"
+#include "gpusim/DeviceConfig.h"
+#include "gpusim/SimReport.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace kperf {
+namespace sim {
+
+/// 2-D sizes used for global and local NDRanges.
+struct Range2 {
+  unsigned X = 1;
+  unsigned Y = 1;
+
+  unsigned count() const { return X * Y; }
+};
+
+/// One kernel argument: a scalar or a reference into the launch's buffer
+/// vector.
+struct KernelArg {
+  enum class Kind : uint8_t { Int, Float, Buffer };
+  Kind K = Kind::Int;
+  int32_t I = 0;
+  float F = 0;
+  unsigned BufferIndex = 0;
+
+  static KernelArg makeInt(int32_t V) {
+    KernelArg A;
+    A.K = Kind::Int;
+    A.I = V;
+    return A;
+  }
+  static KernelArg makeFloat(float V) {
+    KernelArg A;
+    A.K = Kind::Float;
+    A.F = V;
+    return A;
+  }
+  static KernelArg makeBuffer(unsigned Index) {
+    KernelArg A;
+    A.K = Kind::Buffer;
+    A.BufferIndex = Index;
+    return A;
+  }
+};
+
+/// Executes \p F over \p Global work items in groups of \p Local.
+///
+/// \p Global must be divisible by \p Local in both dimensions (OpenCL 1.x
+/// rule). \p Buffers backs the pointer arguments; \p Args must match the
+/// kernel signature. Returns the populated SimReport or a launch/runtime
+/// error (argument mismatch, out-of-bounds access, barrier divergence,
+/// division by zero, local memory oversubscription).
+Expected<SimReport> launchKernel(const ir::Function &F, Range2 Global,
+                                 Range2 Local,
+                                 const std::vector<KernelArg> &Args,
+                                 std::vector<BufferData> &Buffers,
+                                 const DeviceConfig &Device);
+
+} // namespace sim
+} // namespace kperf
+
+#endif // KPERF_GPUSIM_INTERPRETER_H

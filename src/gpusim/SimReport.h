@@ -1,0 +1,67 @@
+//===- gpusim/SimReport.h - Execution statistics ------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters produced by one simulated kernel launch, plus the modeled
+/// execution time derived from them (see CostModel.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_GPUSIM_SIMREPORT_H
+#define KPERF_GPUSIM_SIMREPORT_H
+
+#include <cstdint>
+
+namespace kperf {
+namespace sim {
+
+/// Raw event counts accumulated over all work items of a launch.
+struct Counters {
+  uint64_t AluOps = 0;             ///< Arithmetic/branch/call operations.
+  uint64_t PrivateAccesses = 0;    ///< Private loads + stores.
+  uint64_t LocalAccesses = 0;      ///< Local loads + stores (per lane).
+  uint64_t LocalWavefrontOps = 0;  ///< Local access groups (per wavefront).
+  uint64_t BankConflictExtra = 0;  ///< Serialization beyond 1 per group.
+  uint64_t GlobalReadTransactions = 0;  ///< Coalesced 64B read segments.
+  uint64_t GlobalWriteTransactions = 0; ///< Coalesced 64B write segments.
+  uint64_t GlobalReads = 0;        ///< Per-lane global loads.
+  uint64_t GlobalWrites = 0;       ///< Per-lane global stores.
+  uint64_t Barriers = 0;           ///< Barrier instructions executed.
+  uint64_t WorkGroups = 0;
+  uint64_t WorkItems = 0;
+
+  Counters &operator+=(const Counters &O) {
+    AluOps += O.AluOps;
+    PrivateAccesses += O.PrivateAccesses;
+    LocalAccesses += O.LocalAccesses;
+    LocalWavefrontOps += O.LocalWavefrontOps;
+    BankConflictExtra += O.BankConflictExtra;
+    GlobalReadTransactions += O.GlobalReadTransactions;
+    GlobalWriteTransactions += O.GlobalWriteTransactions;
+    GlobalReads += O.GlobalReads;
+    GlobalWrites += O.GlobalWrites;
+    Barriers += O.Barriers;
+    WorkGroups += O.WorkGroups;
+    WorkItems += O.WorkItems;
+    return *this;
+  }
+};
+
+/// Result of a simulated launch: counters and modeled time/energy.
+struct SimReport {
+  Counters Totals;
+  double Cycles = 0;      ///< Modeled device cycles for the whole launch.
+  double TimeMs = 0;      ///< Cycles / clock.
+  double ComputeCycles = 0; ///< Sum of per-group compute components.
+  double MemoryCycles = 0;  ///< Sum of per-group memory components.
+  double EnergyMJ = 0;    ///< Modeled energy in millijoules (dynamic
+                          ///< per-event energy + static power * time).
+};
+
+} // namespace sim
+} // namespace kperf
+
+#endif // KPERF_GPUSIM_SIMREPORT_H

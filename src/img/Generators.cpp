@@ -1,0 +1,216 @@
+//===- img/Generators.cpp --------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "img/Generators.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace kperf;
+using namespace kperf::img;
+
+namespace {
+
+constexpr double Pi = 3.14159265358979323846;
+
+float clamp01(double V) {
+  return static_cast<float>(std::min(1.0, std::max(0.0, V)));
+}
+
+/// Large constant regions: a handful of axis-aligned rectangles over a
+/// uniform background (think test cards / flat scans).
+Image generateFlat(unsigned W, unsigned H, Rng &R) {
+  Image Img(W, H, static_cast<float>(R.uniform(0.2, 0.8)));
+  unsigned NumRects = 2 + static_cast<unsigned>(R.below(4));
+  for (unsigned N = 0; N < NumRects; ++N) {
+    unsigned X0 = static_cast<unsigned>(R.below(W));
+    unsigned Y0 = static_cast<unsigned>(R.below(H));
+    unsigned RW = W / 4 + static_cast<unsigned>(R.below(W / 2 + 1));
+    unsigned RH = H / 4 + static_cast<unsigned>(R.below(H / 2 + 1));
+    float V = static_cast<float>(R.uniform(0.05, 0.95));
+    for (unsigned Y = Y0; Y < std::min(H, Y0 + RH); ++Y)
+      for (unsigned X = X0; X < std::min(W, X0 + RW); ++X)
+        Img.set(X, Y, V);
+  }
+  return Img;
+}
+
+/// Sum of a few low-frequency plane waves plus a soft vignette: smooth
+/// gradients similar to landscape photographs.
+Image generateSmooth(unsigned W, unsigned H, Rng &R) {
+  Image Img(W, H);
+  struct Wave {
+    double Fx, Fy, Phase, Amp;
+  };
+  std::vector<Wave> Waves;
+  unsigned NumWaves = 3 + static_cast<unsigned>(R.below(3));
+  for (unsigned N = 0; N < NumWaves; ++N)
+    Waves.push_back({R.uniform(0.5, 3.0), R.uniform(0.5, 3.0),
+                     R.uniform(0, 2 * Pi), R.uniform(0.05, 0.25)});
+  double Base = R.uniform(0.3, 0.7);
+  for (unsigned Y = 0; Y < H; ++Y) {
+    for (unsigned X = 0; X < W; ++X) {
+      double U = static_cast<double>(X) / W;
+      double V = static_cast<double>(Y) / H;
+      double S = Base;
+      for (const Wave &Wv : Waves)
+        S += Wv.Amp *
+             std::sin(2 * Pi * (Wv.Fx * U + Wv.Fy * V) + Wv.Phase);
+      Img.set(X, Y, clamp01(S));
+    }
+  }
+  return Img;
+}
+
+/// Mid-frequency content: smooth base plus band-limited detail and a few
+/// hard edges, approximating natural photographs with objects.
+Image generateNatural(unsigned W, unsigned H, Rng &R) {
+  Image Img = generateSmooth(W, H, R);
+  // Band-limited detail: value noise sampled on a coarse lattice with
+  // bilinear upsampling.
+  unsigned Cell = std::max(4u, W / 32);
+  unsigned GW = W / Cell + 2, GH = H / Cell + 2;
+  std::vector<float> Grid(static_cast<size_t>(GW) * GH);
+  for (float &G : Grid)
+    G = static_cast<float>(R.uniform(-0.12, 0.12));
+  for (unsigned Y = 0; Y < H; ++Y) {
+    for (unsigned X = 0; X < W; ++X) {
+      double GX = static_cast<double>(X) / Cell;
+      double GY = static_cast<double>(Y) / Cell;
+      unsigned X0 = static_cast<unsigned>(GX), Y0 = static_cast<unsigned>(GY);
+      double FX = GX - X0, FY = GY - Y0;
+      auto G = [&](unsigned XI, unsigned YI) {
+        return Grid[static_cast<size_t>(YI) * GW + XI];
+      };
+      double D = G(X0, Y0) * (1 - FX) * (1 - FY) +
+                 G(X0 + 1, Y0) * FX * (1 - FY) +
+                 G(X0, Y0 + 1) * (1 - FX) * FY +
+                 G(X0 + 1, Y0 + 1) * FX * FY;
+      Img.set(X, Y, clamp01(Img.at(X, Y) + D));
+    }
+  }
+  // A few hard-edged "objects".
+  unsigned NumEdges = 1 + static_cast<unsigned>(R.below(3));
+  for (unsigned N = 0; N < NumEdges; ++N) {
+    unsigned CX = static_cast<unsigned>(R.below(W));
+    unsigned CY = static_cast<unsigned>(R.below(H));
+    unsigned Rad = W / 12 + static_cast<unsigned>(R.below(W / 8 + 1));
+    float Delta = static_cast<float>(R.uniform(-0.3, 0.3));
+    for (unsigned Y = CY > Rad ? CY - Rad : 0;
+         Y < std::min(H, CY + Rad); ++Y)
+      for (unsigned X = CX > Rad ? CX - Rad : 0;
+           X < std::min(W, CX + Rad); ++X) {
+        long DX = static_cast<long>(X) - CX, DY = static_cast<long>(Y) - CY;
+        if (DX * DX + DY * DY <= static_cast<long>(Rad) * Rad)
+          Img.set(X, Y, clamp01(Img.at(X, Y) + Delta));
+      }
+  }
+  return Img;
+}
+
+/// High-frequency test patterns: stripes, checkerboards, or radial bursts
+/// with periods of a few pixels -- the adversarial case for perforation.
+Image generatePattern(unsigned W, unsigned H, Rng &R) {
+  Image Img(W, H);
+  unsigned Kind = static_cast<unsigned>(R.below(3));
+  unsigned Period = 2 + static_cast<unsigned>(R.below(5));
+  double Angle = R.uniform(0, Pi);
+  for (unsigned Y = 0; Y < H; ++Y) {
+    for (unsigned X = 0; X < W; ++X) {
+      double V = 0;
+      switch (Kind) {
+      case 0: { // Rotated stripes.
+        double T = X * std::cos(Angle) + Y * std::sin(Angle);
+        V = (static_cast<long>(std::floor(T / Period)) % 2 + 2) % 2;
+        break;
+      }
+      case 1: // Checkerboard.
+        V = ((X / Period + Y / Period) % 2 == 0) ? 1.0 : 0.0;
+        break;
+      // (Amplitudes are rescaled below to stay off the 0/1 extremes,
+      // where 8-bit photographs rarely sit and relative error degenerates.)
+      default: { // Radial burst (zone-plate-like).
+        double DX = X - W / 2.0, DY = Y - H / 2.0;
+        double Rr = std::sqrt(DX * DX + DY * DY);
+        V = 0.5 + 0.5 * std::sin(2 * Pi * Rr / Period);
+        break;
+      }
+      }
+      Img.set(X, Y, clamp01(0.15 + 0.7 * V));
+    }
+  }
+  return Img;
+}
+
+/// Dense white noise.
+Image generateNoise(unsigned W, unsigned H, Rng &R) {
+  Image Img(W, H);
+  for (unsigned Y = 0; Y < H; ++Y)
+    for (unsigned X = 0; X < W; ++X)
+      Img.set(X, Y, static_cast<float>(R.uniform(0.1, 0.9)));
+  return Img;
+}
+
+} // namespace
+
+const char *img::imageClassName(ImageClass C) {
+  switch (C) {
+  case ImageClass::Flat:
+    return "flat";
+  case ImageClass::Smooth:
+    return "smooth";
+  case ImageClass::Natural:
+    return "natural";
+  case ImageClass::Pattern:
+    return "pattern";
+  case ImageClass::Noise:
+    return "noise";
+  }
+  return "?";
+}
+
+Image img::generateImage(ImageClass C, unsigned Width, unsigned Height,
+                         uint64_t Seed) {
+  Rng R(Seed ^ (static_cast<uint64_t>(C) << 56));
+  switch (C) {
+  case ImageClass::Flat:
+    return generateFlat(Width, Height, R);
+  case ImageClass::Smooth:
+    return generateSmooth(Width, Height, R);
+  case ImageClass::Natural:
+    return generateNatural(Width, Height, R);
+  case ImageClass::Pattern:
+    return generatePattern(Width, Height, R);
+  case ImageClass::Noise:
+    return generateNoise(Width, Height, R);
+  }
+  return Image(Width, Height);
+}
+
+ImageClass img::datasetClassAt(unsigned Index) {
+  // 20-slot cycle: 2 flat, 6 smooth, 7 natural, 3 pattern, 2 noise.
+  static const ImageClass Cycle[20] = {
+      ImageClass::Flat,    ImageClass::Smooth,  ImageClass::Natural,
+      ImageClass::Smooth,  ImageClass::Natural, ImageClass::Pattern,
+      ImageClass::Natural, ImageClass::Smooth,  ImageClass::Noise,
+      ImageClass::Natural, ImageClass::Flat,    ImageClass::Smooth,
+      ImageClass::Natural, ImageClass::Pattern, ImageClass::Smooth,
+      ImageClass::Natural, ImageClass::Noise,   ImageClass::Smooth,
+      ImageClass::Pattern, ImageClass::Natural};
+  return Cycle[Index % 20];
+}
+
+std::vector<Image> img::generateDataset(unsigned Count, unsigned Width,
+                                        unsigned Height, uint64_t Seed) {
+  std::vector<Image> Images;
+  Images.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    Images.push_back(generateImage(datasetClassAt(I), Width, Height,
+                                   Seed + 0x9e37 * (I + 1)));
+  return Images;
+}

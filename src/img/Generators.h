@@ -1,0 +1,57 @@
+//===- img/Generators.h - Synthetic input images ------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic stand-in for the USC-SIPI image database used
+/// in the paper (misc + pattern catalogues; see DESIGN.md section 2). The
+/// generator spans the input classes whose error behaviour the paper
+/// analyzes in Fig. 7:
+///
+///  * Flat    -- large constant-color areas            (error ~0.1%)
+///  * Smooth  -- low-frequency "countryside" content   (error ~5%)
+///  * Natural -- mid-frequency texture with structure  (error ~5-10%)
+///  * Pattern -- high-frequency stripes/checkerboards  (error ~20%)
+///  * Noise   -- dense white noise (worst case)
+///
+/// All images are seeded; the same (class, size, seed) triple reproduces
+/// the same pixels bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IMG_GENERATORS_H
+#define KPERF_IMG_GENERATORS_H
+
+#include "img/Image.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kperf {
+namespace img {
+
+/// Synthetic input classes (see file comment).
+enum class ImageClass : uint8_t { Flat, Smooth, Natural, Pattern, Noise };
+
+/// Returns a printable name for \p C.
+const char *imageClassName(ImageClass C);
+
+/// Generates one image of class \p C.
+Image generateImage(ImageClass C, unsigned Width, unsigned Height,
+                    uint64_t Seed);
+
+/// Generates a dataset of \p Count images cycling through the classes in
+/// USC-SIPI-like proportions (flat 10%, smooth 30%, natural 35%, pattern
+/// 15%, noise 10%), with per-image seeds derived from \p Seed.
+std::vector<Image> generateDataset(unsigned Count, unsigned Width,
+                                   unsigned Height, uint64_t Seed);
+
+/// Class of the I-th dataset element (matches generateDataset's cycle).
+ImageClass datasetClassAt(unsigned Index);
+
+} // namespace img
+} // namespace kperf
+
+#endif // KPERF_IMG_GENERATORS_H

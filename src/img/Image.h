@@ -1,0 +1,64 @@
+//===- img/Image.h - Float image container ------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grayscale float image in [0,1], row-major, as consumed by all six
+/// benchmark applications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IMG_IMAGE_H
+#define KPERF_IMG_IMAGE_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace kperf {
+namespace img {
+
+/// Row-major grayscale image with float samples (nominally in [0,1]).
+class Image {
+public:
+  Image() = default;
+  Image(unsigned Width, unsigned Height, float Fill = 0)
+      : W(Width), H(Height),
+        Pixels(static_cast<size_t>(Width) * Height, Fill) {}
+
+  unsigned width() const { return W; }
+  unsigned height() const { return H; }
+  size_t size() const { return Pixels.size(); }
+  bool empty() const { return Pixels.empty(); }
+
+  float at(unsigned X, unsigned Y) const {
+    assert(X < W && Y < H && "pixel out of range");
+    return Pixels[static_cast<size_t>(Y) * W + X];
+  }
+  void set(unsigned X, unsigned Y, float V) {
+    assert(X < W && Y < H && "pixel out of range");
+    Pixels[static_cast<size_t>(Y) * W + X] = V;
+  }
+
+  /// Clamped sampling (edge-extend), matching kernel boundary handling.
+  float atClamped(int X, int Y) const {
+    int CX = X < 0 ? 0 : (X >= static_cast<int>(W) ? W - 1 : X);
+    int CY = Y < 0 ? 0 : (Y >= static_cast<int>(H) ? H - 1 : Y);
+    return at(static_cast<unsigned>(CX), static_cast<unsigned>(CY));
+  }
+
+  const std::vector<float> &pixels() const { return Pixels; }
+  std::vector<float> &pixels() { return Pixels; }
+
+private:
+  unsigned W = 0;
+  unsigned H = 0;
+  std::vector<float> Pixels;
+};
+
+} // namespace img
+} // namespace kperf
+
+#endif // KPERF_IMG_IMAGE_H

@@ -1,0 +1,95 @@
+//===- img/PGM.cpp ---------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "img/PGM.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace kperf;
+using namespace kperf::img;
+
+namespace {
+
+/// RAII wrapper over std::FILE.
+struct FileCloser {
+  void operator()(std::FILE *F) const {
+    if (F)
+      std::fclose(F);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Reads the next header token, skipping whitespace and '#' comments.
+bool readToken(std::FILE *F, std::string &Token) {
+  Token.clear();
+  int C;
+  while ((C = std::fgetc(F)) != EOF) {
+    if (C == '#') {
+      while ((C = std::fgetc(F)) != EOF && C != '\n')
+        ;
+      continue;
+    }
+    if (!std::isspace(C)) {
+      Token += static_cast<char>(C);
+      break;
+    }
+  }
+  if (Token.empty())
+    return false;
+  while ((C = std::fgetc(F)) != EOF && !std::isspace(C))
+    Token += static_cast<char>(C);
+  return true;
+}
+
+} // namespace
+
+Expected<Image> img::readPGM(const std::string &Path) {
+  FilePtr F(std::fopen(Path.c_str(), "rb"));
+  if (!F)
+    return makeError("cannot open '%s' for reading", Path.c_str());
+  std::string Magic, WStr, HStr, MaxStr;
+  if (!readToken(F.get(), Magic) || Magic != "P5")
+    return makeError("'%s' is not a binary PGM (P5) file", Path.c_str());
+  if (!readToken(F.get(), WStr) || !readToken(F.get(), HStr) ||
+      !readToken(F.get(), MaxStr))
+    return makeError("'%s': truncated PGM header", Path.c_str());
+  long W = std::strtol(WStr.c_str(), nullptr, 10);
+  long H = std::strtol(HStr.c_str(), nullptr, 10);
+  long Max = std::strtol(MaxStr.c_str(), nullptr, 10);
+  if (W <= 0 || H <= 0 || Max <= 0 || Max > 255)
+    return makeError("'%s': unsupported PGM geometry %ldx%ld maxval %ld",
+                     Path.c_str(), W, H, Max);
+  Image Img(static_cast<unsigned>(W), static_cast<unsigned>(H));
+  std::vector<unsigned char> Row(static_cast<size_t>(W));
+  for (long Y = 0; Y < H; ++Y) {
+    if (std::fread(Row.data(), 1, Row.size(), F.get()) != Row.size())
+      return makeError("'%s': truncated PGM pixel data", Path.c_str());
+    for (long X = 0; X < W; ++X)
+      Img.set(static_cast<unsigned>(X), static_cast<unsigned>(Y),
+              static_cast<float>(Row[static_cast<size_t>(X)]) /
+                  static_cast<float>(Max));
+  }
+  return Img;
+}
+
+Error img::writePGM(const Image &Img, const std::string &Path) {
+  FilePtr F(std::fopen(Path.c_str(), "wb"));
+  if (!F)
+    return makeError("cannot open '%s' for writing", Path.c_str());
+  std::fprintf(F.get(), "P5\n%u %u\n255\n", Img.width(), Img.height());
+  std::vector<unsigned char> Row(Img.width());
+  for (unsigned Y = 0; Y < Img.height(); ++Y) {
+    for (unsigned X = 0; X < Img.width(); ++X) {
+      float V = std::min(1.0f, std::max(0.0f, Img.at(X, Y)));
+      Row[X] = static_cast<unsigned char>(V * 255.0f + 0.5f);
+    }
+    if (std::fwrite(Row.data(), 1, Row.size(), F.get()) != Row.size())
+      return makeError("short write to '%s'", Path.c_str());
+  }
+  return Error::success();
+}

@@ -1,0 +1,35 @@
+//===- img/PGM.h - PGM image I/O ----------------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary PGM (P5) reader/writer so users can run the benchmarks on real
+/// images (e.g. the actual USC-SIPI files) instead of the synthetic
+/// dataset. 8-bit samples map linearly to [0,1].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IMG_PGM_H
+#define KPERF_IMG_PGM_H
+
+#include "img/Image.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace kperf {
+namespace img {
+
+/// Reads a binary (P5) PGM file. Supports maxval up to 255 and comments.
+Expected<Image> readPGM(const std::string &Path);
+
+/// Writes \p Img as binary (P5) PGM with maxval 255; samples are clamped
+/// to [0,1] before quantization.
+Error writePGM(const Image &Img, const std::string &Path);
+
+} // namespace img
+} // namespace kperf
+
+#endif // KPERF_IMG_PGM_H

@@ -1,0 +1,255 @@
+//===- ir/CSE.cpp -----------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CSE.h"
+
+#include <unordered_map>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Maximum instruction arity participating in keys (clamp/select take 3).
+constexpr unsigned MaxKeyOperands = 3;
+
+/// Identity of one pure computation within a block. Loads additionally
+/// carry the memory epoch of their root object so that a load is only
+/// merged with an earlier one when no intervening write can have changed
+/// the value.
+struct ExprKey {
+  Opcode Op = Opcode::Add;
+  Builtin Callee = Builtin::Barrier; // Valid when Op == Call.
+  const Value *Operands[MaxKeyOperands] = {nullptr, nullptr, nullptr};
+  uint64_t Epoch = 0; // Valid when Op == Load.
+
+  bool operator==(const ExprKey &O) const {
+    return Op == O.Op && Callee == O.Callee && Epoch == O.Epoch &&
+           Operands[0] == O.Operands[0] && Operands[1] == O.Operands[1] &&
+           Operands[2] == O.Operands[2];
+  }
+};
+
+struct ExprKeyHash {
+  size_t operator()(const ExprKey &K) const {
+    uint64_t H = static_cast<uint64_t>(K.Op) * 0x9e3779b97f4a7c15ull;
+    H ^= static_cast<uint64_t>(K.Callee) + (H << 6) + (H >> 2);
+    for (const Value *Op : K.Operands)
+      H ^= reinterpret_cast<uintptr_t>(Op) + 0x9e3779b97f4a7c15ull +
+           (H << 6) + (H >> 2);
+    H ^= K.Epoch + (H << 6) + (H >> 2);
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Returns true if merging two instances of \p B is always valid. Barrier
+/// is a synchronization point; everything else has no side effects and
+/// returns the same value for the same work item within a launch.
+bool isPureBuiltin(Builtin B) { return B != Builtin::Barrier; }
+
+/// Returns true if \p Op combined with identical operands always produces
+/// an identical value (loads are handled separately via epochs).
+bool isAlwaysPure(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::LogicalAnd:
+  case Opcode::LogicalOr:
+  case Opcode::LogicalNot:
+  case Opcode::Neg:
+  case Opcode::IntToFloat:
+  case Opcode::FloatToInt:
+  case Opcode::Select:
+  case Opcode::Gep:
+    return true;
+  case Opcode::Alloca: // Distinct storage per instruction.
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::Call:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return false;
+  }
+  return false;
+}
+
+bool isCommutative(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::LogicalAnd:
+  case Opcode::LogicalOr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isCommutativeCall(Builtin B) {
+  return B == Builtin::Min || B == Builtin::Max;
+}
+
+/// Walks GEP chains back to the underlying object (argument or alloca).
+const Value *rootObject(const Value *Ptr) {
+  while (const auto *I = dyn_cast<Instruction>(Ptr)) {
+    if (I->opcode() != Opcode::Gep)
+      break;
+    Ptr = I->operand(0);
+  }
+  return Ptr;
+}
+
+/// Tracks which writes have happened so far in the block, so load keys can
+/// express "same address, unchanged memory".
+class MemoryEpochs {
+public:
+  uint64_t epochOf(const Value *Root) {
+    if (isa<Argument>(Root))
+      return ArgEpoch;
+    auto It = AllocaEpoch.find(Root);
+    return It == AllocaEpoch.end() ? 0 : It->second;
+  }
+
+  void noteStore(const Value *Root) {
+    // Two argument pointers may be bound to the same host buffer, so a
+    // store through any argument invalidates every argument-rooted load.
+    // Allocas are distinct objects; only the stored-to one changes.
+    if (isa<Argument>(Root)) {
+      ++ArgEpoch;
+      return;
+    }
+    ++AllocaEpoch[Root];
+  }
+
+  void noteBarrier(const Function &F) {
+    // After a barrier other work items' global and local writes become
+    // visible; private memory is untouched.
+    ++ArgEpoch;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (I->opcode() == Opcode::Alloca &&
+            I->allocaSpace() == AddressSpace::Local)
+          ++AllocaEpoch[I.get()];
+  }
+
+private:
+  uint64_t ArgEpoch = 1;
+  std::unordered_map<const Value *, uint64_t> AllocaEpoch;
+};
+
+/// Deterministic operand ordering for commutative keys: values are ranked
+/// in first-encounter order, never by pointer value (which would make the
+/// canonical form run-dependent).
+class ValueOrder {
+public:
+  unsigned rank(const Value *V) {
+    auto It = Ranks.find(V);
+    if (It != Ranks.end())
+      return It->second;
+    unsigned R = static_cast<unsigned>(Ranks.size());
+    Ranks.emplace(V, R);
+    return R;
+  }
+
+private:
+  std::unordered_map<const Value *, unsigned> Ranks;
+};
+
+} // namespace
+
+unsigned ir::eliminateCommonSubexpressions(Function &F) {
+  // Dup -> canonical first occurrence (always an earlier instruction of
+  // the same block, so dominance is preserved).
+  std::unordered_map<const Value *, Value *> Replacement;
+  ValueOrder Order;
+
+  // Pre-rank arguments so canonical commutative order is stable across
+  // functions with the same shape.
+  for (unsigned I = 0; I < F.numArguments(); ++I)
+    Order.rank(F.argument(I));
+
+  for (const auto &BB : F.blocks()) {
+    std::unordered_map<ExprKey, Instruction *, ExprKeyHash> Available;
+    MemoryEpochs Epochs;
+
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      // Route operands through earlier replacements first so duplicate
+      // chains collapse in a single pass.
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        auto It = Replacement.find(I->operand(OpI));
+        if (It != Replacement.end())
+          I->setOperand(OpI, It->second);
+      }
+
+      switch (I->opcode()) {
+      case Opcode::Store:
+        Epochs.noteStore(rootObject(I->operand(1)));
+        continue;
+      case Opcode::Call:
+        if (I->callee() == Builtin::Barrier) {
+          Epochs.noteBarrier(F);
+          continue;
+        }
+        break;
+      default:
+        break;
+      }
+
+      bool Keyable = isAlwaysPure(I->opcode()) ||
+                     I->opcode() == Opcode::Load ||
+                     (I->opcode() == Opcode::Call &&
+                      isPureBuiltin(I->callee()));
+      if (!Keyable || I->numOperands() > MaxKeyOperands)
+        continue;
+
+      ExprKey Key;
+      Key.Op = I->opcode();
+      if (I->opcode() == Opcode::Call)
+        Key.Callee = I->callee();
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI)
+        Key.Operands[OpI] = I->operand(OpI);
+      if (I->opcode() == Opcode::Load)
+        Key.Epoch = Epochs.epochOf(rootObject(I->operand(0)));
+      bool Canonicalize =
+          (isCommutative(I->opcode()) && I->numOperands() == 2) ||
+          (I->opcode() == Opcode::Call && isCommutativeCall(I->callee()) &&
+           I->numOperands() == 2);
+      if (Canonicalize &&
+          Order.rank(Key.Operands[0]) > Order.rank(Key.Operands[1]))
+        std::swap(Key.Operands[0], Key.Operands[1]);
+
+      auto [It, Inserted] = Available.try_emplace(Key, I);
+      if (!Inserted)
+        Replacement[I] = It->second;
+    }
+  }
+
+  if (Replacement.empty())
+    return 0;
+
+  // Rewrite uses in later blocks (in-block uses were rewritten above).
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        auto It = Replacement.find(I->operand(OpI));
+        if (It != Replacement.end())
+          I->setOperand(OpI, It->second);
+      }
+  return static_cast<unsigned>(Replacement.size());
+}

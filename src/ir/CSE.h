@@ -1,0 +1,45 @@
+//===- ir/CSE.h - Common subexpression elimination ----------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local common subexpression elimination (local value numbering).
+/// The perforation transforms clone the original address arithmetic into
+/// the tile-loading, reconstruction, and body phases, so generated kernels
+/// are full of repeated `y * w + x` chains and repeated `get_global_id`
+/// queries; merging them shrinks the simulated ALU counts the same way a
+/// real kernel compiler would.
+///
+/// What is merged:
+///  * pure arithmetic, comparisons, logicals, casts, selects, and GEPs
+///    with identical (commutativity-canonicalized) operands;
+///  * calls of pure builtins (work-item queries and math functions);
+///  * loads from the same address while no intervening store or barrier
+///    can change the loaded value (per-root memory epochs: a store through
+///    an argument pointer invalidates all argument-rooted loads because
+///    host buffers may alias; a store to an alloca invalidates only that
+///    alloca; a barrier invalidates everything except private allocas).
+///
+/// Duplicates are left in place with their uses redirected; run
+/// eliminateDeadCode() afterwards to delete them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_CSE_H
+#define KPERF_IR_CSE_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Merges block-local common subexpressions in \p F.
+/// \returns the number of instructions whose uses were redirected.
+unsigned eliminateCommonSubexpressions(Function &F);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_CSE_H

@@ -1,0 +1,52 @@
+//===- ir/Clone.cpp --------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+
+using namespace kperf;
+using namespace kperf::ir;
+
+Function *ir::cloneFunction(Module &M, const Function &F,
+                            const std::string &NewName, CloneMap &Map) {
+  Function *NewF = M.createFunction(NewName);
+
+  for (unsigned I = 0; I < F.numArguments(); ++I) {
+    const Argument *A = F.argument(I);
+    Argument *NewA = NewF->addArgument(A->type(), A->name(), A->isConst());
+    Map.Values[A] = NewA;
+  }
+
+  // First pass: create empty blocks so branch targets can be resolved.
+  for (const auto &BB : F.blocks())
+    Map.Blocks[BB.get()] = NewF->createBlock(BB->name());
+
+  // Second pass: clone instructions. Operands referring to instructions in
+  // later blocks cannot occur (verified def-before-use ordering), so a
+  // single forward pass suffices.
+  for (const auto &BB : F.blocks()) {
+    BasicBlock *NewBB = Map.Blocks[BB.get()];
+    for (const auto &I : BB->instructions()) {
+      std::vector<Value *> Operands;
+      Operands.reserve(I->numOperands());
+      for (Value *Op : I->operands())
+        Operands.push_back(Map.lookup(Op));
+      auto NewI = std::make_unique<Instruction>(I->opcode(), I->type(),
+                                                std::move(Operands),
+                                                I->name());
+      if (I->opcode() == Opcode::Alloca)
+        NewI->setAllocaCount(I->allocaCount());
+      if (I->opcode() == Opcode::Call)
+        NewI->setCallee(I->callee());
+      if (I->opcode() == Opcode::Br || I->opcode() == Opcode::CondBr) {
+        NewI->setBranchTarget(0, Map.lookup(I->branchTarget(0)));
+        if (I->opcode() == Opcode::CondBr)
+          NewI->setBranchTarget(1, Map.lookup(I->branchTarget(1)));
+      }
+      Map.Values[I.get()] = NewBB->append(std::move(NewI));
+    }
+  }
+  return NewF;
+}

@@ -1,0 +1,53 @@
+//===- ir/Clone.h - Function cloning -----------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copies a function into the same module under a new name, returning
+/// the value map so transforms can keep talking about "the load of input X"
+/// across the copy. Used by the perforation transforms, which never mutate
+/// the original (accurate) kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_CLONE_H
+#define KPERF_IR_CLONE_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+
+namespace kperf {
+namespace ir {
+
+/// Maps original values/blocks to their clones.
+struct CloneMap {
+  std::unordered_map<const Value *, Value *> Values;
+  std::unordered_map<const BasicBlock *, BasicBlock *> Blocks;
+
+  Value *lookup(const Value *V) const {
+    if (isConstant(V))
+      return const_cast<Value *>(V); // Constants are module-interned.
+    auto It = Values.find(V);
+    assert(It != Values.end() && "value not cloned");
+    return It->second;
+  }
+
+  BasicBlock *lookup(const BasicBlock *BB) const {
+    auto It = Blocks.find(BB);
+    assert(It != Blocks.end() && "block not cloned");
+    return It->second;
+  }
+};
+
+/// Clones \p F into \p M as a new function named \p NewName.
+/// \returns the new function; \p Map receives the old->new mapping.
+Function *cloneFunction(Module &M, const Function &F,
+                        const std::string &NewName, CloneMap &Map);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_CLONE_H

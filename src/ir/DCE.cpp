@@ -1,0 +1,69 @@
+//===- ir/DCE.cpp -----------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DCE.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+bool hasSideEffects(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return true;
+  case Opcode::Call:
+    return I.callee() == Builtin::Barrier;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+unsigned ir::eliminateDeadCode(Function &F) {
+  unsigned Deleted = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::unordered_map<const Value *, unsigned> UseCount;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        for (const Value *Op : I->operands())
+          ++UseCount[Op];
+
+    for (const auto &BB : F.blocks()) {
+      // Collect-then-erase to keep iteration simple.
+      std::vector<const Instruction *> Dead;
+      for (const auto &I : BB->instructions()) {
+        if (hasSideEffects(*I))
+          continue;
+        if (UseCount[I.get()] == 0)
+          Dead.push_back(I.get());
+      }
+      if (Dead.empty())
+        continue;
+      auto &Instrs = BB->mutableInstructions();
+      Instrs.erase(std::remove_if(Instrs.begin(), Instrs.end(),
+                                  [&](const auto &I) {
+                                    for (const Instruction *D : Dead)
+                                      if (D == I.get())
+                                        return true;
+                                    return false;
+                                  }),
+                   Instrs.end());
+      Deleted += static_cast<unsigned>(Dead.size());
+      Changed = true;
+    }
+  }
+  return Deleted;
+}

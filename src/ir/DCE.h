@@ -1,0 +1,33 @@
+//===- ir/DCE.h - Trivial dead code elimination -------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes instructions with no uses and no side effects. Run after the
+/// perforation transforms so that dead address computations left behind by
+/// load rewriting do not execute (they would otherwise inflate the
+/// simulated ALU counts, just as they would waste real GPU cycles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_DCE_H
+#define KPERF_IR_DCE_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Deletes dead instructions in \p F until a fixpoint.
+/// Loads are considered side-effect free (a dead load would be removed by
+/// any real kernel compiler too). Stores, calls, terminators, and allocas
+/// with remaining uses are kept. \returns the number of deleted
+/// instructions.
+unsigned eliminateDeadCode(Function &F);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_DCE_H

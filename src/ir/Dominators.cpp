@@ -1,0 +1,121 @@
+//===- ir/Dominators.cpp ----------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+std::vector<BasicBlock *> ir::successors(const BasicBlock *BB) {
+  std::vector<BasicBlock *> Succs;
+  const Instruction *T = BB->terminator();
+  if (!T)
+    return Succs;
+  if (T->opcode() == Opcode::Br) {
+    Succs.push_back(T->branchTarget(0));
+  } else if (T->opcode() == Opcode::CondBr) {
+    Succs.push_back(T->branchTarget(0));
+    if (T->branchTarget(1) != T->branchTarget(0))
+      Succs.push_back(T->branchTarget(1));
+  }
+  return Succs;
+}
+
+std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+ir::predecessors(const Function &F) {
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *Succ : successors(BB.get()))
+      Preds[Succ].push_back(BB.get());
+  return Preds;
+}
+
+DominatorTree DominatorTree::compute(const Function &F) {
+  DominatorTree DT;
+  DT.Entry = F.entry();
+
+  // Postorder over the reachable subgraph (iterative DFS).
+  std::vector<const BasicBlock *> PostOrder;
+  {
+    std::unordered_map<const BasicBlock *, unsigned> State; // 0/1/2
+    std::vector<const BasicBlock *> Stack = {DT.Entry};
+    while (!Stack.empty()) {
+      const BasicBlock *BB = Stack.back();
+      unsigned &S = State[BB];
+      if (S == 0) {
+        S = 1;
+        for (BasicBlock *Succ : successors(BB))
+          if (State[Succ] == 0)
+            Stack.push_back(Succ);
+      } else {
+        Stack.pop_back();
+        if (S == 1) {
+          S = 2;
+          PostOrder.push_back(BB);
+        }
+      }
+    }
+  }
+  for (unsigned I = 0; I < PostOrder.size(); ++I)
+    DT.PostOrderIndex[PostOrder[I]] = I;
+
+  auto Preds = predecessors(F);
+
+  // Cooper-Harvey-Kennedy: walk reverse postorder intersecting
+  // predecessors' dominators until a fixpoint.
+  auto Intersect = [&](const BasicBlock *A, const BasicBlock *B) {
+    while (A != B) {
+      while (DT.PostOrderIndex.at(A) < DT.PostOrderIndex.at(B))
+        A = DT.IDom.at(A);
+      while (DT.PostOrderIndex.at(B) < DT.PostOrderIndex.at(A))
+        B = DT.IDom.at(B);
+    }
+    return A;
+  };
+
+  DT.IDom[DT.Entry] = DT.Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = PostOrder.rbegin(), E = PostOrder.rend(); It != E;
+         ++It) {
+      const BasicBlock *BB = *It;
+      if (BB == DT.Entry)
+        continue;
+      const BasicBlock *NewIDom = nullptr;
+      for (const BasicBlock *Pred : Preds[BB]) {
+        if (!DT.IDom.count(Pred))
+          continue; // Unreachable or not yet processed.
+        NewIDom = NewIDom ? Intersect(Pred, NewIDom) : Pred;
+      }
+      if (!NewIDom)
+        continue; // All predecessors unreachable.
+      auto It2 = DT.IDom.find(BB);
+      if (It2 == DT.IDom.end() || It2->second != NewIDom) {
+        DT.IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  return DT;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B's dominator chain up to the entry.
+  const BasicBlock *Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    if (Cur == Entry)
+      return false;
+    Cur = IDom.at(Cur);
+  }
+}

@@ -1,0 +1,116 @@
+//===- ir/IRBuilder.h - Instruction construction helper ----------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder appends instructions at an insertion point with per-opcode
+/// type checking asserted at construction time (the verifier re-checks the
+/// same invariants after transforms).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_IRBUILDER_H
+#define KPERF_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Appends new instructions to a basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  void setInsertPoint(BasicBlock *BB) {
+    Block = BB;
+    InsertAtIndex = false;
+  }
+
+  /// Inserts before position \p Index of \p BB instead of appending; each
+  /// created instruction advances the position.
+  void setInsertPoint(BasicBlock *BB, size_t Index) {
+    Block = BB;
+    InsertAtIndex = true;
+    Index_ = Index;
+  }
+
+  BasicBlock *insertBlock() const { return Block; }
+  Module &module() const { return M; }
+
+  // Constant helpers.
+  ConstantInt *getInt(int32_t V) { return M.getInt(V); }
+  ConstantFloat *getFloat(float V) { return M.getFloat(V); }
+  ConstantBool *getBool(bool V) { return M.getBool(V); }
+
+  /// Creates a private or local alloca of \p Count elements of \p Elem.
+  Instruction *createAlloca(ScalarKind Elem, unsigned Count,
+                            AddressSpace Space, std::string Name);
+
+  Instruction *createLoad(Value *Ptr, std::string Name = "");
+  Instruction *createStore(Value *Val, Value *Ptr);
+  Instruction *createGep(Value *Ptr, Value *Index, std::string Name = "");
+
+  Instruction *createBinary(Opcode Op, Value *LHS, Value *RHS,
+                            std::string Name = "");
+  Instruction *createAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Add, L, R, std::move(Name));
+  }
+  Instruction *createSub(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Sub, L, R, std::move(Name));
+  }
+  Instruction *createMul(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Mul, L, R, std::move(Name));
+  }
+  Instruction *createDiv(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Div, L, R, std::move(Name));
+  }
+  Instruction *createRem(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Rem, L, R, std::move(Name));
+  }
+
+  Instruction *createCmp(Opcode Op, Value *LHS, Value *RHS,
+                         std::string Name = "");
+  Instruction *createLogical(Opcode Op, Value *LHS, Value *RHS,
+                             std::string Name = "");
+  Instruction *createNot(Value *V, std::string Name = "");
+  Instruction *createNeg(Value *V, std::string Name = "");
+  Instruction *createIntToFloat(Value *V, std::string Name = "");
+  Instruction *createFloatToInt(Value *V, std::string Name = "");
+  Instruction *createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                            std::string Name = "");
+
+  /// Creates a builtin call; result type is derived from the builtin and
+  /// argument types.
+  Instruction *createCall(Builtin B, std::vector<Value *> Args,
+                          std::string Name = "");
+
+  Instruction *createBr(BasicBlock *Target);
+  Instruction *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                            BasicBlock *FalseBB);
+  Instruction *createRet();
+
+  // Convenience compositions used heavily by the transforms.
+
+  /// i32 constant folding add: returns a constant if both are constants.
+  Value *foldAdd(Value *L, Value *R);
+
+  /// Emits min(max(V, Lo), Hi) via the Clamp builtin.
+  Instruction *createClampInt(Value *V, Value *Lo, Value *Hi,
+                              std::string Name = "");
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> I);
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+  bool InsertAtIndex = false;
+  size_t Index_ = 0;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_IRBUILDER_H

@@ -1,0 +1,180 @@
+//===- ir/Instruction.h - IR instructions ------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction set of the kernel IR. Instructions are Values (their result)
+/// with an opcode and an operand list. Control flow is explicit via basic
+/// blocks and Br/CondBr/Ret terminators. There are no phi nodes; mutable
+/// variables are modeled with private Alloca + Load/Store (pre-mem2crux
+/// form), which keeps both the interpreter and the transforms simple.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_INSTRUCTION_H
+#define KPERF_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+#include <vector>
+
+namespace kperf {
+namespace ir {
+
+class BasicBlock;
+
+/// Instruction opcodes.
+enum class Opcode : uint8_t {
+  // Memory.
+  Alloca, ///< Reserve Count elements in Private or Local space.
+  Load,   ///< Load scalar through a pointer operand.
+  Store,  ///< Store operand 0 through pointer operand 1.
+  Gep,    ///< Pointer + element index -> pointer.
+  // Integer/float arithmetic (operands and result share a numeric type).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  // Comparisons (numeric operands, bool result).
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  // Logical (bool operands).
+  LogicalAnd,
+  LogicalOr,
+  LogicalNot,
+  // Unary numeric.
+  Neg,
+  IntToFloat,
+  FloatToInt,
+  // Misc.
+  Select, ///< Select(cond, a, b).
+  Call,   ///< Builtin call, see Builtin.
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+};
+
+/// Returns the mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Builtins callable from kernels. Work-item queries take a dimension
+/// constant; math builtins are overloaded on int/float where sensible.
+enum class Builtin : uint8_t {
+  GetGlobalId,
+  GetLocalId,
+  GetGroupId,
+  GetLocalSize,
+  GetGlobalSize,
+  GetNumGroups,
+  Barrier, ///< Work-group barrier; interpreter synchronization point.
+  Min,
+  Max,
+  Clamp, ///< clamp(x, lo, hi).
+  Abs,
+  Sqrt,
+  Exp,
+  Log,
+  Pow,
+  Floor,
+};
+
+/// Returns the source-level name of \p B.
+const char *builtinName(Builtin B);
+
+/// A single IR instruction.
+class Instruction : public Value {
+public:
+  Instruction(Opcode Op, Type Ty, std::vector<Value *> Operands,
+              std::string Name)
+      : Value(ValueKind::Instruction, Ty, std::move(Name)), Op(Op),
+        Operands(std::move(Operands)) {}
+
+  Opcode opcode() const { return Op; }
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces every use of \p From in this instruction's operand list.
+  void replaceUsesOfWith(Value *From, Value *To) {
+    for (Value *&Op : Operands)
+      if (Op == From)
+        Op = To;
+  }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+  }
+
+  // Alloca accessors.
+  AddressSpace allocaSpace() const {
+    assert(Op == Opcode::Alloca);
+    return type().addressSpace();
+  }
+  unsigned allocaCount() const {
+    assert(Op == Opcode::Alloca);
+    return AllocaCount;
+  }
+  void setAllocaCount(unsigned N) {
+    assert(Op == Opcode::Alloca);
+    AllocaCount = N;
+  }
+
+  // Call accessors.
+  Builtin callee() const {
+    assert(Op == Opcode::Call);
+    return Callee;
+  }
+  void setCallee(Builtin B) {
+    assert(Op == Opcode::Call);
+    Callee = B;
+  }
+
+  // Branch target accessors; targets are stored out of the operand list
+  // because they are blocks, not values.
+  BasicBlock *branchTarget(unsigned I) const {
+    assert((Op == Opcode::Br || Op == Opcode::CondBr) && I < 2);
+    return Targets[I];
+  }
+  void setBranchTarget(unsigned I, BasicBlock *BB) {
+    assert((Op == Opcode::Br || Op == Opcode::CondBr) && I < 2);
+    Targets[I] = BB;
+  }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Instruction;
+  }
+
+private:
+  Opcode Op;
+  std::vector<Value *> Operands;
+  BasicBlock *Parent = nullptr;
+  BasicBlock *Targets[2] = {nullptr, nullptr};
+  unsigned AllocaCount = 1;
+  Builtin Callee = Builtin::Barrier;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_INSTRUCTION_H

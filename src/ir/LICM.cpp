@@ -1,0 +1,251 @@
+//===- ir/LICM.cpp ----------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LICM.h"
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// One natural loop: header plus body (header included), and the unique
+/// preheader the hoisted code moves to.
+struct Loop {
+  BasicBlock *Header = nullptr;
+  BasicBlock *Preheader = nullptr;
+  std::unordered_set<const BasicBlock *> Body;
+};
+
+/// Collects the natural loop of back edge \p Latch -> \p Header (reverse
+/// flood from the latch that stops at the header).
+void collectLoopBody(BasicBlock *Header, BasicBlock *Latch,
+                     const std::unordered_map<const BasicBlock *,
+                                              std::vector<BasicBlock *>>
+                         &Preds,
+                     std::unordered_set<const BasicBlock *> &Body) {
+  Body.insert(Header);
+  std::vector<BasicBlock *> Work;
+  if (Body.insert(Latch).second)
+    Work.push_back(Latch);
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    auto It = Preds.find(BB);
+    if (It == Preds.end())
+      continue;
+    for (BasicBlock *P : It->second)
+      if (Body.insert(P).second)
+        Work.push_back(P);
+  }
+}
+
+/// Finds all natural loops of \p F that have a usable preheader. Loops
+/// sharing a header are merged.
+std::vector<Loop> findLoops(Function &F, const DominatorTree &DT) {
+  auto Preds = predecessors(F);
+  std::unordered_map<const BasicBlock *, Loop> ByHeader;
+  for (const auto &BB : F.blocks()) {
+    if (!DT.isReachable(BB.get()))
+      continue;
+    for (BasicBlock *Succ : successors(BB.get())) {
+      if (!DT.dominates(Succ, BB.get()))
+        continue; // Not a back edge.
+      Loop &L = ByHeader[Succ];
+      L.Header = Succ;
+      collectLoopBody(Succ, BB.get(), Preds, L.Body);
+    }
+  }
+
+  std::vector<Loop> Loops;
+  for (auto &[Header, L] : ByHeader) {
+    // Preheader: the unique out-of-loop predecessor, ending in an
+    // unconditional branch (so moved code executes iff the loop is
+    // entered from it).
+    BasicBlock *Preheader = nullptr;
+    bool Unique = true;
+    for (BasicBlock *P : Preds[Header]) {
+      if (L.Body.count(P))
+        continue;
+      if (Preheader)
+        Unique = false;
+      Preheader = P;
+    }
+    if (!Preheader || !Unique)
+      continue;
+    const Instruction *T = Preheader->terminator();
+    if (!T || T->opcode() != Opcode::Br)
+      continue;
+    L.Preheader = Preheader;
+    Loops.push_back(std::move(L));
+  }
+  // Inner loops first (smaller bodies), so one sweep hoists innermost
+  // code before the enclosing loop is considered.
+  std::sort(Loops.begin(), Loops.end(),
+            [](const Loop &A, const Loop &B) {
+              if (A.Body.size() != B.Body.size())
+                return A.Body.size() < B.Body.size();
+              return A.Header->name() < B.Header->name();
+            });
+  return Loops;
+}
+
+/// Returns true if executing \p I cannot fault and has no side effects.
+/// Loads are handled separately.
+bool isSafeToSpeculate(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::LogicalAnd:
+  case Opcode::LogicalOr:
+  case Opcode::LogicalNot:
+  case Opcode::Neg:
+  case Opcode::IntToFloat:
+  case Opcode::FloatToInt:
+  case Opcode::Select:
+  case Opcode::Gep: // Address arithmetic only; the access may not move.
+    return true;
+  case Opcode::Div:
+  case Opcode::Rem: {
+    // Integer division by zero faults; float by zero is defined (inf).
+    const Value *Rhs = I.operand(1);
+    if (I.type().isFloat())
+      return true;
+    const auto *C = dyn_cast<ConstantInt>(Rhs);
+    return C && C->value() != 0;
+  }
+  case Opcode::Call:
+    return I.callee() != Builtin::Barrier;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+unsigned ir::hoistLoopInvariants(Function &F) {
+  unsigned Hoisted = 0;
+  bool AnyChange = true;
+  // Re-deriving loops after each round keeps the (rarely iterated)
+  // fixpoint simple; kernels have a handful of loops.
+  while (AnyChange) {
+    AnyChange = false;
+    DominatorTree DT = DominatorTree::compute(F);
+    for (Loop &L : findLoops(F, DT)) {
+      // Hoisting into a block that comes later in the block list than a
+      // use would defeat the verifier's ordering rule; structured
+      // frontends always place the preheader first, but guard anyway.
+      size_t PreIdx = F.blockIndex(L.Preheader);
+      bool OrderOk = true;
+      for (const BasicBlock *BB : L.Body)
+        OrderOk &= PreIdx < F.blockIndex(BB);
+      if (!OrderOk)
+        continue;
+
+      // Allocas stored to inside this loop: their loads must not move.
+      std::unordered_set<const Value *> StoredAllocas;
+      bool HasArgStore = false;
+      for (const BasicBlock *BB : L.Body)
+        for (const auto &I : BB->instructions()) {
+          if (I->opcode() != Opcode::Store)
+            continue;
+          const Value *Ptr = I->operand(1);
+          while (const auto *G = dyn_cast<Instruction>(Ptr)) {
+            if (G->opcode() != Opcode::Gep)
+              break;
+            Ptr = G->operand(0);
+          }
+          if (isa<Argument>(Ptr))
+            HasArgStore = true;
+          else
+            StoredAllocas.insert(Ptr);
+        }
+      (void)HasArgStore; // Argument loads are never hoisted anyway.
+
+      // Values known loop-invariant (hoisted or defined outside).
+      auto IsInvariantValue = [&](const Value *V) {
+        const auto *I = dyn_cast<Instruction>(V);
+        if (!I)
+          return true; // Constants and arguments.
+        return L.Body.count(I->parent()) == 0;
+      };
+
+      // Iterate loop blocks in function order, not set order: hoisted
+      // instructions land in the preheader in a deterministic sequence
+      // (unordered_set iteration would vary run to run).
+      std::vector<const BasicBlock *> OrderedBody;
+      for (const auto &BB : F.blocks())
+        if (L.Body.count(BB.get()))
+          OrderedBody.push_back(BB.get());
+
+      bool LoopChanged = true;
+      while (LoopChanged) {
+        LoopChanged = false;
+        for (const BasicBlock *BB : OrderedBody) {
+          // Snapshot: hoisting mutates the instruction vector.
+          std::vector<Instruction *> Instrs;
+          Instrs.reserve(BB->size());
+          for (const auto &I :
+               const_cast<BasicBlock *>(BB)->instructions())
+            Instrs.push_back(I.get());
+
+          for (Instruction *I : Instrs) {
+            bool Movable = false;
+            if (isSafeToSpeculate(*I)) {
+              Movable = true;
+            } else if (I->opcode() == Opcode::Load) {
+              // Private scalar variable: the pointer is the alloca
+              // itself (always in bounds) and nothing in the loop
+              // stores to it.
+              const auto *A = dyn_cast<Instruction>(I->operand(0));
+              Movable = A && A->opcode() == Opcode::Alloca &&
+                        A->allocaSpace() == AddressSpace::Private &&
+                        !StoredAllocas.count(A) &&
+                        L.Body.count(A->parent()) == 0;
+            }
+            if (!Movable)
+              continue;
+            bool OperandsInvariant = true;
+            for (const Value *Op : I->operands())
+              OperandsInvariant &= IsInvariantValue(Op);
+            if (!OperandsInvariant)
+              continue;
+
+            // Splice I out of its block and append it before the
+            // preheader's terminator.
+            auto &From =
+                const_cast<BasicBlock *>(BB)->mutableInstructions();
+            auto It = std::find_if(
+                From.begin(), From.end(),
+                [&](const auto &P) { return P.get() == I; });
+            assert(It != From.end() && "instruction vanished");
+            std::unique_ptr<Instruction> Owned = std::move(*It);
+            From.erase(It);
+            L.Preheader->insert(L.Preheader->size() - 1,
+                                std::move(Owned));
+            ++Hoisted;
+            LoopChanged = true;
+            AnyChange = true;
+          }
+        }
+      }
+    }
+    if (!AnyChange)
+      break;
+  }
+  return Hoisted;
+}

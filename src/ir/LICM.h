@@ -1,0 +1,44 @@
+//===- ir/LICM.h - Loop-invariant code motion ---------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative loop-invariant code motion over the natural loops of a
+/// kernel. The PCL frontend models every mutable variable as a private
+/// alloca, so loop bodies re-load values like the buffer width and the
+/// work-item coordinates on every iteration; hoisting those loads (and
+/// the arithmetic over them) out of the filter-window loops is the main
+/// dynamic ALU saving a real kernel compiler would get from mem2reg.
+///
+/// Hoisting is speculation-safe by construction -- the simulated device
+/// faults on out-of-bounds accesses, so only never-faulting instructions
+/// move:
+///  * pure arithmetic/casts/comparisons/selects/GEPs with loop-invariant
+///    operands (Div/Rem only when the divisor is a nonzero constant);
+///  * pure builtin calls (math and work-item queries);
+///  * loads from *private scalar allocas* (the pointer operand is the
+///    alloca itself) that are not stored to anywhere inside the loop.
+///
+/// Loops whose header has no unique out-of-loop predecessor ending in an
+/// unconditional branch (a preheader) are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_LICM_H
+#define KPERF_IR_LICM_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Hoists loop-invariant instructions in \p F until a fixpoint.
+/// \returns the number of instructions moved.
+unsigned hoistLoopInvariants(Function &F);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_LICM_H

@@ -1,0 +1,181 @@
+//===- ir/MemOpt.cpp --------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/MemOpt.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Walks GEP chains back to the underlying object (argument or alloca).
+const Value *rootObject(const Value *Ptr) {
+  while (const auto *I = dyn_cast<Instruction>(Ptr)) {
+    if (I->opcode() != Opcode::Gep)
+      break;
+    Ptr = I->operand(0);
+  }
+  return Ptr;
+}
+
+bool isPrivateAlloca(const Value *Root) {
+  const auto *A = dyn_cast<Instruction>(Root);
+  return A && A->opcode() == Opcode::Alloca &&
+         A->allocaSpace() == AddressSpace::Private;
+}
+
+bool isLocalAlloca(const Value *Root) {
+  const auto *A = dyn_cast<Instruction>(Root);
+  return A && A->opcode() == Opcode::Alloca &&
+         A->allocaSpace() == AddressSpace::Local;
+}
+
+} // namespace
+
+unsigned ir::forwardStores(Function &F) {
+  // Load instruction -> value it must yield.
+  std::unordered_map<const Value *, Value *> Replacement;
+
+  for (const auto &BB : F.blocks()) {
+    // Known memory contents, by exact pointer value. Entries keyed by a
+    // pointer are only trusted while no aliasing write intervenes.
+    std::unordered_map<const Value *, Value *> Known;
+
+    auto InvalidateRoot = [&](const Value *Root) {
+      for (auto It = Known.begin(); It != Known.end();)
+        It = rootObject(It->first) == Root ? Known.erase(It)
+                                           : std::next(It);
+    };
+    auto InvalidateIf = [&](auto Pred) {
+      for (auto It = Known.begin(); It != Known.end();)
+        It = Pred(rootObject(It->first)) ? Known.erase(It)
+                                         : std::next(It);
+    };
+
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      // Route operands through earlier replacements so forwarded chains
+      // collapse in one pass.
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        auto It = Replacement.find(I->operand(OpI));
+        if (It != Replacement.end())
+          I->setOperand(OpI, It->second);
+      }
+
+      switch (I->opcode()) {
+      case Opcode::Store: {
+        const Value *Ptr = I->operand(1);
+        const Value *Root = rootObject(Ptr);
+        if (isa<Argument>(Root)) {
+          // May alias any argument buffer; forget everything
+          // argument-rooted. Private/local contents are unaffected.
+          InvalidateIf(
+              [](const Value *R) { return isa<Argument>(R); });
+        } else {
+          // A write to one alloca element may alias any other pointer
+          // into the same alloca (indices are runtime values).
+          InvalidateRoot(Root);
+        }
+        // Forwarding through argument pointers is unsafe (the host may
+        // bind one buffer to two arguments); remember alloca contents
+        // only.
+        if (!isa<Argument>(Root))
+          Known[Ptr] = I->operand(0);
+        break;
+      }
+      case Opcode::Load: {
+        const Value *Ptr = I->operand(0);
+        auto It = Known.find(Ptr);
+        if (It != Known.end())
+          Replacement[I] = It->second;
+        break;
+      }
+      case Opcode::Call:
+        if (I->callee() == Builtin::Barrier)
+          // Other work items' writes to local memory become visible;
+          // private memory is per-item and survives.
+          InvalidateIf([](const Value *R) {
+            return isLocalAlloca(R) || isa<Argument>(R);
+          });
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  if (Replacement.empty())
+    return 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        auto It = Replacement.find(I->operand(OpI));
+        if (It != Replacement.end())
+          I->setOperand(OpI, It->second);
+      }
+  return static_cast<unsigned>(Replacement.size());
+}
+
+unsigned ir::eliminateDeadStores(Function &F) {
+  std::unordered_set<const Instruction *> Dead;
+
+  for (const auto &BB : F.blocks()) {
+    // Latest unobserved store per exact pointer (private allocas only --
+    // local memory may be read by other work items, and argument
+    // buffers by the host).
+    std::unordered_map<const Value *, Instruction *> Pending;
+
+    auto ForgetRoot = [&](const Value *Root) {
+      for (auto It = Pending.begin(); It != Pending.end();)
+        It = rootObject(It->first) == Root ? Pending.erase(It)
+                                           : std::next(It);
+    };
+
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      switch (I->opcode()) {
+      case Opcode::Store: {
+        const Value *Ptr = I->operand(1);
+        const Value *Root = rootObject(Ptr);
+        if (!isPrivateAlloca(Root))
+          break;
+        auto It = Pending.find(Ptr);
+        if (It != Pending.end())
+          Dead.insert(It->second); // Overwritten before any read.
+        // A store to a sibling element does not overwrite, but it also
+        // does not observe: older pending stores to the same root stay
+        // pending only if their pointer differs -- which is exactly the
+        // state after the update below.
+        Pending[Ptr] = I;
+        break;
+      }
+      case Opcode::Load:
+        // Any load from the same alloca might observe a pending store
+        // (distinct gep values can compute equal addresses).
+        ForgetRoot(rootObject(I->operand(0)));
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  if (Dead.empty())
+    return 0;
+  for (const auto &BB : F.blocks()) {
+    auto &Instrs = BB->mutableInstructions();
+    Instrs.erase(std::remove_if(Instrs.begin(), Instrs.end(),
+                                [&](const auto &I) {
+                                  return Dead.count(I.get()) != 0;
+                                }),
+                 Instrs.end());
+  }
+  return static_cast<unsigned>(Dead.size());
+}

@@ -1,0 +1,49 @@
+//===- ir/MemOpt.h - Private-memory traffic optimizations ---------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local memory traffic cleanups over the alloca-based variables the
+/// PCL frontend emits:
+///
+///  * **store-to-load forwarding** -- a load that follows a store to the
+///    same address in the same block, with no intervening write that
+///    could alias, yields the stored value directly;
+///  * **dead-store elimination** -- a store to a private alloca that is
+///    overwritten by a later store to the same address in the same block,
+///    with no intervening read that could observe it, is removed.
+///
+/// Aliasing is resolved with the same conservative rules as CSE: allocas
+/// are distinct objects (and never alias arguments); any store through an
+/// argument pointer may alias every other argument; barriers publish
+/// local and global memory but leave private memory alone. Forwarding is
+/// additionally restricted to private and local allocas -- forwarding
+/// through an argument pointer could hide host-visible buffer aliasing.
+///
+/// Forwarded loads become dead; run eliminateDeadCode() afterwards (the
+/// pipeline does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_MEMOPT_H
+#define KPERF_IR_MEMOPT_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Forwards stored values to subsequent same-address loads in \p F.
+/// \returns the number of loads replaced.
+unsigned forwardStores(Function &F);
+
+/// Deletes private-alloca stores that are overwritten before any read.
+/// \returns the number of stores removed.
+unsigned eliminateDeadStores(Function &F);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_MEMOPT_H

@@ -1,0 +1,53 @@
+//===- ir/Passes.cpp --------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Passes.h"
+
+#include "ir/CSE.h"
+#include "ir/DCE.h"
+#include "ir/LICM.h"
+#include "ir/MemOpt.h"
+#include "ir/Simplify.h"
+
+using namespace kperf;
+using namespace kperf::ir;
+
+PipelineStats ir::runPipeline(Function &F, Module &M,
+                              PipelineOptions Options) {
+  PipelineStats Stats;
+  // Each pass runs to its own fixpoint, so one round with no effect from
+  // any pass is a global fixpoint. Cap the rounds defensively; real
+  // kernels settle in two or three.
+  const unsigned MaxRounds = 16;
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    unsigned Simplified = Options.Simplify ? simplifyFunction(F, M) : 0;
+    unsigned Merged =
+        Options.CSE ? eliminateCommonSubexpressions(F) : 0;
+    // Forwarding runs after CSE so duplicate GEPs have been merged and
+    // pointer identity finds every same-address pair.
+    unsigned Forwarded = Options.MemOpt ? forwardStores(F) : 0;
+    unsigned Hoisted = Options.LICM ? hoistLoopInvariants(F) : 0;
+    unsigned DeadStores =
+        Options.MemOpt ? eliminateDeadStores(F) : 0;
+    unsigned Deleted = Options.DCE ? eliminateDeadCode(F) : 0;
+    Stats.Simplified += Simplified;
+    Stats.Merged += Merged;
+    Stats.Forwarded += Forwarded;
+    Stats.Hoisted += Hoisted;
+    Stats.DeadStores += DeadStores;
+    Stats.Deleted += Deleted;
+    ++Stats.Iterations;
+    if (Simplified + Merged + Forwarded + Hoisted + DeadStores +
+            Deleted ==
+        0)
+      break;
+  }
+  return Stats;
+}
+
+PipelineStats ir::runDefaultPipeline(Function &F, Module &M) {
+  return runPipeline(F, M, PipelineOptions());
+}

@@ -1,0 +1,66 @@
+//===- ir/Passes.h - Standard optimization pipeline ---------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard pipeline run over generated kernels: simplify (constant
+/// folding + peepholes), CSE (local value numbering), and DCE, iterated to
+/// a fixpoint. The perforation and output-approximation transforms run it
+/// on every kernel they emit; the simplifications interact (folding
+/// exposes identical subexpressions, merging exposes dead code), which is
+/// why a single ordering is owned here instead of by each transform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_PASSES_H
+#define KPERF_IR_PASSES_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// What the pipeline did, for statistics and the `kperfc passes` report.
+struct PipelineStats {
+  unsigned Simplified = 0; ///< Values rewritten by simplifyFunction().
+  unsigned Merged = 0;     ///< Duplicates merged by CSE.
+  unsigned Forwarded = 0;  ///< Loads replaced by store-to-load forwarding.
+  unsigned Hoisted = 0;    ///< Instructions moved out of loops by LICM.
+  unsigned DeadStores = 0; ///< Overwritten-before-read stores removed.
+  unsigned Deleted = 0;    ///< Instructions removed by DCE.
+  unsigned Iterations = 0; ///< Fixpoint rounds executed.
+
+  unsigned total() const {
+    return Simplified + Merged + Forwarded + Hoisted + DeadStores +
+           Deleted;
+  }
+};
+
+/// Which passes the pipeline runs. Everything defaults on; the switches
+/// exist for the pass-ablation benchmark (bench_passes) and for debugging
+/// a transform with the cleanups out of the way.
+struct PipelineOptions {
+  bool Simplify = true;
+  bool CSE = true;
+  bool MemOpt = true; ///< Store forwarding + dead-store elimination.
+  bool LICM = true;
+  bool DCE = true;
+
+  static PipelineOptions none() {
+    return {false, false, false, false, false};
+  }
+};
+
+/// Runs the enabled passes on \p F until nothing changes. \p M must own
+/// \p F (the simplifier interns constants there).
+PipelineStats runPipeline(Function &F, Module &M, PipelineOptions Options);
+
+/// Runs simplify + CSE + DCE on \p F until nothing changes.
+PipelineStats runDefaultPipeline(Function &F, Module &M);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_PASSES_H

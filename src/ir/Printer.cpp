@@ -1,0 +1,123 @@
+//===- ir/Printer.cpp ------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+class PrinterImpl {
+public:
+  explicit PrinterImpl(const Function &F) : F(F) {}
+
+  std::string run() {
+    nameValues();
+    Out += "kernel " + F.name() + "(";
+    for (unsigned I = 0; I < F.numArguments(); ++I) {
+      if (I)
+        Out += ", ";
+      const Argument *A = F.argument(I);
+      if (A->isConst())
+        Out += "const ";
+      Out += A->type().str() + " %" + A->name();
+    }
+    Out += ") {\n";
+    for (const auto &BB : F.blocks()) {
+      Out += BB->name() + ":\n";
+      for (const auto &I : BB->instructions())
+        printInstruction(*I);
+    }
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  void nameValues() {
+    unsigned Next = 0;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (!I->type().isVoid()) {
+          std::string Name = I->name().empty()
+                                 ? format("%u", Next++)
+                                 : I->name();
+          Names[I.get()] = Name;
+        }
+  }
+
+  std::string ref(const Value *V) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return format("%d", CI->value());
+    if (const auto *CF = dyn_cast<ConstantFloat>(V))
+      return format("%g", static_cast<double>(CF->value()));
+    if (const auto *CB = dyn_cast<ConstantBool>(V))
+      return CB->value() ? "true" : "false";
+    if (const auto *A = dyn_cast<Argument>(V))
+      return "%" + A->name();
+    auto It = Names.find(cast<Instruction>(V));
+    assert(It != Names.end() && "reference to unnamed instruction");
+    return "%" + It->second;
+  }
+
+  void printInstruction(const Instruction &I) {
+    Out += "  ";
+    if (!I.type().isVoid())
+      Out += "%" + Names[&I] + " = ";
+    switch (I.opcode()) {
+    case Opcode::Alloca:
+      Out += format("alloca %s x %u", I.type().str().c_str(),
+                    I.allocaCount());
+      break;
+    case Opcode::Br:
+      Out += "br " + I.branchTarget(0)->name();
+      break;
+    case Opcode::CondBr:
+      Out += "condbr " + ref(I.operand(0)) + ", " +
+             I.branchTarget(0)->name() + ", " + I.branchTarget(1)->name();
+      break;
+    case Opcode::Call:
+      Out += std::string("call ") + builtinName(I.callee()) + "(";
+      for (unsigned OI = 0; OI < I.numOperands(); ++OI) {
+        if (OI)
+          Out += ", ";
+        Out += ref(I.operand(OI));
+      }
+      Out += ")";
+      break;
+    default:
+      Out += opcodeName(I.opcode());
+      for (unsigned OI = 0; OI < I.numOperands(); ++OI)
+        Out += (OI ? ", " : " ") + ref(I.operand(OI));
+      break;
+    }
+    Out += "\n";
+  }
+
+  const Function &F;
+  std::string Out;
+  std::unordered_map<const Instruction *, std::string> Names;
+};
+
+} // namespace
+
+std::string ir::printFunction(const Function &F) {
+  return PrinterImpl(F).run();
+}
+
+std::string ir::printModule(const Module &M) {
+  std::string Out;
+  for (size_t I = 0; I < M.numFunctions(); ++I) {
+    if (I)
+      Out += "\n";
+    Out += printFunction(*M.functionAt(I));
+  }
+  return Out;
+}

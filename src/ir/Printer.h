@@ -1,0 +1,33 @@
+//===- ir/Printer.h - Textual IR dump ----------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions as readable text for debugging, golden tests, and the
+/// example binaries. The format is write-only (there is no IR parser; the
+/// PCL frontend is the only producer of IR from text).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_PRINTER_H
+#define KPERF_IR_PRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace kperf {
+namespace ir {
+
+/// Renders \p F as text. Unnamed values get sequential %N names.
+std::string printFunction(const Function &F);
+
+/// Renders every function in \p M.
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_PRINTER_H

@@ -1,0 +1,42 @@
+//===- ir/Simplify.h - Constant folding and peepholes -------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local simplification pass: constant folding, algebraic identities, and
+/// trivial control-flow cleanup. Run on generated kernels (after the
+/// perforation transforms, before DCE) so that the constants the
+/// transforms bake in -- tile widths, halos, periods -- fold away instead
+/// of executing on the simulated device, mirroring what any real kernel
+/// compiler would do.
+///
+/// Performed rewrites:
+///  * integer/float/bool constant folding of all arithmetic, comparisons,
+///    logicals, selects, and the pure math builtins;
+///  * identities: x+0, x-0, x*1, x*0, x/1, 0/x, x&&true, x||false,
+///    select(const, a, b), not(not(x)), double negation;
+///  * condbr on a constant condition becomes an unconditional branch.
+///
+/// The pass never removes instructions itself (uses may remain); pair it
+/// with eliminateDeadCode().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_SIMPLIFY_H
+#define KPERF_IR_SIMPLIFY_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Simplifies \p F to a fixpoint, interning new constants in \p M (which
+/// must own \p F). \returns the number of values rewritten.
+unsigned simplifyFunction(Function &F, Module &M);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_SIMPLIFY_H

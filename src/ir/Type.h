@@ -1,0 +1,103 @@
+//===- ir/Type.h - Kernel IR types -------------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR type system: scalar types (void, bool, int32, float32) and
+/// pointers to scalars qualified by an OpenCL-style address space. Types are
+/// small value types, compared structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_TYPE_H
+#define KPERF_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace kperf {
+namespace ir {
+
+/// OpenCL-style disjoint address spaces.
+enum class AddressSpace : uint8_t {
+  Private, ///< Per-work-item memory (registers / spills).
+  Local,   ///< Per-work-group shared memory.
+  Global,  ///< Device-wide memory backed by host buffers.
+};
+
+/// Returns the OpenCL keyword for \p Space.
+const char *addressSpaceName(AddressSpace Space);
+
+/// Scalar component of a type.
+enum class ScalarKind : uint8_t { Void, Bool, Int, Float };
+
+/// A scalar or pointer-to-scalar type.
+class Type {
+public:
+  Type() = default;
+
+  static Type voidTy() { return Type(ScalarKind::Void, false, {}); }
+  static Type boolTy() { return Type(ScalarKind::Bool, false, {}); }
+  static Type intTy() { return Type(ScalarKind::Int, false, {}); }
+  static Type floatTy() { return Type(ScalarKind::Float, false, {}); }
+
+  /// Builds a pointer to \p Elem in \p Space. \p Elem must be int or float.
+  static Type pointerTo(ScalarKind Elem, AddressSpace Space) {
+    assert((Elem == ScalarKind::Int || Elem == ScalarKind::Float) &&
+           "pointers must point to int or float");
+    return Type(Elem, true, Space);
+  }
+
+  bool isVoid() const { return !Pointer && Kind == ScalarKind::Void; }
+  bool isBool() const { return !Pointer && Kind == ScalarKind::Bool; }
+  bool isInt() const { return !Pointer && Kind == ScalarKind::Int; }
+  bool isFloat() const { return !Pointer && Kind == ScalarKind::Float; }
+  bool isPointer() const { return Pointer; }
+  bool isNumeric() const { return isInt() || isFloat(); }
+
+  /// For pointers, the pointee scalar kind; for scalars, the kind itself.
+  ScalarKind scalarKind() const { return Kind; }
+
+  /// For pointers, the address space. Asserts on scalars.
+  AddressSpace addressSpace() const {
+    assert(Pointer && "addressSpace() on non-pointer type");
+    return Space;
+  }
+
+  /// Returns the scalar type a load through this pointer produces.
+  Type pointeeType() const {
+    assert(Pointer && "pointeeType() on non-pointer type");
+    return Kind == ScalarKind::Int ? intTy() : floatTy();
+  }
+
+  /// Size in bytes of the pointee (pointers) or the scalar itself.
+  unsigned storeSizeInBytes() const {
+    assert(Kind == ScalarKind::Int || Kind == ScalarKind::Float);
+    return 4;
+  }
+
+  bool operator==(const Type &Other) const {
+    return Kind == Other.Kind && Pointer == Other.Pointer &&
+           (!Pointer || Space == Other.Space);
+  }
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+  /// Renders the type as OpenCL-like text, e.g. "global float*".
+  std::string str() const;
+
+private:
+  Type(ScalarKind Kind, bool Pointer, AddressSpace Space)
+      : Kind(Kind), Pointer(Pointer), Space(Space) {}
+
+  ScalarKind Kind = ScalarKind::Void;
+  bool Pointer = false;
+  AddressSpace Space = AddressSpace::Private;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_TYPE_H

@@ -1,0 +1,155 @@
+//===- ir/Value.h - IR value hierarchy ---------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the root of the IR object hierarchy (LLVM-style custom RTTI via
+/// a kind tag): kernel arguments, interned constants, and instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_VALUE_H
+#define KPERF_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <string>
+
+namespace kperf {
+namespace ir {
+
+class Function;
+
+/// Root class of all IR values. Not copyable; owned by Function or Module.
+class Value {
+public:
+  enum class ValueKind : uint8_t {
+    Argument,
+    ConstantInt,
+    ConstantFloat,
+    ConstantBool,
+    Instruction,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind kind() const { return Kind; }
+  const Type &type() const { return Ty; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+protected:
+  Value(ValueKind Kind, Type Ty, std::string Name)
+      : Kind(Kind), Ty(Ty), Name(std::move(Name)) {}
+
+private:
+  ValueKind Kind;
+  Type Ty;
+  std::string Name;
+};
+
+/// LLVM-style isa/cast/dyn_cast built on Value::kind().
+template <typename To> bool isa(const Value *V) {
+  assert(V && "isa on null value");
+  return To::classof(V);
+}
+
+template <typename To> To *cast(Value *V) {
+  assert(isa<To>(V) && "invalid cast");
+  return static_cast<To *>(V);
+}
+
+template <typename To> const To *cast(const Value *V) {
+  assert(isa<To>(V) && "invalid cast");
+  return static_cast<const To *>(V);
+}
+
+template <typename To> To *dyn_cast(Value *V) {
+  return V && isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To> const To *dyn_cast(const Value *V) {
+  return V && isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// A kernel parameter. Pointer arguments may carry a "const" qualifier,
+/// which marks them as read-only inputs eligible for perforation.
+class Argument : public Value {
+public:
+  Argument(Type Ty, std::string Name, unsigned Index, bool IsConst)
+      : Value(ValueKind::Argument, Ty, std::move(Name)), Index(Index),
+        Const(IsConst) {}
+
+  unsigned index() const { return Index; }
+  bool isConst() const { return Const; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+  bool Const;
+};
+
+/// A 32-bit integer constant.
+class ConstantInt : public Value {
+public:
+  explicit ConstantInt(int32_t Val)
+      : Value(ValueKind::ConstantInt, Type::intTy(), ""), Val(Val) {}
+
+  int32_t value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantInt;
+  }
+
+private:
+  int32_t Val;
+};
+
+/// A 32-bit float constant.
+class ConstantFloat : public Value {
+public:
+  explicit ConstantFloat(float Val)
+      : Value(ValueKind::ConstantFloat, Type::floatTy(), ""), Val(Val) {}
+
+  float value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantFloat;
+  }
+
+private:
+  float Val;
+};
+
+/// A boolean constant.
+class ConstantBool : public Value {
+public:
+  explicit ConstantBool(bool Val)
+      : Value(ValueKind::ConstantBool, Type::boolTy(), ""), Val(Val) {}
+
+  bool value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantBool;
+  }
+
+private:
+  bool Val;
+};
+
+/// Returns true if \p V is any constant kind.
+bool isConstant(const Value *V);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_VALUE_H

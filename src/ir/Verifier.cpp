@@ -1,0 +1,266 @@
+//===- ir/Verifier.cpp -----------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Verification context for one function.
+class FunctionVerifier {
+public:
+  explicit FunctionVerifier(const Function &F) : F(F) {}
+
+  Error run() {
+    if (F.numBlocks() == 0)
+      return fail("function has no blocks");
+    indexDefinitions();
+    for (size_t BI = 0; BI < F.numBlocks(); ++BI)
+      if (Error E = checkBlock(BI))
+        return E;
+    return Error::success();
+  }
+
+private:
+  Error fail(const std::string &Message) {
+    return makeError("verifier: function '%s': %s", F.name().c_str(),
+                     Message.c_str());
+  }
+
+  void indexDefinitions() {
+    for (size_t BI = 0; BI < F.numBlocks(); ++BI)
+      for (const auto &I : F.block(BI)->instructions())
+        DefBlock[I.get()] = BI;
+    for (size_t BI = 0; BI < F.numBlocks(); ++BI)
+      Blocks.insert(F.block(BI));
+  }
+
+  Error checkBlock(size_t BI) {
+    const BasicBlock *BB = F.block(BI);
+    if (BB->empty())
+      return fail(format("block '%s' is empty", BB->name().c_str()));
+    for (size_t II = 0; II < BB->size(); ++II) {
+      const Instruction *I = BB->at(II);
+      bool IsLast = II + 1 == BB->size();
+      if (I->isTerminator() != IsLast)
+        return fail(format("block '%s': %s at position %zu",
+                           BB->name().c_str(),
+                           I->isTerminator() ? "terminator in the middle"
+                                             : "missing terminator",
+                           II));
+      if (Error E = checkInstruction(I, BI))
+        return E;
+    }
+    return Error::success();
+  }
+
+  Error checkOperandsDefined(const Instruction *I, size_t BI) {
+    for (const Value *Op : I->operands()) {
+      if (const auto *OpInst = dyn_cast<Instruction>(Op)) {
+        auto It = DefBlock.find(OpInst);
+        if (It == DefBlock.end())
+          return fail(format("instruction uses operand from another "
+                             "function (opcode %s)",
+                             opcodeName(I->opcode())));
+        if (It->second > BI)
+          return fail(format("use before definition of '%s' (opcode %s)",
+                             OpInst->name().c_str(),
+                             opcodeName(I->opcode())));
+      }
+    }
+    return Error::success();
+  }
+
+  Error checkInstruction(const Instruction *I, size_t BI) {
+    if (Error E = checkOperandsDefined(I, BI))
+      return E;
+    switch (I->opcode()) {
+    case Opcode::Alloca:
+      if (!I->type().isPointer() ||
+          I->type().addressSpace() == AddressSpace::Global)
+        return fail("alloca must produce a private/local pointer");
+      if (I->type().addressSpace() == AddressSpace::Local && BI != 0)
+        return fail("local alloca outside the entry block");
+      if (I->allocaCount() == 0)
+        return fail("alloca of zero elements");
+      return Error::success();
+    case Opcode::Load:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isPointer())
+        return fail("load operand must be a pointer");
+      if (I->type() != I->operand(0)->type().pointeeType())
+        return fail("load result type mismatch");
+      return Error::success();
+    case Opcode::Store: {
+      if (I->numOperands() != 2 || !I->operand(1)->type().isPointer())
+        return fail("store operand 1 must be a pointer");
+      if (I->operand(0)->type() != I->operand(1)->type().pointeeType())
+        return fail("store value type mismatch");
+      const Value *Base = I->operand(1);
+      while (const auto *G = dyn_cast<Instruction>(Base)) {
+        if (G->opcode() != Opcode::Gep)
+          break;
+        Base = G->operand(0);
+      }
+      if (const auto *A = dyn_cast<Argument>(Base))
+        if (A->isConst())
+          return fail(format("store to const argument '%s'",
+                             A->name().c_str()));
+      return Error::success();
+    }
+    case Opcode::Gep:
+      if (I->numOperands() != 2 || !I->operand(0)->type().isPointer() ||
+          !I->operand(1)->type().isInt())
+        return fail("gep expects (pointer, int)");
+      if (I->type() != I->operand(0)->type())
+        return fail("gep result type mismatch");
+      return Error::success();
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+      if (I->numOperands() != 2 ||
+          I->operand(0)->type() != I->operand(1)->type() ||
+          !I->operand(0)->type().isNumeric() ||
+          I->type() != I->operand(0)->type())
+        return fail(format("malformed %s", opcodeName(I->opcode())));
+      return Error::success();
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      if (I->numOperands() != 2 ||
+          I->operand(0)->type() != I->operand(1)->type() ||
+          !I->operand(0)->type().isNumeric() || !I->type().isBool())
+        return fail(format("malformed %s", opcodeName(I->opcode())));
+      return Error::success();
+    case Opcode::LogicalAnd:
+    case Opcode::LogicalOr:
+      if (I->numOperands() != 2 || !I->operand(0)->type().isBool() ||
+          !I->operand(1)->type().isBool() || !I->type().isBool())
+        return fail("malformed logical operation");
+      return Error::success();
+    case Opcode::LogicalNot:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isBool() ||
+          !I->type().isBool())
+        return fail("malformed logical not");
+      return Error::success();
+    case Opcode::Neg:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isNumeric() ||
+          I->type() != I->operand(0)->type())
+        return fail("malformed neg");
+      return Error::success();
+    case Opcode::IntToFloat:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isInt() ||
+          !I->type().isFloat())
+        return fail("malformed itof");
+      return Error::success();
+    case Opcode::FloatToInt:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isFloat() ||
+          !I->type().isInt())
+        return fail("malformed ftoi");
+      return Error::success();
+    case Opcode::Select:
+      if (I->numOperands() != 3 || !I->operand(0)->type().isBool() ||
+          I->operand(1)->type() != I->operand(2)->type() ||
+          I->type() != I->operand(1)->type())
+        return fail("malformed select");
+      return Error::success();
+    case Opcode::Call:
+      return checkCall(I);
+    case Opcode::Br:
+      if (!Blocks.count(I->branchTarget(0)))
+        return fail("br target not in function");
+      return Error::success();
+    case Opcode::CondBr:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isBool())
+        return fail("condbr condition must be bool");
+      if (!Blocks.count(I->branchTarget(0)) ||
+          !Blocks.count(I->branchTarget(1)))
+        return fail("condbr target not in function");
+      return Error::success();
+    case Opcode::Ret:
+      return Error::success();
+    }
+    return fail("unknown opcode");
+  }
+
+  Error checkCall(const Instruction *I) {
+    switch (I->callee()) {
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetLocalSize:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetNumGroups:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isInt() ||
+          !I->type().isInt())
+        return fail(format("malformed %s", builtinName(I->callee())));
+      return Error::success();
+    case Builtin::Barrier:
+      if (I->numOperands() != 0 || !I->type().isVoid())
+        return fail("malformed barrier");
+      return Error::success();
+    case Builtin::Min:
+    case Builtin::Max:
+    case Builtin::Pow:
+      if (I->numOperands() != 2 ||
+          I->operand(0)->type() != I->operand(1)->type() ||
+          !I->operand(0)->type().isNumeric() ||
+          I->type() != I->operand(0)->type())
+        return fail(format("malformed %s", builtinName(I->callee())));
+      return Error::success();
+    case Builtin::Clamp:
+      if (I->numOperands() != 3 ||
+          I->operand(0)->type() != I->operand(1)->type() ||
+          I->operand(0)->type() != I->operand(2)->type() ||
+          !I->operand(0)->type().isNumeric() ||
+          I->type() != I->operand(0)->type())
+        return fail("malformed clamp");
+      return Error::success();
+    case Builtin::Abs:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isNumeric() ||
+          I->type() != I->operand(0)->type())
+        return fail("malformed abs");
+      return Error::success();
+    case Builtin::Sqrt:
+    case Builtin::Exp:
+    case Builtin::Log:
+    case Builtin::Floor:
+      if (I->numOperands() != 1 || !I->operand(0)->type().isFloat() ||
+          !I->type().isFloat())
+        return fail(format("malformed %s", builtinName(I->callee())));
+      return Error::success();
+    }
+    return fail("unknown builtin");
+  }
+
+  const Function &F;
+  std::unordered_map<const Instruction *, size_t> DefBlock;
+  std::unordered_set<const BasicBlock *> Blocks;
+};
+
+} // namespace
+
+Error ir::verifyFunction(const Function &F) {
+  return FunctionVerifier(F).run();
+}
+
+Error ir::verifyModule(const Module &M) {
+  for (size_t I = 0; I < M.numFunctions(); ++I)
+    if (Error E = verifyFunction(*M.functionAt(I)))
+      return E;
+  return Error::success();
+}

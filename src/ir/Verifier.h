@@ -1,0 +1,41 @@
+//===- ir/Verifier.h - IR well-formedness checks -----------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks over functions. Run after frontend codegen
+/// and after every transform; catches malformed IR before it reaches the
+/// interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_VERIFIER_H
+#define KPERF_IR_VERIFIER_H
+
+#include "ir/Function.h"
+#include "support/Error.h"
+
+namespace kperf {
+namespace ir {
+
+/// Verifies \p F:
+///  * every block ends in exactly one terminator (and only one);
+///  * branch targets belong to \p F;
+///  * operand types satisfy the per-opcode contracts;
+///  * local allocas appear only in the entry block;
+///  * instruction operands are defined in the same or an earlier block
+///    (conservative def-before-use check matching this IR's structured
+///    codegen; see header comment in Instruction.h);
+///  * stores never target const pointer arguments.
+/// Returns a failure Error describing the first violation found.
+Error verifyFunction(const Function &F);
+
+/// Verifies every function in \p M.
+Error verifyModule(const Module &M);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_VERIFIER_H

@@ -1,0 +1,441 @@
+//===- pcl/AST.h - Kernel language AST ---------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree produced by the PCL parser and consumed by the code
+/// generator. Nodes use an LLVM-style kind tag for dispatch; ownership is
+/// strictly tree-shaped via unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PCL_AST_H
+#define KPERF_PCL_AST_H
+
+#include "pcl/Lexer.h"
+
+#include <memory>
+#include <vector>
+
+namespace kperf {
+namespace pcl {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all expressions.
+class Expr {
+public:
+  enum class ExprKind : uint8_t {
+    IntLit,
+    FloatLit,
+    BoolLit,
+    VarRef,
+    Index,
+    Call,
+    Unary,
+    Binary,
+    Assign,
+    Ternary,
+    Cast,
+    IncDec,
+  };
+
+  virtual ~Expr();
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, int32_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  int32_t value() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IntLit;
+  }
+
+private:
+  int32_t Value;
+};
+
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(SourceLoc Loc, float Value)
+      : Expr(ExprKind::FloatLit, Loc), Value(Value) {}
+  float value() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FloatLit;
+  }
+
+private:
+  float Value;
+};
+
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(SourceLoc Loc, bool Value)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  bool value() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::BoolLit;
+  }
+
+private:
+  bool Value;
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::VarRef;
+  }
+
+private:
+  std::string Name;
+};
+
+/// base[index]; chains for multi-dimensional arrays.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, ExprPtr Base, ExprPtr Index)
+      : Expr(ExprKind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  Expr *base() const { return Base.get(); }
+  Expr *index() const { return Index.get(); }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Index;
+  }
+
+private:
+  ExprPtr Base;
+  ExprPtr Index;
+};
+
+/// name(args...) -- builtins only; PCL has no user functions.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+class UnaryExpr : public Expr {
+public:
+  enum class Op : uint8_t { Neg, Not, Plus };
+  UnaryExpr(SourceLoc Loc, Op O, ExprPtr Operand)
+      : Expr(ExprKind::Unary, Loc), O(O), Operand(std::move(Operand)) {}
+  Op op() const { return O; }
+  Expr *operand() const { return Operand.get(); }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Unary;
+  }
+
+private:
+  Op O;
+  ExprPtr Operand;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, TokenKind O, ExprPtr LHS, ExprPtr RHS)
+      : Expr(ExprKind::Binary, Loc), O(O), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  TokenKind op() const { return O; }
+  Expr *lhs() const { return LHS.get(); }
+  Expr *rhs() const { return RHS.get(); }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Binary;
+  }
+
+private:
+  TokenKind O;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// lhs (op)= rhs with op in {=, +=, -=, *=, /=, %=}.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, TokenKind O, ExprPtr LHS, ExprPtr RHS)
+      : Expr(ExprKind::Assign, Loc), O(O), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  TokenKind op() const { return O; }
+  Expr *lhs() const { return LHS.get(); }
+  Expr *rhs() const { return RHS.get(); }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Assign;
+  }
+
+private:
+  TokenKind O;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(SourceLoc Loc, ExprPtr Cond, ExprPtr TrueE, ExprPtr FalseE)
+      : Expr(ExprKind::Ternary, Loc), Cond(std::move(Cond)),
+        TrueE(std::move(TrueE)), FalseE(std::move(FalseE)) {}
+  Expr *cond() const { return Cond.get(); }
+  Expr *trueExpr() const { return TrueE.get(); }
+  Expr *falseExpr() const { return FalseE.get(); }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Ternary;
+  }
+
+private:
+  ExprPtr Cond;
+  ExprPtr TrueE;
+  ExprPtr FalseE;
+};
+
+/// (float)x or (int)x.
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, bool ToFloat, ExprPtr Operand)
+      : Expr(ExprKind::Cast, Loc), ToFloat(ToFloat),
+        Operand(std::move(Operand)) {}
+  bool toFloat() const { return ToFloat; }
+  Expr *operand() const { return Operand.get(); }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Cast; }
+
+private:
+  bool ToFloat;
+  ExprPtr Operand;
+};
+
+/// ++x, --x, x++, x-- on integer lvalues.
+class IncDecExpr : public Expr {
+public:
+  IncDecExpr(SourceLoc Loc, bool IsIncrement, bool IsPrefix,
+             ExprPtr Operand)
+      : Expr(ExprKind::IncDec, Loc), Increment(IsIncrement),
+        Prefix(IsPrefix), Operand(std::move(Operand)) {}
+  bool isIncrement() const { return Increment; }
+  bool isPrefix() const { return Prefix; }
+  Expr *operand() const { return Operand.get(); }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IncDec;
+  }
+
+private:
+  bool Increment;
+  bool Prefix;
+  ExprPtr Operand;
+};
+
+/// AST-level isa/cast helpers mirroring the IR's.
+template <typename To> bool isa(const Expr *E) { return To::classof(E); }
+template <typename To> const To *cast(const Expr *E) {
+  assert(isa<To>(E) && "invalid AST cast");
+  return static_cast<const To *>(E);
+}
+template <typename To> const To *dyn_cast(const Expr *E) {
+  return E && isa<To>(E) ? static_cast<const To *>(E) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class StmtKind : uint8_t {
+    Decl,
+    Expr,
+    If,
+    For,
+    While,
+    Return,
+    Block,
+  };
+
+  virtual ~Stmt();
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Variable declaration: scalar (with optional initializer) or array with
+/// constant dimensions, optionally in local address space.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, bool IsLocalSpace, bool IsFloat, std::string Name,
+           std::vector<int32_t> Dims, ExprPtr Init)
+      : Stmt(StmtKind::Decl, Loc), LocalSpace(IsLocalSpace),
+        Float(IsFloat), Name(std::move(Name)), Dims(std::move(Dims)),
+        Init(std::move(Init)) {}
+  bool isLocalSpace() const { return LocalSpace; }
+  bool isFloat() const { return Float; }
+  const std::string &name() const { return Name; }
+  const std::vector<int32_t> &dims() const { return Dims; }
+  Expr *init() const { return Init.get(); }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Decl;
+  }
+
+private:
+  bool LocalSpace;
+  bool Float;
+  std::string Name;
+  std::vector<int32_t> Dims;
+  ExprPtr Init;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, ExprPtr E)
+      : Stmt(StmtKind::Expr, Loc), E(std::move(E)) {}
+  Expr *expr() const { return E.get(); }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Expr;
+  }
+
+private:
+  ExprPtr E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  Expr *cond() const { return Cond.get(); }
+  Stmt *thenStmt() const { return Then.get(); }
+  Stmt *elseStmt() const { return Else.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, StmtPtr Init, ExprPtr Cond, ExprPtr Inc,
+          StmtPtr Body)
+      : Stmt(StmtKind::For, Loc), Init(std::move(Init)),
+        Cond(std::move(Cond)), Inc(std::move(Inc)), Body(std::move(Body)) {}
+  Stmt *init() const { return Init.get(); }
+  Expr *cond() const { return Cond.get(); }
+  Expr *inc() const { return Inc.get(); }
+  Stmt *body() const { return Body.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+private:
+  StmtPtr Init;
+  ExprPtr Cond;
+  ExprPtr Inc;
+  StmtPtr Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Body)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  Expr *cond() const { return Cond.get(); }
+  Stmt *body() const { return Body.get(); }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::While;
+  }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(SourceLoc Loc) : Stmt(StmtKind::Return, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Return;
+  }
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLoc Loc, std::vector<StmtPtr> Stmts)
+      : Stmt(StmtKind::Block, Loc), Stmts(std::move(Stmts)) {}
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Block;
+  }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+template <typename To> bool isa(const Stmt *S) { return To::classof(S); }
+template <typename To> const To *cast(const Stmt *S) {
+  assert(isa<To>(S) && "invalid AST cast");
+  return static_cast<const To *>(S);
+}
+template <typename To> const To *dyn_cast(const Stmt *S) {
+  return S && isa<To>(S) ? static_cast<const To *>(S) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A kernel parameter.
+struct ParamDecl {
+  SourceLoc Loc;
+  std::string Name;
+  bool IsPointer = false;
+  bool IsFloat = true;    ///< Element/scalar type.
+  bool IsConst = false;   ///< Pointer parameters only.
+  bool IsGlobalSpace = true; ///< Pointer parameters: global vs local.
+};
+
+/// A kernel definition.
+struct KernelDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+};
+
+/// A parsed translation unit.
+struct ProgramDecl {
+  std::vector<KernelDecl> Kernels;
+};
+
+} // namespace pcl
+} // namespace kperf
+
+#endif // KPERF_PCL_AST_H

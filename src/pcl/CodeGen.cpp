@@ -1,0 +1,747 @@
+//===- pcl/CodeGen.cpp -----------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcl/CodeGen.h"
+
+#include "ir/IRBuilder.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace kperf;
+using namespace kperf::pcl;
+namespace irns = kperf::ir;
+
+namespace {
+
+/// What a name in scope refers to.
+struct VarInfo {
+  /// Pointer to storage for mutable scalars/arrays (an Alloca result), or
+  /// the Argument itself for pointer parameters.
+  irns::Value *Ptr = nullptr;
+  /// Array dimensions; empty for scalars and pointer parameters.
+  std::vector<int32_t> Dims;
+  /// True for pointer parameters (which are not assignable and index 1-D).
+  bool IsPointerParam = false;
+};
+
+class CodeGenImpl {
+public:
+  CodeGenImpl(irns::Module &M, const KernelDecl &Kernel)
+      : M(M), Kernel(Kernel), Builder(M), EntryBuilder(M) {}
+
+  Expected<irns::Function *> run() {
+    F = M.createFunction(Kernel.Name);
+    irns::BasicBlock *Entry = F->createBlock("entry");
+    Builder.setInsertPoint(Entry);
+    EntryBuilder.setInsertPoint(Entry, 0);
+    pushScope();
+
+    for (const ParamDecl &P : Kernel.Params)
+      if (!emitParam(P))
+        return takeDiag();
+
+    if (!emitStmt(Kernel.Body.get()))
+      return takeDiag();
+
+    if (!Builder.insertBlock()->terminator())
+      Builder.createRet();
+    popScope();
+    return F;
+  }
+
+private:
+  //===--- Diagnostics -----------------------------------------------------//
+
+  bool fail(SourceLoc Loc, const std::string &Message) {
+    if (!Diag)
+      Diag = Error(format("%u:%u: %s", Loc.Line, Loc.Col,
+                          Message.c_str()));
+    return false;
+  }
+
+  irns::Value *failV(SourceLoc Loc, const std::string &Message) {
+    fail(Loc, Message);
+    return nullptr;
+  }
+
+  Error takeDiag() {
+    assert(Diag && "takeDiag without a diagnostic");
+    return std::move(*Diag);
+  }
+
+  //===--- Scopes ----------------------------------------------------------//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declare(SourceLoc Loc, const std::string &Name, VarInfo Info) {
+    if (Scopes.back().count(Name))
+      return fail(Loc, format("redeclaration of '%s'", Name.c_str()));
+    Scopes.back()[Name] = std::move(Info);
+    return true;
+  }
+
+  const VarInfo *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  //===--- Helpers ---------------------------------------------------------//
+
+  /// All allocas are hoisted to the top of the entry block; storage in this
+  /// IR is function-scoped (see Instruction.h), so hoisting is semantics-
+  /// preserving and keeps local allocas where the verifier requires them.
+  irns::Instruction *createHoistedAlloca(irns::ScalarKind Elem,
+                                         unsigned Count,
+                                         irns::AddressSpace Space,
+                                         std::string Name) {
+    return EntryBuilder.createAlloca(Elem, Count, Space, std::move(Name));
+  }
+
+  irns::Value *toFloat(irns::Value *V) {
+    if (V->type().isFloat())
+      return V;
+    if (auto *CI = irns::dyn_cast<irns::ConstantInt>(V))
+      return M.getFloat(static_cast<float>(CI->value()));
+    return Builder.createIntToFloat(V);
+  }
+
+  irns::Value *toInt(irns::Value *V) {
+    if (V->type().isInt())
+      return V;
+    if (auto *CF = irns::dyn_cast<irns::ConstantFloat>(V))
+      return M.getInt(static_cast<int32_t>(CF->value()));
+    return Builder.createFloatToInt(V);
+  }
+
+  /// Converts \p V to \p Ty if an implicit conversion exists.
+  irns::Value *convert(SourceLoc Loc, irns::Value *V, irns::Type Ty) {
+    if (V->type() == Ty)
+      return V;
+    if (V->type().isInt() && Ty.isFloat())
+      return toFloat(V);
+    if (V->type().isFloat() && Ty.isInt())
+      return toInt(V);
+    return failV(Loc, format("cannot convert %s to %s",
+                             V->type().str().c_str(), Ty.str().c_str()));
+  }
+
+  /// Promotes mixed int/float operand pairs to float (C usual arithmetic
+  /// conversions, restricted to this type system).
+  bool unifyNumeric(SourceLoc Loc, irns::Value *&L, irns::Value *&R) {
+    if (!L->type().isNumeric() || !R->type().isNumeric())
+      return fail(Loc, "operands must be int or float");
+    if (L->type() == R->type())
+      return true;
+    L = toFloat(L);
+    R = toFloat(R);
+    return true;
+  }
+
+  //===--- Parameters ------------------------------------------------------//
+
+  bool emitParam(const ParamDecl &P) {
+    irns::Type Ty;
+    if (P.IsPointer) {
+      irns::AddressSpace Space = P.IsGlobalSpace
+                                     ? irns::AddressSpace::Global
+                                     : irns::AddressSpace::Local;
+      Ty = irns::Type::pointerTo(P.IsFloat ? irns::ScalarKind::Float
+                                           : irns::ScalarKind::Int,
+                                 Space);
+    } else {
+      Ty = P.IsFloat ? irns::Type::floatTy() : irns::Type::intTy();
+    }
+    irns::Argument *A = F->addArgument(Ty, P.Name, P.IsConst);
+
+    VarInfo Info;
+    if (P.IsPointer) {
+      Info.Ptr = A;
+      Info.IsPointerParam = true;
+    } else {
+      // Copy value parameters into private storage so they are assignable.
+      irns::Instruction *Slot = createHoistedAlloca(
+          Ty.isFloat() ? irns::ScalarKind::Float : irns::ScalarKind::Int, 1,
+          irns::AddressSpace::Private, P.Name + ".addr");
+      Builder.createStore(A, Slot);
+      Info.Ptr = Slot;
+    }
+    return declare(P.Loc, P.Name, std::move(Info));
+  }
+
+  //===--- Statements ------------------------------------------------------//
+
+  bool emitStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::StmtKind::Block: {
+      pushScope();
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->stmts())
+        if (!emitStmt(Child.get())) {
+          popScope();
+          return false;
+        }
+      popScope();
+      return true;
+    }
+    case Stmt::StmtKind::Decl:
+      return emitDecl(cast<DeclStmt>(S));
+    case Stmt::StmtKind::Expr:
+      return emitExpr(cast<ExprStmt>(S)->expr()) != nullptr ||
+             isBarrierCall(cast<ExprStmt>(S)->expr());
+    case Stmt::StmtKind::If:
+      return emitIf(cast<IfStmt>(S));
+    case Stmt::StmtKind::For:
+      return emitFor(cast<ForStmt>(S));
+    case Stmt::StmtKind::While:
+      return emitWhile(cast<WhileStmt>(S));
+    case Stmt::StmtKind::Return:
+      Builder.createRet();
+      startBlock(F->createBlock(nextName("postret")));
+      return true;
+    }
+    return fail(S->loc(), "unknown statement");
+  }
+
+  /// barrier() is a void call; as an expression statement it legitimately
+  /// produces no value, which emitExpr signals specially.
+  bool isBarrierCall(const Expr *E) {
+    const auto *C = dyn_cast<CallExpr>(E);
+    return C && C->callee() == "barrier" && !Diag;
+  }
+
+  bool emitDecl(const DeclStmt *D) {
+    irns::ScalarKind Elem = D->isFloat() ? irns::ScalarKind::Float
+                                         : irns::ScalarKind::Int;
+    VarInfo Info;
+    Info.Dims = D->dims();
+    unsigned Count = 1;
+    for (int32_t Dim : D->dims())
+      Count *= static_cast<unsigned>(Dim);
+    irns::AddressSpace Space = D->isLocalSpace()
+                                   ? irns::AddressSpace::Local
+                                   : irns::AddressSpace::Private;
+    Info.Ptr = createHoistedAlloca(Elem, Count, Space, D->name());
+
+    if (D->init()) {
+      irns::Value *Init = emitExpr(D->init());
+      if (!Init)
+        return false;
+      Init = convert(D->loc(), Init,
+                     D->isFloat() ? irns::Type::floatTy()
+                                  : irns::Type::intTy());
+      if (!Init)
+        return false;
+      Builder.createStore(Init, Info.Ptr);
+    }
+    return declare(D->loc(), D->name(), std::move(Info));
+  }
+
+  void startBlock(irns::BasicBlock *BB) { Builder.setInsertPoint(BB); }
+
+  std::string nextName(const char *Base) {
+    return format("%s%u", Base, NameCounter++);
+  }
+
+  bool emitIf(const IfStmt *S) {
+    irns::Value *Cond = emitCondition(S->cond());
+    if (!Cond)
+      return false;
+    unsigned Id = NameCounter++;
+    irns::BasicBlock *ThenBB = F->createBlock(format("if.then%u", Id));
+    irns::BasicBlock *MergeBB = F->createBlock(format("if.end%u", Id));
+    irns::BasicBlock *ElseBB =
+        S->elseStmt() ? F->createBlock(format("if.else%u", Id)) : MergeBB;
+    Builder.createCondBr(Cond, ThenBB, ElseBB);
+
+    startBlock(ThenBB);
+    if (!emitStmt(S->thenStmt()))
+      return false;
+    if (!Builder.insertBlock()->terminator())
+      Builder.createBr(MergeBB);
+
+    if (S->elseStmt()) {
+      startBlock(ElseBB);
+      if (!emitStmt(S->elseStmt()))
+        return false;
+      if (!Builder.insertBlock()->terminator())
+        Builder.createBr(MergeBB);
+    }
+    startBlock(MergeBB);
+    return true;
+  }
+
+  bool emitFor(const ForStmt *S) {
+    pushScope();
+    if (S->init() && !emitStmt(S->init())) {
+      popScope();
+      return false;
+    }
+    unsigned Id = NameCounter++;
+    irns::BasicBlock *CondBB = F->createBlock(format("for.cond%u", Id));
+    irns::BasicBlock *BodyBB = F->createBlock(format("for.body%u", Id));
+    irns::BasicBlock *ExitBB = F->createBlock(format("for.end%u", Id));
+    Builder.createBr(CondBB);
+
+    startBlock(CondBB);
+    if (S->cond()) {
+      irns::Value *Cond = emitCondition(S->cond());
+      if (!Cond) {
+        popScope();
+        return false;
+      }
+      Builder.createCondBr(Cond, BodyBB, ExitBB);
+    } else {
+      Builder.createBr(BodyBB);
+    }
+
+    startBlock(BodyBB);
+    if (!emitStmt(S->body())) {
+      popScope();
+      return false;
+    }
+    if (S->inc()) {
+      if (!emitExpr(S->inc()) && !isBarrierCall(S->inc())) {
+        popScope();
+        return false;
+      }
+    }
+    if (!Builder.insertBlock()->terminator())
+      Builder.createBr(CondBB);
+
+    startBlock(ExitBB);
+    popScope();
+    return true;
+  }
+
+  bool emitWhile(const WhileStmt *S) {
+    unsigned Id = NameCounter++;
+    irns::BasicBlock *CondBB = F->createBlock(format("while.cond%u", Id));
+    irns::BasicBlock *BodyBB = F->createBlock(format("while.body%u", Id));
+    irns::BasicBlock *ExitBB = F->createBlock(format("while.end%u", Id));
+    Builder.createBr(CondBB);
+
+    startBlock(CondBB);
+    irns::Value *Cond = emitCondition(S->cond());
+    if (!Cond)
+      return false;
+    Builder.createCondBr(Cond, BodyBB, ExitBB);
+
+    startBlock(BodyBB);
+    if (!emitStmt(S->body()))
+      return false;
+    if (!Builder.insertBlock()->terminator())
+      Builder.createBr(CondBB);
+
+    startBlock(ExitBB);
+    return true;
+  }
+
+  irns::Value *emitCondition(const Expr *E) {
+    irns::Value *V = emitExpr(E);
+    if (!V)
+      return nullptr;
+    if (!V->type().isBool())
+      return failV(E->loc(), "condition must be bool");
+    return V;
+  }
+
+  //===--- Expressions -----------------------------------------------------//
+
+  /// Emits \p E as an rvalue; returns null on error (or for void calls,
+  /// with no diagnostic -- see isBarrierCall).
+  irns::Value *emitExpr(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::ExprKind::IntLit:
+      return M.getInt(cast<IntLitExpr>(E)->value());
+    case Expr::ExprKind::FloatLit:
+      return M.getFloat(cast<FloatLitExpr>(E)->value());
+    case Expr::ExprKind::BoolLit:
+      return M.getBool(cast<BoolLitExpr>(E)->value());
+    case Expr::ExprKind::VarRef: {
+      const auto *V = cast<VarRefExpr>(E);
+      const VarInfo *Info = lookup(V->name());
+      if (!Info)
+        return failV(E->loc(),
+                     format("use of undeclared '%s'", V->name().c_str()));
+      if (Info->IsPointerParam)
+        return Info->Ptr; // Pointer value itself.
+      if (!Info->Dims.empty())
+        return failV(E->loc(),
+                     format("array '%s' used without index",
+                            V->name().c_str()));
+      return Builder.createLoad(Info->Ptr, V->name());
+    }
+    case Expr::ExprKind::Index: {
+      irns::Value *Ptr = emitLValue(E);
+      if (!Ptr)
+        return nullptr;
+      return Builder.createLoad(Ptr);
+    }
+    case Expr::ExprKind::Call:
+      return emitCall(cast<CallExpr>(E));
+    case Expr::ExprKind::Unary:
+      return emitUnary(cast<UnaryExpr>(E));
+    case Expr::ExprKind::Binary:
+      return emitBinary(cast<BinaryExpr>(E));
+    case Expr::ExprKind::Assign:
+      return emitAssign(cast<AssignExpr>(E));
+    case Expr::ExprKind::Ternary: {
+      const auto *T = cast<TernaryExpr>(E);
+      irns::Value *Cond = emitCondition(T->cond());
+      if (!Cond)
+        return nullptr;
+      irns::Value *TrueV = emitExpr(T->trueExpr());
+      irns::Value *FalseV = emitExpr(T->falseExpr());
+      if (!TrueV || !FalseV)
+        return nullptr;
+      if (TrueV->type() != FalseV->type() &&
+          !unifyNumeric(E->loc(), TrueV, FalseV))
+        return nullptr;
+      return Builder.createSelect(Cond, TrueV, FalseV);
+    }
+    case Expr::ExprKind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      irns::Value *V = emitExpr(C->operand());
+      if (!V)
+        return nullptr;
+      if (!V->type().isNumeric())
+        return failV(E->loc(), "cast operand must be numeric");
+      return C->toFloat() ? toFloat(V) : toInt(V);
+    }
+    case Expr::ExprKind::IncDec:
+      return emitIncDec(cast<IncDecExpr>(E));
+    }
+    return failV(E->loc(), "unknown expression");
+  }
+
+  /// Emits \p E as an lvalue pointer: variable references and index chains.
+  irns::Value *emitLValue(const Expr *E) {
+    if (const auto *V = dyn_cast<VarRefExpr>(E)) {
+      const VarInfo *Info = lookup(V->name());
+      if (!Info)
+        return failV(E->loc(),
+                     format("use of undeclared '%s'", V->name().c_str()));
+      if (Info->IsPointerParam)
+        return failV(E->loc(), "pointer parameters are not assignable");
+      if (!Info->Dims.empty())
+        return failV(E->loc(), "cannot assign to an array");
+      return Info->Ptr;
+    }
+    if (const auto *Idx = dyn_cast<IndexExpr>(E))
+      return emitIndexedLValue(Idx);
+    return failV(E->loc(), "expression is not assignable");
+  }
+
+  /// Lowers an index chain a[i][j]... to base pointer + linearized index.
+  irns::Value *emitIndexedLValue(const IndexExpr *E) {
+    // Walk to the root VarRef, collecting indices outside-in.
+    std::vector<const Expr *> Indices;
+    const Expr *Base = E;
+    while (const auto *Idx = dyn_cast<IndexExpr>(Base)) {
+      Indices.push_back(Idx->index());
+      Base = Idx->base();
+    }
+    std::reverse(Indices.begin(), Indices.end());
+    const auto *V = dyn_cast<VarRefExpr>(Base);
+    if (!V)
+      return failV(Base->loc(), "indexed expression must be a variable");
+    const VarInfo *Info = lookup(V->name());
+    if (!Info)
+      return failV(Base->loc(),
+                   format("use of undeclared '%s'", V->name().c_str()));
+
+    if (Info->IsPointerParam) {
+      if (Indices.size() != 1)
+        return failV(E->loc(), "pointer parameters index exactly once");
+      irns::Value *Index = emitIndexValue(Indices[0]);
+      if (!Index)
+        return nullptr;
+      return Builder.createGep(Info->Ptr, Index);
+    }
+
+    if (Info->Dims.empty())
+      return failV(E->loc(),
+                   format("'%s' is not an array", V->name().c_str()));
+    if (Indices.size() != Info->Dims.size())
+      return failV(E->loc(),
+                   format("'%s' expects %zu indices, got %zu",
+                          V->name().c_str(), Info->Dims.size(),
+                          Indices.size()));
+
+    // Row-major linearization: ((i0*d1 + i1)*d2 + i2)...
+    irns::Value *Linear = nullptr;
+    for (size_t I = 0; I < Indices.size(); ++I) {
+      irns::Value *Index = emitIndexValue(Indices[I]);
+      if (!Index)
+        return nullptr;
+      if (!Linear) {
+        Linear = Index;
+        continue;
+      }
+      irns::Value *Scaled =
+          Builder.createMul(Linear, M.getInt(Info->Dims[I]));
+      Linear = Builder.createAdd(Scaled, Index);
+    }
+    return Builder.createGep(Info->Ptr, Linear);
+  }
+
+  irns::Value *emitIndexValue(const Expr *E) {
+    irns::Value *V = emitExpr(E);
+    if (!V)
+      return nullptr;
+    if (!V->type().isInt())
+      return failV(E->loc(), "array index must be int");
+    return V;
+  }
+
+  irns::Value *emitUnary(const UnaryExpr *E) {
+    irns::Value *V = emitExpr(E->operand());
+    if (!V)
+      return nullptr;
+    switch (E->op()) {
+    case UnaryExpr::Op::Neg:
+      if (!V->type().isNumeric())
+        return failV(E->loc(), "operand of '-' must be numeric");
+      return Builder.createNeg(V);
+    case UnaryExpr::Op::Not:
+      if (!V->type().isBool())
+        return failV(E->loc(), "operand of '!' must be bool");
+      return Builder.createNot(V);
+    case UnaryExpr::Op::Plus:
+      if (!V->type().isNumeric())
+        return failV(E->loc(), "operand of '+' must be numeric");
+      return V;
+    }
+    return nullptr;
+  }
+
+  irns::Value *emitBinary(const BinaryExpr *E) {
+    irns::Value *L = emitExpr(E->lhs());
+    irns::Value *R = emitExpr(E->rhs());
+    if (!L || !R)
+      return nullptr;
+    switch (E->op()) {
+    case TokenKind::Plus:
+    case TokenKind::Minus:
+    case TokenKind::Star:
+    case TokenKind::Slash: {
+      if (!unifyNumeric(E->loc(), L, R))
+        return nullptr;
+      irns::Opcode Op = E->op() == TokenKind::Plus    ? irns::Opcode::Add
+                        : E->op() == TokenKind::Minus ? irns::Opcode::Sub
+                        : E->op() == TokenKind::Star  ? irns::Opcode::Mul
+                                                      : irns::Opcode::Div;
+      return Builder.createBinary(Op, L, R);
+    }
+    case TokenKind::Percent:
+      if (!L->type().isInt() || !R->type().isInt())
+        return failV(E->loc(), "'%' requires int operands");
+      return Builder.createRem(L, R);
+    case TokenKind::EqEq:
+    case TokenKind::NotEq:
+    case TokenKind::Less:
+    case TokenKind::LessEq:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEq: {
+      if (!unifyNumeric(E->loc(), L, R))
+        return nullptr;
+      irns::Opcode Op =
+          E->op() == TokenKind::EqEq      ? irns::Opcode::CmpEq
+          : E->op() == TokenKind::NotEq   ? irns::Opcode::CmpNe
+          : E->op() == TokenKind::Less    ? irns::Opcode::CmpLt
+          : E->op() == TokenKind::LessEq  ? irns::Opcode::CmpLe
+          : E->op() == TokenKind::Greater ? irns::Opcode::CmpGt
+                                          : irns::Opcode::CmpGe;
+      return Builder.createCmp(Op, L, R);
+    }
+    case TokenKind::AmpAmp:
+    case TokenKind::PipePipe:
+      if (!L->type().isBool() || !R->type().isBool())
+        return failV(E->loc(), "logical operands must be bool");
+      return Builder.createLogical(E->op() == TokenKind::AmpAmp
+                                       ? irns::Opcode::LogicalAnd
+                                       : irns::Opcode::LogicalOr,
+                                   L, R);
+    default:
+      return failV(E->loc(), "unknown binary operator");
+    }
+  }
+
+  irns::Value *emitAssign(const AssignExpr *E) {
+    irns::Value *Ptr = emitLValue(E->lhs());
+    if (!Ptr)
+      return nullptr;
+    irns::Value *RHS = emitExpr(E->rhs());
+    if (!RHS)
+      return nullptr;
+
+    irns::Type ElemTy = Ptr->type().pointeeType();
+    if (E->op() != TokenKind::Assign) {
+      irns::Value *Old = Builder.createLoad(Ptr);
+      irns::Value *L = Old;
+      irns::Value *R = RHS;
+      if (E->op() == TokenKind::PercentAssign) {
+        if (!L->type().isInt() || !R->type().isInt())
+          return failV(E->loc(), "'%%=' requires int operands");
+      } else if (!unifyNumeric(E->loc(), L, R)) {
+        return nullptr;
+      }
+      irns::Opcode Op =
+          E->op() == TokenKind::PlusAssign    ? irns::Opcode::Add
+          : E->op() == TokenKind::MinusAssign ? irns::Opcode::Sub
+          : E->op() == TokenKind::StarAssign  ? irns::Opcode::Mul
+          : E->op() == TokenKind::SlashAssign ? irns::Opcode::Div
+                                              : irns::Opcode::Rem;
+      RHS = Builder.createBinary(Op, L, R);
+    }
+    RHS = convert(E->loc(), RHS, ElemTy);
+    if (!RHS)
+      return nullptr;
+    Builder.createStore(RHS, Ptr);
+    return RHS;
+  }
+
+  irns::Value *emitIncDec(const IncDecExpr *E) {
+    irns::Value *Ptr = emitLValue(E->operand());
+    if (!Ptr)
+      return nullptr;
+    if (!Ptr->type().pointeeType().isInt())
+      return failV(E->loc(), "'++'/'--' requires an int lvalue");
+    irns::Value *Old = Builder.createLoad(Ptr);
+    irns::Value *New = E->isIncrement()
+                           ? Builder.createAdd(Old, M.getInt(1))
+                           : Builder.createSub(Old, M.getInt(1));
+    Builder.createStore(New, Ptr);
+    return E->isPrefix() ? New : Old;
+  }
+
+  irns::Value *emitCall(const CallExpr *E) {
+    struct BuiltinInfo {
+      irns::Builtin B;
+      unsigned Arity;
+    };
+    static const std::unordered_map<std::string, BuiltinInfo> Table = {
+        {"get_global_id", {irns::Builtin::GetGlobalId, 1}},
+        {"get_local_id", {irns::Builtin::GetLocalId, 1}},
+        {"get_group_id", {irns::Builtin::GetGroupId, 1}},
+        {"get_local_size", {irns::Builtin::GetLocalSize, 1}},
+        {"get_global_size", {irns::Builtin::GetGlobalSize, 1}},
+        {"get_num_groups", {irns::Builtin::GetNumGroups, 1}},
+        {"barrier", {irns::Builtin::Barrier, 0}},
+        {"min", {irns::Builtin::Min, 2}},
+        {"max", {irns::Builtin::Max, 2}},
+        {"clamp", {irns::Builtin::Clamp, 3}},
+        {"abs", {irns::Builtin::Abs, 1}},
+        {"fabs", {irns::Builtin::Abs, 1}},
+        {"sqrt", {irns::Builtin::Sqrt, 1}},
+        {"exp", {irns::Builtin::Exp, 1}},
+        {"log", {irns::Builtin::Log, 1}},
+        {"pow", {irns::Builtin::Pow, 2}},
+        {"floor", {irns::Builtin::Floor, 1}},
+    };
+    auto It = Table.find(E->callee());
+    if (It == Table.end())
+      return failV(E->loc(), format("unknown function '%s'",
+                                    E->callee().c_str()));
+    const BuiltinInfo &Info = It->second;
+    if (E->args().size() != Info.Arity)
+      return failV(E->loc(),
+                   format("'%s' expects %u arguments, got %zu",
+                          E->callee().c_str(), Info.Arity,
+                          E->args().size()));
+
+    std::vector<irns::Value *> Args;
+    for (const ExprPtr &Arg : E->args()) {
+      irns::Value *V = emitExpr(Arg.get());
+      if (!V)
+        return nullptr;
+      Args.push_back(V);
+    }
+
+    switch (Info.B) {
+    case irns::Builtin::GetGlobalId:
+    case irns::Builtin::GetLocalId:
+    case irns::Builtin::GetGroupId:
+    case irns::Builtin::GetLocalSize:
+    case irns::Builtin::GetGlobalSize:
+    case irns::Builtin::GetNumGroups:
+      if (!Args[0]->type().isInt())
+        return failV(E->loc(), "work-item query dimension must be int");
+      break;
+    case irns::Builtin::Sqrt:
+    case irns::Builtin::Exp:
+    case irns::Builtin::Log:
+    case irns::Builtin::Floor:
+      if (!Args[0]->type().isNumeric())
+        return failV(E->loc(), "math builtin argument must be numeric");
+      Args[0] = toFloat(Args[0]);
+      break;
+    case irns::Builtin::Min:
+    case irns::Builtin::Max:
+    case irns::Builtin::Pow: {
+      if (!Args[0]->type().isNumeric() || !Args[1]->type().isNumeric())
+        return failV(E->loc(), "math builtin arguments must be numeric");
+      if (Args[0]->type() != Args[1]->type() || Info.B == irns::Builtin::Pow)
+        for (irns::Value *&A : Args)
+          A = toFloat(A);
+      break;
+    }
+    case irns::Builtin::Clamp:
+      if (!Args[0]->type().isNumeric() || !Args[1]->type().isNumeric() ||
+          !Args[2]->type().isNumeric())
+        return failV(E->loc(), "clamp arguments must be numeric");
+      if (!(Args[0]->type() == Args[1]->type() &&
+            Args[0]->type() == Args[2]->type()))
+        for (irns::Value *&A : Args)
+          A = toFloat(A);
+      break;
+    case irns::Builtin::Abs:
+      if (!Args[0]->type().isNumeric())
+        return failV(E->loc(), "abs argument must be numeric");
+      break;
+    case irns::Builtin::Barrier:
+      break;
+    }
+
+    irns::Instruction *Call = Builder.createCall(Info.B, std::move(Args));
+    // Void calls (barrier) return null by convention; emitStmt knows.
+    return Call->type().isVoid() ? nullptr : Call;
+  }
+
+  irns::Module &M;
+  const KernelDecl &Kernel;
+  irns::Function *F = nullptr;
+  irns::IRBuilder Builder;
+  irns::IRBuilder EntryBuilder;
+  std::vector<std::unordered_map<std::string, VarInfo>> Scopes;
+  std::optional<Error> Diag;
+  unsigned NameCounter = 0;
+};
+
+} // namespace
+
+Expected<irns::Function *> pcl::codegenKernel(irns::Module &M,
+                                              const KernelDecl &Kernel) {
+  return CodeGenImpl(M, Kernel).run();
+}
+
+Expected<std::vector<irns::Function *>>
+pcl::codegenProgram(irns::Module &M, const ProgramDecl &Program) {
+  std::vector<irns::Function *> Functions;
+  for (const KernelDecl &K : Program.Kernels) {
+    Expected<irns::Function *> F = codegenKernel(M, K);
+    if (!F)
+      return F.takeError();
+    Functions.push_back(*F);
+  }
+  return Functions;
+}

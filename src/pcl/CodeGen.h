@@ -1,0 +1,36 @@
+//===- pcl/CodeGen.h - AST to IR lowering ------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the PCL AST into kernel IR, performing type checking along the
+/// way (there is no separate sema pass; diagnostics carry source
+/// positions). Conversions follow C: int promotes to float in mixed
+/// arithmetic, and assignments convert implicitly in both directions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PCL_CODEGEN_H
+#define KPERF_PCL_CODEGEN_H
+
+#include "ir/Function.h"
+#include "pcl/AST.h"
+
+namespace kperf {
+namespace pcl {
+
+/// Lowers \p Kernel into a new function inside \p M.
+/// Returns the function or a positioned diagnostic.
+Expected<ir::Function *> codegenKernel(ir::Module &M,
+                                       const KernelDecl &Kernel);
+
+/// Lowers every kernel of \p Program into \p M.
+Expected<std::vector<ir::Function *>>
+codegenProgram(ir::Module &M, const ProgramDecl &Program);
+
+} // namespace pcl
+} // namespace kperf
+
+#endif // KPERF_PCL_CODEGEN_H

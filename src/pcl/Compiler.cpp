@@ -1,0 +1,41 @@
+//===- pcl/Compiler.cpp ----------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcl/Compiler.h"
+
+#include "ir/Verifier.h"
+#include "pcl/CodeGen.h"
+#include "pcl/Parser.h"
+
+using namespace kperf;
+using namespace kperf::pcl;
+
+Expected<std::vector<ir::Function *>>
+pcl::compile(ir::Module &M, const std::string &Source) {
+  Expected<ProgramDecl> Program = parse(Source);
+  if (!Program)
+    return Program.takeError();
+  Expected<std::vector<ir::Function *>> Functions =
+      codegenProgram(M, *Program);
+  if (!Functions)
+    return Functions.takeError();
+  for (ir::Function *F : *Functions)
+    if (Error E = ir::verifyFunction(*F))
+      return E;
+  return Functions;
+}
+
+Expected<ir::Function *> pcl::compileKernel(ir::Module &M,
+                                            const std::string &Source,
+                                            const std::string &Name) {
+  Expected<std::vector<ir::Function *>> Functions = compile(M, Source);
+  if (!Functions)
+    return Functions.takeError();
+  for (ir::Function *F : *Functions)
+    if (F->name() == Name)
+      return F;
+  return makeError("no kernel named '%s' in source", Name.c_str());
+}

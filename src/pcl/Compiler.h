@@ -1,0 +1,36 @@
+//===- pcl/Compiler.h - Frontend driver --------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call pipeline: source -> tokens -> AST -> verified IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PCL_COMPILER_H
+#define KPERF_PCL_COMPILER_H
+
+#include "ir/Function.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace kperf {
+namespace pcl {
+
+/// Compiles all kernels in \p Source into \p M and verifies them.
+/// Returns the functions in declaration order, or the first diagnostic.
+Expected<std::vector<ir::Function *>> compile(ir::Module &M,
+                                              const std::string &Source);
+
+/// Compiles \p Source and returns the kernel named \p Name.
+Expected<ir::Function *> compileKernel(ir::Module &M,
+                                       const std::string &Source,
+                                       const std::string &Name);
+
+} // namespace pcl
+} // namespace kperf
+
+#endif // KPERF_PCL_COMPILER_H

@@ -1,0 +1,382 @@
+//===- pcl/Lexer.cpp -------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcl/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace kperf;
+using namespace kperf::pcl;
+
+const char *pcl::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwKernel:
+    return "'kernel'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwGlobal:
+    return "'global'";
+  case TokenKind::KwLocal:
+    return "'local'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::SlashAssign:
+    return "'/='";
+  case TokenKind::PercentAssign:
+    return "'%='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"kernel", TokenKind::KwKernel}, {"void", TokenKind::KwVoid},
+      {"float", TokenKind::KwFloat},   {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},     {"global", TokenKind::KwGlobal},
+      {"local", TokenKind::KwLocal},   {"const", TokenKind::KwConst},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},       {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn}, {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  return Table;
+}
+
+class LexerImpl {
+public:
+  explicit LexerImpl(const std::string &Source) : Src(Source) {}
+
+  Expected<std::vector<Token>> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      skipTrivia();
+      if (Bad)
+        return makeError("%u:%u: unterminated block comment", ErrLoc.Line,
+                         ErrLoc.Col);
+      Token T;
+      T.Loc = loc();
+      if (atEnd()) {
+        T.Kind = TokenKind::Eof;
+        Tokens.push_back(T);
+        return Tokens;
+      }
+      char C = peek();
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        lexIdentifier(T);
+      } else if (std::isdigit(static_cast<unsigned char>(C)) ||
+                 (C == '.' && Pos + 1 < Src.size() &&
+                  std::isdigit(static_cast<unsigned char>(Src[Pos + 1])))) {
+        if (Error E = lexNumber(T))
+          return E;
+      } else if (Error E = lexPunct(T)) {
+        return E;
+      }
+      Tokens.push_back(std::move(T));
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek() const { return Src[Pos]; }
+  char peekAt(size_t Off) const {
+    return Pos + Off < Src.size() ? Src[Pos + Off] : '\0';
+  }
+
+  void advance() {
+    if (Src[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  SourceLoc loc() const { return {Line, Col}; }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peekAt(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peekAt(1) == '*') {
+        ErrLoc = loc();
+        advance();
+        advance();
+        bool Closed = false;
+        while (!atEnd()) {
+          if (peek() == '*' && peekAt(1) == '/') {
+            advance();
+            advance();
+            Closed = true;
+            break;
+          }
+          advance();
+        }
+        if (!Closed)
+          Bad = true;
+        continue;
+      }
+      break;
+    }
+  }
+
+  void lexIdentifier(Token &T) {
+    std::string Text;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_')) {
+      Text += peek();
+      advance();
+    }
+    auto It = keywordTable().find(Text);
+    if (It != keywordTable().end()) {
+      T.Kind = It->second;
+      return;
+    }
+    T.Kind = TokenKind::Identifier;
+    T.Text = std::move(Text);
+  }
+
+  Error lexNumber(Token &T) {
+    std::string Text;
+    bool IsFloat = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      Text += peek();
+      advance();
+    }
+    if (!atEnd() && peek() == '.') {
+      IsFloat = true;
+      Text += '.';
+      advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        Text += peek();
+        advance();
+      }
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      IsFloat = true;
+      Text += peek();
+      advance();
+      if (!atEnd() && (peek() == '+' || peek() == '-')) {
+        Text += peek();
+        advance();
+      }
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return makeError("%u:%u: malformed float exponent", T.Loc.Line,
+                         T.Loc.Col);
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        Text += peek();
+        advance();
+      }
+    }
+    if (!atEnd() && (peek() == 'f' || peek() == 'F')) {
+      IsFloat = true;
+      advance();
+    }
+    if (IsFloat) {
+      T.Kind = TokenKind::FloatLiteral;
+      T.FloatValue = std::strtof(Text.c_str(), nullptr);
+      return Error::success();
+    }
+    T.Kind = TokenKind::IntLiteral;
+    long V = std::strtol(Text.c_str(), nullptr, 10);
+    if (V > INT32_MAX)
+      return makeError("%u:%u: integer literal out of range", T.Loc.Line,
+                       T.Loc.Col);
+    T.IntValue = static_cast<int32_t>(V);
+    return Error::success();
+  }
+
+  Error lexPunct(Token &T) {
+    char C = peek();
+    char C1 = peekAt(1);
+    auto two = [&](TokenKind K) {
+      advance();
+      advance();
+      T.Kind = K;
+      return Error::success();
+    };
+    auto one = [&](TokenKind K) {
+      advance();
+      T.Kind = K;
+      return Error::success();
+    };
+    switch (C) {
+    case '(':
+      return one(TokenKind::LParen);
+    case ')':
+      return one(TokenKind::RParen);
+    case '{':
+      return one(TokenKind::LBrace);
+    case '}':
+      return one(TokenKind::RBrace);
+    case '[':
+      return one(TokenKind::LBracket);
+    case ']':
+      return one(TokenKind::RBracket);
+    case ',':
+      return one(TokenKind::Comma);
+    case ';':
+      return one(TokenKind::Semicolon);
+    case '?':
+      return one(TokenKind::Question);
+    case ':':
+      return one(TokenKind::Colon);
+    case '*':
+      return C1 == '=' ? two(TokenKind::StarAssign) : one(TokenKind::Star);
+    case '/':
+      return C1 == '=' ? two(TokenKind::SlashAssign) : one(TokenKind::Slash);
+    case '%':
+      return C1 == '=' ? two(TokenKind::PercentAssign)
+                       : one(TokenKind::Percent);
+    case '+':
+      if (C1 == '=')
+        return two(TokenKind::PlusAssign);
+      if (C1 == '+')
+        return two(TokenKind::PlusPlus);
+      return one(TokenKind::Plus);
+    case '-':
+      if (C1 == '=')
+        return two(TokenKind::MinusAssign);
+      if (C1 == '-')
+        return two(TokenKind::MinusMinus);
+      return one(TokenKind::Minus);
+    case '=':
+      return C1 == '=' ? two(TokenKind::EqEq) : one(TokenKind::Assign);
+    case '!':
+      return C1 == '=' ? two(TokenKind::NotEq) : one(TokenKind::Not);
+    case '<':
+      return C1 == '=' ? two(TokenKind::LessEq) : one(TokenKind::Less);
+    case '>':
+      return C1 == '=' ? two(TokenKind::GreaterEq)
+                       : one(TokenKind::Greater);
+    case '&':
+      if (C1 == '&')
+        return two(TokenKind::AmpAmp);
+      break;
+    case '|':
+      if (C1 == '|')
+        return two(TokenKind::PipePipe);
+      break;
+    default:
+      break;
+    }
+    return makeError("%u:%u: unexpected character '%c'", T.Loc.Line,
+                     T.Loc.Col, C);
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  bool Bad = false;
+  SourceLoc ErrLoc;
+};
+
+} // namespace
+
+Expected<std::vector<Token>> pcl::lex(const std::string &Source) {
+  return LexerImpl(Source).run();
+}

@@ -1,0 +1,109 @@
+//===- pcl/Lexer.h - Kernel language lexer -----------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for PCL, the small OpenCL-C-like kernel language this project
+/// compiles (see pcl/Parser.h for the grammar). Produces the full token
+/// stream up front; the parser indexes into it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PCL_LEXER_H
+#define KPERF_PCL_LEXER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kperf {
+namespace pcl {
+
+/// A position in the source text (1-based).
+struct SourceLoc {
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+/// Token kinds. Keywords get dedicated kinds; punctuation is named after
+/// its spelling.
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwKernel,
+  KwVoid,
+  KwFloat,
+  KwInt,
+  KwBool,
+  KwGlobal,
+  KwLocal,
+  KwConst,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Not,
+  Question,
+  Colon,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Literal payloads are stored decoded.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;  ///< Identifier spelling (identifiers only).
+  int32_t IntValue = 0;
+  float FloatValue = 0;
+};
+
+/// Tokenizes \p Source. Returns the token vector (terminated by an Eof
+/// token) or a diagnostic with line:col position.
+Expected<std::vector<Token>> lex(const std::string &Source);
+
+} // namespace pcl
+} // namespace kperf
+
+#endif // KPERF_PCL_LEXER_H

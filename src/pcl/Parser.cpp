@@ -1,0 +1,595 @@
+//===- pcl/Parser.cpp ------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcl/Parser.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace kperf;
+using namespace kperf::pcl;
+
+// Out-of-line virtual anchors for the AST hierarchy.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+namespace {
+
+/// Recursive-descent parser over a pre-lexed token stream.
+///
+/// Error handling without exceptions: each parse method returns a nullable
+/// pointer (or bool) and records the first diagnostic in Diag; callers
+/// propagate null upward immediately.
+class ParserImpl {
+public:
+  explicit ParserImpl(std::vector<Token> Tokens)
+      : Tokens(std::move(Tokens)) {}
+
+  Expected<ProgramDecl> run() {
+    ProgramDecl Program;
+    while (!at(TokenKind::Eof)) {
+      if (!parseKernel(Program))
+        return takeDiag();
+    }
+    if (Program.Kernels.empty())
+      return makeError("1:1: no kernels in program");
+    return Expected<ProgramDecl>(std::move(Program));
+  }
+
+private:
+  //===--- Token helpers ---------------------------------------------------//
+
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peekNext() const {
+    return Tokens[Pos + 1 < Tokens.size() ? Pos + 1 : Pos];
+  }
+  bool at(TokenKind K) const { return cur().Kind == K; }
+
+  Token take() { return Tokens[Pos++]; }
+
+  bool accept(TokenKind K) {
+    if (!at(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool expect(TokenKind K) {
+    if (accept(K))
+      return true;
+    diag("expected %s, found %s", tokenKindName(K),
+         tokenKindName(cur().Kind));
+    return false;
+  }
+
+  void diag(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    if (Diag)
+      return; // Keep the first diagnostic.
+    va_list Args;
+    va_start(Args, Fmt);
+    char Buf[256];
+    std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+    va_end(Args);
+    Diag = Error(format("%u:%u: %s", cur().Loc.Line, cur().Loc.Col, Buf));
+  }
+
+  Error takeDiag() {
+    assert(Diag && "takeDiag without a diagnostic");
+    return std::move(*Diag);
+  }
+
+  static std::string format(const char *Fmt, ...)
+      __attribute__((format(printf, 1, 2))) {
+    va_list Args;
+    va_start(Args, Fmt);
+    char Buf[320];
+    std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+    va_end(Args);
+    return Buf;
+  }
+
+  //===--- Declarations ----------------------------------------------------//
+
+  bool parseKernel(ProgramDecl &Program) {
+    KernelDecl K;
+    K.Loc = cur().Loc;
+    if (!expect(TokenKind::KwKernel) || !expect(TokenKind::KwVoid))
+      return false;
+    if (!at(TokenKind::Identifier)) {
+      diag("expected kernel name");
+      return false;
+    }
+    K.Name = take().Text;
+    if (!expect(TokenKind::LParen))
+      return false;
+    if (!at(TokenKind::RParen)) {
+      do {
+        ParamDecl P;
+        if (!parseParam(P))
+          return false;
+        K.Params.push_back(std::move(P));
+      } while (accept(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen))
+      return false;
+    StmtPtr Body = parseBlock();
+    if (!Body)
+      return false;
+    K.Body.reset(static_cast<BlockStmt *>(Body.release()));
+    Program.Kernels.push_back(std::move(K));
+    return true;
+  }
+
+  bool parseParam(ParamDecl &P) {
+    P.Loc = cur().Loc;
+    if (at(TokenKind::KwGlobal) || at(TokenKind::KwLocal)) {
+      P.IsPointer = true;
+      P.IsGlobalSpace = at(TokenKind::KwGlobal);
+      ++Pos;
+      P.IsConst = accept(TokenKind::KwConst);
+      if (at(TokenKind::KwFloat))
+        P.IsFloat = true;
+      else if (at(TokenKind::KwInt))
+        P.IsFloat = false;
+      else {
+        diag("expected element type 'float' or 'int'");
+        return false;
+      }
+      ++Pos;
+      if (!expect(TokenKind::Star))
+        return false;
+    } else if (at(TokenKind::KwFloat) || at(TokenKind::KwInt)) {
+      P.IsPointer = false;
+      P.IsFloat = at(TokenKind::KwFloat);
+      ++Pos;
+    } else {
+      diag("expected parameter type");
+      return false;
+    }
+    if (!at(TokenKind::Identifier)) {
+      diag("expected parameter name");
+      return false;
+    }
+    P.Name = take().Text;
+    return true;
+  }
+
+  //===--- Statements ------------------------------------------------------//
+
+  StmtPtr parseBlock() {
+    SourceLoc Loc = cur().Loc;
+    if (!expect(TokenKind::LBrace))
+      return nullptr;
+    std::vector<StmtPtr> Stmts;
+    while (!at(TokenKind::RBrace)) {
+      if (at(TokenKind::Eof)) {
+        diag("unexpected end of input in block");
+        return nullptr;
+      }
+      StmtPtr S = parseStmt();
+      if (!S)
+        return nullptr;
+      Stmts.push_back(std::move(S));
+    }
+    expect(TokenKind::RBrace);
+    return std::make_unique<BlockStmt>(Loc, std::move(Stmts));
+  }
+
+  bool atDeclStart() const {
+    if (at(TokenKind::KwLocal))
+      return true;
+    return at(TokenKind::KwFloat) || at(TokenKind::KwInt);
+  }
+
+  StmtPtr parseStmt() {
+    switch (cur().Kind) {
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::KwFor:
+      return parseFor();
+    case TokenKind::KwWhile:
+      return parseWhile();
+    case TokenKind::KwReturn: {
+      SourceLoc Loc = take().Loc;
+      if (!expect(TokenKind::Semicolon))
+        return nullptr;
+      return std::make_unique<ReturnStmt>(Loc);
+    }
+    default:
+      break;
+    }
+    if (atDeclStart())
+      return parseDecl();
+    SourceLoc Loc = cur().Loc;
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokenKind::Semicolon))
+      return nullptr;
+    return std::make_unique<ExprStmt>(Loc, std::move(E));
+  }
+
+  StmtPtr parseDecl() {
+    SourceLoc Loc = cur().Loc;
+    bool IsLocal = accept(TokenKind::KwLocal);
+    bool IsFloat;
+    if (at(TokenKind::KwFloat))
+      IsFloat = true;
+    else if (at(TokenKind::KwInt))
+      IsFloat = false;
+    else {
+      diag("expected 'float' or 'int' in declaration");
+      return nullptr;
+    }
+    ++Pos;
+    if (!at(TokenKind::Identifier)) {
+      diag("expected variable name");
+      return nullptr;
+    }
+    std::string Name = take().Text;
+    std::vector<int32_t> Dims;
+    while (accept(TokenKind::LBracket)) {
+      if (!at(TokenKind::IntLiteral)) {
+        diag("array dimension must be an integer constant");
+        return nullptr;
+      }
+      int32_t Dim = take().IntValue;
+      if (Dim <= 0) {
+        diag("array dimension must be positive");
+        return nullptr;
+      }
+      Dims.push_back(Dim);
+      if (!expect(TokenKind::RBracket))
+        return nullptr;
+    }
+    ExprPtr Init;
+    if (accept(TokenKind::Assign)) {
+      if (!Dims.empty()) {
+        diag("array declarations cannot have initializers");
+        return nullptr;
+      }
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    if (IsLocal && Dims.empty()) {
+      diag("'local' variables must be arrays");
+      return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon))
+      return nullptr;
+    return std::make_unique<DeclStmt>(Loc, IsLocal, IsFloat,
+                                      std::move(Name), std::move(Dims),
+                                      std::move(Init));
+  }
+
+  StmtPtr parseIf() {
+    SourceLoc Loc = take().Loc; // 'if'
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen))
+      return nullptr;
+    StmtPtr Then = parseStmt();
+    if (!Then)
+      return nullptr;
+    StmtPtr Else;
+    if (accept(TokenKind::KwElse)) {
+      Else = parseStmt();
+      if (!Else)
+        return nullptr;
+    }
+    return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+
+  StmtPtr parseFor() {
+    SourceLoc Loc = take().Loc; // 'for'
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    StmtPtr Init;
+    if (accept(TokenKind::Semicolon)) {
+      // No init.
+    } else if (atDeclStart()) {
+      Init = parseDecl(); // Consumes ';'.
+      if (!Init)
+        return nullptr;
+    } else {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokenKind::Semicolon))
+        return nullptr;
+      Init = std::make_unique<ExprStmt>(Loc, std::move(E));
+    }
+    ExprPtr Cond;
+    if (!at(TokenKind::Semicolon)) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon))
+      return nullptr;
+    ExprPtr Inc;
+    if (!at(TokenKind::RParen)) {
+      Inc = parseExpr();
+      if (!Inc)
+        return nullptr;
+    }
+    if (!expect(TokenKind::RParen))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(Loc, std::move(Init), std::move(Cond),
+                                     std::move(Inc), std::move(Body));
+  }
+
+  StmtPtr parseWhile() {
+    SourceLoc Loc = take().Loc; // 'while'
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileStmt>(Loc, std::move(Cond),
+                                       std::move(Body));
+  }
+
+  //===--- Expressions -----------------------------------------------------//
+
+  ExprPtr parseExpr() { return parseAssign(); }
+
+  ExprPtr parseAssign() {
+    ExprPtr LHS = parseTernary();
+    if (!LHS)
+      return nullptr;
+    switch (cur().Kind) {
+    case TokenKind::Assign:
+    case TokenKind::PlusAssign:
+    case TokenKind::MinusAssign:
+    case TokenKind::StarAssign:
+    case TokenKind::SlashAssign:
+    case TokenKind::PercentAssign: {
+      Token Op = take();
+      ExprPtr RHS = parseAssign();
+      if (!RHS)
+        return nullptr;
+      return std::make_unique<AssignExpr>(Op.Loc, Op.Kind, std::move(LHS),
+                                          std::move(RHS));
+    }
+    default:
+      return LHS;
+    }
+  }
+
+  ExprPtr parseTernary() {
+    ExprPtr Cond = parseOr();
+    if (!Cond)
+      return nullptr;
+    if (!accept(TokenKind::Question))
+      return Cond;
+    SourceLoc Loc = cur().Loc;
+    ExprPtr TrueE = parseExpr();
+    if (!TrueE || !expect(TokenKind::Colon))
+      return nullptr;
+    ExprPtr FalseE = parseTernary();
+    if (!FalseE)
+      return nullptr;
+    return std::make_unique<TernaryExpr>(Loc, std::move(Cond),
+                                         std::move(TrueE),
+                                         std::move(FalseE));
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr LHS = parseAnd();
+    if (!LHS)
+      return nullptr;
+    while (at(TokenKind::PipePipe)) {
+      Token Op = take();
+      ExprPtr RHS = parseAnd();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op.Loc, Op.Kind, std::move(LHS),
+                                         std::move(RHS));
+    }
+    return LHS;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr LHS = parseCmp();
+    if (!LHS)
+      return nullptr;
+    while (at(TokenKind::AmpAmp)) {
+      Token Op = take();
+      ExprPtr RHS = parseCmp();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op.Loc, Op.Kind, std::move(LHS),
+                                         std::move(RHS));
+    }
+    return LHS;
+  }
+
+  ExprPtr parseCmp() {
+    ExprPtr LHS = parseAdd();
+    if (!LHS)
+      return nullptr;
+    switch (cur().Kind) {
+    case TokenKind::EqEq:
+    case TokenKind::NotEq:
+    case TokenKind::Less:
+    case TokenKind::LessEq:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEq: {
+      Token Op = take();
+      ExprPtr RHS = parseAdd();
+      if (!RHS)
+        return nullptr;
+      return std::make_unique<BinaryExpr>(Op.Loc, Op.Kind, std::move(LHS),
+                                          std::move(RHS));
+    }
+    default:
+      return LHS;
+    }
+  }
+
+  ExprPtr parseAdd() {
+    ExprPtr LHS = parseMul();
+    if (!LHS)
+      return nullptr;
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      Token Op = take();
+      ExprPtr RHS = parseMul();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op.Loc, Op.Kind, std::move(LHS),
+                                         std::move(RHS));
+    }
+    return LHS;
+  }
+
+  ExprPtr parseMul() {
+    ExprPtr LHS = parseUnary();
+    if (!LHS)
+      return nullptr;
+    while (at(TokenKind::Star) || at(TokenKind::Slash) ||
+           at(TokenKind::Percent)) {
+      Token Op = take();
+      ExprPtr RHS = parseUnary();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op.Loc, Op.Kind, std::move(LHS),
+                                         std::move(RHS));
+    }
+    return LHS;
+  }
+
+  ExprPtr parseUnary() {
+    SourceLoc Loc = cur().Loc;
+    if (accept(TokenKind::Minus)) {
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(Loc, UnaryExpr::Op::Neg,
+                                         std::move(E));
+    }
+    if (accept(TokenKind::Not)) {
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(Loc, UnaryExpr::Op::Not,
+                                         std::move(E));
+    }
+    if (accept(TokenKind::Plus)) {
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(Loc, UnaryExpr::Op::Plus,
+                                         std::move(E));
+    }
+    if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
+      bool Inc = take().Kind == TokenKind::PlusPlus;
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      return std::make_unique<IncDecExpr>(Loc, Inc, /*IsPrefix=*/true,
+                                          std::move(E));
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    if (!E)
+      return nullptr;
+    while (true) {
+      SourceLoc Loc = cur().Loc;
+      if (accept(TokenKind::LBracket)) {
+        ExprPtr Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket))
+          return nullptr;
+        E = std::make_unique<IndexExpr>(Loc, std::move(E),
+                                        std::move(Index));
+      } else if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
+        bool Inc = take().Kind == TokenKind::PlusPlus;
+        E = std::make_unique<IncDecExpr>(Loc, Inc, /*IsPrefix=*/false,
+                                         std::move(E));
+      } else {
+        return E;
+      }
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case TokenKind::IntLiteral:
+      return std::make_unique<IntLitExpr>(Loc, take().IntValue);
+    case TokenKind::FloatLiteral:
+      return std::make_unique<FloatLitExpr>(Loc, take().FloatValue);
+    case TokenKind::KwTrue:
+      take();
+      return std::make_unique<BoolLitExpr>(Loc, true);
+    case TokenKind::KwFalse:
+      take();
+      return std::make_unique<BoolLitExpr>(Loc, false);
+    case TokenKind::Identifier: {
+      Token Name = take();
+      if (!accept(TokenKind::LParen))
+        return std::make_unique<VarRefExpr>(Loc, Name.Text);
+      std::vector<ExprPtr> Args;
+      if (!at(TokenKind::RParen)) {
+        do {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+        } while (accept(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen))
+        return nullptr;
+      return std::make_unique<CallExpr>(Loc, Name.Text, std::move(Args));
+    }
+    case TokenKind::LParen: {
+      // Cast or parenthesized expression; one-token lookahead decides.
+      if (peekNext().Kind == TokenKind::KwFloat ||
+          peekNext().Kind == TokenKind::KwInt) {
+        take(); // '('
+        bool ToFloat = take().Kind == TokenKind::KwFloat;
+        if (!expect(TokenKind::RParen))
+          return nullptr;
+        ExprPtr E = parseUnary();
+        if (!E)
+          return nullptr;
+        return std::make_unique<CastExpr>(Loc, ToFloat, std::move(E));
+      }
+      take(); // '('
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokenKind::RParen))
+        return nullptr;
+      return E;
+    }
+    default:
+      diag("expected expression, found %s", tokenKindName(cur().Kind));
+      return nullptr;
+    }
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::optional<Error> Diag;
+};
+
+} // namespace
+
+Expected<ProgramDecl> pcl::parse(const std::string &Source) {
+  Expected<std::vector<Token>> Tokens = lex(Source);
+  if (!Tokens)
+    return Tokens.takeError();
+  return ParserImpl(Tokens.takeValue()).run();
+}

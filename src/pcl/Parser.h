@@ -1,0 +1,64 @@
+//===- pcl/Parser.h - Kernel language parser ---------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for PCL. The grammar (EBNF; {} repetition,
+/// [] option):
+///
+/// \code
+///   program    = { kernel } ;
+///   kernel     = "kernel" "void" IDENT "(" [ param { "," param } ] ")"
+///                block ;
+///   param      = ("global"|"local") ["const"] ("float"|"int") "*" IDENT
+///              | ("float"|"int") IDENT ;
+///   block      = "{" { stmt } "}" ;
+///   stmt       = decl | ifStmt | forStmt | whileStmt | "return" ";"
+///              | block | expr ";" ;
+///   decl       = ["local"] ("float"|"int") IDENT { "[" INT "]" }
+///                [ "=" expr ] ";" ;
+///   ifStmt     = "if" "(" expr ")" stmt [ "else" stmt ] ;
+///   forStmt    = "for" "(" (decl | expr ";" | ";") [expr] ";" [expr] ")"
+///                stmt ;
+///   whileStmt  = "while" "(" expr ")" stmt ;
+///   expr       = assign ;
+///   assign     = ternary [ ("="|"+="|"-="|"*="|"/="|"%=") assign ] ;
+///   ternary    = or [ "?" expr ":" ternary ] ;
+///   or         = and { "||" and } ;
+///   and        = cmp { "&&" cmp } ;
+///   cmp        = add [ ("=="|"!="|"<"|"<="|">"|">=") add ] ;
+///   add        = mul { ("+"|"-") mul } ;
+///   mul        = unary { ("*"|"/"|"%") unary } ;
+///   unary      = ("-"|"!"|"+"|"++"|"--") unary | postfix ;
+///   postfix    = primary { "[" expr "]" | "++" | "--" } ;
+///   primary    = INT | FLOAT | "true" | "false" | IDENT
+///              | IDENT "(" [ expr { "," expr } ] ")"
+///              | "(" ("float"|"int") ")" unary  (* cast *)
+///              | "(" expr ")" ;
+/// \endcode
+///
+/// Notable restrictions versus OpenCL C (all deliberate; documented in
+/// README): no user-defined functions, no vectors, no break/continue, and
+/// `&&`/`||` evaluate both operands (no short-circuit) -- kernels use
+/// clamp() for boundary handling, never guarded loads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PCL_PARSER_H
+#define KPERF_PCL_PARSER_H
+
+#include "pcl/AST.h"
+
+namespace kperf {
+namespace pcl {
+
+/// Parses \p Source into an AST. Returns a diagnostic ("line:col: message")
+/// on the first syntax error.
+Expected<ProgramDecl> parse(const std::string &Source);
+
+} // namespace pcl
+} // namespace kperf
+
+#endif // KPERF_PCL_PARSER_H

@@ -1,0 +1,35 @@
+//===- perforation/Pareto.cpp ----------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perforation/Pareto.h"
+
+#include <algorithm>
+
+using namespace kperf;
+using namespace kperf::perf;
+
+bool perf::dominates(const TradeoffPoint &A, const TradeoffPoint &B) {
+  if (A.Speedup < B.Speedup || A.Error > B.Error)
+    return false;
+  return A.Speedup > B.Speedup || A.Error < B.Error;
+}
+
+std::vector<size_t>
+perf::paretoFront(const std::vector<TradeoffPoint> &Points) {
+  std::vector<size_t> Front;
+  for (size_t I = 0; I < Points.size(); ++I) {
+    bool Dominated = false;
+    for (size_t J = 0; J < Points.size() && !Dominated; ++J)
+      if (I != J && dominates(Points[J], Points[I]))
+        Dominated = true;
+    if (!Dominated)
+      Front.push_back(I);
+  }
+  std::sort(Front.begin(), Front.end(), [&](size_t A, size_t B) {
+    return Points[A].Speedup < Points[B].Speedup;
+  });
+  return Front;
+}

@@ -1,0 +1,43 @@
+//===- perforation/Pareto.h - Pareto-front utilities --------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pareto-front computation over (speedup, error) points, used for the
+/// paper's Fig. 10 and by the autotuner: a configuration is Pareto-optimal
+/// if no other configuration is at least as fast *and* at least as
+/// accurate, with one of the two strictly better.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PERFORATION_PARETO_H
+#define KPERF_PERFORATION_PARETO_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kperf {
+namespace perf {
+
+/// One measured configuration.
+struct TradeoffPoint {
+  std::string Label;
+  double Speedup = 0; ///< Higher is better.
+  double Error = 0;   ///< Lower is better.
+};
+
+/// Returns true if \p A dominates \p B (A is no worse in both objectives
+/// and strictly better in at least one).
+bool dominates(const TradeoffPoint &A, const TradeoffPoint &B);
+
+/// Returns the indices of Pareto-optimal points, sorted by ascending
+/// speedup. Duplicate points are all kept.
+std::vector<size_t> paretoFront(const std::vector<TradeoffPoint> &Points);
+
+} // namespace perf
+} // namespace kperf
+
+#endif // KPERF_PERFORATION_PARETO_H

@@ -1,0 +1,98 @@
+//===- perforation/Scheme.cpp ----------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perforation/Scheme.h"
+
+#include "support/StringUtils.h"
+
+using namespace kperf;
+using namespace kperf::perf;
+
+std::string PerforationScheme::str() const {
+  auto reconName = [&]() {
+    return Recon == ReconstructionKind::NearestNeighbor ? "NN" : "LI";
+  };
+  switch (Kind) {
+  case SchemeKind::None:
+    return "Baseline";
+  case SchemeKind::Rows:
+    return format("Rows%u:%s", Period / 2, reconName());
+  case SchemeKind::Cols:
+    return format("Cols%u:%s", Period / 2, reconName());
+  case SchemeKind::Stencil:
+    return "Stencil1:NN";
+  case SchemeKind::Grid:
+    return format("Grid%u:%s", Period / 2, reconName());
+  }
+  return "?";
+}
+
+double PerforationScheme::loadedFraction(unsigned TileW, unsigned TileH,
+                                         unsigned HaloX,
+                                         unsigned HaloY) const {
+  double Total = static_cast<double>(TileW) * TileH;
+  switch (Kind) {
+  case SchemeKind::None:
+    return 1.0;
+  case SchemeKind::Rows:
+    return 1.0 / static_cast<double>(Period);
+  case SchemeKind::Cols:
+    return 1.0 / static_cast<double>(Period);
+  case SchemeKind::Stencil: {
+    double Center = static_cast<double>(TileW - 2 * HaloX) *
+                    static_cast<double>(TileH - 2 * HaloY);
+    return Center / Total;
+  }
+  case SchemeKind::Grid:
+    return 1.0 / (static_cast<double>(Period) * Period);
+  }
+  return 1.0;
+}
+
+std::vector<std::string> perf::schemeMask(const PerforationScheme &Scheme,
+                                          unsigned TileW, unsigned TileH,
+                                          unsigned HaloX, unsigned HaloY,
+                                          int OriginX, int OriginY) {
+  std::vector<std::string> Mask(TileH, std::string(TileW, '.'));
+  for (unsigned R = 0; R < TileH; ++R) {
+    for (unsigned C = 0; C < TileW; ++C) {
+      bool Loaded = false;
+      switch (Scheme.Kind) {
+      case SchemeKind::None:
+        Loaded = true;
+        break;
+      case SchemeKind::Rows: {
+        int GlobalRow = OriginY + static_cast<int>(R);
+        int M = GlobalRow % static_cast<int>(Scheme.Period);
+        Loaded = ((M + static_cast<int>(Scheme.Period)) %
+                  static_cast<int>(Scheme.Period)) == 0;
+        break;
+      }
+      case SchemeKind::Cols: {
+        int GlobalCol = OriginX + static_cast<int>(C);
+        int M = GlobalCol % static_cast<int>(Scheme.Period);
+        Loaded = ((M + static_cast<int>(Scheme.Period)) %
+                  static_cast<int>(Scheme.Period)) == 0;
+        break;
+      }
+      case SchemeKind::Stencil:
+        Loaded = R >= HaloY && R < TileH - HaloY && C >= HaloX &&
+                 C < TileW - HaloX;
+        break;
+      case SchemeKind::Grid: {
+        int P = static_cast<int>(Scheme.Period);
+        int GR = OriginY + static_cast<int>(R);
+        int GC = OriginX + static_cast<int>(C);
+        Loaded = ((GR % P + P) % P) == 0 && ((GC % P + P) % P) == 0;
+        break;
+      }
+      }
+      if (Loaded)
+        Mask[R][C] = '#';
+    }
+  }
+  return Mask;
+}

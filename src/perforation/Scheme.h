@@ -1,0 +1,91 @@
+//===- perforation/Scheme.h - Perforation scheme descriptors -----*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptors for the input-perforation schemes of the paper (section 4.4)
+/// and the reconstruction techniques (section 5.1), plus the scheme mask
+/// helper used for the scheme-visualization benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PERFORATION_SCHEME_H
+#define KPERF_PERFORATION_SCHEME_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace kperf {
+namespace perf {
+
+/// Which elements of a work-group tile the loading phase fetches.
+enum class SchemeKind : uint8_t {
+  None,    ///< Load everything (classic local-memory prefetch baseline).
+  Rows,    ///< Load rows whose *global* row index is divisible by Period.
+  Cols,    ///< Column variant of Rows (extension; matches memory poorly).
+  Stencil, ///< Load only the tile center; approximate the halo ring
+           ///< (paper Fig. 5, "Stencil1").
+  Grid,    ///< Load only points where BOTH coordinates are divisible by
+           ///< Period; reconstruct in two passes (along x on loaded
+           ///< rows, then along y). Loads 1/Period^2 of the tile -- the
+           ///< most aggressive scheme (extension beyond the paper).
+};
+
+/// How skipped elements are reconstructed in local memory.
+enum class ReconstructionKind : uint8_t {
+  NearestNeighbor, ///< Copy the nearest loaded row/column/element.
+  Linear,          ///< Interpolate between enclosing loaded rows/columns;
+                   ///< falls back to NN at tile edges (paper section 5.1).
+};
+
+/// A fully specified input-perforation configuration.
+struct PerforationScheme {
+  SchemeKind Kind = SchemeKind::None;
+  /// Rows/Cols: one of every Period rows/columns is loaded. Period 2 is
+  /// the paper's Rows1 (skip every other row); Period 4 is Rows2 (skip
+  /// 3 of 4).
+  unsigned Period = 2;
+  ReconstructionKind Recon = ReconstructionKind::NearestNeighbor;
+
+  static PerforationScheme none() { return {SchemeKind::None, 1, {}}; }
+  static PerforationScheme rows(unsigned Period, ReconstructionKind R) {
+    assert(Period >= 2 && "rows scheme needs period >= 2");
+    return {SchemeKind::Rows, Period, R};
+  }
+  static PerforationScheme cols(unsigned Period, ReconstructionKind R) {
+    assert(Period >= 2 && "cols scheme needs period >= 2");
+    return {SchemeKind::Cols, Period, R};
+  }
+  static PerforationScheme stencil() {
+    return {SchemeKind::Stencil, 1, ReconstructionKind::NearestNeighbor};
+  }
+  static PerforationScheme grid(unsigned Period, ReconstructionKind R) {
+    assert(Period >= 2 && "grid scheme needs period >= 2");
+    return {SchemeKind::Grid, Period, R};
+  }
+
+  /// Short name like "Rows1:NN" used in reports (paper Fig. 8 legend).
+  std::string str() const;
+
+  /// Fraction of tile elements fetched from global memory, for a tile of
+  /// \p TileW x \p TileH with the given halo (approximate; ignores the
+  /// global-parity phase).
+  double loadedFraction(unsigned TileW, unsigned TileH, unsigned HaloX,
+                        unsigned HaloY) const;
+};
+
+/// Renders which elements of a \p TileH x \p TileW tile are loaded ('#')
+/// versus reconstructed ('.'), assuming the tile starts at global row/col
+/// \p OriginY / \p OriginX. Used by bench_schemes and the mask tests.
+std::vector<std::string> schemeMask(const PerforationScheme &Scheme,
+                                    unsigned TileW, unsigned TileH,
+                                    unsigned HaloX, unsigned HaloY,
+                                    int OriginX, int OriginY);
+
+} // namespace perf
+} // namespace kperf
+
+#endif // KPERF_PERFORATION_SCHEME_H

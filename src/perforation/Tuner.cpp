@@ -1,0 +1,87 @@
+//===- perforation/Tuner.cpp -----------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perforation/Tuner.h"
+
+#include "support/StringUtils.h"
+
+using namespace kperf;
+using namespace kperf::perf;
+
+std::string TunerConfig::str() const {
+  return format("%s@%ux%u", Scheme.str().c_str(), TileX, TileY);
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+perf::figure9WorkGroupShapes() {
+  return {{2, 128}, {4, 64}, {8, 8},  {8, 16}, {8, 32},
+          {16, 8},  {16, 16}, {32, 8}, {64, 4}, {128, 2}};
+}
+
+std::vector<TunerConfig> perf::defaultTuningSpace() {
+  std::vector<PerforationScheme> Schemes = {
+      PerforationScheme::none(),
+      PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
+      PerforationScheme::rows(2, ReconstructionKind::Linear),
+      PerforationScheme::rows(4, ReconstructionKind::NearestNeighbor),
+      PerforationScheme::rows(4, ReconstructionKind::Linear),
+      PerforationScheme::stencil(),
+      PerforationScheme::grid(2, ReconstructionKind::Linear),
+  };
+  std::vector<TunerConfig> Space;
+  for (const PerforationScheme &S : Schemes)
+    for (auto [X, Y] : figure9WorkGroupShapes())
+      Space.push_back(TunerConfig{S, X, Y});
+  return Space;
+}
+
+std::vector<TunerResult>
+perf::tuneExhaustive(const std::vector<TunerConfig> &Space,
+                     const EvaluateFn &Evaluate) {
+  std::vector<TunerResult> Results;
+  Results.reserve(Space.size());
+  for (const TunerConfig &Config : Space) {
+    TunerResult R;
+    R.Config = Config;
+    Expected<Measurement> M = Evaluate(Config);
+    if (M) {
+      R.M = *M;
+      R.Feasible = true;
+    } else {
+      R.Note = M.error().message();
+    }
+    Results.push_back(std::move(R));
+  }
+  return Results;
+}
+
+size_t perf::bestWithinErrorBudget(const std::vector<TunerResult> &Results,
+                                   double MaxError) {
+  size_t Best = ~size_t(0);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (!Results[I].Feasible || Results[I].M.Error > MaxError)
+      continue;
+    if (Best == ~size_t(0) ||
+        Results[I].M.Speedup > Results[Best].M.Speedup)
+      Best = I;
+  }
+  return Best;
+}
+
+std::vector<TradeoffPoint>
+perf::toTradeoffPoints(const std::vector<TunerResult> &Results) {
+  std::vector<TradeoffPoint> Points;
+  for (const TunerResult &R : Results) {
+    if (!R.Feasible)
+      continue;
+    TradeoffPoint P;
+    P.Label = R.Config.str();
+    P.Speedup = R.M.Speedup;
+    P.Error = R.M.Error;
+    Points.push_back(std::move(P));
+  }
+  return Points;
+}

@@ -1,0 +1,83 @@
+//===- perforation/Tuner.h - Perforation autotuner ----------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive autotuner over perforation configurations (scheme x
+/// reconstruction x work-group shape), realizing the paper's future-work
+/// item of a library that "automatically applies and tunes the technique".
+/// The tuner is measurement-agnostic: callers supply an evaluation
+/// callback (the runtime layer provides one that compiles, runs, and
+/// scores a configuration on the simulator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_PERFORATION_TUNER_H
+#define KPERF_PERFORATION_TUNER_H
+
+#include "perforation/Pareto.h"
+#include "perforation/Scheme.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <vector>
+
+namespace kperf {
+namespace perf {
+
+/// One point of the tuning space.
+struct TunerConfig {
+  PerforationScheme Scheme;
+  unsigned TileX = 16;
+  unsigned TileY = 16;
+
+  std::string str() const;
+};
+
+/// Measurement of one configuration.
+struct Measurement {
+  double Speedup = 0;
+  double Error = 0;
+};
+
+/// Outcome of evaluating one configuration.
+struct TunerResult {
+  TunerConfig Config;
+  Measurement M;
+  bool Feasible = false;
+  std::string Note; ///< Failure reason when !Feasible.
+};
+
+/// Evaluation callback: measure one configuration or explain why it is
+/// infeasible (e.g. stencil scheme on a 1x1 kernel).
+using EvaluateFn =
+    std::function<Expected<Measurement>(const TunerConfig &)>;
+
+/// The default tuning space: {Rows1, Rows2, Stencil1, Grid1} x {NN, LI}
+/// x the work-group shapes of the paper's Fig. 9, plus the accurate
+/// baseline.
+std::vector<TunerConfig> defaultTuningSpace();
+
+/// The ten work-group shapes swept in the paper's Fig. 9.
+std::vector<std::pair<unsigned, unsigned>> figure9WorkGroupShapes();
+
+/// Evaluates every configuration. Infeasible configurations are kept in
+/// the result list with Feasible = false.
+std::vector<TunerResult> tuneExhaustive(
+    const std::vector<TunerConfig> &Space, const EvaluateFn &Evaluate);
+
+/// Filters \p Results to those meeting \p MaxError, then returns the index
+/// of the fastest; returns npos (~size_t(0)) if none qualifies.
+size_t bestWithinErrorBudget(const std::vector<TunerResult> &Results,
+                             double MaxError);
+
+/// Converts feasible results into tradeoff points for Pareto analysis.
+std::vector<TradeoffPoint>
+toTradeoffPoints(const std::vector<TunerResult> &Results);
+
+} // namespace perf
+} // namespace kperf
+
+#endif // KPERF_PERFORATION_TUNER_H

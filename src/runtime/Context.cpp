@@ -1,0 +1,101 @@
+//===- runtime/Context.cpp -------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Context.h"
+
+#include "pcl/Compiler.h"
+#include "support/StringUtils.h"
+
+using namespace kperf;
+using namespace kperf::rt;
+
+Context::Context(sim::DeviceConfig Device)
+    : Device(Device), M(std::make_unique<ir::Module>()) {}
+
+Context::~Context() = default;
+
+ir::Module &Context::module() { return *M; }
+
+Expected<Kernel> Context::compile(const std::string &Source,
+                                  const std::string &Name) {
+  Expected<ir::Function *> F = pcl::compileKernel(*M, Source, Name);
+  if (!F)
+    return F.takeError();
+  return Kernel{*F};
+}
+
+unsigned Context::createBuffer(size_t NumElements) {
+  Buffers.emplace_back(NumElements);
+  return static_cast<unsigned>(Buffers.size() - 1);
+}
+
+unsigned Context::createBufferFrom(const std::vector<float> &Values) {
+  Buffers.emplace_back();
+  Buffers.back().uploadFloats(Values);
+  return static_cast<unsigned>(Buffers.size() - 1);
+}
+
+sim::BufferData &Context::buffer(unsigned Index) {
+  assert(Index < Buffers.size() && "buffer index out of range");
+  return Buffers[Index];
+}
+
+const sim::BufferData &Context::buffer(unsigned Index) const {
+  assert(Index < Buffers.size() && "buffer index out of range");
+  return Buffers[Index];
+}
+
+Expected<sim::SimReport>
+Context::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
+                const std::vector<sim::KernelArg> &Args) {
+  assert(K.F && "launch of null kernel");
+  return sim::launchKernel(*K.F, Global, Local, Args, Buffers, Device);
+}
+
+Expected<PerforatedKernel>
+Context::perforate(const Kernel &K, const perf::PerforationPlan &Plan) {
+  std::string Name =
+      format("%s.perf%u", K.F->name().c_str(), NameCounter++);
+  Expected<perf::TransformResult> R =
+      perf::applyInputPerforation(*M, *K.F, Plan, Name);
+  if (!R)
+    return R.takeError();
+  PerforatedKernel P;
+  P.K = Kernel{R->Kernel};
+  P.LocalX = R->LocalX;
+  P.LocalY = R->LocalY;
+  P.LocalMemWords = R->LocalMemWords;
+  return P;
+}
+
+Expected<ApproxKernel>
+Context::approximateOutput(const Kernel &K,
+                           const perf::OutputApproxPlan &Plan) {
+  std::string Name =
+      format("%s.oapprox%u", K.F->name().c_str(), NameCounter++);
+  Expected<perf::OutputApproxResult> R =
+      perf::applyOutputApproximation(*M, *K.F, Plan, Name);
+  if (!R)
+    return R.takeError();
+  ApproxKernel A;
+  A.K = Kernel{R->Kernel};
+  A.DivX = R->DivX;
+  A.DivY = R->DivY;
+  return A;
+}
+
+Expected<sim::SimReport>
+Context::launchApprox(const ApproxKernel &K, sim::Range2 FullGlobal,
+                      sim::Range2 Local,
+                      const std::vector<sim::KernelArg> &Args) {
+  auto roundUp = [](unsigned V, unsigned To) {
+    return (V + To - 1) / To * To;
+  };
+  sim::Range2 Global;
+  Global.X = roundUp((FullGlobal.X + K.DivX - 1) / K.DivX, Local.X);
+  Global.Y = roundUp((FullGlobal.Y + K.DivY - 1) / K.DivY, Local.Y);
+  return launch(K.K, Global, Local, Args);
+}

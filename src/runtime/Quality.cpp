@@ -1,0 +1,81 @@
+//===- runtime/Quality.cpp --------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Quality.h"
+
+using namespace kperf;
+using namespace kperf::rt;
+
+QualityMonitor::QualityMonitor(Context &Ctx, Kernel Accurate,
+                               PerforatedKernel Approx, sim::Range2 Global,
+                               sim::Range2 AccurateLocal,
+                               double ErrorBudget, unsigned CheckEvery)
+    : Ctx(Ctx), Accurate(Accurate), Approx(Approx), Global(Global),
+      AccurateLocal(AccurateLocal), ErrorBudget(ErrorBudget),
+      CheckEvery(CheckEvery == 0 ? 1 : CheckEvery) {}
+
+Expected<MonitoredLaunch>
+QualityMonitor::launch(const std::vector<sim::KernelArg> &Args,
+                       unsigned OutBuffer, const ScoreFn &Score) {
+  ++Launches;
+  MonitoredLaunch Result;
+
+  if (FellBack) {
+    Expected<sim::SimReport> R =
+        Ctx.launch(Accurate, Global, AccurateLocal, Args);
+    if (!R)
+      return R.takeError();
+    Result.Report = *R;
+    return Result;
+  }
+
+  bool Check = Launches % CheckEvery == 0;
+  sim::Range2 ApproxLocal{Approx.LocalX, Approx.LocalY};
+
+  if (!Check) {
+    Expected<sim::SimReport> R =
+        Ctx.launch(Approx.K, Global, ApproxLocal, Args);
+    if (!R)
+      return R.takeError();
+    Result.Report = *R;
+    Result.UsedApproximate = true;
+    return Result;
+  }
+
+  // Check iteration: run both kernels from the same pre-launch output
+  // state, compare, keep the approximate result if within budget.
+  std::vector<float> Initial = Ctx.buffer(OutBuffer).downloadFloats();
+
+  Expected<sim::SimReport> AccR =
+      Ctx.launch(Accurate, Global, AccurateLocal, Args);
+  if (!AccR)
+    return AccR.takeError();
+  std::vector<float> Reference = Ctx.buffer(OutBuffer).downloadFloats();
+
+  Ctx.buffer(OutBuffer).uploadFloats(Initial);
+  Expected<sim::SimReport> AppR =
+      Ctx.launch(Approx.K, Global, ApproxLocal, Args);
+  if (!AppR)
+    return AppR.takeError();
+  std::vector<float> Test = Ctx.buffer(OutBuffer).downloadFloats();
+
+  double Err = Score(Reference, Test);
+  History.push_back(Err);
+  Result.Checked = true;
+  Result.MeasuredError = Err;
+
+  if (Err > ErrorBudget) {
+    // Budget violated: restore the accurate result and stop approximating.
+    FellBack = true;
+    Ctx.buffer(OutBuffer).uploadFloats(Reference);
+    Result.Report = *AccR;
+    Result.UsedApproximate = false;
+    return Result;
+  }
+  Result.Report = *AppR;
+  Result.UsedApproximate = true;
+  return Result;
+}

@@ -1,0 +1,96 @@
+//===- runtime/Quality.h - Runtime quality-of-result control ------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime quality monitor in the spirit of the Sage/Paraprox runtime
+/// helpers the paper cites: an application keeps launching the perforated
+/// kernel, and the monitor periodically re-runs the accurate kernel on
+/// the same inputs to measure the actual output error. If the measured
+/// error exceeds the budget, the monitor permanently falls back to the
+/// accurate kernel ("the target output quality criteria are met",
+/// Paraprox section of the paper's related work).
+///
+/// Usage:
+/// \code
+///   rt::QualityMonitor Mon(Ctx, Accurate, Perforated, Global,
+///                          {AccLocalX, AccLocalY}, {PerfLocalX, ...},
+///                          Budget);
+///   for (Frame F : Video) {
+///     ... upload F ...
+///     auto R = Mon.launch(Args, OutBufferIndex, ScoreFn);
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_RUNTIME_QUALITY_H
+#define KPERF_RUNTIME_QUALITY_H
+
+#include "runtime/Context.h"
+
+#include <functional>
+
+namespace kperf {
+namespace rt {
+
+/// Computes the error of a test output against a reference output.
+using ScoreFn = std::function<double(const std::vector<float> &Reference,
+                                     const std::vector<float> &Test)>;
+
+/// Outcome of one monitored launch.
+struct MonitoredLaunch {
+  sim::SimReport Report;
+  bool UsedApproximate = false; ///< Which kernel actually ran.
+  bool Checked = false;         ///< This launch included a quality check.
+  double MeasuredError = 0;     ///< Valid when Checked.
+};
+
+/// Periodically validates a perforated kernel against its accurate
+/// original and falls back when the error budget is violated.
+class QualityMonitor {
+public:
+  /// \p CheckEvery: every N-th launch runs both kernels and compares
+  /// (N=1 checks always; larger N amortizes the accurate run's cost).
+  QualityMonitor(Context &Ctx, Kernel Accurate, PerforatedKernel Approx,
+                 sim::Range2 Global, sim::Range2 AccurateLocal,
+                 double ErrorBudget, unsigned CheckEvery = 8);
+
+  /// Launches the currently selected kernel; on check iterations, also
+  /// runs the accurate kernel into a scratch buffer and scores the
+  /// outputs with \p Score. \p OutBuffer is the kernel's output buffer
+  /// index inside the context (its pre-launch contents are restored
+  /// before each kernel runs, so both see the same initial state).
+  Expected<MonitoredLaunch> launch(const std::vector<sim::KernelArg> &Args,
+                                   unsigned OutBuffer,
+                                   const ScoreFn &Score);
+
+  /// True once the monitor has given up on the approximate kernel.
+  bool fellBack() const { return FellBack; }
+
+  /// Number of launches performed so far.
+  unsigned launches() const { return Launches; }
+
+  /// Errors measured at check points, in order.
+  const std::vector<double> &history() const { return History; }
+
+private:
+  Context &Ctx;
+  Kernel Accurate;
+  PerforatedKernel Approx;
+  sim::Range2 Global;
+  sim::Range2 AccurateLocal;
+  double ErrorBudget;
+  unsigned CheckEvery;
+
+  bool FellBack = false;
+  unsigned Launches = 0;
+  std::vector<double> History;
+};
+
+} // namespace rt
+} // namespace kperf
+
+#endif // KPERF_RUNTIME_QUALITY_H

@@ -1,0 +1,30 @@
+//===- support/Error.cpp --------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdarg>
+#include <vector>
+
+using namespace kperf;
+
+Error kperf::makeError(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+  va_end(Args);
+  return Error(std::string(Buf.data(), static_cast<size_t>(Needed)));
+}
+
+void kperf::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "kperf fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,128 @@
+//===- support/Error.h - Lightweight error handling -------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error handling primitives in the spirit of llvm::Error and
+/// llvm::Expected, reduced to what this project needs: an error is a message
+/// string, and Expected<T> carries either a value or such a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_SUPPORT_ERROR_H
+#define KPERF_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kperf {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// A default-constructed Error represents success. Unlike llvm::Error this
+/// class does not enforce checking at destruction time; it is a plain value
+/// type. Library code never throws; fallible functions return Error or
+/// Expected<T>.
+class Error {
+public:
+  /// Constructs a success value.
+  Error() = default;
+
+  /// Constructs a failure value with message \p Message.
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  /// Returns true if this represents a failure.
+  explicit operator bool() const { return Message.has_value(); }
+
+  /// Returns the message; only valid on failure values.
+  const std::string &message() const {
+    assert(Message && "message() called on success Error");
+    return *Message;
+  }
+
+  /// Creates a success value (for symmetry with llvm::Error::success()).
+  static Error success() { return Error(); }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Creates a failure Error from a printf-style format string.
+Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Either a value of type \p T or an Error describing why it is absent.
+///
+/// Modeled after llvm::Expected but without move-only error tracking:
+/// callers test with operator bool and then use operator* / takeError().
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure value. \p E must be a failure.
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "Expected constructed from success Error");
+  }
+
+  /// Returns true if a value is present.
+  explicit operator bool() const { return Value.has_value(); }
+
+  /// Accesses the contained value.
+  T &operator*() {
+    assert(Value && "dereferencing errorful Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing errorful Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Returns the contained error (failure values only).
+  const Error &error() const {
+    assert(Err && "error() called on success Expected");
+    return Err;
+  }
+
+  /// Moves the error out of this Expected.
+  Error takeError() { return std::move(Err); }
+
+  /// Moves the value out of this Expected.
+  T takeValue() {
+    assert(Value && "takeValue() on errorful Expected");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Aborts with \p Message; used for invariant violations that indicate a
+/// bug in this library rather than bad user input.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Unwraps \p E, aborting with its message on failure. For tool/test code
+/// where an error is unrecoverable, mirroring llvm::cantFail.
+template <typename T> T cantFail(Expected<T> E) {
+  if (!E)
+    reportFatalError(E.error().message());
+  return E.takeValue();
+}
+
+/// Checks that \p E is a success value, aborting otherwise.
+inline void cantFail(Error E) {
+  if (E)
+    reportFatalError(E.message());
+}
+
+} // namespace kperf
+
+#endif // KPERF_SUPPORT_ERROR_H

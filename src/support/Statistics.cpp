@@ -1,0 +1,69 @@
+//===- support/Statistics.cpp ---------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace kperf;
+
+double kperf::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double kperf::variance(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0;
+  double M = mean(Values);
+  double Sum = 0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return Sum / static_cast<double>(Values.size());
+}
+
+double kperf::quantile(std::vector<double> Values, double Q) {
+  assert(!Values.empty() && "quantile of empty range");
+  assert(Q >= 0 && Q <= 1 && "quantile parameter out of [0,1]");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(std::floor(Pos));
+  size_t Hi = static_cast<size_t>(std::ceil(Pos));
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+Summary kperf::summarize(const std::vector<double> &Values) {
+  assert(!Values.empty() && "summarize of empty range");
+  Summary S;
+  S.Min = quantile(Values, 0.0);
+  S.Q1 = quantile(Values, 0.25);
+  S.Median = quantile(Values, 0.5);
+  S.Q3 = quantile(Values, 0.75);
+  S.Max = quantile(Values, 1.0);
+  S.Mean = mean(Values);
+  S.Count = Values.size();
+  return S;
+}
+
+double kperf::fractionBelow(const std::vector<double> &Values,
+                            double Threshold) {
+  if (Values.empty())
+    return 0;
+  size_t N = 0;
+  for (double V : Values)
+    if (V <= Threshold)
+      ++N;
+  return static_cast<double>(N) / static_cast<double>(Values.size());
+}

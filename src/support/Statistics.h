@@ -1,0 +1,51 @@
+//===- support/Statistics.h - Descriptive statistics ------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics used by the evaluation harness: mean, quantiles,
+/// and five-number summaries for the boxplot-style figures of the paper
+/// (Fig. 6 error distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_SUPPORT_STATISTICS_H
+#define KPERF_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace kperf {
+
+/// Five-number summary plus mean, as rendered in a boxplot.
+struct Summary {
+  double Min = 0;
+  double Q1 = 0;
+  double Median = 0;
+  double Q3 = 0;
+  double Max = 0;
+  double Mean = 0;
+  size_t Count = 0;
+};
+
+/// Returns the arithmetic mean of \p Values; 0 for an empty range.
+double mean(const std::vector<double> &Values);
+
+/// Returns the population variance of \p Values; 0 for fewer than 2 samples.
+double variance(const std::vector<double> &Values);
+
+/// Returns the \p Q quantile (0 <= Q <= 1) using linear interpolation
+/// between closest ranks. Asserts on an empty input.
+double quantile(std::vector<double> Values, double Q);
+
+/// Computes the five-number summary of \p Values. Asserts on empty input.
+Summary summarize(const std::vector<double> &Values);
+
+/// Returns the fraction of \p Values that are <= \p Threshold.
+double fractionBelow(const std::vector<double> &Values, double Threshold);
+
+} // namespace kperf
+
+#endif // KPERF_SUPPORT_STATISTICS_H

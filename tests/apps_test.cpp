@@ -1,0 +1,410 @@
+//===- tests/apps_test.cpp - application and reference tests ----------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "img/Generators.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::apps;
+using namespace kperf::img;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Reference implementation invariants
+//===----------------------------------------------------------------------===//
+
+TEST(ReferenceTest, GaussianPreservesConstants) {
+  Image C(16, 16, 0.6f);
+  Image Out = referenceGaussian(C);
+  for (float P : Out.pixels())
+    EXPECT_NEAR(P, 0.6f, 1e-6);
+}
+
+TEST(ReferenceTest, GaussianSmooths) {
+  // The blurred image has smaller row-to-row differences than the input.
+  Image In = generateImage(ImageClass::Noise, 32, 32, 2);
+  Image Out = referenceGaussian(In);
+  auto Roughness = [](const Image &I) {
+    double S = 0;
+    for (unsigned Y = 0; Y + 1 < I.height(); ++Y)
+      for (unsigned X = 0; X < I.width(); ++X)
+        S += std::fabs(I.at(X, Y + 1) - I.at(X, Y));
+    return S;
+  };
+  EXPECT_LT(Roughness(Out), Roughness(In));
+}
+
+TEST(ReferenceTest, InversionIsInvolution) {
+  Image In = generateImage(ImageClass::Natural, 16, 16, 3);
+  Image Twice = referenceInversion(referenceInversion(In));
+  for (unsigned Y = 0; Y < 16; ++Y)
+    for (unsigned X = 0; X < 16; ++X)
+      EXPECT_NEAR(Twice.at(X, Y), In.at(X, Y), 1e-6);
+}
+
+TEST(ReferenceTest, MedianOfConstantIsConstant) {
+  Image C(16, 16, 0.3f);
+  Image Out = referenceMedian(C);
+  for (float P : Out.pixels())
+    EXPECT_FLOAT_EQ(P, 0.3f);
+}
+
+TEST(ReferenceTest, MedianRemovesSaltAndPepper) {
+  // A single outlier pixel in a flat image disappears entirely.
+  Image In(16, 16, 0.5f);
+  In.set(8, 8, 1.0f);
+  Image Out = referenceMedian(In);
+  for (float P : Out.pixels())
+    EXPECT_FLOAT_EQ(P, 0.5f);
+}
+
+TEST(ReferenceTest, MedianOutputIsAnInputValue) {
+  Image In = generateImage(ImageClass::Noise, 16, 16, 4);
+  Image Out = referenceMedian(In);
+  for (int Y = 0; Y < 16; ++Y)
+    for (int X = 0; X < 16; ++X) {
+      bool Found = false;
+      for (int Dy = -1; Dy <= 1 && !Found; ++Dy)
+        for (int Dx = -1; Dx <= 1 && !Found; ++Dx)
+          if (In.atClamped(X + Dx, Y + Dy) ==
+              Out.at(static_cast<unsigned>(X), static_cast<unsigned>(Y)))
+            Found = true;
+      EXPECT_TRUE(Found) << X << "," << Y;
+    }
+}
+
+TEST(ReferenceTest, SobelOfConstantIsZero) {
+  Image C(16, 16, 0.8f);
+  Image S3 = referenceSobel3(C);
+  for (float P : S3.pixels())
+    EXPECT_FLOAT_EQ(P, 0.0f);
+  // Sobel5's +/- weights cancel only up to float rounding.
+  Image S5 = referenceSobel5(C);
+  for (float P : S5.pixels())
+    EXPECT_NEAR(P, 0.0f, 1e-6f);
+}
+
+TEST(ReferenceTest, SobelDetectsVerticalEdge) {
+  Image In(16, 16, 0.0f);
+  for (unsigned Y = 0; Y < 16; ++Y)
+    for (unsigned X = 8; X < 16; ++X)
+      In.set(X, Y, 1.0f);
+  Image Out = referenceSobel3(In);
+  // Strong response on the edge column, none far away.
+  EXPECT_GT(Out.at(8, 8), 0.4f);
+  EXPECT_FLOAT_EQ(Out.at(2, 8), 0.0f);
+}
+
+TEST(ReferenceTest, SobelIsNonNegative) {
+  Image In = generateImage(ImageClass::Pattern, 16, 16, 7);
+  Image Out = referenceSobel3(In);
+  for (float P : Out.pixels())
+    EXPECT_GE(P, 0.0f);
+}
+
+TEST(ReferenceTest, HotspotEquilibriumIsStable) {
+  // temp == ambient everywhere, zero power: nothing changes.
+  HotspotParams P;
+  Image Temp(16, 16, P.Ambient);
+  Image Power(16, 16, 0.0f);
+  Image Out = referenceHotspotStep(Power, Temp, P);
+  for (float V : Out.pixels())
+    EXPECT_NEAR(V, P.Ambient, 1e-4);
+}
+
+TEST(ReferenceTest, HotspotPowerHeats) {
+  HotspotParams P;
+  Image Temp(16, 16, P.Ambient);
+  Image Power(16, 16, 0.0f);
+  Power.set(8, 8, 1.0f);
+  Image Out = referenceHotspot(Power, Temp, P, 4);
+  EXPECT_GT(Out.at(8, 8), P.Ambient);
+  // Heat diffuses to neighbors over iterations.
+  EXPECT_GT(Out.at(9, 8), P.Ambient);
+}
+
+TEST(ReferenceTest, HotspotIterationsCompose) {
+  HotspotParams P;
+  Workload W = makeHotspotWorkload(16, 5, 1);
+  Image OneTwice = referenceHotspotStep(
+      W.Power, referenceHotspotStep(W.Power, W.Input, P), P);
+  Image Two = referenceHotspot(W.Power, W.Input, P, 2);
+  EXPECT_EQ(OneTwice.pixels(), Two.pixels());
+}
+
+//===----------------------------------------------------------------------===//
+// App registry and harness
+//===----------------------------------------------------------------------===//
+
+TEST(AppsTest, RegistryComplete) {
+  auto All = makeAllApps();
+  ASSERT_EQ(All.size(), 6u);
+  const char *Names[] = {"gaussian", "median",
+                         "hotspot",  "inversion",
+                         "sobel3",   "sobel5"};
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_EQ(All[I]->name(), Names[I]);
+  EXPECT_EQ(makeApp("no_such_app"), nullptr);
+}
+
+TEST(AppsTest, MetricSelectionMatchesTable1) {
+  EXPECT_STREQ(makeApp("gaussian")->metricName(), "Mean relative error");
+  EXPECT_STREQ(makeApp("median")->metricName(), "Mean relative error");
+  EXPECT_STREQ(makeApp("hotspot")->metricName(), "Mean relative error");
+  EXPECT_STREQ(makeApp("inversion")->metricName(), "Mean relative error");
+  EXPECT_STREQ(makeApp("sobel3")->metricName(), "Mean error");
+  EXPECT_STREQ(makeApp("sobel5")->metricName(), "Mean error");
+}
+
+TEST(AppsTest, BaselineLocalChoiceMatchesPaper) {
+  // Inversion has no data reuse: plain baseline (paper 6.1). Others use
+  // local-memory prefetch.
+  EXPECT_FALSE(makeApp("inversion")->baselineUsesLocalMemory());
+  EXPECT_TRUE(makeApp("gaussian")->baselineUsesLocalMemory());
+  EXPECT_TRUE(makeApp("median")->baselineUsesLocalMemory());
+  EXPECT_TRUE(makeApp("sobel5")->baselineUsesLocalMemory());
+}
+
+TEST(AppsTest, ScoreUsesSelectedMetric) {
+  auto Sobel = makeApp("sobel3");
+  // Mean error of {0 vs 0.5} is 0.5; MRE would skip the zero sample.
+  EXPECT_NEAR(Sobel->score({0.0f}, {0.5f}), 0.5, 1e-9);
+  auto Gauss = makeApp("gaussian");
+  EXPECT_NEAR(Gauss->score({0.0f}, {0.5f}), 0.0, 1e-9);
+}
+
+TEST(AppsTest, HotspotWorkloadShape) {
+  Workload W = makeHotspotWorkload(32, 1, 5);
+  EXPECT_EQ(W.Input.width(), 32u);
+  EXPECT_EQ(W.Power.width(), 32u);
+  EXPECT_EQ(W.Iterations, 5u);
+  // Power has hot units above the leakage floor.
+  float MaxPower = 0;
+  for (float P : W.Power.pixels())
+    MaxPower = std::max(MaxPower, P);
+  EXPECT_GT(MaxPower, 0.4f);
+}
+
+TEST(AppsTest, HotspotRunMatchesIterationCount) {
+  auto App = makeApp("hotspot");
+  Workload W = makeHotspotWorkload(32, 2, 3);
+  rt::Context Ctx;
+  BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+  RunOutcome R = cantFail(App->run(Ctx, BK, W));
+  // Three launches of 32x32 items.
+  EXPECT_EQ(R.Report.Totals.WorkItems, 3u * 32 * 32);
+  // And the result matches three reference steps.
+  std::vector<float> Ref = App->reference(W);
+  for (size_t I = 0; I < Ref.size(); ++I)
+    ASSERT_NEAR(R.Output[I], Ref[I], 1e-3) << I;
+}
+
+TEST(AppsTest, ImageWorkloadRoundTrip) {
+  Image I = generateImage(ImageClass::Flat, 16, 16, 1);
+  Workload W = makeImageWorkload(I);
+  EXPECT_EQ(W.Input.pixels(), I.pixels());
+}
+
+//===----------------------------------------------------------------------===//
+// Extension applications (paper 4.3 Paraprox suite)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtensionReferenceTest, MeanPreservesConstants) {
+  Image C(16, 16, 0.4f);
+  Image Out = referenceMean(C);
+  for (float P : Out.pixels())
+    EXPECT_NEAR(P, 0.4f, 1e-6);
+}
+
+TEST(ExtensionReferenceTest, MeanIsWindowAverage) {
+  Image In(8, 8, 0.0f);
+  In.set(4, 4, 0.9f);
+  Image Out = referenceMean(In);
+  // Every pixel whose 3x3 window contains the spike averages it in.
+  EXPECT_NEAR(Out.at(4, 4), 0.1f, 1e-6);
+  EXPECT_NEAR(Out.at(3, 3), 0.1f, 1e-6);
+  EXPECT_NEAR(Out.at(2, 2), 0.0f, 1e-6);
+}
+
+TEST(ExtensionReferenceTest, SharpenPreservesConstantsInRange) {
+  Image C(16, 16, 0.5f);
+  // 5c - 4c = c for any in-range constant.
+  Image Out = referenceSharpen(C);
+  for (float P : Out.pixels())
+    EXPECT_NEAR(P, 0.5f, 1e-6);
+}
+
+TEST(ExtensionReferenceTest, SharpenAmplifiesEdges) {
+  // A step edge: sharpen overshoots on both sides (clamped to [0,1]).
+  Image In(16, 16, 0.2f);
+  for (unsigned Y = 0; Y < 16; ++Y)
+    for (unsigned X = 8; X < 16; ++X)
+      In.set(X, Y, 0.8f);
+  Image Out = referenceSharpen(In);
+  EXPECT_LT(Out.at(7, 8), 0.2f);  // Dark side dips darker.
+  EXPECT_GT(Out.at(8, 8), 0.8f);  // Bright side overshoots.
+  for (float P : Out.pixels()) {
+    EXPECT_GE(P, 0.0f);
+    EXPECT_LE(P, 1.0f);
+  }
+}
+
+TEST(ExtensionReferenceTest, ConvSepPassesCommute) {
+  // Row-then-column equals column-then-row for a separable filter.
+  Image In = generateImage(ImageClass::Natural, 24, 24, 7);
+  Image RC = referenceConvSepCol(referenceConvSepRow(In));
+  Image CR = referenceConvSepRow(referenceConvSepCol(In));
+  for (unsigned Y = 0; Y < 24; ++Y)
+    for (unsigned X = 0; X < 24; ++X)
+      EXPECT_NEAR(RC.at(X, Y), CR.at(X, Y), 1e-5);
+}
+
+TEST(ExtensionReferenceTest, ConvSepPreservesConstants) {
+  Image C(16, 16, 0.7f);
+  Image Out = referenceConvSep(C);
+  for (float P : Out.pixels())
+    EXPECT_NEAR(P, 0.7f, 1e-5);
+}
+
+TEST(ExtensionReferenceTest, ConvSepMatchesDense5x5) {
+  // The two 1D passes must equal the dense separable 5x5 convolution.
+  Image In = generateImage(ImageClass::Noise, 20, 20, 9);
+  Image Sep = referenceConvSep(In);
+  static const float Taps[5] = {0.0625f, 0.25f, 0.375f, 0.25f, 0.0625f};
+  for (int Y = 0; Y < 20; ++Y)
+    for (int X = 0; X < 20; ++X) {
+      float Acc = 0;
+      for (int Ky = -2; Ky <= 2; ++Ky)
+        for (int Kx = -2; Kx <= 2; ++Kx)
+          Acc += Taps[Ky + 2] * Taps[Kx + 2] * In.atClamped(X + Kx, Y + Ky);
+      // Interior only: at clamped borders the order of clamping differs
+      // between "clamp then convolve per axis" and the dense form.
+      if (X >= 2 && X < 18 && Y >= 2 && Y < 18) {
+        EXPECT_NEAR(Sep.at(static_cast<unsigned>(X),
+                           static_cast<unsigned>(Y)),
+                    Acc, 1e-5)
+            << X << "," << Y;
+      }
+    }
+}
+
+TEST(ExtensionAppsTest, RegistryComplete) {
+  auto Ext = makeExtensionApps();
+  ASSERT_EQ(Ext.size(), 3u);
+  EXPECT_EQ(Ext[0]->name(), "mean");
+  EXPECT_EQ(Ext[1]->name(), "sharpen");
+  EXPECT_EQ(Ext[2]->name(), "convsep");
+  // The paper's Table 1 registry stays exactly six entries.
+  EXPECT_EQ(makeAllApps().size(), 6u);
+}
+
+TEST(ExtensionAppsTest, MetricSelection) {
+  EXPECT_STREQ(makeApp("mean")->metricName(), "Mean relative error");
+  EXPECT_STREQ(makeApp("convsep")->metricName(), "Mean relative error");
+  // Sharpen clamps to [0,1] and produces exact zeros: mean error.
+  EXPECT_STREQ(makeApp("sharpen")->metricName(), "Mean error");
+}
+
+TEST(ExtensionAppsTest, PlainVariantsMatchReferences) {
+  for (const char *Name : {"mean", "sharpen", "convsep"}) {
+    auto App = makeApp(Name);
+    ASSERT_NE(App, nullptr);
+    Workload W =
+        makeImageWorkload(generateImage(ImageClass::Natural, 32, 32, 11));
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+    RunOutcome R = cantFail(App->run(Ctx, BK, W));
+    std::vector<float> Ref = App->reference(W);
+    ASSERT_EQ(R.Output.size(), Ref.size());
+    for (size_t I = 0; I < Ref.size(); ++I)
+      ASSERT_NEAR(R.Output[I], Ref[I], 1e-4) << Name << " @" << I;
+  }
+}
+
+TEST(ExtensionAppsTest, ConvSepIsTwoPass) {
+  auto App = makeApp("convsep");
+  rt::Context Ctx;
+  BuiltKernel Plain = cantFail(App->buildPlain(Ctx, {16, 16}));
+  EXPECT_TRUE(Plain.isTwoPass());
+  BuiltKernel Perf = cantFail(App->buildPerforated(
+      Ctx, perf::PerforationScheme::rows(2,
+                                         perf::ReconstructionKind::Linear),
+      {16, 16}));
+  EXPECT_TRUE(Perf.isTwoPass());
+  // Single-pass apps never set a second kernel.
+  auto Gauss = makeApp("gaussian");
+  BuiltKernel G = cantFail(Gauss->buildPlain(Ctx, {16, 16}));
+  EXPECT_FALSE(G.isTwoPass());
+}
+
+TEST(ExtensionAppsTest, ConvSepWorkItemsCoverBothPasses) {
+  auto App = makeApp("convsep");
+  Workload W =
+      makeImageWorkload(generateImage(ImageClass::Flat, 32, 32, 3));
+  rt::Context Ctx;
+  BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+  RunOutcome R = cantFail(App->run(Ctx, BK, W));
+  EXPECT_EQ(R.Report.Totals.WorkItems, 2u * 32 * 32);
+}
+
+TEST(ExtensionAppsTest, ConvSepStencilSchemeBuilds) {
+  // The row pass has a halo only in x, the column pass only in y; the
+  // stencil scheme must handle one-sided halos.
+  auto App = makeApp("convsep");
+  Workload W =
+      makeImageWorkload(generateImage(ImageClass::Natural, 32, 32, 13));
+  rt::Context Ctx;
+  Expected<BuiltKernel> BK =
+      App->buildPerforated(Ctx, perf::PerforationScheme::stencil(),
+                           {16, 16});
+  ASSERT_TRUE(static_cast<bool>(BK)) << BK.error().message();
+  RunOutcome R = cantFail(App->run(Ctx, *BK, W));
+  double Err = App->score(App->reference(W), R.Output);
+  EXPECT_LT(Err, 0.02); // Stencil approximates only the halo ring.
+}
+
+TEST(ExtensionAppsTest, ConvSepOutputApproxShrinksSecondPassOnly) {
+  auto App = makeApp("convsep");
+  Workload W =
+      makeImageWorkload(generateImage(ImageClass::Natural, 32, 32, 17));
+  rt::Context Ctx;
+  BuiltKernel BK = cantFail(App->buildOutputApprox(
+      Ctx, perf::OutputSchemeKind::Rows, 2, {16, 16}));
+  EXPECT_TRUE(BK.isTwoPass());
+  RunOutcome R = cantFail(App->run(Ctx, BK, W));
+  // Pass 1 runs all 32x32 items; pass 2 runs a third of the rows
+  // (rounded up to work-group multiples).
+  EXPECT_LT(R.Report.Totals.WorkItems, 2u * 32 * 32);
+  EXPECT_GE(R.Report.Totals.WorkItems, 32u * 32 + 32 * 32 / 3);
+  double Err = App->score(App->reference(W), R.Output);
+  EXPECT_GT(Err, 0.0);
+  EXPECT_LT(Err, 0.25);
+}
+
+TEST(ExtensionAppsTest, PerforatedVariantsStayAccurateEnough) {
+  // Rows1:LI on smooth input: each extension app's perforated output must
+  // stay within a few percent of the reference.
+  for (const char *Name : {"mean", "sharpen", "convsep"}) {
+    auto App = makeApp(Name);
+    Workload W =
+        makeImageWorkload(generateImage(ImageClass::Natural, 64, 64, 5));
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(App->buildPerforated(
+        Ctx,
+        perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
+        {16, 16}));
+    RunOutcome R = cantFail(App->run(Ctx, BK, W));
+    double Err = App->score(App->reference(W), R.Output);
+    EXPECT_LT(Err, 0.06) << Name;
+    EXPECT_GT(Err, 0.0) << Name << " (perforation must not be a no-op)";
+  }
+}
+
+} // namespace

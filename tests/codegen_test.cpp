@@ -1,0 +1,297 @@
+//===- tests/codegen_test.cpp - AST-to-IR lowering tests --------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pcl/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+namespace irns = kperf::ir;
+
+namespace {
+
+irns::Function *compileOk(irns::Module &M, const std::string &Source) {
+  Expected<std::vector<irns::Function *>> F = pcl::compile(M, Source);
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.error().message());
+  return F && !F->empty() ? F->front() : nullptr;
+}
+
+std::string compileErr(const std::string &Source) {
+  irns::Module M;
+  Expected<std::vector<irns::Function *>> F = pcl::compile(M, Source);
+  EXPECT_FALSE(static_cast<bool>(F));
+  return F ? "" : F.error().message();
+}
+
+std::string wrap(const std::string &Body) {
+  return "kernel void k(global const float* in, global float* out, "
+         "int w, int h) {" +
+         Body + "}";
+}
+
+TEST(CodeGenTest, EmptyKernelVerifies) {
+  irns::Module M;
+  irns::Function *F = compileOk(M, "kernel void f() {}");
+  ASSERT_TRUE(F);
+  EXPECT_FALSE(irns::verifyFunction(*F));
+  // Entry block ends with an implicit ret.
+  EXPECT_EQ(F->entry()->terminator()->opcode(), irns::Opcode::Ret);
+}
+
+TEST(CodeGenTest, ArgumentsTyped) {
+  irns::Module M;
+  irns::Function *F = compileOk(M, wrap(""));
+  ASSERT_TRUE(F);
+  ASSERT_EQ(F->numArguments(), 4u);
+  EXPECT_TRUE(F->argument(0)->type().isPointer());
+  EXPECT_TRUE(F->argument(0)->isConst());
+  EXPECT_EQ(F->argument(0)->type().addressSpace(),
+            irns::AddressSpace::Global);
+  EXPECT_FALSE(F->argument(1)->isConst());
+  EXPECT_TRUE(F->argument(2)->type().isInt());
+}
+
+TEST(CodeGenTest, AllKernelsInModuleByName) {
+  irns::Module M;
+  compileOk(M, "kernel void a() {} kernel void b() {}");
+  EXPECT_TRUE(M.function("a"));
+  EXPECT_TRUE(M.function("b"));
+  EXPECT_FALSE(M.function("c"));
+}
+
+TEST(CodeGenTest, CompileKernelSelectsByName) {
+  irns::Module M;
+  Expected<irns::Function *> F =
+      pcl::compileKernel(M, "kernel void a() {} kernel void b() {}", "b");
+  ASSERT_TRUE(static_cast<bool>(F));
+  EXPECT_EQ((*F)->name(), "b");
+}
+
+TEST(CodeGenTest, CompileKernelUnknownName) {
+  irns::Module M;
+  Expected<irns::Function *> F =
+      pcl::compileKernel(M, "kernel void a() {}", "zz");
+  EXPECT_FALSE(static_cast<bool>(F));
+}
+
+TEST(CodeGenTest, ImplicitIntToFloatPromotion) {
+  irns::Module M;
+  EXPECT_TRUE(compileOk(M, wrap("float x = 1; float y = x + 2;")));
+}
+
+TEST(CodeGenTest, ImplicitFloatToIntOnAssign) {
+  irns::Module M;
+  EXPECT_TRUE(compileOk(M, wrap("int x = 2.5;")));
+}
+
+TEST(CodeGenTest, MixedComparisonPromotes) {
+  irns::Module M;
+  EXPECT_TRUE(compileOk(M, wrap("float f = 1.0; if (f < 2) return;")));
+}
+
+TEST(CodeGenTest, ModuloRequiresInt) {
+  std::string Msg = compileErr(wrap("float f = 1.0; float g = f % 2.0;"));
+  EXPECT_NE(Msg.find("'%'"), std::string::npos);
+}
+
+TEST(CodeGenTest, UndeclaredVariable) {
+  std::string Msg = compileErr(wrap("int x = nope;"));
+  EXPECT_NE(Msg.find("undeclared"), std::string::npos);
+}
+
+TEST(CodeGenTest, Redeclaration) {
+  std::string Msg = compileErr(wrap("int x = 1; int x = 2;"));
+  EXPECT_NE(Msg.find("redeclaration"), std::string::npos);
+}
+
+TEST(CodeGenTest, ShadowingInInnerScopeAllowed) {
+  irns::Module M;
+  EXPECT_TRUE(compileOk(M, wrap("int x = 1; { int x = 2; x = 3; }")));
+}
+
+TEST(CodeGenTest, ScopeEndsAtBlock) {
+  std::string Msg = compileErr(wrap("{ int x = 1; } x = 2;"));
+  EXPECT_NE(Msg.find("undeclared"), std::string::npos);
+}
+
+TEST(CodeGenTest, ConditionMustBeBool) {
+  std::string Msg = compileErr(wrap("if (1) return;"));
+  EXPECT_NE(Msg.find("bool"), std::string::npos);
+}
+
+TEST(CodeGenTest, LogicalOperandsMustBeBool) {
+  std::string Msg = compileErr(wrap("if (true && 1) return;"));
+  EXPECT_NE(Msg.find("bool"), std::string::npos);
+}
+
+TEST(CodeGenTest, PointerParamNotAssignable) {
+  std::string Msg = compileErr(wrap("in = out;"));
+  EXPECT_FALSE(Msg.empty());
+}
+
+TEST(CodeGenTest, StoreToConstBufferRejected) {
+  std::string Msg = compileErr(wrap("in[0] = 1.0;"));
+  EXPECT_NE(Msg.find("const"), std::string::npos);
+}
+
+TEST(CodeGenTest, ArrayNeedsFullIndexing) {
+  std::string Msg = compileErr(wrap("float a[2][2]; float x = a[0];"));
+  EXPECT_NE(Msg.find("indices"), std::string::npos);
+}
+
+TEST(CodeGenTest, ArrayUsedWithoutIndex) {
+  std::string Msg = compileErr(wrap("float a[2]; float x = a;"));
+  EXPECT_NE(Msg.find("without index"), std::string::npos);
+}
+
+TEST(CodeGenTest, PointerIndexedExactlyOnce) {
+  std::string Msg = compileErr(wrap("float x = in[0][1];"));
+  EXPECT_NE(Msg.find("exactly once"), std::string::npos);
+}
+
+TEST(CodeGenTest, IndexMustBeInt) {
+  std::string Msg = compileErr(wrap("float x = in[1.5];"));
+  EXPECT_NE(Msg.find("index must be int"), std::string::npos);
+}
+
+TEST(CodeGenTest, UnknownFunction) {
+  std::string Msg = compileErr(wrap("float x = sinf(1.0);"));
+  EXPECT_NE(Msg.find("unknown function"), std::string::npos);
+}
+
+TEST(CodeGenTest, BuiltinArityChecked) {
+  std::string Msg = compileErr(wrap("float x = min(1.0);"));
+  EXPECT_NE(Msg.find("expects 2"), std::string::npos);
+}
+
+TEST(CodeGenTest, IncDecRequiresIntLValue) {
+  std::string Msg = compileErr(wrap("float f = 0.0; f++;"));
+  EXPECT_NE(Msg.find("int lvalue"), std::string::npos);
+}
+
+TEST(CodeGenTest, IncDecOnLiteralRejected) {
+  std::string Msg = compileErr(wrap("3++;"));
+  EXPECT_FALSE(Msg.empty());
+}
+
+TEST(CodeGenTest, BarrierAsStatement) {
+  irns::Module M;
+  irns::Function *F = compileOk(
+      M, wrap("local float t[4]; t[0] = 1.0; barrier(); float x = t[0];"));
+  ASSERT_TRUE(F);
+  bool FoundBarrier = false;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (I->opcode() == irns::Opcode::Call &&
+          I->callee() == irns::Builtin::Barrier)
+        FoundBarrier = true;
+  EXPECT_TRUE(FoundBarrier);
+}
+
+TEST(CodeGenTest, LocalAllocaHoistedToEntry) {
+  irns::Module M;
+  irns::Function *F = compileOk(
+      M, wrap("if (true) return; local float t[8]; t[0] = 1.0;"));
+  ASSERT_TRUE(F);
+  // The local alloca must live in the entry block even though the
+  // declaration is below an if; the verifier would reject otherwise.
+  EXPECT_FALSE(irns::verifyFunction(*F));
+}
+
+TEST(CodeGenTest, MultiDimLinearization) {
+  irns::Module M;
+  irns::Function *F =
+      compileOk(M, wrap("float a[3][4]; a[2][1] = 5.0; out[0] = a[2][1];"));
+  ASSERT_TRUE(F);
+  // One alloca of 12 elements.
+  unsigned AllocaCount = 0;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (I->opcode() == irns::Opcode::Alloca && I->allocaCount() == 12)
+        ++AllocaCount;
+  EXPECT_EQ(AllocaCount, 1u);
+}
+
+TEST(CodeGenTest, ForLoopStructure) {
+  irns::Module M;
+  irns::Function *F = compileOk(
+      M, wrap("float s = 0.0; for (int i = 0; i < 4; i++) s += 1.0; "
+              "out[0] = s;"));
+  ASSERT_TRUE(F);
+  // Expect cond/body/exit blocks.
+  EXPECT_GE(F->numBlocks(), 4u);
+}
+
+TEST(CodeGenTest, ReturnInMiddleProducesValidIR) {
+  irns::Module M;
+  irns::Function *F =
+      compileOk(M, wrap("return; out[0] = 1.0;")); // Dead store.
+  ASSERT_TRUE(F);
+  EXPECT_FALSE(irns::verifyFunction(*F));
+}
+
+TEST(CodeGenTest, TernaryProducesSelect) {
+  irns::Module M;
+  irns::Function *F =
+      compileOk(M, wrap("int x = true ? 1 : 2; out[x] = 0.0;"));
+  ASSERT_TRUE(F);
+  bool FoundSelect = false;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (I->opcode() == irns::Opcode::Select)
+        FoundSelect = true;
+  EXPECT_TRUE(FoundSelect);
+}
+
+TEST(CodeGenTest, DiagnosticHasPosition) {
+  std::string Msg = compileErr("kernel void f() {\n  int x = nope;\n}");
+  EXPECT_EQ(Msg.substr(0, 2), "2:");
+}
+
+TEST(CodeGenTest, PrinterRoundTripContainsKeyPieces) {
+  irns::Module M;
+  irns::Function *F = compileOk(
+      M, wrap("int x = get_global_id(0); out[x] = in[x] * 2.0;"));
+  ASSERT_TRUE(F);
+  std::string Text = irns::printFunction(*F);
+  EXPECT_NE(Text.find("call get_global_id(0)"), std::string::npos);
+  EXPECT_NE(Text.find("store"), std::string::npos);
+  EXPECT_NE(Text.find("kernel k("), std::string::npos);
+}
+
+TEST(CodeGenTest, CompoundAssignOnBufferElement) {
+  irns::Module M;
+  EXPECT_TRUE(compileOk(M, wrap("out[0] = 1.0; out[0] += 2.0;")));
+}
+
+TEST(CodeGenTest, WhileLoopCompiles) {
+  irns::Module M;
+  EXPECT_TRUE(compileOk(
+      M, wrap("int i = 0; while (i < 10) { i = i + 2; } out[0] = 0.0;")));
+}
+
+TEST(CodeGenTest, CastChainCompiles) {
+  irns::Module M;
+  EXPECT_TRUE(
+      compileOk(M, wrap("float f = (float)(int)2.7; out[0] = f;")));
+}
+
+TEST(CodeGenTest, AllSixAppKernelsCompile) {
+  // Guards against regressions in the frontend breaking any benchmark.
+  const char *Sources[] = {
+      "kernel void t(global const float* in, global float* out, int w, "
+      "int h) { int x = get_global_id(0); int y = get_global_id(1); "
+      "out[y*w+x] = in[clamp(y-1,0,h-1)*w + x]; }",
+  };
+  for (const char *S : Sources) {
+    irns::Module M;
+    EXPECT_TRUE(compileOk(M, S));
+  }
+}
+
+} // namespace

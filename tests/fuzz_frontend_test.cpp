@@ -1,0 +1,135 @@
+//===- tests/fuzz_frontend_test.cpp - frontend robustness sweeps ------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Deterministic fuzz-style sweeps over the PCL frontend: every prefix
+// and thousands of seeded random mutations of the shipped kernels must
+// either compile cleanly or produce a diagnostic -- never crash, hang,
+// or emit IR that fails the verifier. This pins down the property that
+// the frontend is total over arbitrary byte strings, which a tool like
+// kperfc (fed by user files) relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Kernels.h"
+#include "ir/Verifier.h"
+#include "pcl/Compiler.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+
+namespace {
+
+const char *allKernelSources(unsigned I) {
+  const char *Sources[] = {
+      apps::gaussianSource(), apps::inversionSource(),
+      apps::medianSource(),   apps::hotspotSource(),
+      apps::sobel3Source(),   apps::sobel5Source(),
+      apps::meanSource(),     apps::sharpenSource(),
+      apps::convSepRowSource()};
+  return I < 9 ? Sources[I] : nullptr;
+}
+
+/// Compiles \p Source into a fresh module; on success, the result must
+/// pass the verifier.
+void compileMustNotCrash(const std::string &Source) {
+  ir::Module M;
+  Expected<std::vector<ir::Function *>> Fns = pcl::compile(M, Source);
+  if (!Fns) {
+    EXPECT_FALSE(Fns.error().message().empty());
+    return;
+  }
+  for (ir::Function *F : *Fns) {
+    Error E = ir::verifyFunction(*F);
+    EXPECT_FALSE(E) << "frontend emitted unverifiable IR: "
+                    << E.message() << "\nsource:\n"
+                    << Source;
+  }
+}
+
+TEST(FuzzFrontendTest, EveryPrefixOfEveryKernel) {
+  for (unsigned I = 0; allKernelSources(I); ++I) {
+    std::string Source = allKernelSources(I);
+    for (size_t Len = 0; Len <= Source.size(); ++Len)
+      compileMustNotCrash(Source.substr(0, Len));
+  }
+}
+
+TEST(FuzzFrontendTest, EverySuffixOfEveryKernel) {
+  for (unsigned I = 0; allKernelSources(I); ++I) {
+    std::string Source = allKernelSources(I);
+    for (size_t Start = 0; Start <= Source.size(); ++Start)
+      compileMustNotCrash(Source.substr(Start));
+  }
+}
+
+TEST(FuzzFrontendTest, SingleCharacterMutations) {
+  // Substitute one character at a seeded random position with a byte
+  // drawn from an alphabet biased toward syntax-relevant characters.
+  const std::string Alphabet =
+      "{}()[];,*+-/%<>=!&|?:.0123456789abxyz_ \n\"\\$#@~^\t";
+  Rng R(20180224);
+  for (unsigned I = 0; allKernelSources(I); ++I) {
+    std::string Original = allKernelSources(I);
+    for (unsigned Trial = 0; Trial < 400; ++Trial) {
+      std::string Mutated = Original;
+      size_t Pos = static_cast<size_t>(R.below(Mutated.size()));
+      Mutated[Pos] = Alphabet[static_cast<size_t>(
+          R.below(Alphabet.size()))];
+      compileMustNotCrash(Mutated);
+    }
+  }
+}
+
+TEST(FuzzFrontendTest, DeletionsAndDuplications) {
+  Rng R(42);
+  for (unsigned I = 0; allKernelSources(I); ++I) {
+    std::string Original = allKernelSources(I);
+    for (unsigned Trial = 0; Trial < 200; ++Trial) {
+      std::string Mutated = Original;
+      // Delete a random span of up to 8 characters.
+      size_t Pos = static_cast<size_t>(R.below(Mutated.size()));
+      size_t Len = 1 + static_cast<size_t>(R.below(8));
+      Mutated.erase(Pos, Len);
+      compileMustNotCrash(Mutated);
+      // Duplicate a random span of up to 8 characters.
+      Mutated = Original;
+      Pos = static_cast<size_t>(R.below(Mutated.size()));
+      Len = std::min<size_t>(1 + static_cast<size_t>(R.below(8)),
+                             Mutated.size() - Pos);
+      Mutated.insert(Pos, Mutated.substr(Pos, Len));
+      compileMustNotCrash(Mutated);
+    }
+  }
+}
+
+TEST(FuzzFrontendTest, SpliceBetweenKernels) {
+  // Cross prefixes of one kernel with suffixes of another.
+  Rng R(7);
+  for (unsigned Trial = 0; Trial < 500; ++Trial) {
+    std::string A = allKernelSources(static_cast<unsigned>(R.below(9)));
+    std::string B = allKernelSources(static_cast<unsigned>(R.below(9)));
+    size_t CutA = static_cast<size_t>(R.below(A.size() + 1));
+    size_t CutB = static_cast<size_t>(R.below(B.size() + 1));
+    compileMustNotCrash(A.substr(0, CutA) + B.substr(CutB));
+  }
+}
+
+TEST(FuzzFrontendTest, RandomBytes) {
+  // Pure noise: mostly printable, sprinkled with control bytes.
+  Rng R(123);
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    size_t Len = static_cast<size_t>(R.below(200));
+    std::string Noise;
+    Noise.reserve(Len);
+    for (size_t J = 0; J < Len; ++J)
+      Noise.push_back(static_cast<char>(32 + R.below(96)));
+    compileMustNotCrash(Noise);
+  }
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/grid_test.cpp - Grid perforation scheme tests ------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Grid scheme (extension beyond the paper) loads only points whose
+// global row AND column are divisible by the period, then reconstructs
+// in two passes. Key properties mirror the Rows scheme's, plus the
+// bilinear composition.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "img/Generators.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::apps;
+using namespace kperf::perf;
+
+namespace {
+
+Expected<RunOutcome> runGrid(const App &TheApp, const Workload &W,
+                             unsigned Period, ReconstructionKind R) {
+  rt::Context Ctx;
+  Expected<BuiltKernel> BK = TheApp.buildPerforated(
+      Ctx, PerforationScheme::grid(Period, R), {16, 16});
+  if (!BK)
+    return BK.takeError();
+  return TheApp.run(Ctx, *BK, W);
+}
+
+TEST(GridTest, SchemeDescriptor) {
+  PerforationScheme S =
+      PerforationScheme::grid(2, ReconstructionKind::Linear);
+  EXPECT_EQ(S.str(), "Grid1:LI");
+  EXPECT_DOUBLE_EQ(S.loadedFraction(18, 18, 1, 1), 0.25);
+  auto Mask = schemeMask(S, 6, 6, 1, 1, -1, -1);
+  for (unsigned R = 0; R < 6; ++R)
+    for (unsigned C = 0; C < 6; ++C) {
+      bool Loaded = ((static_cast<int>(R) - 1) % 2 + 2) % 2 == 0 &&
+                    ((static_cast<int>(C) - 1) % 2 + 2) % 2 == 0;
+      EXPECT_EQ(Mask[R][C] == '#', Loaded) << R << "," << C;
+    }
+}
+
+TEST(GridTest, ConstantInputExact) {
+  auto TheApp = makeApp("gaussian");
+  Workload W = makeImageWorkload(img::Image(64, 64, 0.55f));
+  std::vector<float> Ref = TheApp->reference(W);
+  for (ReconstructionKind R : {ReconstructionKind::NearestNeighbor,
+                               ReconstructionKind::Linear}) {
+    RunOutcome Out = cantFail(runGrid(*TheApp, W, 2, R));
+    for (size_t I = 0; I < Ref.size(); ++I)
+      ASSERT_NEAR(Out.Output[I], Ref[I], 1e-6) << I;
+  }
+}
+
+TEST(GridTest, LoadedPointsExactForInversion) {
+  auto TheApp = makeApp("inversion");
+  img::Image In = img::generateImage(img::ImageClass::Noise, 64, 64, 3);
+  Workload W = makeImageWorkload(In);
+  std::vector<float> Ref = TheApp->reference(W);
+  RunOutcome R = cantFail(
+      runGrid(*TheApp, W, 2, ReconstructionKind::NearestNeighbor));
+  for (unsigned Y = 0; Y < 64; Y += 2)
+    for (unsigned X = 0; X < 64; X += 2)
+      ASSERT_EQ(R.Output[Y * 64 + X], Ref[Y * 64 + X]) << X << "," << Y;
+}
+
+TEST(GridTest, ReadsFewerTransactionsThanRows) {
+  auto TheApp = makeApp("gaussian");
+  Workload W = makeImageWorkload(
+      img::generateImage(img::ImageClass::Smooth, 128, 128, 4));
+  rt::Context C1, C2;
+  BuiltKernel Rows = cantFail(TheApp->buildPerforated(
+      C1, PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
+      {16, 16}));
+  BuiltKernel Grid = cantFail(TheApp->buildPerforated(
+      C2, PerforationScheme::grid(2, ReconstructionKind::NearestNeighbor),
+      {16, 16}));
+  uint64_t RowsReads = cantFail(TheApp->run(C1, Rows, W))
+                           .Report.Totals.GlobalReads;
+  uint64_t GridReads = cantFail(TheApp->run(C2, Grid, W))
+                           .Report.Totals.GlobalReads;
+  // Grid loads ~1/4 of the elements vs Rows' 1/2.
+  EXPECT_LT(GridReads, RowsReads * 3 / 4);
+}
+
+TEST(GridTest, MoreAggressiveMeansMoreError) {
+  auto TheApp = makeApp("gaussian");
+  Workload W = makeImageWorkload(
+      img::generateImage(img::ImageClass::Natural, 64, 64, 21));
+  std::vector<float> Ref = TheApp->reference(W);
+  RunOutcome Rows = cantFail([&] {
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(TheApp->buildPerforated(
+        Ctx,
+        PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
+        {16, 16}));
+    return TheApp->run(Ctx, BK, W);
+  }());
+  RunOutcome Grid = cantFail(
+      runGrid(*TheApp, W, 2, ReconstructionKind::NearestNeighbor));
+  EXPECT_GE(TheApp->score(Ref, Grid.Output),
+            TheApp->score(Ref, Rows.Output));
+  // But still sane on natural content.
+  EXPECT_LT(TheApp->score(Ref, Grid.Output), 0.35);
+}
+
+TEST(GridTest, LinearBeatsNearestOnSmoothContent) {
+  auto TheApp = makeApp("gaussian");
+  Workload W = makeImageWorkload(
+      img::generateImage(img::ImageClass::Smooth, 64, 64, 33));
+  std::vector<float> Ref = TheApp->reference(W);
+  RunOutcome NN = cantFail(
+      runGrid(*TheApp, W, 2, ReconstructionKind::NearestNeighbor));
+  RunOutcome LI =
+      cantFail(runGrid(*TheApp, W, 2, ReconstructionKind::Linear));
+  EXPECT_LT(TheApp->score(Ref, LI.Output), TheApp->score(Ref, NN.Output));
+}
+
+TEST(GridTest, BilinearExactOnPlaneInteriorForInversion) {
+  // f(x,y) = ax + by + c is reproduced exactly by the two-pass linear
+  // reconstruction wherever both passes interpolate (i.e. away from
+  // tile-edge fallback lines).
+  const unsigned Size = 64;
+  img::Image In(Size, Size);
+  for (unsigned Y = 0; Y < Size; ++Y)
+    for (unsigned X = 0; X < Size; ++X)
+      In.set(X, Y, 0.001f * X + 0.002f * Y + 0.1f);
+  auto TheApp = makeApp("inversion");
+  Workload W = makeImageWorkload(In);
+  std::vector<float> Ref = TheApp->reference(W);
+  RunOutcome R =
+      cantFail(runGrid(*TheApp, W, 2, ReconstructionKind::Linear));
+  for (unsigned Y = 0; Y < Size; ++Y) {
+    for (unsigned X = 0; X < Size; ++X) {
+      if (X % 16 == 15 || Y % 16 == 15)
+        continue; // Tile-edge NN fallback lines.
+      ASSERT_NEAR(R.Output[Y * Size + X], Ref[Y * Size + X], 1e-5)
+          << X << "," << Y;
+    }
+  }
+}
+
+TEST(GridTest, WorksOnAllApps) {
+  for (const auto &TheApp : makeAllApps()) {
+    Workload W = TheApp->name() == "hotspot"
+                     ? makeHotspotWorkload(64, 13, 2)
+                     : makeImageWorkload(img::generateImage(
+                           img::ImageClass::Natural, 64, 64, 13));
+    Expected<RunOutcome> R = runGrid(
+        *TheApp, W, 2, ReconstructionKind::NearestNeighbor);
+    ASSERT_TRUE(static_cast<bool>(R)) << TheApp->name();
+    double Err = TheApp->score(TheApp->reference(W), R->Output);
+    EXPECT_LT(Err, 0.4) << TheApp->name();
+  }
+}
+
+TEST(GridTest, PeriodOneRejected) {
+  rt::Context Ctx;
+  auto TheApp = makeApp("gaussian");
+  PerforationScheme S;
+  S.Kind = SchemeKind::Grid;
+  S.Period = 1;
+  Expected<BuiltKernel> BK = TheApp->buildPerforated(Ctx, S, {16, 16});
+  EXPECT_FALSE(static_cast<bool>(BK));
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+//===- tests/integration_test.cpp - End-to-end pipeline tests --------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Full-stack tests: PCL source -> IR -> simulator, accurate and perforated,
+// against the native reference implementations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "img/Generators.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::apps;
+
+namespace {
+
+Workload smoothWorkload(unsigned Size = 64) {
+  return makeImageWorkload(
+      img::generateImage(img::ImageClass::Smooth, Size, Size, 42));
+}
+
+TEST(Integration, GaussianPlainMatchesReference) {
+  auto App = makeApp("gaussian");
+  ASSERT_TRUE(App);
+  rt::Context Ctx;
+  Workload W = smoothWorkload();
+  BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+  RunOutcome R = cantFail(App->run(Ctx, BK, W));
+  std::vector<float> Ref = App->reference(W);
+  ASSERT_EQ(R.Output.size(), Ref.size());
+  for (size_t I = 0; I < Ref.size(); ++I)
+    ASSERT_NEAR(R.Output[I], Ref[I], 1e-5f) << "pixel " << I;
+}
+
+TEST(Integration, GaussianBaselineLocalPrefetchIsExact) {
+  auto App = makeApp("gaussian");
+  rt::Context Ctx;
+  Workload W = smoothWorkload();
+  BuiltKernel BK = cantFail(App->buildBaseline(Ctx, {16, 16}));
+  RunOutcome R = cantFail(App->run(Ctx, BK, W));
+  std::vector<float> Ref = App->reference(W);
+  for (size_t I = 0; I < Ref.size(); ++I)
+    ASSERT_NEAR(R.Output[I], Ref[I], 1e-5f) << "pixel " << I;
+}
+
+TEST(Integration, GaussianRows1HasSmallError) {
+  auto App = makeApp("gaussian");
+  rt::Context Ctx;
+  Workload W = smoothWorkload();
+  BuiltKernel BK = cantFail(App->buildPerforated(
+      Ctx,
+      perf::PerforationScheme::rows(2,
+                                    perf::ReconstructionKind::NearestNeighbor),
+      {16, 16}));
+  RunOutcome R = cantFail(App->run(Ctx, BK, W));
+  double Err = App->score(App->reference(W), R.Output);
+  EXPECT_GT(Err, 0.0);
+  EXPECT_LT(Err, 0.10) << "Rows1:NN error should be small on smooth input";
+}
+
+TEST(Integration, GaussianPerforationIsFasterThanBaseline) {
+  auto App = makeApp("gaussian");
+  rt::Context Ctx;
+  Workload W = smoothWorkload(128);
+  BuiltKernel Base = cantFail(App->buildBaseline(Ctx, {16, 16}));
+  BuiltKernel Perf = cantFail(App->buildPerforated(
+      Ctx,
+      perf::PerforationScheme::rows(2,
+                                    perf::ReconstructionKind::NearestNeighbor),
+      {16, 16}));
+  RunOutcome RB = cantFail(App->run(Ctx, Base, W));
+  RunOutcome RP = cantFail(App->run(Ctx, Perf, W));
+  EXPECT_LT(RP.Report.Cycles, RB.Report.Cycles);
+  EXPECT_LT(RP.Report.Totals.GlobalReadTransactions,
+            RB.Report.Totals.GlobalReadTransactions);
+}
+
+TEST(Integration, AllAppsPlainMatchReference) {
+  for (const auto &App : makeAllApps()) {
+    rt::Context Ctx;
+    Workload W = App->name() == "hotspot"
+                     ? makeHotspotWorkload(64, 7, /*Iterations=*/2)
+                     : smoothWorkload();
+    BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+    RunOutcome R = cantFail(App->run(Ctx, BK, W));
+    std::vector<float> Ref = App->reference(W);
+    ASSERT_EQ(R.Output.size(), Ref.size()) << App->name();
+    double MaxAbs = 0;
+    for (size_t I = 0; I < Ref.size(); ++I)
+      MaxAbs = std::max(MaxAbs,
+                        static_cast<double>(std::fabs(R.Output[I] - Ref[I])));
+    EXPECT_LT(MaxAbs, 1e-3) << App->name();
+  }
+}
+
+TEST(Integration, AllAppsRows1RunsAndErrorsAreModerate) {
+  for (const auto &App : makeAllApps()) {
+    rt::Context Ctx;
+    Workload W = App->name() == "hotspot"
+                     ? makeHotspotWorkload(64, 7, /*Iterations=*/2)
+                     : smoothWorkload();
+    BuiltKernel BK = cantFail(App->buildPerforated(
+        Ctx,
+        perf::PerforationScheme::rows(
+            2, perf::ReconstructionKind::NearestNeighbor),
+        {16, 16}));
+    RunOutcome R = cantFail(App->run(Ctx, BK, W));
+    double Err = App->score(App->reference(W), R.Output);
+    EXPECT_LT(Err, 0.30) << App->name();
+  }
+}
+
+TEST(Integration, OutputApproxRowsRuns) {
+  auto App = makeApp("gaussian");
+  rt::Context Ctx;
+  Workload W = smoothWorkload();
+  BuiltKernel BK = cantFail(App->buildOutputApprox(
+      Ctx, perf::OutputSchemeKind::Rows, /*ApproxPerComputed=*/2, {16, 16}));
+  RunOutcome R = cantFail(App->run(Ctx, BK, W));
+  double Err = App->score(App->reference(W), R.Output);
+  EXPECT_GT(Err, 0.0);
+  EXPECT_LT(Err, 0.5);
+}
+
+} // namespace

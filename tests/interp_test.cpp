@@ -1,0 +1,662 @@
+//===- tests/interp_test.cpp - Simulator/interpreter tests ------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Executes small PCL kernels on the simulator and checks results, OpenCL
+// semantics (barriers, local memory, work-item queries), fault detection,
+// and the performance counters (coalescing, bank conflicts, cost model).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/CostModel.h"
+#include "gpusim/Interpreter.h"
+#include "pcl/Compiler.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::sim;
+
+namespace {
+
+/// Fixture that compiles a kernel and runs it over buffers.
+class InterpTest : public ::testing::Test {
+protected:
+  ir::Function *compile(const std::string &Source,
+                        const std::string &Name) {
+    Expected<ir::Function *> F = pcl::compileKernel(M, Source, Name);
+    EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.error().message());
+    return F ? *F : nullptr;
+  }
+
+  Expected<SimReport> run(ir::Function *F, Range2 Global, Range2 Local,
+                          const std::vector<KernelArg> &Args) {
+    return launchKernel(*F, Global, Local, Args, Buffers, Device);
+  }
+
+  unsigned makeBuffer(size_t N) {
+    Buffers.emplace_back(N);
+    return static_cast<unsigned>(Buffers.size() - 1);
+  }
+
+  unsigned makeBuffer(const std::vector<float> &V) {
+    Buffers.emplace_back();
+    Buffers.back().uploadFloats(V);
+    return static_cast<unsigned>(Buffers.size() - 1);
+  }
+
+  ir::Module M;
+  std::vector<BufferData> Buffers;
+  DeviceConfig Device;
+};
+
+//===----------------------------------------------------------------------===//
+// Basic execution and arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, GlobalIdWrite) {
+  ir::Function *F = compile(
+      "kernel void f(global float* out, int w, int h) {"
+      "  out[get_global_id(1) * w + get_global_id(0)] ="
+      "      (float)(get_global_id(0) + 10 * get_global_id(1));"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(16);
+  cantFail(run(F, {4, 4}, {2, 2},
+               {KernelArg::makeBuffer(Out), KernelArg::makeInt(4),
+                KernelArg::makeInt(4)}));
+  for (unsigned Y = 0; Y < 4; ++Y)
+    for (unsigned X = 0; X < 4; ++X)
+      EXPECT_FLOAT_EQ(Buffers[Out].floatAt(Y * 4 + X),
+                      static_cast<float>(X + 10 * Y));
+}
+
+TEST_F(InterpTest, IntegerArithmetic) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  out[0] = 7 + 3; out[1] = 7 - 3; out[2] = 7 * 3;"
+      "  out[3] = 7 / 3; out[4] = 7 % 3; out[5] = -7;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(6);
+  cantFail(run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  int32_t Expected[] = {10, 4, 21, 2, 1, -7};
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(Buffers[Out].intAt(I), Expected[I]) << I;
+}
+
+TEST_F(InterpTest, FloatArithmetic) {
+  ir::Function *F = compile(
+      "kernel void f(global float* out) {"
+      "  out[0] = 1.5 + 2.25; out[1] = 1.5 * 4.0; out[2] = 1.0 / 8.0;"
+      "  out[3] = 5.5 - 10.0;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(4);
+  cantFail(run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_FLOAT_EQ(Buffers[Out].floatAt(0), 3.75f);
+  EXPECT_FLOAT_EQ(Buffers[Out].floatAt(1), 6.0f);
+  EXPECT_FLOAT_EQ(Buffers[Out].floatAt(2), 0.125f);
+  EXPECT_FLOAT_EQ(Buffers[Out].floatAt(3), -4.5f);
+}
+
+TEST_F(InterpTest, MathBuiltins) {
+  ir::Function *F = compile(
+      "kernel void f(global float* out) {"
+      "  out[0] = sqrt(16.0); out[1] = exp(0.0); out[2] = log(1.0);"
+      "  out[3] = pow(2.0, 10.0); out[4] = floor(2.9);"
+      "  out[5] = fabs(-3.5); out[6] = min(2.0, 7.0);"
+      "  out[7] = max(2.0, 7.0); out[8] = clamp(9.0, 0.0, 5.0);"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(9);
+  cantFail(run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  float Expected[] = {4, 1, 0, 1024, 2, 3.5f, 2, 7, 5};
+  for (int I = 0; I < 9; ++I)
+    EXPECT_FLOAT_EQ(Buffers[Out].floatAt(I), Expected[I]) << I;
+}
+
+TEST_F(InterpTest, IntBuiltins) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  out[0] = min(3, -2); out[1] = max(3, -2);"
+      "  out[2] = clamp(-5, 0, 9); out[3] = clamp(12, 0, 9);"
+      "  out[4] = abs(-6);"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(5);
+  cantFail(run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  int32_t Expected[] = {-2, 3, 0, 9, 6};
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(Buffers[Out].intAt(I), Expected[I]) << I;
+}
+
+TEST_F(InterpTest, ControlFlowSelectAndBranch) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  int x = get_global_id(0);"
+      "  if (x % 2 == 0) out[x] = 100 + x; else out[x] = 200 + x;"
+      "  out[8 + x] = x < 2 ? 1 : 0;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(16);
+  cantFail(run(F, {8, 1}, {4, 1}, {KernelArg::makeBuffer(Out)}));
+  for (int X = 0; X < 8; ++X) {
+    EXPECT_EQ(Buffers[Out].intAt(X), (X % 2 == 0 ? 100 : 200) + X);
+    EXPECT_EQ(Buffers[Out].intAt(8 + X), X < 2 ? 1 : 0);
+  }
+}
+
+TEST_F(InterpTest, LoopsAndPrivateArrays) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  int a[8];"
+      "  for (int i = 0; i < 8; i++) a[i] = i * i;"
+      "  int sum = 0;"
+      "  for (int i = 0; i < 8; i++) sum += a[i];"
+      "  out[0] = sum;"
+      "  int j = 0; int steps = 0;"
+      "  while (j < 100) { j += 7; steps++; }"
+      "  out[1] = steps;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(2);
+  cantFail(run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(Buffers[Out].intAt(0), 140); // sum of squares 0..7
+  EXPECT_EQ(Buffers[Out].intAt(1), 15);  // ceil(100/7)
+}
+
+TEST_F(InterpTest, WorkItemQueries) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  if (get_global_id(0) == 0 && get_global_id(1) == 0) {"
+      "    out[0] = get_global_size(0); out[1] = get_global_size(1);"
+      "    out[2] = get_local_size(0);  out[3] = get_local_size(1);"
+      "    out[4] = get_num_groups(0);  out[5] = get_num_groups(1);"
+      "  }"
+      "  if (get_global_id(0) == 5 && get_global_id(1) == 3) {"
+      "    out[6] = get_local_id(0); out[7] = get_local_id(1);"
+      "    out[8] = get_group_id(0); out[9] = get_group_id(1);"
+      "  }"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(10);
+  cantFail(run(F, {8, 4}, {4, 2}, {KernelArg::makeBuffer(Out)}));
+  int32_t Expected[] = {8, 4, 4, 2, 2, 2, /*lx=*/1, /*ly=*/1,
+                        /*gx=*/1, /*gy=*/1};
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Buffers[Out].intAt(I), Expected[I]) << I;
+}
+
+TEST_F(InterpTest, ScalarArgsPassed) {
+  ir::Function *F = compile(
+      "kernel void f(global float* out, int k, float s) {"
+      "  out[0] = (float)k * s;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(1);
+  cantFail(run(F, {1, 1}, {1, 1},
+               {KernelArg::makeBuffer(Out), KernelArg::makeInt(6),
+                KernelArg::makeFloat(2.5f)}));
+  EXPECT_FLOAT_EQ(Buffers[Out].floatAt(0), 15.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// Local memory and barriers
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, LocalMemoryReverseViaBarrier) {
+  // Each item writes its lid, barrier, then reads the mirrored slot.
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[8];"
+      "  int l = get_local_id(0);"
+      "  t[l] = l * 10;"
+      "  barrier();"
+      "  out[get_global_id(0)] = t[7 - l];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(16);
+  cantFail(run(F, {16, 1}, {8, 1}, {KernelArg::makeBuffer(Out)}));
+  for (int G = 0; G < 16; ++G)
+    EXPECT_EQ(Buffers[Out].intAt(G), (7 - (G % 8)) * 10) << G;
+}
+
+TEST_F(InterpTest, LocalMemoryIsPerGroup) {
+  // Group 1 must not observe group 0's writes.
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[4];"
+      "  int l = get_local_id(0);"
+      "  if (get_group_id(0) == 0) t[l] = 99;"
+      "  barrier();"
+      "  out[get_global_id(0)] = t[l];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(8);
+  cantFail(run(F, {8, 1}, {4, 1}, {KernelArg::makeBuffer(Out)}));
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Buffers[Out].intAt(I), 99);
+  for (int I = 4; I < 8; ++I)
+    EXPECT_EQ(Buffers[Out].intAt(I), 0); // Zero-initialized fresh arena.
+}
+
+TEST_F(InterpTest, MultipleBarrierPhases) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[4];"
+      "  int l = get_local_id(0);"
+      "  t[l] = l;"
+      "  barrier();"
+      "  int v1 = t[(l + 1) % 4];"
+      "  barrier();"
+      "  t[l] = v1 * 2;"
+      "  barrier();"
+      "  out[l] = t[(l + 1) % 4];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(4);
+  cantFail(run(F, {4, 1}, {4, 1}, {KernelArg::makeBuffer(Out)}));
+  // t after phase 3: t[l] = ((l+1)%4)*2; out[l] = t[(l+1)%4].
+  for (int L = 0; L < 4; ++L)
+    EXPECT_EQ(Buffers[Out].intAt(L), ((L + 2) % 4) * 2) << L;
+}
+
+TEST_F(InterpTest, BarrierCountsInReport) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[2]; t[0] = 0;"
+      "  barrier(); barrier();"
+      "  out[0] = t[0];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(1);
+  SimReport R =
+      cantFail(run(F, {8, 1}, {4, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(R.Totals.Barriers, 16u); // 8 items x 2 barriers.
+}
+
+TEST_F(InterpTest, DivergentBarrierDetected) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  if (get_local_id(0) == 0) barrier();"
+      "  out[0] = 0;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {4, 1}, {4, 1}, {KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("barrier"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault detection
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, GlobalReadOutOfBounds) {
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out) {"
+      "  out[0] = in[100];"
+      "}",
+      "f");
+  unsigned In = makeBuffer(4);
+  unsigned Out = makeBuffer(4);
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1},
+          {KernelArg::makeBuffer(In), KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("out of bounds"), std::string::npos);
+}
+
+TEST_F(InterpTest, GlobalWriteOutOfBounds) {
+  ir::Function *F = compile(
+      "kernel void f(global float* out) { out[-1] = 0.0; }", "f");
+  unsigned Out = makeBuffer(4);
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+}
+
+TEST_F(InterpTest, LocalOutOfBounds) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[4]; t[9] = 1; out[0] = t[0];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("local write"), std::string::npos);
+}
+
+TEST_F(InterpTest, DivisionByZeroReported) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out, int d) { out[0] = 5 / d; }", "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1},
+          {KernelArg::makeBuffer(Out), KernelArg::makeInt(0)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("division by zero"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Launch validation
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, IndivisibleNDRangeRejected) {
+  ir::Function *F =
+      compile("kernel void f(global int* out) { out[0] = 1; }", "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {10, 1}, {4, 1}, {KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("divisible"), std::string::npos);
+}
+
+TEST_F(InterpTest, ArgumentCountChecked) {
+  ir::Function *F =
+      compile("kernel void f(global int* out, int k) { out[0] = k; }", "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("arguments"), std::string::npos);
+}
+
+TEST_F(InterpTest, ArgumentKindChecked) {
+  ir::Function *F =
+      compile("kernel void f(global int* out, int k) { out[0] = k; }", "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1},
+          {KernelArg::makeBuffer(Out), KernelArg::makeFloat(1)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("expects an int"), std::string::npos);
+}
+
+TEST_F(InterpTest, BufferIndexValidated) {
+  ir::Function *F =
+      compile("kernel void f(global int* out) { out[0] = 1; }", "f");
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(42)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("buffer index"), std::string::npos);
+}
+
+TEST_F(InterpTest, OversizedWorkGroupRejected) {
+  ir::Function *F =
+      compile("kernel void f(global int* out) { out[0] = 1; }", "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {2048, 1}, {2048, 1}, {KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("1024"), std::string::npos);
+}
+
+TEST_F(InterpTest, LocalMemoryOversubscriptionRejected) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local float t[10000];" // 40000 bytes > 32768.
+      "  t[0] = 0.0; out[0] = (int)t[0];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(1);
+  Expected<SimReport> R =
+      run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("local memory"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Performance counters: coalescing
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, CoalescedReadCountsOneSegmentPer16Lanes) {
+  // 64 items reading 64 consecutive floats = 256 B = 4 segments of 64 B.
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out) {"
+      "  int x = get_global_id(0);"
+      "  out[x] = in[x];"
+      "}",
+      "f");
+  unsigned In = makeBuffer(64);
+  unsigned Out = makeBuffer(64);
+  SimReport R = cantFail(
+      run(F, {64, 1}, {64, 1},
+          {KernelArg::makeBuffer(In), KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(R.Totals.GlobalReadTransactions, 4u);
+  EXPECT_EQ(R.Totals.GlobalWriteTransactions, 4u);
+  EXPECT_EQ(R.Totals.GlobalReads, 64u);
+  EXPECT_EQ(R.Totals.GlobalWrites, 64u);
+}
+
+TEST_F(InterpTest, StridedReadTouchesMoreSegments) {
+  // Stride-16 reads: each lane hits its own segment.
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out) {"
+      "  int x = get_global_id(0);"
+      "  out[x] = in[x * 16];"
+      "}",
+      "f");
+  unsigned In = makeBuffer(64 * 16);
+  unsigned Out = makeBuffer(64);
+  SimReport R = cantFail(
+      run(F, {64, 1}, {64, 1},
+          {KernelArg::makeBuffer(In), KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(R.Totals.GlobalReadTransactions, 64u);
+}
+
+TEST_F(InterpTest, RepeatedReadHitsWavefrontL1) {
+  // The same segment read twice by one wavefront costs one transaction.
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out) {"
+      "  int x = get_global_id(0);"
+      "  out[x] = in[x] + in[x];"
+      "}",
+      "f");
+  unsigned In = makeBuffer(64);
+  unsigned Out = makeBuffer(64);
+  SimReport R = cantFail(
+      run(F, {64, 1}, {64, 1},
+          {KernelArg::makeBuffer(In), KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(R.Totals.GlobalReadTransactions, 4u);
+  EXPECT_EQ(R.Totals.GlobalReads, 128u);
+}
+
+TEST_F(InterpTest, RepeatedWriteIsNotMerged) {
+  // Writes flow through per-instruction write combining: two stores to
+  // the same segment are two transactions.
+  ir::Function *F = compile(
+      "kernel void f(global float* out) {"
+      "  int x = get_global_id(0);"
+      "  out[x] = 1.0;"
+      "  out[x] = 2.0;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(64);
+  SimReport R =
+      cantFail(run(F, {64, 1}, {64, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(R.Totals.GlobalWriteTransactions, 8u);
+}
+
+TEST_F(InterpTest, NarrowWorkGroupCoalescesWorse) {
+  // Same NDRange, two shapes: (16,16) rows coalesce; (2,128) do not.
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out, int w) {"
+      "  int x = get_global_id(0); int y = get_global_id(1);"
+      "  out[y * w + x] = in[y * w + x];"
+      "}",
+      "f");
+  unsigned In = makeBuffer(256 * 256);
+  unsigned Out = makeBuffer(256 * 256);
+  std::vector<KernelArg> Args = {KernelArg::makeBuffer(In),
+                                 KernelArg::makeBuffer(Out),
+                                 KernelArg::makeInt(256)};
+  SimReport Wide = cantFail(run(F, {256, 256}, {16, 16}, Args));
+  SimReport Tall = cantFail(run(F, {256, 256}, {2, 128}, Args));
+  EXPECT_GT(Tall.Totals.GlobalReadTransactions,
+            2 * Wide.Totals.GlobalReadTransactions);
+  EXPECT_GT(Tall.Cycles, Wide.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Performance counters: local memory and cost model
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterpTest, LocalAccessesCounted) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[64];"
+      "  int l = get_local_id(0);"
+      "  t[l] = l;"
+      "  barrier();"
+      "  out[l] = t[l];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(64);
+  SimReport R =
+      cantFail(run(F, {64, 1}, {64, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(R.Totals.LocalAccesses, 128u); // 64 stores + 64 loads.
+  // Two access groups (one store point, one load point), conflict-free:
+  // 64 lanes over 32 banks = factor 2 => extra = 1 per group.
+  EXPECT_EQ(R.Totals.LocalWavefrontOps, 2u);
+  EXPECT_EQ(R.Totals.BankConflictExtra, 2u);
+}
+
+TEST_F(InterpTest, BankConflictFactorCounted) {
+  // Stride-32 local access: all 64 lanes hit bank 0 -> factor 64.
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[2048];"
+      "  int l = get_local_id(0);"
+      "  t[l * 32] = l;"
+      "  barrier();"
+      "  out[l] = t[l * 32];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(64);
+  SimReport R =
+      cantFail(run(F, {64, 1}, {64, 1}, {KernelArg::makeBuffer(Out)}));
+  // Two groups, each fully serialized: extra = 63 each.
+  EXPECT_EQ(R.Totals.LocalWavefrontOps, 2u);
+  EXPECT_EQ(R.Totals.BankConflictExtra, 126u);
+}
+
+TEST_F(InterpTest, CostModelMemoryBoundMax) {
+  Counters C;
+  C.GlobalReadTransactions = 100;
+  C.AluOps = 64; // Tiny compute.
+  GroupCost Cost = costOfGroup(C, Device);
+  EXPECT_DOUBLE_EQ(Cost.MemoryCycles, 100 * Device.ReadCostCycles);
+  EXPECT_DOUBLE_EQ(Cost.TotalCycles, Device.WorkGroupOverheadCycles +
+                                         Cost.MemoryCycles);
+}
+
+TEST_F(InterpTest, CostModelComputeBoundMax) {
+  Counters C;
+  C.AluOps = 1000000;
+  C.GlobalReadTransactions = 1;
+  GroupCost Cost = costOfGroup(C, Device);
+  EXPECT_GT(Cost.ComputeCycles, Cost.MemoryCycles);
+  EXPECT_DOUBLE_EQ(Cost.TotalCycles, Device.WorkGroupOverheadCycles +
+                                         Cost.ComputeCycles);
+}
+
+TEST_F(InterpTest, ReportTimeScalesWithClock) {
+  Counters C;
+  C.GlobalReadTransactions = 10;
+  DeviceConfig Fast = Device;
+  Fast.ClockGHz = Device.ClockGHz * 2;
+  SimReport Slow = finalizeReport(C, 1000.0, 0, 0, Device);
+  SimReport Quick = finalizeReport(C, 1000.0, 0, 0, Fast);
+  EXPECT_NEAR(Slow.TimeMs, 2 * Quick.TimeMs, 1e-12);
+}
+
+TEST_F(InterpTest, CyclesDivideAcrossComputeUnits) {
+  Counters C;
+  DeviceConfig OneCU = Device;
+  OneCU.NumComputeUnits = 1;
+  DeviceConfig FourCU = Device;
+  FourCU.NumComputeUnits = 4;
+  SimReport R1 = finalizeReport(C, 4000.0, 0, 0, OneCU);
+  SimReport R4 = finalizeReport(C, 4000.0, 0, 0, FourCU);
+  EXPECT_DOUBLE_EQ(R1.Cycles, 4 * R4.Cycles);
+}
+
+TEST_F(InterpTest, DeterministicAcrossRuns) {
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out, int w) {"
+      "  int x = get_global_id(0); int y = get_global_id(1);"
+      "  out[y * w + x] = in[y * w + x] * 0.5;"
+      "}",
+      "f");
+  std::vector<float> Data(64 * 64);
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] = static_cast<float>(I % 97) / 97.0f;
+  unsigned In = makeBuffer(Data);
+  unsigned Out = makeBuffer(64 * 64);
+  std::vector<KernelArg> Args = {KernelArg::makeBuffer(In),
+                                 KernelArg::makeBuffer(Out),
+                                 KernelArg::makeInt(64)};
+  SimReport A = cantFail(run(F, {64, 64}, {16, 16}, Args));
+  SimReport B = cantFail(run(F, {64, 64}, {16, 16}, Args));
+  EXPECT_EQ(A.Totals.GlobalReadTransactions,
+            B.Totals.GlobalReadTransactions);
+  EXPECT_DOUBLE_EQ(A.Cycles, B.Cycles);
+}
+
+TEST_F(InterpTest, EnergyModelTracksTrafficAndTime) {
+  Counters C;
+  C.GlobalReadTransactions = 1000;
+  SimReport R = finalizeReport(C, 1000.0, 0, 0, Device);
+  // Dynamic DRAM part: 1000 tx * 20 nJ = 20000 nJ = 0.02 mJ, plus static.
+  EXPECT_GT(R.EnergyMJ, 0.02);
+  Counters C2 = C;
+  C2.GlobalReadTransactions = 2000;
+  SimReport R2 = finalizeReport(C2, 1000.0, 0, 0, Device);
+  EXPECT_NEAR(R2.EnergyMJ - R.EnergyMJ,
+              1000 * Device.DramEnergyPerTransactionNJ * 1e-6, 1e-9);
+}
+
+TEST_F(InterpTest, EnergyScalesWithLaunchSize) {
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out, int w, "
+      "int h) {"
+      "  int x = get_global_id(0); int y = get_global_id(1);"
+      "  out[y * w + x] = in[y * w + x];"
+      "}",
+      "f");
+  unsigned In = makeBuffer(128 * 128);
+  unsigned Out = makeBuffer(128 * 128);
+  SimReport Full = cantFail(run(
+      F, {128, 128}, {16, 16},
+      {KernelArg::makeBuffer(In), KernelArg::makeBuffer(Out),
+       KernelArg::makeInt(128), KernelArg::makeInt(128)}));
+  SimReport Half = cantFail(run(
+      F, {128, 64}, {16, 16},
+      {KernelArg::makeBuffer(In), KernelArg::makeBuffer(Out),
+       KernelArg::makeInt(128), KernelArg::makeInt(64)}));
+  EXPECT_GT(Full.EnergyMJ, 1.8 * Half.EnergyMJ);
+}
+
+TEST_F(InterpTest, WorkGroupAndItemCounts) {
+  ir::Function *F =
+      compile("kernel void f(global int* out) {"
+              "  out[get_global_id(1) * 8 + get_global_id(0)] = 1;"
+              "}",
+              "f");
+  unsigned Out = makeBuffer(64);
+  SimReport R =
+      cantFail(run(F, {8, 8}, {4, 4}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(R.Totals.WorkGroups, 4u);
+  EXPECT_EQ(R.Totals.WorkItems, 64u);
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tests/invariants_test.cpp - Cross-cutting perforation invariants -----==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-style sweeps complementing property_test.cpp with *analytic*
+// invariants of the schemes and reconstructions:
+//
+//  * a Rows scheme is exact on inputs that are constant along y (skipped
+//    rows are identical to their reconstruction sources), and Cols is
+//    exact on inputs constant along x -- for every application;
+//  * linear interpolation is exact on linear ramps where both neighbors
+//    exist, so on a y-ramp LI must beat NN by a wide margin;
+//  * global read transactions decrease monotonically with the
+//    perforation period, and error grows monotonically with it;
+//  * the modeled runtime depends only on the configuration, never on the
+//    input content (paper 6.2: "the speedup only depends on the selected
+//    approximation scheme");
+//  * the simulator is fully deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "img/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::apps;
+using namespace kperf::perf;
+using namespace kperf::img;
+
+namespace {
+
+/// f(x, y) = Base + SlopeX*x + SlopeY*y, kept inside [0, 1].
+Image rampImage(unsigned W, unsigned H, float SlopeX, float SlopeY,
+                float Base) {
+  Image I(W, H);
+  for (unsigned Y = 0; Y < H; ++Y)
+    for (unsigned X = 0; X < W; ++X)
+      I.set(X, Y, Base + SlopeX * static_cast<float>(X) +
+                      SlopeY * static_cast<float>(Y));
+  return I;
+}
+
+/// Error of \p App under \p Scheme at 16x16 work groups on \p In.
+double perforatedError(const char *AppName, const Image &In,
+                       PerforationScheme Scheme) {
+  auto TheApp = makeApp(AppName);
+  Workload W = makeImageWorkload(In);
+  rt::Context Ctx;
+  BuiltKernel BK = cantFail(TheApp->buildPerforated(Ctx, Scheme, {16, 16}));
+  RunOutcome R = cantFail(TheApp->run(Ctx, BK, W));
+  return TheApp->score(TheApp->reference(W), R.Output);
+}
+
+/// All eight image applications (hotspot excluded: its workload is not an
+/// image ramp).
+const char *const ImageApps[] = {"gaussian", "inversion", "median",
+                                 "sobel3",   "sobel5",    "mean",
+                                 "sharpen",  "convsep"};
+
+//===----------------------------------------------------------------------===//
+// Scheme/content alignment (paper 4.4: "the scheme also needs to match
+// the applications input data structure")
+//===----------------------------------------------------------------------===//
+
+class AppSweep : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AppSweep, RowsSchemeExactWhenRowsRedundant) {
+  // Input constant along y: every skipped row equals its reconstruction
+  // source, so perforation is invisible for any period and recon.
+  Image In = rampImage(64, 64, 0.01f, 0.0f, 0.1f);
+  for (unsigned Period : {2u, 4u})
+    for (ReconstructionKind R :
+         {ReconstructionKind::NearestNeighbor, ReconstructionKind::Linear})
+      EXPECT_LT(perforatedError(GetParam(), In,
+                                PerforationScheme::rows(Period, R)),
+                1e-5)
+          << "period " << Period;
+}
+
+TEST_P(AppSweep, ColsSchemeExactWhenColsRedundant) {
+  Image In = rampImage(64, 64, 0.0f, 0.01f, 0.1f);
+  for (unsigned Period : {2u, 4u})
+    for (ReconstructionKind R :
+         {ReconstructionKind::NearestNeighbor, ReconstructionKind::Linear})
+      EXPECT_LT(perforatedError(GetParam(), In,
+                                PerforationScheme::cols(Period, R)),
+                1e-5)
+          << "period " << Period;
+}
+
+TEST_P(AppSweep, RowsSchemeNotExactAgainstTheGrain) {
+  // The same content rotated 90 degrees defeats the Rows scheme with NN
+  // reconstruction (paper: "skipping lines ... increases the error much
+  // more"). Exactness above must come from alignment, not triviality.
+  // Sharpen is excluded: its clamp to [0,1] can hide a uniform shift.
+  if (std::string(GetParam()) == "sharpen")
+    GTEST_SKIP();
+  Image In = rampImage(64, 64, 0.0f, 0.01f, 0.1f);
+  EXPECT_GT(perforatedError(
+                GetParam(), In,
+                PerforationScheme::rows(
+                    2, ReconstructionKind::NearestNeighbor)),
+            1e-5);
+}
+
+TEST_P(AppSweep, LinearReconstructionExactOnRampInterior) {
+  // On a y-ramp, LI reconstructs skipped rows exactly wherever both
+  // enclosing rows are in local memory; NN is off by a whole row step
+  // everywhere. LI must therefore be far more accurate.
+  Image In = rampImage(64, 64, 0.0f, 0.01f, 0.1f);
+  double Nn = perforatedError(
+      GetParam(), In,
+      PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor));
+  double Li = perforatedError(
+      GetParam(), In,
+      PerforationScheme::rows(2, ReconstructionKind::Linear));
+  std::string Name = GetParam();
+  if (Name == "sharpen")
+    GTEST_SKIP(); // Clamped output, error ratios are not meaningful.
+  // Sobel's gradient magnitude is nonlinear and nearly constant on a
+  // ramp, so both errors sit at the float noise floor and their ratio is
+  // meaningless -- only the magnitude is asserted. The linear filters get
+  // their skipped rows back almost exactly, so LI must clearly win.
+  if (Name == "sobel3" || Name == "sobel5") {
+    EXPECT_LT(Li, 5e-3) << "LI " << Li;
+    EXPECT_LT(Nn, 5e-3) << "NN " << Nn;
+    return;
+  }
+  EXPECT_LT(Li, Nn * 0.5) << "NN " << Nn << " LI " << Li;
+}
+
+TEST_P(AppSweep, ErrorMonotoneInPeriod) {
+  // More aggressive perforation cannot reduce the error on natural
+  // content (paper Fig. 8: Rows1 error is about half of Rows2's).
+  Image In = generateImage(ImageClass::Natural, 64, 64, 31);
+  double E2 = perforatedError(
+      GetParam(), In,
+      PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor));
+  double E4 = perforatedError(
+      GetParam(), In,
+      PerforationScheme::rows(4, ReconstructionKind::NearestNeighbor));
+  EXPECT_LE(E2, E4 * 1.05); // 5% slack for float accumulation noise.
+}
+
+TEST_P(AppSweep, ReadsMonotoneInPeriod) {
+  auto TheApp = makeApp(GetParam());
+  Workload W = makeImageWorkload(
+      generateImage(ImageClass::Natural, 64, 64, 37));
+  uint64_t Prev = ~uint64_t(0);
+  for (unsigned Period : {2u, 4u, 8u}) {
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(TheApp->buildPerforated(
+        Ctx,
+        PerforationScheme::rows(Period,
+                                ReconstructionKind::NearestNeighbor),
+        {16, 16}));
+    uint64_t Reads = cantFail(TheApp->run(Ctx, BK, W))
+                         .Report.Totals.GlobalReadTransactions;
+    EXPECT_LE(Reads, Prev) << "period " << Period;
+    Prev = Reads;
+  }
+}
+
+TEST_P(AppSweep, RuntimeIndependentOfContent) {
+  // Identical configuration on different content: the interpreter
+  // executes the same instruction stream, so the modeled time and all
+  // counters must be *identical* (paper 6.2).
+  auto TheApp = makeApp(GetParam());
+  PerforationScheme S =
+      PerforationScheme::rows(2, ReconstructionKind::Linear);
+  double Times[3];
+  uint64_t Reads[3];
+  int I = 0;
+  for (ImageClass C :
+       {ImageClass::Flat, ImageClass::Natural, ImageClass::Pattern}) {
+    Workload W = makeImageWorkload(generateImage(C, 64, 64, 41));
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(TheApp->buildPerforated(Ctx, S, {16, 16}));
+    sim::SimReport R = cantFail(TheApp->run(Ctx, BK, W)).Report;
+    Times[I] = R.TimeMs;
+    Reads[I] = R.Totals.GlobalReadTransactions;
+    ++I;
+  }
+  EXPECT_EQ(Times[0], Times[1]);
+  EXPECT_EQ(Times[1], Times[2]);
+  EXPECT_EQ(Reads[0], Reads[1]);
+  EXPECT_EQ(Reads[1], Reads[2]);
+}
+
+TEST_P(AppSweep, ExecutionIsDeterministic) {
+  auto TheApp = makeApp(GetParam());
+  Workload W = makeImageWorkload(
+      generateImage(ImageClass::Noise, 48, 48, 43));
+  std::vector<float> First;
+  double FirstTime = 0;
+  for (int Round = 0; Round < 2; ++Round) {
+    rt::Context Ctx;
+    BuiltKernel BK = cantFail(TheApp->buildPerforated(
+        Ctx,
+        PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
+        {16, 16}));
+    RunOutcome R = cantFail(TheApp->run(Ctx, BK, W));
+    if (Round == 0) {
+      First = R.Output;
+      FirstTime = R.Report.TimeMs;
+      continue;
+    }
+    EXPECT_EQ(R.Output, First);       // Bit-identical results.
+    EXPECT_EQ(R.Report.TimeMs, FirstTime);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImageApps, AppSweep,
+                         ::testing::ValuesIn(ImageApps),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Scheme descriptor invariants
+//===----------------------------------------------------------------------===//
+
+TEST(SchemeInvariants, LoadedFractionMonotoneInPeriod) {
+  double Prev = 1.0;
+  for (unsigned Period : {2u, 4u, 8u}) {
+    double F = PerforationScheme::rows(
+                   Period, ReconstructionKind::NearestNeighbor)
+                   .loadedFraction(16, 16, 1, 1);
+    EXPECT_GT(F, 0.0);
+    EXPECT_LT(F, Prev) << "period " << Period;
+    Prev = F;
+  }
+}
+
+TEST(SchemeInvariants, GridLoadsLessThanRowsAtSamePeriod) {
+  for (unsigned Period : {2u, 4u}) {
+    double Rows = PerforationScheme::rows(
+                      Period, ReconstructionKind::NearestNeighbor)
+                      .loadedFraction(16, 16, 1, 1);
+    double Grid = PerforationScheme::grid(
+                      Period, ReconstructionKind::NearestNeighbor)
+                      .loadedFraction(16, 16, 1, 1);
+    EXPECT_LT(Grid, Rows) << "period " << Period;
+  }
+}
+
+TEST(SchemeInvariants, BaselineLoadsEverything) {
+  EXPECT_DOUBLE_EQ(
+      PerforationScheme::none().loadedFraction(16, 16, 1, 1), 1.0);
+}
+
+TEST(SchemeInvariants, StencilLoadsTileInteriorOnly) {
+  // Footprint 18x18 (16x16 tile + 1-element halo): the stencil scheme
+  // fetches the 16x16 center and approximates the halo ring.
+  double F = PerforationScheme::stencil().loadedFraction(18, 18, 1, 1);
+  EXPECT_NEAR(F, 256.0 / 324.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,407 @@
+//===- tests/ir_test.cpp - IR core unit tests -------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+#include "ir/DCE.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TEST(TypeTest, ScalarPredicates) {
+  EXPECT_TRUE(Type::voidTy().isVoid());
+  EXPECT_TRUE(Type::boolTy().isBool());
+  EXPECT_TRUE(Type::intTy().isInt());
+  EXPECT_TRUE(Type::floatTy().isFloat());
+  EXPECT_TRUE(Type::intTy().isNumeric());
+  EXPECT_FALSE(Type::boolTy().isNumeric());
+}
+
+TEST(TypeTest, PointerRoundTrip) {
+  Type P = Type::pointerTo(ScalarKind::Float, AddressSpace::Global);
+  EXPECT_TRUE(P.isPointer());
+  EXPECT_EQ(P.addressSpace(), AddressSpace::Global);
+  EXPECT_TRUE(P.pointeeType().isFloat());
+  EXPECT_EQ(P.storeSizeInBytes(), 4u);
+}
+
+TEST(TypeTest, Equality) {
+  EXPECT_EQ(Type::intTy(), Type::intTy());
+  EXPECT_NE(Type::intTy(), Type::floatTy());
+  EXPECT_NE(Type::pointerTo(ScalarKind::Int, AddressSpace::Local),
+            Type::pointerTo(ScalarKind::Int, AddressSpace::Global));
+  EXPECT_NE(Type::intTy(),
+            Type::pointerTo(ScalarKind::Int, AddressSpace::Private));
+}
+
+TEST(TypeTest, Printing) {
+  EXPECT_EQ(Type::floatTy().str(), "float");
+  EXPECT_EQ(Type::pointerTo(ScalarKind::Float, AddressSpace::Global).str(),
+            "global float*");
+  EXPECT_EQ(Type::pointerTo(ScalarKind::Int, AddressSpace::Local).str(),
+            "local int*");
+}
+
+//===----------------------------------------------------------------------===//
+// Constants and module
+//===----------------------------------------------------------------------===//
+
+TEST(ModuleTest, ConstantsInterned) {
+  Module M;
+  EXPECT_EQ(M.getInt(5), M.getInt(5));
+  EXPECT_NE(M.getInt(5), M.getInt(6));
+  EXPECT_EQ(M.getFloat(1.5f), M.getFloat(1.5f));
+  EXPECT_EQ(M.getBool(true), M.getBool(true));
+  EXPECT_NE(M.getBool(true), M.getBool(false));
+}
+
+TEST(ModuleTest, ConstantValues) {
+  Module M;
+  EXPECT_EQ(M.getInt(-3)->value(), -3);
+  EXPECT_FLOAT_EQ(M.getFloat(2.5f)->value(), 2.5f);
+  EXPECT_TRUE(M.getBool(true)->value());
+}
+
+TEST(ModuleTest, IsaCastDynCast) {
+  Module M;
+  Value *V = M.getInt(1);
+  EXPECT_TRUE(isa<ConstantInt>(V));
+  EXPECT_FALSE(isa<ConstantFloat>(V));
+  EXPECT_EQ(cast<ConstantInt>(V)->value(), 1);
+  EXPECT_EQ(dyn_cast<ConstantFloat>(V), nullptr);
+  EXPECT_NE(dyn_cast<ConstantInt>(V), nullptr);
+  EXPECT_TRUE(isConstant(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Builder + function structure
+//===----------------------------------------------------------------------===//
+
+/// Builds: kernel f(global float* buf) { buf[0] = 1.0 + 2.0; ret }
+Function *buildSimple(Module &M) {
+  Function *F = M.createFunction("f");
+  F->addArgument(Type::pointerTo(ScalarKind::Float, AddressSpace::Global),
+                 "buf", /*IsConst=*/false);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *Sum = B.createAdd(M.getFloat(1.0f), M.getFloat(2.0f));
+  Value *Ptr = B.createGep(F->argument(0), M.getInt(0));
+  B.createStore(Sum, Ptr);
+  B.createRet();
+  return F;
+}
+
+TEST(BuilderTest, SimpleFunctionVerifies) {
+  Module M;
+  Function *F = buildSimple(M);
+  EXPECT_FALSE(verifyFunction(*F));
+  EXPECT_EQ(F->entry()->size(), 4u);
+}
+
+TEST(BuilderTest, InsertAtIndex) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createRet();
+  // Insert two instructions before the ret.
+  B.setInsertPoint(BB, 0);
+  B.createAdd(M.getInt(1), M.getInt(2), "first");
+  B.createAdd(M.getInt(3), M.getInt(4), "second");
+  ASSERT_EQ(BB->size(), 3u);
+  EXPECT_EQ(BB->at(0)->name(), "first");
+  EXPECT_EQ(BB->at(1)->name(), "second");
+  EXPECT_TRUE(BB->at(2)->isTerminator());
+}
+
+TEST(BuilderTest, FoldAddConstants) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *V = B.foldAdd(M.getInt(2), M.getInt(3));
+  EXPECT_EQ(cast<ConstantInt>(V)->value(), 5);
+  // Adding zero folds to the other operand without a new instruction.
+  Value *Dynamic = B.createAdd(M.getInt(1), M.getInt(1));
+  EXPECT_EQ(B.foldAdd(M.getInt(0), Dynamic), Dynamic);
+  EXPECT_EQ(B.foldAdd(Dynamic, M.getInt(0)), Dynamic);
+}
+
+TEST(FunctionTest, BlockIndexing) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B = F->createBlock("b");
+  EXPECT_EQ(F->blockIndex(A), 0u);
+  EXPECT_EQ(F->blockIndex(B), 1u);
+  BasicBlock *C = F->createBlockAt(1, "c");
+  EXPECT_EQ(F->blockIndex(C), 1u);
+  EXPECT_EQ(F->blockIndex(B), 2u);
+}
+
+TEST(FunctionTest, ArgumentByName) {
+  Module M;
+  Function *F = M.createFunction("g");
+  F->addArgument(Type::intTy(), "w", false);
+  EXPECT_EQ(F->argumentByName("w"), F->argument(0));
+  EXPECT_EQ(F->argumentByName("zz"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier negative cases
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierTest, EmptyFunctionRejected) {
+  Module M;
+  Function *F = M.createFunction("g");
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("no blocks"), std::string::npos);
+}
+
+TEST(VerifierTest, MissingTerminator) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createAdd(M.getInt(1), M.getInt(2));
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, EmptyBlockRejected) {
+  Module M;
+  Function *F = M.createFunction("g");
+  F->createBlock("entry");
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST(VerifierTest, LocalAllocaOutsideEntry) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createBr(Next);
+  B.setInsertPoint(Next);
+  B.createAlloca(ScalarKind::Float, 16, AddressSpace::Local, "tile");
+  B.createRet();
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("local alloca"), std::string::npos);
+}
+
+TEST(VerifierTest, StoreToConstArgument) {
+  Module M;
+  Function *F = M.createFunction("g");
+  F->addArgument(Type::pointerTo(ScalarKind::Float, AddressSpace::Global),
+                 "in", /*IsConst=*/true);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *P = B.createGep(F->argument(0), M.getInt(0));
+  B.createStore(M.getFloat(0), P);
+  B.createRet();
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("const argument"), std::string::npos);
+}
+
+TEST(VerifierTest, UseBeforeDefAcrossBlocks) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  IRBuilder B(M);
+  // Build b first so its instruction exists, then make a use it.
+  B.setInsertPoint(Bb);
+  Instruction *Late = B.createAdd(M.getInt(1), M.getInt(2));
+  B.createRet();
+  B.setInsertPoint(A);
+  B.createAdd(Late, M.getInt(3));
+  B.createBr(Bb);
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("use before definition"), std::string::npos);
+}
+
+TEST(VerifierTest, TerminatorInMiddle) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createRet();
+  // Manually append after the terminator via the block API.
+  B.setInsertPoint(BB);
+  B.createRet();
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+//===----------------------------------------------------------------------===//
+// Clone
+//===----------------------------------------------------------------------===//
+
+TEST(CloneTest, StructurePreserved) {
+  Module M;
+  Function *F = buildSimple(M);
+  CloneMap Map;
+  Function *C = cloneFunction(M, *F, "f2", Map);
+  EXPECT_EQ(C->name(), "f2");
+  EXPECT_EQ(C->numArguments(), F->numArguments());
+  EXPECT_EQ(C->numBlocks(), F->numBlocks());
+  EXPECT_EQ(C->entry()->size(), F->entry()->size());
+  EXPECT_FALSE(verifyFunction(*C));
+}
+
+TEST(CloneTest, OperandsRemapped) {
+  Module M;
+  Function *F = buildSimple(M);
+  CloneMap Map;
+  Function *C = cloneFunction(M, *F, "f2", Map);
+  // The clone's store must point at the clone's gep, not the original's.
+  const Instruction *Store = nullptr;
+  for (const auto &I : C->entry()->instructions())
+    if (I->opcode() == Opcode::Store)
+      Store = I.get();
+  ASSERT_TRUE(Store);
+  const auto *Gep = cast<Instruction>(Store->operand(1));
+  EXPECT_EQ(Gep->parent(), C->entry());
+  EXPECT_EQ(Gep->operand(0), C->argument(0));
+}
+
+TEST(CloneTest, BranchTargetsRemapped) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  IRBuilder B(M);
+  B.setInsertPoint(A);
+  B.createCondBr(M.getBool(true), Bb, Bb);
+  B.setInsertPoint(Bb);
+  B.createRet();
+  CloneMap Map;
+  Function *C = cloneFunction(M, *F, "g2", Map);
+  Instruction *T = C->entry()->terminator();
+  EXPECT_EQ(T->branchTarget(0), C->block(1));
+  EXPECT_EQ(T->branchTarget(1), C->block(1));
+}
+
+TEST(CloneTest, ConstantsShared) {
+  Module M;
+  Function *F = buildSimple(M);
+  CloneMap Map;
+  Function *C = cloneFunction(M, *F, "f2", Map);
+  // Constants are module-interned: the clone uses the same objects.
+  EXPECT_EQ(C->entry()->at(0)->operand(0), F->entry()->at(0)->operand(0));
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+TEST(DCETest, RemovesUnusedArithmetic) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createAdd(M.getInt(1), M.getInt(2)); // Dead.
+  B.createRet();
+  EXPECT_EQ(eliminateDeadCode(*F), 1u);
+  EXPECT_EQ(BB->size(), 1u);
+}
+
+TEST(DCETest, RemovesTransitivelyDeadChains) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *A = B.createAdd(M.getInt(1), M.getInt(2));
+  Value *C = B.createMul(A, M.getInt(3));
+  B.createSub(C, M.getInt(4)); // Dead; makes C and then A dead too.
+  B.createRet();
+  EXPECT_EQ(eliminateDeadCode(*F), 3u);
+  EXPECT_EQ(BB->size(), 1u);
+}
+
+TEST(DCETest, KeepsStoresAndUsedValues) {
+  Module M;
+  Function *F = buildSimple(M);
+  EXPECT_EQ(eliminateDeadCode(*F), 0u);
+  EXPECT_EQ(F->entry()->size(), 4u);
+}
+
+TEST(DCETest, KeepsBarrier) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createCall(Builtin::Barrier, {});
+  B.createRet();
+  EXPECT_EQ(eliminateDeadCode(*F), 0u);
+  EXPECT_EQ(BB->size(), 2u);
+}
+
+TEST(DCETest, RemovesDeadLoadAndAlloca) {
+  Module M;
+  Function *F = M.createFunction("g");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Instruction *A =
+      B.createAlloca(ScalarKind::Int, 1, AddressSpace::Private, "x");
+  B.createLoad(A); // Dead load; then the alloca becomes dead too.
+  B.createRet();
+  EXPECT_EQ(eliminateDeadCode(*F), 2u);
+  EXPECT_EQ(BB->size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+TEST(PrinterTest, GoldenSimpleFunction) {
+  Module M;
+  Function *F = buildSimple(M);
+  std::string Text = printFunction(*F);
+  EXPECT_NE(Text.find("kernel f(global float* %buf)"), std::string::npos);
+  EXPECT_NE(Text.find("add 1, 2"), std::string::npos);
+  EXPECT_NE(Text.find("gep %buf, 0"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(PrinterTest, ModulePrintsAllFunctions) {
+  Module M;
+  buildSimple(M);
+  Function *G = M.createFunction("g");
+  IRBuilder B(M);
+  B.setInsertPoint(G->createBlock("entry"));
+  B.createRet();
+  std::string Text = printModule(M);
+  EXPECT_NE(Text.find("kernel f("), std::string::npos);
+  EXPECT_NE(Text.find("kernel g("), std::string::npos);
+}
+
+} // namespace

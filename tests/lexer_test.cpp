@@ -1,0 +1,200 @@
+//===- tests/lexer_test.cpp - PCL lexer unit tests --------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcl/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::pcl;
+
+namespace {
+
+std::vector<Token> lexOk(const std::string &Source) {
+  Expected<std::vector<Token>> T = lex(Source);
+  EXPECT_TRUE(static_cast<bool>(T)) << (T ? "" : T.error().message());
+  return T ? T.takeValue() : std::vector<Token>{};
+}
+
+std::string lexErr(const std::string &Source) {
+  Expected<std::vector<Token>> T = lex(Source);
+  EXPECT_FALSE(static_cast<bool>(T));
+  return T ? "" : T.error().message();
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Tokens = lexOk("foo _bar x1 camelCase");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x1");
+  EXPECT_EQ(Tokens[3].Text, "camelCase");
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lexOk("kernel void float int global local const if else "
+                      "for while return true false bool");
+  TokenKind Expected[] = {
+      TokenKind::KwKernel, TokenKind::KwVoid,  TokenKind::KwFloat,
+      TokenKind::KwInt,    TokenKind::KwGlobal, TokenKind::KwLocal,
+      TokenKind::KwConst,  TokenKind::KwIf,    TokenKind::KwElse,
+      TokenKind::KwFor,    TokenKind::KwWhile, TokenKind::KwReturn,
+      TokenKind::KwTrue,   TokenKind::KwFalse, TokenKind::KwBool};
+  ASSERT_EQ(Tokens.size(), 16u);
+  for (size_t I = 0; I < 15; ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, KeywordPrefixIsIdentifier) {
+  auto Tokens = lexOk("iff formal kernels");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, IntLiterals) {
+  auto Tokens = lexOk("0 7 12345");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 7);
+  EXPECT_EQ(Tokens[2].IntValue, 12345);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, IntLiteralOverflow) {
+  std::string Msg = lexErr("99999999999");
+  EXPECT_NE(Msg.find("out of range"), std::string::npos);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lexOk("1.5 0.25 2. .5");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::FloatLiteral);
+  EXPECT_FLOAT_EQ(Tokens[0].FloatValue, 1.5f);
+  EXPECT_FLOAT_EQ(Tokens[1].FloatValue, 0.25f);
+  EXPECT_FLOAT_EQ(Tokens[2].FloatValue, 2.0f);
+  EXPECT_FLOAT_EQ(Tokens[3].FloatValue, 0.5f);
+}
+
+TEST(LexerTest, FloatSuffixF) {
+  auto Tokens = lexOk("1f 2.5f");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::FloatLiteral);
+  EXPECT_FLOAT_EQ(Tokens[0].FloatValue, 1.0f);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::FloatLiteral);
+}
+
+TEST(LexerTest, FloatExponent) {
+  auto Tokens = lexOk("1e3 2.5e-2 1E+1");
+  EXPECT_FLOAT_EQ(Tokens[0].FloatValue, 1000.0f);
+  EXPECT_FLOAT_EQ(Tokens[1].FloatValue, 0.025f);
+  EXPECT_FLOAT_EQ(Tokens[2].FloatValue, 10.0f);
+}
+
+TEST(LexerTest, MalformedExponent) {
+  std::string Msg = lexErr("1e+");
+  EXPECT_NE(Msg.find("exponent"), std::string::npos);
+}
+
+TEST(LexerTest, Operators) {
+  auto Tokens = lexOk("+ - * / % = == != < <= > >= && || ! ? : ++ -- "
+                      "+= -= *= /= %=");
+  TokenKind Expected[] = {
+      TokenKind::Plus,        TokenKind::Minus,
+      TokenKind::Star,        TokenKind::Slash,
+      TokenKind::Percent,     TokenKind::Assign,
+      TokenKind::EqEq,        TokenKind::NotEq,
+      TokenKind::Less,        TokenKind::LessEq,
+      TokenKind::Greater,     TokenKind::GreaterEq,
+      TokenKind::AmpAmp,      TokenKind::PipePipe,
+      TokenKind::Not,         TokenKind::Question,
+      TokenKind::Colon,       TokenKind::PlusPlus,
+      TokenKind::MinusMinus,  TokenKind::PlusAssign,
+      TokenKind::MinusAssign, TokenKind::StarAssign,
+      TokenKind::SlashAssign, TokenKind::PercentAssign};
+  ASSERT_EQ(Tokens.size(), 25u);
+  for (size_t I = 0; I < 24; ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, Punctuation) {
+  auto Tokens = lexOk("( ) { } [ ] , ;");
+  TokenKind Expected[] = {TokenKind::LParen,   TokenKind::RParen,
+                          TokenKind::LBrace,   TokenKind::RBrace,
+                          TokenKind::LBracket, TokenKind::RBracket,
+                          TokenKind::Comma,    TokenKind::Semicolon};
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]);
+}
+
+TEST(LexerTest, LineComments) {
+  auto Tokens = lexOk("a // comment with * and / chars\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, BlockComments) {
+  auto Tokens = lexOk("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  std::string Msg = lexErr("a /* never closed");
+  EXPECT_NE(Msg.find("unterminated"), std::string::npos);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  std::string Msg = lexErr("a @ b");
+  EXPECT_NE(Msg.find("unexpected character"), std::string::npos);
+}
+
+TEST(LexerTest, SingleAmpersandIsError) {
+  std::string Msg = lexErr("a & b");
+  EXPECT_FALSE(Msg.empty());
+}
+
+TEST(LexerTest, LineColumnTracking) {
+  auto Tokens = lexOk("a\n  b\n\nc");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 4u);
+}
+
+TEST(LexerTest, ErrorPositionInMessage) {
+  std::string Msg = lexErr("ok\n   @");
+  EXPECT_EQ(Msg.substr(0, 4), "2:4:");
+}
+
+TEST(LexerTest, MinusVersusNegativeLiteral) {
+  // '-' is always its own token; negation is handled by the parser.
+  auto Tokens = lexOk("-3");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Minus);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, AdjacentOperatorsGreedy) {
+  auto Tokens = lexOk("a+++b"); // Lexes as a ++ + b (maximal munch).
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::PlusPlus);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Plus);
+}
+
+TEST(LexerTest, WholeKernelLexes) {
+  auto Tokens = lexOk("kernel void f(global const float* in) {\n"
+                      "  int x = get_global_id(0);\n"
+                      "}\n");
+  EXPECT_GT(Tokens.size(), 10u);
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Eof);
+}
+
+} // namespace

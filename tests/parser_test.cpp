@@ -1,0 +1,320 @@
+//===- tests/parser_test.cpp - PCL parser unit tests ------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::pcl;
+
+namespace {
+
+ProgramDecl parseOk(const std::string &Source) {
+  Expected<ProgramDecl> P = parse(Source);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().message());
+  return P ? P.takeValue() : ProgramDecl{};
+}
+
+std::string parseErr(const std::string &Source) {
+  Expected<ProgramDecl> P = parse(Source);
+  EXPECT_FALSE(static_cast<bool>(P));
+  return P ? "" : P.error().message();
+}
+
+/// Wraps a statement list into a minimal kernel.
+std::string wrap(const std::string &Body) {
+  return "kernel void k(global const float* in, global float* out, "
+         "int w, int h) {" +
+         Body + "}";
+}
+
+TEST(ParserTest, EmptyProgramRejected) {
+  EXPECT_FALSE(parseErr("").empty());
+}
+
+TEST(ParserTest, MinimalKernel) {
+  ProgramDecl P = parseOk("kernel void f() {}");
+  ASSERT_EQ(P.Kernels.size(), 1u);
+  EXPECT_EQ(P.Kernels[0].Name, "f");
+  EXPECT_TRUE(P.Kernels[0].Params.empty());
+  EXPECT_TRUE(P.Kernels[0].Body->stmts().empty());
+}
+
+TEST(ParserTest, MultipleKernels) {
+  ProgramDecl P = parseOk("kernel void a() {} kernel void b() {}");
+  ASSERT_EQ(P.Kernels.size(), 2u);
+  EXPECT_EQ(P.Kernels[1].Name, "b");
+}
+
+TEST(ParserTest, PointerParams) {
+  ProgramDecl P = parseOk(
+      "kernel void f(global const float* in, global int* out) {}");
+  ASSERT_EQ(P.Kernels[0].Params.size(), 2u);
+  const ParamDecl &In = P.Kernels[0].Params[0];
+  EXPECT_TRUE(In.IsPointer);
+  EXPECT_TRUE(In.IsConst);
+  EXPECT_TRUE(In.IsFloat);
+  EXPECT_TRUE(In.IsGlobalSpace);
+  const ParamDecl &Out = P.Kernels[0].Params[1];
+  EXPECT_FALSE(Out.IsConst);
+  EXPECT_FALSE(Out.IsFloat);
+}
+
+TEST(ParserTest, ValueParams) {
+  ProgramDecl P = parseOk("kernel void f(int w, float s) {}");
+  EXPECT_FALSE(P.Kernels[0].Params[0].IsPointer);
+  EXPECT_FALSE(P.Kernels[0].Params[0].IsFloat);
+  EXPECT_TRUE(P.Kernels[0].Params[1].IsFloat);
+}
+
+TEST(ParserTest, MissingStarInPointerParam) {
+  std::string Msg = parseErr("kernel void f(global float in) {}");
+  EXPECT_NE(Msg.find("'*'"), std::string::npos);
+}
+
+TEST(ParserTest, ScalarDecl) {
+  ProgramDecl P = parseOk(wrap("int x = 3;"));
+  const auto *D = dyn_cast<DeclStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(D);
+  EXPECT_EQ(D->name(), "x");
+  EXPECT_FALSE(D->isFloat());
+  EXPECT_TRUE(D->dims().empty());
+  ASSERT_TRUE(D->init());
+}
+
+TEST(ParserTest, ArrayDecl) {
+  ProgramDecl P = parseOk(wrap("float a[4][5];"));
+  const auto *D = dyn_cast<DeclStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(D);
+  ASSERT_EQ(D->dims().size(), 2u);
+  EXPECT_EQ(D->dims()[0], 4);
+  EXPECT_EQ(D->dims()[1], 5);
+}
+
+TEST(ParserTest, LocalArrayDecl) {
+  ProgramDecl P = parseOk(wrap("local float tile[64];"));
+  const auto *D = dyn_cast<DeclStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(D);
+  EXPECT_TRUE(D->isLocalSpace());
+}
+
+TEST(ParserTest, LocalScalarRejected) {
+  std::string Msg = parseErr(wrap("local float x;"));
+  EXPECT_NE(Msg.find("arrays"), std::string::npos);
+}
+
+TEST(ParserTest, ArrayInitializerRejected) {
+  std::string Msg = parseErr(wrap("float a[2] = 0.0;"));
+  EXPECT_NE(Msg.find("initializer"), std::string::npos);
+}
+
+TEST(ParserTest, NonConstantDimRejected) {
+  std::string Msg = parseErr(wrap("int n = 2; float a[n];"));
+  EXPECT_NE(Msg.find("integer constant"), std::string::npos);
+}
+
+TEST(ParserTest, ZeroDimRejected) {
+  std::string Msg = parseErr(wrap("float a[0];"));
+  EXPECT_NE(Msg.find("positive"), std::string::npos);
+}
+
+TEST(ParserTest, IfElse) {
+  ProgramDecl P = parseOk(wrap("if (true) return; else return;"));
+  const auto *I = dyn_cast<IfStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(I);
+  EXPECT_TRUE(I->elseStmt());
+}
+
+TEST(ParserTest, IfWithoutElse) {
+  ProgramDecl P = parseOk(wrap("if (true) return;"));
+  const auto *I = dyn_cast<IfStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(I);
+  EXPECT_FALSE(I->elseStmt());
+}
+
+TEST(ParserTest, DanglingElseBindsInner) {
+  ProgramDecl P =
+      parseOk(wrap("if (true) if (false) return; else return;"));
+  const auto *Outer = dyn_cast<IfStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(Outer);
+  EXPECT_FALSE(Outer->elseStmt());
+  const auto *Inner = dyn_cast<IfStmt>(Outer->thenStmt());
+  ASSERT_TRUE(Inner);
+  EXPECT_TRUE(Inner->elseStmt());
+}
+
+TEST(ParserTest, ForAllClauses) {
+  ProgramDecl P = parseOk(wrap("for (int i = 0; i < 9; i++) { }"));
+  const auto *F = dyn_cast<ForStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(F);
+  EXPECT_TRUE(F->init());
+  EXPECT_TRUE(F->cond());
+  EXPECT_TRUE(F->inc());
+}
+
+TEST(ParserTest, ForEmptyClauses) {
+  ProgramDecl P = parseOk(wrap("int i = 0; for (;;) { i = 1; }"));
+  const auto *F = dyn_cast<ForStmt>(P.Kernels[0].Body->stmts()[1].get());
+  ASSERT_TRUE(F);
+  EXPECT_FALSE(F->init());
+  EXPECT_FALSE(F->cond());
+  EXPECT_FALSE(F->inc());
+}
+
+TEST(ParserTest, ForWithExprInit) {
+  ProgramDecl P = parseOk(wrap("int i; for (i = 0; i < 3; i++) { }"));
+  const auto *F = dyn_cast<ForStmt>(P.Kernels[0].Body->stmts()[1].get());
+  ASSERT_TRUE(F);
+  ASSERT_TRUE(F->init());
+  EXPECT_TRUE(isa<ExprStmt>(F->init()));
+}
+
+TEST(ParserTest, While) {
+  ProgramDecl P = parseOk(wrap("int i = 0; while (i < 3) i++;"));
+  EXPECT_TRUE(isa<WhileStmt>(P.Kernels[0].Body->stmts()[1].get()));
+}
+
+TEST(ParserTest, NestedBlocks) {
+  ProgramDecl P = parseOk(wrap("{ { int x = 1; } }"));
+  const auto *B = dyn_cast<BlockStmt>(P.Kernels[0].Body->stmts()[0].get());
+  ASSERT_TRUE(B);
+  EXPECT_TRUE(isa<BlockStmt>(B->stmts()[0].get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Expression structure and precedence
+//===----------------------------------------------------------------------===//
+
+/// Parses "int r = <expr>;" and returns the initializer.
+const Expr *initOf(const ProgramDecl &P) {
+  const auto *D = cast<DeclStmt>(P.Kernels[0].Body->stmts()[0].get());
+  return D->init();
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  ProgramDecl P = parseOk(wrap("int r = 1 + 2 * 3;"));
+  const auto *Add = dyn_cast<BinaryExpr>(initOf(P));
+  ASSERT_TRUE(Add);
+  EXPECT_EQ(Add->op(), TokenKind::Plus);
+  EXPECT_TRUE(isa<BinaryExpr>(Add->rhs()));
+  EXPECT_TRUE(isa<IntLitExpr>(Add->lhs()));
+}
+
+TEST(ParserTest, PrecedenceCmpOverAnd) {
+  ProgramDecl P = parseOk(wrap("if (1 < 2 && 3 < 4) return;"));
+  const auto *I = cast<IfStmt>(P.Kernels[0].Body->stmts()[0].get());
+  const auto *And = dyn_cast<BinaryExpr>(I->cond());
+  ASSERT_TRUE(And);
+  EXPECT_EQ(And->op(), TokenKind::AmpAmp);
+  EXPECT_TRUE(isa<BinaryExpr>(And->lhs()));
+}
+
+TEST(ParserTest, AddLeftAssociative) {
+  ProgramDecl P = parseOk(wrap("int r = 1 - 2 - 3;"));
+  const auto *Outer = dyn_cast<BinaryExpr>(initOf(P));
+  ASSERT_TRUE(Outer);
+  // (1-2)-3: left child is the inner subtraction.
+  EXPECT_TRUE(isa<BinaryExpr>(Outer->lhs()));
+  EXPECT_TRUE(isa<IntLitExpr>(Outer->rhs()));
+}
+
+TEST(ParserTest, AssignRightAssociative) {
+  ProgramDecl P = parseOk(wrap("int a; int b; a = b = 1;"));
+  const auto *S = cast<ExprStmt>(P.Kernels[0].Body->stmts()[2].get());
+  const auto *Outer = dyn_cast<AssignExpr>(S->expr());
+  ASSERT_TRUE(Outer);
+  EXPECT_TRUE(isa<AssignExpr>(Outer->rhs()));
+}
+
+TEST(ParserTest, Ternary) {
+  ProgramDecl P = parseOk(wrap("int r = true ? 1 : 2;"));
+  EXPECT_TRUE(isa<TernaryExpr>(initOf(P)));
+}
+
+TEST(ParserTest, UnaryChain) {
+  ProgramDecl P = parseOk(wrap("int r = --x;")); // Prefix decrement of x.
+  const auto *Dec = dyn_cast<IncDecExpr>(initOf(P));
+  ASSERT_TRUE(Dec);
+  EXPECT_TRUE(Dec->isPrefix());
+  EXPECT_FALSE(Dec->isIncrement());
+}
+
+TEST(ParserTest, PostfixIncrement) {
+  ProgramDecl P = parseOk(wrap("int i = 0; i++;"));
+  const auto *S = cast<ExprStmt>(P.Kernels[0].Body->stmts()[1].get());
+  const auto *Inc = dyn_cast<IncDecExpr>(S->expr());
+  ASSERT_TRUE(Inc);
+  EXPECT_FALSE(Inc->isPrefix());
+}
+
+TEST(ParserTest, IndexChain) {
+  ProgramDecl P = parseOk(wrap("float a[2][3]; float r = a[1][2];"));
+  const auto *D = cast<DeclStmt>(P.Kernels[0].Body->stmts()[1].get());
+  const auto *Outer = dyn_cast<IndexExpr>(D->init());
+  ASSERT_TRUE(Outer);
+  EXPECT_TRUE(isa<IndexExpr>(Outer->base()));
+}
+
+TEST(ParserTest, CallWithArgs) {
+  ProgramDecl P = parseOk(wrap("int r = clamp(1, 0, 5);"));
+  const auto *C = dyn_cast<CallExpr>(initOf(P));
+  ASSERT_TRUE(C);
+  EXPECT_EQ(C->callee(), "clamp");
+  EXPECT_EQ(C->args().size(), 3u);
+}
+
+TEST(ParserTest, CastFloat) {
+  ProgramDecl P = parseOk(wrap("float r = (float)3;"));
+  const auto *C = dyn_cast<CastExpr>(initOf(P));
+  ASSERT_TRUE(C);
+  EXPECT_TRUE(C->toFloat());
+}
+
+TEST(ParserTest, CastInt) {
+  ProgramDecl P = parseOk(wrap("int r = (int)2.5;"));
+  const auto *C = dyn_cast<CastExpr>(initOf(P));
+  ASSERT_TRUE(C);
+  EXPECT_FALSE(C->toFloat());
+}
+
+TEST(ParserTest, ParenExprIsNotCast) {
+  ProgramDecl P = parseOk(wrap("int r = (1 + 2) * 3;"));
+  const auto *Mul = dyn_cast<BinaryExpr>(initOf(P));
+  ASSERT_TRUE(Mul);
+  EXPECT_EQ(Mul->op(), TokenKind::Star);
+}
+
+//===----------------------------------------------------------------------===//
+// Syntax errors carry positions
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, MissingSemicolon) {
+  std::string Msg = parseErr(wrap("int x = 1"));
+  EXPECT_NE(Msg.find("';'"), std::string::npos);
+}
+
+TEST(ParserTest, MissingCloseBrace) {
+  std::string Msg = parseErr("kernel void f() { int x = 1;");
+  EXPECT_NE(Msg.find("end of input"), std::string::npos);
+}
+
+TEST(ParserTest, MissingKernelName) {
+  std::string Msg = parseErr("kernel void () {}");
+  EXPECT_NE(Msg.find("kernel name"), std::string::npos);
+}
+
+TEST(ParserTest, GarbageExpression) {
+  std::string Msg = parseErr(wrap("int x = ;"));
+  EXPECT_NE(Msg.find("expected expression"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorHasLineColumn) {
+  std::string Msg = parseErr("kernel void f() {\n  int x = ;\n}");
+  EXPECT_EQ(Msg.substr(0, 2), "2:");
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/quality_test.cpp - runtime quality monitor tests ---------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Kernels.h"
+#include "img/Generators.h"
+#include "img/Metrics.h"
+#include "runtime/Quality.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::rt;
+
+namespace {
+
+/// Shared setup: a gaussian kernel + its Rows2 perforation over a 64x64
+/// image already uploaded into the context.
+struct MonitorSetup {
+  std::unique_ptr<Context> Ctx;
+  Kernel Accurate;
+  PerforatedKernel Approx;
+  unsigned In = 0, Out = 0;
+  std::vector<sim::KernelArg> Args;
+
+  explicit MonitorSetup(img::ImageClass Class, unsigned Period = 4) {
+    Ctx = std::make_unique<Context>();
+    Accurate =
+        cantFail(Ctx->compile(apps::gaussianSource(), "gaussian"));
+    perf::PerforationPlan Plan;
+    Plan.Scheme = perf::PerforationScheme::rows(
+        Period, perf::ReconstructionKind::NearestNeighbor);
+    Approx = cantFail(Ctx->perforate(Accurate, Plan));
+    img::Image Img = img::generateImage(Class, 64, 64, 31);
+    In = Ctx->createBufferFrom(Img.pixels());
+    Out = Ctx->createBuffer(Img.size());
+    Args = {arg::buffer(In), arg::buffer(Out), arg::i32(64), arg::i32(64)};
+  }
+
+  QualityMonitor monitor(double Budget, unsigned CheckEvery) {
+    return QualityMonitor(*Ctx, Accurate, Approx, {64, 64}, {16, 16},
+                          Budget, CheckEvery);
+  }
+};
+
+ScoreFn mre() {
+  return [](const std::vector<float> &R, const std::vector<float> &T) {
+    return img::meanRelativeError(R, T);
+  };
+}
+
+TEST(QualityMonitorTest, StaysApproximateWithinBudget) {
+  MonitorSetup S(img::ImageClass::Smooth);
+  QualityMonitor Mon = S.monitor(/*Budget=*/0.5, /*CheckEvery=*/2);
+  for (int I = 0; I < 6; ++I) {
+    MonitoredLaunch L = cantFail(Mon.launch(S.Args, S.Out, mre()));
+    EXPECT_TRUE(L.UsedApproximate) << I;
+  }
+  EXPECT_FALSE(Mon.fellBack());
+  EXPECT_EQ(Mon.history().size(), 3u); // Checked on launches 2, 4, 6.
+}
+
+TEST(QualityMonitorTest, FallsBackWhenBudgetViolated) {
+  // Pattern input drives the Rows2 error above a tight budget.
+  MonitorSetup S(img::ImageClass::Pattern);
+  QualityMonitor Mon = S.monitor(/*Budget=*/0.001, /*CheckEvery=*/1);
+  MonitoredLaunch First = cantFail(Mon.launch(S.Args, S.Out, mre()));
+  EXPECT_TRUE(First.Checked);
+  EXPECT_GT(First.MeasuredError, 0.001);
+  EXPECT_FALSE(First.UsedApproximate); // Accurate result kept.
+  EXPECT_TRUE(Mon.fellBack());
+
+  // Subsequent launches run the accurate kernel without re-checking.
+  MonitoredLaunch Next = cantFail(Mon.launch(S.Args, S.Out, mre()));
+  EXPECT_FALSE(Next.UsedApproximate);
+  EXPECT_FALSE(Next.Checked);
+  EXPECT_EQ(Mon.history().size(), 1u);
+}
+
+TEST(QualityMonitorTest, FallbackOutputIsAccurate) {
+  MonitorSetup S(img::ImageClass::Pattern);
+  QualityMonitor Mon = S.monitor(0.0, 1); // Impossible budget.
+  cantFail(Mon.launch(S.Args, S.Out, mre()));
+  // The context's output buffer must now hold the accurate result.
+  std::vector<float> Kept = S.Ctx->buffer(S.Out).downloadFloats();
+  Expected<sim::SimReport> R =
+      S.Ctx->launch(S.Accurate, {64, 64}, {16, 16}, S.Args);
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(Kept, S.Ctx->buffer(S.Out).downloadFloats());
+}
+
+TEST(QualityMonitorTest, UncheckedLaunchesSkipAccurateRun) {
+  MonitorSetup S(img::ImageClass::Smooth);
+  QualityMonitor Mon = S.monitor(0.5, 4);
+  MonitoredLaunch L1 = cantFail(Mon.launch(S.Args, S.Out, mre()));
+  EXPECT_FALSE(L1.Checked);
+  MonitoredLaunch L4 = [&] {
+    cantFail(Mon.launch(S.Args, S.Out, mre()));
+    cantFail(Mon.launch(S.Args, S.Out, mre()));
+    return cantFail(Mon.launch(S.Args, S.Out, mre()));
+  }();
+  EXPECT_TRUE(L4.Checked);
+  EXPECT_EQ(Mon.launches(), 4u);
+}
+
+TEST(QualityMonitorTest, CheckEveryZeroMeansAlways) {
+  MonitorSetup S(img::ImageClass::Smooth);
+  QualityMonitor Mon = S.monitor(0.5, 0);
+  MonitoredLaunch L = cantFail(Mon.launch(S.Args, S.Out, mre()));
+  EXPECT_TRUE(L.Checked);
+}
+
+TEST(QualityMonitorTest, HistoryAccumulates) {
+  MonitorSetup S(img::ImageClass::Smooth);
+  QualityMonitor Mon = S.monitor(0.5, 1);
+  for (int I = 0; I < 3; ++I)
+    cantFail(Mon.launch(S.Args, S.Out, mre()));
+  ASSERT_EQ(Mon.history().size(), 3u);
+  // Same input every time: identical measured error.
+  EXPECT_DOUBLE_EQ(Mon.history()[0], Mon.history()[2]);
+}
+
+} // namespace

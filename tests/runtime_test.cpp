@@ -1,0 +1,118 @@
+//===- tests/runtime_test.cpp - host runtime facade tests -------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::rt;
+
+namespace {
+
+const char *CopySource = R"(
+kernel void copy(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  out[y * w + x] = in[y * w + x];
+}
+)";
+
+TEST(RuntimeTest, CompileAndLaunch) {
+  Context Ctx;
+  Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
+  EXPECT_EQ(K.name(), "copy");
+  std::vector<float> Data(64);
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] = static_cast<float>(I);
+  unsigned In = Ctx.createBufferFrom(Data);
+  unsigned Out = Ctx.createBuffer(64);
+  cantFail(Ctx.launch(K, {8, 8}, {4, 4},
+                      {arg::buffer(In), arg::buffer(Out), arg::i32(8),
+                       arg::i32(8)}));
+  EXPECT_EQ(Ctx.buffer(Out).downloadFloats(), Data);
+}
+
+TEST(RuntimeTest, CompileErrorPropagates) {
+  Context Ctx;
+  Expected<Kernel> K = Ctx.compile("kernel void broken( {}", "broken");
+  ASSERT_FALSE(static_cast<bool>(K));
+  EXPECT_FALSE(K.error().message().empty());
+}
+
+TEST(RuntimeTest, UnknownKernelName) {
+  Context Ctx;
+  Expected<Kernel> K = Ctx.compile(CopySource, "nope");
+  ASSERT_FALSE(static_cast<bool>(K));
+  EXPECT_NE(K.error().message().find("no kernel named"),
+            std::string::npos);
+}
+
+TEST(RuntimeTest, BufferAccessors) {
+  Context Ctx;
+  unsigned B = Ctx.createBuffer(4);
+  Ctx.buffer(B).setFloat(2, 1.25f);
+  EXPECT_FLOAT_EQ(Ctx.buffer(B).floatAt(2), 1.25f);
+  Ctx.buffer(B).setInt(0, -7);
+  EXPECT_EQ(Ctx.buffer(B).intAt(0), -7);
+}
+
+TEST(RuntimeTest, PerforateProducesLaunchConstraints) {
+  Context Ctx;
+  Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
+  perf::PerforationPlan Plan;
+  Plan.Scheme = perf::PerforationScheme::rows(
+      2, perf::ReconstructionKind::NearestNeighbor);
+  Plan.TileX = 8;
+  Plan.TileY = 4;
+  PerforatedKernel P = cantFail(Ctx.perforate(K, Plan));
+  EXPECT_EQ(P.LocalX, 8u);
+  EXPECT_EQ(P.LocalY, 4u);
+  EXPECT_EQ(P.LocalMemWords, 8u * 4u); // Halo 0 for a copy kernel.
+  EXPECT_NE(P.K.F, K.F);
+}
+
+TEST(RuntimeTest, GeneratedKernelNamesUnique) {
+  Context Ctx;
+  Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
+  perf::PerforationPlan Plan;
+  Plan.Scheme = perf::PerforationScheme::rows(
+      2, perf::ReconstructionKind::NearestNeighbor);
+  PerforatedKernel A = cantFail(Ctx.perforate(K, Plan));
+  PerforatedKernel B = cantFail(Ctx.perforate(K, Plan));
+  EXPECT_NE(A.K.F->name(), B.K.F->name());
+}
+
+TEST(RuntimeTest, LaunchApproxRoundsUp) {
+  Context Ctx;
+  Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
+  perf::OutputApproxPlan Plan;
+  Plan.Kind = perf::OutputSchemeKind::Rows;
+  Plan.ApproxPerComputed = 2;
+  Plan.WidthArgIndex = 2;
+  Plan.HeightArgIndex = 3;
+  ApproxKernel A = cantFail(Ctx.approximateOutput(K, Plan));
+  EXPECT_EQ(A.DivY, 3u);
+  std::vector<float> Data(48 * 48, 0.5f);
+  unsigned In = Ctx.createBufferFrom(Data);
+  unsigned Out = Ctx.createBuffer(Data.size());
+  // 48/3 = 16 rows of computed items, divisible by 4: launches cleanly.
+  sim::SimReport R = cantFail(Ctx.launchApprox(
+      A, {48, 48}, {4, 4},
+      {arg::buffer(In), arg::buffer(Out), arg::i32(48), arg::i32(48)}));
+  EXPECT_EQ(R.Totals.WorkItems, 48u * 16u);
+}
+
+TEST(RuntimeTest, DeviceConfigurable) {
+  sim::DeviceConfig D;
+  D.NumComputeUnits = 2;
+  Context Ctx(D);
+  EXPECT_EQ(Ctx.device().NumComputeUnits, 2u);
+  Ctx.device().ReadCostCycles = 99.0;
+  EXPECT_DOUBLE_EQ(Ctx.device().ReadCostCycles, 99.0);
+}
+
+} // namespace

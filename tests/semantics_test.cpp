@@ -1,0 +1,228 @@
+//===- tests/semantics_test.cpp - Deeper execution-semantics tests ----------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Edge-case semantics of the simulated device: barriers inside loops,
+// repeated launches over the same buffers, special float values, and
+// generated-kernel interactions that the simpler suites do not cover.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Interpreter.h"
+#include "pcl/Compiler.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::sim;
+
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+protected:
+  ir::Function *compile(const std::string &Source,
+                        const std::string &Name) {
+    Expected<ir::Function *> F = pcl::compileKernel(M, Source, Name);
+    EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.error().message());
+    return F ? *F : nullptr;
+  }
+
+  Expected<SimReport> run(ir::Function *F, Range2 Global, Range2 Local,
+                          const std::vector<KernelArg> &Args) {
+    return launchKernel(*F, Global, Local, Args, Buffers, Device);
+  }
+
+  unsigned makeBuffer(size_t N) {
+    Buffers.emplace_back(N);
+    return static_cast<unsigned>(Buffers.size() - 1);
+  }
+
+  ir::Module M;
+  std::vector<BufferData> Buffers;
+  DeviceConfig Device;
+};
+
+TEST_F(SemanticsTest, BarrierInsideUniformLoop) {
+  // A parallel prefix-style reduction: every iteration all items hit the
+  // same barrier; values must propagate phase by phase.
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  local int t[8];"
+      "  int l = get_local_id(0);"
+      "  t[l] = 1;"
+      "  barrier();"
+      "  for (int step = 1; step < 8; step = step * 2) {"
+      "    int v = 0;"
+      "    if (l >= step) v = t[l - step];"
+      "    barrier();"
+      "    t[l] = t[l] + v;"
+      "    barrier();"
+      "  }"
+      "  out[l] = t[l];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(8);
+  SimReport R =
+      cantFail(run(F, {8, 1}, {8, 1}, {KernelArg::makeBuffer(Out)}));
+  for (int L = 0; L < 8; ++L)
+    EXPECT_EQ(Buffers[Out].intAt(L), L + 1) << L; // Inclusive prefix sum.
+  EXPECT_EQ(R.Totals.Barriers, 8u * 7u); // 1 + 2*3 per item.
+}
+
+TEST_F(SemanticsTest, RelaunchSeesUpdatedBuffers) {
+  // Ping-pong: out = in + 1, run twice with swapped roles.
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out) {"
+      "  int x = get_global_id(0);"
+      "  out[x] = in[x] + 1.0;"
+      "}",
+      "f");
+  unsigned A = makeBuffer(4);
+  unsigned B = makeBuffer(4);
+  cantFail(run(F, {4, 1}, {4, 1},
+               {KernelArg::makeBuffer(A), KernelArg::makeBuffer(B)}));
+  cantFail(run(F, {4, 1}, {4, 1},
+               {KernelArg::makeBuffer(B), KernelArg::makeBuffer(A)}));
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FLOAT_EQ(Buffers[A].floatAt(I), 2.0f);
+}
+
+TEST_F(SemanticsTest, SameBufferAsTwoArguments) {
+  // in and out may alias; reads happen per item before its write.
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out) {"
+      "  int x = get_global_id(0);"
+      "  out[x] = in[x] * 2.0;"
+      "}",
+      "f");
+  unsigned A = makeBuffer(4);
+  Buffers[A].setFloat(0, 3.0f);
+  Buffers[A].setFloat(1, 5.0f);
+  cantFail(run(F, {2, 1}, {2, 1},
+               {KernelArg::makeBuffer(A), KernelArg::makeBuffer(A)}));
+  EXPECT_FLOAT_EQ(Buffers[A].floatAt(0), 6.0f);
+  EXPECT_FLOAT_EQ(Buffers[A].floatAt(1), 10.0f);
+}
+
+TEST_F(SemanticsTest, SpecialFloatsRoundTrip) {
+  // NaN and infinity pass through loads/stores bit-correctly.
+  ir::Function *F = compile(
+      "kernel void f(global const float* in, global float* out) {"
+      "  int x = get_global_id(0);"
+      "  out[x] = in[x];"
+      "}",
+      "f");
+  unsigned In = makeBuffer(4);
+  unsigned Out = makeBuffer(4);
+  Buffers[In].setFloat(0, std::numeric_limits<float>::quiet_NaN());
+  Buffers[In].setFloat(1, std::numeric_limits<float>::infinity());
+  Buffers[In].setFloat(2, -0.0f);
+  Buffers[In].setFloat(3, std::numeric_limits<float>::denorm_min());
+  cantFail(run(F, {4, 1}, {4, 1},
+               {KernelArg::makeBuffer(In), KernelArg::makeBuffer(Out)}));
+  EXPECT_TRUE(std::isnan(Buffers[Out].floatAt(0)));
+  EXPECT_TRUE(std::isinf(Buffers[Out].floatAt(1)));
+  EXPECT_EQ(Buffers[Out].word(2), Buffers[In].word(2)); // -0.0 bits.
+  EXPECT_EQ(Buffers[Out].word(3), Buffers[In].word(3));
+}
+
+TEST_F(SemanticsTest, NegativeIntDivisionTruncatesTowardZero) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  out[0] = -7 / 2; out[1] = -7 % 2;"
+      "  out[2] = 7 / -2; out[3] = 7 % -2;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(4);
+  cantFail(run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(Buffers[Out].intAt(0), -3);
+  EXPECT_EQ(Buffers[Out].intAt(1), -1);
+  EXPECT_EQ(Buffers[Out].intAt(2), -3);
+  EXPECT_EQ(Buffers[Out].intAt(3), 1);
+}
+
+TEST_F(SemanticsTest, TwoKernelsShareOneModule) {
+  Expected<std::vector<ir::Function *>> Fns = pcl::compile(
+      M, "kernel void a(global int* out) { out[0] = 1; }"
+         "kernel void b(global int* out) { out[1] = 2; }");
+  ASSERT_TRUE(static_cast<bool>(Fns));
+  unsigned Out = makeBuffer(2);
+  cantFail(run((*Fns)[0], {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  cantFail(run((*Fns)[1], {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(Buffers[Out].intAt(0), 1);
+  EXPECT_EQ(Buffers[Out].intAt(1), 2);
+}
+
+TEST_F(SemanticsTest, PrivateStateIsPerItem) {
+  // Each item accumulates into its own private array; no cross-talk.
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  int acc[4];"
+      "  int l = get_global_id(0);"
+      "  for (int i = 0; i < 4; i++) acc[i] = l * 10 + i;"
+      "  int sum = 0;"
+      "  for (int i = 0; i < 4; i++) sum += acc[i];"
+      "  out[l] = sum;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(8);
+  cantFail(run(F, {8, 1}, {4, 1}, {KernelArg::makeBuffer(Out)}));
+  for (int L = 0; L < 8; ++L)
+    EXPECT_EQ(Buffers[Out].intAt(L), 4 * (L * 10) + 6) << L;
+}
+
+TEST_F(SemanticsTest, LocalArenaClearedBetweenLaunches) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out, int v) {"
+      "  local int t[4];"
+      "  int l = get_local_id(0);"
+      "  if (v > 0) t[l] = v;"
+      "  barrier();"
+      "  out[l] = t[l];"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(4);
+  cantFail(run(F, {4, 1}, {4, 1},
+               {KernelArg::makeBuffer(Out), KernelArg::makeInt(7)}));
+  EXPECT_EQ(Buffers[Out].intAt(0), 7);
+  // Second launch does not write t: it must read zeros, not stale 7s.
+  cantFail(run(F, {4, 1}, {4, 1},
+               {KernelArg::makeBuffer(Out), KernelArg::makeInt(0)}));
+  EXPECT_EQ(Buffers[Out].intAt(0), 0);
+}
+
+TEST_F(SemanticsTest, OneDimensionalLaunch) {
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  out[get_global_id(0)] = get_global_id(1);"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(16);
+  cantFail(run(F, {16, 1}, {8, 1}, {KernelArg::makeBuffer(Out)}));
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Buffers[Out].intAt(I), 0); // gid(1) == 0 in a 1-D launch.
+}
+
+TEST_F(SemanticsTest, WhileLoopWithComplexExit) {
+  // Collatz steps for n=27 (known: 111 steps) -- exercises long-running
+  // data-dependent control flow in a single item.
+  ir::Function *F = compile(
+      "kernel void f(global int* out) {"
+      "  int n = 27;"
+      "  int steps = 0;"
+      "  while (n != 1) {"
+      "    if (n % 2 == 0) n = n / 2; else n = 3 * n + 1;"
+      "    steps++;"
+      "  }"
+      "  out[0] = steps;"
+      "}",
+      "f");
+  unsigned Out = makeBuffer(1);
+  cantFail(run(F, {1, 1}, {1, 1}, {KernelArg::makeBuffer(Out)}));
+  EXPECT_EQ(Buffers[Out].intAt(0), 111);
+}
+
+} // namespace

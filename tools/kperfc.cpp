@@ -1,0 +1,509 @@
+//===- tools/kperfc.cpp - Kernel perforation command-line driver -------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Developer tool over the library:
+//
+//   kperfc dump-ir <file.pcl> [--kernel name]
+//       Compile and print the kernel IR.
+//
+//   kperfc analyze <file.pcl> [--kernel name]
+//       Print the detected input footprints and output sites.
+//
+//   kperfc perforate <file.pcl> [--kernel name] [--scheme S] [--recon R]
+//                    [--wg WxH]
+//       Apply the perforation transform and print the generated IR.
+//
+//   kperfc run <file.pcl> --image in.pgm [--out out.pgm] [--kernel name]
+//              [--scheme S] [--recon R] [--wg WxH]
+//       Run a kernel(in, out, w, h) image filter on a PGM file,
+//       accurately or perforated, and report simulated time + quality.
+//
+//   kperfc tune <file.pcl> [--kernel name] [--image in.pgm] [--budget E]
+//       Explore scheme x reconstruction x work-group configurations for a
+//       kernel(in, out, w, h) filter, print the Pareto front, and pick
+//       the fastest configuration whose error stays within the budget
+//       (default 0.05). Without --image a synthetic natural image is
+//       used.
+//
+//   kperfc passes <file.pcl> [--kernel name]
+//       Run the standard optimization pipeline (simplify, CSE, DCE) on
+//       the kernel and print what it did plus the optimized IR.
+//
+// Schemes: baseline | rows1 | rows2 | cols1 | cols2 | stencil
+// Recon:   nn | li
+//
+//===----------------------------------------------------------------------===//
+
+#include "img/Generators.h"
+#include "img/Metrics.h"
+#include "img/PGM.h"
+#include "ir/Passes.h"
+#include "ir/Printer.h"
+#include "perforation/AccessAnalysis.h"
+#include "perforation/Pareto.h"
+#include "perforation/Tuner.h"
+#include "pcl/Compiler.h"
+#include "runtime/Context.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace kperf;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string File;
+  std::string KernelName; ///< Empty: first kernel in the file.
+  std::string ImagePath;
+  std::string OutPath;
+  perf::PerforationScheme Scheme = perf::PerforationScheme::none();
+  bool SchemeGiven = false;
+  unsigned WgX = 16, WgY = 16;
+  double Budget = 0.05;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: kperfc <dump-ir|analyze|perforate|run|tune|passes> "
+               "<file.pcl>\n"
+               "              [--kernel NAME] [--scheme baseline|rows1|"
+               "rows2|cols1|cols2|stencil]\n"
+               "              [--recon nn|li] [--wg WxH]\n"
+               "              [--image in.pgm] [--out out.pgm] "
+               "[--budget E]\n");
+  return 2;
+}
+
+bool parseScheme(const std::string &Name, perf::PerforationScheme &S) {
+  if (Name == "baseline")
+    S = perf::PerforationScheme::none();
+  else if (Name == "rows1")
+    S.Kind = perf::SchemeKind::Rows, S.Period = 2;
+  else if (Name == "rows2")
+    S.Kind = perf::SchemeKind::Rows, S.Period = 4;
+  else if (Name == "cols1")
+    S.Kind = perf::SchemeKind::Cols, S.Period = 2;
+  else if (Name == "cols2")
+    S.Kind = perf::SchemeKind::Cols, S.Period = 4;
+  else if (Name == "stencil")
+    S = perf::PerforationScheme::stencil();
+  else
+    return false;
+  return true;
+}
+
+Expected<Options> parseArgs(int Argc, char **Argv) {
+  Options O;
+  if (Argc < 3)
+    return makeError("missing command or file");
+  O.Command = Argv[1];
+  O.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto next = [&]() -> Expected<std::string> {
+      if (I + 1 >= Argc)
+        return makeError("missing value after %s", A.c_str());
+      return std::string(Argv[++I]);
+    };
+    if (A == "--kernel") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      O.KernelName = *V;
+    } else if (A == "--scheme") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      if (!parseScheme(*V, O.Scheme))
+        return makeError("unknown scheme '%s'", V->c_str());
+      O.SchemeGiven = true;
+    } else if (A == "--recon") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      if (*V == "nn")
+        O.Scheme.Recon = perf::ReconstructionKind::NearestNeighbor;
+      else if (*V == "li")
+        O.Scheme.Recon = perf::ReconstructionKind::Linear;
+      else
+        return makeError("unknown reconstruction '%s'", V->c_str());
+    } else if (A == "--wg") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      if (std::sscanf(V->c_str(), "%ux%u", &O.WgX, &O.WgY) != 2)
+        return makeError("bad --wg value '%s' (expected WxH)", V->c_str());
+    } else if (A == "--image") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      O.ImagePath = *V;
+    } else if (A == "--out") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      O.OutPath = *V;
+    } else if (A == "--budget") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      char *End = nullptr;
+      O.Budget = std::strtod(V->c_str(), &End);
+      if (End == V->c_str() || O.Budget < 0)
+        return makeError("bad --budget value '%s'", V->c_str());
+    } else {
+      return makeError("unknown option '%s'", A.c_str());
+    }
+  }
+  return O;
+}
+
+Expected<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError("cannot open '%s'", Path.c_str());
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Compiles the requested (or first) kernel of the file.
+Expected<rt::Kernel> compileFrom(rt::Context &Ctx, const Options &O,
+                                 const std::string &Source) {
+  if (!O.KernelName.empty())
+    return Ctx.compile(Source, O.KernelName);
+  // First kernel: parse the name out of a trial compile of all kernels.
+  Expected<std::vector<ir::Function *>> All =
+      pcl::compile(Ctx.module(), Source);
+  if (!All)
+    return All.takeError();
+  return rt::Kernel{All->front()};
+}
+
+int cmdDumpIR(const Options &O, const std::string &Source) {
+  rt::Context Ctx;
+  Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+  if (!K) {
+    std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+    return 1;
+  }
+  std::fputs(ir::printFunction(*K->F).c_str(), stdout);
+  return 0;
+}
+
+int cmdAnalyze(const Options &O, const std::string &Source) {
+  rt::Context Ctx;
+  Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+  if (!K) {
+    std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+    return 1;
+  }
+  Expected<perf::KernelAccessInfo> Info =
+      perf::analyzeKernelAccesses(*K->F);
+  if (!Info) {
+    std::fprintf(stderr, "error: %s\n", Info.error().message().c_str());
+    return 1;
+  }
+  std::printf("kernel %s:\n", K->F->name().c_str());
+  for (const perf::BufferAccess &A : Info->Inputs)
+    std::printf("  input  %-10s footprint dy=[%d,%d] dx=[%d,%d] "
+                "halo=%dx%d stride=%s (%zu loads)\n",
+                A.Buffer->name().c_str(), A.DyMin, A.DyMax, A.DxMin,
+                A.DxMax, A.haloX(), A.haloY(),
+                A.WidthArg->name().c_str(), A.Loads.size());
+  for (const perf::StoreSite &S : Info->Outputs)
+    std::printf("  output %-10s stride=%s\n", S.Buffer->name().c_str(),
+                S.WidthArg->name().c_str());
+  if (Info->UnmatchedInputLoads)
+    std::printf("  (%u input loads did not match the 2-D pattern)\n",
+                Info->UnmatchedInputLoads);
+  if (Info->Inputs.empty())
+    std::printf("  no perforatable input buffers\n");
+  return 0;
+}
+
+int cmdPerforate(const Options &O, const std::string &Source) {
+  rt::Context Ctx;
+  Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+  if (!K) {
+    std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+    return 1;
+  }
+  perf::PerforationPlan Plan;
+  Plan.Scheme = O.SchemeGiven
+                    ? O.Scheme
+                    : perf::PerforationScheme::rows(
+                          2, perf::ReconstructionKind::NearestNeighbor);
+  Plan.TileX = O.WgX;
+  Plan.TileY = O.WgY;
+  Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", P.error().message().c_str());
+    return 1;
+  }
+  std::printf("; scheme %s, work group %ux%u, local memory %u words\n",
+              Plan.Scheme.str().c_str(), P->LocalX, P->LocalY,
+              P->LocalMemWords);
+  std::fputs(ir::printFunction(*P->K.F).c_str(), stdout);
+  return 0;
+}
+
+int cmdRun(const Options &O, const std::string &Source) {
+  if (O.ImagePath.empty()) {
+    std::fprintf(stderr, "error: run requires --image\n");
+    return 1;
+  }
+  Expected<img::Image> In = img::readPGM(O.ImagePath);
+  if (!In) {
+    std::fprintf(stderr, "error: %s\n", In.error().message().c_str());
+    return 1;
+  }
+  unsigned W = In->width(), H = In->height();
+  if (W % O.WgX != 0 || H % O.WgY != 0) {
+    std::fprintf(stderr,
+                 "error: image %ux%u not divisible by work group %ux%u\n",
+                 W, H, O.WgX, O.WgY);
+    return 1;
+  }
+
+  rt::Context Ctx;
+  Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+  if (!K) {
+    std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+    return 1;
+  }
+  unsigned InBuf = Ctx.createBufferFrom(In->pixels());
+  unsigned OutBuf = Ctx.createBuffer(In->size());
+  std::vector<sim::KernelArg> Args = {
+      rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
+      rt::arg::i32(static_cast<int32_t>(W)),
+      rt::arg::i32(static_cast<int32_t>(H))};
+
+  // Accurate run (always, as the quality reference).
+  Expected<sim::SimReport> Acc =
+      Ctx.launch(*K, {W, H}, {O.WgX, O.WgY}, Args);
+  if (!Acc) {
+    std::fprintf(stderr, "error: %s\n", Acc.error().message().c_str());
+    return 1;
+  }
+  std::vector<float> Reference = Ctx.buffer(OutBuf).downloadFloats();
+  std::printf("accurate:   %.4f ms (%llu read tx)\n", Acc->TimeMs,
+              static_cast<unsigned long long>(
+                  Acc->Totals.GlobalReadTransactions));
+
+  std::vector<float> Final = Reference;
+  if (O.SchemeGiven && O.Scheme.Kind != perf::SchemeKind::None) {
+    perf::PerforationPlan Plan;
+    Plan.Scheme = O.Scheme;
+    Plan.TileX = O.WgX;
+    Plan.TileY = O.WgY;
+    Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
+    if (!P) {
+      std::fprintf(stderr, "error: %s\n", P.error().message().c_str());
+      return 1;
+    }
+    Expected<sim::SimReport> App =
+        Ctx.launch(P->K, {W, H}, {P->LocalX, P->LocalY}, Args);
+    if (!App) {
+      std::fprintf(stderr, "error: %s\n", App.error().message().c_str());
+      return 1;
+    }
+    Final = Ctx.buffer(OutBuf).downloadFloats();
+    std::printf("perforated: %.4f ms (%llu read tx)  [%s]\n", App->TimeMs,
+                static_cast<unsigned long long>(
+                    App->Totals.GlobalReadTransactions),
+                O.Scheme.str().c_str());
+    std::printf("speedup:    %.2fx\n", Acc->TimeMs / App->TimeMs);
+    std::printf("MRE:        %.5f   mean error: %.5f   PSNR: %.1f dB\n",
+                img::meanRelativeError(Reference, Final),
+                img::meanError(Reference, Final),
+                img::psnr(Reference, Final));
+  }
+
+  if (!O.OutPath.empty()) {
+    img::Image Out(W, H);
+    Out.pixels() = Final;
+    if (Error E = img::writePGM(Out, O.OutPath)) {
+      std::fprintf(stderr, "error: %s\n", E.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", O.OutPath.c_str());
+  }
+  return 0;
+}
+
+int cmdTune(const Options &O, const std::string &Source) {
+  // Workload: the user's PGM, or a synthetic natural image whose edge
+  // length every Fig. 9 work-group shape divides.
+  img::Image In(256, 256);
+  if (!O.ImagePath.empty()) {
+    Expected<img::Image> Loaded = img::readPGM(O.ImagePath);
+    if (!Loaded) {
+      std::fprintf(stderr, "error: %s\n",
+                   Loaded.error().message().c_str());
+      return 1;
+    }
+    In = *Loaded;
+  } else {
+    In = img::generateImage(img::ImageClass::Natural, 256, 256, 11);
+  }
+  unsigned W = In.width(), H = In.height();
+
+  // Accurate output, once, as the quality reference (the kernel as
+  // written is also the speedup denominator -- for arbitrary user
+  // kernels we cannot know whether a local-prefetch baseline would be
+  // faster, so the tool reports speedup vs. the unmodified kernel).
+  std::vector<float> Reference;
+  {
+    rt::Context Ctx;
+    Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+    if (!K) {
+      std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+      return 1;
+    }
+    unsigned InBuf = Ctx.createBufferFrom(In.pixels());
+    unsigned OutBuf = Ctx.createBuffer(In.size());
+    Expected<sim::SimReport> R = Ctx.launch(
+        *K, {W, H}, {16, 16},
+        {rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
+         rt::arg::i32(static_cast<int32_t>(W)),
+         rt::arg::i32(static_cast<int32_t>(H))});
+    if (!R) {
+      std::fprintf(stderr, "error: %s\n", R.error().message().c_str());
+      return 1;
+    }
+    Reference = Ctx.buffer(OutBuf).downloadFloats();
+  }
+
+  perf::EvaluateFn Evaluate =
+      [&](const perf::TunerConfig &Config)
+      -> Expected<perf::Measurement> {
+    if (W % Config.TileX != 0 || H % Config.TileY != 0)
+      return makeError("image %ux%u not divisible by %ux%u", W, H,
+                       Config.TileX, Config.TileY);
+    rt::Context Ctx;
+    Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+    if (!K)
+      return K.takeError();
+    unsigned InBuf = Ctx.createBufferFrom(In.pixels());
+    unsigned OutBuf = Ctx.createBuffer(In.size());
+    std::vector<sim::KernelArg> Args = {
+        rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
+        rt::arg::i32(static_cast<int32_t>(W)),
+        rt::arg::i32(static_cast<int32_t>(H))};
+    sim::Range2 Local{Config.TileX, Config.TileY};
+    Expected<sim::SimReport> Acc = Ctx.launch(*K, {W, H}, Local, Args);
+    if (!Acc)
+      return Acc.takeError();
+    if (Config.Scheme.Kind == perf::SchemeKind::None)
+      return perf::Measurement{1.0, 0.0};
+    perf::PerforationPlan Plan;
+    Plan.Scheme = Config.Scheme;
+    Plan.TileX = Config.TileX;
+    Plan.TileY = Config.TileY;
+    Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
+    if (!P)
+      return P.takeError();
+    Expected<sim::SimReport> App =
+        Ctx.launch(P->K, {W, H}, {P->LocalX, P->LocalY}, Args);
+    if (!App)
+      return App.takeError();
+    perf::Measurement M;
+    M.Speedup = Acc->TimeMs / App->TimeMs;
+    M.Error =
+        img::meanRelativeError(Reference, Ctx.buffer(OutBuf).downloadFloats());
+    return M;
+  };
+
+  std::vector<perf::TunerConfig> Space = perf::defaultTuningSpace();
+  std::printf("tuning over %zu configurations on %ux%u input...\n\n",
+              Space.size(), W, H);
+  std::vector<perf::TunerResult> Results =
+      perf::tuneExhaustive(Space, Evaluate);
+
+  unsigned Feasible = 0;
+  for (const perf::TunerResult &R : Results)
+    if (R.Feasible)
+      ++Feasible;
+  std::printf("%u/%zu configurations feasible\n\nPareto front:\n",
+              Feasible, Results.size());
+  std::vector<perf::TradeoffPoint> Points = toTradeoffPoints(Results);
+  for (size_t I : perf::paretoFront(Points))
+    std::printf("  %-24s speedup %5.2fx  MRE %.5f\n",
+                Points[I].Label.c_str(), Points[I].Speedup,
+                Points[I].Error);
+
+  size_t Best = perf::bestWithinErrorBudget(Results, O.Budget);
+  if (Best == ~size_t(0)) {
+    std::printf("\nno configuration meets the %.3f budget\n", O.Budget);
+    return 0;
+  }
+  std::printf("\nchosen for budget %.3f: %s (speedup %.2fx, MRE %.5f)\n",
+              O.Budget, Results[Best].Config.str().c_str(),
+              Results[Best].M.Speedup, Results[Best].M.Error);
+  return 0;
+}
+
+int cmdPasses(const Options &O, const std::string &Source) {
+  rt::Context Ctx;
+  Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+  if (!K) {
+    std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+    return 1;
+  }
+  size_t Before = 0;
+  for (const auto &BB : K->F->blocks())
+    Before += BB->size();
+  ir::PipelineStats Stats = ir::runDefaultPipeline(*K->F, Ctx.module());
+  size_t After = 0;
+  for (const auto &BB : K->F->blocks())
+    After += BB->size();
+  std::printf("; pipeline: %u simplified, %u merged (CSE), %u forwarded "
+              "(store->load),\n;           %u hoisted (LICM), %u dead "
+              "stores, %u deleted (DCE), %u rounds\n",
+              Stats.Simplified, Stats.Merged, Stats.Forwarded,
+              Stats.Hoisted, Stats.DeadStores, Stats.Deleted,
+              Stats.Iterations);
+  std::printf("; instructions: %zu -> %zu\n", Before, After);
+  std::fputs(ir::printFunction(*K->F).c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Expected<Options> O = parseArgs(Argc, Argv);
+  if (!O) {
+    std::fprintf(stderr, "error: %s\n", O.error().message().c_str());
+    return usage();
+  }
+  Expected<std::string> Source = readFile(O->File);
+  if (!Source) {
+    std::fprintf(stderr, "error: %s\n", Source.error().message().c_str());
+    return 1;
+  }
+  if (O->Command == "dump-ir")
+    return cmdDumpIR(*O, *Source);
+  if (O->Command == "analyze")
+    return cmdAnalyze(*O, *Source);
+  if (O->Command == "perforate")
+    return cmdPerforate(*O, *Source);
+  if (O->Command == "run")
+    return cmdRun(*O, *Source);
+  if (O->Command == "tune")
+    return cmdTune(*O, *Source);
+  if (O->Command == "passes")
+    return cmdPasses(*O, *Source);
+  std::fprintf(stderr, "error: unknown command '%s'\n",
+               O->Command.c_str());
+  return usage();
+}
