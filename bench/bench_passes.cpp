@@ -16,8 +16,12 @@
 //   ALU/item      dynamic ALU ops per work item
 //   time          modeled execution time
 //
-// for three pipeline settings: none, simplify+DCE (no CSE), and the full
-// default pipeline.
+// for three pipeline settings, expressed as pass-pipeline specs (the
+// ablation drops pass names from the full spec):
+//
+//   none          ""
+//   simplify+DCE  fixpoint(simplify,dce)
+//   full          fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,10 +51,10 @@ struct AblationRow {
   double EnergyMJ = 0;
 };
 
-/// Builds the Rows1:LI perforated kernel of \p AppName with \p Pipeline
-/// and measures one launch on \p W.
+/// Builds the Rows1:LI perforated kernel of \p AppName with the cleanup
+/// pipeline \p PipelineSpec and measures one launch on \p W.
 AblationRow measure(const char *AppName, const Workload &W,
-                    ir::PipelineOptions Pipeline) {
+                    const std::string &PipelineSpec) {
   auto TheApp = makeApp(AppName);
   rt::Context Ctx;
   rt::Kernel K =
@@ -60,7 +64,7 @@ AblationRow measure(const char *AppName, const Workload &W,
       2, perf::ReconstructionKind::Linear);
   Plan.TileX = 16;
   Plan.TileY = 16;
-  Plan.Pipeline = Pipeline;
+  Plan.PipelineSpec = PipelineSpec;
   rt::PerforatedKernel P = cantFail(Ctx.perforate(K, Plan));
 
   unsigned Width = W.Input.width();
@@ -105,14 +109,9 @@ int main() {
   // plumbing and add nothing to the pass comparison.
   for (const char *Name : {"gaussian", "inversion", "median", "sobel3",
                            "sobel5", "mean", "sharpen"}) {
-    ir::PipelineOptions None = ir::PipelineOptions::none();
-    ir::PipelineOptions NoCse; // simplify+DCE only.
-    NoCse.CSE = false;
-    NoCse.MemOpt = false;
-    NoCse.LICM = false;
-    AblationRow RNone = measure(Name, W, None);
-    AblationRow RNoCse = measure(Name, W, NoCse);
-    AblationRow RFull = measure(Name, W, ir::PipelineOptions());
+    AblationRow RNone = measure(Name, W, "");
+    AblationRow RNoCse = measure(Name, W, "fixpoint(simplify,dce)");
+    AblationRow RFull = measure(Name, W, ir::defaultPipelineSpec());
     std::printf("%-10s %8zu %9.1f %7.3f %8.3f %8zu %9.1f %7.3f %8.3f "
                 "%8zu %9.1f %7.3f %8.3f\n",
                 Name, RNone.Instructions, RNone.AluPerItem, RNone.TimeMs,

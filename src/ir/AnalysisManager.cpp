@@ -1,0 +1,32 @@
+//===- ir/AnalysisManager.cpp ----------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AnalysisManager.h"
+
+using namespace kperf;
+using namespace kperf::ir;
+
+const DominatorTree &AnalysisManager::getDominatorTree(const Function &F) {
+  FunctionEntry &E = Entries[&F];
+  if (E.DomTree) {
+    ++C.DomTreeHits;
+    return *E.DomTree;
+  }
+  ++C.DomTreeComputes;
+  E.DomTree = std::make_unique<DominatorTree>(DominatorTree::compute(F));
+  return *E.DomTree;
+}
+
+void AnalysisManager::invalidate(const Function &F, bool CFGPreserved) {
+  auto It = Entries.find(&F);
+  if (It == Entries.end())
+    return;
+  It->second.Generic.clear();
+  if (!CFGPreserved)
+    It->second.DomTree.reset();
+}
+
+void AnalysisManager::invalidateAll() { Entries.clear(); }

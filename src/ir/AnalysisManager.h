@@ -1,0 +1,96 @@
+//===- ir/AnalysisManager.h - Cached per-function analyses -------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Caches analysis results keyed by function, in the spirit of LLVM's
+/// new-pass-manager FunctionAnalysisManager reduced to what this project
+/// needs. Two kinds of entries are held per function:
+///
+///  * the DominatorTree, with dedicated accessors and hit/compute counters
+///    (the pass pipeline asserts the tree is computed at most once per
+///    fixpoint round, not once per LICM invocation);
+///  * a typed generic cache for results owned by higher layers -- the
+///    perforation access-analysis summaries live here without ir/ having
+///    to know their type.
+///
+/// Invalidation is explicit: after a pass mutates a function, the pass
+/// manager calls invalidate(F, CFGPreserved). CFG-level analyses (the
+/// DominatorTree) survive mutations that keep the block set and branch
+/// edges intact (CSE, MemOpt, DCE, LICM); everything in the generic cache
+/// is instruction-sensitive and dropped on any mutation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_ANALYSISMANAGER_H
+#define KPERF_IR_ANALYSISMANAGER_H
+
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+
+namespace kperf {
+namespace ir {
+
+class AnalysisManager {
+public:
+  /// DominatorTree cache accounting, asserted by the pipeline tests.
+  struct Counters {
+    unsigned DomTreeComputes = 0; ///< Cache misses (fresh computations).
+    unsigned DomTreeHits = 0;     ///< Cache hits.
+  };
+
+  /// Returns the dominator tree of \p F, computing it on a cache miss.
+  /// The reference stays valid until the entry is invalidated.
+  const DominatorTree &getDominatorTree(const Function &F);
+
+  /// Returns the cached result of type \p T for \p F, or null if absent.
+  template <typename T> const T *lookup(const Function &F) const {
+    auto FIt = Entries.find(&F);
+    if (FIt == Entries.end())
+      return nullptr;
+    auto It = FIt->second.Generic.find(std::type_index(typeid(T)));
+    if (It == FIt->second.Generic.end())
+      return nullptr;
+    return static_cast<const T *>(It->second.get());
+  }
+
+  /// Caches \p Value as the result of type \p T for \p F, replacing any
+  /// previous entry, and returns a reference to the stored copy.
+  template <typename T> const T &cache(const Function &F, T Value) {
+    auto Stored = std::make_shared<T>(std::move(Value));
+    const T &Ref = *Stored;
+    Entries[&F].Generic[std::type_index(typeid(T))] = std::move(Stored);
+    return Ref;
+  }
+
+  /// Drops cached results for \p F after a mutation. When
+  /// \p CFGPreserved is true the DominatorTree is kept (block set and
+  /// branch edges unchanged); the generic cache is always dropped.
+  void invalidate(const Function &F, bool CFGPreserved = false);
+
+  /// Drops every cached result.
+  void invalidateAll();
+
+  const Counters &counters() const { return C; }
+  void resetCounters() { C = Counters(); }
+
+private:
+  struct FunctionEntry {
+    std::unique_ptr<DominatorTree> DomTree;
+    std::unordered_map<std::type_index, std::shared_ptr<void>> Generic;
+  };
+
+  std::unordered_map<const Function *, FunctionEntry> Entries;
+  Counters C;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_ANALYSISMANAGER_H

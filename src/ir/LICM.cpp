@@ -138,13 +138,18 @@ bool isSafeToSpeculate(const Instruction &I) {
 } // namespace
 
 unsigned ir::hoistLoopInvariants(Function &F) {
+  DominatorTree DT = DominatorTree::compute(F);
+  return hoistLoopInvariants(F, DT);
+}
+
+unsigned ir::hoistLoopInvariants(Function &F, const DominatorTree &DT) {
   unsigned Hoisted = 0;
   bool AnyChange = true;
-  // Re-deriving loops after each round keeps the (rarely iterated)
-  // fixpoint simple; kernels have a handful of loops.
+  // Hoisting never changes blocks or branch edges, so one dominator tree
+  // serves every round. Re-deriving loops after each round keeps the
+  // (rarely iterated) fixpoint simple; kernels have a handful of loops.
   while (AnyChange) {
     AnyChange = false;
-    DominatorTree DT = DominatorTree::compute(F);
     for (Loop &L : findLoops(F, DT)) {
       // Hoisting into a block that comes later in the block list than a
       // use would defeat the verifier's ordering rule; structured

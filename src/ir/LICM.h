@@ -34,9 +34,17 @@
 namespace kperf {
 namespace ir {
 
+class DominatorTree;
+
 /// Hoists loop-invariant instructions in \p F until a fixpoint.
 /// \returns the number of instructions moved.
 unsigned hoistLoopInvariants(Function &F);
+
+/// Variant reusing a precomputed dominator tree for \p F. Hoisting moves
+/// instructions between existing blocks without touching branch edges, so
+/// \p DT stays valid throughout -- the pass pipeline hands in its cached
+/// tree instead of recomputing one per invocation.
+unsigned hoistLoopInvariants(Function &F, const DominatorTree &DT);
 
 } // namespace ir
 } // namespace kperf

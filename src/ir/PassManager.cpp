@@ -1,0 +1,453 @@
+//===- ir/PassManager.cpp --------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PassManager.h"
+
+#include "ir/CSE.h"
+#include "ir/DCE.h"
+#include "ir/LICM.h"
+#include "ir/MemOpt.h"
+#include "ir/Simplify.h"
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <map>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+//===----------------------------------------------------------------------===//
+// Built-in pass wrappers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Constant folding, identities, and condbr-on-constant cleanup. Folding
+/// a conditional branch rewrites CFG edges, so nothing CFG-level is
+/// preserved.
+class SimplifyPass : public FunctionPass {
+public:
+  const char *name() const override { return "simplify"; }
+  unsigned run(Function &F, Module &M, AnalysisManager &) override {
+    return simplifyFunction(F, M);
+  }
+};
+
+/// Local value numbering; redirects uses, never touches terminators.
+class CSEPass : public FunctionPass {
+public:
+  const char *name() const override { return "cse"; }
+  unsigned run(Function &F, Module &, AnalysisManager &) override {
+    return eliminateCommonSubexpressions(F);
+  }
+  bool preservesCFG() const override { return true; }
+};
+
+/// Store-to-load forwarding half of MemOpt.
+class MemOptForwardPass : public FunctionPass {
+public:
+  const char *name() const override { return "memopt-forward"; }
+  unsigned run(Function &F, Module &, AnalysisManager &) override {
+    return forwardStores(F);
+  }
+  bool preservesCFG() const override { return true; }
+};
+
+/// Dead-store elimination half of MemOpt.
+class MemOptDSEPass : public FunctionPass {
+public:
+  const char *name() const override { return "memopt-dse"; }
+  unsigned run(Function &F, Module &, AnalysisManager &) override {
+    return eliminateDeadStores(F);
+  }
+  bool preservesCFG() const override { return true; }
+};
+
+/// Loop-invariant code motion. Moves instructions between existing
+/// blocks; the block set and branch edges stay intact, so the dominator
+/// tree it reads from the AnalysisManager remains valid across its own
+/// mutations -- this is the pass the analysis cache exists for.
+class LICMPass : public FunctionPass {
+public:
+  const char *name() const override { return "licm"; }
+  unsigned run(Function &F, Module &, AnalysisManager &AM) override {
+    return hoistLoopInvariants(F, AM.getDominatorTree(F));
+  }
+  bool preservesCFG() const override { return true; }
+};
+
+/// Trivial dead code elimination; removes non-terminators only.
+class DCEPass : public FunctionPass {
+public:
+  const char *name() const override { return "dce"; }
+  unsigned run(Function &F, Module &, AnalysisManager &) override {
+    return eliminateDeadCode(F);
+  }
+  bool preservesCFG() const override { return true; }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PassRegistry
+//===----------------------------------------------------------------------===//
+
+PassRegistry &PassRegistry::instance() {
+  static PassRegistry *R = [] {
+    auto *Reg = new PassRegistry();
+    Reg->registerPass("simplify",
+                      [] { return std::make_unique<SimplifyPass>(); });
+    Reg->registerPass("cse", [] { return std::make_unique<CSEPass>(); });
+    Reg->registerPass("memopt-forward", [] {
+      return std::make_unique<MemOptForwardPass>();
+    });
+    Reg->registerPass("memopt-dse",
+                      [] { return std::make_unique<MemOptDSEPass>(); });
+    Reg->registerPass("licm", [] { return std::make_unique<LICMPass>(); });
+    Reg->registerPass("dce", [] { return std::make_unique<DCEPass>(); });
+    return Reg;
+  }();
+  return *R;
+}
+
+void PassRegistry::registerPass(const std::string &Name, Factory MakePass) {
+  for (auto &[N, F] : Factories)
+    if (N == Name) {
+      F = std::move(MakePass);
+      return;
+    }
+  Factories.emplace_back(Name, std::move(MakePass));
+}
+
+std::unique_ptr<FunctionPass>
+PassRegistry::create(const std::string &Name) const {
+  for (const auto &[N, F] : Factories)
+    if (N == Name)
+      return F();
+  return nullptr;
+}
+
+bool PassRegistry::contains(const std::string &Name) const {
+  for (const auto &[N, F] : Factories)
+    if (N == Name)
+      return true;
+  return false;
+}
+
+std::vector<std::string> PassRegistry::registeredNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Factories.size());
+  for (const auto &[N, F] : Factories)
+    Names.push_back(N);
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+//===----------------------------------------------------------------------===//
+// PipelineStats
+//===----------------------------------------------------------------------===//
+
+unsigned PipelineStats::changes(const std::string &Name) const {
+  for (const PassExecution &E : Passes)
+    if (E.Name == Name)
+      return E.Changes;
+  return 0;
+}
+
+unsigned PipelineStats::total() const {
+  unsigned Sum = 0;
+  for (const PassExecution &E : Passes)
+    Sum += E.Changes;
+  return Sum;
+}
+
+double PipelineStats::totalMillis() const {
+  double Sum = 0;
+  for (const PassExecution &E : Passes)
+    Sum += E.Millis;
+  return Sum;
+}
+
+PassExecution &PipelineStats::entry(const std::string &Name) {
+  for (PassExecution &E : Passes)
+    if (E.Name == Name)
+      return E;
+  Passes.push_back(PassExecution{Name, 0, 0, 0});
+  return Passes.back();
+}
+
+void PipelineStats::merge(const PipelineStats &Other) {
+  for (const PassExecution &E : Other.Passes) {
+    PassExecution &Mine = entry(E.Name);
+    Mine.Invocations += E.Invocations;
+    Mine.Changes += E.Changes;
+    Mine.Millis += E.Millis;
+  }
+  Iterations += Other.Iterations;
+}
+
+std::string PipelineStats::str() const {
+  std::string S;
+  for (const PassExecution &E : Passes) {
+    if (!S.empty())
+      S += ' ';
+    S += format("%s:%u", E.Name.c_str(), E.Changes);
+  }
+  S += format("%s(%u rounds, %.2f ms)", S.empty() ? "" : " ", Iterations,
+              totalMillis());
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline parsing
+//===----------------------------------------------------------------------===//
+
+namespace kperf {
+namespace ir {
+
+struct PipelineParser {
+  const std::string &Spec;
+  size_t Pos = 0;
+  Error Err;
+
+  explicit PipelineParser(const std::string &Spec) : Spec(Spec) {}
+
+  void skipSpace() {
+    while (Pos < Spec.size() &&
+           std::isspace(static_cast<unsigned char>(Spec[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Spec.size();
+  }
+
+  /// Reads a pass-name token ([A-Za-z0-9_-]+); empty on failure.
+  std::string readName() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Spec.size()) {
+      char Ch = Spec[Pos];
+      if (std::isalnum(static_cast<unsigned char>(Ch)) || Ch == '_' ||
+          Ch == '-')
+        ++Pos;
+      else
+        break;
+    }
+    return Spec.substr(Start, Pos - Start);
+  }
+
+  bool consume(char Ch) {
+    skipSpace();
+    if (Pos < Spec.size() && Spec[Pos] == Ch) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// pipeline := element (',' element)* | <empty-if AllowEmpty>
+  bool parseList(std::vector<PassPipeline::Element> &Out, bool TopLevel) {
+    skipSpace();
+    if (TopLevel && atEnd())
+      return true; // Empty spec: the no-op pipeline.
+    while (true) {
+      PassPipeline::Element E;
+      if (!parseElement(E))
+        return false;
+      Out.push_back(std::move(E));
+      skipSpace();
+      if (!consume(','))
+        return true;
+    }
+  }
+
+  bool parseElement(PassPipeline::Element &E) {
+    std::string Name = readName();
+    if (Name.empty()) {
+      Err = makeError("pipeline spec: expected pass name at position %zu "
+                      "in '%s'",
+                      Pos, Spec.c_str());
+      return false;
+    }
+    if (Name == "fixpoint") {
+      if (!consume('(')) {
+        Err = makeError("pipeline spec: expected '(' after fixpoint in "
+                        "'%s'",
+                        Spec.c_str());
+        return false;
+      }
+      E.IsFixpoint = true;
+      if (!parseList(E.Children, /*TopLevel=*/false))
+        return false;
+      if (!consume(')')) {
+        Err = makeError("pipeline spec: missing ')' in '%s'", Spec.c_str());
+        return false;
+      }
+      if (E.Children.empty()) {
+        Err = makeError("pipeline spec: empty fixpoint group in '%s'",
+                        Spec.c_str());
+        return false;
+      }
+      return true;
+    }
+    if (!PassRegistry::instance().contains(Name)) {
+      Err = makeError("pipeline spec: unknown pass '%s' (registered: %s)",
+                      Name.c_str(),
+                      join(PassRegistry::instance().registeredNames(), ", ")
+                          .c_str());
+      return false;
+    }
+    E.PassName = Name;
+    return true;
+  }
+};
+
+} // namespace ir
+} // namespace kperf
+
+Expected<PassPipeline> PassPipeline::parse(const std::string &Spec) {
+  PipelineParser P(Spec);
+  PassPipeline Pipeline;
+  if (!P.parseList(Pipeline.Elements, /*TopLevel=*/true))
+    return P.Err;
+  if (!P.atEnd())
+    return makeError("pipeline spec: trailing characters at position %zu "
+                     "in '%s'",
+                     P.Pos, Spec.c_str());
+  return Pipeline;
+}
+
+std::string PassPipeline::print(const std::vector<Element> &Elements) {
+  std::string S;
+  for (const Element &E : Elements) {
+    if (!S.empty())
+      S += ',';
+    if (E.IsFixpoint)
+      S += "fixpoint(" + print(E.Children) + ")";
+    else
+      S += E.PassName;
+  }
+  return S;
+}
+
+std::string PassPipeline::str() const { return print(Elements); }
+
+//===----------------------------------------------------------------------===//
+// Pipeline execution
+//===----------------------------------------------------------------------===//
+
+namespace kperf {
+namespace ir {
+
+struct PipelineRunner {
+  Function &F;
+  Module &M;
+  AnalysisManager &AM;
+  const PassRunOptions &Opts;
+  PipelineStats &Stats;
+  /// Pass instances are stateless; one per distinct name per run.
+  std::map<std::string, std::unique_ptr<FunctionPass>> Instances;
+  Error Err;
+
+  PipelineRunner(Function &F, Module &M, AnalysisManager &AM,
+                 const PassRunOptions &Opts, PipelineStats &Stats)
+      : F(F), M(M), AM(AM), Opts(Opts), Stats(Stats) {}
+
+  FunctionPass &passFor(const std::string &Name) {
+    std::unique_ptr<FunctionPass> &P = Instances[Name];
+    if (!P) {
+      P = PassRegistry::instance().create(Name);
+      assert(P && "unknown pass survived parsing");
+    }
+    return *P;
+  }
+
+  /// Runs one pass invocation; returns its change count, or ~0u on a
+  /// verify-each failure (Err is set).
+  unsigned runOne(const std::string &Name) {
+    FunctionPass &P = passFor(Name);
+    auto Start = std::chrono::steady_clock::now();
+    unsigned Changes = P.run(F, M, AM);
+    auto End = std::chrono::steady_clock::now();
+
+    PassExecution &E = Stats.entry(Name);
+    ++E.Invocations;
+    E.Changes += Changes;
+    E.Millis +=
+        std::chrono::duration<double, std::milli>(End - Start).count();
+
+    if (Changes)
+      AM.invalidate(F, P.preservesCFG());
+    if (Opts.VerifyEach) {
+      if (Error VE = verifyFunction(F)) {
+        Err = makeError("verification failed after pass '%s': %s",
+                        Name.c_str(), VE.message().c_str());
+        return ~0u;
+      }
+    }
+    return Changes;
+  }
+
+  /// Runs \p Elements once; returns the change count, or ~0u on error.
+  unsigned runList(const std::vector<PassPipeline::Element> &Elements) {
+    unsigned Changes = 0;
+    for (const PassPipeline::Element &E : Elements) {
+      unsigned C;
+      if (E.IsFixpoint)
+        C = runFixpoint(E.Children);
+      else
+        C = runOne(E.PassName);
+      if (C == ~0u)
+        return ~0u;
+      Changes += C;
+    }
+    return Changes;
+  }
+
+  /// Repeats \p Body until a whole round changes nothing (counting the
+  /// final no-change round), capped defensively.
+  unsigned runFixpoint(const std::vector<PassPipeline::Element> &Body) {
+    unsigned Changes = 0;
+    for (unsigned Round = 0; Round < Opts.MaxFixpointRounds; ++Round) {
+      unsigned RoundChanges = runList(Body);
+      if (RoundChanges == ~0u)
+        return ~0u;
+      ++Stats.Iterations;
+      Changes += RoundChanges;
+      if (RoundChanges == 0)
+        break;
+    }
+    return Changes;
+  }
+};
+
+} // namespace ir
+} // namespace kperf
+
+Expected<PipelineStats> PassPipeline::run(Function &F, Module &M,
+                                          AnalysisManager &AM,
+                                          const PassRunOptions &Opts) const {
+  PipelineStats Stats;
+  PipelineRunner Runner(F, M, AM, Opts, Stats);
+  if (Runner.runList(Elements) == ~0u)
+    return Runner.Err;
+  return Stats;
+}
+
+Expected<PipelineStats> PassPipeline::run(Function &F, Module &M,
+                                          const PassRunOptions &Opts) const {
+  AnalysisManager AM;
+  return run(F, M, AM, Opts);
+}
+
+const char *ir::defaultPipelineSpec() {
+  return "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)";
+}

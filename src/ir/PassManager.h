@@ -1,0 +1,196 @@
+//===- ir/PassManager.h - Registered passes and pipelines --------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass-manager layer, modeled on LLVM's new pass manager reduced to
+/// this project's needs:
+///
+///  * FunctionPass -- the pass interface: run on one function, report how
+///    many changes were made, declare whether the CFG survived;
+///  * PassRegistry -- maps textual names ("simplify", "cse",
+///    "memopt-forward", "memopt-dse", "licm", "dce") to pass factories;
+///  * PassPipeline -- a parsed pipeline specification such as
+///
+///      fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)
+///
+///    where a bare name runs a pass once and fixpoint(...) repeats its
+///    body until a whole round changes nothing (groups nest). Parsing
+///    round-trips through str().
+///
+/// Running a pipeline produces a PipelineStats: one table row per pass
+/// with invocation count, change count, and wall-clock time. All derived
+/// numbers (total(), the named convenience accessors) are computed from
+/// that single table, so they cannot drift apart.
+///
+/// Analyses are shared across passes through an AnalysisManager; the
+/// pipeline invalidates it after every pass that reports changes, keeping
+/// CFG-level analyses when the pass declares preservesCFG(). This is what
+/// makes LICM's dominator tree a per-fixpoint-round computation instead
+/// of a per-invocation one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_PASSMANAGER_H
+#define KPERF_IR_PASSMANAGER_H
+
+#include "ir/AnalysisManager.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kperf {
+namespace ir {
+
+/// A transformation over one function.
+class FunctionPass {
+public:
+  virtual ~FunctionPass() = default;
+
+  /// The registered name of this pass.
+  virtual const char *name() const = 0;
+
+  /// Runs the pass on \p F. \p M owns \p F (passes that intern constants
+  /// need it). Cached analyses are read through \p AM. \returns the
+  /// number of changes made (0 = the function is untouched).
+  virtual unsigned run(Function &F, Module &M, AnalysisManager &AM) = 0;
+
+  /// True if this pass never changes the block set or branch edges, so
+  /// CFG-level analyses stay valid across its mutations.
+  virtual bool preservesCFG() const { return false; }
+};
+
+/// Global name -> factory map of the available passes.
+class PassRegistry {
+public:
+  using Factory = std::function<std::unique_ptr<FunctionPass>()>;
+
+  /// The process-wide registry, with the built-in passes registered.
+  static PassRegistry &instance();
+
+  /// Registers \p MakePass under \p Name, replacing any previous entry.
+  void registerPass(const std::string &Name, Factory MakePass);
+
+  /// Instantiates the pass registered as \p Name, or null if unknown.
+  std::unique_ptr<FunctionPass> create(const std::string &Name) const;
+
+  bool contains(const std::string &Name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> registeredNames() const;
+
+private:
+  std::vector<std::pair<std::string, Factory>> Factories;
+};
+
+/// One row of the per-pass statistics table.
+struct PassExecution {
+  std::string Name;
+  unsigned Invocations = 0; ///< Times the pass ran.
+  unsigned Changes = 0;     ///< Total changes reported.
+  double Millis = 0;        ///< Wall-clock time spent in the pass.
+};
+
+/// What a pipeline run did. Every derived number comes from the one
+/// per-pass table, so counters cannot drift from totals.
+struct PipelineStats {
+  /// One row per distinct pass name, in first-execution order.
+  std::vector<PassExecution> Passes;
+  /// Fixpoint rounds executed (summed over fixpoint groups, including the
+  /// final no-change round).
+  unsigned Iterations = 0;
+
+  /// Changes reported by the pass registered as \p Name (0 if it did not
+  /// run).
+  unsigned changes(const std::string &Name) const;
+
+  /// Sum of all changes across the table.
+  unsigned total() const;
+
+  /// Sum of all per-pass wall-clock times.
+  double totalMillis() const;
+
+  /// Named accessors for the classic pipeline's reporting.
+  unsigned simplified() const { return changes("simplify"); }
+  unsigned merged() const { return changes("cse"); }
+  unsigned forwarded() const { return changes("memopt-forward"); }
+  unsigned hoisted() const { return changes("licm"); }
+  unsigned deadStores() const { return changes("memopt-dse"); }
+  unsigned deleted() const { return changes("dce"); }
+
+  /// Finds or creates the row for \p Name.
+  PassExecution &entry(const std::string &Name);
+
+  /// Accumulates \p Other into this (multi-function compiles).
+  void merge(const PipelineStats &Other);
+
+  /// One-line summary, e.g. "simplify:12 cse:8 dce:20 (3 rounds, 0.4 ms)".
+  std::string str() const;
+};
+
+/// Execution knobs for PassPipeline::run.
+struct PassRunOptions {
+  /// Verify the function after every pass invocation; the first failure
+  /// aborts the run and names the offending pass.
+  bool VerifyEach = false;
+  /// Defensive cap on fixpoint rounds; real kernels settle in two or
+  /// three.
+  unsigned MaxFixpointRounds = 16;
+};
+
+/// A parsed, runnable pipeline specification.
+class PassPipeline {
+public:
+  PassPipeline() = default;
+
+  /// Parses \p Spec. Grammar:
+  ///
+  ///   pipeline := element (',' element)*  |  <empty>
+  ///   element  := 'fixpoint' '(' pipeline ')'  |  pass-name
+  ///
+  /// Whitespace is ignored. Unknown pass names and empty fixpoint groups
+  /// are errors.
+  static Expected<PassPipeline> parse(const std::string &Spec);
+
+  /// Canonical textual form; parse(str()) reproduces this pipeline.
+  std::string str() const;
+
+  bool empty() const { return Elements.empty(); }
+
+  /// Runs the pipeline on \p F, sharing analyses through \p AM. Fails
+  /// only when Opts.VerifyEach finds malformed IR.
+  Expected<PipelineStats> run(Function &F, Module &M, AnalysisManager &AM,
+                              const PassRunOptions &Opts = {}) const;
+
+  /// Convenience overload with a run-local AnalysisManager.
+  Expected<PipelineStats> run(Function &F, Module &M,
+                              const PassRunOptions &Opts = {}) const;
+
+private:
+  /// A bare pass (IsFixpoint false) or a fixpoint group over Children.
+  struct Element {
+    bool IsFixpoint = false;
+    std::string PassName;
+    std::vector<Element> Children;
+  };
+
+  std::vector<Element> Elements;
+
+  friend struct PipelineParser;
+  friend struct PipelineRunner;
+  static std::string print(const std::vector<Element> &Elements);
+};
+
+/// The standard cleanup pipeline run over generated kernels.
+const char *defaultPipelineSpec();
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_PASSMANAGER_H

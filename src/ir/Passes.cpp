@@ -6,48 +6,57 @@
 
 #include "ir/Passes.h"
 
-#include "ir/CSE.h"
-#include "ir/DCE.h"
-#include "ir/LICM.h"
-#include "ir/MemOpt.h"
-#include "ir/Simplify.h"
+#include "support/StringUtils.h"
+
+#include <vector>
 
 using namespace kperf;
 using namespace kperf::ir;
 
+std::string PipelineOptions::spec() const {
+  // Preserve the historical ordering: forwarding runs after CSE so
+  // duplicate GEPs have been merged and pointer identity finds every
+  // same-address pair; DSE runs after LICM.
+  std::vector<std::string> Names;
+  if (Simplify)
+    Names.push_back("simplify");
+  if (CSE)
+    Names.push_back("cse");
+  if (MemOpt)
+    Names.push_back("memopt-forward");
+  if (LICM)
+    Names.push_back("licm");
+  if (MemOpt)
+    Names.push_back("memopt-dse");
+  if (DCE)
+    Names.push_back("dce");
+  if (Names.empty())
+    return "";
+  return "fixpoint(" + join(Names, ",") + ")";
+}
+
+Expected<PipelineStats> ir::runPipelineSpec(Function &F, Module &M,
+                                            const std::string &Spec) {
+  AnalysisManager AM;
+  return runPipelineSpec(F, M, AM, Spec);
+}
+
+Expected<PipelineStats> ir::runPipelineSpec(Function &F, Module &M,
+                                            AnalysisManager &AM,
+                                            const std::string &Spec) {
+  Expected<PassPipeline> P = PassPipeline::parse(Spec);
+  if (!P)
+    return P.takeError();
+  return P->run(F, M, AM);
+}
+
 PipelineStats ir::runPipeline(Function &F, Module &M,
                               PipelineOptions Options) {
-  PipelineStats Stats;
-  // Each pass runs to its own fixpoint, so one round with no effect from
-  // any pass is a global fixpoint. Cap the rounds defensively; real
-  // kernels settle in two or three.
-  const unsigned MaxRounds = 16;
-  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
-    unsigned Simplified = Options.Simplify ? simplifyFunction(F, M) : 0;
-    unsigned Merged =
-        Options.CSE ? eliminateCommonSubexpressions(F) : 0;
-    // Forwarding runs after CSE so duplicate GEPs have been merged and
-    // pointer identity finds every same-address pair.
-    unsigned Forwarded = Options.MemOpt ? forwardStores(F) : 0;
-    unsigned Hoisted = Options.LICM ? hoistLoopInvariants(F) : 0;
-    unsigned DeadStores =
-        Options.MemOpt ? eliminateDeadStores(F) : 0;
-    unsigned Deleted = Options.DCE ? eliminateDeadCode(F) : 0;
-    Stats.Simplified += Simplified;
-    Stats.Merged += Merged;
-    Stats.Forwarded += Forwarded;
-    Stats.Hoisted += Hoisted;
-    Stats.DeadStores += DeadStores;
-    Stats.Deleted += Deleted;
-    ++Stats.Iterations;
-    if (Simplified + Merged + Forwarded + Hoisted + DeadStores +
-            Deleted ==
-        0)
-      break;
-  }
-  return Stats;
+  // Options only produce registered names, and runs without VerifyEach
+  // cannot fail, so the unwrap is safe.
+  return cantFail(runPipelineSpec(F, M, Options.spec()));
 }
 
 PipelineStats ir::runDefaultPipeline(Function &F, Module &M) {
-  return runPipeline(F, M, PipelineOptions());
+  return cantFail(runPipelineSpec(F, M, defaultPipelineSpec()));
 }

@@ -5,12 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The standard pipeline run over generated kernels: simplify (constant
-/// folding + peepholes), CSE (local value numbering), and DCE, iterated to
-/// a fixpoint. The perforation and output-approximation transforms run it
-/// on every kernel they emit; the simplifications interact (folding
-/// exposes identical subexpressions, merging exposes dead code), which is
-/// why a single ordering is owned here instead of by each transform.
+/// Compatibility shim over the pass-manager layer (PassManager.h). The
+/// standard pipeline run over generated kernels -- simplify, CSE, memopt
+/// forwarding, LICM, memopt DSE, and DCE iterated to a fixpoint -- is
+/// defaultPipelineSpec(); the PipelineOptions bool-struct survives only
+/// so older call sites (and the pass-ablation benchmark's history) keep
+/// compiling, and maps onto a pipeline spec string.
+///
+/// New code should parse and run PassPipeline directly, or use
+/// runPipelineSpec() below.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,29 +21,14 @@
 #define KPERF_IR_PASSES_H
 
 #include "ir/Function.h"
+#include "ir/PassManager.h"
 
 namespace kperf {
 namespace ir {
 
-/// What the pipeline did, for statistics and the `kperfc passes` report.
-struct PipelineStats {
-  unsigned Simplified = 0; ///< Values rewritten by simplifyFunction().
-  unsigned Merged = 0;     ///< Duplicates merged by CSE.
-  unsigned Forwarded = 0;  ///< Loads replaced by store-to-load forwarding.
-  unsigned Hoisted = 0;    ///< Instructions moved out of loops by LICM.
-  unsigned DeadStores = 0; ///< Overwritten-before-read stores removed.
-  unsigned Deleted = 0;    ///< Instructions removed by DCE.
-  unsigned Iterations = 0; ///< Fixpoint rounds executed.
-
-  unsigned total() const {
-    return Simplified + Merged + Forwarded + Hoisted + DeadStores +
-           Deleted;
-  }
-};
-
-/// Which passes the pipeline runs. Everything defaults on; the switches
-/// exist for the pass-ablation benchmark (bench_passes) and for debugging
-/// a transform with the cleanups out of the way.
+/// Which passes the pipeline runs. Everything defaults on. Deprecated in
+/// favor of pipeline spec strings; retained as the compatibility shim for
+/// callers predating the pass manager.
 struct PipelineOptions {
   bool Simplify = true;
   bool CSE = true;
@@ -51,13 +39,26 @@ struct PipelineOptions {
   static PipelineOptions none() {
     return {false, false, false, false, false};
   }
+
+  /// The pipeline spec these options describe: the default fixpoint
+  /// pipeline with disabled passes dropped ("" when everything is off).
+  std::string spec() const;
 };
 
-/// Runs the enabled passes on \p F until nothing changes. \p M must own
-/// \p F (the simplifier interns constants there).
+/// Parses \p Spec and runs it on \p F. \p M must own \p F (the
+/// simplifier interns constants there). Fails on a malformed spec.
+Expected<PipelineStats> runPipelineSpec(Function &F, Module &M,
+                                        const std::string &Spec);
+
+/// As above, sharing cached analyses through \p AM.
+Expected<PipelineStats> runPipelineSpec(Function &F, Module &M,
+                                        AnalysisManager &AM,
+                                        const std::string &Spec);
+
+/// Runs the passes enabled in \p Options on \p F until nothing changes.
 PipelineStats runPipeline(Function &F, Module &M, PipelineOptions Options);
 
-/// Runs simplify + CSE + DCE on \p F until nothing changes.
+/// Runs the full default pipeline on \p F until nothing changes.
 PipelineStats runDefaultPipeline(Function &F, Module &M);
 
 } // namespace ir

@@ -15,6 +15,12 @@ using namespace kperf::pcl;
 
 Expected<std::vector<ir::Function *>>
 pcl::compile(ir::Module &M, const std::string &Source) {
+  return compile(M, Source, CompileOptions());
+}
+
+Expected<std::vector<ir::Function *>>
+pcl::compile(ir::Module &M, const std::string &Source,
+             const CompileOptions &Opts) {
   Expected<ProgramDecl> Program = parse(Source);
   if (!Program)
     return Program.takeError();
@@ -25,13 +31,41 @@ pcl::compile(ir::Module &M, const std::string &Source) {
   for (ir::Function *F : *Functions)
     if (Error E = ir::verifyFunction(*F))
       return E;
+
+  if (!Opts.PipelineSpec.empty()) {
+    Expected<ir::PassPipeline> Pipeline =
+        ir::PassPipeline::parse(Opts.PipelineSpec);
+    if (!Pipeline)
+      return Pipeline.takeError();
+    ir::PassRunOptions RunOpts;
+    RunOpts.VerifyEach = Opts.VerifyEach;
+    ir::AnalysisManager AM;
+    for (ir::Function *F : *Functions) {
+      Expected<ir::PipelineStats> Stats =
+          Pipeline->run(*F, M, AM, RunOpts);
+      if (!Stats)
+        return Stats.takeError();
+      if (Opts.Stats)
+        Opts.Stats->merge(*Stats);
+      if (Error E = ir::verifyFunction(*F))
+        return E;
+    }
+  }
   return Functions;
 }
 
 Expected<ir::Function *> pcl::compileKernel(ir::Module &M,
                                             const std::string &Source,
                                             const std::string &Name) {
-  Expected<std::vector<ir::Function *>> Functions = compile(M, Source);
+  return compileKernel(M, Source, Name, CompileOptions());
+}
+
+Expected<ir::Function *> pcl::compileKernel(ir::Module &M,
+                                            const std::string &Source,
+                                            const std::string &Name,
+                                            const CompileOptions &Opts) {
+  Expected<std::vector<ir::Function *>> Functions =
+      compile(M, Source, Opts);
   if (!Functions)
     return Functions.takeError();
   for (ir::Function *F : *Functions)

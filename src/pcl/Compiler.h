@@ -13,22 +13,48 @@
 #define KPERF_PCL_COMPILER_H
 
 #include "ir/Function.h"
+#include "ir/Passes.h"
 #include "support/Error.h"
 
+#include <string>
 #include <vector>
 
 namespace kperf {
 namespace pcl {
+
+/// Optional post-frontend processing applied to every compiled kernel.
+struct CompileOptions {
+  /// Optimization pipeline run after verification (see
+  /// ir::PassPipeline::parse for the grammar). Empty = frontend output
+  /// as-is.
+  std::string PipelineSpec;
+  /// Verify after every pass of the pipeline (debugging aid).
+  bool VerifyEach = false;
+  /// When non-null, accumulates what the pipeline did across all
+  /// compiled kernels.
+  ir::PipelineStats *Stats = nullptr;
+};
 
 /// Compiles all kernels in \p Source into \p M and verifies them.
 /// Returns the functions in declaration order, or the first diagnostic.
 Expected<std::vector<ir::Function *>> compile(ir::Module &M,
                                               const std::string &Source);
 
+/// As above, then runs Opts.PipelineSpec over each verified kernel.
+Expected<std::vector<ir::Function *>> compile(ir::Module &M,
+                                              const std::string &Source,
+                                              const CompileOptions &Opts);
+
 /// Compiles \p Source and returns the kernel named \p Name.
 Expected<ir::Function *> compileKernel(ir::Module &M,
                                        const std::string &Source,
                                        const std::string &Name);
+
+/// As above with post-verify pipeline options.
+Expected<ir::Function *> compileKernel(ir::Module &M,
+                                       const std::string &Source,
+                                       const std::string &Name,
+                                       const CompileOptions &Opts);
 
 } // namespace pcl
 } // namespace kperf

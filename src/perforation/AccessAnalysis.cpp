@@ -438,3 +438,14 @@ Expected<KernelAccessInfo> perf::analyzeKernelAccesses(ir::Function &F) {
   }
   return Info;
 }
+
+Expected<const KernelAccessInfo *>
+perf::analyzeKernelAccessesCached(ir::AnalysisManager &AM,
+                                  ir::Function &F) {
+  if (const KernelAccessInfo *Cached = AM.lookup<KernelAccessInfo>(F))
+    return Cached;
+  Expected<KernelAccessInfo> Info = analyzeKernelAccesses(F);
+  if (!Info)
+    return Info.takeError();
+  return &AM.cache(F, Info.takeValue());
+}

@@ -31,6 +31,7 @@
 #ifndef KPERF_PERFORATION_ACCESSANALYSIS_H
 #define KPERF_PERFORATION_ACCESSANALYSIS_H
 
+#include "ir/AnalysisManager.h"
 #include "ir/Function.h"
 #include "support/Error.h"
 
@@ -93,6 +94,12 @@ struct KernelAccessInfo {
 /// no recognizable accesses yield an empty result (callers decide whether
 /// that is acceptable).
 Expected<KernelAccessInfo> analyzeKernelAccesses(ir::Function &F);
+
+/// Cached variant: returns the summary held in \p AM for \p F, running
+/// the analysis and caching the result on a miss. The pointer stays valid
+/// until \p AM invalidates the function's entry (any mutation does).
+Expected<const KernelAccessInfo *>
+analyzeKernelAccessesCached(ir::AnalysisManager &AM, ir::Function &F);
 
 } // namespace perf
 } // namespace kperf

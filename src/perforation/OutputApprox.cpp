@@ -85,6 +85,13 @@ Expected<OutputApproxResult> perf::applyOutputApproximation(
                      "out of range for '%s'",
                      F.name().c_str());
 
+  // Validate the cleanup pipeline before any IR is created, so a bad
+  // spec cannot leave an orphaned kernel in the module.
+  Expected<ir::PassPipeline> Pipeline =
+      ir::PassPipeline::parse(Plan.PipelineSpec);
+  if (!Pipeline)
+    return Pipeline.takeError();
+
   unsigned Period = Plan.ApproxPerComputed + 1;
   unsigned Offset = Period / 2;
 
@@ -159,11 +166,16 @@ Expected<OutputApproxResult> perf::applyOutputApproximation(
     }
   }
 
-  ir::runDefaultPipeline(*NewF, M);
+  ir::PassRunOptions RunOpts;
+  RunOpts.VerifyEach = Plan.VerifyEach;
+  Expected<ir::PipelineStats> Stats = Pipeline->run(*NewF, M, RunOpts);
+  if (!Stats)
+    return Stats.takeError();
+  OutputApproxResult Result;
+  Result.PassStats = Stats.takeValue();
   if (Error E = ir::verifyFunction(*NewF))
     return E;
 
-  OutputApproxResult Result;
   Result.Kernel = NewF;
   Result.DivX = RemapX ? Period : 1;
   Result.DivY = RemapY ? Period : 1;

@@ -23,7 +23,10 @@
 #define KPERF_PERFORATION_OUTPUTAPPROX_H
 
 #include "ir/Function.h"
+#include "ir/Passes.h"
 #include "support/Error.h"
+
+#include <string>
 
 namespace kperf {
 namespace perf {
@@ -45,6 +48,12 @@ struct OutputApproxPlan {
   /// duplicated stores at the image border).
   unsigned WidthArgIndex = 0;
   unsigned HeightArgIndex = 0;
+  /// Cleanup pipeline run over the generated kernel (see
+  /// ir::PassPipeline::parse for the grammar). Empty = no cleanup.
+  std::string PipelineSpec = ir::defaultPipelineSpec();
+  /// Verify the generated kernel after every cleanup pass (debugging
+  /// aid; the final verify always runs).
+  bool VerifyEach = false;
 };
 
 /// Transform output and launch adaptation.
@@ -52,6 +61,8 @@ struct OutputApproxResult {
   ir::Function *Kernel = nullptr;
   unsigned DivX = 1; ///< Launch with global.x = ceil(imageW / DivX).
   unsigned DivY = 1; ///< Launch with global.y = ceil(imageH / DivY).
+  /// What the cleanup pipeline did to the generated kernel.
+  ir::PipelineStats PassStats;
 };
 
 /// Applies \p Plan to \p F, creating kernel \p NewName in \p M.

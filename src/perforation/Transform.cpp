@@ -21,6 +21,44 @@ namespace irns = kperf::ir;
 
 namespace {
 
+/// Translates an access summary of the original kernel into the clone:
+/// every IR handle (loads, GEPs, row/column values, buffer and width
+/// arguments) is pushed through the clone map. This is what lets the
+/// analysis itself be cached on the original function while each variant
+/// rewrites its own copy.
+KernelAccessInfo remapAccessInfo(const KernelAccessInfo &Orig,
+                                 const irns::CloneMap &Map) {
+  auto MapArg = [&](const irns::Argument *A) {
+    return irns::cast<irns::Argument>(Map.lookup(A));
+  };
+  auto MapInstr = [&](const irns::Instruction *I) {
+    return irns::cast<irns::Instruction>(Map.lookup(I));
+  };
+  // Copy wholesale, then rewrite only the IR handles: fields added to
+  // the analysis structs later stay correct on this path automatically.
+  KernelAccessInfo Out = Orig;
+  for (BufferAccess &A : Out.Inputs) {
+    A.Buffer = MapArg(A.Buffer);
+    A.WidthArg = MapArg(A.WidthArg);
+    for (LoadSite &L : A.Loads) {
+      L.Load = MapInstr(L.Load);
+      L.Gep = MapInstr(L.Gep);
+      L.RowVal = Map.lookup(L.RowVal);
+      L.ColVal = Map.lookup(L.ColVal);
+    }
+  }
+  for (StoreSite &S : Out.Outputs) {
+    S.Store = MapInstr(S.Store);
+    S.Gep = MapInstr(S.Gep);
+    S.RowVal = Map.lookup(S.RowVal);
+    S.ColVal = Map.lookup(S.ColVal);
+    S.StoredValue = Map.lookup(S.StoredValue);
+    S.Buffer = MapArg(S.Buffer);
+    S.WidthArg = MapArg(S.WidthArg);
+  }
+  return Out;
+}
+
 /// Builds the perforated kernel. The preamble CFG (loader loops, barrier,
 /// reconstruction loops, barrier) is emitted into fresh blocks inserted
 /// before the cloned original entry; the body rewrite then redirects the
@@ -28,8 +66,9 @@ namespace {
 class TransformImpl {
 public:
   TransformImpl(irns::Module &M, irns::Function &F,
-                const PerforationPlan &Plan, const std::string &NewName)
-      : M(M), OrigF(F), Plan(Plan), NewName(NewName), B(M) {}
+                const PerforationPlan &Plan, const std::string &NewName,
+                irns::AnalysisManager *AM)
+      : M(M), OrigF(F), Plan(Plan), NewName(NewName), AM(AM), B(M) {}
 
   Expected<TransformResult> run() {
     if (Plan.TileX == 0 || Plan.TileY == 0)
@@ -55,13 +94,29 @@ public:
                            OrigF.name().c_str());
       }
 
+    // Validate the cleanup pipeline before any IR is created.
+    Expected<irns::PassPipeline> Pipeline =
+        irns::PassPipeline::parse(Plan.PipelineSpec);
+    if (!Pipeline)
+      return Pipeline.takeError();
+
     irns::CloneMap Map;
     F = irns::cloneFunction(M, OrigF, NewName, Map);
 
-    Expected<KernelAccessInfo> InfoOr = analyzeKernelAccesses(*F);
-    if (!InfoOr)
-      return InfoOr.takeError();
-    Info = InfoOr.takeValue();
+    if (AM) {
+      // Analyze the original once (cached across variants) and translate
+      // the summary into the clone.
+      Expected<const KernelAccessInfo *> InfoOr =
+          analyzeKernelAccessesCached(*AM, OrigF);
+      if (!InfoOr)
+        return InfoOr.takeError();
+      Info = remapAccessInfo(**InfoOr, Map);
+    } else {
+      Expected<KernelAccessInfo> InfoOr = analyzeKernelAccesses(*F);
+      if (!InfoOr)
+        return InfoOr.takeError();
+      Info = InfoOr.takeValue();
+    }
 
     std::vector<const BufferAccess *> Targets;
     if (Plan.BufferArgs.empty()) {
@@ -98,11 +153,18 @@ public:
     for (const BufferAccess *A : Targets)
       rewriteBody(*A);
 
-    irns::runPipeline(*F, M, Plan.Pipeline);
+    // The generated kernel is fresh, so the cleanup pipeline runs with
+    // its own analysis state.
+    irns::PassRunOptions RunOpts;
+    RunOpts.VerifyEach = Plan.VerifyEach;
+    Expected<irns::PipelineStats> Stats = Pipeline->run(*F, M, RunOpts);
+    if (!Stats)
+      return Stats.takeError();
+    TransformResult Result;
+    Result.PassStats = Stats.takeValue();
     if (Error E = irns::verifyFunction(*F))
       return E;
 
-    TransformResult Result;
     Result.Kernel = F;
     Result.LocalX = Plan.TileX;
     Result.LocalY = Plan.TileY;
@@ -637,6 +699,7 @@ private:
   irns::Function &OrigF;
   const PerforationPlan &Plan;
   std::string NewName;
+  irns::AnalysisManager *AM;
   irns::IRBuilder B;
 
   irns::Function *F = nullptr;
@@ -659,6 +722,7 @@ private:
 Expected<TransformResult>
 perf::applyInputPerforation(ir::Module &M, ir::Function &F,
                             const PerforationPlan &Plan,
-                            const std::string &NewName) {
-  return TransformImpl(M, F, Plan, NewName).run();
+                            const std::string &NewName,
+                            ir::AnalysisManager *AM) {
+  return TransformImpl(M, F, Plan, NewName, AM).run();
 }

@@ -35,6 +35,8 @@
 #include "perforation/Scheme.h"
 #include "support/Error.h"
 
+#include <string>
+
 namespace kperf {
 namespace perf {
 
@@ -48,9 +50,13 @@ struct PerforationPlan {
   /// Argument indices of buffers to perforate. Empty = every input buffer
   /// the access analysis matched.
   std::vector<unsigned> BufferArgs;
-  /// Cleanup passes run over the generated kernel (all on by default;
-  /// bench_passes ablates them).
-  ir::PipelineOptions Pipeline;
+  /// Cleanup pipeline run over the generated kernel (see
+  /// ir::PassPipeline::parse for the grammar; bench_passes ablates this
+  /// by dropping pass names from the spec). Empty = no cleanup.
+  std::string PipelineSpec = ir::defaultPipelineSpec();
+  /// Verify the generated kernel after every cleanup pass (debugging
+  /// aid; the final verify always runs).
+  bool VerifyEach = false;
 };
 
 /// Transform output: the new kernel plus its launch constraints.
@@ -59,16 +65,25 @@ struct TransformResult {
   unsigned LocalX = 0; ///< Required get_local_size(0).
   unsigned LocalY = 0; ///< Required get_local_size(1).
   unsigned LocalMemWords = 0; ///< Tile storage the kernel allocates.
+  /// What the cleanup pipeline did to the generated kernel.
+  ir::PipelineStats PassStats;
 };
 
 /// Applies the local memory-aware perforation described by \p Plan to
 /// \p F, creating a new kernel \p NewName inside \p M. \p F itself is not
 /// modified. Fails if the kernel already uses local memory or barriers, or
 /// if no perforatable input buffer is found.
+///
+/// When \p AM is given, the access analysis of \p F is read through (and
+/// cached in) it -- perforating the same kernel repeatedly, as the tuner
+/// does, then analyzes it once instead of once per variant. The caller
+/// must invalidate the entry if it mutates \p F afterwards.
 Expected<TransformResult> applyInputPerforation(ir::Module &M,
                                                 ir::Function &F,
                                                 const PerforationPlan &Plan,
-                                                const std::string &NewName);
+                                                const std::string &NewName,
+                                                ir::AnalysisManager *AM =
+                                                    nullptr);
 
 } // namespace perf
 } // namespace kperf

@@ -15,6 +15,17 @@ std::string TunerConfig::str() const {
   return format("%s@%ux%u", Scheme.str().c_str(), TileX, TileY);
 }
 
+std::string TunerResult::summary() const {
+  if (!Feasible)
+    return format("%-24s infeasible: %s", Config.str().c_str(),
+                  Note.c_str());
+  std::string S = format("%-24s speedup %5.2fx  MRE %.5f",
+                         Config.str().c_str(), M.Speedup, M.Error);
+  if (!M.PassStats.Passes.empty())
+    S += "  [" + M.PassStats.str() + "]";
+  return S;
+}
+
 std::vector<std::pair<unsigned, unsigned>>
 perf::figure9WorkGroupShapes() {
   return {{2, 128}, {4, 64}, {8, 8},  {8, 16}, {8, 32},

@@ -17,6 +17,7 @@
 #ifndef KPERF_PERFORATION_TUNER_H
 #define KPERF_PERFORATION_TUNER_H
 
+#include "ir/PassManager.h"
 #include "perforation/Pareto.h"
 #include "perforation/Scheme.h"
 #include "support/Error.h"
@@ -40,6 +41,10 @@ struct TunerConfig {
 struct Measurement {
   double Speedup = 0;
   double Error = 0;
+  /// What the cleanup pipeline did while generating this variant's
+  /// kernel (empty when the evaluation involved no transform, e.g. the
+  /// accurate baseline).
+  ir::PipelineStats PassStats;
 };
 
 /// Outcome of evaluating one configuration.
@@ -48,6 +53,10 @@ struct TunerResult {
   Measurement M;
   bool Feasible = false;
   std::string Note; ///< Failure reason when !Feasible.
+
+  /// One report line: configuration, speedup/error, and -- when the
+  /// variant was compiled through the pipeline -- its per-pass stats.
+  std::string summary() const;
 };
 
 /// Evaluation callback: measure one configuration or explain why it is

@@ -21,7 +21,13 @@ ir::Module &Context::module() { return *M; }
 
 Expected<Kernel> Context::compile(const std::string &Source,
                                   const std::string &Name) {
-  Expected<ir::Function *> F = pcl::compileKernel(*M, Source, Name);
+  return compile(Source, Name, pcl::CompileOptions());
+}
+
+Expected<Kernel> Context::compile(const std::string &Source,
+                                  const std::string &Name,
+                                  const pcl::CompileOptions &Opts) {
+  Expected<ir::Function *> F = pcl::compileKernel(*M, Source, Name, Opts);
   if (!F)
     return F.takeError();
   return Kernel{*F};
@@ -60,7 +66,7 @@ Context::perforate(const Kernel &K, const perf::PerforationPlan &Plan) {
   std::string Name =
       format("%s.perf%u", K.F->name().c_str(), NameCounter++);
   Expected<perf::TransformResult> R =
-      perf::applyInputPerforation(*M, *K.F, Plan, Name);
+      perf::applyInputPerforation(*M, *K.F, Plan, Name, &Analyses);
   if (!R)
     return R.takeError();
   PerforatedKernel P;
@@ -68,6 +74,7 @@ Context::perforate(const Kernel &K, const perf::PerforationPlan &Plan) {
   P.LocalX = R->LocalX;
   P.LocalY = R->LocalY;
   P.LocalMemWords = R->LocalMemWords;
+  P.PassStats = std::move(R->PassStats);
   return P;
 }
 
@@ -84,6 +91,7 @@ Context::approximateOutput(const Kernel &K,
   A.K = Kernel{R->Kernel};
   A.DivX = R->DivX;
   A.DivY = R->DivY;
+  A.PassStats = std::move(R->PassStats);
   return A;
 }
 

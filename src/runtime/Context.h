@@ -25,7 +25,9 @@
 #define KPERF_RUNTIME_CONTEXT_H
 
 #include "gpusim/Interpreter.h"
+#include "ir/AnalysisManager.h"
 #include "ir/Function.h"
+#include "pcl/Compiler.h"
 #include "perforation/OutputApprox.h"
 #include "perforation/Transform.h"
 #include "support/Error.h"
@@ -49,6 +51,8 @@ struct PerforatedKernel {
   unsigned LocalX = 0;
   unsigned LocalY = 0;
   unsigned LocalMemWords = 0;
+  /// What the cleanup pipeline did to this variant (tuner reports).
+  ir::PipelineStats PassStats;
 };
 
 /// Handle to an output-approximated kernel plus its NDRange shrink.
@@ -56,6 +60,8 @@ struct ApproxKernel {
   Kernel K;
   unsigned DivX = 1;
   unsigned DivY = 1;
+  /// What the cleanup pipeline did to this variant.
+  ir::PipelineStats PassStats;
 };
 
 /// Argument construction shorthand.
@@ -82,6 +88,12 @@ public:
   /// Compiles all kernels in \p Source; returns the one named \p Name.
   Expected<Kernel> compile(const std::string &Source,
                            const std::string &Name);
+
+  /// As above with frontend pipeline options (e.g. a post-verify
+  /// optimization pipeline).
+  Expected<Kernel> compile(const std::string &Source,
+                           const std::string &Name,
+                           const pcl::CompileOptions &Opts);
 
   /// Creates a zero-initialized buffer of \p NumElements 32-bit elements.
   unsigned createBuffer(size_t NumElements);
@@ -115,9 +127,16 @@ public:
   /// Access to the underlying module (printing, verification, tests).
   ir::Module &module();
 
+  /// Cached per-function analyses (access summaries, dominator trees)
+  /// shared across this context's transforms. Callers that mutate a
+  /// compiled kernel directly must invalidate its entry here before the
+  /// next perforate()/approximateOutput() of that kernel.
+  ir::AnalysisManager &analyses() { return Analyses; }
+
 private:
   sim::DeviceConfig Device;
   std::unique_ptr<ir::Module> M;
+  ir::AnalysisManager Analyses;
   std::vector<sim::BufferData> Buffers;
   unsigned NameCounter = 0;
 };

@@ -1,0 +1,387 @@
+//===- tests/passes_test.cpp - Pass manager and pipeline tests --------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AnalysisManager.h"
+#include "ir/IRBuilder.h"
+#include "ir/PassManager.h"
+#include "ir/Passes.h"
+#include "ir/Verifier.h"
+#include "pcl/Compiler.h"
+#include "runtime/Context.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Compiles \p Source and returns the single kernel.
+Function *compileKernel(rt::Context &Ctx, const char *Source) {
+  Expected<std::vector<Function *>> Fns =
+      pcl::compile(Ctx.module(), Source);
+  EXPECT_TRUE(static_cast<bool>(Fns)) << Fns.error().message();
+  return Fns->front();
+}
+
+const char *LoopKernel = R"(
+kernel void k(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float acc = 0.0;
+  for (int k = 0; k < 4; k++) {
+    acc += in[clamp(y + k, 0, h - 1) * w + x];
+  }
+  out[y * w + x] = acc;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// PassRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(PassRegistryTest, BuiltinPassesAreRegistered) {
+  std::vector<std::string> Names =
+      PassRegistry::instance().registeredNames();
+  for (const char *Expected : {"cse", "dce", "licm", "memopt-dse",
+                               "memopt-forward", "simplify"})
+    EXPECT_TRUE(PassRegistry::instance().contains(Expected)) << Expected;
+  EXPECT_GE(Names.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+}
+
+TEST(PassRegistryTest, CreateInstantiatesByName) {
+  auto P = PassRegistry::instance().create("licm");
+  ASSERT_NE(P, nullptr);
+  EXPECT_STREQ(P->name(), "licm");
+  EXPECT_TRUE(P->preservesCFG());
+  EXPECT_EQ(PassRegistry::instance().create("nonexistent"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineParseTest, RoundTripsCanonicalSpecs) {
+  for (const char *Spec :
+       {"simplify", "simplify,cse,dce",
+        "fixpoint(simplify,cse,dce)",
+        "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)",
+        "simplify,fixpoint(cse,dce),licm",
+        "fixpoint(simplify,fixpoint(cse,dce))"}) {
+    Expected<PassPipeline> P = PassPipeline::parse(Spec);
+    ASSERT_TRUE(static_cast<bool>(P)) << Spec;
+    EXPECT_EQ(P->str(), Spec);
+  }
+}
+
+TEST(PipelineParseTest, NormalizesWhitespace) {
+  Expected<PassPipeline> P =
+      PassPipeline::parse("  fixpoint( simplify , cse ) , dce ");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->str(), "fixpoint(simplify,cse),dce");
+}
+
+TEST(PipelineParseTest, EmptySpecIsEmptyPipeline) {
+  Expected<PassPipeline> P = PassPipeline::parse("");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_TRUE(P->empty());
+  EXPECT_EQ(P->str(), "");
+}
+
+TEST(PipelineParseTest, RejectsUnknownPass) {
+  Expected<PassPipeline> P = PassPipeline::parse("simplify,frobnicate");
+  ASSERT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.error().message().find("frobnicate"), std::string::npos);
+  // The diagnostic lists what is available.
+  EXPECT_NE(P.error().message().find("licm"), std::string::npos);
+}
+
+TEST(PipelineParseTest, RejectsMalformedSpecs) {
+  for (const char *Spec :
+       {"fixpoint(", "fixpoint()", "fixpoint(simplify", "simplify,,dce",
+        "simplify)", ",simplify", "fixpoint(simplify))"}) {
+    Expected<PassPipeline> P = PassPipeline::parse(Spec);
+    EXPECT_FALSE(static_cast<bool>(P)) << Spec;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline execution and stats
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineRunTest, NestedFixpointRunsToCompletion) {
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  Expected<PassPipeline> P =
+      PassPipeline::parse("fixpoint(simplify,fixpoint(cse,dce))");
+  ASSERT_TRUE(static_cast<bool>(P));
+  Expected<PipelineStats> Stats = P->run(*F, Ctx.module());
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_GT(Stats->total(), 0u);
+  Error E = verifyFunction(*F);
+  EXPECT_FALSE(E) << E.message();
+  // Rerunning an already-converged pipeline changes nothing.
+  Expected<PipelineStats> Again = P->run(*F, Ctx.module());
+  ASSERT_TRUE(static_cast<bool>(Again));
+  EXPECT_EQ(Again->total(), 0u);
+}
+
+TEST(PipelineRunTest, StatsDeriveFromSinglePerPassTable) {
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  PipelineStats Stats = runDefaultPipeline(*F, Ctx.module());
+
+  // total() and every named accessor are views over the same table; the
+  // counters cannot drift from the sum.
+  unsigned TableSum = 0;
+  for (const PassExecution &E : Stats.Passes)
+    TableSum += E.Changes;
+  EXPECT_EQ(Stats.total(), TableSum);
+  EXPECT_EQ(Stats.simplified() + Stats.merged() + Stats.forwarded() +
+                Stats.hoisted() + Stats.deadStores() + Stats.deleted(),
+            Stats.total());
+  EXPECT_GT(Stats.total(), 0u);
+  EXPECT_GE(Stats.Iterations, 2u); // Work round plus the no-change round.
+
+  // Every pass in the default pipeline ran once per round.
+  ASSERT_EQ(Stats.Passes.size(), 6u);
+  for (const PassExecution &E : Stats.Passes)
+    EXPECT_EQ(E.Invocations, Stats.Iterations) << E.Name;
+}
+
+TEST(PipelineRunTest, TimingIsRecordedPerPass) {
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  PipelineStats Stats = runDefaultPipeline(*F, Ctx.module());
+  double Sum = 0;
+  for (const PassExecution &E : Stats.Passes) {
+    EXPECT_GE(E.Millis, 0.0) << E.Name;
+    Sum += E.Millis;
+  }
+  EXPECT_DOUBLE_EQ(Stats.totalMillis(), Sum);
+}
+
+TEST(PipelineRunTest, VerifyEachPassesOnWellFormedKernels) {
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  Expected<PassPipeline> P = PassPipeline::parse(defaultPipelineSpec());
+  ASSERT_TRUE(static_cast<bool>(P));
+  PassRunOptions Opts;
+  Opts.VerifyEach = true;
+  AnalysisManager AM;
+  Expected<PipelineStats> Stats = P->run(*F, Ctx.module(), AM, Opts);
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.error().message();
+  EXPECT_GT(Stats->total(), 0u);
+}
+
+TEST(PipelineRunTest, MergeAccumulatesTables) {
+  PipelineStats A, B;
+  A.entry("cse").Changes = 3;
+  A.entry("cse").Invocations = 1;
+  A.Iterations = 2;
+  B.entry("cse").Changes = 2;
+  B.entry("dce").Changes = 5;
+  B.Iterations = 1;
+  A.merge(B);
+  EXPECT_EQ(A.changes("cse"), 5u);
+  EXPECT_EQ(A.changes("dce"), 5u);
+  EXPECT_EQ(A.total(), 10u);
+  EXPECT_EQ(A.Iterations, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// PipelineOptions compatibility shim
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineOptionsTest, SpecMapsOntoPipelineStrings) {
+  EXPECT_EQ(PipelineOptions().spec(), defaultPipelineSpec());
+  EXPECT_EQ(PipelineOptions::none().spec(), "");
+  PipelineOptions NoCse;
+  NoCse.CSE = false;
+  NoCse.MemOpt = false;
+  NoCse.LICM = false;
+  EXPECT_EQ(NoCse.spec(), "fixpoint(simplify,dce)");
+}
+
+TEST(PipelineOptionsTest, ShimMatchesDirectSpecRun) {
+  rt::Context C1, C2;
+  Function *F1 = compileKernel(C1, LoopKernel);
+  Function *F2 = compileKernel(C2, LoopKernel);
+  PipelineOptions NoCse;
+  NoCse.CSE = false;
+  NoCse.MemOpt = false;
+  NoCse.LICM = false;
+  PipelineStats A = runPipeline(*F1, C1.module(), NoCse);
+  Expected<PipelineStats> B =
+      runPipelineSpec(*F2, C2.module(), "fixpoint(simplify,dce)");
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(A.total(), B->total());
+  EXPECT_EQ(A.Iterations, B->Iterations);
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager: dominator-tree caching and invalidation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerTest, DominatorTreeIsCachedAcrossQueries) {
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  AnalysisManager AM;
+  const DominatorTree &DT1 = AM.getDominatorTree(*F);
+  const DominatorTree &DT2 = AM.getDominatorTree(*F);
+  EXPECT_EQ(&DT1, &DT2);
+  EXPECT_EQ(AM.counters().DomTreeComputes, 1u);
+  EXPECT_EQ(AM.counters().DomTreeHits, 1u);
+}
+
+TEST(AnalysisManagerTest, CfgPreservingInvalidationKeepsDomTree) {
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  AnalysisManager AM;
+  const DominatorTree &DT1 = AM.getDominatorTree(*F);
+  AM.invalidate(*F, /*CFGPreserved=*/true);
+  const DominatorTree &DT2 = AM.getDominatorTree(*F);
+  EXPECT_EQ(&DT1, &DT2);
+  EXPECT_EQ(AM.counters().DomTreeComputes, 1u);
+}
+
+TEST(AnalysisManagerTest, MutatingInvalidationRecomputesCorrectTree) {
+  // Build a kernel whose CFG the simplifier rewrites: a condbr on a
+  // constant condition collapses to an unconditional branch.
+  Module M;
+  IRBuilder B(M);
+  Function *F = M.createFunction("f");
+  Argument *Out = F->addArgument(
+      Type::pointerTo(ScalarKind::Float, AddressSpace::Global), "out",
+      false);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  B.createCondBr(M.getBool(true), Then, Else);
+  B.setInsertPoint(Then);
+  B.createStore(M.getFloat(1.0f), B.createGep(Out, M.getInt(0)));
+  B.createBr(Join);
+  B.setInsertPoint(Else);
+  B.createStore(M.getFloat(2.0f), B.createGep(Out, M.getInt(0)));
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  B.createRet();
+
+  AnalysisManager AM;
+  const DominatorTree &Before = AM.getDominatorTree(*F);
+  EXPECT_TRUE(Before.isReachable(Else));
+  EXPECT_EQ(AM.counters().DomTreeComputes, 1u);
+
+  // Run simplify through the pipeline: it folds the branch (a CFG
+  // mutation), so the manager must drop the cached tree.
+  Expected<PipelineStats> Stats =
+      runPipelineSpec(*F, M, AM, "simplify");
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_GT(Stats->total(), 0u);
+
+  const DominatorTree &After = AM.getDominatorTree(*F);
+  EXPECT_EQ(AM.counters().DomTreeComputes, 2u);
+
+  // The recomputed tree matches a fresh recompute on the mutated
+  // function block-for-block.
+  DominatorTree Fresh = DominatorTree::compute(*F);
+  for (const auto &BB : F->blocks()) {
+    EXPECT_EQ(After.isReachable(BB.get()), Fresh.isReachable(BB.get()))
+        << BB->name();
+    EXPECT_EQ(After.idom(BB.get()), Fresh.idom(BB.get())) << BB->name();
+  }
+  EXPECT_FALSE(After.isReachable(Else)); // else is dead after folding.
+}
+
+TEST(AnalysisManagerTest, GenericCacheDropsOnAnyMutation) {
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  AnalysisManager AM;
+  struct Summary {
+    int Marker;
+  };
+  AM.cache(*F, Summary{42});
+  ASSERT_NE(AM.lookup<Summary>(*F), nullptr);
+  EXPECT_EQ(AM.lookup<Summary>(*F)->Marker, 42);
+  // Even a CFG-preserving mutation invalidates instruction-sensitive
+  // generic entries.
+  AM.invalidate(*F, /*CFGPreserved=*/true);
+  EXPECT_EQ(AM.lookup<Summary>(*F), nullptr);
+}
+
+TEST(AnalysisManagerTest, DomTreeComputedAtMostOncePerFixpointRound) {
+  // The acceptance bar for the pass-manager refactor: across the whole
+  // default pipeline the dominator tree is computed at most once per
+  // fixpoint round (it used to be once per LICM invocation, and LICM
+  // recomputed it internally per hoisting wave on top of that).
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  Expected<PassPipeline> P = PassPipeline::parse(defaultPipelineSpec());
+  ASSERT_TRUE(static_cast<bool>(P));
+  AnalysisManager AM;
+  Expected<PipelineStats> Stats = P->run(*F, Ctx.module(), AM);
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_GT(Stats->hoisted(), 0u); // LICM actually ran and did work.
+  EXPECT_GE(Stats->Iterations, 2u);
+  EXPECT_LE(AM.counters().DomTreeComputes, Stats->Iterations);
+  // LICM queried the tree every round; the queries beyond the computes
+  // were cache hits.
+  EXPECT_EQ(AM.counters().DomTreeComputes + AM.counters().DomTreeHits,
+            Stats->Iterations);
+}
+
+TEST(AnalysisManagerTest, CseOnlyPipelineReusesOneTreeAcrossRounds) {
+  // In a pipeline of purely CFG-preserving passes the tree is computed
+  // exactly once no matter how many rounds run.
+  rt::Context Ctx;
+  Function *F = compileKernel(Ctx, LoopKernel);
+  Expected<PassPipeline> P =
+      PassPipeline::parse("fixpoint(cse,licm,dce)");
+  ASSERT_TRUE(static_cast<bool>(P));
+  AnalysisManager AM;
+  Expected<PipelineStats> Stats = P->run(*F, Ctx.module(), AM);
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_GE(Stats->Iterations, 2u);
+  EXPECT_EQ(AM.counters().DomTreeComputes, 1u);
+  EXPECT_EQ(AM.counters().DomTreeHits, Stats->Iterations - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler integration: post-verify pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerPipelineTest, PostVerifyPipelineOptimizesKernels) {
+  rt::Context Plain, Optimized;
+  Function *F1 = compileKernel(Plain, LoopKernel);
+
+  pcl::CompileOptions Opts;
+  Opts.PipelineSpec = defaultPipelineSpec();
+  Opts.VerifyEach = true;
+  PipelineStats Stats;
+  Opts.Stats = &Stats;
+  Expected<std::vector<Function *>> Fns =
+      pcl::compile(Optimized.module(), LoopKernel, Opts);
+  ASSERT_TRUE(static_cast<bool>(Fns)) << Fns.error().message();
+  Function *F2 = Fns->front();
+
+  auto Count = [](const Function &F) {
+    size_t N = 0;
+    for (const auto &BB : F.blocks())
+      N += BB->size();
+    return N;
+  };
+  EXPECT_LT(Count(*F2), Count(*F1));
+  EXPECT_GT(Stats.total(), 0u);
+  Error E = verifyFunction(*F2);
+  EXPECT_FALSE(E) << E.message();
+}
+
+} // namespace

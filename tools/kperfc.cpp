@@ -28,12 +28,22 @@
 //       (default 0.05). Without --image a synthetic natural image is
 //       used.
 //
-//   kperfc passes <file.pcl> [--kernel name]
-//       Run the standard optimization pipeline (simplify, CSE, DCE) on
-//       the kernel and print what it did plus the optimized IR.
+//   kperfc passes <file.pcl> [--kernel name] [--passes SPEC]
+//               [--time-passes] [--verify-each]
+//       Run an optimization pipeline on the kernel and print the
+//       per-pass change counts (and, with --time-passes, wall-clock
+//       timings) plus the optimized IR. The default pipeline is
+//       fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce);
+//       --passes accepts any spec in that grammar, e.g.
+//       --passes=fixpoint(simplify,cse,dce). Invoking kperfc with
+//       --passes and no command is shorthand for the passes command.
 //
 // Schemes: baseline | rows1 | rows2 | cols1 | cols2 | stencil
 // Recon:   nn | li
+//
+// Flags may appear anywhere and accept both "--flag value" and
+// "--flag=value". --passes also optimizes the compiled kernel for
+// dump-ir; --time-passes adds per-variant pass statistics to tune.
 //
 //===----------------------------------------------------------------------===//
 
@@ -69,6 +79,10 @@ struct Options {
   bool SchemeGiven = false;
   unsigned WgX = 16, WgY = 16;
   double Budget = 0.05;
+  std::string PassSpec; ///< --passes pipeline spec.
+  bool PassSpecGiven = false;
+  bool TimePasses = false;
+  bool VerifyEach = false;
 };
 
 int usage() {
@@ -79,7 +93,10 @@ int usage() {
                "rows2|cols1|cols2|stencil]\n"
                "              [--recon nn|li] [--wg WxH]\n"
                "              [--image in.pgm] [--out out.pgm] "
-               "[--budget E]\n");
+               "[--budget E]\n"
+               "              [--passes SPEC] [--time-passes] "
+               "[--verify-each]\n"
+               "       kperfc --passes=SPEC [--time-passes] <file.pcl>\n");
   return 2;
 }
 
@@ -103,18 +120,50 @@ bool parseScheme(const std::string &Name, perf::PerforationScheme &S) {
 
 Expected<Options> parseArgs(int Argc, char **Argv) {
   Options O;
-  if (Argc < 3)
-    return makeError("missing command or file");
-  O.Command = Argv[1];
-  O.File = Argv[2];
-  for (int I = 3; I < Argc; ++I) {
+  std::vector<std::string> Positional;
+  for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
+    if (!startsWith(A, "--")) {
+      Positional.push_back(A);
+      continue;
+    }
+    // Split "--flag=value" into the flag and an inline value.
+    std::string Inline;
+    bool HasInline = false;
+    size_t Eq = A.find('=');
+    if (Eq != std::string::npos) {
+      Inline = A.substr(Eq + 1);
+      HasInline = true;
+      A = A.substr(0, Eq);
+    }
     auto next = [&]() -> Expected<std::string> {
+      if (HasInline)
+        return Inline;
       if (I + 1 >= Argc)
         return makeError("missing value after %s", A.c_str());
       return std::string(Argv[++I]);
     };
-    if (A == "--kernel") {
+    // Flags that take no value reject an inline one ("--flag=x").
+    auto noValue = [&]() -> Error {
+      if (HasInline)
+        return makeError("option %s takes no value", A.c_str());
+      return Error::success();
+    };
+    if (A == "--passes") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      O.PassSpec = *V;
+      O.PassSpecGiven = true;
+    } else if (A == "--time-passes") {
+      if (Error E = noValue())
+        return E;
+      O.TimePasses = true;
+    } else if (A == "--verify-each") {
+      if (Error E = noValue())
+        return E;
+      O.VerifyEach = true;
+    } else if (A == "--kernel") {
       auto V = next();
       if (!V)
         return V.takeError();
@@ -164,6 +213,20 @@ Expected<Options> parseArgs(int Argc, char **Argv) {
       return makeError("unknown option '%s'", A.c_str());
     }
   }
+  // Two positionals: command + file. One positional with --passes:
+  // shorthand for the passes command on that file.
+  if (Positional.size() == 2) {
+    O.Command = Positional[0];
+    O.File = Positional[1];
+  } else if (Positional.size() == 1 && O.PassSpecGiven) {
+    O.Command = "passes";
+    O.File = Positional[0];
+  } else if (Positional.size() > 2) {
+    return makeError("unexpected extra argument '%s'",
+                     Positional[2].c_str());
+  } else {
+    return makeError("missing command or file");
+  }
   return O;
 }
 
@@ -176,14 +239,22 @@ Expected<std::string> readFile(const std::string &Path) {
   return SS.str();
 }
 
-/// Compiles the requested (or first) kernel of the file.
+/// Compiles the requested (or first) kernel of the file. When
+/// \p ApplyPasses is set, the --passes pipeline (if any) runs over the
+/// compiled kernels as a post-verify step.
 Expected<rt::Kernel> compileFrom(rt::Context &Ctx, const Options &O,
-                                 const std::string &Source) {
+                                 const std::string &Source,
+                                 bool ApplyPasses = false) {
+  pcl::CompileOptions CO;
+  if (ApplyPasses && O.PassSpecGiven) {
+    CO.PipelineSpec = O.PassSpec;
+    CO.VerifyEach = O.VerifyEach;
+  }
   if (!O.KernelName.empty())
-    return Ctx.compile(Source, O.KernelName);
+    return Ctx.compile(Source, O.KernelName, CO);
   // First kernel: parse the name out of a trial compile of all kernels.
   Expected<std::vector<ir::Function *>> All =
-      pcl::compile(Ctx.module(), Source);
+      pcl::compile(Ctx.module(), Source, CO);
   if (!All)
     return All.takeError();
   return rt::Kernel{All->front()};
@@ -191,7 +262,8 @@ Expected<rt::Kernel> compileFrom(rt::Context &Ctx, const Options &O,
 
 int cmdDumpIR(const Options &O, const std::string &Source) {
   rt::Context Ctx;
-  Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
+  Expected<rt::Kernel> K =
+      compileFrom(Ctx, O, Source, /*ApplyPasses=*/true);
   if (!K) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
     return 1;
@@ -245,6 +317,9 @@ int cmdPerforate(const Options &O, const std::string &Source) {
                           2, perf::ReconstructionKind::NearestNeighbor);
   Plan.TileX = O.WgX;
   Plan.TileY = O.WgY;
+  if (O.PassSpecGiven)
+    Plan.PipelineSpec = O.PassSpec;
+  Plan.VerifyEach = O.VerifyEach;
   Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
   if (!P) {
     std::fprintf(stderr, "error: %s\n", P.error().message().c_str());
@@ -253,6 +328,8 @@ int cmdPerforate(const Options &O, const std::string &Source) {
   std::printf("; scheme %s, work group %ux%u, local memory %u words\n",
               Plan.Scheme.str().c_str(), P->LocalX, P->LocalY,
               P->LocalMemWords);
+  if (O.TimePasses)
+    std::printf("; cleanup: %s\n", P->PassStats.str().c_str());
   std::fputs(ir::printFunction(*P->K.F).c_str(), stdout);
   return 0;
 }
@@ -306,6 +383,9 @@ int cmdRun(const Options &O, const std::string &Source) {
     Plan.Scheme = O.Scheme;
     Plan.TileX = O.WgX;
     Plan.TileY = O.WgY;
+    if (O.PassSpecGiven)
+      Plan.PipelineSpec = O.PassSpec;
+    Plan.VerifyEach = O.VerifyEach;
     Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
     if (!P) {
       std::fprintf(stderr, "error: %s\n", P.error().message().c_str());
@@ -410,6 +490,9 @@ int cmdTune(const Options &O, const std::string &Source) {
     Plan.Scheme = Config.Scheme;
     Plan.TileX = Config.TileX;
     Plan.TileY = Config.TileY;
+    if (O.PassSpecGiven)
+      Plan.PipelineSpec = O.PassSpec;
+    Plan.VerifyEach = O.VerifyEach;
     Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
     if (!P)
       return P.takeError();
@@ -421,6 +504,7 @@ int cmdTune(const Options &O, const std::string &Source) {
     M.Speedup = Acc->TimeMs / App->TimeMs;
     M.Error =
         img::meanRelativeError(Reference, Ctx.buffer(OutBuf).downloadFloats());
+    M.PassStats = P->PassStats;
     return M;
   };
 
@@ -442,6 +526,13 @@ int cmdTune(const Options &O, const std::string &Source) {
                 Points[I].Label.c_str(), Points[I].Speedup,
                 Points[I].Error);
 
+  if (O.TimePasses) {
+    std::printf("\nper-variant pass statistics:\n");
+    for (const perf::TunerResult &R : Results)
+      if (R.Feasible)
+        std::printf("  %s\n", R.summary().c_str());
+  }
+
   size_t Best = perf::bestWithinErrorBudget(Results, O.Budget);
   if (Best == ~size_t(0)) {
     std::printf("\nno configuration meets the %.3f budget\n", O.Budget);
@@ -460,19 +551,52 @@ int cmdPasses(const Options &O, const std::string &Source) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
     return 1;
   }
+  const std::string Spec =
+      O.PassSpecGiven ? O.PassSpec : ir::defaultPipelineSpec();
+  Expected<ir::PassPipeline> Pipeline = ir::PassPipeline::parse(Spec);
+  if (!Pipeline) {
+    std::fprintf(stderr, "error: %s\n",
+                 Pipeline.error().message().c_str());
+    return 1;
+  }
+
   size_t Before = 0;
   for (const auto &BB : K->F->blocks())
     Before += BB->size();
-  ir::PipelineStats Stats = ir::runDefaultPipeline(*K->F, Ctx.module());
+
+  ir::PassRunOptions RunOpts;
+  RunOpts.VerifyEach = O.VerifyEach;
+  Expected<ir::PipelineStats> StatsOr =
+      Pipeline->run(*K->F, Ctx.module(), Ctx.analyses(), RunOpts);
+  if (!StatsOr) {
+    std::fprintf(stderr, "error: %s\n", StatsOr.error().message().c_str());
+    return 1;
+  }
+  const ir::PipelineStats &Stats = *StatsOr;
+
   size_t After = 0;
   for (const auto &BB : K->F->blocks())
     After += BB->size();
-  std::printf("; pipeline: %u simplified, %u merged (CSE), %u forwarded "
-              "(store->load),\n;           %u hoisted (LICM), %u dead "
-              "stores, %u deleted (DCE), %u rounds\n",
-              Stats.Simplified, Stats.Merged, Stats.Forwarded,
-              Stats.Hoisted, Stats.DeadStores, Stats.Deleted,
-              Stats.Iterations);
+
+  std::printf("; pipeline: %s\n", Pipeline->str().c_str());
+  if (O.TimePasses)
+    std::printf("; %-16s %6s %9s %9s\n", "pass", "runs", "changes", "ms");
+  else
+    std::printf("; %-16s %6s %9s\n", "pass", "runs", "changes");
+  for (const ir::PassExecution &E : Stats.Passes) {
+    if (O.TimePasses)
+      std::printf("; %-16s %6u %9u %9.3f\n", E.Name.c_str(),
+                  E.Invocations, E.Changes, E.Millis);
+    else
+      std::printf("; %-16s %6u %9u\n", E.Name.c_str(), E.Invocations,
+                  E.Changes);
+  }
+  if (O.TimePasses)
+    std::printf("; %-16s %6s %9u %9.3f  (%u rounds)\n", "total", "",
+                Stats.total(), Stats.totalMillis(), Stats.Iterations);
+  else
+    std::printf("; %-16s %6s %9u  (%u rounds)\n", "total", "",
+                Stats.total(), Stats.Iterations);
   std::printf("; instructions: %zu -> %zu\n", Before, After);
   std::fputs(ir::printFunction(*K->F).c_str(), stdout);
   return 0;
