@@ -57,6 +57,7 @@ App::buildPerforated(rt::Context &Ctx, perf::PerforationScheme Scheme,
   Plan.Scheme = Scheme;
   Plan.TileX = Local.X;
   Plan.TileY = Local.Y;
+  Plan.PipelineSpec = pipelineSpec();
   Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
   if (!P)
     return P.takeError();
@@ -78,6 +79,7 @@ App::buildOutputApprox(rt::Context &Ctx, perf::OutputSchemeKind Kind,
   Plan.ApproxPerComputed = ApproxPerComputed;
   Plan.WidthArgIndex = widthArgIndex();
   Plan.HeightArgIndex = heightArgIndex();
+  Plan.PipelineSpec = pipelineSpec();
   Expected<rt::ApproxKernel> A = Ctx.approximateOutput(*K, Plan);
   if (!A)
     return A.takeError();
@@ -255,6 +257,7 @@ public:
     Plan.Scheme = Scheme;
     Plan.TileX = Local.X;
     Plan.TileY = Local.Y;
+    Plan.PipelineSpec = pipelineSpec();
     Expected<rt::PerforatedKernel> P = Ctx.perforate(*Col, Plan);
     if (!P)
       return P.takeError();
@@ -278,6 +281,7 @@ public:
     Plan.ApproxPerComputed = ApproxPerComputed;
     Plan.WidthArgIndex = widthArgIndex();
     Plan.HeightArgIndex = heightArgIndex();
+    Plan.PipelineSpec = pipelineSpec();
     Expected<rt::ApproxKernel> A = Ctx.approximateOutput(*Col, Plan);
     if (!A)
       return A.takeError();

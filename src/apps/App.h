@@ -97,6 +97,14 @@ public:
   double score(const std::vector<float> &Reference,
                const std::vector<float> &Test) const;
 
+  /// Cleanup pipeline used when building perforated and
+  /// output-approximated variants. Defaults to the library default;
+  /// bench_passes overrides it for pipeline ablation.
+  const std::string &pipelineSpec() const { return PipelineSpec; }
+  void setPipelineSpec(std::string Spec) {
+    PipelineSpec = std::move(Spec);
+  }
+
   //===--- Variant construction --------------------------------------------//
 
   /// Compiles the kernel as written.
@@ -131,6 +139,7 @@ private:
   std::string Name;
   std::string Domain;
   bool UseMre;
+  std::string PipelineSpec = ir::defaultPipelineSpec();
 };
 
 /// Creates all six applications in the paper's Table 1 order.

@@ -46,6 +46,12 @@ struct CInstr {
   uint8_t NumOps = 0;
   uint32_t Target0 = 0; ///< Code index (Br/CondBr).
   uint32_t Target1 = 0;
+  /// Phi: [PhiOff, PhiOff+PhiCount) indexes the executor's shared
+  /// (predecessor block start index, value slot) pool. Phis take
+  /// arbitrarily many operands, so they bypass Ops[]; an out-of-line
+  /// pool keeps CInstr compact for the per-instruction dispatch loop.
+  uint32_t PhiOff = 0;
+  uint32_t PhiCount = 0;
   uint8_t Space = 0;      ///< Alloca / memory-op address space.
   uint32_t ArenaOff = 0;  ///< Alloca arena offset in words.
   uint32_t MemOpId = 0;   ///< Dense id among global (or local) memory ops.
@@ -167,9 +173,12 @@ private:
       Index += static_cast<uint32_t>(BB->size());
     }
     Code.reserve(Index);
+    BlockOfPc.reserve(Index);
     for (const auto &BB : F.blocks())
-      for (const auto &I : BB->instructions())
+      for (const auto &I : BB->instructions()) {
         Code.push_back(lower(*I, BlockStart));
+        BlockOfPc.push_back(BlockStart.at(BB.get()));
+      }
     return Error::success();
   }
 
@@ -178,6 +187,17 @@ private:
                    &BlockStart) {
     CInstr C;
     C.Op = I.opcode();
+    if (I.opcode() == irns::Opcode::Phi) {
+      // Phis take one operand per predecessor edge; they live in the
+      // shared (pred block, slot) pool instead of the fixed Ops[] array.
+      C.Result = Slot.at(&I);
+      C.PhiOff = static_cast<uint32_t>(PhiPool.size());
+      C.PhiCount = I.numIncoming();
+      for (unsigned OI = 0; OI < I.numIncoming(); ++OI)
+        PhiPool.emplace_back(BlockStart.at(I.incomingBlock(OI)),
+                             Slot.at(I.operand(OI)));
+      return C;
+    }
     C.NumOps = static_cast<uint8_t>(I.numOperands());
     assert(C.NumOps <= 3 && "instruction with more than 3 operands");
     for (unsigned OI = 0; OI < I.numOperands(); ++OI) {
@@ -240,6 +260,10 @@ private:
   /// Per-item resumable state.
   struct ItemState {
     uint32_t Pc = 0;
+    /// Start index of the most recently exited block; selects phi
+    /// incoming values. Survives barrier suspension (a barrier and the
+    /// phis after it can share a block's successor chain).
+    uint32_t PrevBlock = ~0u;
     StopReason Stop = StopReason::Returned;
   };
 
@@ -310,7 +334,11 @@ private:
 
   Error runGroup(unsigned GX, unsigned GY, unsigned NumItems,
                  unsigned RegSlots) {
-    // Reset per-group state.
+    // Reset per-group state. The private arena must be re-zeroed too:
+    // mem2reg rewrites loads of never-stored private scalars to zero on
+    // the strength of the documented zero-fill, so stale values from the
+    // previous group's items must not be observable.
+    std::fill(PrivArena.begin(), PrivArena.end(), 0u);
     std::fill(LocalArena.begin(), LocalArena.end(), 0u);
     std::fill(States.begin(), States.end(), ItemState());
     std::fill(GlobalExec.begin(), GlobalExec.end(), 0u);
@@ -383,6 +411,7 @@ private:
     unsigned Ly = Item / Local.X;
     unsigned Wavefront = Item / Device.WavefrontSize;
     uint32_t Pc = States[Item].Pc;
+    uint32_t PrevBlock = States[Item].PrevBlock;
 
     auto val = [&](uint32_t S) -> const RtValue & {
       return S < SharedSlots ? SharedVals[S] : R[S - SharedSlots];
@@ -649,20 +678,55 @@ private:
         ++Group.AluOps;
         break;
       }
+      case irns::Opcode::Phi: {
+        // All phis at a block head read their incoming values as one
+        // parallel copy on the just-traversed edge (a phi may feed a
+        // sibling phi; the old values must be read before any write).
+        // Phis cost nothing: real codegen coalesces them into the
+        // register moves of the predecessors.
+        uint32_t End = Pc;
+        while (End < Code.size() && Code[End].Op == irns::Opcode::Phi)
+          ++End;
+        PhiTmp.clear();
+        for (uint32_t P = Pc; P < End; ++P) {
+          uint32_t Slot = NoSlot;
+          const CInstr &PC = Code[P];
+          for (uint32_t E = PC.PhiOff; E < PC.PhiOff + PC.PhiCount; ++E)
+            if (PhiPool[E].first == PrevBlock) {
+              Slot = PhiPool[E].second;
+              break;
+            }
+          if (Slot == NoSlot) {
+            fault(format("kernel '%s': phi has no incoming value for the "
+                         "executed edge",
+                         F.name().c_str()));
+            States[Item].Stop = StopReason::Fault;
+            return;
+          }
+          PhiTmp.push_back(val(Slot));
+        }
+        for (uint32_t P = Pc; P < End; ++P)
+          out(Code[P].Result) = PhiTmp[P - Pc];
+        Pc = End;
+        continue;
+      }
       case irns::Opcode::Call:
         if (C.Callee == irns::Builtin::Barrier) {
           ++Group.Barriers;
           States[Item].Pc = Pc + 1;
+          States[Item].PrevBlock = PrevBlock;
           States[Item].Stop = StopReason::Barrier;
           return;
         }
         execCall(C, Lx, Ly, val, out);
         break;
       case irns::Opcode::Br:
+        PrevBlock = BlockOfPc[Pc];
         Pc = C.Target0;
         ++Group.AluOps;
         continue;
       case irns::Opcode::CondBr:
+        PrevBlock = BlockOfPc[Pc];
         Pc = val(C.Ops[0]).I != 0 ? C.Target0 : C.Target1;
         ++Group.AluOps;
         continue;
@@ -843,6 +907,11 @@ private:
   uint32_t NumGlobalOps = 0;
   uint32_t NumLocalOps = 0;
   std::vector<CInstr> Code;
+  std::vector<uint32_t> BlockOfPc; ///< Block start index per code index.
+  std::vector<RtValue> PhiTmp;     ///< Parallel-copy staging buffer.
+  /// Shared (pred block start, value slot) pool for all phis; CInstr
+  /// references a [PhiOff, PhiOff+PhiCount) range of it.
+  std::vector<std::pair<uint32_t, uint32_t>> PhiPool;
 
   std::vector<RtValue> SharedVals;
   std::vector<RtValue> Regs;

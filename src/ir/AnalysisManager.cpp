@@ -20,13 +20,31 @@ const DominatorTree &AnalysisManager::getDominatorTree(const Function &F) {
   return *E.DomTree;
 }
 
+const DominanceFrontier &
+AnalysisManager::getDominanceFrontier(const Function &F) {
+  // Query the tree first: a stale frontier can never outlive the tree it
+  // was derived from because both reset together in invalidate().
+  const DominatorTree &DT = getDominatorTree(F);
+  FunctionEntry &E = Entries[&F];
+  if (E.DomFrontier) {
+    ++C.DomFrontierHits;
+    return *E.DomFrontier;
+  }
+  ++C.DomFrontierComputes;
+  E.DomFrontier =
+      std::make_unique<DominanceFrontier>(DominanceFrontier::compute(F, DT));
+  return *E.DomFrontier;
+}
+
 void AnalysisManager::invalidate(const Function &F, bool CFGPreserved) {
   auto It = Entries.find(&F);
   if (It == Entries.end())
     return;
   It->second.Generic.clear();
-  if (!CFGPreserved)
+  if (!CFGPreserved) {
     It->second.DomTree.reset();
+    It->second.DomFrontier.reset();
+  }
 }
 
 void AnalysisManager::invalidateAll() { Entries.clear(); }

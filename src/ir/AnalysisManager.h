@@ -39,15 +39,22 @@ namespace ir {
 
 class AnalysisManager {
 public:
-  /// DominatorTree cache accounting, asserted by the pipeline tests.
+  /// CFG-analysis cache accounting, asserted by the pipeline tests.
   struct Counters {
-    unsigned DomTreeComputes = 0; ///< Cache misses (fresh computations).
-    unsigned DomTreeHits = 0;     ///< Cache hits.
+    unsigned DomTreeComputes = 0;     ///< Cache misses (fresh computations).
+    unsigned DomTreeHits = 0;         ///< Cache hits.
+    unsigned DomFrontierComputes = 0; ///< Frontier cache misses.
+    unsigned DomFrontierHits = 0;     ///< Frontier cache hits.
   };
 
   /// Returns the dominator tree of \p F, computing it on a cache miss.
   /// The reference stays valid until the entry is invalidated.
   const DominatorTree &getDominatorTree(const Function &F);
+
+  /// Returns the dominance frontiers of \p F (computing the dominator
+  /// tree first if needed). Invalidated together with the tree: both are
+  /// pure CFG analyses.
+  const DominanceFrontier &getDominanceFrontier(const Function &F);
 
   /// Returns the cached result of type \p T for \p F, or null if absent.
   template <typename T> const T *lookup(const Function &F) const {
@@ -83,6 +90,7 @@ public:
 private:
   struct FunctionEntry {
     std::unique_ptr<DominatorTree> DomTree;
+    std::unique_ptr<DominanceFrontier> DomFrontier;
     std::unordered_map<std::type_index, std::shared_ptr<void>> Generic;
   };
 

@@ -75,6 +75,7 @@ bool isAlwaysPure(Opcode Op) {
   case Opcode::Gep:
     return true;
   case Opcode::Alloca: // Distinct storage per instruction.
+  case Opcode::Phi:    // Identity depends on incoming edges, not operands.
   case Opcode::Load:
   case Opcode::Store:
   case Opcode::Call:

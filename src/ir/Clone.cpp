@@ -23,16 +23,20 @@ Function *ir::cloneFunction(Module &M, const Function &F,
   for (const auto &BB : F.blocks())
     Map.Blocks[BB.get()] = NewF->createBlock(BB->name());
 
-  // Second pass: clone instructions. Operands referring to instructions in
-  // later blocks cannot occur (verified def-before-use ordering), so a
-  // single forward pass suffices.
+  // Second pass: clone instructions. Non-phi operands refer to earlier
+  // blocks (verified def-before-use ordering), so a forward pass resolves
+  // them; phi operands may flow in along back edges from blocks not yet
+  // cloned, so phis are created empty and filled in a third pass.
+  std::vector<std::pair<const Instruction *, Instruction *>> Phis;
   for (const auto &BB : F.blocks()) {
     BasicBlock *NewBB = Map.Blocks[BB.get()];
     for (const auto &I : BB->instructions()) {
       std::vector<Value *> Operands;
-      Operands.reserve(I->numOperands());
-      for (Value *Op : I->operands())
-        Operands.push_back(Map.lookup(Op));
+      if (I->opcode() != Opcode::Phi) {
+        Operands.reserve(I->numOperands());
+        for (Value *Op : I->operands())
+          Operands.push_back(Map.lookup(Op));
+      }
       auto NewI = std::make_unique<Instruction>(I->opcode(), I->type(),
                                                 std::move(Operands),
                                                 I->name());
@@ -45,8 +49,16 @@ Function *ir::cloneFunction(Module &M, const Function &F,
         if (I->opcode() == Opcode::CondBr)
           NewI->setBranchTarget(1, Map.lookup(I->branchTarget(1)));
       }
+      if (I->opcode() == Opcode::Phi)
+        Phis.emplace_back(I.get(), NewI.get());
       Map.Values[I.get()] = NewBB->append(std::move(NewI));
     }
   }
+
+  // Third pass: every value and block now has a clone; fill in the phis.
+  for (auto &[OldPhi, NewPhi] : Phis)
+    for (unsigned I = 0; I < OldPhi->numIncoming(); ++I)
+      NewPhi->addIncoming(Map.lookup(OldPhi->incomingValue(I)),
+                          Map.lookup(OldPhi->incomingBlock(I)));
   return NewF;
 }

@@ -39,7 +39,8 @@ unsigned ir::eliminateDeadCode(Function &F) {
     for (const auto &BB : F.blocks())
       for (const auto &I : BB->instructions())
         for (const Value *Op : I->operands())
-          ++UseCount[Op];
+          if (Op != I.get()) // A phi's self-edge is not a real use.
+            ++UseCount[Op];
 
     for (const auto &BB : F.blocks()) {
       // Collect-then-erase to keep iteration simple.

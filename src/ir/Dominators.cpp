@@ -7,6 +7,7 @@
 #include "ir/Dominators.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 using namespace kperf;
 using namespace kperf::ir;
@@ -103,6 +104,48 @@ DominatorTree DominatorTree::compute(const Function &F) {
     }
   }
   return DT;
+}
+
+DominanceFrontier DominanceFrontier::compute(const Function &F,
+                                             const DominatorTree &DT) {
+  DominanceFrontier DF;
+  // A block B is in the frontier of every block on the idom chain from
+  // each of its predecessors down to (but excluding) idom(B).
+  std::unordered_map<const BasicBlock *,
+                     std::unordered_set<const BasicBlock *>>
+      Sets;
+  auto Preds = predecessors(F);
+  for (const auto &BBPtr : F.blocks()) {
+    const BasicBlock *BB = BBPtr.get();
+    if (!DT.isReachable(BB))
+      continue;
+    auto It = Preds.find(BB);
+    if (It == Preds.end() || It->second.size() < 2)
+      continue; // Join points only; single-pred blocks have no merges.
+    for (const BasicBlock *Runner : It->second) {
+      if (!DT.isReachable(Runner))
+        continue;
+      while (Runner != DT.idom(BB) && Runner != nullptr) {
+        Sets[Runner].insert(BB);
+        Runner = DT.idom(Runner);
+      }
+    }
+  }
+  // Freeze into vectors ordered by function block position so downstream
+  // worklists are deterministic.
+  std::unordered_map<const BasicBlock *, size_t> BlockIndex;
+  size_t Index = 0;
+  for (const auto &BBPtr : F.blocks())
+    BlockIndex[BBPtr.get()] = Index++;
+  for (auto &[BB, Set] : Sets) {
+    std::vector<const BasicBlock *> &Out = DF.Frontiers[BB];
+    Out.assign(Set.begin(), Set.end());
+    std::sort(Out.begin(), Out.end(),
+              [&](const BasicBlock *A, const BasicBlock *B) {
+                return BlockIndex[A] < BlockIndex[B];
+              });
+  }
+  return DF;
 }
 
 bool DominatorTree::dominates(const BasicBlock *A,

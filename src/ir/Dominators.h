@@ -6,8 +6,9 @@
 ///
 /// \file
 /// Dominator tree over a function's CFG (Cooper-Harvey-Kennedy iterative
-/// algorithm), plus the small CFG helpers it needs. Used by LICM to find
-/// natural loops and safe hoisting points.
+/// algorithm), dominance frontiers derived from it, and the small CFG
+/// helpers both need. The tree is used by LICM to find natural loops and
+/// safe hoisting points; the frontier drives mem2reg's phi placement.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +63,32 @@ private:
   /// and by dominates()).
   std::unordered_map<const BasicBlock *, unsigned> PostOrderIndex;
   const BasicBlock *Entry = nullptr;
+};
+
+/// Dominance frontiers (Cooper-Harvey-Kennedy "runner" walk): DF(B) is
+/// the set of blocks where B's dominance ends -- exactly where mem2reg
+/// must merge values defined in B with values from other paths. Only
+/// reachable blocks have entries.
+class DominanceFrontier {
+public:
+  /// Computes the frontiers of \p F from its dominator tree \p DT.
+  static DominanceFrontier compute(const Function &F,
+                                   const DominatorTree &DT);
+
+  /// Returns DF(BB); empty for unreachable blocks and blocks whose
+  /// dominance never ends (e.g. ones dominating the whole exit path).
+  const std::vector<const BasicBlock *> &frontier(const BasicBlock *BB)
+      const {
+    auto It = Frontiers.find(BB);
+    return It == Frontiers.end() ? Empty : It->second;
+  }
+
+private:
+  /// Frontier sets in deterministic (function block) order.
+  std::unordered_map<const BasicBlock *,
+                     std::vector<const BasicBlock *>>
+      Frontiers;
+  std::vector<const BasicBlock *> Empty;
 };
 
 } // namespace ir

@@ -73,6 +73,16 @@ public:
     return Instructions;
   }
 
+  /// Returns the index of the first non-phi instruction (== size() for a
+  /// block of only phis). Phis are contiguous at the head of a block.
+  size_t firstNonPhiIndex() const {
+    size_t Idx = 0;
+    while (Idx < Instructions.size() &&
+           Instructions[Idx]->opcode() == Opcode::Phi)
+      ++Idx;
+    return Idx;
+  }
+
   /// Returns the position of \p I in this block; asserts if absent.
   size_t indexOf(const Instruction *I) const {
     for (size_t Idx = 0; Idx < Instructions.size(); ++Idx)

@@ -96,6 +96,8 @@ const char *ir::opcodeName(Opcode Op) {
     return "select";
   case Opcode::Call:
     return "call";
+  case Opcode::Phi:
+    return "phi";
   case Opcode::Br:
     return "br";
   case Opcode::CondBr:
@@ -332,6 +334,18 @@ Instruction *IRBuilder::createCall(Builtin B, std::vector<Value *> Args,
                                          std::move(Args), std::move(Name));
   I->setCallee(B);
   return insert(std::move(I));
+}
+
+Instruction *IRBuilder::createPhi(Type Ty, std::string Name) {
+  assert(!Ty.isVoid() && "phi must produce a value");
+  assert(Block && "no insertion point set");
+  auto I = std::make_unique<Instruction>(Opcode::Phi, Ty,
+                                         std::vector<Value *>{},
+                                         std::move(Name));
+  size_t At = Block->firstNonPhiIndex();
+  if (InsertAtIndex && At <= Index_)
+    ++Index_; // Keep an index-mode insertion point stable.
+  return Block->insert(At, std::move(I));
 }
 
 Instruction *IRBuilder::createBr(BasicBlock *Target) {

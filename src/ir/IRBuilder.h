@@ -87,6 +87,11 @@ public:
   Instruction *createCall(Builtin B, std::vector<Value *> Args,
                           std::string Name = "");
 
+  /// Creates an empty phi of type \p Ty at the head of the current block
+  /// (after any existing phis), regardless of the insertion point. Fill it
+  /// with Instruction::addIncoming.
+  Instruction *createPhi(Type Ty, std::string Name = "");
+
   Instruction *createBr(BasicBlock *Target);
   Instruction *createCondBr(Value *Cond, BasicBlock *TrueBB,
                             BasicBlock *FalseBB);

@@ -7,9 +7,13 @@
 /// \file
 /// Instruction set of the kernel IR. Instructions are Values (their result)
 /// with an opcode and an operand list. Control flow is explicit via basic
-/// blocks and Br/CondBr/Ret terminators. There are no phi nodes; mutable
-/// variables are modeled with private Alloca + Load/Store (pre-mem2crux
-/// form), which keeps both the interpreter and the transforms simple.
+/// blocks and Br/CondBr/Ret terminators. The frontend emits mutable
+/// variables as private Alloca + Load/Store; the mem2reg pass then
+/// promotes the scalar ones to SSA values with Phi nodes, so IR may be in
+/// either form. Phis carry their incoming blocks out of line (parallel to
+/// the operand list), must sit at the head of their block, and are the
+/// only instructions whose operands may be defined in later blocks (loop
+/// back edges).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +60,7 @@ enum class Opcode : uint8_t {
   // Misc.
   Select, ///< Select(cond, a, b).
   Call,   ///< Builtin call, see Builtin.
+  Phi,    ///< SSA merge; one value per predecessor block.
   // Terminators.
   Br,
   CondBr,
@@ -150,6 +155,51 @@ public:
     Callee = B;
   }
 
+  // Phi accessors. Incoming values live in the operand list; the matching
+  // predecessor blocks are stored out of line, index-parallel to it.
+  unsigned numIncoming() const {
+    assert(Op == Opcode::Phi);
+    return numOperands();
+  }
+  Value *incomingValue(unsigned I) const {
+    assert(Op == Opcode::Phi);
+    return operand(I);
+  }
+  void setIncomingValue(unsigned I, Value *V) {
+    assert(Op == Opcode::Phi);
+    setOperand(I, V);
+  }
+  BasicBlock *incomingBlock(unsigned I) const {
+    assert(Op == Opcode::Phi && I < Incoming.size());
+    return Incoming[I];
+  }
+  void addIncoming(Value *V, BasicBlock *Pred) {
+    assert(Op == Opcode::Phi && V && Pred);
+    Operands.push_back(V);
+    Incoming.push_back(Pred);
+  }
+  /// Returns the value flowing in from \p Pred, or null if absent.
+  Value *incomingValueFor(const BasicBlock *Pred) const {
+    assert(Op == Opcode::Phi);
+    for (unsigned I = 0; I < Incoming.size(); ++I)
+      if (Incoming[I] == Pred)
+        return Operands[I];
+    return nullptr;
+  }
+  /// Drops the entry for \p Pred (no-op if absent). Used when a branch
+  /// fold removes a CFG edge.
+  void removeIncomingFor(const BasicBlock *Pred) {
+    assert(Op == Opcode::Phi);
+    for (unsigned I = 0; I < Incoming.size();) {
+      if (Incoming[I] == Pred) {
+        Operands.erase(Operands.begin() + I);
+        Incoming.erase(Incoming.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+  }
+
   // Branch target accessors; targets are stored out of the operand list
   // because they are blocks, not values.
   BasicBlock *branchTarget(unsigned I) const {
@@ -170,6 +220,7 @@ private:
   std::vector<Value *> Operands;
   BasicBlock *Parent = nullptr;
   BasicBlock *Targets[2] = {nullptr, nullptr};
+  std::vector<BasicBlock *> Incoming; ///< Phi predecessor blocks.
   unsigned AllocaCount = 1;
   Builtin Callee = Builtin::Barrier;
 };

@@ -6,11 +6,13 @@
 ///
 /// \file
 /// Conservative loop-invariant code motion over the natural loops of a
-/// kernel. The PCL frontend models every mutable variable as a private
-/// alloca, so loop bodies re-load values like the buffer width and the
-/// work-item coordinates on every iteration; hoisting those loads (and
-/// the arithmetic over them) out of the filter-window loops is the main
-/// dynamic ALU saving a real kernel compiler would get from mem2reg.
+/// kernel. In the default pipeline LICM runs after mem2reg has promoted
+/// private scalars to SSA values, so its main job is hoisting the
+/// invariant *arithmetic* those values feed (address computations, clamp
+/// chains) out of the filter-window loops. The private-scalar-load rule
+/// below still matters for what mem2reg must leave in memory form --
+/// barrier-crossing scalars -- and for pipelines that run without
+/// mem2reg.
 ///
 /// Hoisting is speculation-safe by construction -- the simulated device
 /// faults on out-of-bounds accesses, so only never-faulting instructions

@@ -1,0 +1,453 @@
+//===- ir/Mem2Reg.cpp -------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Mem2Reg.h"
+
+#include "ir/AnalysisManager.h"
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Everything known about one candidate alloca.
+struct AllocaInfo {
+  Instruction *Alloca = nullptr;
+  std::vector<Instruction *> Loads;
+  std::vector<Instruction *> Stores;
+  /// Blocks storing to the variable (definition points).
+  std::unordered_set<const BasicBlock *> DefBlocks;
+  /// Blocks reading the variable before writing it (upward-exposed).
+  std::unordered_set<const BasicBlock *> UseBlocks;
+  /// Blocks where the variable is live on entry (pruned phi placement).
+  std::unordered_set<const BasicBlock *> LiveIn;
+};
+
+class PromoterImpl {
+public:
+  PromoterImpl(Function &F, Module &M, AnalysisManager &AM)
+      : F(F), M(M), AM(AM) {}
+
+  unsigned run() {
+    collectCandidates();
+    if (Candidates.empty())
+      return 0;
+    computeLiveness();
+    dropBarrierCrossing();
+    if (Candidates.empty())
+      return 0;
+    const DominatorTree &DT = AM.getDominatorTree(F);
+    const DominanceFrontier &DF = AM.getDominanceFrontier(F);
+    insertPhis(DF);
+    rename(DT);
+    rewriteOperands();
+    fillMissingIncoming();
+    erasePromoted();
+    unsigned Trivial = removeTrivialPhis();
+    unsigned Changes = static_cast<unsigned>(Candidates.size());
+    for (const AllocaInfo &A : Candidates)
+      Changes += static_cast<unsigned>(A.Loads.size() + A.Stores.size());
+    assert(PhisInserted >= Trivial && "removed more phis than inserted");
+    Changes += PhisInserted - Trivial;
+    return Changes;
+  }
+
+private:
+  //===--- Candidate selection ---------------------------------------------//
+
+  /// Finds private scalar allocas whose every use is a direct load/store
+  /// in a reachable block. Barrier exclusion happens later, once
+  /// block-level liveness is known (see dropBarrierCrossing).
+  void collectCandidates() {
+    // Flat layout index per instruction and the use lists of every
+    // alloca, in one walk.
+    std::unordered_map<const Instruction *, size_t> FlatIndex;
+    std::unordered_map<const Instruction *, AllocaInfo> Infos;
+    std::unordered_set<const Instruction *> Disqualified;
+    // Reachability without forcing a dominator-tree computation order
+    // dependency: flood from the entry.
+    std::unordered_set<const BasicBlock *> Reachable;
+    {
+      std::vector<const BasicBlock *> Work = {F.entry()};
+      while (!Work.empty()) {
+        const BasicBlock *BB = Work.back();
+        Work.pop_back();
+        if (!Reachable.insert(BB).second)
+          continue;
+        for (BasicBlock *Succ : successors(BB))
+          Work.push_back(Succ);
+      }
+    }
+
+    size_t Index = 0;
+    for (const auto &BB : F.blocks()) {
+      bool InReachable = Reachable.count(BB.get()) != 0;
+      for (const auto &IPtr : BB->instructions()) {
+        Instruction *I = IPtr.get();
+        FlatIndex[I] = Index++;
+        if (I->opcode() == Opcode::Alloca &&
+            I->allocaSpace() == AddressSpace::Private &&
+            I->allocaCount() == 1 && InReachable)
+          Infos[I].Alloca = I;
+        // Classify uses of alloca results.
+        for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+          const auto *Op = dyn_cast<Instruction>(I->operand(OpI));
+          if (!Op || Op->opcode() != Opcode::Alloca)
+            continue;
+          bool DirectLoad = I->opcode() == Opcode::Load && OpI == 0;
+          bool DirectStore = I->opcode() == Opcode::Store && OpI == 1;
+          if (!(DirectLoad || DirectStore) || !InReachable) {
+            Disqualified.insert(Op); // Address escapes or dead-code use.
+            continue;
+          }
+          auto It = Infos.find(Op);
+          if (It == Infos.end())
+            continue; // Local/array alloca; never a candidate.
+          if (DirectLoad)
+            It->second.Loads.push_back(I);
+          else
+            It->second.Stores.push_back(I);
+          (DirectStore ? It->second.DefBlocks : It->second.UseBlocks)
+              .insert(BB.get());
+        }
+      }
+    }
+
+    for (auto &[A, Info] : Infos) {
+      if (!Disqualified.count(A))
+        Candidates.push_back(std::move(Info));
+    }
+    // unordered_map iteration order is not deterministic; restore layout
+    // order so phi insertion and naming are stable run to run.
+    std::sort(Candidates.begin(), Candidates.end(),
+              [&](const AllocaInfo &A, const AllocaInfo &B) {
+                return FlatIndex[A.Alloca] < FlatIndex[B.Alloca];
+              });
+  }
+
+  //===--- Barrier exclusion ------------------------------------------------//
+
+  /// Drops candidates whose value is live across any work-group barrier.
+  /// Barriers split kernel execution into phases the simulator schedules
+  /// independently; keeping values that cross a phase boundary in private
+  /// memory mirrors how real kernel compilers avoid stretching register
+  /// live ranges across synchronization points. "Live across" is decided
+  /// at the barrier's program point -- a later load in the same block with
+  /// no intervening store, or live-out of the barrier's block with no
+  /// killing store after the barrier -- which, unlike a layout-order
+  /// interval test, also catches loop-carried values whose live range
+  /// crosses an in-loop barrier only on the back edge.
+  void dropBarrierCrossing() {
+    auto LiveAcross = [&](const AllocaInfo &Info, const BasicBlock *BB,
+                          size_t BarrierPos) {
+      const auto &Instrs = BB->instructions();
+      for (size_t I = BarrierPos + 1; I < Instrs.size(); ++I) {
+        const Instruction *In = Instrs[I].get();
+        if (In->opcode() == Opcode::Load && In->operand(0) == Info.Alloca)
+          return true; // Upward-exposed past the barrier.
+        if (In->opcode() == Opcode::Store && In->numOperands() == 2 &&
+            In->operand(1) == Info.Alloca)
+          return false; // Killed before leaving the block.
+      }
+      for (const BasicBlock *Succ : successors(BB))
+        if (Info.LiveIn.count(Succ))
+          return true;
+      return false;
+    };
+
+    Candidates.erase(
+        std::remove_if(Candidates.begin(), Candidates.end(),
+                       [&](const AllocaInfo &Info) {
+                         for (const auto &BB : F.blocks()) {
+                           const auto &Instrs = BB->instructions();
+                           for (size_t I = 0; I < Instrs.size(); ++I)
+                             if (Instrs[I]->opcode() == Opcode::Call &&
+                                 Instrs[I]->callee() == Builtin::Barrier &&
+                                 LiveAcross(Info, BB.get(), I))
+                               return true;
+                         }
+                         return false;
+                       }),
+        Candidates.end());
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      CandidateIndex[Candidates[I].Alloca] = I;
+  }
+
+  //===--- Liveness (block granularity) ------------------------------------//
+
+  /// Backward flood from the upward-exposed-use blocks, stopping at
+  /// definitions: LiveIn(B) holds iff some path from B's entry reaches a
+  /// load before any store.
+  void computeLiveness() {
+    auto Preds = predecessors(F);
+    for (AllocaInfo &Info : Candidates) {
+      // Loads below a store in their own block are not upward-exposed;
+      // refine the block sets computed during collection.
+      std::unordered_set<const BasicBlock *> Exposed;
+      for (const BasicBlock *BB : Info.UseBlocks) {
+        for (const auto &I : BB->instructions()) {
+          if (I->opcode() == Opcode::Store && I->numOperands() == 2 &&
+              I->operand(1) == Info.Alloca)
+            break; // Killed before any read on this block's paths.
+          if (I->opcode() == Opcode::Load &&
+              I->operand(0) == Info.Alloca) {
+            Exposed.insert(BB);
+            break;
+          }
+        }
+      }
+      std::vector<const BasicBlock *> Work(Exposed.begin(),
+                                           Exposed.end());
+      while (!Work.empty()) {
+        const BasicBlock *BB = Work.back();
+        Work.pop_back();
+        if (!Info.LiveIn.insert(BB).second)
+          continue;
+        auto It = Preds.find(BB);
+        if (It == Preds.end())
+          continue;
+        for (const BasicBlock *Pred : It->second)
+          if (!Info.DefBlocks.count(Pred) && !Info.LiveIn.count(Pred))
+            Work.push_back(Pred);
+      }
+    }
+  }
+
+  //===--- Phi placement ----------------------------------------------------//
+
+  /// Standard iterated dominance frontier of the definition blocks,
+  /// pruned to blocks where the variable is live on entry.
+  void insertPhis(const DominanceFrontier &DF) {
+    for (AllocaInfo &Info : Candidates) {
+      std::vector<const BasicBlock *> Work(Info.DefBlocks.begin(),
+                                           Info.DefBlocks.end());
+      std::unordered_set<const BasicBlock *> HasPhi;
+      while (!Work.empty()) {
+        const BasicBlock *BB = Work.back();
+        Work.pop_back();
+        for (const BasicBlock *Frontier : DF.frontier(BB)) {
+          if (HasPhi.count(Frontier) || !Info.LiveIn.count(Frontier))
+            continue;
+          HasPhi.insert(Frontier);
+          auto Phi = std::make_unique<Instruction>(
+              Opcode::Phi, Info.Alloca->type().pointeeType(),
+              std::vector<Value *>{}, Info.Alloca->name());
+          Instruction *P = const_cast<BasicBlock *>(Frontier)->insert(
+              0, std::move(Phi));
+          PhiAlloca[P] = Info.Alloca;
+          ++PhisInserted;
+          if (!Info.DefBlocks.count(Frontier))
+            Work.push_back(Frontier); // A phi is itself a definition.
+        }
+      }
+    }
+  }
+
+  //===--- Renaming ---------------------------------------------------------//
+
+  Value *zeroFor(const Instruction *Alloca) {
+    return Alloca->type().pointeeType().isFloat()
+               ? static_cast<Value *>(M.getFloat(0.0f))
+               : static_cast<Value *>(M.getInt(0));
+  }
+
+  /// Follows the replacement chain (a replaced load may have been stored
+  /// into another promoted variable).
+  Value *resolve(Value *V) {
+    auto It = Replacements.find(V);
+    while (It != Replacements.end()) {
+      V = It->second;
+      It = Replacements.find(V);
+    }
+    return V;
+  }
+
+  const Instruction *promotedPointer(const Instruction *I,
+                                     unsigned PtrOp) const {
+    const auto *A = dyn_cast<Instruction>(I->operand(PtrOp));
+    return A && CandidateIndex.count(A) ? A : nullptr;
+  }
+
+  /// Dominator-tree walk threading the reaching definition of every
+  /// candidate through loads, stores, and successor phis.
+  void rename(const DominatorTree &DT) {
+    // Children lists in function block order for determinism.
+    std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+        Children;
+    for (const auto &BB : F.blocks())
+      if (const BasicBlock *IDom = DT.idom(BB.get()))
+        Children[IDom].push_back(BB.get());
+
+    using DefMap = std::unordered_map<const Instruction *, Value *>;
+    struct Frame {
+      BasicBlock *BB;
+      DefMap Defs;
+    };
+    std::vector<Frame> Stack;
+    Stack.push_back({F.entry(), {}});
+
+    while (!Stack.empty()) {
+      Frame Fr = std::move(Stack.back());
+      Stack.pop_back();
+
+      for (const auto &IPtr : Fr.BB->instructions()) {
+        Instruction *I = IPtr.get();
+        auto PhiIt = PhiAlloca.find(I);
+        if (PhiIt != PhiAlloca.end()) {
+          Fr.Defs[PhiIt->second] = I;
+          continue;
+        }
+        if (I->opcode() == Opcode::Load) {
+          if (const Instruction *A = promotedPointer(I, 0)) {
+            auto DefIt = Fr.Defs.find(A);
+            Replacements[I] = DefIt != Fr.Defs.end()
+                                  ? resolve(DefIt->second)
+                                  : zeroFor(A);
+          }
+        } else if (I->opcode() == Opcode::Store) {
+          if (const Instruction *A = promotedPointer(I, 1))
+            Fr.Defs[A] = resolve(I->operand(0));
+        }
+      }
+
+      for (BasicBlock *Succ : successors(Fr.BB))
+        for (const auto &IPtr : Succ->instructions()) {
+          auto PhiIt = PhiAlloca.find(IPtr.get());
+          if (PhiIt == PhiAlloca.end()) {
+            if (IPtr->opcode() != Opcode::Phi)
+              break; // Phis are contiguous at the head.
+            continue; // Pre-existing phi; not ours to fill.
+          }
+          auto DefIt = Fr.Defs.find(PhiIt->second);
+          IPtr->addIncoming(DefIt != Fr.Defs.end()
+                                ? resolve(DefIt->second)
+                                : zeroFor(PhiIt->second),
+                            Fr.BB);
+        }
+
+      auto ChildIt = Children.find(Fr.BB);
+      if (ChildIt != Children.end())
+        for (BasicBlock *Child : ChildIt->second)
+          Stack.push_back({Child, Fr.Defs});
+    }
+  }
+
+  //===--- Cleanup -----------------------------------------------------------//
+
+  /// Routes every remaining operand through the replacement chain.
+  void rewriteOperands() {
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+          Value *R = resolve(I->operand(OpI));
+          if (R != I->operand(OpI))
+            I->setOperand(OpI, R);
+        }
+  }
+
+  /// Phis in blocks with unreachable predecessors never saw those edges
+  /// during the (reachable-only) renaming walk; feed them zeros so the
+  /// one-incoming-per-predecessor invariant holds.
+  void fillMissingIncoming() {
+    auto Preds = predecessors(F);
+    for (const auto &[Phi, Alloca] : PhiAlloca) {
+      auto It = Preds.find(Phi->parent());
+      if (It == Preds.end())
+        continue;
+      for (BasicBlock *Pred : It->second)
+        if (!Phi->incomingValueFor(Pred))
+          Phi->addIncoming(zeroFor(Alloca), Pred);
+    }
+  }
+
+  /// Drops the promoted allocas and their loads and stores.
+  void erasePromoted() {
+    std::unordered_set<const Instruction *> Dead;
+    for (const AllocaInfo &Info : Candidates) {
+      Dead.insert(Info.Alloca);
+      Dead.insert(Info.Loads.begin(), Info.Loads.end());
+      Dead.insert(Info.Stores.begin(), Info.Stores.end());
+    }
+    for (const auto &BB : F.blocks()) {
+      auto &Instrs = BB->mutableInstructions();
+      Instrs.erase(std::remove_if(Instrs.begin(), Instrs.end(),
+                                  [&](const auto &I) {
+                                    return Dead.count(I.get()) != 0;
+                                  }),
+                   Instrs.end());
+    }
+  }
+
+  /// Minimal-SSA placement plus single-store variables leave phis whose
+  /// incoming values are all one value (or the phi itself, through loop
+  /// back edges); collapse them until none remain.
+  unsigned removeTrivialPhis() {
+    unsigned Removed = 0;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (auto It = PhiAlloca.begin(); It != PhiAlloca.end();) {
+        Instruction *Phi = It->first;
+        Value *Same = nullptr;
+        bool Trivial = true;
+        for (unsigned I = 0; I < Phi->numIncoming(); ++I) {
+          Value *V = Phi->incomingValue(I);
+          if (V == Phi)
+            continue;
+          if (Same && V != Same) {
+            Trivial = false;
+            break;
+          }
+          Same = V;
+        }
+        if (!Trivial) {
+          ++It;
+          continue;
+        }
+        if (!Same) // Only self-references: a dead cycle; feed it zero.
+          Same = zeroFor(It->second);
+        for (const auto &BB : F.blocks())
+          for (const auto &I : BB->instructions())
+            I->replaceUsesOfWith(Phi, Same);
+        BasicBlock *BB = Phi->parent();
+        auto &Instrs = BB->mutableInstructions();
+        Instrs.erase(std::remove_if(Instrs.begin(), Instrs.end(),
+                                    [&](const auto &I) {
+                                      return I.get() == Phi;
+                                    }),
+                     Instrs.end());
+        It = PhiAlloca.erase(It);
+        ++Removed;
+        Changed = true;
+      }
+    }
+    return Removed;
+  }
+
+  Function &F;
+  Module &M;
+  AnalysisManager &AM;
+
+  std::vector<AllocaInfo> Candidates;
+  std::unordered_map<const Instruction *, size_t> CandidateIndex;
+  /// Inserted phi -> the alloca it merges.
+  std::unordered_map<Instruction *, const Instruction *> PhiAlloca;
+  /// Replaced load (or collapsed phi) -> the value that reaches it.
+  std::unordered_map<const Value *, Value *> Replacements;
+  unsigned PhisInserted = 0;
+};
+
+} // namespace
+
+unsigned ir::promoteMemoryToRegisters(Function &F, Module &M,
+                                      AnalysisManager &AM) {
+  return PromoterImpl(F, M, AM).run();
+}

@@ -1,0 +1,68 @@
+//===- ir/Mem2Reg.h - Promote allocas to SSA values --------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA construction over the frontend's alloca-based variables: private
+/// scalar allocas whose address never escapes are rewritten into SSA
+/// values, with phis placed on the iterated dominance frontier of the
+/// store blocks (pruned by block-level liveness) and filled in by a
+/// dominator-tree renaming walk. Loads become uses of the reaching
+/// definition, stores and the alloca itself disappear.
+///
+/// An alloca is promotable when all of the following hold:
+///
+///  * it is a one-element **private** alloca of int or float -- local
+///    allocas are shared across work items and arrays are indexed through
+///    GEPs with runtime indices, so both keep their memory form;
+///  * every use is a direct load or a store of a value **to** it (the
+///    pointer operand); a GEP over it takes the address and disqualifies
+///    it;
+///  * all uses sit in blocks reachable from the entry (uses in dead
+///    blocks would otherwise reference the deleted alloca);
+///  * its value is not live across any work-group barrier (decided at
+///    each barrier's program point from block-level liveness, so a
+///    loop-carried value whose live range crosses an in-loop barrier
+///    only on the back edge is excluded too). Barriers split kernel
+///    execution into phases the simulator schedules independently;
+///    keeping values that cross a phase boundary in private memory
+///    mirrors how real kernel compilers avoid stretching register live
+///    ranges across synchronization points.
+///
+/// Loads that execute before any store yield a zero of the element type
+/// (reading an uninitialized variable; the simulator zero-fills the
+/// private arena for every work-group, so behavior is unchanged).
+///
+/// Runs as the "mem2reg" registered pass at the head of the default
+/// pipeline; it needs no fixpoint iteration (one application promotes
+/// everything it ever will) and preserves the CFG, so the cached
+/// DominatorTree/DominanceFrontier survive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_MEM2REG_H
+#define KPERF_IR_MEM2REG_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+class AnalysisManager;
+class Module;
+
+/// Promotes every promotable private scalar alloca of \p F to SSA form.
+/// \p M supplies the zero constants for loads of uninitialized variables;
+/// \p AM supplies the cached DominatorTree and DominanceFrontier.
+/// \returns the number of IR changes made (allocas promoted + phis
+/// inserted + loads rewritten + stores removed), 0 when nothing was
+/// promotable.
+unsigned promoteMemoryToRegisters(Function &F, Module &M,
+                                  AnalysisManager &AM);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_MEM2REG_H

@@ -5,8 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Block-local memory traffic cleanups over the alloca-based variables the
-/// PCL frontend emits:
+/// Block-local memory traffic cleanups over alloca-based variables. In
+/// the default pipeline mem2reg first promotes private scalars to SSA
+/// outright; these passes then cover what promotion must skip -- arrays
+/// indexed through GEPs, local-memory tiles, and scalars whose live
+/// range crosses a barrier -- and any pipeline that runs without
+/// mem2reg:
 ///
 ///  * **store-to-load forwarding** -- a load that follows a store to the
 ///    same address in the same block, with no intervening write that

@@ -9,6 +9,7 @@
 #include "ir/CSE.h"
 #include "ir/DCE.h"
 #include "ir/LICM.h"
+#include "ir/Mem2Reg.h"
 #include "ir/MemOpt.h"
 #include "ir/Simplify.h"
 #include "ir/Verifier.h"
@@ -82,6 +83,18 @@ public:
   bool preservesCFG() const override { return true; }
 };
 
+/// SSA promotion of private scalar allocas. Inserts phis and deletes
+/// loads/stores/allocas but never touches the block set or branch edges,
+/// so the dominator tree and frontier it reads stay valid.
+class Mem2RegPass : public FunctionPass {
+public:
+  const char *name() const override { return "mem2reg"; }
+  unsigned run(Function &F, Module &M, AnalysisManager &AM) override {
+    return promoteMemoryToRegisters(F, M, AM);
+  }
+  bool preservesCFG() const override { return true; }
+};
+
 /// Trivial dead code elimination; removes non-terminators only.
 class DCEPass : public FunctionPass {
 public:
@@ -110,6 +123,8 @@ PassRegistry &PassRegistry::instance() {
     Reg->registerPass("memopt-dse",
                       [] { return std::make_unique<MemOptDSEPass>(); });
     Reg->registerPass("licm", [] { return std::make_unique<LICMPass>(); });
+    Reg->registerPass("mem2reg",
+                      [] { return std::make_unique<Mem2RegPass>(); });
     Reg->registerPass("dce", [] { return std::make_unique<DCEPass>(); });
     return Reg;
   }();
@@ -449,5 +464,10 @@ Expected<PipelineStats> PassPipeline::run(Function &F, Module &M,
 }
 
 const char *ir::defaultPipelineSpec() {
-  return "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)";
+  // mem2reg leads: one application promotes everything it ever will, and
+  // the passes behind it then iterate over far less private-memory
+  // traffic (memopt survives for what mem2reg must skip: arrays, locals,
+  // barrier-crossing scalars).
+  return "mem2reg,fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,"
+         "dce)";
 }

@@ -10,7 +10,7 @@
 ///
 ///  * FunctionPass -- the pass interface: run on one function, report how
 ///    many changes were made, declare whether the CFG survived;
-///  * PassRegistry -- maps textual names ("simplify", "cse",
+///  * PassRegistry -- maps textual names ("mem2reg", "simplify", "cse",
 ///    "memopt-forward", "memopt-dse", "licm", "dce") to pass factories;
 ///  * PassPipeline -- a parsed pipeline specification such as
 ///
@@ -117,6 +117,7 @@ struct PipelineStats {
   double totalMillis() const;
 
   /// Named accessors for the classic pipeline's reporting.
+  unsigned promoted() const { return changes("mem2reg"); }
   unsigned simplified() const { return changes("simplify"); }
   unsigned merged() const { return changes("cse"); }
   unsigned forwarded() const { return changes("memopt-forward"); }

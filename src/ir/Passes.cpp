@@ -30,9 +30,15 @@ std::string PipelineOptions::spec() const {
     Names.push_back("memopt-dse");
   if (DCE)
     Names.push_back("dce");
-  if (Names.empty())
-    return "";
-  return "fixpoint(" + join(Names, ",") + ")";
+  std::string Spec;
+  if (Mem2Reg)
+    Spec = "mem2reg"; // Once, ahead of the fixpoint group.
+  if (!Names.empty()) {
+    if (!Spec.empty())
+      Spec += ',';
+    Spec += "fixpoint(" + join(Names, ",") + ")";
+  }
+  return Spec;
 }
 
 Expected<PipelineStats> ir::runPipelineSpec(Function &F, Module &M,

@@ -30,6 +30,7 @@ namespace ir {
 /// favor of pipeline spec strings; retained as the compatibility shim for
 /// callers predating the pass manager.
 struct PipelineOptions {
+  bool Mem2Reg = true; ///< SSA promotion ahead of the fixpoint group.
   bool Simplify = true;
   bool CSE = true;
   bool MemOpt = true; ///< Store forwarding + dead-store elimination.
@@ -37,7 +38,7 @@ struct PipelineOptions {
   bool DCE = true;
 
   static PipelineOptions none() {
-    return {false, false, false, false, false};
+    return {false, false, false, false, false, false};
   }
 
   /// The pipeline spec these options describe: the default fixpoint

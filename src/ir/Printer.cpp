@@ -42,13 +42,20 @@ public:
 
 private:
   void nameValues() {
+    // Passes may hand several instructions the same name (mem2reg names
+    // every phi after its alloca); uniquify with a ".N" suffix so the
+    // printed IR stays unambiguous.
     unsigned Next = 0;
+    std::unordered_map<std::string, unsigned> Taken;
     for (const auto &BB : F.blocks())
       for (const auto &I : BB->instructions())
         if (!I->type().isVoid()) {
           std::string Name = I->name().empty()
                                  ? format("%u", Next++)
                                  : I->name();
+          unsigned Dup = Taken[Name]++;
+          if (Dup > 0)
+            Name += format(".%u", Dup);
           Names[I.get()] = Name;
         }
   }
@@ -91,6 +98,14 @@ private:
         Out += ref(I.operand(OI));
       }
       Out += ")";
+      break;
+    case Opcode::Phi:
+      Out += "phi";
+      for (unsigned OI = 0; OI < I.numIncoming(); ++OI) {
+        Out += OI ? ", [" : " [";
+        Out += ref(I.incomingValue(OI)) + ", " +
+               I.incomingBlock(OI)->name() + "]";
+      }
       break;
     default:
       Out += opcodeName(I.opcode());

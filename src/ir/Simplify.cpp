@@ -76,6 +76,16 @@ private:
     if (!C)
       return false;
     BasicBlock *Target = T->branchTarget(C->value() ? 0 : 1);
+    BasicBlock *Dropped = T->branchTarget(C->value() ? 1 : 0);
+    // The edge BB -> Dropped disappears; phis there must shed the
+    // matching incoming entry or the verifier's exact-predecessor-match
+    // rule breaks.
+    if (Dropped != Target)
+      for (const auto &I : Dropped->instructions()) {
+        if (I->opcode() != Opcode::Phi)
+          break; // Phis are contiguous at the head.
+        I->removeIncomingFor(&BB);
+      }
     auto Br = std::make_unique<Instruction>(
         Opcode::Br, Type::voidTy(), std::vector<Value *>{}, "");
     Br->setBranchTarget(0, Target);
@@ -174,6 +184,20 @@ private:
     }
     case Opcode::Call:
       return simplifyCall(I);
+    case Opcode::Phi: {
+      // A phi whose incoming values (ignoring self-references through
+      // loop back edges) agree is that value.
+      Value *Same = nullptr;
+      for (unsigned OI = 0; OI < I.numIncoming(); ++OI) {
+        Value *V = I.incomingValue(OI);
+        if (V == &I)
+          continue;
+        if (Same && V != Same)
+          return nullptr;
+        Same = V;
+      }
+      return Same;
+    }
     default:
       return nullptr;
     }

@@ -6,6 +6,7 @@
 
 #include "ir/Verifier.h"
 
+#include "ir/Dominators.h"
 #include "support/StringUtils.h"
 
 #include <unordered_map>
@@ -25,6 +26,7 @@ public:
     if (F.numBlocks() == 0)
       return fail("function has no blocks");
     indexDefinitions();
+    Preds = predecessors(F);
     for (size_t BI = 0; BI < F.numBlocks(); ++BI)
       if (Error E = checkBlock(BI))
         return E;
@@ -49,6 +51,7 @@ private:
     const BasicBlock *BB = F.block(BI);
     if (BB->empty())
       return fail(format("block '%s' is empty", BB->name().c_str()));
+    size_t FirstNonPhi = BB->firstNonPhiIndex();
     for (size_t II = 0; II < BB->size(); ++II) {
       const Instruction *I = BB->at(II);
       bool IsLast = II + 1 == BB->size();
@@ -58,6 +61,10 @@ private:
                            I->isTerminator() ? "terminator in the middle"
                                              : "missing terminator",
                            II));
+      if (I->opcode() == Opcode::Phi && II >= FirstNonPhi)
+        return fail(format("block '%s': phi below non-phi instructions "
+                           "at position %zu",
+                           BB->name().c_str(), II));
       if (Error E = checkInstruction(I, BI))
         return E;
     }
@@ -82,8 +89,11 @@ private:
   }
 
   Error checkInstruction(const Instruction *I, size_t BI) {
-    if (Error E = checkOperandsDefined(I, BI))
-      return E;
+    // Phi operands flow in along CFG edges and may be defined in later
+    // blocks (loop back edges), so the ordering rule does not apply.
+    if (I->opcode() != Opcode::Phi)
+      if (Error E = checkOperandsDefined(I, BI))
+        return E;
     switch (I->opcode()) {
     case Opcode::Alloca:
       if (!I->type().isPointer() ||
@@ -180,6 +190,8 @@ private:
       return Error::success();
     case Opcode::Call:
       return checkCall(I);
+    case Opcode::Phi:
+      return checkPhi(I, BI);
     case Opcode::Br:
       if (!Blocks.count(I->branchTarget(0)))
         return fail("br target not in function");
@@ -195,6 +207,50 @@ private:
       return Error::success();
     }
     return fail("unknown opcode");
+  }
+
+  /// A phi must carry exactly one incoming value per distinct predecessor
+  /// of its block, each matching the phi's (non-void) type. The entry
+  /// block has no predecessors, so it can hold no phis.
+  Error checkPhi(const Instruction *I, size_t BI) {
+    const BasicBlock *BB = F.block(BI);
+    if (BI == 0)
+      return fail("phi in the entry block");
+    if (I->type().isVoid())
+      return fail("phi of void type");
+    std::unordered_set<const BasicBlock *> Seen;
+    for (unsigned II = 0; II < I->numIncoming(); ++II) {
+      const BasicBlock *Pred = I->incomingBlock(II);
+      if (!Blocks.count(Pred))
+        return fail(format("block '%s': phi incoming block '%s' not in "
+                           "function",
+                           BB->name().c_str(), Pred->name().c_str()));
+      if (!Seen.insert(Pred).second)
+        return fail(format("block '%s': duplicate phi incoming for '%s'",
+                           BB->name().c_str(), Pred->name().c_str()));
+      if (I->incomingValue(II)->type() != I->type())
+        return fail(format("block '%s': phi incoming from '%s' has "
+                           "mismatched type",
+                           BB->name().c_str(), Pred->name().c_str()));
+      const auto *OpInst = dyn_cast<Instruction>(I->incomingValue(II));
+      if (OpInst && !DefBlock.count(OpInst))
+        return fail(format("block '%s': phi uses operand from another "
+                           "function",
+                           BB->name().c_str()));
+    }
+    auto PredsIt = Preds.find(BB);
+    size_t NumPreds = PredsIt == Preds.end() ? 0 : PredsIt->second.size();
+    if (Seen.size() != NumPreds)
+      return fail(format("block '%s': phi has %zu incoming for %zu "
+                         "predecessors",
+                         BB->name().c_str(), Seen.size(), NumPreds));
+    if (PredsIt != Preds.end())
+      for (const BasicBlock *Pred : PredsIt->second)
+        if (!Seen.count(Pred))
+          return fail(format("block '%s': phi missing incoming for "
+                             "predecessor '%s'",
+                             BB->name().c_str(), Pred->name().c_str()));
+    return Error::success();
   }
 
   Error checkCall(const Instruction *I) {
@@ -250,6 +306,7 @@ private:
   const Function &F;
   std::unordered_map<const Instruction *, size_t> DefBlock;
   std::unordered_set<const BasicBlock *> Blocks;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
 };
 
 } // namespace

@@ -48,10 +48,10 @@ kernel void k(global const float* in, global float* out, int w, int h) {
 TEST(PassRegistryTest, BuiltinPassesAreRegistered) {
   std::vector<std::string> Names =
       PassRegistry::instance().registeredNames();
-  for (const char *Expected : {"cse", "dce", "licm", "memopt-dse",
-                               "memopt-forward", "simplify"})
+  for (const char *Expected : {"cse", "dce", "licm", "mem2reg",
+                               "memopt-dse", "memopt-forward", "simplify"})
     EXPECT_TRUE(PassRegistry::instance().contains(Expected)) << Expected;
-  EXPECT_GE(Names.size(), 6u);
+  EXPECT_GE(Names.size(), 7u);
   EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
 }
 
@@ -143,16 +143,20 @@ TEST(PipelineRunTest, StatsDeriveFromSinglePerPassTable) {
   for (const PassExecution &E : Stats.Passes)
     TableSum += E.Changes;
   EXPECT_EQ(Stats.total(), TableSum);
-  EXPECT_EQ(Stats.simplified() + Stats.merged() + Stats.forwarded() +
-                Stats.hoisted() + Stats.deadStores() + Stats.deleted(),
+  EXPECT_EQ(Stats.promoted() + Stats.simplified() + Stats.merged() +
+                Stats.forwarded() + Stats.hoisted() + Stats.deadStores() +
+                Stats.deleted(),
             Stats.total());
   EXPECT_GT(Stats.total(), 0u);
+  EXPECT_GT(Stats.promoted(), 0u); // mem2reg promoted the scalar allocas.
   EXPECT_GE(Stats.Iterations, 2u); // Work round plus the no-change round.
 
-  // Every pass in the default pipeline ran once per round.
-  ASSERT_EQ(Stats.Passes.size(), 6u);
+  // mem2reg runs once ahead of the fixpoint group; every pass inside the
+  // group ran once per round.
+  ASSERT_EQ(Stats.Passes.size(), 7u);
   for (const PassExecution &E : Stats.Passes)
-    EXPECT_EQ(E.Invocations, Stats.Iterations) << E.Name;
+    EXPECT_EQ(E.Invocations, E.Name == "mem2reg" ? 1u : Stats.Iterations)
+        << E.Name;
 }
 
 TEST(PipelineRunTest, TimingIsRecordedPerPass) {
@@ -206,7 +210,12 @@ TEST(PipelineOptionsTest, SpecMapsOntoPipelineStrings) {
   NoCse.CSE = false;
   NoCse.MemOpt = false;
   NoCse.LICM = false;
+  EXPECT_EQ(NoCse.spec(), "mem2reg,fixpoint(simplify,dce)");
+  NoCse.Mem2Reg = false;
   EXPECT_EQ(NoCse.spec(), "fixpoint(simplify,dce)");
+  PipelineOptions OnlyMem2Reg = PipelineOptions::none();
+  OnlyMem2Reg.Mem2Reg = true;
+  EXPECT_EQ(OnlyMem2Reg.spec(), "mem2reg");
 }
 
 TEST(PipelineOptionsTest, ShimMatchesDirectSpecRun) {
@@ -218,8 +227,8 @@ TEST(PipelineOptionsTest, ShimMatchesDirectSpecRun) {
   NoCse.MemOpt = false;
   NoCse.LICM = false;
   PipelineStats A = runPipeline(*F1, C1.module(), NoCse);
-  Expected<PipelineStats> B =
-      runPipelineSpec(*F2, C2.module(), "fixpoint(simplify,dce)");
+  Expected<PipelineStats> B = runPipelineSpec(
+      *F2, C2.module(), "mem2reg,fixpoint(simplify,dce)");
   ASSERT_TRUE(static_cast<bool>(B));
   EXPECT_EQ(A.total(), B->total());
   EXPECT_EQ(A.Iterations, B->Iterations);
@@ -329,13 +338,16 @@ TEST(AnalysisManagerTest, DomTreeComputedAtMostOncePerFixpointRound) {
   AnalysisManager AM;
   Expected<PipelineStats> Stats = P->run(*F, Ctx.module(), AM);
   ASSERT_TRUE(static_cast<bool>(Stats));
-  EXPECT_GT(Stats->hoisted(), 0u); // LICM actually ran and did work.
   EXPECT_GE(Stats->Iterations, 2u);
-  EXPECT_LE(AM.counters().DomTreeComputes, Stats->Iterations);
-  // LICM queried the tree every round; the queries beyond the computes
-  // were cache hits.
+  EXPECT_LE(AM.counters().DomTreeComputes, Stats->Iterations + 1);
+  // mem2reg queries the tree twice up front (directly, and through the
+  // dominance frontier); LICM queries it once every fixpoint round. The
+  // queries beyond the computes were cache hits.
   EXPECT_EQ(AM.counters().DomTreeComputes + AM.counters().DomTreeHits,
-            Stats->Iterations);
+            Stats->Iterations + 2);
+  // The frontier is computed once for the whole run: mem2reg preserves
+  // the CFG, so nothing downstream invalidates it before it is used.
+  EXPECT_EQ(AM.counters().DomFrontierComputes, 1u);
 }
 
 TEST(AnalysisManagerTest, CseOnlyPipelineReusesOneTreeAcrossRounds) {

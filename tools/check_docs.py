@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Documentation link checker (the CI docs job).
+
+Scans every Markdown file in the repository (docs/, README.md, ...) and
+fails if one contains:
+
+  * a dead relative link -- [text](path) where path does not exist
+    relative to the file (anchors and absolute URLs are skipped);
+  * a reference to a nonexistent source path -- any `...`-quoted or
+    table-cell token that looks like src/..., tests/..., bench/...,
+    tools/..., examples/... and does not exist.
+
+Usage: python3 tools/check_docs.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+# Paths quoted in backticks or bare in tables: src/ir/Foo.h, tests/x.cpp,
+# and the `src/ir/Foo.{h,cpp}` pair shorthand.
+SRC_RE = re.compile(
+    r"`((?:src|tests|bench|tools|examples|docs)/"
+    r"[A-Za-z0-9_./-]+(?:\{[A-Za-z0-9_.,]+\}[A-Za-z0-9_./-]*)?)`")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "build", ".github"}
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    for md in markdown_files(root):
+        rel_md = os.path.relpath(md, root)
+        text = open(md, encoding="utf-8").read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md), target))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_md}: dead relative link '{target}'")
+        for match in SRC_RE.finditer(text):
+            target = match.group(1)
+            # `a.h`-style pair shorthand: src/ir/Mem2Reg.{h,cpp}
+            brace = re.match(r"(.*)\{([^}]*)\}(.*)", target)
+            candidates = (
+                [brace.group(1) + ext + brace.group(3)
+                 for ext in brace.group(2).split(",")]
+                if brace else [target])
+            for candidate in candidates:
+                if not os.path.exists(os.path.join(root, candidate)):
+                    errors.append(
+                        f"{rel_md}: reference to nonexistent path "
+                        f"'{candidate}'")
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} documentation error(s).")
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

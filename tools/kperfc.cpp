@@ -13,13 +13,18 @@
 //       Print the detected input footprints and output sites.
 //
 //   kperfc perforate <file.pcl> [--kernel name] [--scheme S] [--recon R]
-//                    [--wg WxH]
+//                    [--wg WxH] [--passes SPEC]
 //       Apply the perforation transform and print the generated IR.
+//       --passes selects the cleanup pipeline run over the perforated
+//       clone (default: the mem2reg-led default pipeline); --time-passes
+//       prints what it did.
 //
 //   kperfc run <file.pcl> --image in.pgm [--out out.pgm] [--kernel name]
-//              [--scheme S] [--recon R] [--wg WxH]
+//              [--scheme S] [--recon R] [--wg WxH] [--passes SPEC]
 //       Run a kernel(in, out, w, h) image filter on a PGM file,
 //       accurately or perforated, and report simulated time + quality.
+//       --passes selects the perforated variant's cleanup pipeline;
+//       --time-passes prints its per-pass statistics.
 //
 //   kperfc tune <file.pcl> [--kernel name] [--image in.pgm] [--budget E]
 //       Explore scheme x reconstruction x work-group configurations for a
@@ -33,10 +38,11 @@
 //       Run an optimization pipeline on the kernel and print the
 //       per-pass change counts (and, with --time-passes, wall-clock
 //       timings) plus the optimized IR. The default pipeline is
-//       fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce);
+//       mem2reg,fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce);
 //       --passes accepts any spec in that grammar, e.g.
 //       --passes=fixpoint(simplify,cse,dce). Invoking kperfc with
 //       --passes and no command is shorthand for the passes command.
+//       See docs/PASSES.md for the full grammar and pass reference.
 //
 // Schemes: baseline | rows1 | rows2 | cols1 | cols2 | stencil
 // Recon:   nn | li
@@ -402,6 +408,8 @@ int cmdRun(const Options &O, const std::string &Source) {
                 static_cast<unsigned long long>(
                     App->Totals.GlobalReadTransactions),
                 O.Scheme.str().c_str());
+    if (O.TimePasses)
+      std::printf("cleanup:    %s\n", P->PassStats.str().c_str());
     std::printf("speedup:    %.2fx\n", Acc->TimeMs / App->TimeMs);
     std::printf("MRE:        %.5f   mean error: %.5f   PSNR: %.1f dB\n",
                 img::meanRelativeError(Reference, Final),
