@@ -63,18 +63,18 @@ VariantSpec VariantSpec::outputApprox(perf::OutputSchemeKind K,
 
 namespace {
 
-Expected<BuiltKernel> buildVariant(const App &TheApp, rt::Context &Ctx,
+Expected<rt::Variant> buildVariant(const App &TheApp, rt::Session &S,
                                    const VariantSpec &Variant,
                                    sim::Range2 Local) {
   switch (Variant.K) {
   case VariantSpec::Kind::Baseline:
-    return TheApp.buildBaseline(Ctx, Local);
+    return TheApp.buildBaseline(S, Local);
   case VariantSpec::Kind::Plain:
-    return TheApp.buildPlain(Ctx, Local);
+    return TheApp.buildPlain(S, Local);
   case VariantSpec::Kind::Perforated:
-    return TheApp.buildPerforated(Ctx, Variant.Scheme, Local);
+    return TheApp.buildPerforated(S, Variant.Scheme, Local);
   case VariantSpec::Kind::OutputApprox:
-    return TheApp.buildOutputApprox(Ctx, Variant.OutKind,
+    return TheApp.buildOutputApprox(S, Variant.OutKind,
                                     Variant.ApproxPerComputed, Local);
   }
   return makeError("unknown variant kind");
@@ -92,37 +92,32 @@ bench::evaluateVariant(const App &TheApp, const VariantSpec &Variant,
   VariantEval Eval;
   Eval.Label = Variant.Label;
 
+  // One session for the whole evaluation: the source compiles once and
+  // the variant is built once (the baseline shares the compile through
+  // the session's cache).
+  rt::Session S;
+  Expected<rt::Variant> Base = TheApp.buildBaseline(S, Local);
+  if (!Base)
+    return Base.takeError();
+  Expected<rt::Variant> BK = buildVariant(TheApp, S, Variant, Local);
+  if (!BK)
+    return BK.takeError();
+
   // Timing: baseline vs. variant on the first workload (speedup does not
   // depend on input content, paper section 6.2).
-  {
-    rt::Context Ctx;
-    Expected<BuiltKernel> Base = TheApp.buildBaseline(Ctx, Local);
-    if (!Base)
-      return Base.takeError();
-    Expected<RunOutcome> RB = TheApp.run(Ctx, *Base, Workloads.front());
-    if (!RB)
-      return RB.takeError();
-    Eval.BaselineTimeMs = RB->Report.TimeMs;
-  }
-  {
-    rt::Context Ctx;
-    Expected<BuiltKernel> BK = buildVariant(TheApp, Ctx, Variant, Local);
-    if (!BK)
-      return BK.takeError();
-    Expected<RunOutcome> RV = TheApp.run(Ctx, *BK, Workloads.front());
-    if (!RV)
-      return RV.takeError();
-    Eval.TimeMs = RV->Report.TimeMs;
-  }
+  Expected<RunOutcome> RB = TheApp.run(S, *Base, Workloads.front());
+  if (!RB)
+    return RB.takeError();
+  Eval.BaselineTimeMs = RB->Report.TimeMs;
+  Expected<RunOutcome> RV = TheApp.run(S, *BK, Workloads.front());
+  if (!RV)
+    return RV.takeError();
+  Eval.TimeMs = RV->Report.TimeMs;
   Eval.SpeedupVsBaseline = Eval.BaselineTimeMs / Eval.TimeMs;
 
-  // Error distribution over all workloads.
+  // Error distribution over all workloads, reusing the built variant.
   for (const Workload &W : Workloads) {
-    rt::Context Ctx;
-    Expected<BuiltKernel> BK = buildVariant(TheApp, Ctx, Variant, Local);
-    if (!BK)
-      return BK.takeError();
-    Expected<RunOutcome> R = TheApp.run(Ctx, *BK, W);
+    Expected<RunOutcome> R = TheApp.run(S, *BK, W);
     if (!R)
       return R.takeError();
     Eval.Errors.push_back(TheApp.score(TheApp.reference(W), R->Output));
@@ -231,4 +226,94 @@ void bench::printSummaryRow(const std::string &Name,
   std::printf("%-10s %-14s %7.2fx | %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
               Name.c_str(), Config.c_str(), Speedup, S.Min, S.Q1, S.Median,
               S.Q3, S.Max, S.Mean);
+}
+
+//===--- Machine-readable output (--json) -------------------------------------//
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void JsonRecord::add(const std::string &Key, const std::string &Value) {
+  if (!Body.empty())
+    Body += ", ";
+  Body += format("\"%s\": \"%s\"", jsonEscape(Key).c_str(),
+                 jsonEscape(Value).c_str());
+}
+
+void JsonRecord::add(const std::string &Key, const char *Value) {
+  add(Key, std::string(Value));
+}
+
+void JsonRecord::add(const std::string &Key, double Value) {
+  if (!Body.empty())
+    Body += ", ";
+  Body += format("\"%s\": %.6g", jsonEscape(Key).c_str(), Value);
+}
+
+void JsonRecord::add(const std::string &Key, unsigned long long Value) {
+  if (!Body.empty())
+    Body += ", ";
+  Body += format("\"%s\": %llu", jsonEscape(Key).c_str(), Value);
+}
+
+bool bench::parseJsonFlag(int Argc, char **Argv,
+                          const std::string &BenchName,
+                          std::string &Path) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json") {
+      Path = "BENCH_" + BenchName + ".json";
+      return true;
+    }
+    if (A.rfind("--json=", 0) == 0) {
+      Path = A.substr(7);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool bench::writeJsonRecords(const std::string &Path,
+                             const std::vector<JsonRecord> &Records) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fputs("[\n", F);
+  for (size_t I = 0; I < Records.size(); ++I)
+    std::fprintf(F, "  {%s}%s\n", Records[I].body().c_str(),
+                 I + 1 < Records.size() ? "," : "");
+  std::fputs("]\n", F);
+  std::fclose(F);
+  std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());
+  return true;
 }

@@ -71,12 +71,41 @@ struct VariantEval {
 
 /// Builds and runs \p Variant for \p TheApp over \p Workloads; speedup is
 /// measured against the paper baseline (local prefetch where beneficial)
-/// at the same work-group shape. Each evaluation uses a fresh Context.
+/// at the same work-group shape. Each evaluation uses one rt::Session:
+/// the kernel compiles once and the variant is built once, then reused
+/// across all workloads.
 Expected<VariantEval> evaluateVariant(const apps::App &TheApp,
                                       const VariantSpec &Variant,
                                       sim::Range2 Local,
                                       const std::vector<apps::Workload>
                                           &Workloads);
+
+//===--- Machine-readable output (--json) -----------------------------------//
+
+/// One flat JSON object built key by key, for the benchmarks' --json
+/// flags.
+class JsonRecord {
+public:
+  void add(const std::string &Key, const std::string &Value);
+  void add(const std::string &Key, const char *Value);
+  void add(const std::string &Key, double Value);
+  void add(const std::string &Key, unsigned long long Value);
+  const std::string &body() const { return Body; }
+
+private:
+  std::string Body;
+};
+
+/// Scans a benchmark's argv for "--json" or "--json=FILE". Returns true
+/// when JSON output was requested; \p Path receives FILE or, for the
+/// bare flag, "BENCH_<benchname>.json".
+bool parseJsonFlag(int Argc, char **Argv, const std::string &BenchName,
+                   std::string &Path);
+
+/// Writes \p Records as a JSON array of objects to \p Path. Reports to
+/// stderr and returns false on I/O failure.
+bool writeJsonRecords(const std::string &Path,
+                      const std::vector<JsonRecord> &Records);
 
 /// Builds the standard per-app workload set: images for image apps, the
 /// eight Rodinia-style sizes for Hotspot (paper 6.2).

@@ -9,9 +9,18 @@
 // 128x2} for the accurate baseline, Rows1, and Stencil1 variants and
 // prints runtimes normalized to the slowest configuration of each variant.
 //
+// Each app's whole sweep shares one rt::Session: the kernel source
+// compiles once and every (variant, shape) combination compiles at most
+// once -- the per-app "session:" line shows the compile counts and cache
+// hit rate that used to be 30 fresh compiles per app.
+//
 // Expected shapes (paper 6.3): wide-x shapes beat tall-y shapes (they
 // align with the memory interface / coalescing); the optimal shape differs
 // between the baseline and the perforated kernels.
+//
+// --json[=FILE]: also emit the absolute runtimes and per-app session
+// counters as a JSON array (default BENCH_fig9.json) so the performance
+// trajectory can be tracked across revisions.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,8 +34,12 @@ using namespace kperf;
 using namespace kperf::bench;
 using namespace kperf::apps;
 
-int main() {
+int main(int Argc, char **Argv) {
   BenchSettings S = BenchSettings::fromEnvironment();
+  std::string JsonPath;
+  bool Json = parseJsonFlag(Argc, Argv, "fig9", JsonPath);
+  std::vector<JsonRecord> Records;
+
   std::printf("=== Figure 9: local work-group size tuning ===\n");
   std::printf("image %ux%u; runtimes normalized per variant (lower is "
               "better)\n\n",
@@ -62,6 +75,10 @@ int main() {
         std::printf(" %10s", V.Name);
     std::printf("\n");
 
+    // One session per app: every (variant, shape) build below compiles
+    // its kernel at most once, from a single source compile.
+    rt::Session Session;
+
     // Collect absolute times first so each variant can be normalized to
     // its own maximum, as the paper's per-plot normalization does.
     std::vector<std::vector<double>> Times(Variants.size());
@@ -69,13 +86,12 @@ int main() {
       for (size_t VI = 0; VI < Variants.size(); ++VI) {
         if (!Variants[VI].Applicable)
           continue;
-        rt::Context Ctx;
-        Expected<BuiltKernel> BK = [&]() -> Expected<BuiltKernel> {
+        Expected<rt::Variant> BK = [&]() -> Expected<rt::Variant> {
           switch (Variants[VI].Spec.K) {
           case VariantSpec::Kind::Baseline:
-            return App->buildBaseline(Ctx, {X, Y});
+            return App->buildBaseline(Session, {X, Y});
           default:
-            return App->buildPerforated(Ctx, Variants[VI].Spec.Scheme,
+            return App->buildPerforated(Session, Variants[VI].Spec.Scheme,
                                         {X, Y});
           }
         }();
@@ -83,7 +99,7 @@ int main() {
           Times[VI].push_back(-1);
           continue;
         }
-        Expected<RunOutcome> R = App->run(Ctx, *BK, W);
+        Expected<RunOutcome> R = App->run(Session, *BK, W);
         Times[VI].push_back(R ? R->Report.TimeMs : -1);
       }
     }
@@ -102,6 +118,17 @@ int main() {
           std::printf(" %10s", "n/a");
         else
           std::printf(" %10.3f", Max[VI] > 0 ? T / Max[VI] : 0);
+        if (Json && T >= 0) {
+          JsonRecord Rec;
+          Rec.add("bench", "fig9");
+          Rec.add("app", AppName);
+          Rec.add("variant", Variants[VI].Name);
+          Rec.add("wg_x", static_cast<unsigned long long>(Shapes[SI].first));
+          Rec.add("wg_y",
+                  static_cast<unsigned long long>(Shapes[SI].second));
+          Rec.add("time_ms", T);
+          Records.push_back(std::move(Rec));
+        }
       }
       std::printf("\n");
     }
@@ -121,7 +148,22 @@ int main() {
                     Shapes[Best].second);
       std::printf(" %10s", Buf);
     }
-    std::printf("\n\n");
+    const rt::SessionStats &St = Session.stats();
+    std::printf("\n  session:  %s\n\n", St.str().c_str());
+    if (Json) {
+      JsonRecord Rec;
+      Rec.add("bench", "fig9");
+      Rec.add("app", AppName);
+      Rec.add("source_compiles",
+              static_cast<unsigned long long>(St.SourceCompiles));
+      Rec.add("variant_compiles",
+              static_cast<unsigned long long>(St.VariantCompiles));
+      Rec.add("variant_cache_hits",
+              static_cast<unsigned long long>(St.VariantCacheHits));
+      Records.push_back(std::move(Rec));
+    }
   }
+  if (Json && !writeJsonRecords(JsonPath, Records))
+    return 1;
   return 0;
 }

@@ -30,6 +30,9 @@
 //   full          fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)
 //   +mem2reg      the default: mem2reg ahead of the full fixpoint group
 //
+// --json[=FILE]: also emit every row as a JSON array (default
+// BENCH_passes.json) so the trajectory can be tracked across revisions.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -61,17 +64,19 @@ struct AblationRow {
 };
 
 /// Builds the Rows1:LI perforated variant of \p TheApp with the cleanup
-/// pipeline \p PipelineSpec and measures one run of workload \p W.
-AblationRow measure(apps::App &TheApp, const Workload &W,
+/// pipeline \p PipelineSpec and measures one run of workload \p W. The
+/// session is shared across an app's pipeline rows: the pipeline spec is
+/// part of every variant's cache key, so each row still gets its own
+/// freshly optimized variant from a single source compile.
+AblationRow measure(rt::Session &S, apps::App &TheApp, const Workload &W,
                     const std::string &PipelineSpec) {
   TheApp.setPipelineSpec(PipelineSpec);
 
-  rt::Context Ctx;
-  BuiltKernel BK = cantFail(TheApp.buildPerforated(
-      Ctx,
+  rt::Variant BK = cantFail(TheApp.buildPerforated(
+      S,
       perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
       {16, 16}));
-  RunOutcome R = cantFail(TheApp.run(Ctx, BK, W));
+  RunOutcome R = cantFail(TheApp.run(S, BK, W));
 
   AblationRow Row;
   Row.Instructions = instructionCount(*BK.K.F);
@@ -98,10 +103,28 @@ void printRow(const char *Label, const AblationRow &R) {
               R.TimeMs, R.EnergyMJ);
 }
 
+void recordRow(std::vector<JsonRecord> &Records, const char *AppName,
+               const char *Label, const AblationRow &R) {
+  JsonRecord Rec;
+  Rec.add("bench", "passes");
+  Rec.add("app", AppName);
+  Rec.add("pipeline", Label);
+  Rec.add("instrs", static_cast<unsigned long long>(R.Instructions));
+  Rec.add("loads_per_item", R.LoadsPerItem);
+  Rec.add("priv_per_item", R.PrivPerItem);
+  Rec.add("alu_per_item", R.AluPerItem);
+  Rec.add("time_ms", R.TimeMs);
+  Rec.add("energy_mj", R.EnergyMJ);
+  Records.push_back(std::move(Rec));
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   BenchSettings S = BenchSettings::fromEnvironment();
+  std::string JsonPath;
+  bool Json = parseJsonFlag(Argc, Argv, "passes", JsonPath);
+  std::vector<JsonRecord> Records;
 
   // "full" is the complete pre-mem2reg pipeline; the default now leads
   // with mem2reg, so the last two rows isolate exactly what SSA
@@ -122,11 +145,23 @@ int main() {
     std::printf("%s\n", Name);
     auto TheApp = makeApp(Name);
     Workload W = workloadsFor(*TheApp, S).front();
-    printRow("none", measure(*TheApp, W, ""));
-    printRow("simplify+DCE",
-             measure(*TheApp, W, "fixpoint(simplify,dce)"));
-    printRow("full", measure(*TheApp, W, FullNoMem2Reg));
-    printRow("+mem2reg", measure(*TheApp, W, ir::defaultPipelineSpec()));
+    rt::Session Session;
+    struct Setting {
+      const char *Label;
+      std::string Spec;
+    };
+    const Setting Settings[] = {
+        {"none", ""},
+        {"simplify+DCE", "fixpoint(simplify,dce)"},
+        {"full", FullNoMem2Reg},
+        {"+mem2reg", ir::defaultPipelineSpec()},
+    };
+    for (const Setting &Set : Settings) {
+      AblationRow Row = measure(Session, *TheApp, W, Set.Spec);
+      printRow(Set.Label, Row);
+      if (Json)
+        recordRow(Records, Name, Set.Label, Row);
+    }
   }
 
   std::printf("\nExpected shape: +mem2reg < full < simplify+DCE < none "
@@ -138,5 +173,7 @@ int main() {
               "for compute-bound kernels;\nwith the default device every "
               "perforated kernel here stays memory-bound,\nwhich is "
               "exactly why input perforation pays off on it.\n");
+  if (Json && !writeJsonRecords(JsonPath, Records))
+    return 1;
   return 0;
 }

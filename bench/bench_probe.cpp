@@ -20,9 +20,9 @@ using namespace kperf::apps;
 
 namespace {
 
-void probe(const App &TheApp, const char *Label, const BuiltKernel &BK,
-           rt::Context &Ctx, const Workload &W) {
-  Expected<RunOutcome> R = TheApp.run(Ctx, BK, W);
+void probe(const App &TheApp, const char *Label, const rt::Variant &BK,
+           rt::Session &S, const Workload &W) {
+  Expected<RunOutcome> R = TheApp.run(S, BK, W);
   if (!R) {
     std::printf("  %-12s ERROR: %s\n", Label, R.error().message().c_str());
     return;
@@ -53,32 +53,23 @@ int main() {
                            img::ImageClass::Smooth, S.ImageSize,
                            S.ImageSize, 42));
     std::printf("%s:\n", App->name().c_str());
-    {
-      rt::Context Ctx;
-      probe(*App, "plain", cantFail(App->buildPlain(Ctx, {16, 16})), Ctx, W);
-    }
-    {
-      rt::Context Ctx;
-      probe(*App, "baseline", cantFail(App->buildBaseline(Ctx, {16, 16})),
-            Ctx, W);
-    }
-    {
-      rt::Context Ctx;
-      probe(*App, "rows1",
-            cantFail(App->buildPerforated(
-                Ctx,
-                perf::PerforationScheme::rows(
-                    2, perf::ReconstructionKind::NearestNeighbor),
-                {16, 16})),
-            Ctx, W);
-    }
-    {
-      rt::Context Ctx;
-      Expected<BuiltKernel> BK = App->buildPerforated(
-          Ctx, perf::PerforationScheme::stencil(), {16, 16});
-      if (BK)
-        probe(*App, "stencil1", *BK, Ctx, W);
-    }
+    // One session per app: the four variants below share one source
+    // compile.
+    rt::Session S;
+    probe(*App, "plain", cantFail(App->buildPlain(S, {16, 16})), S, W);
+    probe(*App, "baseline", cantFail(App->buildBaseline(S, {16, 16})), S,
+          W);
+    probe(*App, "rows1",
+          cantFail(App->buildPerforated(
+              S,
+              perf::PerforationScheme::rows(
+                  2, perf::ReconstructionKind::NearestNeighbor),
+              {16, 16})),
+          S, W);
+    Expected<rt::Variant> Stencil = App->buildPerforated(
+        S, perf::PerforationScheme::stencil(), {16, 16});
+    if (Stencil)
+      probe(*App, "stencil1", *Stencil, S, W);
   }
   return 0;
 }

@@ -19,6 +19,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <utility>
 
 using namespace kperf;
 using namespace kperf::apps;
@@ -39,31 +41,37 @@ int main(int Argc, char **Argv) {
                          img::ImageClass::Natural, Size, Size, 11));
   std::vector<float> Reference = App->reference(W);
 
+  // One session for the whole sweep: the kernel source compiles once,
+  // each unique variant at most once, and the accurate baseline is
+  // measured once per work-group shape.
+  rt::Session S;
+  std::map<std::pair<unsigned, unsigned>, double> BaselineMs;
+
   // Measure one configuration: speedup vs. the baseline at the same
   // work-group shape, plus output error.
   perf::EvaluateFn Evaluate =
       [&](const perf::TunerConfig &Config)
       -> Expected<perf::Measurement> {
     sim::Range2 Local{Config.TileX, Config.TileY};
-    double BaseMs;
-    {
-      rt::Context Ctx;
-      Expected<BuiltKernel> Base = App->buildBaseline(Ctx, Local);
+    auto Key = std::make_pair(Local.X, Local.Y);
+    auto It = BaselineMs.find(Key);
+    if (It == BaselineMs.end()) {
+      Expected<rt::Variant> Base = App->buildBaseline(S, Local);
       if (!Base)
         return Base.takeError();
-      Expected<RunOutcome> R = App->run(Ctx, *Base, W);
+      Expected<RunOutcome> R = App->run(S, *Base, W);
       if (!R)
         return R.takeError();
-      BaseMs = R->Report.TimeMs;
+      It = BaselineMs.emplace(Key, R->Report.TimeMs).first;
     }
-    rt::Context Ctx;
-    Expected<BuiltKernel> BK =
+    double BaseMs = It->second;
+    Expected<rt::Variant> BK =
         Config.Scheme.Kind == perf::SchemeKind::None
-            ? App->buildBaseline(Ctx, Local)
-            : App->buildPerforated(Ctx, Config.Scheme, Local);
+            ? App->buildBaseline(S, Local)
+            : App->buildPerforated(S, Config.Scheme, Local);
     if (!BK)
       return BK.takeError();
-    Expected<RunOutcome> R = App->run(Ctx, *BK, W);
+    Expected<RunOutcome> R = App->run(S, *BK, W);
     if (!R)
       return R.takeError();
     perf::Measurement M;
@@ -98,5 +106,6 @@ int main(int Argc, char **Argv) {
   std::printf("\nchosen for budget %.3f: %s (speedup %.2fx, error %.5f)\n",
               Budget, Results[Best].Config.str().c_str(),
               Results[Best].M.Speedup, Results[Best].M.Error);
+  std::printf("session: %s\n", S.stats().str().c_str());
   return 0;
 }

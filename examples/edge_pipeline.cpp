@@ -40,15 +40,17 @@ Expected<PipelineResult> runPipeline(const img::Image &Input,
 
   PipelineResult Result;
 
+  // One session hosts both stages; each stage is one rt::Variant.
+  rt::Session S;
+
   // Stage 1: denoise.
-  rt::Context Ctx1;
-  Expected<BuiltKernel> K1 =
-      Perforated ? Gaussian->buildPerforated(Ctx1, Scheme, {16, 16})
-                 : Gaussian->buildBaseline(Ctx1, {16, 16});
+  Expected<rt::Variant> K1 =
+      Perforated ? Gaussian->buildPerforated(S, Scheme, {16, 16})
+                 : Gaussian->buildBaseline(S, {16, 16});
   if (!K1)
     return K1.takeError();
   Expected<RunOutcome> R1 =
-      Gaussian->run(Ctx1, *K1, makeImageWorkload(Input));
+      Gaussian->run(S, *K1, makeImageWorkload(Input));
   if (!R1)
     return R1.takeError();
   Result.TimeMs += R1->Report.TimeMs;
@@ -56,14 +58,13 @@ Expected<PipelineResult> runPipeline(const img::Image &Input,
   // Stage 2: edges over the denoised image.
   img::Image Denoised(Input.width(), Input.height());
   Denoised.pixels() = R1->Output;
-  rt::Context Ctx2;
-  Expected<BuiltKernel> K2 =
-      Perforated ? Sobel->buildPerforated(Ctx2, Scheme, {16, 16})
-                 : Sobel->buildBaseline(Ctx2, {16, 16});
+  Expected<rt::Variant> K2 =
+      Perforated ? Sobel->buildPerforated(S, Scheme, {16, 16})
+                 : Sobel->buildBaseline(S, {16, 16});
   if (!K2)
     return K2.takeError();
   Expected<RunOutcome> R2 =
-      Sobel->run(Ctx2, *K2, makeImageWorkload(Denoised));
+      Sobel->run(S, *K2, makeImageWorkload(Denoised));
   if (!R2)
     return R2.takeError();
   Result.TimeMs += R2->Report.TimeMs;

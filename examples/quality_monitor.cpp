@@ -35,22 +35,22 @@ int main(int Argc, char **Argv) {
   const unsigned Size = 128;
   const unsigned NumFrames = 24;
 
-  rt::Context Ctx;
+  rt::Session S;
   rt::Kernel Accurate =
-      cantFail(Ctx.compile(apps::medianSource(), "median"));
+      cantFail(S.compile(apps::medianSource(), "median"));
   perf::PerforationPlan Plan;
   Plan.Scheme = perf::PerforationScheme::rows(
       2, perf::ReconstructionKind::NearestNeighbor); // Rows1.
-  rt::PerforatedKernel Approx = cantFail(Ctx.perforate(Accurate, Plan));
+  rt::Variant Approx = cantFail(S.perforate(Accurate, Plan));
 
-  unsigned In = Ctx.createBuffer(size_t(Size) * Size);
-  unsigned Out = Ctx.createBuffer(size_t(Size) * Size);
+  unsigned In = S.createBuffer(size_t(Size) * Size);
+  unsigned Out = S.createBuffer(size_t(Size) * Size);
   std::vector<sim::KernelArg> Args = {
       rt::arg::buffer(In), rt::arg::buffer(Out),
       rt::arg::i32(static_cast<int32_t>(Size)),
       rt::arg::i32(static_cast<int32_t>(Size))};
 
-  rt::QualityMonitor Mon(Ctx, Accurate, Approx, {Size, Size}, {16, 16},
+  rt::QualityMonitor Mon(S, Accurate, Approx, {Size, Size}, {16, 16},
                          Budget, CheckEvery);
   rt::ScoreFn Score = [](const std::vector<float> &R,
                          const std::vector<float> &T) {
@@ -71,7 +71,7 @@ int main(int Argc, char **Argv) {
     img::Image F = img::generateImage(Pattern ? img::ImageClass::Pattern
                                               : img::ImageClass::Smooth,
                                       Size, Size, 100 + Frame);
-    Ctx.buffer(In).uploadFloats(F.pixels());
+    S.buffer(In).uploadFloats(F.pixels());
 
     rt::MonitoredLaunch L = cantFail(Mon.launch(Args, Out, Score));
     TotalMs += L.Report.TimeMs;

@@ -13,7 +13,7 @@
 #include "img/Generators.h"
 #include "img/Metrics.h"
 #include "ir/Printer.h"
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <cstdio>
 
@@ -39,16 +39,17 @@ kernel void blur(global const float* in, global float* out, int w, int h) {
 int main() {
   const unsigned Size = 256;
 
-  // 1. A context owns the simulated device, compiled kernels, and buffers.
-  rt::Context Ctx;
-  rt::Kernel Blur = cantFail(Ctx.compile(BlurSource, "blur"));
+  // 1. A session owns the simulated device, compiled kernels, buffers,
+  //    and the compiled-variant cache.
+  rt::Session S;
+  rt::Kernel Blur = cantFail(S.compile(BlurSource, "blur"));
 
   // 2. Upload an input image and allocate the output.
   img::Image Input =
       img::generateImage(img::ImageClass::Natural, Size, Size, 1);
-  unsigned In = Ctx.createBufferFrom(Input.pixels());
-  unsigned OutAccurate = Ctx.createBuffer(Input.size());
-  unsigned OutApprox = Ctx.createBuffer(Input.size());
+  unsigned In = S.createBufferFrom(Input.pixels());
+  unsigned OutAccurate = S.createBuffer(Input.size());
+  unsigned OutApprox = S.createBuffer(Input.size());
 
   std::vector<sim::KernelArg> ArgsAccurate = {
       rt::arg::buffer(In), rt::arg::buffer(OutAccurate),
@@ -56,7 +57,7 @@ int main() {
 
   // 3. Accurate run.
   sim::SimReport Accurate = cantFail(
-      Ctx.launch(Blur, {Size, Size}, {16, 16}, ArgsAccurate));
+      S.launch(Blur, {Size, Size}, {16, 16}, ArgsAccurate));
 
   // 4. Perforate: skip every other row of the input, reconstruct by
   //    linear interpolation in local memory (paper scheme Rows1:LI).
@@ -65,18 +66,21 @@ int main() {
       perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear);
   Plan.TileX = 16;
   Plan.TileY = 16;
-  rt::PerforatedKernel Fast = cantFail(Ctx.perforate(Blur, Plan));
+  rt::Variant Fast = cantFail(S.perforate(Blur, Plan));
 
+  //    The variant handle carries its launch constraints; the unified
+  //    launch() entry point applies them. Asking for the same variant
+  //    again would be served from the session's cache.
   std::vector<sim::KernelArg> ArgsApprox = {
       rt::arg::buffer(In), rt::arg::buffer(OutApprox), rt::arg::i32(Size),
       rt::arg::i32(Size)};
-  sim::SimReport Approx = cantFail(Ctx.launch(
-      Fast.K, {Size, Size}, {Fast.LocalX, Fast.LocalY}, ArgsApprox));
+  sim::SimReport Approx =
+      cantFail(S.launch(Fast, {Size, Size}, ArgsApprox));
 
   // 5. Compare.
   double Mre = img::meanRelativeError(
-      Ctx.buffer(OutAccurate).downloadFloats(),
-      Ctx.buffer(OutApprox).downloadFloats());
+      S.buffer(OutAccurate).downloadFloats(),
+      S.buffer(OutApprox).downloadFloats());
   std::printf("accurate:   %8.4f ms  (%llu read transactions)\n",
               Accurate.TimeMs,
               static_cast<unsigned long long>(

@@ -12,8 +12,12 @@
 using namespace kperf;
 using namespace kperf::apps;
 
-App::App(std::string Name, std::string Domain, bool UseMre)
-    : Name(std::move(Name)), Domain(std::move(Domain)), UseMre(UseMre) {}
+App::App(std::string Name, std::string Domain, bool UseMre,
+         std::string DefaultPipelineSpec)
+    : Name(std::move(Name)), Domain(std::move(Domain)), UseMre(UseMre),
+      PipelineSpec(DefaultPipelineSpec.empty()
+                       ? ir::defaultPipelineSpec()
+                       : std::move(DefaultPipelineSpec)) {}
 
 App::~App() = default;
 
@@ -27,30 +31,27 @@ double App::score(const std::vector<float> &Reference,
                 : img::meanError(Reference, Test);
 }
 
-Expected<BuiltKernel> App::buildPlain(rt::Context &Ctx,
+Expected<rt::Variant> App::buildPlain(rt::Session &S,
                                       sim::Range2 Local) const {
-  Expected<rt::Kernel> K = Ctx.compile(source(), kernelName());
+  Expected<rt::Kernel> K = S.compile(source(), kernelName());
   if (!K)
     return K.takeError();
-  BuiltKernel BK;
-  BK.K = *K;
-  BK.Local = Local;
-  return BK;
+  return S.accurate(*K, Local);
 }
 
-Expected<BuiltKernel> App::buildBaseline(rt::Context &Ctx,
+Expected<rt::Variant> App::buildBaseline(rt::Session &S,
                                          sim::Range2 Local) const {
   if (!baselineUsesLocalMemory())
-    return buildPlain(Ctx, Local);
+    return buildPlain(S, Local);
   // The accurate local-prefetch baseline is the perforation machinery with
   // the "load everything" scheme.
-  return buildPerforated(Ctx, perf::PerforationScheme::none(), Local);
+  return buildPerforated(S, perf::PerforationScheme::none(), Local);
 }
 
-Expected<BuiltKernel>
-App::buildPerforated(rt::Context &Ctx, perf::PerforationScheme Scheme,
+Expected<rt::Variant>
+App::buildPerforated(rt::Session &S, perf::PerforationScheme Scheme,
                      sim::Range2 Local) const {
-  Expected<rt::Kernel> K = Ctx.compile(source(), kernelName());
+  Expected<rt::Kernel> K = S.compile(source(), kernelName());
   if (!K)
     return K.takeError();
   perf::PerforationPlan Plan;
@@ -58,20 +59,14 @@ App::buildPerforated(rt::Context &Ctx, perf::PerforationScheme Scheme,
   Plan.TileX = Local.X;
   Plan.TileY = Local.Y;
   Plan.PipelineSpec = pipelineSpec();
-  Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
-  if (!P)
-    return P.takeError();
-  BuiltKernel BK;
-  BK.K = P->K;
-  BK.Local = sim::Range2{P->LocalX, P->LocalY};
-  return BK;
+  return S.perforate(*K, Plan);
 }
 
-Expected<BuiltKernel>
-App::buildOutputApprox(rt::Context &Ctx, perf::OutputSchemeKind Kind,
+Expected<rt::Variant>
+App::buildOutputApprox(rt::Session &S, perf::OutputSchemeKind Kind,
                        unsigned ApproxPerComputed,
                        sim::Range2 Local) const {
-  Expected<rt::Kernel> K = Ctx.compile(source(), kernelName());
+  Expected<rt::Kernel> K = S.compile(source(), kernelName());
   if (!K)
     return K.takeError();
   perf::OutputApproxPlan Plan;
@@ -80,33 +75,14 @@ App::buildOutputApprox(rt::Context &Ctx, perf::OutputSchemeKind Kind,
   Plan.WidthArgIndex = widthArgIndex();
   Plan.HeightArgIndex = heightArgIndex();
   Plan.PipelineSpec = pipelineSpec();
-  Expected<rt::ApproxKernel> A = Ctx.approximateOutput(*K, Plan);
-  if (!A)
-    return A.takeError();
-  BuiltKernel BK;
-  BK.K = A->K;
-  BK.Local = Local;
-  BK.DivX = A->DivX;
-  BK.DivY = A->DivY;
-  return BK;
+  Expected<rt::Variant> V = S.approximateOutput(*K, Plan);
+  if (!V)
+    return V.takeError();
+  V->Local = Local;
+  return V;
 }
 
 namespace {
-
-/// Launch helper shared by the image apps; handles the NDRange shrink of
-/// output-approximated kernels.
-Expected<sim::SimReport> launchBuilt(rt::Context &Ctx,
-                                     const BuiltKernel &BK,
-                                     sim::Range2 FullGlobal,
-                                     const std::vector<sim::KernelArg> &Args) {
-  if (BK.DivX == 1 && BK.DivY == 1)
-    return Ctx.launch(BK.K, FullGlobal, BK.Local, Args);
-  rt::ApproxKernel A;
-  A.K = BK.K;
-  A.DivX = BK.DivX;
-  A.DivY = BK.DivY;
-  return Ctx.launchApprox(A, FullGlobal, BK.Local, Args);
-}
 
 /// Accumulates the counters and modeled time of multiple launches.
 void accumulate(sim::SimReport &Total, const sim::SimReport &Step) {
@@ -118,15 +94,23 @@ void accumulate(sim::SimReport &Total, const sim::SimReport &Step) {
   Total.EnergyMJ += Step.EnergyMJ;
 }
 
+/// The mem2reg-less cleanup pipeline: the default spec minus SSA
+/// promotion.
+const char *fixpointOnlySpec() {
+  return "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)";
+}
+
 /// Image applications: signature kernel(in, out, w, h).
 class ImageApp : public App {
 public:
   using ReferenceFn = img::Image (*)(const img::Image &);
 
   ImageApp(std::string Name, std::string Domain, bool UseMre,
-           const char *Source, ReferenceFn Ref, bool BaselineLocal)
-      : App(std::move(Name), std::move(Domain), UseMre), Source(Source),
-        Ref(Ref), BaselineLocal(BaselineLocal) {}
+           const char *Source, ReferenceFn Ref, bool BaselineLocal,
+           std::string DefaultPipelineSpec = "")
+      : App(std::move(Name), std::move(Domain), UseMre,
+            std::move(DefaultPipelineSpec)),
+        Source(Source), Ref(Ref), BaselineLocal(BaselineLocal) {}
 
   const char *source() const override { return Source; }
   const char *kernelName() const override { return name().c_str(); }
@@ -136,21 +120,21 @@ public:
     return Ref(W.Input).pixels();
   }
 
-  Expected<RunOutcome> run(rt::Context &Ctx, const BuiltKernel &BK,
+  Expected<RunOutcome> run(rt::Session &S, const rt::Variant &V,
                            const Workload &W) const override {
     unsigned Width = W.Input.width();
     unsigned Height = W.Input.height();
-    unsigned In = Ctx.createBufferFrom(W.Input.pixels());
-    unsigned Out = Ctx.createBuffer(W.Input.size());
-    Expected<sim::SimReport> R = launchBuilt(
-        Ctx, BK, sim::Range2{Width, Height},
+    unsigned In = S.createBufferFrom(W.Input.pixels());
+    unsigned Out = S.createBuffer(W.Input.size());
+    Expected<sim::SimReport> R = S.launch(
+        V, sim::Range2{Width, Height},
         {rt::arg::buffer(In), rt::arg::buffer(Out),
          rt::arg::i32(static_cast<int32_t>(Width)),
          rt::arg::i32(static_cast<int32_t>(Height))});
     if (!R)
       return R.takeError();
     RunOutcome Outcome;
-    Outcome.Output = Ctx.buffer(Out).downloadFloats();
+    Outcome.Output = S.buffer(Out).downloadFloats();
     Outcome.Report = *R;
     return Outcome;
   }
@@ -180,20 +164,20 @@ public:
         .pixels();
   }
 
-  Expected<RunOutcome> run(rt::Context &Ctx, const BuiltKernel &BK,
+  Expected<RunOutcome> run(rt::Session &S, const rt::Variant &V,
                            const Workload &W) const override {
     unsigned Width = W.Input.width();
     unsigned Height = W.Input.height();
-    unsigned Power = Ctx.createBufferFrom(W.Power.pixels());
-    unsigned TempA = Ctx.createBufferFrom(W.Input.pixels());
-    unsigned TempB = Ctx.createBuffer(W.Input.size());
+    unsigned Power = S.createBufferFrom(W.Power.pixels());
+    unsigned TempA = S.createBufferFrom(W.Input.pixels());
+    unsigned TempB = S.createBuffer(W.Input.size());
     const HotspotParams &P = W.Hotspot;
 
     RunOutcome Outcome;
     unsigned Src = TempA, Dst = TempB;
     for (unsigned I = 0; I < W.Iterations; ++I) {
-      Expected<sim::SimReport> R = launchBuilt(
-          Ctx, BK, sim::Range2{Width, Height},
+      Expected<sim::SimReport> R = S.launch(
+          V, sim::Range2{Width, Height},
           {rt::arg::buffer(Power), rt::arg::buffer(Src),
            rt::arg::buffer(Dst), rt::arg::i32(static_cast<int32_t>(Width)),
            rt::arg::i32(static_cast<int32_t>(Height)), rt::arg::f32(P.Cap),
@@ -204,7 +188,7 @@ public:
       accumulate(Outcome.Report, *R);
       std::swap(Src, Dst);
     }
-    Outcome.Output = Ctx.buffer(Src).downloadFloats();
+    Outcome.Output = S.buffer(Src).downloadFloats();
     return Outcome;
   }
 
@@ -216,9 +200,10 @@ protected:
 /// ConvolutionSeparable: two chained 1D convolution passes (row, then
 /// column), each a kernel of its own, as in the NVIDIA-SDK benchmark
 /// Paraprox evaluates (paper 4.3). Every variant builder builds *both*
-/// passes and run() chains them through an intermediate buffer. Output
-/// approximation shrinks only the second pass -- the first pass must stay
-/// complete because the column pass reads every intermediate row.
+/// passes into one two-pass rt::Variant and run() chains them through an
+/// intermediate buffer. Output approximation shrinks only the second pass
+/// -- the first pass must stay complete because the column pass reads
+/// every intermediate row.
 class ConvSepApp : public App {
 public:
   ConvSepApp()
@@ -231,26 +216,26 @@ public:
     return referenceConvSep(W.Input).pixels();
   }
 
-  Expected<BuiltKernel> buildPlain(rt::Context &Ctx,
+  Expected<rt::Variant> buildPlain(rt::Session &S,
                                    sim::Range2 Local) const override {
-    Expected<BuiltKernel> BK = App::buildPlain(Ctx, Local);
-    if (!BK)
-      return BK.takeError();
-    Expected<rt::Kernel> Col = Ctx.compile(convSepColSource(), "convsep_col");
+    Expected<rt::Variant> V = App::buildPlain(S, Local);
+    if (!V)
+      return V.takeError();
+    Expected<rt::Kernel> Col = S.compile(convSepColSource(), "convsep_col");
     if (!Col)
       return Col.takeError();
-    BK->K2 = *Col;
-    BK->Local2 = Local;
-    return BK;
+    V->K2 = *Col;
+    V->Local2 = Local;
+    return V;
   }
 
-  Expected<BuiltKernel>
-  buildPerforated(rt::Context &Ctx, perf::PerforationScheme Scheme,
+  Expected<rt::Variant>
+  buildPerforated(rt::Session &S, perf::PerforationScheme Scheme,
                   sim::Range2 Local) const override {
-    Expected<BuiltKernel> BK = App::buildPerforated(Ctx, Scheme, Local);
-    if (!BK)
-      return BK.takeError();
-    Expected<rt::Kernel> Col = Ctx.compile(convSepColSource(), "convsep_col");
+    Expected<rt::Variant> V = App::buildPerforated(S, Scheme, Local);
+    if (!V)
+      return V.takeError();
+    Expected<rt::Kernel> Col = S.compile(convSepColSource(), "convsep_col");
     if (!Col)
       return Col.takeError();
     perf::PerforationPlan Plan;
@@ -258,22 +243,22 @@ public:
     Plan.TileX = Local.X;
     Plan.TileY = Local.Y;
     Plan.PipelineSpec = pipelineSpec();
-    Expected<rt::PerforatedKernel> P = Ctx.perforate(*Col, Plan);
+    Expected<rt::Variant> P = S.perforate(*Col, Plan);
     if (!P)
       return P.takeError();
-    BK->K2 = P->K;
-    BK->Local2 = sim::Range2{P->LocalX, P->LocalY};
-    return BK;
+    V->K2 = P->K;
+    V->Local2 = P->Local;
+    return V;
   }
 
-  Expected<BuiltKernel>
-  buildOutputApprox(rt::Context &Ctx, perf::OutputSchemeKind Kind,
+  Expected<rt::Variant>
+  buildOutputApprox(rt::Session &S, perf::OutputSchemeKind Kind,
                     unsigned ApproxPerComputed,
                     sim::Range2 Local) const override {
-    Expected<BuiltKernel> BK = App::buildPlain(Ctx, Local);
-    if (!BK)
-      return BK.takeError();
-    Expected<rt::Kernel> Col = Ctx.compile(convSepColSource(), "convsep_col");
+    Expected<rt::Variant> V = App::buildPlain(S, Local);
+    if (!V)
+      return V.takeError();
+    Expected<rt::Kernel> Col = S.compile(convSepColSource(), "convsep_col");
     if (!Col)
       return Col.takeError();
     perf::OutputApproxPlan Plan;
@@ -282,24 +267,25 @@ public:
     Plan.WidthArgIndex = widthArgIndex();
     Plan.HeightArgIndex = heightArgIndex();
     Plan.PipelineSpec = pipelineSpec();
-    Expected<rt::ApproxKernel> A = Ctx.approximateOutput(*Col, Plan);
+    Expected<rt::Variant> A = S.approximateOutput(*Col, Plan);
     if (!A)
       return A.takeError();
-    BK->K2 = A->K;
-    BK->Local2 = Local;
-    BK->DivX = A->DivX; // run() applies the shrink to pass 2 only.
-    BK->DivY = A->DivY;
-    return BK;
+    V->Kind = rt::VariantKind::OutputApprox;
+    V->K2 = A->K;
+    V->Local2 = Local;
+    V->DivX = A->DivX; // run() applies the shrink to pass 2 only.
+    V->DivY = A->DivY;
+    return V;
   }
 
-  Expected<RunOutcome> run(rt::Context &Ctx, const BuiltKernel &BK,
+  Expected<RunOutcome> run(rt::Session &S, const rt::Variant &V,
                            const Workload &W) const override {
-    assert(BK.isTwoPass() && "convsep variants are built with two passes");
+    assert(V.isTwoPass() && "convsep variants are built with two passes");
     unsigned Width = W.Input.width();
     unsigned Height = W.Input.height();
-    unsigned In = Ctx.createBufferFrom(W.Input.pixels());
-    unsigned Mid = Ctx.createBuffer(W.Input.size());
-    unsigned Out = Ctx.createBuffer(W.Input.size());
+    unsigned In = S.createBufferFrom(W.Input.pixels());
+    unsigned Mid = S.createBuffer(W.Input.size());
+    unsigned Out = S.createBuffer(W.Input.size());
     sim::Range2 Global{Width, Height};
     std::vector<sim::KernelArg> WidthHeight = {
         rt::arg::i32(static_cast<int32_t>(Width)),
@@ -307,29 +293,21 @@ public:
 
     RunOutcome Outcome;
     Expected<sim::SimReport> R1 =
-        Ctx.launch(BK.K, Global, BK.Local,
-                   {rt::arg::buffer(In), rt::arg::buffer(Mid),
-                    WidthHeight[0], WidthHeight[1]});
+        S.launch(V.firstPass(), Global,
+                 {rt::arg::buffer(In), rt::arg::buffer(Mid),
+                  WidthHeight[0], WidthHeight[1]});
     if (!R1)
       return R1.takeError();
     accumulate(Outcome.Report, *R1);
 
-    std::vector<sim::KernelArg> Args2 = {rt::arg::buffer(Mid),
-                                         rt::arg::buffer(Out),
-                                         WidthHeight[0], WidthHeight[1]};
-    Expected<sim::SimReport> R2 = [&]() -> Expected<sim::SimReport> {
-      if (BK.DivX == 1 && BK.DivY == 1)
-        return Ctx.launch(BK.K2, Global, BK.Local2, Args2);
-      rt::ApproxKernel A;
-      A.K = BK.K2;
-      A.DivX = BK.DivX;
-      A.DivY = BK.DivY;
-      return Ctx.launchApprox(A, Global, BK.Local2, Args2);
-    }();
+    Expected<sim::SimReport> R2 =
+        S.launch(V.secondPass(), Global,
+                 {rt::arg::buffer(Mid), rt::arg::buffer(Out),
+                  WidthHeight[0], WidthHeight[1]});
     if (!R2)
       return R2.takeError();
     accumulate(Outcome.Report, *R2);
-    Outcome.Output = Ctx.buffer(Out).downloadFloats();
+    Outcome.Output = S.buffer(Out).downloadFloats();
     return Outcome;
   }
 
@@ -365,9 +343,14 @@ std::unique_ptr<App> apps::makeApp(const std::string &Name) {
         "gaussian", "Image processing", /*UseMre=*/true, gaussianSource(),
         &referenceGaussian, /*BaselineLocal=*/true);
   if (Name == "inversion")
+    // Tuned default: skip mem2reg. bench_passes shows the promoted
+    // pipeline matches the plain fixpoint pipeline in modeled time and
+    // energy on inversion (the kernel carries no loop-carried scalars
+    // worth promoting), so SSA promotion is pure compile-time here.
     return std::make_unique<ImageApp>(
         "inversion", "Image processing", /*UseMre=*/true,
-        inversionSource(), &referenceInversion, /*BaselineLocal=*/false);
+        inversionSource(), &referenceInversion, /*BaselineLocal=*/false,
+        fixpointOnlySpec());
   if (Name == "median")
     return std::make_unique<ImageApp>(
         "median", "Medical imaging", /*UseMre=*/true, medianSource(),

@@ -10,6 +10,10 @@
 /// workloads and score output quality. This is the layer the benchmarks,
 /// the examples, and the autotuner drive.
 ///
+/// Variants are rt::Variant handles built inside an rt::Session; building
+/// the same variant twice in one session (as sweeps do) is served from the
+/// session's compiled-variant cache.
+///
 /// Variant vocabulary (paper terms):
 ///  * plain     -- the kernel as written (global loads only);
 ///  * baseline  -- the best accurate version: local-memory prefetch for
@@ -29,7 +33,7 @@
 #include "perforation/Scheme.h"
 #include "perforation/Transform.h"
 #include "perforation/OutputApprox.h"
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <memory>
 #include <string>
@@ -53,25 +57,17 @@ struct RunOutcome {
   sim::SimReport Report;
 };
 
-/// A kernel variant ready to run.
-struct BuiltKernel {
-  rt::Kernel K;
-  sim::Range2 Local{16, 16};
-  unsigned DivX = 1; ///< Output-approximation NDRange shrink.
-  unsigned DivY = 1;
-  /// Optional second pass (ConvolutionSeparable): run() launches K into an
-  /// intermediate buffer, then K2 from that buffer. K2.F == nullptr for
-  /// the single-pass apps.
-  rt::Kernel K2;
-  sim::Range2 Local2{16, 16};
-
-  bool isTwoPass() const { return K2.F != nullptr; }
-};
+/// Deprecated: app variants are plain rt::Variant handles now; the old
+/// name survives for pre-Session call sites.
+using BuiltKernel = rt::Variant;
 
 /// Base class of the six applications.
 class App {
 public:
-  App(std::string Name, std::string Domain, bool UseMre);
+  /// \p DefaultPipelineSpec overrides the library default cleanup
+  /// pipeline for this app's generated variants ("" = library default).
+  App(std::string Name, std::string Domain, bool UseMre,
+      std::string DefaultPipelineSpec = "");
   virtual ~App();
   App(const App &) = delete;
   App &operator=(const App &) = delete;
@@ -98,8 +94,9 @@ public:
                const std::vector<float> &Test) const;
 
   /// Cleanup pipeline used when building perforated and
-  /// output-approximated variants. Defaults to the library default;
-  /// bench_passes overrides it for pipeline ablation.
+  /// output-approximated variants -- part of every variant's cache key.
+  /// Defaults to the app's tuned default spec; bench_passes overrides it
+  /// for pipeline ablation.
   const std::string &pipelineSpec() const { return PipelineSpec; }
   void setPipelineSpec(std::string Spec) {
     PipelineSpec = std::move(Spec);
@@ -108,26 +105,26 @@ public:
   //===--- Variant construction --------------------------------------------//
 
   /// Compiles the kernel as written.
-  virtual Expected<BuiltKernel> buildPlain(rt::Context &Ctx,
+  virtual Expected<rt::Variant> buildPlain(rt::Session &S,
                                            sim::Range2 Local) const;
 
   /// Builds the accurate baseline (local prefetch if beneficial).
-  virtual Expected<BuiltKernel> buildBaseline(rt::Context &Ctx,
+  virtual Expected<rt::Variant> buildBaseline(rt::Session &S,
                                               sim::Range2 Local) const;
 
   /// Builds the perforated variant for \p Scheme at work-group shape
   /// \p Local.
-  virtual Expected<BuiltKernel>
-  buildPerforated(rt::Context &Ctx, perf::PerforationScheme Scheme,
+  virtual Expected<rt::Variant>
+  buildPerforated(rt::Session &S, perf::PerforationScheme Scheme,
                   sim::Range2 Local) const;
 
   /// Builds the Paraprox output-approximation variant.
-  virtual Expected<BuiltKernel>
-  buildOutputApprox(rt::Context &Ctx, perf::OutputSchemeKind Kind,
+  virtual Expected<rt::Variant>
+  buildOutputApprox(rt::Session &S, perf::OutputSchemeKind Kind,
                     unsigned ApproxPerComputed, sim::Range2 Local) const;
 
-  /// Runs a built variant on \p W inside \p Ctx.
-  virtual Expected<RunOutcome> run(rt::Context &Ctx, const BuiltKernel &BK,
+  /// Runs a built variant on \p W inside \p S.
+  virtual Expected<RunOutcome> run(rt::Session &S, const rt::Variant &V,
                                    const Workload &W) const = 0;
 
 protected:
@@ -139,7 +136,7 @@ private:
   std::string Name;
   std::string Domain;
   bool UseMre;
-  std::string PipelineSpec = ir::defaultPipelineSpec();
+  std::string PipelineSpec;
 };
 
 /// Creates all six applications in the paper's Table 1 order.

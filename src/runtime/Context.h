@@ -1,147 +1,23 @@
-//===- runtime/Context.h - Host-side runtime facade ---------------*- C++ -*-==//
+//===- runtime/Context.h - Deprecated alias of runtime/Session.h -*- C++ -*-==//
 //
 // Part of the kernel-perforation project, under the Apache License v2.0.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// OpenCL-host-like API over the compiler and simulator: compile PCL
-/// source into kernels, create buffers, launch NDRanges, and apply the
-/// perforation transforms -- the workflow of Fig. 1b.
-///
-/// \code
-///   rt::Context Ctx;
-///   rt::Kernel K = cantFail(Ctx.compile(Source, "gaussian"));
-///   unsigned In = Ctx.createBufferFrom(Pixels);
-///   unsigned Out = Ctx.createBuffer(Pixels.size());
-///   auto Report = Ctx.launch(K, {W, H}, {16, 16},
-///                            {rt::arg::buffer(In), rt::arg::buffer(Out),
-///                             rt::arg::i32(W), rt::arg::i32(H)});
-/// \endcode
+/// Forwarding header for the pre-Session runtime API. rt::Context is now a
+/// deprecated alias of rt::Session (one module + device + buffers + cached
+/// analyses + compiled-variant cache), and the PerforatedKernel /
+/// ApproxKernel handles are thin views of the unified rt::Variant. Existing
+/// includes and call sites keep compiling; new code should include
+/// runtime/Session.h and use Session/Variant directly. See the migration
+/// note in README.md.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef KPERF_RUNTIME_CONTEXT_H
 #define KPERF_RUNTIME_CONTEXT_H
 
-#include "gpusim/Interpreter.h"
-#include "ir/AnalysisManager.h"
-#include "ir/Function.h"
-#include "pcl/Compiler.h"
-#include "perforation/OutputApprox.h"
-#include "perforation/Transform.h"
-#include "support/Error.h"
-
-#include <memory>
-#include <string>
-#include <vector>
-
-namespace kperf {
-namespace rt {
-
-/// Handle to a compiled kernel (owned by the Context's module).
-struct Kernel {
-  ir::Function *F = nullptr;
-  const std::string &name() const { return F->name(); }
-};
-
-/// Handle to a perforated kernel plus its launch constraints.
-struct PerforatedKernel {
-  Kernel K;
-  unsigned LocalX = 0;
-  unsigned LocalY = 0;
-  unsigned LocalMemWords = 0;
-  /// What the cleanup pipeline did to this variant (tuner reports).
-  ir::PipelineStats PassStats;
-};
-
-/// Handle to an output-approximated kernel plus its NDRange shrink.
-struct ApproxKernel {
-  Kernel K;
-  unsigned DivX = 1;
-  unsigned DivY = 1;
-  /// What the cleanup pipeline did to this variant.
-  ir::PipelineStats PassStats;
-};
-
-/// Argument construction shorthand.
-namespace arg {
-inline sim::KernelArg i32(int32_t V) { return sim::KernelArg::makeInt(V); }
-inline sim::KernelArg f32(float V) { return sim::KernelArg::makeFloat(V); }
-inline sim::KernelArg buffer(unsigned Index) {
-  return sim::KernelArg::makeBuffer(Index);
-}
-} // namespace arg
-
-/// Owns the IR module, device configuration, and buffers of one simulated
-/// device context.
-class Context {
-public:
-  explicit Context(sim::DeviceConfig Device = sim::DeviceConfig());
-  ~Context();
-  Context(const Context &) = delete;
-  Context &operator=(const Context &) = delete;
-
-  const sim::DeviceConfig &device() const { return Device; }
-  sim::DeviceConfig &device() { return Device; }
-
-  /// Compiles all kernels in \p Source; returns the one named \p Name.
-  Expected<Kernel> compile(const std::string &Source,
-                           const std::string &Name);
-
-  /// As above with frontend pipeline options (e.g. a post-verify
-  /// optimization pipeline).
-  Expected<Kernel> compile(const std::string &Source,
-                           const std::string &Name,
-                           const pcl::CompileOptions &Opts);
-
-  /// Creates a zero-initialized buffer of \p NumElements 32-bit elements.
-  unsigned createBuffer(size_t NumElements);
-
-  /// Creates a buffer initialized with \p Values.
-  unsigned createBufferFrom(const std::vector<float> &Values);
-
-  sim::BufferData &buffer(unsigned Index);
-  const sim::BufferData &buffer(unsigned Index) const;
-
-  /// Runs \p K over \p Global items in groups of \p Local.
-  Expected<sim::SimReport> launch(const Kernel &K, sim::Range2 Global,
-                                  sim::Range2 Local,
-                                  const std::vector<sim::KernelArg> &Args);
-
-  /// Applies local memory-aware input perforation to \p K (paper core).
-  /// The result must be launched with local size (LocalX, LocalY).
-  Expected<PerforatedKernel> perforate(const Kernel &K,
-                                       const perf::PerforationPlan &Plan);
-
-  /// Applies Paraprox-style output approximation to \p K.
-  Expected<ApproxKernel> approximateOutput(
-      const Kernel &K, const perf::OutputApproxPlan &Plan);
-
-  /// Launch helper for ApproxKernel: shrinks the global range by the
-  /// kernel's divisors, rounding up to a multiple of \p Local.
-  Expected<sim::SimReport> launchApprox(
-      const ApproxKernel &K, sim::Range2 FullGlobal, sim::Range2 Local,
-      const std::vector<sim::KernelArg> &Args);
-
-  /// Access to the underlying module (printing, verification, tests).
-  ir::Module &module();
-
-  /// Cached per-function analyses (access summaries, dominator trees)
-  /// shared across this context's transforms. Callers that mutate a
-  /// compiled kernel directly must invalidate its entry here before the
-  /// next perforate()/approximateOutput() of that kernel.
-  ir::AnalysisManager &analyses() { return Analyses; }
-
-private:
-  sim::DeviceConfig Device;
-  std::unique_ptr<ir::Module> M;
-  ir::AnalysisManager Analyses;
-  std::vector<sim::BufferData> Buffers;
-  unsigned NameCounter = 0;
-};
-
-} // namespace rt
-} // namespace kperf
+#include "runtime/Session.h"
 
 #endif // KPERF_RUNTIME_CONTEXT_H

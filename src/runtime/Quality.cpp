@@ -9,11 +9,11 @@
 using namespace kperf;
 using namespace kperf::rt;
 
-QualityMonitor::QualityMonitor(Context &Ctx, Kernel Accurate,
-                               PerforatedKernel Approx, sim::Range2 Global,
+QualityMonitor::QualityMonitor(Session &S, Kernel Accurate, Variant Approx,
+                               sim::Range2 Global,
                                sim::Range2 AccurateLocal,
                                double ErrorBudget, unsigned CheckEvery)
-    : Ctx(Ctx), Accurate(Accurate), Approx(Approx), Global(Global),
+    : S(S), Accurate(Accurate), Approx(std::move(Approx)), Global(Global),
       AccurateLocal(AccurateLocal), ErrorBudget(ErrorBudget),
       CheckEvery(CheckEvery == 0 ? 1 : CheckEvery) {}
 
@@ -25,7 +25,7 @@ QualityMonitor::launch(const std::vector<sim::KernelArg> &Args,
 
   if (FellBack) {
     Expected<sim::SimReport> R =
-        Ctx.launch(Accurate, Global, AccurateLocal, Args);
+        S.launch(Accurate, Global, AccurateLocal, Args);
     if (!R)
       return R.takeError();
     Result.Report = *R;
@@ -33,11 +33,9 @@ QualityMonitor::launch(const std::vector<sim::KernelArg> &Args,
   }
 
   bool Check = Launches % CheckEvery == 0;
-  sim::Range2 ApproxLocal{Approx.LocalX, Approx.LocalY};
 
   if (!Check) {
-    Expected<sim::SimReport> R =
-        Ctx.launch(Approx.K, Global, ApproxLocal, Args);
+    Expected<sim::SimReport> R = S.launch(Approx, Global, Args);
     if (!R)
       return R.takeError();
     Result.Report = *R;
@@ -47,20 +45,19 @@ QualityMonitor::launch(const std::vector<sim::KernelArg> &Args,
 
   // Check iteration: run both kernels from the same pre-launch output
   // state, compare, keep the approximate result if within budget.
-  std::vector<float> Initial = Ctx.buffer(OutBuffer).downloadFloats();
+  std::vector<float> Initial = S.buffer(OutBuffer).downloadFloats();
 
   Expected<sim::SimReport> AccR =
-      Ctx.launch(Accurate, Global, AccurateLocal, Args);
+      S.launch(Accurate, Global, AccurateLocal, Args);
   if (!AccR)
     return AccR.takeError();
-  std::vector<float> Reference = Ctx.buffer(OutBuffer).downloadFloats();
+  std::vector<float> Reference = S.buffer(OutBuffer).downloadFloats();
 
-  Ctx.buffer(OutBuffer).uploadFloats(Initial);
-  Expected<sim::SimReport> AppR =
-      Ctx.launch(Approx.K, Global, ApproxLocal, Args);
+  S.buffer(OutBuffer).uploadFloats(Initial);
+  Expected<sim::SimReport> AppR = S.launch(Approx, Global, Args);
   if (!AppR)
     return AppR.takeError();
-  std::vector<float> Test = Ctx.buffer(OutBuffer).downloadFloats();
+  std::vector<float> Test = S.buffer(OutBuffer).downloadFloats();
 
   double Err = Score(Reference, Test);
   History.push_back(Err);
@@ -70,7 +67,7 @@ QualityMonitor::launch(const std::vector<sim::KernelArg> &Args,
   if (Err > ErrorBudget) {
     // Budget violated: restore the accurate result and stop approximating.
     FellBack = true;
-    Ctx.buffer(OutBuffer).uploadFloats(Reference);
+    S.buffer(OutBuffer).uploadFloats(Reference);
     Result.Report = *AccR;
     Result.UsedApproximate = false;
     return Result;

@@ -15,9 +15,8 @@
 ///
 /// Usage:
 /// \code
-///   rt::QualityMonitor Mon(Ctx, Accurate, Perforated, Global,
-///                          {AccLocalX, AccLocalY}, {PerfLocalX, ...},
-///                          Budget);
+///   rt::QualityMonitor Mon(S, Accurate, PerforatedVariant, Global,
+///                          {AccLocalX, AccLocalY}, Budget);
 ///   for (Frame F : Video) {
 ///     ... upload F ...
 ///     auto R = Mon.launch(Args, OutBufferIndex, ScoreFn);
@@ -29,7 +28,7 @@
 #ifndef KPERF_RUNTIME_QUALITY_H
 #define KPERF_RUNTIME_QUALITY_H
 
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <functional>
 
@@ -54,7 +53,9 @@ class QualityMonitor {
 public:
   /// \p CheckEvery: every N-th launch runs both kernels and compares
   /// (N=1 checks always; larger N amortizes the accurate run's cost).
-  QualityMonitor(Context &Ctx, Kernel Accurate, PerforatedKernel Approx,
+  /// \p Approx is any single-pass variant (a perforated one in the
+  /// paper's scenario); its launch constraints travel inside the handle.
+  QualityMonitor(Session &S, Kernel Accurate, Variant Approx,
                  sim::Range2 Global, sim::Range2 AccurateLocal,
                  double ErrorBudget, unsigned CheckEvery = 8);
 
@@ -77,9 +78,9 @@ public:
   const std::vector<double> &history() const { return History; }
 
 private:
-  Context &Ctx;
+  Session &S;
   Kernel Accurate;
-  PerforatedKernel Approx;
+  Variant Approx;
   sim::Range2 Global;
   sim::Range2 AccurateLocal;
   double ErrorBudget;

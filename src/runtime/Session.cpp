@@ -1,0 +1,303 @@
+//===- runtime/Session.cpp -------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Session.h"
+
+#include "pcl/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace kperf;
+using namespace kperf::rt;
+
+//===--- Variant -------------------------------------------------------------//
+
+Variant Variant::firstPass() const {
+  assert(isTwoPass() && "firstPass() on a single-pass variant");
+  Variant V;
+  V.Kind = Kind;
+  V.K = K;
+  V.Local = Local;
+  V.LocalMemWords = LocalMemWords;
+  return V;
+}
+
+Variant Variant::secondPass() const {
+  assert(isTwoPass() && "secondPass() on a single-pass variant");
+  Variant V;
+  V.Kind = Kind;
+  V.K = K2;
+  V.Local = Local2;
+  V.DivX = DivX;
+  V.DivY = DivY;
+  return V;
+}
+
+PerforatedKernel::operator Variant() const {
+  Variant V;
+  V.Kind = VariantKind::Perforated;
+  V.K = K;
+  V.Local = sim::Range2{LocalX, LocalY};
+  V.LocalMemWords = LocalMemWords;
+  V.PassStats = PassStats;
+  return V;
+}
+
+ApproxKernel::operator Variant() const {
+  Variant V;
+  V.Kind = VariantKind::OutputApprox;
+  V.K = K;
+  V.DivX = DivX;
+  V.DivY = DivY;
+  V.PassStats = PassStats;
+  return V;
+}
+
+//===--- VariantKey ----------------------------------------------------------//
+
+VariantKey VariantKey::forPerforation(const ir::Function &F,
+                                      const perf::PerforationPlan &Plan) {
+  VariantKey Key;
+  Key.Kernel = F.name();
+  std::string Bufs;
+  for (unsigned B : Plan.BufferArgs)
+    Bufs += format(",b%u", B);
+  Key.Transform = format("perf:%s@%ux%u%s", Plan.Scheme.str().c_str(),
+                         Plan.TileX, Plan.TileY, Bufs.c_str());
+  Key.Pipeline = Plan.PipelineSpec;
+  return Key;
+}
+
+VariantKey VariantKey::forOutputApprox(const ir::Function &F,
+                                       const perf::OutputApproxPlan &Plan) {
+  VariantKey Key;
+  Key.Kernel = F.name();
+  Key.Transform =
+      format("oapprox:%u:%u:w%u:h%u", static_cast<unsigned>(Plan.Kind),
+             Plan.ApproxPerComputed, Plan.WidthArgIndex,
+             Plan.HeightArgIndex);
+  Key.Pipeline = Plan.PipelineSpec;
+  return Key;
+}
+
+std::string VariantKey::str() const {
+  return Kernel + "|" + Transform + "|" + Pipeline;
+}
+
+//===--- SessionStats --------------------------------------------------------//
+
+double SessionStats::variantHitRate() const {
+  unsigned Lookups = variantLookups();
+  return Lookups == 0 ? 0.0
+                      : static_cast<double>(VariantCacheHits) / Lookups;
+}
+
+std::string SessionStats::str() const {
+  return format("source compiles: %u (cache hits: %u); "
+                "variant compiles: %u; variant cache: %u hits / %u "
+                "lookups (%.1f%% hit rate)",
+                SourceCompiles, SourceCacheHits, VariantCompiles,
+                VariantCacheHits, variantLookups(),
+                100.0 * variantHitRate());
+}
+
+//===--- Session -------------------------------------------------------------//
+
+Session::Session(sim::DeviceConfig Device)
+    : Device(Device), M(std::make_unique<ir::Module>()) {}
+
+Session::~Session() = default;
+
+ir::Module &Session::module() { return *M; }
+
+Expected<std::vector<Kernel>>
+Session::compileAll(const std::string &Source,
+                    const pcl::CompileOptions &Opts) {
+  // The options key separates pipelines with '\x01' (never in a spec) so
+  // "spec" + source and spec + "source" cannot collide.
+  std::string Key = Opts.PipelineSpec;
+  if (Opts.VerifyEach)
+    Key += "\x01v";
+  Key += '\x01';
+  Key += Source;
+
+  auto It = Sources.find(Key);
+  if (It == Sources.end()) {
+    ++Stats.SourceCompiles;
+    Expected<std::vector<ir::Function *>> Fns =
+        pcl::compile(*M, Source, Opts);
+    if (!Fns)
+      return Fns.takeError();
+    It = Sources.emplace(std::move(Key), std::move(*Fns)).first;
+  } else {
+    ++Stats.SourceCacheHits;
+  }
+  std::vector<Kernel> Kernels;
+  Kernels.reserve(It->second.size());
+  for (ir::Function *F : It->second)
+    Kernels.push_back(Kernel{F});
+  return Kernels;
+}
+
+Expected<Kernel> Session::compile(const std::string &Source,
+                                  const std::string &Name) {
+  return compile(Source, Name, pcl::CompileOptions());
+}
+
+Expected<Kernel> Session::compile(const std::string &Source,
+                                  const std::string &Name,
+                                  const pcl::CompileOptions &Opts) {
+  Expected<std::vector<Kernel>> Kernels = compileAll(Source, Opts);
+  if (!Kernels)
+    return Kernels.takeError();
+  for (const Kernel &K : *Kernels)
+    if (K.name() == Name)
+      return K;
+  return makeError("no kernel named '%s' in source", Name.c_str());
+}
+
+unsigned Session::createBuffer(size_t NumElements) {
+  Buffers.emplace_back(NumElements);
+  return static_cast<unsigned>(Buffers.size() - 1);
+}
+
+unsigned Session::createBufferFrom(const std::vector<float> &Values) {
+  Buffers.emplace_back();
+  Buffers.back().uploadFloats(Values);
+  return static_cast<unsigned>(Buffers.size() - 1);
+}
+
+sim::BufferData &Session::buffer(unsigned Index) {
+  assert(Index < Buffers.size() && "buffer index out of range");
+  return Buffers[Index];
+}
+
+const sim::BufferData &Session::buffer(unsigned Index) const {
+  assert(Index < Buffers.size() && "buffer index out of range");
+  return Buffers[Index];
+}
+
+namespace {
+
+/// Internal cache key: the canonical VariantKey prefixed with the source
+/// function's identity, so two same-named functions in one module (e.g.
+/// the same source compiled under different pipeline options) never
+/// collide.
+std::string cacheKeyFor(const ir::Function &F, const VariantKey &Key) {
+  return format("%p|", static_cast<const void *>(&F)) + Key.str();
+}
+
+} // namespace
+
+Expected<Variant> Session::perforate(const Kernel &K,
+                                     const perf::PerforationPlan &Plan) {
+  assert(K.F && "perforate of null kernel");
+  const std::string Key =
+      cacheKeyFor(*K.F, VariantKey::forPerforation(*K.F, Plan));
+  auto It = Variants.find(Key);
+  if (It != Variants.end()) {
+    ++Stats.VariantCacheHits;
+    return It->second.V;
+  }
+  ++Stats.VariantCompiles;
+  std::string Name =
+      format("%s.perf%u", K.F->name().c_str(), NameCounter++);
+  Expected<perf::TransformResult> R =
+      perf::applyInputPerforation(*M, *K.F, Plan, Name, &Analyses);
+  if (!R)
+    return R.takeError();
+  Variant V;
+  V.Kind = VariantKind::Perforated;
+  V.K = Kernel{R->Kernel};
+  V.Local = sim::Range2{R->LocalX, R->LocalY};
+  V.LocalMemWords = R->LocalMemWords;
+  V.PassStats = std::move(R->PassStats);
+  Variants.emplace(Key, CachedVariant{V, K.F});
+  return V;
+}
+
+Expected<Variant>
+Session::approximateOutput(const Kernel &K,
+                           const perf::OutputApproxPlan &Plan) {
+  assert(K.F && "approximateOutput of null kernel");
+  const std::string Key =
+      cacheKeyFor(*K.F, VariantKey::forOutputApprox(*K.F, Plan));
+  auto It = Variants.find(Key);
+  if (It != Variants.end()) {
+    ++Stats.VariantCacheHits;
+    return It->second.V;
+  }
+  ++Stats.VariantCompiles;
+  std::string Name =
+      format("%s.oapprox%u", K.F->name().c_str(), NameCounter++);
+  Expected<perf::OutputApproxResult> R =
+      perf::applyOutputApproximation(*M, *K.F, Plan, Name);
+  if (!R)
+    return R.takeError();
+  Variant V;
+  V.Kind = VariantKind::OutputApprox;
+  V.K = Kernel{R->Kernel};
+  V.DivX = R->DivX;
+  V.DivY = R->DivY;
+  V.PassStats = std::move(R->PassStats);
+  Variants.emplace(Key, CachedVariant{V, K.F});
+  return V;
+}
+
+Variant Session::accurate(const Kernel &K, sim::Range2 Local) const {
+  Variant V;
+  V.Kind = VariantKind::Accurate;
+  V.K = K;
+  V.Local = Local;
+  return V;
+}
+
+Expected<sim::SimReport>
+Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
+                const std::vector<sim::KernelArg> &Args) {
+  assert(K.F && "launch of null kernel");
+  return sim::launchKernel(*K.F, Global, Local, Args, Buffers, Device);
+}
+
+Expected<sim::SimReport>
+Session::launch(const Variant &V, sim::Range2 FullGlobal,
+                const std::vector<sim::KernelArg> &Args) {
+  if (V.isTwoPass())
+    return makeError("two-pass variant '%s': launch each stage via "
+                     "firstPass()/secondPass()",
+                     V.K.F ? V.K.F->name().c_str() : "?");
+  sim::Range2 Global = FullGlobal;
+  if (V.DivX != 1 || V.DivY != 1) {
+    auto roundUp = [](unsigned Value, unsigned To) {
+      return (Value + To - 1) / To * To;
+    };
+    Global.X = roundUp((FullGlobal.X + V.DivX - 1) / V.DivX, V.Local.X);
+    Global.Y = roundUp((FullGlobal.Y + V.DivY - 1) / V.DivY, V.Local.Y);
+  }
+  return launch(V.K, Global, V.Local, Args);
+}
+
+Expected<sim::SimReport>
+Session::launchApprox(const ApproxKernel &K, sim::Range2 FullGlobal,
+                      sim::Range2 Local,
+                      const std::vector<sim::KernelArg> &Args) {
+  Variant V = K;
+  V.Local = Local;
+  return launch(V, FullGlobal, Args);
+}
+
+void Session::invalidate(const Kernel &K) {
+  assert(K.F && "invalidate of null kernel");
+  ++Stats.Invalidations;
+  Analyses.invalidate(*K.F);
+  for (auto It = Variants.begin(); It != Variants.end();) {
+    if (It->second.Source == K.F)
+      It = Variants.erase(It);
+    else
+      ++It;
+  }
+}

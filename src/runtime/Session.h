@@ -1,0 +1,321 @@
+//===- runtime/Session.h - Host-side runtime session --------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpenCL-host-like API over the compiler and simulator: a Session owns
+/// one module, one simulated device, one buffer set, and the cached
+/// analyses shared by all transforms -- the workflow of Fig. 1b, plus the
+/// compiled-variant cache the paper's "library that automatically applies
+/// and tunes the technique" needs to make tuning sweeps cheap.
+///
+/// Every transformed kernel is handed out as a single rt::Variant: kind,
+/// launch constraints (required local shape or NDRange divisors), an
+/// optional chained second pass, and the cleanup-pipeline statistics.
+/// One launch(Variant, ...) entry point subsumes the accurate, perforated,
+/// and output-approximated launch paths.
+///
+/// Variants are keyed by a canonical VariantKey{kernel, transform, tile,
+/// pipeline spec}; perforate() / approximateOutput() compile each unique
+/// key at most once per Session and return the cached variant afterwards.
+/// compile() likewise caches per source text, so a tuning sweep compiles
+/// the kernel source exactly once. Hit/miss/compile counters are surfaced
+/// in stats().
+///
+/// \code
+///   rt::Session S;
+///   rt::Kernel K = cantFail(S.compile(Source, "gaussian"));
+///   unsigned In = S.createBufferFrom(Pixels);
+///   unsigned Out = S.createBuffer(Pixels.size());
+///
+///   perf::PerforationPlan Plan;
+///   Plan.Scheme = perf::PerforationScheme::rows(2,
+///                     perf::ReconstructionKind::Linear);
+///   rt::Variant V = cantFail(S.perforate(K, Plan));   // cached by key
+///   auto Report = S.launch(V, {W, H},
+///                          {rt::arg::buffer(In), rt::arg::buffer(Out),
+///                           rt::arg::i32(W), rt::arg::i32(H)});
+/// \endcode
+///
+/// rt::Context is a deprecated alias of Session kept for the pre-Session
+/// API; the PerforatedKernel/ApproxKernel handles it returned survive as
+/// thin views of a Variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_RUNTIME_SESSION_H
+#define KPERF_RUNTIME_SESSION_H
+
+#include "gpusim/Interpreter.h"
+#include "ir/AnalysisManager.h"
+#include "ir/Function.h"
+#include "pcl/Compiler.h"
+#include "perforation/OutputApprox.h"
+#include "perforation/Transform.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kperf {
+namespace rt {
+
+/// Handle to a compiled kernel (owned by the Session's module).
+struct Kernel {
+  ir::Function *F = nullptr;
+  const std::string &name() const { return F->name(); }
+};
+
+/// How a Variant's kernel was derived from its source kernel.
+enum class VariantKind : uint8_t {
+  Accurate,     ///< The kernel as compiled (no transform).
+  Perforated,   ///< Local memory-aware input perforation (paper core);
+                ///< SchemeKind::None yields the accurate local-prefetch
+                ///< baseline.
+  OutputApprox, ///< Paraprox-style output approximation (related work).
+};
+
+/// A kernel variant ready to launch: the unified handle subsuming the
+/// historical PerforatedKernel / ApproxKernel / apps' BuiltKernel trio.
+struct Variant {
+  VariantKind Kind = VariantKind::Accurate;
+  Kernel K;
+  /// Perforated variants must launch with exactly this local shape; for
+  /// the others it is the preferred shape the variant was built for.
+  sim::Range2 Local{16, 16};
+  unsigned LocalMemWords = 0; ///< Tile storage the kernel allocates.
+  /// Output-approximation NDRange shrink: launch covers
+  /// ceil(global / Div) items per dimension. Applies to the final pass.
+  unsigned DivX = 1;
+  unsigned DivY = 1;
+  /// Optional chained second pass (ConvolutionSeparable): pass 1 runs K
+  /// into an intermediate buffer, then K2 reads it. K2.F == nullptr for
+  /// single-pass variants.
+  Kernel K2;
+  sim::Range2 Local2{16, 16};
+  /// What the cleanup pipeline did to this variant (tuner reports).
+  ir::PipelineStats PassStats;
+
+  bool isTwoPass() const { return K2.F != nullptr; }
+
+  /// Views of a two-pass variant's stages as single-pass variants, for
+  /// launching each stage through launch(Variant, ...). The NDRange
+  /// shrink belongs to the final pass.
+  Variant firstPass() const;
+  Variant secondPass() const;
+};
+
+/// Canonical cache key of one compiled variant: source kernel, transform
+/// descriptor (scheme/tile or output-approx parameters), and cleanup
+/// pipeline spec. Two plans producing the same key produce byte-identical
+/// kernels, so the Session compiles each key at most once.
+struct VariantKey {
+  std::string Kernel;    ///< Source kernel function name.
+  std::string Transform; ///< Canonical transform descriptor.
+  std::string Pipeline;  ///< Cleanup pipeline spec.
+
+  static VariantKey forPerforation(const ir::Function &F,
+                                   const perf::PerforationPlan &Plan);
+  static VariantKey forOutputApprox(const ir::Function &F,
+                                    const perf::OutputApproxPlan &Plan);
+
+  /// The flat string the cache is keyed by, "kernel|transform|pipeline".
+  std::string str() const;
+};
+
+/// Compile and cache accounting of one Session.
+struct SessionStats {
+  unsigned SourceCompiles = 0;  ///< Frontend runs (unique source texts).
+  unsigned SourceCacheHits = 0; ///< compile() calls served from cache.
+  unsigned VariantCompiles = 0; ///< Transform+pipeline runs (cache misses).
+  unsigned VariantCacheHits = 0;
+  unsigned Invalidations = 0;   ///< invalidate() calls.
+
+  unsigned variantLookups() const {
+    return VariantCompiles + VariantCacheHits;
+  }
+  /// Fraction of variant lookups served from the cache (0 when none).
+  double variantHitRate() const;
+
+  /// One report line, e.g.
+  /// "source compiles: 1 (cache hits: 69); variant compiles: 60;
+  ///  variant cache: 10 hits / 70 lookups (14.3% hit rate)".
+  std::string str() const;
+};
+
+/// Argument construction shorthand.
+namespace arg {
+inline sim::KernelArg i32(int32_t V) { return sim::KernelArg::makeInt(V); }
+inline sim::KernelArg f32(float V) { return sim::KernelArg::makeFloat(V); }
+inline sim::KernelArg buffer(unsigned Index) {
+  return sim::KernelArg::makeBuffer(Index);
+}
+} // namespace arg
+
+//===--- Deprecated pre-Session handles -------------------------------------//
+
+/// Deprecated: view of a perforated Variant for pre-Session call sites.
+struct PerforatedKernel {
+  Kernel K;
+  unsigned LocalX = 0;
+  unsigned LocalY = 0;
+  unsigned LocalMemWords = 0;
+  ir::PipelineStats PassStats;
+
+  PerforatedKernel() = default;
+  PerforatedKernel(const Variant &V)
+      : K(V.K), LocalX(V.Local.X), LocalY(V.Local.Y),
+        LocalMemWords(V.LocalMemWords), PassStats(V.PassStats) {}
+  operator Variant() const;
+};
+
+/// Deprecated: view of an output-approximated Variant.
+struct ApproxKernel {
+  Kernel K;
+  unsigned DivX = 1;
+  unsigned DivY = 1;
+  ir::PipelineStats PassStats;
+
+  ApproxKernel() = default;
+  ApproxKernel(const Variant &V)
+      : K(V.K), DivX(V.DivX), DivY(V.DivY), PassStats(V.PassStats) {}
+  operator Variant() const;
+};
+
+/// Owns the IR module, device configuration, buffers, cached analyses,
+/// and compiled-variant cache of one simulated device session.
+class Session {
+public:
+  explicit Session(sim::DeviceConfig Device = sim::DeviceConfig());
+  ~Session();
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  const sim::DeviceConfig &device() const { return Device; }
+  sim::DeviceConfig &device() { return Device; }
+
+  /// Compiles all kernels in \p Source; returns the one named \p Name.
+  /// Compilation is cached per (source text, options): repeated calls --
+  /// a tuning sweep, an app building several variants -- run the frontend
+  /// once.
+  Expected<Kernel> compile(const std::string &Source,
+                           const std::string &Name);
+
+  /// As above with frontend pipeline options (e.g. a post-verify
+  /// optimization pipeline). Note: CompileOptions::Stats only accumulates
+  /// on the actual (first) compile, not on cache hits.
+  Expected<Kernel> compile(const std::string &Source,
+                           const std::string &Name,
+                           const pcl::CompileOptions &Opts);
+
+  /// Compiles (or returns the cached) kernels of \p Source in declaration
+  /// order.
+  Expected<std::vector<Kernel>> compileAll(
+      const std::string &Source,
+      const pcl::CompileOptions &Opts = pcl::CompileOptions());
+
+  /// Creates a zero-initialized buffer of \p NumElements 32-bit elements.
+  unsigned createBuffer(size_t NumElements);
+
+  /// Creates a buffer initialized with \p Values.
+  unsigned createBufferFrom(const std::vector<float> &Values);
+
+  sim::BufferData &buffer(unsigned Index);
+  const sim::BufferData &buffer(unsigned Index) const;
+
+  //===--- Variant construction (cached) -----------------------------------//
+
+  /// Applies local memory-aware input perforation to \p K (paper core).
+  /// The variant must be launched with local shape Variant::Local; the
+  /// result is cached by VariantKey, so identical plans return the same
+  /// variant without recompiling.
+  Expected<Variant> perforate(const Kernel &K,
+                              const perf::PerforationPlan &Plan);
+
+  /// Applies Paraprox-style output approximation to \p K; cached like
+  /// perforate(). Launch through launch(Variant, ...) which applies the
+  /// NDRange shrink.
+  Expected<Variant> approximateOutput(const Kernel &K,
+                                      const perf::OutputApproxPlan &Plan);
+
+  /// Wraps \p K as an untransformed Variant preferring local shape
+  /// \p Local (not cached -- there is nothing to compile).
+  Variant accurate(const Kernel &K, sim::Range2 Local) const;
+
+  //===--- Launching --------------------------------------------------------//
+
+  /// Unified launch: covers \p FullGlobal items with \p V's kernel at its
+  /// required local shape, applying the NDRange shrink of
+  /// output-approximated variants (rounded up to a multiple of the local
+  /// shape). Two-pass variants must be launched stage by stage via
+  /// firstPass()/secondPass() -- chaining needs an intermediate buffer
+  /// only the caller knows.
+  Expected<sim::SimReport> launch(const Variant &V, sim::Range2 FullGlobal,
+                                  const std::vector<sim::KernelArg> &Args);
+
+  /// Raw launch of \p K over \p Global items in groups of \p Local.
+  Expected<sim::SimReport> launch(const Kernel &K, sim::Range2 Global,
+                                  sim::Range2 Local,
+                                  const std::vector<sim::KernelArg> &Args);
+
+  /// Deprecated: pre-Session launch helper for ApproxKernel handles;
+  /// shrinks the global range by the kernel's divisors, rounding up to a
+  /// multiple of \p Local.
+  Expected<sim::SimReport> launchApprox(
+      const ApproxKernel &K, sim::Range2 FullGlobal, sim::Range2 Local,
+      const std::vector<sim::KernelArg> &Args);
+
+  //===--- Introspection ----------------------------------------------------//
+
+  /// Access to the underlying module (printing, verification, tests).
+  ir::Module &module();
+
+  /// Cached per-function analyses (access summaries, dominator trees)
+  /// shared across this session's transforms.
+  ir::AnalysisManager &analyses() { return Analyses; }
+
+  /// Drops the cached analyses and cached variants derived from \p K.
+  /// Callers that mutate a compiled kernel directly must call this before
+  /// the next perforate()/approximateOutput() of that kernel, or they
+  /// will be served stale variants.
+  void invalidate(const Kernel &K);
+
+  /// Compile/cache counters since construction (or the last reset).
+  const SessionStats &stats() const { return Stats; }
+  void resetStats() { Stats = SessionStats(); }
+
+private:
+  sim::DeviceConfig Device;
+  std::unique_ptr<ir::Module> M;
+  ir::AnalysisManager Analyses;
+  std::vector<sim::BufferData> Buffers;
+  unsigned NameCounter = 0;
+  SessionStats Stats;
+
+  /// Variant cache: source-function identity + VariantKey::str() ->
+  /// variant + its source kernel (recorded so invalidate() can drop the
+  /// right entries). The identity prefix keeps two same-named functions
+  /// from colliding.
+  struct CachedVariant {
+    Variant V;
+    const ir::Function *Source = nullptr;
+  };
+  std::map<std::string, CachedVariant> Variants;
+
+  /// Source cache: (pipeline options key + source text) -> compiled
+  /// kernels in declaration order.
+  std::map<std::string, std::vector<ir::Function *>> Sources;
+};
+
+/// Deprecated alias: the pre-Session name of this class. New code should
+/// spell it rt::Session.
+using Context = Session;
+
+} // namespace rt
+} // namespace kperf
+
+#endif // KPERF_RUNTIME_SESSION_H

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace kperf {
@@ -68,6 +69,24 @@ public:
   /// Constructs a failure value. \p E must be a failure.
   Expected(Error E) : Err(std::move(E)) {
     assert(Err && "Expected constructed from success Error");
+  }
+
+  /// Converts from Expected<U> when the class type U converts to the
+  /// class type T, preserving the error on failure (e.g.
+  /// Expected<rt::Variant> to an Expected of the deprecated
+  /// rt::PerforatedKernel view during the Session migration). Restricted
+  /// to class types so no silent arithmetic narrowing
+  /// (Expected<double> -> Expected<unsigned>) sneaks in.
+  template <typename U,
+            typename = std::enable_if_t<!std::is_same_v<T, U> &&
+                                        std::is_class_v<T> &&
+                                        std::is_class_v<U> &&
+                                        std::is_constructible_v<T, U &&>>>
+  Expected(Expected<U> Other) {
+    if (Other)
+      Value.emplace(Other.takeValue());
+    else
+      Err = Other.takeError();
   }
 
   /// Returns true if a value is present.

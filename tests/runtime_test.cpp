@@ -75,15 +75,22 @@ TEST(RuntimeTest, PerforateProducesLaunchConstraints) {
   EXPECT_NE(P.K.F, K.F);
 }
 
-TEST(RuntimeTest, GeneratedKernelNamesUnique) {
+TEST(RuntimeTest, GeneratedKernelNamesUniquePerKey) {
   Context Ctx;
   Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
   perf::PerforationPlan Plan;
   Plan.Scheme = perf::PerforationScheme::rows(
       2, perf::ReconstructionKind::NearestNeighbor);
+  // Identical plans share one cached variant; a differing plan gets a
+  // distinctly named kernel of its own.
   PerforatedKernel A = cantFail(Ctx.perforate(K, Plan));
   PerforatedKernel B = cantFail(Ctx.perforate(K, Plan));
-  EXPECT_NE(A.K.F->name(), B.K.F->name());
+  EXPECT_EQ(A.K.F, B.K.F);
+  Plan.Scheme =
+      perf::PerforationScheme::rows(4, perf::ReconstructionKind::Linear);
+  PerforatedKernel C = cantFail(Ctx.perforate(K, Plan));
+  EXPECT_NE(A.K.F, C.K.F);
+  EXPECT_NE(A.K.F->name(), C.K.F->name());
 }
 
 TEST(RuntimeTest, LaunchApproxRoundsUp) {

@@ -1,0 +1,293 @@
+//===- tests/session_test.cpp - Session variant-cache tests ------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The rt::Session compiled-variant cache: source-compile caching, variant
+// hit/miss accounting across identical and differing VariantKeys,
+// invalidation after direct kernel mutation, identity of cached-vs-fresh
+// variant outputs on a real app kernel, and the unified launch(Variant)
+// entry point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "apps/Kernels.h"
+#include "img/Generators.h"
+#include "ir/Value.h"
+#include "runtime/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::rt;
+
+namespace {
+
+const char *ScaleSource = R"(
+kernel void scale(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  out[y * w + x] = in[y * w + x] * 2.0;
+}
+)";
+
+perf::PerforationPlan rows1Plan(unsigned TileX = 16, unsigned TileY = 16) {
+  perf::PerforationPlan Plan;
+  Plan.Scheme = perf::PerforationScheme::rows(
+      2, perf::ReconstructionKind::NearestNeighbor);
+  Plan.TileX = TileX;
+  Plan.TileY = TileY;
+  return Plan;
+}
+
+TEST(SessionTest, SourceCompileCached) {
+  Session S;
+  Kernel A = cantFail(S.compile(ScaleSource, "scale"));
+  Kernel B = cantFail(S.compile(ScaleSource, "scale"));
+  EXPECT_EQ(A.F, B.F);
+  EXPECT_EQ(S.stats().SourceCompiles, 1u);
+  EXPECT_EQ(S.stats().SourceCacheHits, 1u);
+
+  // A different pipeline option set is a different compile.
+  pcl::CompileOptions Opts;
+  Opts.PipelineSpec = "fixpoint(simplify,dce)";
+  Kernel C = cantFail(S.compile(ScaleSource, "scale", Opts));
+  EXPECT_NE(A.F, C.F);
+  EXPECT_EQ(S.stats().SourceCompiles, 2u);
+}
+
+TEST(SessionTest, VariantCacheHitsAndMisses) {
+  Session S;
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+
+  Variant A = cantFail(S.perforate(K, rows1Plan()));
+  EXPECT_EQ(S.stats().VariantCompiles, 1u);
+  EXPECT_EQ(S.stats().VariantCacheHits, 0u);
+
+  // Identical key: served from cache, same generated kernel.
+  Variant B = cantFail(S.perforate(K, rows1Plan()));
+  EXPECT_EQ(S.stats().VariantCompiles, 1u);
+  EXPECT_EQ(S.stats().VariantCacheHits, 1u);
+  EXPECT_EQ(A.K.F, B.K.F);
+  EXPECT_EQ(A.Local.X, B.Local.X);
+
+  // Differing tile shape, scheme, or pipeline spec: distinct keys.
+  Variant C = cantFail(S.perforate(K, rows1Plan(8, 8)));
+  EXPECT_NE(A.K.F, C.K.F);
+  perf::PerforationPlan LiPlan = rows1Plan();
+  LiPlan.Scheme =
+      perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear);
+  Variant D = cantFail(S.perforate(K, LiPlan));
+  EXPECT_NE(A.K.F, D.K.F);
+  perf::PerforationPlan PipePlan = rows1Plan();
+  PipePlan.PipelineSpec = "fixpoint(simplify,dce)";
+  Variant E = cantFail(S.perforate(K, PipePlan));
+  EXPECT_NE(A.K.F, E.K.F);
+  EXPECT_EQ(S.stats().VariantCompiles, 4u);
+  EXPECT_EQ(S.stats().VariantCacheHits, 1u);
+  EXPECT_DOUBLE_EQ(S.stats().variantHitRate(), 0.2);
+}
+
+TEST(SessionTest, SameNamedKernelsDoNotCollide) {
+  // Two distinct functions named "scale" coexist in one module (same
+  // source compiled under different pipeline options); their variants
+  // must be cached independently.
+  Session S;
+  Kernel A = cantFail(S.compile(ScaleSource, "scale"));
+  pcl::CompileOptions Opts;
+  Opts.PipelineSpec = ir::defaultPipelineSpec();
+  Kernel B = cantFail(S.compile(ScaleSource, "scale", Opts));
+  ASSERT_NE(A.F, B.F);
+
+  Variant VA = cantFail(S.perforate(A, rows1Plan()));
+  Variant VB = cantFail(S.perforate(B, rows1Plan()));
+  EXPECT_NE(VA.K.F, VB.K.F);
+  EXPECT_EQ(S.stats().VariantCompiles, 2u);
+  EXPECT_EQ(S.stats().VariantCacheHits, 0u);
+
+  // Invalidating one kernel leaves the other's cached variant intact.
+  S.invalidate(A);
+  Variant VB2 = cantFail(S.perforate(B, rows1Plan()));
+  EXPECT_EQ(VB2.K.F, VB.K.F);
+  Variant VA2 = cantFail(S.perforate(A, rows1Plan()));
+  EXPECT_NE(VA2.K.F, VA.K.F);
+}
+
+TEST(SessionTest, OutputApproxCached) {
+  Session S;
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+  perf::OutputApproxPlan Plan;
+  Plan.Kind = perf::OutputSchemeKind::Rows;
+  Plan.ApproxPerComputed = 2;
+  Plan.WidthArgIndex = 2;
+  Plan.HeightArgIndex = 3;
+  Variant A = cantFail(S.approximateOutput(K, Plan));
+  Variant B = cantFail(S.approximateOutput(K, Plan));
+  EXPECT_EQ(A.K.F, B.K.F);
+  EXPECT_EQ(A.Kind, VariantKind::OutputApprox);
+  EXPECT_EQ(A.DivY, 3u);
+  EXPECT_EQ(S.stats().VariantCompiles, 1u);
+  EXPECT_EQ(S.stats().VariantCacheHits, 1u);
+
+  // A perforation of the same kernel is a different key space entirely.
+  cantFail(S.perforate(K, rows1Plan()));
+  EXPECT_EQ(S.stats().VariantCompiles, 2u);
+}
+
+TEST(SessionTest, InvalidateAfterKernelMutation) {
+  Session S;
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+  Variant Before = cantFail(S.perforate(K, rows1Plan()));
+
+  // Run the cached variant on a small input: out = 2 * in.
+  std::vector<float> Data(32 * 32, 1.0f);
+  unsigned In = S.createBufferFrom(Data);
+  unsigned Out = S.createBuffer(Data.size());
+  std::vector<sim::KernelArg> Args = {arg::buffer(In), arg::buffer(Out),
+                                      arg::i32(32), arg::i32(32)};
+  cantFail(S.launch(Before, {32, 32}, Args));
+  EXPECT_FLOAT_EQ(S.buffer(Out).floatAt(0), 2.0f);
+
+  // Mutate the *source* kernel directly: scale by 3 instead of 2.
+  bool Mutated = false;
+  for (auto &BB : K.F->blocks())
+    for (auto &I : BB->instructions())
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI)
+        if (auto *CF = ir::dyn_cast<ir::ConstantFloat>(I->operand(OpI)))
+          if (CF->value() == 2.0f) {
+            I->setOperand(OpI, S.module().getFloat(3.0f));
+            Mutated = true;
+          }
+  ASSERT_TRUE(Mutated);
+
+  // Without invalidation the cache would keep serving the stale variant;
+  // after invalidate() the next perforate() recompiles from the mutated
+  // kernel.
+  Variant Stale = cantFail(S.perforate(K, rows1Plan()));
+  EXPECT_EQ(Stale.K.F, Before.K.F);
+
+  S.invalidate(K);
+  EXPECT_EQ(S.stats().Invalidations, 1u);
+  Variant After = cantFail(S.perforate(K, rows1Plan()));
+  EXPECT_NE(After.K.F, Before.K.F);
+  cantFail(S.launch(After, {32, 32}, Args));
+  EXPECT_FLOAT_EQ(S.buffer(Out).floatAt(0), 3.0f);
+}
+
+TEST(SessionTest, CachedVariantOutputMatchesFreshSession) {
+  // A real app kernel: gaussian, Rows1:LI at 16x16. The cached variant's
+  // output must be byte-identical to both a repeated (cache-hit) run in
+  // the same session and a fresh session's run.
+  auto App = apps::makeApp("gaussian");
+  apps::Workload W = apps::makeImageWorkload(
+      img::generateImage(img::ImageClass::Natural, 64, 64, 3));
+  perf::PerforationScheme Scheme =
+      perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear);
+
+  Session S;
+  Variant V1 = cantFail(App->buildPerforated(S, Scheme, {16, 16}));
+  std::vector<float> First = cantFail(App->run(S, V1, W)).Output;
+  Variant V2 = cantFail(App->buildPerforated(S, Scheme, {16, 16}));
+  EXPECT_EQ(V1.K.F, V2.K.F);
+  EXPECT_GE(S.stats().VariantCacheHits, 1u);
+  EXPECT_EQ(S.stats().SourceCompiles, 1u);
+  std::vector<float> Cached = cantFail(App->run(S, V2, W)).Output;
+  EXPECT_EQ(First, Cached);
+
+  Session Fresh;
+  Variant V3 = cantFail(App->buildPerforated(Fresh, Scheme, {16, 16}));
+  std::vector<float> FreshOut = cantFail(App->run(Fresh, V3, W)).Output;
+  EXPECT_EQ(First, FreshOut);
+}
+
+TEST(SessionTest, UnifiedLaunchAppliesNDRangeShrink) {
+  Session S;
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+  perf::OutputApproxPlan Plan;
+  Plan.Kind = perf::OutputSchemeKind::Rows;
+  Plan.ApproxPerComputed = 2;
+  Plan.WidthArgIndex = 2;
+  Plan.HeightArgIndex = 3;
+  Variant V = cantFail(S.approximateOutput(K, Plan));
+  V.Local = sim::Range2{4, 4};
+
+  std::vector<float> Data(48 * 48, 0.5f);
+  unsigned In = S.createBufferFrom(Data);
+  unsigned Out = S.createBuffer(Data.size());
+  // 48/3 = 16 computed rows, divisible by 4: launches cleanly at 48x16.
+  sim::SimReport R = cantFail(S.launch(
+      V, {48, 48},
+      {arg::buffer(In), arg::buffer(Out), arg::i32(48), arg::i32(48)}));
+  EXPECT_EQ(R.Totals.WorkItems, 48u * 16u);
+}
+
+TEST(SessionTest, TwoPassVariantLaunchesStageByStage) {
+  auto App = apps::makeApp("convsep");
+  Session S;
+  Variant V = cantFail(App->buildPlain(S, {16, 16}));
+  ASSERT_TRUE(V.isTwoPass());
+  EXPECT_FALSE(V.firstPass().isTwoPass());
+  EXPECT_FALSE(V.secondPass().isTwoPass());
+  EXPECT_EQ(V.secondPass().K.F, V.K2.F);
+
+  // The unified entry point refuses a whole two-pass variant: chaining
+  // needs the caller's intermediate buffer.
+  std::vector<float> Data(32 * 32, 0.25f);
+  unsigned In = S.createBufferFrom(Data);
+  unsigned Out = S.createBuffer(Data.size());
+  Expected<sim::SimReport> R = S.launch(
+      V, {32, 32},
+      {arg::buffer(In), arg::buffer(Out), arg::i32(32), arg::i32(32)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("two-pass"), std::string::npos);
+
+  // And the app harness chains the passes for us.
+  apps::Workload W = apps::makeImageWorkload(
+      img::generateImage(img::ImageClass::Smooth, 32, 32, 5));
+  apps::RunOutcome O = cantFail(App->run(S, V, W));
+  EXPECT_EQ(O.Output.size(), W.Input.size());
+}
+
+TEST(SessionTest, ContextAliasAndDeprecatedHandlesCompile) {
+  // Pre-Session code keeps working: rt::Context is rt::Session, and the
+  // old handle structs are views of rt::Variant.
+  Context Ctx;
+  Kernel K = cantFail(Ctx.compile(ScaleSource, "scale"));
+  PerforatedKernel P = cantFail(Ctx.perforate(K, rows1Plan(8, 4)));
+  EXPECT_EQ(P.LocalX, 8u);
+  EXPECT_EQ(P.LocalY, 4u);
+
+  perf::OutputApproxPlan Plan;
+  Plan.Kind = perf::OutputSchemeKind::Rows;
+  Plan.ApproxPerComputed = 2;
+  Plan.WidthArgIndex = 2;
+  Plan.HeightArgIndex = 3;
+  ApproxKernel A = cantFail(Ctx.approximateOutput(K, Plan));
+  std::vector<float> Data(48 * 48, 0.5f);
+  unsigned In = Ctx.createBufferFrom(Data);
+  unsigned Out = Ctx.createBuffer(Data.size());
+  sim::SimReport R = cantFail(Ctx.launchApprox(
+      A, {48, 48}, {4, 4},
+      {arg::buffer(In), arg::buffer(Out), arg::i32(48), arg::i32(48)}));
+  EXPECT_EQ(R.Totals.WorkItems, 48u * 16u);
+
+  // Expected<Variant> converts to Expected<PerforatedKernel> too.
+  Expected<PerforatedKernel> E = Ctx.perforate(K, rows1Plan(8, 4));
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E->LocalX, 8u);
+}
+
+TEST(SessionTest, StatsLineMentionsCompilesAndHitRate) {
+  Session S;
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+  cantFail(S.perforate(K, rows1Plan()));
+  cantFail(S.perforate(K, rows1Plan()));
+  std::string Line = S.stats().str();
+  EXPECT_NE(Line.find("source compiles: 1"), std::string::npos);
+  EXPECT_NE(Line.find("variant compiles: 1"), std::string::npos);
+  EXPECT_NE(Line.find("50.0% hit rate"), std::string::npos);
+}
+
+} // namespace

@@ -27,11 +27,16 @@
 //       --time-passes prints its per-pass statistics.
 //
 //   kperfc tune <file.pcl> [--kernel name] [--image in.pgm] [--budget E]
+//               [--size N]
 //       Explore scheme x reconstruction x work-group configurations for a
 //       kernel(in, out, w, h) filter, print the Pareto front, and pick
 //       the fastest configuration whose error stays within the budget
-//       (default 0.05). Without --image a synthetic natural image is
-//       used.
+//       (default 0.05). Without --image a synthetic natural image of
+//       edge length --size (default 256; must be a multiple of 128) is
+//       used. The whole sweep shares one rt::Session, so the source is
+//       compiled once and every unique (scheme, tile, pipeline) variant
+//       at most once; the final "session:" line reports the compile
+//       counts and the variant-cache hit rate.
 //
 //   kperfc passes <file.pcl> [--kernel name] [--passes SPEC]
 //               [--time-passes] [--verify-each]
@@ -62,14 +67,16 @@
 #include "perforation/Pareto.h"
 #include "perforation/Tuner.h"
 #include "pcl/Compiler.h"
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
 
 using namespace kperf;
 
@@ -85,6 +92,7 @@ struct Options {
   bool SchemeGiven = false;
   unsigned WgX = 16, WgY = 16;
   double Budget = 0.05;
+  unsigned Size = 256; ///< tune: synthetic-image edge length.
   std::string PassSpec; ///< --passes pipeline spec.
   bool PassSpecGiven = false;
   bool TimePasses = false;
@@ -99,7 +107,7 @@ int usage() {
                "rows2|cols1|cols2|stencil]\n"
                "              [--recon nn|li] [--wg WxH]\n"
                "              [--image in.pgm] [--out out.pgm] "
-               "[--budget E]\n"
+               "[--budget E] [--size N]\n"
                "              [--passes SPEC] [--time-passes] "
                "[--verify-each]\n"
                "       kperfc --passes=SPEC [--time-passes] <file.pcl>\n");
@@ -215,6 +223,16 @@ Expected<Options> parseArgs(int Argc, char **Argv) {
       O.Budget = std::strtod(V->c_str(), &End);
       if (End == V->c_str() || O.Budget < 0)
         return makeError("bad --budget value '%s'", V->c_str());
+    } else if (A == "--size") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      int N = std::atoi(V->c_str());
+      if (N <= 0 || N % 128 != 0)
+        return makeError("bad --size value '%s' (expected a positive "
+                         "multiple of 128)",
+                         V->c_str());
+      O.Size = static_cast<unsigned>(N);
     } else {
       return makeError("unknown option '%s'", A.c_str());
     }
@@ -248,7 +266,7 @@ Expected<std::string> readFile(const std::string &Path) {
 /// Compiles the requested (or first) kernel of the file. When
 /// \p ApplyPasses is set, the --passes pipeline (if any) runs over the
 /// compiled kernels as a post-verify step.
-Expected<rt::Kernel> compileFrom(rt::Context &Ctx, const Options &O,
+Expected<rt::Kernel> compileFrom(rt::Session &S, const Options &O,
                                  const std::string &Source,
                                  bool ApplyPasses = false) {
   pcl::CompileOptions CO;
@@ -257,17 +275,15 @@ Expected<rt::Kernel> compileFrom(rt::Context &Ctx, const Options &O,
     CO.VerifyEach = O.VerifyEach;
   }
   if (!O.KernelName.empty())
-    return Ctx.compile(Source, O.KernelName, CO);
-  // First kernel: parse the name out of a trial compile of all kernels.
-  Expected<std::vector<ir::Function *>> All =
-      pcl::compile(Ctx.module(), Source, CO);
+    return S.compile(Source, O.KernelName, CO);
+  Expected<std::vector<rt::Kernel>> All = S.compileAll(Source, CO);
   if (!All)
     return All.takeError();
-  return rt::Kernel{All->front()};
+  return All->front();
 }
 
 int cmdDumpIR(const Options &O, const std::string &Source) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Expected<rt::Kernel> K =
       compileFrom(Ctx, O, Source, /*ApplyPasses=*/true);
   if (!K) {
@@ -279,7 +295,7 @@ int cmdDumpIR(const Options &O, const std::string &Source) {
 }
 
 int cmdAnalyze(const Options &O, const std::string &Source) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
   if (!K) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
@@ -310,7 +326,7 @@ int cmdAnalyze(const Options &O, const std::string &Source) {
 }
 
 int cmdPerforate(const Options &O, const std::string &Source) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
   if (!K) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
@@ -326,13 +342,13 @@ int cmdPerforate(const Options &O, const std::string &Source) {
   if (O.PassSpecGiven)
     Plan.PipelineSpec = O.PassSpec;
   Plan.VerifyEach = O.VerifyEach;
-  Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
+  Expected<rt::Variant> P = Ctx.perforate(*K, Plan);
   if (!P) {
     std::fprintf(stderr, "error: %s\n", P.error().message().c_str());
     return 1;
   }
   std::printf("; scheme %s, work group %ux%u, local memory %u words\n",
-              Plan.Scheme.str().c_str(), P->LocalX, P->LocalY,
+              Plan.Scheme.str().c_str(), P->Local.X, P->Local.Y,
               P->LocalMemWords);
   if (O.TimePasses)
     std::printf("; cleanup: %s\n", P->PassStats.str().c_str());
@@ -358,7 +374,7 @@ int cmdRun(const Options &O, const std::string &Source) {
     return 1;
   }
 
-  rt::Context Ctx;
+  rt::Session Ctx;
   Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
   if (!K) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
@@ -392,13 +408,12 @@ int cmdRun(const Options &O, const std::string &Source) {
     if (O.PassSpecGiven)
       Plan.PipelineSpec = O.PassSpec;
     Plan.VerifyEach = O.VerifyEach;
-    Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
+    Expected<rt::Variant> P = Ctx.perforate(*K, Plan);
     if (!P) {
       std::fprintf(stderr, "error: %s\n", P.error().message().c_str());
       return 1;
     }
-    Expected<sim::SimReport> App =
-        Ctx.launch(P->K, {W, H}, {P->LocalX, P->LocalY}, Args);
+    Expected<sim::SimReport> App = Ctx.launch(*P, {W, H}, Args);
     if (!App) {
       std::fprintf(stderr, "error: %s\n", App.error().message().c_str());
       return 1;
@@ -432,7 +447,7 @@ int cmdRun(const Options &O, const std::string &Source) {
 int cmdTune(const Options &O, const std::string &Source) {
   // Workload: the user's PGM, or a synthetic natural image whose edge
   // length every Fig. 9 work-group shape divides.
-  img::Image In(256, 256);
+  img::Image In(O.Size, O.Size);
   if (!O.ImagePath.empty()) {
     Expected<img::Image> Loaded = img::readPGM(O.ImagePath);
     if (!Loaded) {
@@ -442,9 +457,26 @@ int cmdTune(const Options &O, const std::string &Source) {
     }
     In = *Loaded;
   } else {
-    In = img::generateImage(img::ImageClass::Natural, 256, 256, 11);
+    In = img::generateImage(img::ImageClass::Natural, O.Size, O.Size, 11);
   }
   unsigned W = In.width(), H = In.height();
+
+  // One session for the whole sweep: the source compiles once, every
+  // unique (scheme, tile, pipeline) variant compiles at most once, and
+  // the accurate baseline is measured once per work-group shape instead
+  // of once per configuration.
+  rt::Session S;
+  Expected<rt::Kernel> K = compileFrom(S, O, Source);
+  if (!K) {
+    std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+    return 1;
+  }
+  unsigned InBuf = S.createBufferFrom(In.pixels());
+  unsigned OutBuf = S.createBuffer(In.size());
+  std::vector<sim::KernelArg> Args = {
+      rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
+      rt::arg::i32(static_cast<int32_t>(W)),
+      rt::arg::i32(static_cast<int32_t>(H))};
 
   // Accurate output, once, as the quality reference (the kernel as
   // written is also the speedup denominator -- for arbitrary user
@@ -452,25 +484,28 @@ int cmdTune(const Options &O, const std::string &Source) {
   // faster, so the tool reports speedup vs. the unmodified kernel).
   std::vector<float> Reference;
   {
-    rt::Context Ctx;
-    Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
-    if (!K) {
-      std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
-      return 1;
-    }
-    unsigned InBuf = Ctx.createBufferFrom(In.pixels());
-    unsigned OutBuf = Ctx.createBuffer(In.size());
-    Expected<sim::SimReport> R = Ctx.launch(
-        *K, {W, H}, {16, 16},
-        {rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
-         rt::arg::i32(static_cast<int32_t>(W)),
-         rt::arg::i32(static_cast<int32_t>(H))});
+    Expected<sim::SimReport> R = S.launch(*K, {W, H}, {16, 16}, Args);
     if (!R) {
       std::fprintf(stderr, "error: %s\n", R.error().message().c_str());
       return 1;
     }
-    Reference = Ctx.buffer(OutBuf).downloadFloats();
+    Reference = S.buffer(OutBuf).downloadFloats();
   }
+
+  // Accurate timing per work-group shape (timing does not depend on
+  // input content, so one launch per shape covers all schemes at it).
+  std::map<std::pair<unsigned, unsigned>, double> AccurateMs;
+  auto accurateTimeAt = [&](sim::Range2 Local) -> Expected<double> {
+    auto Key = std::make_pair(Local.X, Local.Y);
+    auto It = AccurateMs.find(Key);
+    if (It != AccurateMs.end())
+      return It->second;
+    Expected<sim::SimReport> R = S.launch(*K, {W, H}, Local, Args);
+    if (!R)
+      return R.takeError();
+    AccurateMs.emplace(Key, R->TimeMs);
+    return R->TimeMs;
+  };
 
   perf::EvaluateFn Evaluate =
       [&](const perf::TunerConfig &Config)
@@ -478,18 +513,8 @@ int cmdTune(const Options &O, const std::string &Source) {
     if (W % Config.TileX != 0 || H % Config.TileY != 0)
       return makeError("image %ux%u not divisible by %ux%u", W, H,
                        Config.TileX, Config.TileY);
-    rt::Context Ctx;
-    Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
-    if (!K)
-      return K.takeError();
-    unsigned InBuf = Ctx.createBufferFrom(In.pixels());
-    unsigned OutBuf = Ctx.createBuffer(In.size());
-    std::vector<sim::KernelArg> Args = {
-        rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
-        rt::arg::i32(static_cast<int32_t>(W)),
-        rt::arg::i32(static_cast<int32_t>(H))};
     sim::Range2 Local{Config.TileX, Config.TileY};
-    Expected<sim::SimReport> Acc = Ctx.launch(*K, {W, H}, Local, Args);
+    Expected<double> Acc = accurateTimeAt(Local);
     if (!Acc)
       return Acc.takeError();
     if (Config.Scheme.Kind == perf::SchemeKind::None)
@@ -501,17 +526,16 @@ int cmdTune(const Options &O, const std::string &Source) {
     if (O.PassSpecGiven)
       Plan.PipelineSpec = O.PassSpec;
     Plan.VerifyEach = O.VerifyEach;
-    Expected<rt::PerforatedKernel> P = Ctx.perforate(*K, Plan);
+    Expected<rt::Variant> P = S.perforate(*K, Plan);
     if (!P)
       return P.takeError();
-    Expected<sim::SimReport> App =
-        Ctx.launch(P->K, {W, H}, {P->LocalX, P->LocalY}, Args);
+    Expected<sim::SimReport> App = S.launch(*P, {W, H}, Args);
     if (!App)
       return App.takeError();
     perf::Measurement M;
-    M.Speedup = Acc->TimeMs / App->TimeMs;
+    M.Speedup = *Acc / App->TimeMs;
     M.Error =
-        img::meanRelativeError(Reference, Ctx.buffer(OutBuf).downloadFloats());
+        img::meanRelativeError(Reference, S.buffer(OutBuf).downloadFloats());
     M.PassStats = P->PassStats;
     return M;
   };
@@ -544,16 +568,25 @@ int cmdTune(const Options &O, const std::string &Source) {
   size_t Best = perf::bestWithinErrorBudget(Results, O.Budget);
   if (Best == ~size_t(0)) {
     std::printf("\nno configuration meets the %.3f budget\n", O.Budget);
-    return 0;
+  } else {
+    std::printf("\nchosen for budget %.3f: %s (speedup %.2fx, "
+                "MRE %.5f)\n",
+                O.Budget, Results[Best].Config.str().c_str(),
+                Results[Best].M.Speedup, Results[Best].M.Error);
+    // Re-evaluate the winner through the variant cache: no
+    // recompilation, and the cached variant reproduces the measurement
+    // exactly.
+    Expected<perf::Measurement> Re = Evaluate(Results[Best].Config);
+    if (Re)
+      std::printf("re-validated from cache: speedup %.2fx, MRE %.5f\n",
+                  Re->Speedup, Re->Error);
   }
-  std::printf("\nchosen for budget %.3f: %s (speedup %.2fx, MRE %.5f)\n",
-              O.Budget, Results[Best].Config.str().c_str(),
-              Results[Best].M.Speedup, Results[Best].M.Error);
+  std::printf("session: %s\n", S.stats().str().c_str());
   return 0;
 }
 
 int cmdPasses(const Options &O, const std::string &Source) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
   if (!K) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
