@@ -7,12 +7,15 @@
 #include "bench/BenchUtil.h"
 
 #include "img/PGM.h"
+#include "support/ParallelFor.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <optional>
 
 using namespace kperf;
 using namespace kperf::bench;
@@ -82,20 +85,22 @@ Expected<rt::Variant> buildVariant(const App &TheApp, rt::Session &S,
 
 } // namespace
 
-Expected<VariantEval>
-bench::evaluateVariant(const App &TheApp, const VariantSpec &Variant,
-                       sim::Range2 Local,
-                       const std::vector<Workload> &Workloads) {
+namespace {
+
+/// The body shared by the serial and parallel evaluation paths: builds
+/// the baseline and the variant in \p S (served from the session cache
+/// when another worker already built them) and measures time + errors.
+Expected<VariantEval> evaluateVariantIn(rt::Session &S, const App &TheApp,
+                                        const VariantSpec &Variant,
+                                        sim::Range2 Local,
+                                        const std::vector<Workload>
+                                            &Workloads) {
   if (Workloads.empty())
     return makeError("evaluateVariant: no workloads");
 
   VariantEval Eval;
   Eval.Label = Variant.Label;
 
-  // One session for the whole evaluation: the source compiles once and
-  // the variant is built once (the baseline shares the compile through
-  // the session's cache).
-  rt::Session S;
   Expected<rt::Variant> Base = TheApp.buildBaseline(S, Local);
   if (!Base)
     return Base.takeError();
@@ -124,6 +129,74 @@ bench::evaluateVariant(const App &TheApp, const VariantSpec &Variant,
   }
   Eval.ErrorSummary = summarize(Eval.Errors);
   return Eval;
+}
+
+} // namespace
+
+Expected<VariantEval>
+bench::evaluateVariant(const App &TheApp, const VariantSpec &Variant,
+                       sim::Range2 Local,
+                       const std::vector<Workload> &Workloads) {
+  // One session for the whole evaluation: the source compiles once and
+  // the variant is built once (the baseline shares the compile through
+  // the session's cache).
+  rt::Session S;
+  return evaluateVariantIn(S, TheApp, Variant, Local, Workloads);
+}
+
+std::vector<Expected<VariantEval>> bench::evaluateVariantsParallel(
+    const App &TheApp, const std::vector<VariantSpec> &Variants,
+    sim::Range2 Local, const std::vector<Workload> &Workloads,
+    unsigned Jobs, rt::SessionStats *StatsOut) {
+  // One shared session: compiles serialize (and dedupe) inside it, the
+  // simulator runs are per-worker, and every run's buffers come from the
+  // session free list.
+  rt::Session S;
+  std::vector<std::optional<Expected<VariantEval>>> Slots(Variants.size());
+  parallelFor(Variants.size(), Jobs, [&](size_t I) {
+    Slots[I].emplace(
+        evaluateVariantIn(S, TheApp, Variants[I], Local, Workloads));
+  });
+
+  if (StatsOut)
+    *StatsOut = S.stats();
+  std::vector<Expected<VariantEval>> Results;
+  Results.reserve(Slots.size());
+  for (auto &Slot : Slots)
+    Results.push_back(std::move(*Slot));
+  return Results;
+}
+
+namespace {
+
+/// Parses a job-count value strictly; a malformed value is a usage
+/// error, not a silent fallback (0 would mean "every hardware thread").
+unsigned parseJobsValue(const char *Value, const char *Origin) {
+  char *End = nullptr;
+  long Jobs = std::strtol(Value, &End, 10);
+  if (End == Value || *End != '\0' || Jobs < 0) {
+    std::fprintf(stderr,
+                 "error: bad %s value '%s' (expected a non-negative "
+                 "integer; 0 = hardware threads)\n",
+                 Origin, Value);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(Jobs);
+}
+
+} // namespace
+
+unsigned bench::parseJobsFlag(int Argc, char **Argv, unsigned Default) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--jobs" && I + 1 < Argc)
+      return parseJobsValue(Argv[I + 1], "--jobs");
+    if (A.rfind("--jobs=", 0) == 0)
+      return parseJobsValue(A.c_str() + 7, "--jobs");
+  }
+  if (const char *E = std::getenv("KPERF_JOBS"))
+    return parseJobsValue(E, "KPERF_JOBS");
+  return Default;
 }
 
 namespace {

@@ -80,6 +80,25 @@ Expected<VariantEval> evaluateVariant(const apps::App &TheApp,
                                       const std::vector<apps::Workload>
                                           &Workloads);
 
+/// Evaluates every spec of \p Variants on \p Jobs worker threads (0 =
+/// one per hardware thread), sharing ONE rt::Session across the whole
+/// batch: each variant's kernels compile at most once, and workers run
+/// concurrent simulator instances over the shared read-only variants
+/// with buffer sets checked out from the session free list. Results come
+/// back in \p Variants order and are identical to calling
+/// evaluateVariant per spec (modulo the shared session's compile
+/// counters).
+std::vector<Expected<VariantEval>> evaluateVariantsParallel(
+    const apps::App &TheApp, const std::vector<VariantSpec> &Variants,
+    sim::Range2 Local, const std::vector<apps::Workload> &Workloads,
+    unsigned Jobs, rt::SessionStats *StatsOut = nullptr);
+
+/// Scans a benchmark's argv for "--jobs N" / "--jobs=N"; falls back to
+/// the KPERF_JOBS environment variable. Returns \p Default when neither
+/// is given (benches default to 1: serial, byte-reproducible without
+/// opting in).
+unsigned parseJobsFlag(int Argc, char **Argv, unsigned Default = 1);
+
 //===--- Machine-readable output (--json) -----------------------------------//
 
 /// One flat JSON object built key by key, for the benchmarks' --json

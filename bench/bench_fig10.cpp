@@ -14,6 +14,10 @@
 // speedup with much lower error; Cols is slower than Rows (layout
 // mismatch); Stencil1 is infeasible for Inversion (1x1 kernel).
 //
+// --jobs N (or KPERF_JOBS): evaluate each app's variant list on N worker
+// threads sharing one rt::Session; the printed numbers are identical to
+// the serial run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -25,8 +29,9 @@ using namespace kperf;
 using namespace kperf::bench;
 using namespace kperf::apps;
 
-int main() {
+int main(int Argc, char **Argv) {
   BenchSettings S = BenchSettings::fromEnvironment();
+  unsigned Jobs = parseJobsFlag(Argc, Argv);
   std::printf("=== Figure 10: Pareto fronts, ours vs. Paraprox ===\n");
   std::printf("dataset: %u inputs, %ux%u\n\n", S.NumImages, S.ImageSize,
               S.ImageSize);
@@ -58,11 +63,12 @@ int main() {
     std::vector<perf::TradeoffPoint> Points;
     std::printf("%s:\n  %-16s %10s %10s\n", AppName, "config", "speedup",
                 "mean err");
-    for (const VariantSpec &V : Variants) {
-      Expected<VariantEval> E =
-          evaluateVariant(*App, V, {16, 16}, Workloads);
+    std::vector<Expected<VariantEval>> Evals =
+        evaluateVariantsParallel(*App, Variants, {16, 16}, Workloads, Jobs);
+    for (size_t I = 0; I < Variants.size(); ++I) {
+      Expected<VariantEval> &E = Evals[I];
       if (!E) {
-        std::printf("  %-16s infeasible: %s\n", V.Label.c_str(),
+        std::printf("  %-16s infeasible: %s\n", Variants[I].Label.c_str(),
                     E.error().message().c_str());
         continue;
       }

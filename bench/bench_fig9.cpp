@@ -22,10 +22,16 @@
 // counters as a JSON array (default BENCH_fig9.json) so the performance
 // trajectory can be tracked across revisions.
 //
+// --jobs N (or KPERF_JOBS): run the (variant, shape) sweep cells on N
+// worker threads sharing the app's session. The simulated times, and
+// therefore the whole table and the --json output, are identical to the
+// serial run -- CI diffs the two to pin that down.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "perforation/Tuner.h"
+#include "support/ParallelFor.h"
 
 #include <cstdio>
 #include <vector>
@@ -38,6 +44,7 @@ int main(int Argc, char **Argv) {
   BenchSettings S = BenchSettings::fromEnvironment();
   std::string JsonPath;
   bool Json = parseJsonFlag(Argc, Argv, "fig9", JsonPath);
+  unsigned Jobs = parseJobsFlag(Argc, Argv);
   std::vector<JsonRecord> Records;
 
   std::printf("=== Figure 9: local work-group size tuning ===\n");
@@ -80,29 +87,35 @@ int main(int Argc, char **Argv) {
     rt::Session Session;
 
     // Collect absolute times first so each variant can be normalized to
-    // its own maximum, as the paper's per-plot normalization does.
-    std::vector<std::vector<double>> Times(Variants.size());
-    for (auto [X, Y] : Shapes) {
-      for (size_t VI = 0; VI < Variants.size(); ++VI) {
-        if (!Variants[VI].Applicable)
-          continue;
-        Expected<rt::Variant> BK = [&]() -> Expected<rt::Variant> {
-          switch (Variants[VI].Spec.K) {
-          case VariantSpec::Kind::Baseline:
-            return App->buildBaseline(Session, {X, Y});
-          default:
-            return App->buildPerforated(Session, Variants[VI].Spec.Scheme,
-                                        {X, Y});
-          }
-        }();
-        if (!BK) {
-          Times[VI].push_back(-1);
-          continue;
+    // its own maximum, as the paper's per-plot normalization does. The
+    // sweep cells are independent given the session's internal
+    // synchronization, so they run on a worker pool: builds dedupe in
+    // the variant cache, each run checks its buffers out of the session
+    // free list, and each cell writes its own Times slot.
+    std::vector<std::vector<double>> Times(
+        Variants.size(), std::vector<double>(Shapes.size(), -1));
+    auto RunCell = [&](size_t SI, size_t VI) {
+      auto [X, Y] = Shapes[SI];
+      Expected<rt::Variant> BK = [&]() -> Expected<rt::Variant> {
+        switch (Variants[VI].Spec.K) {
+        case VariantSpec::Kind::Baseline:
+          return App->buildBaseline(Session, {X, Y});
+        default:
+          return App->buildPerforated(Session, Variants[VI].Spec.Scheme,
+                                      {X, Y});
         }
-        Expected<RunOutcome> R = App->run(Session, *BK, W);
-        Times[VI].push_back(R ? R->Report.TimeMs : -1);
-      }
-    }
+      }();
+      if (!BK)
+        return;
+      Expected<RunOutcome> R = App->run(Session, *BK, W);
+      if (R)
+        Times[VI][SI] = R->Report.TimeMs;
+    };
+    parallelFor(Shapes.size() * Variants.size(), Jobs, [&](size_t C) {
+      size_t SI = C / Variants.size(), VI = C % Variants.size();
+      if (Variants[VI].Applicable)
+        RunCell(SI, VI);
+    });
     std::vector<double> Max(Variants.size(), 0);
     for (size_t VI = 0; VI < Variants.size(); ++VI)
       for (double T : Times[VI])

@@ -131,11 +131,19 @@ public:
         {rt::arg::buffer(In), rt::arg::buffer(Out),
          rt::arg::i32(static_cast<int32_t>(Width)),
          rt::arg::i32(static_cast<int32_t>(Height))});
-    if (!R)
+    if (!R) {
+      S.releaseBuffer(In);
+      S.releaseBuffer(Out);
       return R.takeError();
+    }
     RunOutcome Outcome;
     Outcome.Output = S.buffer(Out).downloadFloats();
     Outcome.Report = *R;
+    // Return the workload buffers to the session free list: repeated and
+    // concurrent runs (sweeps, the parallel tuner) reuse the slots
+    // instead of growing the buffer table per run.
+    S.releaseBuffer(In);
+    S.releaseBuffer(Out);
     return Outcome;
   }
 
@@ -175,6 +183,11 @@ public:
 
     RunOutcome Outcome;
     unsigned Src = TempA, Dst = TempB;
+    auto ReleaseAll = [&] {
+      S.releaseBuffer(Power);
+      S.releaseBuffer(TempA);
+      S.releaseBuffer(TempB);
+    };
     for (unsigned I = 0; I < W.Iterations; ++I) {
       Expected<sim::SimReport> R = S.launch(
           V, sim::Range2{Width, Height},
@@ -183,12 +196,15 @@ public:
            rt::arg::i32(static_cast<int32_t>(Height)), rt::arg::f32(P.Cap),
            rt::arg::f32(P.Rx), rt::arg::f32(P.Ry), rt::arg::f32(P.Rz),
            rt::arg::f32(P.Ambient)});
-      if (!R)
+      if (!R) {
+        ReleaseAll();
         return R.takeError();
+      }
       accumulate(Outcome.Report, *R);
       std::swap(Src, Dst);
     }
     Outcome.Output = S.buffer(Src).downloadFloats();
+    ReleaseAll();
     return Outcome;
   }
 
@@ -292,22 +308,32 @@ public:
         rt::arg::i32(static_cast<int32_t>(Height))};
 
     RunOutcome Outcome;
+    auto ReleaseAll = [&] {
+      S.releaseBuffer(In);
+      S.releaseBuffer(Mid);
+      S.releaseBuffer(Out);
+    };
     Expected<sim::SimReport> R1 =
         S.launch(V.firstPass(), Global,
                  {rt::arg::buffer(In), rt::arg::buffer(Mid),
                   WidthHeight[0], WidthHeight[1]});
-    if (!R1)
+    if (!R1) {
+      ReleaseAll();
       return R1.takeError();
+    }
     accumulate(Outcome.Report, *R1);
 
     Expected<sim::SimReport> R2 =
         S.launch(V.secondPass(), Global,
                  {rt::arg::buffer(Mid), rt::arg::buffer(Out),
                   WidthHeight[0], WidthHeight[1]});
-    if (!R2)
+    if (!R2) {
+      ReleaseAll();
       return R2.takeError();
+    }
     accumulate(Outcome.Report, *R2);
     Outcome.Output = S.buffer(Out).downloadFloats();
+    ReleaseAll();
     return Outcome;
   }
 

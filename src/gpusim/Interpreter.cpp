@@ -66,9 +66,9 @@ class Executor {
 public:
   Executor(const irns::Function &F, Range2 Global, Range2 Local,
            const std::vector<KernelArg> &Args,
-           std::vector<BufferData> &Buffers, const DeviceConfig &Device)
-      : F(F), Global(Global), Local(Local), Args(Args), Buffers(Buffers),
-        Device(Device) {}
+           std::vector<BufferData *> Buffers, const DeviceConfig &Device)
+      : F(F), Global(Global), Local(Local), Args(Args),
+        Buffers(std::move(Buffers)), Device(Device) {}
 
   Expected<SimReport> run() {
     if (Error E = validateLaunch())
@@ -105,7 +105,7 @@ private:
         if (Arg.K != KernelArg::Kind::Buffer)
           return makeError("launch: argument '%s' expects a buffer",
                            A->name().c_str());
-        if (Arg.BufferIndex >= Buffers.size())
+        if (Arg.BufferIndex >= Buffers.size() || !Buffers[Arg.BufferIndex])
           return makeError("launch: argument '%s': buffer index %u out of "
                            "range (%zu buffers)",
                            A->name().c_str(), Arg.BufferIndex,
@@ -436,7 +436,7 @@ private:
         RtValue &RV = out(C.Result);
         switch (static_cast<irns::AddressSpace>(C.Space)) {
         case irns::AddressSpace::Global: {
-          const BufferData &B = Buffers[P.Base];
+          const BufferData &B = *Buffers[P.Base];
           if (P.Off < 0 || static_cast<size_t>(P.Off) >= B.size()) {
             fault(format("kernel '%s': global read out of bounds (buffer "
                          "%u, offset %d, size %zu)",
@@ -482,7 +482,7 @@ private:
         uint32_t Word = static_cast<uint32_t>(V.I);
         switch (static_cast<irns::AddressSpace>(C.Space)) {
         case irns::AddressSpace::Global: {
-          BufferData &B = Buffers[P.Base];
+          BufferData &B = *Buffers[P.Base];
           if (P.Off < 0 || static_cast<size_t>(P.Off) >= B.size()) {
             fault(format("kernel '%s': global write out of bounds (buffer "
                          "%u, offset %d, size %zu)",
@@ -894,7 +894,7 @@ private:
   const irns::Function &F;
   Range2 Global, Local;
   const std::vector<KernelArg> &Args;
-  std::vector<BufferData> &Buffers;
+  std::vector<BufferData *> Buffers;
   const DeviceConfig &Device;
 
   std::unordered_map<const irns::Value *, uint32_t> Slot;
@@ -935,6 +935,18 @@ Expected<SimReport> sim::launchKernel(const ir::Function &F, Range2 Global,
                                       Range2 Local,
                                       const std::vector<KernelArg> &Args,
                                       std::vector<BufferData> &Buffers,
+                                      const DeviceConfig &Device) {
+  std::vector<BufferData *> Bank;
+  Bank.reserve(Buffers.size());
+  for (BufferData &B : Buffers)
+    Bank.push_back(&B);
+  return Executor(F, Global, Local, Args, std::move(Bank), Device).run();
+}
+
+Expected<SimReport> sim::launchKernel(const ir::Function &F, Range2 Global,
+                                      Range2 Local,
+                                      const std::vector<KernelArg> &Args,
+                                      const std::vector<BufferData *> &Buffers,
                                       const DeviceConfig &Device) {
   return Executor(F, Global, Local, Args, Buffers, Device).run();
 }

@@ -84,6 +84,17 @@ Expected<SimReport> launchKernel(const ir::Function &F, Range2 Global,
                                  std::vector<BufferData> &Buffers,
                                  const DeviceConfig &Device);
 
+/// As above, over a bank of already-resolved buffer pointers (entries may
+/// be null for slots the launch does not reference). This is the form
+/// concurrent callers use: the caller snapshots stable buffer addresses
+/// under its own lock, and the interpreter run itself touches no shared
+/// container.
+Expected<SimReport> launchKernel(const ir::Function &F, Range2 Global,
+                                 Range2 Local,
+                                 const std::vector<KernelArg> &Args,
+                                 const std::vector<BufferData *> &Buffers,
+                                 const DeviceConfig &Device);
+
 } // namespace sim
 } // namespace kperf
 

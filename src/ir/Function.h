@@ -197,6 +197,28 @@ public:
   size_t numFunctions() const { return Functions.size(); }
   Function *functionAt(size_t I) const { return Functions[I].get(); }
 
+  /// Removes \p F from the module and hands ownership to the caller
+  /// (e.g. a cached variant evicted by the runtime, which defers the
+  /// destruction until no launch references it). Returns null if \p F is
+  /// not in this module.
+  std::unique_ptr<Function> takeFunction(const Function *F) {
+    for (auto It = Functions.begin(); It != Functions.end(); ++It)
+      if (It->get() == F) {
+        std::unique_ptr<Function> Owned = std::move(*It);
+        Functions.erase(It);
+        return Owned;
+      }
+    return nullptr;
+  }
+
+  /// True if \p F (by identity) is owned by this module.
+  bool contains(const Function *F) const {
+    for (const auto &Owned : Functions)
+      if (Owned.get() == F)
+        return true;
+    return false;
+  }
+
   /// Interned constants; pointer identity implies value identity.
   ConstantInt *getInt(int32_t V);
   ConstantFloat *getFloat(float V);

@@ -6,6 +6,7 @@
 
 #include "perforation/Tuner.h"
 
+#include "support/ParallelFor.h"
 #include "support/StringUtils.h"
 
 using namespace kperf;
@@ -66,6 +67,27 @@ perf::tuneExhaustive(const std::vector<TunerConfig> &Space,
     }
     Results.push_back(std::move(R));
   }
+  return Results;
+}
+
+std::vector<TunerResult>
+perf::tuneParallel(const std::vector<TunerConfig> &Space,
+                   const EvaluateFn &Evaluate, unsigned Jobs) {
+  // Each configuration writes into its own slot, so the result vector
+  // is in space order no matter which worker finishes when.
+  std::vector<TunerResult> Results(Space.size());
+  parallelFor(Space.size(), Jobs, [&](size_t I) {
+    TunerResult R;
+    R.Config = Space[I];
+    Expected<Measurement> M = Evaluate(Space[I]);
+    if (M) {
+      R.M = *M;
+      R.Feasible = true;
+    } else {
+      R.Note = M.error().message();
+    }
+    Results[I] = std::move(R);
+  });
   return Results;
 }
 

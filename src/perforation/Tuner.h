@@ -77,6 +77,22 @@ std::vector<std::pair<unsigned, unsigned>> figure9WorkGroupShapes();
 std::vector<TunerResult> tuneExhaustive(
     const std::vector<TunerConfig> &Space, const EvaluateFn &Evaluate);
 
+/// Evaluates every configuration on a pool of \p Jobs worker threads
+/// (0 = one per hardware thread), in the batched-measurement style of
+/// OpenTuner/PetaBricks parallel drivers: workers pull configurations
+/// from a shared queue and each runs its own simulator instance, so the
+/// sweep scales with cores. Results come back in \p Space order, exactly
+/// as tuneExhaustive would produce them, regardless of completion order.
+///
+/// \p Evaluate is called concurrently and must be thread-safe. The
+/// runtime layer's contract fits: rt::Session serializes compiles
+/// internally (shared read-only variants), so an Evaluate that checks
+/// out its own session buffers and launches through the shared session
+/// qualifies. With Jobs <= 1 this is tuneExhaustive.
+std::vector<TunerResult> tuneParallel(const std::vector<TunerConfig> &Space,
+                                      const EvaluateFn &Evaluate,
+                                      unsigned Jobs);
+
 /// Filters \p Results to those meeting \p MaxError, then returns the index
 /// of the fastest; returns npos (~size_t(0)) if none qualifies.
 size_t bestWithinErrorBudget(const std::vector<TunerResult> &Results,

@@ -90,19 +90,34 @@ std::string VariantKey::str() const {
 
 //===--- SessionStats --------------------------------------------------------//
 
+SessionStats &SessionStats::operator=(const SessionStats &O) {
+  SourceCompiles = O.SourceCompiles.load();
+  SourceCacheHits = O.SourceCacheHits.load();
+  VariantCompiles = O.VariantCompiles.load();
+  VariantCacheHits = O.VariantCacheHits.load();
+  Invalidations = O.Invalidations.load();
+  VariantEvictions = O.VariantEvictions.load();
+  BufferCreates = O.BufferCreates.load();
+  BufferReuses = O.BufferReuses.load();
+  return *this;
+}
+
 double SessionStats::variantHitRate() const {
   unsigned Lookups = variantLookups();
   return Lookups == 0 ? 0.0
-                      : static_cast<double>(VariantCacheHits) / Lookups;
+                      : static_cast<double>(VariantCacheHits.load()) / Lookups;
 }
 
 std::string SessionStats::str() const {
   return format("source compiles: %u (cache hits: %u); "
                 "variant compiles: %u; variant cache: %u hits / %u "
-                "lookups (%.1f%% hit rate)",
-                SourceCompiles, SourceCacheHits, VariantCompiles,
-                VariantCacheHits, variantLookups(),
-                100.0 * variantHitRate());
+                "lookups (%.1f%% hit rate); evictions: %u; "
+                "buffers: %u created, %u reused",
+                SourceCompiles.load(), SourceCacheHits.load(),
+                VariantCompiles.load(), VariantCacheHits.load(),
+                variantLookups(), 100.0 * variantHitRate(),
+                VariantEvictions.load(), BufferCreates.load(),
+                BufferReuses.load());
 }
 
 //===--- Session -------------------------------------------------------------//
@@ -125,6 +140,9 @@ Session::compileAll(const std::string &Source,
   Key += '\x01';
   Key += Source;
 
+  // Held across the compile: a concurrent request for the same source
+  // blocks until the first inserts it, then takes the cache hit.
+  std::lock_guard<std::mutex> Lock(CompileMutex);
   auto It = Sources.find(Key);
   if (It == Sources.end()) {
     ++Stats.SourceCompiles;
@@ -161,24 +179,60 @@ Expected<Kernel> Session::compile(const std::string &Source,
 }
 
 unsigned Session::createBuffer(size_t NumElements) {
+  std::lock_guard<std::mutex> Lock(BufferMutex);
+  if (!FreeBuffers.empty()) {
+    unsigned Index = FreeBuffers.back();
+    FreeBuffers.pop_back();
+    Buffers[Index] = sim::BufferData(NumElements);
+    ++Stats.BufferReuses;
+    return Index;
+  }
+  ++Stats.BufferCreates;
   Buffers.emplace_back(NumElements);
   return static_cast<unsigned>(Buffers.size() - 1);
 }
 
 unsigned Session::createBufferFrom(const std::vector<float> &Values) {
-  Buffers.emplace_back();
-  Buffers.back().uploadFloats(Values);
-  return static_cast<unsigned>(Buffers.size() - 1);
+  unsigned Index = createBuffer(Values.size());
+  {
+    std::lock_guard<std::mutex> Lock(BufferMutex);
+    Buffers[Index].uploadFloats(Values);
+  }
+  return Index;
+}
+
+void Session::releaseBuffer(unsigned Index) {
+  std::lock_guard<std::mutex> Lock(BufferMutex);
+  assert(Index < Buffers.size() && "releaseBuffer index out of range");
+#ifndef NDEBUG
+  for (unsigned Free : FreeBuffers)
+    assert(Free != Index && "double release of a session buffer");
+#endif
+  Buffers[Index] = sim::BufferData(); // Drop the storage now.
+  FreeBuffers.push_back(Index);
 }
 
 sim::BufferData &Session::buffer(unsigned Index) {
+  std::lock_guard<std::mutex> Lock(BufferMutex);
+  assert(Index < Buffers.size() && "buffer index out of range");
+  return Buffers[Index]; // Deque elements are address-stable.
+}
+
+const sim::BufferData &Session::buffer(unsigned Index) const {
+  std::lock_guard<std::mutex> Lock(BufferMutex);
   assert(Index < Buffers.size() && "buffer index out of range");
   return Buffers[Index];
 }
 
-const sim::BufferData &Session::buffer(unsigned Index) const {
-  assert(Index < Buffers.size() && "buffer index out of range");
-  return Buffers[Index];
+std::vector<sim::BufferData *> Session::snapshotBufferBank() {
+  std::lock_guard<std::mutex> Lock(BufferMutex);
+  std::vector<sim::BufferData *> Bank;
+  Bank.reserve(Buffers.size());
+  for (sim::BufferData &B : Buffers)
+    Bank.push_back(&B);
+  for (unsigned Free : FreeBuffers)
+    Bank[Free] = nullptr; // A stale released index must not launch.
+  return Bank;
 }
 
 namespace {
@@ -198,9 +252,13 @@ Expected<Variant> Session::perforate(const Kernel &K,
   assert(K.F && "perforate of null kernel");
   const std::string Key =
       cacheKeyFor(*K.F, VariantKey::forPerforation(*K.F, Plan));
+  // Held across the transform: N concurrent requests for one key compile
+  // it exactly once (the rest block, then hit).
+  std::lock_guard<std::mutex> Lock(CompileMutex);
   auto It = Variants.find(Key);
   if (It != Variants.end()) {
     ++Stats.VariantCacheHits;
+    touchVariant(It);
     return It->second.V;
   }
   ++Stats.VariantCompiles;
@@ -216,7 +274,7 @@ Expected<Variant> Session::perforate(const Kernel &K,
   V.Local = sim::Range2{R->LocalX, R->LocalY};
   V.LocalMemWords = R->LocalMemWords;
   V.PassStats = std::move(R->PassStats);
-  Variants.emplace(Key, CachedVariant{V, K.F});
+  insertVariant(Key, V, K.F);
   return V;
 }
 
@@ -226,9 +284,11 @@ Session::approximateOutput(const Kernel &K,
   assert(K.F && "approximateOutput of null kernel");
   const std::string Key =
       cacheKeyFor(*K.F, VariantKey::forOutputApprox(*K.F, Plan));
+  std::lock_guard<std::mutex> Lock(CompileMutex);
   auto It = Variants.find(Key);
   if (It != Variants.end()) {
     ++Stats.VariantCacheHits;
+    touchVariant(It);
     return It->second.V;
   }
   ++Stats.VariantCompiles;
@@ -244,8 +304,61 @@ Session::approximateOutput(const Kernel &K,
   V.DivX = R->DivX;
   V.DivY = R->DivY;
   V.PassStats = std::move(R->PassStats);
-  Variants.emplace(Key, CachedVariant{V, K.F});
+  insertVariant(Key, V, K.F);
   return V;
+}
+
+void Session::touchVariant(
+    std::map<std::string, CachedVariant>::iterator It) {
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+}
+
+void Session::insertVariant(std::string Key, const Variant &V,
+                            const ir::Function *Source) {
+  Lru.push_front(Key);
+  Variants.emplace(std::move(Key), CachedVariant{V, Source, Lru.begin()});
+  if (VariantCapacity != 0)
+    while (Variants.size() > VariantCapacity)
+      evictOneVariant();
+}
+
+void Session::evictOneVariant() {
+  assert(!Lru.empty() && "eviction from an empty variant cache");
+  auto It = Variants.find(Lru.back());
+  assert(It != Variants.end() && "LRU list out of sync with the cache");
+  ++Stats.VariantEvictions;
+  // Detach the generated kernel from the module (the whole point of the
+  // capacity: bound the module's footprint in a long-lived service) but
+  // defer its destruction to the next quiescent point -- a worker thread
+  // may still be launching it. Any analyses cached for it go now: a
+  // later function allocated at the same address must not hit them.
+  const Variant &V = It->second.V;
+  if (V.K.F) {
+    Analyses.invalidate(*V.K.F);
+    if (std::unique_ptr<ir::Function> Owned = M->takeFunction(V.K.F))
+      Graveyard.push_back(std::move(Owned));
+  }
+  Lru.pop_back();
+  Variants.erase(It);
+  // The flag store must precede the in-flight read (both seq_cst): a
+  // launch whose increment we miss here is then guaranteed to see the
+  // flag and validate its kernel under CompileMutex -- see launch().
+  EvictionOccurred.store(true);
+  if (InFlightLaunches.load() == 0)
+    Graveyard.clear();
+}
+
+void Session::setVariantCapacity(unsigned N) {
+  std::lock_guard<std::mutex> Lock(CompileMutex);
+  VariantCapacity = N;
+  if (N != 0)
+    while (Variants.size() > N)
+      evictOneVariant();
+}
+
+unsigned Session::variantCapacity() const {
+  std::lock_guard<std::mutex> Lock(CompileMutex);
+  return VariantCapacity;
 }
 
 Variant Session::accurate(const Kernel &K, sim::Range2 Local) const {
@@ -260,7 +373,47 @@ Expected<sim::SimReport>
 Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
                 const std::vector<sim::KernelArg> &Args) {
   assert(K.F && "launch of null kernel");
-  return sim::launchKernel(*K.F, Global, Local, Args, Buffers, Device);
+  // Pin first, check later: the increment and the EvictionOccurred read
+  // below are both seq_cst, so in the total order either our increment
+  // precedes an evictor's in-flight check (it defers reclamation until
+  // we finish) or our flag read follows its flag store (we take the
+  // validation path below). Either way no kernel is destroyed under a
+  // running launch.
+  ++InFlightLaunches;
+  if (EvictionOccurred.load()) {
+    // Under capacity-bounded eviction a held handle may refer to an
+    // evicted kernel: confirm it is still alive -- in the module, or in
+    // the graveyard awaiting reclamation. Both scans are bounded by the
+    // variant capacity (plus source kernels), so this stays cheap.
+    std::lock_guard<std::mutex> Lock(CompileMutex);
+    bool Alive = M->contains(K.F);
+    for (const auto &Dead : Graveyard)
+      Alive = Alive || Dead.get() == K.F;
+    if (!Alive) {
+      --InFlightLaunches;
+      return makeError("launch: kernel variant was evicted from the "
+                       "session cache; re-request it via perforate()/"
+                       "approximateOutput()");
+    }
+  }
+  // Snapshot stable buffer addresses, then run without any session lock:
+  // concurrent workers each drive their own interpreter instance.
+  Expected<sim::SimReport> Report = sim::launchKernel(
+      *K.F, Global, Local, Args, snapshotBufferBank(), Device);
+  if (EvictionOccurred.load()) {
+    std::lock_guard<std::mutex> Lock(CompileMutex);
+    if (--InFlightLaunches == 0)
+      Graveyard.clear();
+  } else {
+    --InFlightLaunches;
+  }
+  return Report;
+}
+
+bool Session::isEvictedError(const Error &E) {
+  return static_cast<bool>(E) &&
+         E.message().find("evicted from the session cache") !=
+             std::string::npos;
 }
 
 Expected<sim::SimReport>
@@ -292,12 +445,15 @@ Session::launchApprox(const ApproxKernel &K, sim::Range2 FullGlobal,
 
 void Session::invalidate(const Kernel &K) {
   assert(K.F && "invalidate of null kernel");
+  std::lock_guard<std::mutex> Lock(CompileMutex);
   ++Stats.Invalidations;
   Analyses.invalidate(*K.F);
   for (auto It = Variants.begin(); It != Variants.end();) {
-    if (It->second.Source == K.F)
+    if (It->second.Source == K.F) {
+      Lru.erase(It->second.LruIt);
       It = Variants.erase(It);
-    else
+    } else {
       ++It;
+    }
   }
 }

@@ -43,6 +43,15 @@
 /// API; the PerforatedKernel/ApproxKernel handles it returned survive as
 /// thin views of a Variant.
 ///
+/// Concurrency: a Session may be shared by worker threads (the parallel
+/// tuner's model: one simulator run per thread over shared read-only
+/// variants). compile()/perforate()/approximateOutput() serialize on an
+/// internal mutex -- concurrent requests for the same key still compile
+/// exactly once -- and buffer creation/release goes through a mutex-
+/// protected free list, so each worker checks out its own buffer set with
+/// createBuffer*/releaseBuffer. launch() itself runs outside every lock.
+/// See docs/ARCHITECTURE.md ("Concurrency model") for what callers own.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KPERF_RUNTIME_SESSION_H
@@ -56,8 +65,12 @@
 #include "perforation/Transform.h"
 #include "support/Error.h"
 
+#include <atomic>
+#include <deque>
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -127,13 +140,24 @@ struct VariantKey {
   std::string str() const;
 };
 
-/// Compile and cache accounting of one Session.
+/// Compile and cache accounting of one Session. Counters are atomics:
+/// they are bumped on every compile()/cache probe, which under the
+/// parallel tuner happens from many threads at once. Reading a counter is
+/// an implicit relaxed-consistency load; a copy taken mid-sweep is a
+/// per-counter snapshot, not an atomic snapshot of all of them.
 struct SessionStats {
-  unsigned SourceCompiles = 0;  ///< Frontend runs (unique source texts).
-  unsigned SourceCacheHits = 0; ///< compile() calls served from cache.
-  unsigned VariantCompiles = 0; ///< Transform+pipeline runs (cache misses).
-  unsigned VariantCacheHits = 0;
-  unsigned Invalidations = 0;   ///< invalidate() calls.
+  std::atomic<unsigned> SourceCompiles{0};  ///< Frontend runs.
+  std::atomic<unsigned> SourceCacheHits{0}; ///< compile() cache hits.
+  std::atomic<unsigned> VariantCompiles{0}; ///< Transform+pipeline runs.
+  std::atomic<unsigned> VariantCacheHits{0};
+  std::atomic<unsigned> Invalidations{0};     ///< invalidate() calls.
+  std::atomic<unsigned> VariantEvictions{0};  ///< LRU cache evictions.
+  std::atomic<unsigned> BufferCreates{0};     ///< Fresh buffer slots.
+  std::atomic<unsigned> BufferReuses{0};      ///< Free-list checkouts.
+
+  SessionStats() = default;
+  SessionStats(const SessionStats &O) { *this = O; }
+  SessionStats &operator=(const SessionStats &O);
 
   unsigned variantLookups() const {
     return VariantCompiles + VariantCacheHits;
@@ -143,7 +167,8 @@ struct SessionStats {
 
   /// One report line, e.g.
   /// "source compiles: 1 (cache hits: 69); variant compiles: 60;
-  ///  variant cache: 10 hits / 70 lookups (14.3% hit rate)".
+  ///  variant cache: 10 hits / 70 lookups (14.3% hit rate);
+  ///  evictions: 0; buffers: 4 created, 116 reused".
   std::string str() const;
 };
 
@@ -219,10 +244,18 @@ public:
       const pcl::CompileOptions &Opts = pcl::CompileOptions());
 
   /// Creates a zero-initialized buffer of \p NumElements 32-bit elements.
+  /// Reuses a released slot when one is available (free-list checkout);
+  /// thread-safe, so parallel workers can check out independent buffer
+  /// sets from one Session.
   unsigned createBuffer(size_t NumElements);
 
   /// Creates a buffer initialized with \p Values.
   unsigned createBufferFrom(const std::vector<float> &Values);
+
+  /// Returns \p Index to the free list: its storage is dropped and the
+  /// slot is handed out again by a later createBuffer*(). Launching with
+  /// a released index fails until the slot is reused. Thread-safe.
+  void releaseBuffer(unsigned Index);
 
   sim::BufferData &buffer(unsigned Index);
   const sim::BufferData &buffer(unsigned Index) const;
@@ -245,6 +278,16 @@ public:
   /// Wraps \p K as an untransformed Variant preferring local shape
   /// \p Local (not cached -- there is nothing to compile).
   Variant accurate(const Kernel &K, sim::Range2 Local) const;
+
+  /// Caps the variant cache at \p N entries, evicting least-recently-used
+  /// variants as new ones are compiled; 0 (the default) means unlimited.
+  /// An evicted kernel is reclaimed once no launch is in flight; a
+  /// Variant handle held past the eviction therefore either still
+  /// launches (reclamation deferred) or fails the launch with an
+  /// "evicted" error -- never a dangling access. Re-request evicted keys
+  /// through perforate()/approximateOutput(), which recompile them.
+  void setVariantCapacity(unsigned N);
+  unsigned variantCapacity() const;
 
   //===--- Launching --------------------------------------------------------//
 
@@ -272,10 +315,13 @@ public:
   //===--- Introspection ----------------------------------------------------//
 
   /// Access to the underlying module (printing, verification, tests).
+  /// NOT synchronized: use only while no other thread is compiling
+  /// through this session.
   ir::Module &module();
 
   /// Cached per-function analyses (access summaries, dominator trees)
-  /// shared across this session's transforms.
+  /// shared across this session's transforms. NOT synchronized; same
+  /// rule as module().
   ir::AnalysisManager &analyses() { return Analyses; }
 
   /// Drops the cached analyses and cached variants derived from \p K.
@@ -288,23 +334,75 @@ public:
   const SessionStats &stats() const { return Stats; }
   void resetStats() { Stats = SessionStats(); }
 
-private:
-  sim::DeviceConfig Device;
-  std::unique_ptr<ir::Module> M;
-  ir::AnalysisManager Analyses;
-  std::vector<sim::BufferData> Buffers;
-  unsigned NameCounter = 0;
-  SessionStats Stats;
+  /// True if \p E is launch()'s evicted-variant error. Callers racing a
+  /// capacity-bounded cache (a parallel sweep with --variant-cap) test
+  /// this to re-request the variant and retry instead of failing.
+  static bool isEvictedError(const Error &E);
 
-  /// Variant cache: source-function identity + VariantKey::str() ->
-  /// variant + its source kernel (recorded so invalidate() can drop the
-  /// right entries). The identity prefix keeps two same-named functions
-  /// from colliding.
+private:
+  /// Variant cache entry: the variant plus its source kernel (recorded so
+  /// invalidate() can drop the right entries) and its position in the LRU
+  /// list (front = most recently used).
   struct CachedVariant {
     Variant V;
     const ir::Function *Source = nullptr;
+    std::list<std::string>::iterator LruIt;
   };
+
+  /// Snapshots stable buffer addresses for a lock-free interpreter run;
+  /// released slots are nulled so a stale index fails the launch.
+  std::vector<sim::BufferData *> snapshotBufferBank();
+
+  /// Moves \p It to the most-recently-used position. CompileMutex held.
+  void touchVariant(std::map<std::string, CachedVariant>::iterator It);
+
+  /// Inserts a variant and evicts past the capacity. CompileMutex held.
+  void insertVariant(std::string Key, const Variant &V,
+                     const ir::Function *Source);
+
+  /// Evicts the least-recently-used variant. CompileMutex held.
+  void evictOneVariant();
+
+  sim::DeviceConfig Device;
+  std::unique_ptr<ir::Module> M;
+  ir::AnalysisManager Analyses;
+
+  /// Serializes everything that touches the module, the analyses, and
+  /// the two compile caches. Held across actual compiles, so concurrent
+  /// requests for one key block until the first inserts it, then hit.
+  mutable std::mutex CompileMutex;
+  /// Guards the buffer table and free list (never held during a launch).
+  mutable std::mutex BufferMutex;
+
+  /// Buffer slots; a deque so element addresses survive growth and
+  /// in-flight launches keep valid pointers while other workers create
+  /// buffers.
+  std::deque<sim::BufferData> Buffers;
+  std::vector<unsigned> FreeBuffers; ///< Released slot indices.
+
+  unsigned NameCounter = 0;
+  unsigned VariantCapacity = 0; ///< 0 = unlimited.
+  SessionStats Stats;
+
+  /// Deferred reclamation of evicted kernels: eviction moves the
+  /// function here (guarded by CompileMutex), launches in flight pin
+  /// it, and the graveyard is freed at the next quiescent point (no
+  /// launch in flight).
+  std::vector<std::unique_ptr<ir::Function>> Graveyard;
+  /// Every launch increments this lock-free on entry (seq_cst), so an
+  /// eviction that starts mid-launch sees it nonzero and defers the
+  /// reclamation even if that launch never took the validation path.
+  std::atomic<unsigned> InFlightLaunches{0};
+  /// Sticky: set on the first eviction, never cleared. Launches
+  /// validate their kernel (and synchronize on CompileMutex) only once
+  /// this is set, so sessions that never evict launch lock-free.
+  std::atomic<bool> EvictionOccurred{false};
+
+  /// Variant cache keyed by source-function identity + VariantKey::str()
+  /// (the identity prefix keeps two same-named functions from colliding),
+  /// plus the LRU order for eviction.
   std::map<std::string, CachedVariant> Variants;
+  std::list<std::string> Lru;
 
   /// Source cache: (pipeline options key + source text) -> compiled
   /// kernels in declaration order.

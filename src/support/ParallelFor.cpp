@@ -1,0 +1,43 @@
+//===- support/ParallelFor.cpp ----------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ParallelFor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace kperf;
+
+unsigned kperf::resolveJobs(unsigned Jobs) {
+  if (Jobs != 0)
+    return Jobs;
+  Jobs = std::thread::hardware_concurrency();
+  return Jobs == 0 ? 1 : Jobs;
+}
+
+void kperf::parallelFor(size_t N, unsigned Jobs,
+                        const std::function<void(size_t)> &Fn) {
+  Jobs = static_cast<unsigned>(
+      std::min<size_t>(resolveJobs(Jobs), N == 0 ? 1 : N));
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&]() {
+    for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+      Fn(I);
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs);
+  for (unsigned J = 0; J < Jobs; ++J)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+}

@@ -1,0 +1,38 @@
+//===- support/ParallelFor.h - Index-space worker pool ------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one worker-pool shape every parallel sweep in this project uses:
+/// workers pull the next index off a shared counter and run the body, so
+/// callers get deterministic per-index results regardless of completion
+/// order. Shared by the parallel tuner, the bench harness, and the
+/// figure sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_SUPPORT_PARALLELFOR_H
+#define KPERF_SUPPORT_PARALLELFOR_H
+
+#include <cstddef>
+#include <functional>
+
+namespace kperf {
+
+/// Resolves a job-count knob: 0 means one worker per hardware thread
+/// (at least 1).
+unsigned resolveJobs(unsigned Jobs);
+
+/// Runs \p Fn(I) for every I in [0, N) on up to \p Jobs worker threads
+/// (0 = one per hardware thread; never more threads than indices). With
+/// one job the indices run inline on the caller's thread. \p Fn is
+/// called concurrently and must be thread-safe; write results into
+/// per-index slots for deterministic output.
+void parallelFor(size_t N, unsigned Jobs,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace kperf
+
+#endif // KPERF_SUPPORT_PARALLELFOR_H

@@ -27,7 +27,7 @@
 //       --time-passes prints its per-pass statistics.
 //
 //   kperfc tune <file.pcl> [--kernel name] [--image in.pgm] [--budget E]
-//               [--size N]
+//               [--size N] [--jobs N] [--variant-cap N]
 //       Explore scheme x reconstruction x work-group configurations for a
 //       kernel(in, out, w, h) filter, print the Pareto front, and pick
 //       the fastest configuration whose error stays within the budget
@@ -36,7 +36,12 @@
 //       used. The whole sweep shares one rt::Session, so the source is
 //       compiled once and every unique (scheme, tile, pipeline) variant
 //       at most once; the final "session:" line reports the compile
-//       counts and the variant-cache hit rate.
+//       counts, the variant-cache hit rate, and the eviction/buffer-reuse
+//       counts. --jobs N evaluates configurations on N worker threads
+//       (0 = one per hardware thread; default 1) -- results and the
+//       chosen configuration are identical to the serial sweep.
+//       --variant-cap N bounds the session's variant cache to N entries
+//       (LRU eviction; 0 = unlimited).
 //
 //   kperfc passes <file.pcl> [--kernel name] [--passes SPEC]
 //               [--time-passes] [--verify-each]
@@ -93,6 +98,8 @@ struct Options {
   unsigned WgX = 16, WgY = 16;
   double Budget = 0.05;
   unsigned Size = 256; ///< tune: synthetic-image edge length.
+  unsigned Jobs = 1;   ///< tune: worker threads (0 = hardware threads).
+  unsigned VariantCap = 0; ///< tune: variant-cache capacity (0 = unlimited).
   std::string PassSpec; ///< --passes pipeline spec.
   bool PassSpecGiven = false;
   bool TimePasses = false;
@@ -108,6 +115,7 @@ int usage() {
                "              [--recon nn|li] [--wg WxH]\n"
                "              [--image in.pgm] [--out out.pgm] "
                "[--budget E] [--size N]\n"
+               "              [--jobs N] [--variant-cap N]\n"
                "              [--passes SPEC] [--time-passes] "
                "[--verify-each]\n"
                "       kperfc --passes=SPEC [--time-passes] <file.pcl>\n");
@@ -233,6 +241,28 @@ Expected<Options> parseArgs(int Argc, char **Argv) {
                          "multiple of 128)",
                          V->c_str());
       O.Size = static_cast<unsigned>(N);
+    } else if (A == "--jobs") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      char *End = nullptr;
+      long N = std::strtol(V->c_str(), &End, 10);
+      if (End == V->c_str() || *End != '\0' || N < 0)
+        return makeError("bad --jobs value '%s' (expected a non-negative "
+                         "integer; 0 = hardware threads)",
+                         V->c_str());
+      O.Jobs = static_cast<unsigned>(N);
+    } else if (A == "--variant-cap") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      char *End = nullptr;
+      long N = std::strtol(V->c_str(), &End, 10);
+      if (End == V->c_str() || *End != '\0' || N < 0)
+        return makeError("bad --variant-cap value '%s' (expected a "
+                         "non-negative integer; 0 = unlimited)",
+                         V->c_str());
+      O.VariantCap = static_cast<unsigned>(N);
     } else {
       return makeError("unknown option '%s'", A.c_str());
     }
@@ -466,59 +496,73 @@ int cmdTune(const Options &O, const std::string &Source) {
   // the accurate baseline is measured once per work-group shape instead
   // of once per configuration.
   rt::Session S;
+  if (O.VariantCap != 0)
+    S.setVariantCapacity(O.VariantCap);
   Expected<rt::Kernel> K = compileFrom(S, O, Source);
   if (!K) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
     return 1;
   }
-  unsigned InBuf = S.createBufferFrom(In.pixels());
-  unsigned OutBuf = S.createBuffer(In.size());
-  std::vector<sim::KernelArg> Args = {
-      rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
-      rt::arg::i32(static_cast<int32_t>(W)),
-      rt::arg::i32(static_cast<int32_t>(H))};
 
-  // Accurate output, once, as the quality reference (the kernel as
+  std::vector<perf::TunerConfig> Space = perf::defaultTuningSpace();
+
+  // Accurate output once, as the quality reference (the kernel as
   // written is also the speedup denominator -- for arbitrary user
   // kernels we cannot know whether a local-prefetch baseline would be
-  // faster, so the tool reports speedup vs. the unmodified kernel).
+  // faster, so the tool reports speedup vs. the unmodified kernel), and
+  // accurate timing per work-group shape in the space (timing does not
+  // depend on input content, so one launch per shape covers all schemes
+  // at it). Both are measured up front on checked-out buffers so the
+  // sweep itself only reads them -- that is what lets worker threads
+  // evaluate configurations concurrently.
   std::vector<float> Reference;
+  std::map<std::pair<unsigned, unsigned>, double> AccurateMs;
   {
+    unsigned InBuf = S.createBufferFrom(In.pixels());
+    unsigned OutBuf = S.createBuffer(In.size());
+    std::vector<sim::KernelArg> Args = {
+        rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
+        rt::arg::i32(static_cast<int32_t>(W)),
+        rt::arg::i32(static_cast<int32_t>(H))};
     Expected<sim::SimReport> R = S.launch(*K, {W, H}, {16, 16}, Args);
     if (!R) {
       std::fprintf(stderr, "error: %s\n", R.error().message().c_str());
       return 1;
     }
     Reference = S.buffer(OutBuf).downloadFloats();
+    for (const perf::TunerConfig &Config : Space) {
+      auto Key = std::make_pair(Config.TileX, Config.TileY);
+      if (AccurateMs.count(Key) || W % Config.TileX != 0 ||
+          H % Config.TileY != 0)
+        continue;
+      Expected<sim::SimReport> T =
+          S.launch(*K, {W, H}, {Config.TileX, Config.TileY}, Args);
+      if (!T) {
+        std::fprintf(stderr, "error: %s\n", T.error().message().c_str());
+        return 1;
+      }
+      AccurateMs.emplace(Key, T->TimeMs);
+    }
+    S.releaseBuffer(InBuf);
+    S.releaseBuffer(OutBuf);
   }
 
-  // Accurate timing per work-group shape (timing does not depend on
-  // input content, so one launch per shape covers all schemes at it).
-  std::map<std::pair<unsigned, unsigned>, double> AccurateMs;
-  auto accurateTimeAt = [&](sim::Range2 Local) -> Expected<double> {
-    auto Key = std::make_pair(Local.X, Local.Y);
-    auto It = AccurateMs.find(Key);
-    if (It != AccurateMs.end())
-      return It->second;
-    Expected<sim::SimReport> R = S.launch(*K, {W, H}, Local, Args);
-    if (!R)
-      return R.takeError();
-    AccurateMs.emplace(Key, R->TimeMs);
-    return R->TimeMs;
-  };
-
+  // Thread-safe evaluation: the session serializes variant compiles (a
+  // concurrent duplicate request blocks, then hits the cache), and each
+  // evaluation checks out its own input/output buffers from the session
+  // free list, runs its own simulator instance, and releases them.
   perf::EvaluateFn Evaluate =
       [&](const perf::TunerConfig &Config)
       -> Expected<perf::Measurement> {
     if (W % Config.TileX != 0 || H % Config.TileY != 0)
       return makeError("image %ux%u not divisible by %ux%u", W, H,
                        Config.TileX, Config.TileY);
-    sim::Range2 Local{Config.TileX, Config.TileY};
-    Expected<double> Acc = accurateTimeAt(Local);
-    if (!Acc)
-      return Acc.takeError();
+    auto Acc = AccurateMs.find({Config.TileX, Config.TileY});
+    if (Acc == AccurateMs.end())
+      return makeError("no accurate baseline at %ux%u", Config.TileX,
+                       Config.TileY);
     if (Config.Scheme.Kind == perf::SchemeKind::None)
-      return perf::Measurement{1.0, 0.0};
+      return perf::Measurement{1.0, 0.0, {}};
     perf::PerforationPlan Plan;
     Plan.Scheme = Config.Scheme;
     Plan.TileX = Config.TileX;
@@ -526,25 +570,44 @@ int cmdTune(const Options &O, const std::string &Source) {
     if (O.PassSpecGiven)
       Plan.PipelineSpec = O.PassSpec;
     Plan.VerifyEach = O.VerifyEach;
-    Expected<rt::Variant> P = S.perforate(*K, Plan);
-    if (!P)
-      return P.takeError();
-    Expected<sim::SimReport> App = S.launch(*P, {W, H}, Args);
-    if (!App)
-      return App.takeError();
-    perf::Measurement M;
-    M.Speedup = *Acc / App->TimeMs;
-    M.Error =
-        img::meanRelativeError(Reference, S.buffer(OutBuf).downloadFloats());
-    M.PassStats = P->PassStats;
-    return M;
+    // With --variant-cap, another worker's compile can evict our variant
+    // between perforate() and launch(); re-requesting it recompiles the
+    // same kernel, so a bounded retry preserves the serial measurements.
+    for (unsigned Attempt = 0;; ++Attempt) {
+      Expected<rt::Variant> P = S.perforate(*K, Plan);
+      if (!P)
+        return P.takeError();
+      unsigned InBuf = S.createBufferFrom(In.pixels());
+      unsigned OutBuf = S.createBuffer(In.size());
+      Expected<sim::SimReport> App = S.launch(
+          *P, {W, H},
+          {rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
+           rt::arg::i32(static_cast<int32_t>(W)),
+           rt::arg::i32(static_cast<int32_t>(H))});
+      if (!App) {
+        S.releaseBuffer(InBuf);
+        S.releaseBuffer(OutBuf);
+        if (Attempt < 8 && rt::Session::isEvictedError(App.error()))
+          continue;
+        return App.takeError();
+      }
+      perf::Measurement M;
+      M.Speedup = Acc->second / App->TimeMs;
+      M.Error = img::meanRelativeError(Reference,
+                                       S.buffer(OutBuf).downloadFloats());
+      M.PassStats = P->PassStats;
+      S.releaseBuffer(InBuf);
+      S.releaseBuffer(OutBuf);
+      return M;
+    }
   };
 
-  std::vector<perf::TunerConfig> Space = perf::defaultTuningSpace();
-  std::printf("tuning over %zu configurations on %ux%u input...\n\n",
-              Space.size(), W, H);
+  std::printf("tuning over %zu configurations on %ux%u input (%u %s)"
+              "...\n\n",
+              Space.size(), W, H, O.Jobs,
+              O.Jobs == 1 ? "job" : "jobs");
   std::vector<perf::TunerResult> Results =
-      perf::tuneExhaustive(Space, Evaluate);
+      perf::tuneParallel(Space, Evaluate, O.Jobs);
 
   unsigned Feasible = 0;
   for (const perf::TunerResult &R : Results)
