@@ -22,16 +22,22 @@
 //   time        modeled execution time of the workload
 //   energy      modeled energy
 //
-// for the pipeline specs (the ablation drops pass names from the full
-// spec; "full" is the pre-mem2reg pipeline kept for comparison):
+// for the pipeline specs (the ablation reconstructs the pipeline's
+// history; each row adds what the next generation of passes bought):
 //
 //   none          ""
 //   simplify+DCE  fixpoint(simplify,dce)
 //   full          fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)
-//   +mem2reg      the default: mem2reg ahead of the full fixpoint group
+//   +mem2reg      mem2reg ahead of the full fixpoint group
+//   +unroll+gvn   the default: mem2reg,unroll,fixpoint(...,gvn,...)
+//
+// The final row's per-pass instrumentation (invocations, changes, net
+// IR-size delta, net static-ALU delta) is printed per app underneath,
+// straight from the variant's PipelineStats.
 //
 // --json[=FILE]: also emit every row as a JSON array (default
-// BENCH_passes.json) so the trajectory can be tracked across revisions.
+// BENCH_passes.json) so the trajectory can be tracked across revisions;
+// per-pass rows are emitted as bench="passes_pass" records.
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,13 +53,6 @@ using namespace kperf::apps;
 
 namespace {
 
-size_t instructionCount(const ir::Function &F) {
-  size_t N = 0;
-  for (const auto &BB : F.blocks())
-    N += BB->size();
-  return N;
-}
-
 struct AblationRow {
   size_t Instructions = 0;
   double LoadsPerItem = 0; ///< All memory lanes: private+local+global.
@@ -61,6 +60,7 @@ struct AblationRow {
   double AluPerItem = 0;
   double TimeMs = 0;
   double EnergyMJ = 0;
+  ir::PipelineStats PassStats; ///< What the pipeline did (per-pass rows).
 };
 
 /// Builds the Rows1:LI perforated variant of \p TheApp with the cleanup
@@ -79,9 +79,9 @@ AblationRow measure(rt::Session &S, apps::App &TheApp, const Workload &W,
   RunOutcome R = cantFail(TheApp.run(S, BK, W));
 
   AblationRow Row;
-  Row.Instructions = instructionCount(*BK.K.F);
+  Row.Instructions = ir::functionInstructionCount(*BK.K.F);
   if (BK.isTwoPass())
-    Row.Instructions += instructionCount(*BK.K2.F);
+    Row.Instructions += ir::functionInstructionCount(*BK.K2.F);
   double Items = static_cast<double>(R.Report.Totals.WorkItems);
   Row.LoadsPerItem =
       static_cast<double>(R.Report.Totals.PrivateAccesses +
@@ -94,6 +94,7 @@ AblationRow measure(rt::Session &S, apps::App &TheApp, const Workload &W,
   Row.AluPerItem = static_cast<double>(R.Report.Totals.AluOps) / Items;
   Row.TimeMs = R.Report.TimeMs;
   Row.EnergyMJ = R.Report.EnergyMJ;
+  Row.PassStats = BK.PassStats;
   return Row;
 }
 
@@ -101,6 +102,16 @@ void printRow(const char *Label, const AblationRow &R) {
   std::printf("  %-14s %8zu %12.1f %11.1f %10.1f %9.3f %9.3f\n", Label,
               R.Instructions, R.LoadsPerItem, R.PrivPerItem, R.AluPerItem,
               R.TimeMs, R.EnergyMJ);
+}
+
+/// Per-pass instrumentation of the default pipeline's run: what each
+/// pass changed and the net IR-size / static-ALU movement it caused.
+void printPassTable(const ir::PipelineStats &Stats) {
+  std::printf("    %-16s %5s %8s %8s %8s\n", "pass", "runs", "changes",
+              "d-instr", "d-alu");
+  for (const ir::PassExecution &E : Stats.Passes)
+    std::printf("    %-16s %5u %8u %+8lld %+8lld\n", E.Name.c_str(),
+                E.Invocations, E.Changes, E.SizeDelta, E.AluDelta);
 }
 
 void recordRow(std::vector<JsonRecord> &Records, const char *AppName,
@@ -118,6 +129,22 @@ void recordRow(std::vector<JsonRecord> &Records, const char *AppName,
   Records.push_back(std::move(Rec));
 }
 
+void recordPassRows(std::vector<JsonRecord> &Records, const char *AppName,
+                    const ir::PipelineStats &Stats) {
+  for (const ir::PassExecution &E : Stats.Passes) {
+    JsonRecord Rec;
+    Rec.add("bench", "passes_pass");
+    Rec.add("app", AppName);
+    Rec.add("pass", E.Name);
+    Rec.add("invocations",
+            static_cast<unsigned long long>(E.Invocations));
+    Rec.add("changes", static_cast<unsigned long long>(E.Changes));
+    Rec.add("size_delta", static_cast<double>(E.SizeDelta));
+    Rec.add("alu_delta", static_cast<double>(E.AluDelta));
+    Records.push_back(std::move(Rec));
+  }
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -126,11 +153,13 @@ int main(int Argc, char **Argv) {
   bool Json = parseJsonFlag(Argc, Argv, "passes", JsonPath);
   std::vector<JsonRecord> Records;
 
-  // "full" is the complete pre-mem2reg pipeline; the default now leads
-  // with mem2reg, so the last two rows isolate exactly what SSA
-  // promotion buys on top of the memory-traffic cleanups.
+  // The pipeline's history as ablation rows: the pre-mem2reg fixpoint
+  // ("full"), SSA promotion on top ("+mem2reg"), and the current default
+  // with constant-trip unrolling + cross-block GVN ("+unroll+gvn").
   const char *FullNoMem2Reg =
       "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)";
+  const char *Mem2RegOnly =
+      "mem2reg,fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)";
 
   std::printf("=== Pass ablation: Rows1:LI perforated kernels, %ux%u "
               "input ===\n\n",
@@ -154,25 +183,36 @@ int main(int Argc, char **Argv) {
         {"none", ""},
         {"simplify+DCE", "fixpoint(simplify,dce)"},
         {"full", FullNoMem2Reg},
-        {"+mem2reg", ir::defaultPipelineSpec()},
+        {"+mem2reg", Mem2RegOnly},
+        {"+unroll+gvn", ir::defaultPipelineSpec()},
     };
+    ir::PipelineStats DefaultStats;
     for (const Setting &Set : Settings) {
       AblationRow Row = measure(Session, *TheApp, W, Set.Spec);
       printRow(Set.Label, Row);
       if (Json)
         recordRow(Records, Name, Set.Label, Row);
+      if (Set.Spec == ir::defaultPipelineSpec())
+        DefaultStats = Row.PassStats;
     }
+    printPassTable(DefaultStats);
+    if (Json)
+      recordPassRows(Records, Name, DefaultStats);
   }
 
-  std::printf("\nExpected shape: +mem2reg < full < simplify+DCE < none "
-              "in static size,\ndynamic loads, and energy. mem2reg "
-              "removes the private-memory traffic\nthat store forwarding "
-              "(block-local) cannot -- loop-carried accumulators\nand "
-              "cross-block scalars -- and phis execute as free register "
-              "moves, so\npriv/item collapses. Modeled time only moves "
-              "for compute-bound kernels;\nwith the default device every "
-              "perforated kernel here stays memory-bound,\nwhich is "
-              "exactly why input perforation pays off on it.\n");
+  std::printf("\nExpected shape: +unroll+gvn <= +mem2reg < full < "
+              "simplify+DCE < none\nin static size, dynamic loads, and "
+              "energy. mem2reg removes the private\ntraffic store "
+              "forwarding (block-local) cannot; unroll flattens the\n"
+              "constant-trip filter windows into straight-line blocks "
+              "whose collapsed\ninduction arithmetic simplify folds and "
+              "whose cross-block recomputations\ngvn merges, so ALU/item "
+              "drops again on the window apps (gaussian, sobel5,\n"
+              "median) with byte-identical outputs (pipeline_oracle_test "
+              "certifies\nthis across all nine apps). Modeled time only "
+              "moves for compute-bound\nkernels; with the default device "
+              "every perforated kernel here stays\nmemory-bound, which "
+              "is exactly why input perforation pays off on it.\n");
   if (Json && !writeJsonRecords(JsonPath, Records))
     return 1;
   return 0;

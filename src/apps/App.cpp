@@ -59,6 +59,7 @@ App::buildPerforated(rt::Session &S, perf::PerforationScheme Scheme,
   Plan.TileX = Local.X;
   Plan.TileY = Local.Y;
   Plan.PipelineSpec = pipelineSpec();
+  Plan.VerifyEach = VerifyEach;
   return S.perforate(*K, Plan);
 }
 
@@ -75,6 +76,7 @@ App::buildOutputApprox(rt::Session &S, perf::OutputSchemeKind Kind,
   Plan.WidthArgIndex = widthArgIndex();
   Plan.HeightArgIndex = heightArgIndex();
   Plan.PipelineSpec = pipelineSpec();
+  Plan.VerifyEach = VerifyEach;
   Expected<rt::Variant> V = S.approximateOutput(*K, Plan);
   if (!V)
     return V.takeError();
@@ -95,9 +97,12 @@ void accumulate(sim::SimReport &Total, const sim::SimReport &Step) {
 }
 
 /// The mem2reg-less cleanup pipeline: the default spec minus SSA
-/// promotion.
+/// promotion (and minus unroll, which without promoted induction phis
+/// would find nothing to do). gvn stays: it needs only dominators, and
+/// it merges the address arithmetic the perforation transform clones
+/// across blocks even in alloca form.
 const char *fixpointOnlySpec() {
-  return "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)";
+  return "fixpoint(simplify,gvn,cse,memopt-forward,licm,memopt-dse,dce)";
 }
 
 /// Image applications: signature kernel(in, out, w, h).
@@ -259,6 +264,7 @@ public:
     Plan.TileX = Local.X;
     Plan.TileY = Local.Y;
     Plan.PipelineSpec = pipelineSpec();
+    Plan.VerifyEach = verifyEach();
     Expected<rt::Variant> P = S.perforate(*Col, Plan);
     if (!P)
       return P.takeError();
@@ -283,6 +289,7 @@ public:
     Plan.WidthArgIndex = widthArgIndex();
     Plan.HeightArgIndex = heightArgIndex();
     Plan.PipelineSpec = pipelineSpec();
+    Plan.VerifyEach = verifyEach();
     Expected<rt::Variant> A = S.approximateOutput(*Col, Plan);
     if (!A)
       return A.takeError();

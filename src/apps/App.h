@@ -102,6 +102,10 @@ public:
     PipelineSpec = std::move(Spec);
   }
 
+  /// Verify the IR after every pipeline pass when building perforated
+  /// variants (the differential pipeline oracle turns this on).
+  void setVerifyEach(bool V) { VerifyEach = V; }
+
   //===--- Variant construction --------------------------------------------//
 
   /// Compiles the kernel as written.
@@ -132,11 +136,18 @@ protected:
   virtual unsigned widthArgIndex() const = 0;
   virtual unsigned heightArgIndex() const = 0;
 
+  /// For build* overrides that populate their own transform plans (the
+  /// two-pass ConvSep app): they must propagate this into
+  /// Plan.VerifyEach, or the oracle's verify-each guarantee silently
+  /// skips their extra kernels.
+  bool verifyEach() const { return VerifyEach; }
+
 private:
   std::string Name;
   std::string Domain;
   bool UseMre;
   std::string PipelineSpec;
+  bool VerifyEach = false;
 };
 
 /// Creates all six applications in the paper's Table 1 order.

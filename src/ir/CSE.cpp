@@ -6,6 +6,8 @@
 
 #include "ir/CSE.h"
 
+#include "ir/InstructionUtils.h"
+
 #include <unordered_map>
 
 using namespace kperf;
@@ -45,76 +47,6 @@ struct ExprKeyHash {
   }
 };
 
-/// Returns true if merging two instances of \p B is always valid. Barrier
-/// is a synchronization point; everything else has no side effects and
-/// returns the same value for the same work item within a launch.
-bool isPureBuiltin(Builtin B) { return B != Builtin::Barrier; }
-
-/// Returns true if \p Op combined with identical operands always produces
-/// an identical value (loads are handled separately via epochs).
-bool isAlwaysPure(Opcode Op) {
-  switch (Op) {
-  case Opcode::Add:
-  case Opcode::Sub:
-  case Opcode::Mul:
-  case Opcode::Div:
-  case Opcode::Rem:
-  case Opcode::CmpEq:
-  case Opcode::CmpNe:
-  case Opcode::CmpLt:
-  case Opcode::CmpLe:
-  case Opcode::CmpGt:
-  case Opcode::CmpGe:
-  case Opcode::LogicalAnd:
-  case Opcode::LogicalOr:
-  case Opcode::LogicalNot:
-  case Opcode::Neg:
-  case Opcode::IntToFloat:
-  case Opcode::FloatToInt:
-  case Opcode::Select:
-  case Opcode::Gep:
-    return true;
-  case Opcode::Alloca: // Distinct storage per instruction.
-  case Opcode::Phi:    // Identity depends on incoming edges, not operands.
-  case Opcode::Load:
-  case Opcode::Store:
-  case Opcode::Call:
-  case Opcode::Br:
-  case Opcode::CondBr:
-  case Opcode::Ret:
-    return false;
-  }
-  return false;
-}
-
-bool isCommutative(Opcode Op) {
-  switch (Op) {
-  case Opcode::Add:
-  case Opcode::Mul:
-  case Opcode::CmpEq:
-  case Opcode::CmpNe:
-  case Opcode::LogicalAnd:
-  case Opcode::LogicalOr:
-    return true;
-  default:
-    return false;
-  }
-}
-
-bool isCommutativeCall(Builtin B) {
-  return B == Builtin::Min || B == Builtin::Max;
-}
-
-/// Walks GEP chains back to the underlying object (argument or alloca).
-const Value *rootObject(const Value *Ptr) {
-  while (const auto *I = dyn_cast<Instruction>(Ptr)) {
-    if (I->opcode() != Opcode::Gep)
-      break;
-    Ptr = I->operand(0);
-  }
-  return Ptr;
-}
-
 /// Tracks which writes have happened so far in the block, so load keys can
 /// express "same address, unchanged memory".
 class MemoryEpochs {
@@ -151,24 +83,6 @@ public:
 private:
   uint64_t ArgEpoch = 1;
   std::unordered_map<const Value *, uint64_t> AllocaEpoch;
-};
-
-/// Deterministic operand ordering for commutative keys: values are ranked
-/// in first-encounter order, never by pointer value (which would make the
-/// canonical form run-dependent).
-class ValueOrder {
-public:
-  unsigned rank(const Value *V) {
-    auto It = Ranks.find(V);
-    if (It != Ranks.end())
-      return It->second;
-    unsigned R = static_cast<unsigned>(Ranks.size());
-    Ranks.emplace(V, R);
-    return R;
-  }
-
-private:
-  std::unordered_map<const Value *, unsigned> Ranks;
 };
 
 } // namespace
@@ -212,7 +126,7 @@ unsigned ir::eliminateCommonSubexpressions(Function &F) {
         break;
       }
 
-      bool Keyable = isAlwaysPure(I->opcode()) ||
+      bool Keyable = isAlwaysPureOpcode(I->opcode()) ||
                      I->opcode() == Opcode::Load ||
                      (I->opcode() == Opcode::Call &&
                       isPureBuiltin(I->callee()));
@@ -228,9 +142,9 @@ unsigned ir::eliminateCommonSubexpressions(Function &F) {
       if (I->opcode() == Opcode::Load)
         Key.Epoch = Epochs.epochOf(rootObject(I->operand(0)));
       bool Canonicalize =
-          (isCommutative(I->opcode()) && I->numOperands() == 2) ||
-          (I->opcode() == Opcode::Call && isCommutativeCall(I->callee()) &&
-           I->numOperands() == 2);
+          (isCommutativeOpcode(I->opcode()) && I->numOperands() == 2) ||
+          (I->opcode() == Opcode::Call &&
+           isCommutativeBuiltin(I->callee()) && I->numOperands() == 2);
       if (Canonicalize &&
           Order.rank(Key.Operands[0]) > Order.rank(Key.Operands[1]))
         std::swap(Key.Operands[0], Key.Operands[1]);

@@ -159,6 +159,19 @@ public:
     return Blocks;
   }
 
+  /// Removes \p BB (and every instruction it owns) from the function.
+  /// The caller must have rewritten all references into the block first
+  /// (branch targets, phi incomings, operand uses); asserts if absent.
+  /// Used by loop unrolling, which replaces a loop's blocks wholesale.
+  void removeBlock(const BasicBlock *BB) {
+    for (auto It = Blocks.begin(); It != Blocks.end(); ++It)
+      if (It->get() == BB) {
+        Blocks.erase(It);
+        return;
+      }
+    assert(false && "block not in function");
+  }
+
   /// Returns the position of \p BB in the block list; asserts if absent.
   size_t blockIndex(const BasicBlock *BB) const {
     for (size_t I = 0; I < Blocks.size(); ++I)

@@ -1,0 +1,260 @@
+//===- ir/GVN.cpp -----------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/GVN.h"
+
+#include "ir/Dominators.h"
+#include "ir/InstructionUtils.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Maximum operand arity participating in keys (clamp/select take 3;
+/// phis of up to 3 predecessors are keyed too).
+constexpr unsigned MaxKeyOperands = 3;
+
+/// Identity of one pure computation. For phis the operand slots hold the
+/// incoming values in predecessor-index order and Scope pins the parent
+/// block (phi equality only makes sense within one block, where the
+/// predecessor list is shared).
+struct GvnKey {
+  Opcode Op = Opcode::Add;
+  Builtin Callee = Builtin::Barrier;      // Valid when Op == Call.
+  const void *Scope = nullptr;            // Valid when Op == Phi.
+  const Value *Operands[MaxKeyOperands] = {nullptr, nullptr, nullptr};
+
+  bool operator==(const GvnKey &O) const {
+    return Op == O.Op && Callee == O.Callee && Scope == O.Scope &&
+           Operands[0] == O.Operands[0] && Operands[1] == O.Operands[1] &&
+           Operands[2] == O.Operands[2];
+  }
+};
+
+struct GvnKeyHash {
+  size_t operator()(const GvnKey &K) const {
+    uint64_t H = static_cast<uint64_t>(K.Op) * 0x9e3779b97f4a7c15ull;
+    H ^= static_cast<uint64_t>(K.Callee) + (H << 6) + (H >> 2);
+    H ^= reinterpret_cast<uintptr_t>(K.Scope) + (H << 6) + (H >> 2);
+    for (const Value *Op : K.Operands)
+      H ^= reinterpret_cast<uintptr_t>(Op) + 0x9e3779b97f4a7c15ull +
+           (H << 6) + (H >> 2);
+    return static_cast<size_t>(H);
+  }
+};
+
+class GvnImpl {
+public:
+  GvnImpl(Function &F, const DominatorTree &DT) : F(F), DT(DT) {}
+
+  unsigned run() {
+    collectImmutableRoots();
+    for (unsigned I = 0; I < F.numArguments(); ++I)
+      Order.rank(F.argument(I));
+    walkDomTree();
+    if (Replacement.empty())
+      return UsesRewritten;
+    // One global sweep: every use of a replaced instruction -- including
+    // phi edge uses, which the leader dominates because it dominates the
+    // replaced definition -- is routed to the leader. The dead originals
+    // are left for DCE. Progress is counted in uses actually rewritten:
+    // a dead duplicate that keys equal to its leader but feeds nothing
+    // must not keep a fixpoint group spinning.
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+          Value *R = resolve(I->operand(OpI));
+          if (R != I->operand(OpI)) {
+            I->setOperand(OpI, R);
+            ++UsesRewritten;
+          }
+        }
+    return UsesRewritten;
+  }
+
+private:
+  /// Objects whose loaded values cannot change during a launch: const
+  /// global pointer arguments (the verifier rejects stores through them,
+  /// and `const` is the system-wide contract that no other argument
+  /// aliases the buffer for writing), and private allocas with no store
+  /// to them anywhere in the function. A store whose pointer chain does
+  /// not bottom out at an alloca or argument (a pointer-typed
+  /// select/phi, which the verifier permits even though the frontend
+  /// never emits one) could target anything -- including a const buffer
+  /// the verifier's direct-store check cannot see -- so it disqualifies
+  /// every root.
+  void collectImmutableRoots() {
+    std::unordered_set<const Value *> StoredRoots;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (I->opcode() == Opcode::Store) {
+          const Value *Root = rootObject(I->operand(1));
+          const auto *RootI = dyn_cast<Instruction>(Root);
+          if (RootI && RootI->opcode() != Opcode::Alloca)
+            return; // Opaque store target: number no loads at all.
+          StoredRoots.insert(Root);
+        }
+    for (unsigned I = 0; I < F.numArguments(); ++I) {
+      const Argument *A = F.argument(I);
+      if (A->type().isPointer() && A->isConst())
+        ImmutableRoots.insert(A);
+    }
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (I->opcode() == Opcode::Alloca &&
+            I->allocaSpace() == AddressSpace::Private &&
+            !StoredRoots.count(I.get()))
+          ImmutableRoots.insert(I.get());
+  }
+
+  Value *resolve(Value *V) {
+    auto It = Replacement.find(V);
+    while (It != Replacement.end()) {
+      V = It->second;
+      It = Replacement.find(V);
+    }
+    return V;
+  }
+
+  /// Builds the key for \p I, or false if \p I is not numberable.
+  bool makeKey(Instruction *I, GvnKey &Key) {
+    switch (I->opcode()) {
+    case Opcode::Phi: {
+      // Phis merge only within their own block, where the predecessor
+      // set is shared; key on the incoming values in predecessor order.
+      // Self-references keep the key distinct per phi, which is correct:
+      // two self-referential phis need not carry the same value.
+      if (I->numIncoming() > MaxKeyOperands)
+        return false;
+      Key.Op = Opcode::Phi;
+      Key.Scope = I->parent();
+      // Incoming entries are stored in insertion order, which can differ
+      // between two equivalent phis; canonicalize by the predecessor's
+      // position in the function block list.
+      std::vector<std::pair<size_t, const Value *>> Entries;
+      for (unsigned OpI = 0; OpI < I->numIncoming(); ++OpI)
+        Entries.emplace_back(F.blockIndex(I->incomingBlock(OpI)),
+                             I->incomingValue(OpI));
+      std::sort(Entries.begin(), Entries.end());
+      for (unsigned E = 0; E < Entries.size(); ++E)
+        Key.Operands[E] = Entries[E].second;
+      return true;
+    }
+    case Opcode::Load: {
+      if (!ImmutableRoots.count(rootObject(I->operand(0))))
+        return false;
+      Key.Op = Opcode::Load;
+      Key.Operands[0] = I->operand(0);
+      return true;
+    }
+    case Opcode::Call:
+      if (!isPureBuiltin(I->callee()) ||
+          I->numOperands() > MaxKeyOperands)
+        return false;
+      Key.Op = Opcode::Call;
+      Key.Callee = I->callee();
+      break;
+    default:
+      if (!isAlwaysPureOpcode(I->opcode()) ||
+          I->numOperands() > MaxKeyOperands)
+        return false;
+      Key.Op = I->opcode();
+      break;
+    }
+    for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI)
+      Key.Operands[OpI] = I->operand(OpI);
+    bool Canonicalize =
+        I->numOperands() == 2 &&
+        ((Key.Op != Opcode::Call && isCommutativeOpcode(Key.Op)) ||
+         (Key.Op == Opcode::Call && isCommutativeBuiltin(Key.Callee)));
+    if (Canonicalize &&
+        Order.rank(Key.Operands[0]) > Order.rank(Key.Operands[1]))
+      std::swap(Key.Operands[0], Key.Operands[1]);
+    return true;
+  }
+
+  /// Preorder walk of the dominator tree with a scoped leader table:
+  /// entries added in a block are removed when its subtree is done, so a
+  /// leader is visible exactly where it dominates.
+  void walkDomTree() {
+    std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+        Children;
+    for (const auto &BB : F.blocks())
+      if (const BasicBlock *IDom = DT.idom(BB.get()))
+        Children[IDom].push_back(BB.get());
+
+    // Explicit stack of (block, entered) frames; on the second visit the
+    // block's scope is popped via the undo log.
+    std::vector<std::pair<BasicBlock *, bool>> Stack;
+    Stack.push_back({F.entry(), false});
+    std::vector<std::vector<GvnKey>> UndoLog;
+
+    while (!Stack.empty()) {
+      auto &[BB, Entered] = Stack.back();
+      if (Entered) {
+        for (const GvnKey &K : UndoLog.back())
+          Leaders.erase(K);
+        UndoLog.pop_back();
+        Stack.pop_back();
+        continue;
+      }
+      Entered = true;
+      UndoLog.emplace_back();
+      processBlock(BB, UndoLog.back());
+      auto ChildIt = Children.find(BB);
+      if (ChildIt != Children.end())
+        // Push in reverse so children are visited in function block
+        // order (deterministic leader choice and ValueOrder ranks).
+        for (auto It = ChildIt->second.rbegin();
+             It != ChildIt->second.rend(); ++It)
+          Stack.push_back({*It, false});
+    }
+  }
+
+  void processBlock(BasicBlock *BB, std::vector<GvnKey> &Undo) {
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      // Route operands through earlier replacements so duplicate chains
+      // collapse in one pass. Phi incomings may be defined in blocks not
+      // yet visited (back edges); resolve() is identity for them.
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        Value *R = resolve(I->operand(OpI));
+        if (R != I->operand(OpI)) {
+          I->setOperand(OpI, R);
+          ++UsesRewritten;
+        }
+      }
+      GvnKey Key;
+      if (!makeKey(I, Key))
+        continue;
+      auto [It, Inserted] = Leaders.try_emplace(Key, I);
+      if (Inserted)
+        Undo.push_back(Key);
+      else
+        Replacement[I] = It->second;
+    }
+  }
+
+  Function &F;
+  const DominatorTree &DT;
+  std::unordered_set<const Value *> ImmutableRoots;
+  std::unordered_map<GvnKey, Instruction *, GvnKeyHash> Leaders;
+  std::unordered_map<const Value *, Value *> Replacement;
+  ValueOrder Order;
+  unsigned UsesRewritten = 0;
+};
+
+} // namespace
+
+unsigned ir::numberValuesGlobally(Function &F, const DominatorTree &DT) {
+  return GvnImpl(F, DT).run();
+}

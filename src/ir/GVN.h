@@ -1,0 +1,53 @@
+//===- ir/GVN.h - Global value numbering --------------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-block value numbering over SSA, the dominator-tree-scoped
+/// counterpart of the block-local CSE pass. Pure expressions are
+/// hash-consed into leader tables that follow a preorder walk of the
+/// dominator tree: an expression computed in a dominating block is the
+/// leader for every recomputation below it, so address arithmetic that
+/// the perforation transform clones into the loader, the reconstruction,
+/// and the rewritten body collapses to one computation per dominance
+/// region.
+///
+/// Phi-aware: two phis at the head of the same block whose incoming
+/// values match per predecessor are merged. Load numbering is limited to
+/// loads whose value provably cannot change during a launch:
+///
+///  * loads rooted at a `const` global pointer argument -- the verifier
+///    rejects stores through const arguments, and the const qualifier is
+///    this system's contract that no other argument aliases the buffer
+///    for writing (the perforation transform preloads const inputs under
+///    the same assumption);
+///  * loads rooted at a private alloca that is never stored to anywhere
+///    in the function.
+///
+/// Everything else (mutable global buffers, local tiles, stored-to
+/// private arrays) is left to the epoch-tracking block-local CSE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_GVN_H
+#define KPERF_IR_GVN_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+class DominatorTree;
+
+/// Runs global value numbering over \p F using \p DT. \returns the number
+/// of operand uses rewritten to a dominating leader (0 = untouched; the
+/// dead duplicates are left for DCE). Never changes the block set or
+/// branch edges.
+unsigned numberValuesGlobally(Function &F, const DominatorTree &DT);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_GVN_H

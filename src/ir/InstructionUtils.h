@@ -1,0 +1,158 @@
+//===- ir/InstructionUtils.h - Shared instruction predicates -----*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predicates shared by the value-numbering and memory passes (CSE, GVN,
+/// MemOpt). They live in one place so the passes cannot drift apart on
+/// what counts as pure or commutative: a new opcode or builtin is
+/// classified here, once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_INSTRUCTIONUTILS_H
+#define KPERF_IR_INSTRUCTIONUTILS_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace kperf {
+namespace ir {
+
+/// Walks GEP chains back to the underlying object (argument or alloca).
+inline const Value *rootObject(const Value *Ptr) {
+  while (const auto *I = dyn_cast<Instruction>(Ptr)) {
+    if (I->opcode() != Opcode::Gep)
+      break;
+    Ptr = I->operand(0);
+  }
+  return Ptr;
+}
+
+/// True if merging two calls of \p B with identical arguments is always
+/// valid. Barrier is a synchronization point; everything else has no
+/// side effects and returns the same value for the same work item
+/// within a launch.
+inline bool isPureBuiltin(Builtin B) { return B != Builtin::Barrier; }
+
+/// True if \p Op combined with identical operands always produces an
+/// identical value (loads need memory reasoning and are handled by each
+/// pass separately).
+inline bool isAlwaysPureOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::LogicalAnd:
+  case Opcode::LogicalOr:
+  case Opcode::LogicalNot:
+  case Opcode::Neg:
+  case Opcode::IntToFloat:
+  case Opcode::FloatToInt:
+  case Opcode::Select:
+  case Opcode::Gep:
+    return true;
+  case Opcode::Alloca: // Distinct storage per instruction.
+  case Opcode::Phi:    // Identity depends on incoming edges, not operands.
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::Call:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return false;
+  }
+  return false;
+}
+
+inline bool isCommutativeOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::LogicalAnd:
+  case Opcode::LogicalOr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+inline bool isCommutativeBuiltin(Builtin B) {
+  return B == Builtin::Min || B == Builtin::Max;
+}
+
+/// Evaluates an integer comparison exactly as the simulator would.
+inline bool evalIntCmp(Opcode Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case Opcode::CmpEq:
+    return L == R;
+  case Opcode::CmpNe:
+    return L != R;
+  case Opcode::CmpLt:
+    return L < R;
+  case Opcode::CmpLe:
+    return L <= R;
+  case Opcode::CmpGt:
+    return L > R;
+  default:
+    assert(Op == Opcode::CmpGe && "not a comparison opcode");
+    return L >= R;
+  }
+}
+
+/// Folds int32 add/sub/mul with the simulator's wraparound semantics
+/// (computed in int64, truncated to int32); nullopt for other opcodes.
+/// Division is deliberately absent: its zero guard stays with simplify.
+inline std::optional<int32_t> foldIntBinary(Opcode Op, int32_t L,
+                                            int32_t R) {
+  int64_t A = L, B = R;
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int32_t>(A + B);
+  case Opcode::Sub:
+    return static_cast<int32_t>(A - B);
+  case Opcode::Mul:
+    return static_cast<int32_t>(A * B);
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Deterministic operand ordering for commutative keys: values are
+/// ranked in first-encounter order, never by pointer value (which would
+/// make the canonical form run-dependent). Shared by CSE and GVN so the
+/// two value-numbering passes agree on canonical commutative form.
+class ValueOrder {
+public:
+  unsigned rank(const Value *V) {
+    auto It = Ranks.find(V);
+    if (It != Ranks.end())
+      return It->second;
+    unsigned R = static_cast<unsigned>(Ranks.size());
+    Ranks.emplace(V, R);
+    return R;
+  }
+
+private:
+  std::unordered_map<const Value *, unsigned> Ranks;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_INSTRUCTIONUTILS_H

@@ -1,0 +1,554 @@
+//===- ir/LoopUnroll.cpp ----------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopUnroll.h"
+
+#include "ir/Dominators.h"
+#include "ir/InstructionUtils.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Everything known about one qualifying loop.
+struct UnrollableLoop {
+  BasicBlock *Header = nullptr;
+  BasicBlock *Preheader = nullptr;
+  BasicBlock *Latch = nullptr;
+  BasicBlock *BodyEntry = nullptr; ///< Header's in-loop successor.
+  BasicBlock *Exit = nullptr;      ///< Header's out-of-loop successor.
+  std::unordered_set<const BasicBlock *> Body; ///< Header included.
+  std::vector<BasicBlock *> BodyOrder;         ///< Function order.
+  unsigned Trips = 0;
+};
+
+/// Collects the natural loop of back edge \p Latch -> \p Header.
+void collectLoopBody(BasicBlock *Header, BasicBlock *Latch,
+                     const std::unordered_map<const BasicBlock *,
+                                              std::vector<BasicBlock *>>
+                         &Preds,
+                     std::unordered_set<const BasicBlock *> &Body) {
+  Body.insert(Header);
+  std::vector<BasicBlock *> Work;
+  if (Body.insert(Latch).second)
+    Work.push_back(Latch);
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    auto It = Preds.find(BB);
+    if (It == Preds.end())
+      continue;
+    for (BasicBlock *P : It->second)
+      if (Body.insert(P).second)
+        Work.push_back(P);
+  }
+}
+
+std::optional<int64_t> asConstInt(const Value *V) {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return C->value();
+  return std::nullopt;
+}
+
+bool isCmp(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Computes the trip count of the loop by simulating the induction
+/// arithmetic: iv starts at \p Init, advances by \p Step, and the loop
+/// body runs while the header condition keeps selecting the body edge.
+/// \returns nullopt when the loop does not terminate within \p MaxTrips
+/// or the induction variable leaves the int32 range the interpreter
+/// computes in.
+std::optional<unsigned> simulateTripCount(int64_t Init, int64_t Step,
+                                          Opcode CmpOp, bool IvOnLhs,
+                                          int64_t Bound, bool TrueIsBody,
+                                          unsigned MaxTrips) {
+  int64_t V = Init;
+  unsigned Trips = 0;
+  while (true) {
+    bool Cond = IvOnLhs ? evalIntCmp(CmpOp, V, Bound)
+                        : evalIntCmp(CmpOp, Bound, V);
+    if (Cond != TrueIsBody)
+      return Trips;
+    if (++Trips > MaxTrips)
+      return std::nullopt;
+    V += Step;
+    if (V < INT32_MIN || V > INT32_MAX)
+      return std::nullopt;
+  }
+}
+
+/// Finds the first (innermost-first) loop of \p F that qualifies for
+/// full unrolling within \p Budget.
+std::optional<UnrollableLoop> findUnrollableLoop(Function &F,
+                                                 const DominatorTree &DT,
+                                                 unsigned Budget) {
+  auto Preds = predecessors(F);
+
+  // Back edges grouped by header; headers with several back edges are
+  // not unrolled (the frontend never produces them).
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+      Latches;
+  for (const auto &BB : F.blocks()) {
+    if (!DT.isReachable(BB.get()))
+      continue;
+    for (BasicBlock *Succ : successors(BB.get()))
+      if (DT.dominates(Succ, BB.get()))
+        Latches[Succ].push_back(BB.get());
+  }
+
+  std::vector<UnrollableLoop> Candidates;
+  for (const auto &BB : F.blocks()) {
+    BasicBlock *Header = BB.get();
+    auto LatchIt = Latches.find(Header);
+    if (LatchIt == Latches.end() || LatchIt->second.size() != 1)
+      continue;
+    UnrollableLoop L;
+    L.Header = Header;
+    L.Latch = LatchIt->second.front();
+    collectLoopBody(Header, L.Latch, Preds, L.Body);
+    Candidates.push_back(std::move(L));
+  }
+  // Innermost first: smaller bodies unroll before their enclosing loop.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [&](const UnrollableLoop &A, const UnrollableLoop &B) {
+              if (A.Body.size() != B.Body.size())
+                return A.Body.size() < B.Body.size();
+              return F.blockIndex(A.Header) < F.blockIndex(B.Header);
+            });
+
+  for (UnrollableLoop &L : Candidates) {
+    // Unique preheader ending in an unconditional branch.
+    BasicBlock *Preheader = nullptr;
+    bool Unique = true;
+    for (BasicBlock *P : Preds[L.Header]) {
+      if (L.Body.count(P))
+        continue;
+      if (Preheader)
+        Unique = false;
+      Preheader = P;
+    }
+    if (!Preheader || !Unique)
+      continue;
+    const Instruction *PT = Preheader->terminator();
+    if (!PT || PT->opcode() != Opcode::Br)
+      continue;
+    L.Preheader = Preheader;
+
+    // The only exit is the header's conditional branch.
+    Instruction *HT = L.Header->terminator();
+    if (!HT || HT->opcode() != Opcode::CondBr)
+      continue;
+    bool T0In = L.Body.count(HT->branchTarget(0)) != 0;
+    bool T1In = L.Body.count(HT->branchTarget(1)) != 0;
+    if (T0In == T1In)
+      continue;
+    bool TrueIsBody = T0In;
+    L.BodyEntry = HT->branchTarget(TrueIsBody ? 0 : 1);
+    L.Exit = HT->branchTarget(TrueIsBody ? 1 : 0);
+
+    // Body blocks: no side exits, no returns, no allocas (an alloca
+    // names one storage slot shared by all iterations; duplicating it
+    // would split that storage).
+    bool BodyOk = true;
+    for (const BasicBlock *B : L.Body) {
+      if (B == L.Header)
+        continue;
+      const Instruction *T = B->terminator();
+      if (!T || T->opcode() == Opcode::Ret) {
+        BodyOk = false;
+        break;
+      }
+      for (BasicBlock *Succ : successors(B))
+        BodyOk &= L.Body.count(Succ) != 0;
+    }
+    for (const BasicBlock *B : L.Body)
+      for (const auto &I : B->instructions())
+        BodyOk &= I->opcode() != Opcode::Alloca;
+    if (!BodyOk)
+      continue;
+
+    // Layout: the unrolled copies are inserted at the header's position,
+    // so the verifier's def-before-use block ordering survives iff the
+    // header leads the body in function order, the preheader and every
+    // outside definition the body reads sit before it, and the exit
+    // (which will read the final header copy) sits behind it. The body
+    // need not be contiguous -- the frontend puts for.end between a
+    // loop's header and the blocks of a nested if or inner loop.
+    size_t Start = F.blockIndex(L.Header);
+    if (F.blockIndex(L.Preheader) >= Start ||
+        F.blockIndex(L.Exit) <= Start)
+      continue;
+    L.BodyOrder.clear();
+    for (const auto &B : F.blocks())
+      if (L.Body.count(B.get()))
+        L.BodyOrder.push_back(B.get());
+    if (L.BodyOrder.front() != L.Header)
+      continue;
+    bool OperandsOk = true;
+    for (const BasicBlock *B : L.Body)
+      for (const auto &I : B->instructions()) {
+        if (I->opcode() == Opcode::Phi)
+          continue; // Edge values; cloning resolves them per copy.
+        for (const Value *Op : I->operands())
+          if (const auto *OpI = dyn_cast<Instruction>(Op))
+            if (!L.Body.count(OpI->parent()))
+              OperandsOk &= F.blockIndex(OpI->parent()) < Start;
+      }
+    if (!OperandsOk)
+      continue;
+
+    // Values defined below the header must stay inside the loop; values
+    // escaping through the header (phis and its straight-line code) are
+    // rewired to the final header copy.
+    bool UsesOk = true;
+    for (const auto &U : F.blocks()) {
+      if (L.Body.count(U.get()))
+        continue;
+      for (const auto &I : U->instructions())
+        for (const Value *Op : I->operands())
+          if (const auto *OpI = dyn_cast<Instruction>(Op))
+            UsesOk &= !L.Body.count(OpI->parent()) ||
+                      OpI->parent() == L.Header;
+    }
+    if (!UsesOk)
+      continue;
+
+    // Induction variable: iv = phi [const, preheader], [iv +/- const,
+    // latch], compared against a constant bound in the header.
+    const auto *Cond = dyn_cast<Instruction>(HT->operand(0));
+    if (!Cond || !isCmp(Cond->opcode()) || Cond->parent() != L.Header)
+      continue;
+    std::optional<unsigned> Trips;
+    for (size_t PI = 0; PI < L.Header->firstNonPhiIndex(); ++PI) {
+      Instruction *IV = L.Header->at(PI);
+      if (IV->numIncoming() != 2)
+        continue;
+      Value *InitV = IV->incomingValueFor(L.Preheader);
+      Value *NextV = IV->incomingValueFor(L.Latch);
+      auto Init = InitV ? asConstInt(InitV) : std::nullopt;
+      const auto *Next = dyn_cast<Instruction>(NextV);
+      if (!Init || !Next || !L.Body.count(Next->parent()))
+        continue;
+      std::optional<int64_t> Step;
+      if (Next->opcode() == Opcode::Add) {
+        if (Next->operand(0) == IV)
+          Step = asConstInt(Next->operand(1));
+        else if (Next->operand(1) == IV)
+          Step = asConstInt(Next->operand(0));
+      } else if (Next->opcode() == Opcode::Sub &&
+                 Next->operand(0) == IV) {
+        if (auto C = asConstInt(Next->operand(1)))
+          Step = -*C;
+      }
+      if (!Step)
+        continue;
+      std::optional<int64_t> Bound;
+      bool IvOnLhs = false;
+      if (Cond->operand(0) == IV) {
+        Bound = asConstInt(Cond->operand(1));
+        IvOnLhs = true;
+      } else if (Cond->operand(1) == IV) {
+        Bound = asConstInt(Cond->operand(0));
+      }
+      if (!Bound)
+        continue;
+      Trips = simulateTripCount(*Init, *Step, Cond->opcode(), IvOnLhs,
+                                *Bound, TrueIsBody, Budget);
+      if (Trips)
+        break;
+    }
+    if (!Trips)
+      continue;
+
+    size_t LoopSize = 0;
+    for (const BasicBlock *B : L.Body)
+      LoopSize += B->size();
+    if (static_cast<size_t>(*Trips) * LoopSize > Budget)
+      continue;
+
+    L.Trips = *Trips;
+    return L;
+  }
+  return std::nullopt;
+}
+
+/// Clones the loop body Trips times (plus a final header copy computing
+/// the loop-exit values) in place of the original blocks, collapsing the
+/// header phis to the per-iteration reaching values, then deletes the
+/// original loop.
+void unrollLoop(Function &F, Module &M, const UnrollableLoop &L) {
+  using ValueMap = std::unordered_map<const Value *, Value *>;
+  auto mapped = [](const ValueMap &Map, Value *V) -> Value * {
+    auto It = Map.find(V);
+    return It == Map.end() ? V : It->second;
+  };
+  // Folds the collapsed induction arithmetic at clone time (with the
+  // shared InstructionUtils semantics) so iteration constants feed the
+  // next copy as constants; GVN/simplify finish the job on the rest.
+  auto foldOrClone = [&](const Instruction *I,
+                         const std::vector<Value *> &Ops) -> Value * {
+    if (Ops.size() != 2)
+      return nullptr;
+    auto LC = asConstInt(Ops[0]);
+    auto RC = asConstInt(Ops[1]);
+    if (!LC || !RC || !Ops[0]->type().isInt() || !Ops[1]->type().isInt())
+      return nullptr;
+    if (auto Folded = foldIntBinary(I->opcode(),
+                                    static_cast<int32_t>(*LC),
+                                    static_cast<int32_t>(*RC)))
+      return M.getInt(*Folded);
+    if (isCmp(I->opcode()))
+      return M.getBool(evalIntCmp(I->opcode(), *LC, *RC));
+    return nullptr;
+  };
+
+  // Phase 1: create all blocks up front (latch clones must be able to
+  // branch to the next iteration's header), inserted at the original
+  // header's position so block order stays def-before-use.
+  size_t InsertAt = F.blockIndex(L.Header);
+  std::vector<std::unordered_map<const BasicBlock *, BasicBlock *>>
+      BlockMaps(L.Trips);
+  for (unsigned It = 0; It < L.Trips; ++It)
+    for (BasicBlock *B : L.BodyOrder)
+      BlockMaps[It][B] = F.createBlockAt(
+          InsertAt++, B->name() + format(".it%u", It));
+  BasicBlock *FinalHeader =
+      F.createBlockAt(InsertAt++, L.Header->name() + ".done");
+  auto headerOf = [&](unsigned It) {
+    return It < L.Trips ? BlockMaps[It][L.Header] : FinalHeader;
+  };
+
+  // Phase 2: per iteration, seed the map with the header phis' reaching
+  // values, then clone every body block (phis in interior blocks are
+  // created empty and filled once the whole copy exists, mirroring
+  // cloneFunction's back-edge handling for inner loops left rolled).
+  std::vector<ValueMap> Maps(L.Trips + 1);
+  size_t NumPhis = L.Header->firstNonPhiIndex();
+  for (unsigned It = 0; It <= L.Trips; ++It) {
+    ValueMap &Map = Maps[It];
+    for (size_t PI = 0; PI < NumPhis; ++PI) {
+      Instruction *Phi = L.Header->at(PI);
+      Map[Phi] = It == 0
+                     ? Phi->incomingValueFor(L.Preheader)
+                     : mapped(Maps[It - 1],
+                              Phi->incomingValueFor(L.Latch));
+    }
+    bool IsFinal = It == L.Trips;
+    std::vector<std::pair<const Instruction *, Instruction *>> Phis;
+    for (BasicBlock *B : IsFinal ? std::vector<BasicBlock *>{L.Header}
+                                 : L.BodyOrder) {
+      BasicBlock *NewB = IsFinal ? FinalHeader : BlockMaps[It][B];
+      bool IsHeader = B == L.Header;
+      for (const auto &IPtr : B->instructions()) {
+        const Instruction *I = IPtr.get();
+        if (I->opcode() == Opcode::Phi) {
+          if (IsHeader)
+            continue; // Collapsed through Map.
+          auto NewPhi = std::make_unique<Instruction>(
+              Opcode::Phi, I->type(), std::vector<Value *>{}, I->name());
+          Phis.emplace_back(I, NewPhi.get());
+          Map[I] = NewB->append(std::move(NewPhi));
+          continue;
+        }
+        if (I->isTerminator()) {
+          if (IsHeader) {
+            // The in-loop edge is taken for iterations 0..Trips-1 and
+            // the exit edge after the last; emit the decided branch.
+            auto Br = std::make_unique<Instruction>(
+                Opcode::Br, Type::voidTy(), std::vector<Value *>{}, "");
+            Br->setBranchTarget(
+                0, IsFinal ? L.Exit
+                           : (L.BodyEntry == L.Header
+                                  ? headerOf(It + 1)
+                                  : BlockMaps[It][L.BodyEntry]));
+            NewB->append(std::move(Br));
+          } else {
+            std::vector<Value *> Ops;
+            for (Value *Op : I->operands())
+              Ops.push_back(mapped(Map, Op));
+            auto NewT = std::make_unique<Instruction>(
+                I->opcode(), I->type(), std::move(Ops), I->name());
+            for (unsigned TI = 0;
+                 TI < (I->opcode() == Opcode::CondBr ? 2u : 1u); ++TI) {
+              BasicBlock *Target = I->branchTarget(TI);
+              NewT->setBranchTarget(TI, Target == L.Header
+                                            ? headerOf(It + 1)
+                                            : BlockMaps[It][Target]);
+            }
+            NewB->append(std::move(NewT));
+          }
+          continue;
+        }
+        std::vector<Value *> Ops;
+        for (Value *Op : I->operands())
+          Ops.push_back(mapped(Map, Op));
+        if (Value *Folded = foldOrClone(I, Ops)) {
+          Map[I] = Folded;
+          continue;
+        }
+        auto NewI = std::make_unique<Instruction>(I->opcode(), I->type(),
+                                                  std::move(Ops),
+                                                  I->name());
+        if (I->opcode() == Opcode::Call)
+          NewI->setCallee(I->callee());
+        Map[I] = NewB->append(std::move(NewI));
+      }
+    }
+    // Phase 3 (per copy): fill interior phis now that every block and
+    // value of this iteration exists.
+    for (auto &[OldPhi, NewPhi] : Phis)
+      for (unsigned PI = 0; PI < OldPhi->numIncoming(); ++PI)
+        NewPhi->addIncoming(mapped(Map, OldPhi->incomingValue(PI)),
+                            BlockMaps[It][OldPhi->incomingBlock(PI)]);
+  }
+  ValueMap &FinalMap = Maps[L.Trips];
+
+  // Rewire the loop's surroundings: the preheader enters the first
+  // iteration, exit phis take the final header copy's edge, and every
+  // outside use of a header-defined value reads the final copy.
+  L.Preheader->terminator()->setBranchTarget(0, headerOf(0));
+  for (size_t PI = 0; PI < L.Exit->firstNonPhiIndex(); ++PI) {
+    Instruction *Phi = L.Exit->at(PI);
+    if (Value *V = Phi->incomingValueFor(L.Header)) {
+      Phi->removeIncomingFor(L.Header);
+      Phi->addIncoming(mapped(FinalMap, V), FinalHeader);
+    }
+  }
+  for (const auto &BB : F.blocks()) {
+    if (L.Body.count(BB.get()))
+      continue;
+    for (const auto &I : BB->instructions())
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        Value *R = mapped(FinalMap, I->operand(OpI));
+        if (R != I->operand(OpI))
+          I->setOperand(OpI, R);
+      }
+  }
+  for (BasicBlock *B : L.BodyOrder)
+    F.removeBlock(B);
+}
+
+/// Merges straight-line block chains: a block ending in an unconditional
+/// branch absorbs its successor when it is the successor's only
+/// predecessor. Fully unrolled loops become one block the block-local
+/// passes see whole. \returns blocks merged.
+unsigned mergeStraightChains(Function &F) {
+  unsigned Merged = 0;
+  auto Preds = predecessors(F);
+  // One forward sweep; after absorbing B, A keeps merging into whatever
+  // B used to branch to, so a K-block chain collapses in K steps with
+  // the predecessor map maintained incrementally. Only forward merges
+  // (B after A in layout) are taken: pulling an earlier block's code
+  // behind A could move definitions below uses in blocks between them,
+  // and removing a block below AI would desynchronize the index walk.
+  // The frontend never lays a single-pred unconditional target backward,
+  // so nothing real is skipped.
+  for (size_t AI = 0; AI < F.numBlocks(); ++AI) {
+    BasicBlock *A = F.block(AI);
+    while (true) {
+      Instruction *T = A->terminator();
+      if (!T || T->opcode() != Opcode::Br)
+        break;
+      BasicBlock *B = T->branchTarget(0);
+      if (B == A || B == F.entry() || F.blockIndex(B) < AI)
+        break;
+      auto PIt = Preds.find(B);
+      if (PIt == Preds.end() || PIt->second.size() != 1)
+        break;
+
+      // Single-predecessor phis are copies of their one incoming value;
+      // collect them all and rewrite their uses in one function sweep.
+      std::unordered_map<const Value *, Value *> PhiVals;
+      size_t NumPhis = B->firstNonPhiIndex();
+      for (size_t PI = 0; PI < NumPhis; ++PI) {
+        Value *V = B->at(PI)->incomingValueFor(A);
+        assert(V && "single-pred phi missing its incoming value");
+        PhiVals[B->at(PI)] = V;
+      }
+      // Resolve phi-feeds-phi chains so no use lands on a deleted phi.
+      for (auto &[Phi, V] : PhiVals)
+        for (size_t Hops = 0; Hops < NumPhis; ++Hops) {
+          auto It = PhiVals.find(V);
+          if (It == PhiVals.end())
+            break;
+          V = It->second;
+        }
+      if (!PhiVals.empty())
+        for (const auto &BB : F.blocks())
+          for (const auto &I : BB->instructions())
+            for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+              auto It = PhiVals.find(I->operand(OpI));
+              if (It != PhiVals.end())
+                I->setOperand(OpI, It->second);
+            }
+      auto &BInstrs = B->mutableInstructions();
+      BInstrs.erase(BInstrs.begin(),
+                    BInstrs.begin() + static_cast<ptrdiff_t>(NumPhis));
+
+      // Splice B's remaining instructions behind A (dropping A's
+      // branch), retarget B's successors' phis and predecessor lists.
+      A->mutableInstructions().pop_back();
+      for (auto &I : BInstrs) {
+        I->setParent(A);
+        A->mutableInstructions().push_back(std::move(I));
+      }
+      BInstrs.clear();
+      Preds.erase(B);
+      for (BasicBlock *Succ : successors(A)) {
+        for (BasicBlock *&P : Preds[Succ])
+          if (P == B)
+            P = A;
+        for (size_t PI = 0; PI < Succ->firstNonPhiIndex(); ++PI) {
+          Instruction *Phi = Succ->at(PI);
+          if (Value *V = Phi->incomingValueFor(B)) {
+            Phi->removeIncomingFor(B);
+            Phi->addIncoming(V, A);
+          }
+        }
+      }
+      F.removeBlock(B);
+      ++Merged;
+    }
+  }
+  return Merged;
+}
+
+} // namespace
+
+unsigned ir::unrollConstantLoops(Function &F, Module &M, unsigned Budget) {
+  unsigned Changes = 0;
+  while (true) {
+    DominatorTree DT = DominatorTree::compute(F);
+    std::optional<UnrollableLoop> L = findUnrollableLoop(F, DT, Budget);
+    if (!L)
+      break;
+    unrollLoop(F, M, *L);
+    ++Changes;
+  }
+  if (Changes)
+    Changes += mergeStraightChains(F);
+  return Changes;
+}

@@ -1,0 +1,61 @@
+//===- ir/LoopUnroll.h - Constant-trip full loop unrolling --------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Full unrolling of constant-trip natural loops under an IR-size budget,
+/// targeting the 3x3/5x5 filter-window loops of the perforation apps.
+/// A loop qualifies when:
+///
+///  * it has a unique preheader (unconditional branch in) and a single
+///    back edge (one latch);
+///  * the only exit is the header's conditional branch -- no body block
+///    branches or returns out of the loop;
+///  * the header has an induction phi `iv = phi [init, preheader],
+///    [next, latch]` with `init` a constant, `next = iv +/- step` for a
+///    constant step, and the exit condition a comparison of `iv` against
+///    a constant bound;
+///  * the trip count -- found by simulating the induction arithmetic
+///    exactly as the interpreter would execute it -- times the loop's
+///    instruction count fits the budget.
+///
+/// The body (including the header's non-phi instructions) is cloned once
+/// per iteration with the induction phi collapsed to the iteration's
+/// constant, loop-carried phis threaded through the copies, and a final
+/// header copy computing the loop-exit values. Afterwards straight-line
+/// block chains are merged, so a fully unrolled loop nest becomes one
+/// block that the block-local passes (CSE, store forwarding, DSE) can
+/// see whole, and simplify/GVN fold the now-constant induction
+/// arithmetic.
+///
+/// Runs until no more loops qualify, so inner window loops unroll first
+/// and the enclosing loop -- now straight-line -- unrolls next.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_LOOPUNROLL_H
+#define KPERF_IR_LOOPUNROLL_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Default IR-size budget: a loop unrolls when trip count x loop size
+/// stays within this many instructions (sized so a perforated 5x5
+/// filter-window nest flattens fully).
+constexpr unsigned DefaultUnrollBudget = 2048;
+
+/// Fully unrolls every qualifying constant-trip loop of \p F whose
+/// unrolled size fits \p Budget, then merges straight-line block chains.
+/// \p M interns the collapsed induction constants. \returns the number
+/// of loops unrolled plus blocks merged (0 = untouched).
+unsigned unrollConstantLoops(Function &F, Module &M,
+                             unsigned Budget = DefaultUnrollBudget);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_LOOPUNROLL_H

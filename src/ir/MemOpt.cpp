@@ -6,6 +6,8 @@
 
 #include "ir/MemOpt.h"
 
+#include "ir/InstructionUtils.h"
+
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
@@ -14,16 +16,6 @@ using namespace kperf;
 using namespace kperf::ir;
 
 namespace {
-
-/// Walks GEP chains back to the underlying object (argument or alloca).
-const Value *rootObject(const Value *Ptr) {
-  while (const auto *I = dyn_cast<Instruction>(Ptr)) {
-    if (I->opcode() != Opcode::Gep)
-      break;
-    Ptr = I->operand(0);
-  }
-  return Ptr;
-}
 
 bool isPrivateAlloca(const Value *Root) {
   const auto *A = dyn_cast<Instruction>(Root);

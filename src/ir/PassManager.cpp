@@ -8,7 +8,9 @@
 
 #include "ir/CSE.h"
 #include "ir/DCE.h"
+#include "ir/GVN.h"
 #include "ir/LICM.h"
+#include "ir/LoopUnroll.h"
 #include "ir/Mem2Reg.h"
 #include "ir/MemOpt.h"
 #include "ir/Simplify.h"
@@ -18,6 +20,8 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdlib>
+#include <limits>
 #include <map>
 
 using namespace kperf;
@@ -105,6 +109,32 @@ public:
   bool preservesCFG() const override { return true; }
 };
 
+/// Cross-block value numbering scoped by the dominator tree. Redirects
+/// uses to dominating leaders; terminators and edges stay intact, so the
+/// tree it reads remains valid across its own mutations.
+class GVNPass : public FunctionPass {
+public:
+  const char *name() const override { return "gvn"; }
+  unsigned run(Function &F, Module &, AnalysisManager &AM) override {
+    return numberValuesGlobally(F, AM.getDominatorTree(F));
+  }
+  bool preservesCFG() const override { return true; }
+};
+
+/// Full unrolling of constant-trip loops under an IR-size budget, then
+/// straight-line chain merging -- both rewrite the block set.
+class UnrollPass : public FunctionPass {
+public:
+  explicit UnrollPass(unsigned Budget) : Budget(Budget) {}
+  const char *name() const override { return "unroll"; }
+  unsigned run(Function &F, Module &M, AnalysisManager &) override {
+    return unrollConstantLoops(F, M, Budget);
+  }
+
+private:
+  unsigned Budget;
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -125,41 +155,81 @@ PassRegistry &PassRegistry::instance() {
     Reg->registerPass("licm", [] { return std::make_unique<LICMPass>(); });
     Reg->registerPass("mem2reg",
                       [] { return std::make_unique<Mem2RegPass>(); });
+    Reg->registerPass("gvn", [] { return std::make_unique<GVNPass>(); });
+    Reg->registerParameterizedPass(
+        "unroll",
+        [](unsigned Budget) { return std::make_unique<UnrollPass>(Budget); },
+        DefaultUnrollBudget);
     Reg->registerPass("dce", [] { return std::make_unique<DCEPass>(); });
     return Reg;
   }();
   return *R;
 }
 
+PassRegistry::Entry *PassRegistry::find(const std::string &Name) {
+  for (Entry &E : Factories)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+const PassRegistry::Entry *
+PassRegistry::find(const std::string &Name) const {
+  for (const Entry &E : Factories)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
 void PassRegistry::registerPass(const std::string &Name, Factory MakePass) {
-  for (auto &[N, F] : Factories)
-    if (N == Name) {
-      F = std::move(MakePass);
-      return;
-    }
-  Factories.emplace_back(Name, std::move(MakePass));
+  if (Entry *E = find(Name)) {
+    E->Make = std::move(MakePass);
+    E->MakeParam = nullptr;
+    return;
+  }
+  Factories.push_back({Name, std::move(MakePass), nullptr});
+}
+
+void PassRegistry::registerParameterizedPass(const std::string &Name,
+                                             ParamFactory MakePass,
+                                             unsigned DefaultParam) {
+  Factory Default = [MakePass, DefaultParam] {
+    return MakePass(DefaultParam);
+  };
+  if (Entry *E = find(Name)) {
+    E->Make = std::move(Default);
+    E->MakeParam = std::move(MakePass);
+    return;
+  }
+  Factories.push_back({Name, std::move(Default), std::move(MakePass)});
 }
 
 std::unique_ptr<FunctionPass>
 PassRegistry::create(const std::string &Name) const {
-  for (const auto &[N, F] : Factories)
-    if (N == Name)
-      return F();
-  return nullptr;
+  const Entry *E = find(Name);
+  return E ? E->Make() : nullptr;
+}
+
+std::unique_ptr<FunctionPass>
+PassRegistry::create(const std::string &Name, unsigned Param) const {
+  const Entry *E = find(Name);
+  return E && E->MakeParam ? E->MakeParam(Param) : nullptr;
 }
 
 bool PassRegistry::contains(const std::string &Name) const {
-  for (const auto &[N, F] : Factories)
-    if (N == Name)
-      return true;
-  return false;
+  return find(Name) != nullptr;
+}
+
+bool PassRegistry::isParameterized(const std::string &Name) const {
+  const Entry *E = find(Name);
+  return E && E->MakeParam != nullptr;
 }
 
 std::vector<std::string> PassRegistry::registeredNames() const {
   std::vector<std::string> Names;
   Names.reserve(Factories.size());
-  for (const auto &[N, F] : Factories)
-    Names.push_back(N);
+  for (const Entry &E : Factories)
+    Names.push_back(E.Name);
   std::sort(Names.begin(), Names.end());
   return Names;
 }
@@ -193,7 +263,7 @@ PassExecution &PipelineStats::entry(const std::string &Name) {
   for (PassExecution &E : Passes)
     if (E.Name == Name)
       return E;
-  Passes.push_back(PassExecution{Name, 0, 0, 0});
+  Passes.push_back(PassExecution{Name, 0, 0, 0, 0, 0});
   return Passes.back();
 }
 
@@ -203,6 +273,8 @@ void PipelineStats::merge(const PipelineStats &Other) {
     Mine.Invocations += E.Invocations;
     Mine.Changes += E.Changes;
     Mine.Millis += E.Millis;
+    Mine.SizeDelta += E.SizeDelta;
+    Mine.AluDelta += E.AluDelta;
   }
   Iterations += Other.Iterations;
 }
@@ -284,6 +356,38 @@ struct PipelineParser {
     }
   }
 
+  /// Reads the '(' integer ')' parameter of a parameterized pass.
+  bool parseParam(const std::string &Name, PassPipeline::Element &E) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Spec.size() &&
+           std::isdigit(static_cast<unsigned char>(Spec[Pos])))
+      ++Pos;
+    if (Pos == Start) {
+      Err = makeError("pipeline spec: expected integer parameter for "
+                      "'%s' in '%s'",
+                      Name.c_str(), Spec.c_str());
+      return false;
+    }
+    unsigned long long Raw =
+        std::strtoull(Spec.substr(Start, Pos - Start).c_str(), nullptr,
+                      10);
+    if (Raw > std::numeric_limits<unsigned>::max()) {
+      Err = makeError("pipeline spec: parameter for '%s' out of range "
+                      "in '%s'",
+                      Name.c_str(), Spec.c_str());
+      return false;
+    }
+    E.HasParam = true;
+    E.Param = static_cast<unsigned>(Raw);
+    if (!consume(')')) {
+      Err = makeError("pipeline spec: missing ')' after '%s(' in '%s'",
+                      Name.c_str(), Spec.c_str());
+      return false;
+    }
+    return true;
+  }
+
   bool parseElement(PassPipeline::Element &E) {
     std::string Name = readName();
     if (Name.empty()) {
@@ -321,6 +425,15 @@ struct PipelineParser {
       return false;
     }
     E.PassName = Name;
+    if (consume('(')) {
+      if (!PassRegistry::instance().isParameterized(Name)) {
+        Err = makeError("pipeline spec: pass '%s' takes no parameter in "
+                        "'%s'",
+                        Name.c_str(), Spec.c_str());
+        return false;
+      }
+      return parseParam(Name, E);
+    }
     return true;
   }
 };
@@ -347,6 +460,8 @@ std::string PassPipeline::print(const std::vector<Element> &Elements) {
       S += ',';
     if (E.IsFixpoint)
       S += "fixpoint(" + print(E.Children) + ")";
+    else if (E.HasParam)
+      S += format("%s(%u)", E.PassName.c_str(), E.Param);
     else
       S += E.PassName;
   }
@@ -376,35 +491,63 @@ struct PipelineRunner {
                  const PassRunOptions &Opts, PipelineStats &Stats)
       : F(F), M(M), AM(AM), Opts(Opts), Stats(Stats) {}
 
-  FunctionPass &passFor(const std::string &Name) {
-    std::unique_ptr<FunctionPass> &P = Instances[Name];
+  FunctionPass &passFor(const PassPipeline::Element &El) {
+    // Instances are keyed by the canonical element spelling, so
+    // unroll(64) and unroll(512) in one pipeline stay distinct; the
+    // stats row is keyed by the bare pass name either way.
+    std::string Key = El.HasParam
+                          ? format("%s(%u)", El.PassName.c_str(), El.Param)
+                          : El.PassName;
+    std::unique_ptr<FunctionPass> &P = Instances[Key];
     if (!P) {
-      P = PassRegistry::instance().create(Name);
+      P = El.HasParam
+              ? PassRegistry::instance().create(El.PassName, El.Param)
+              : PassRegistry::instance().create(El.PassName);
       assert(P && "unknown pass survived parsing");
     }
     return *P;
   }
 
+  /// One fused walk for the two per-pass instrumentation numbers.
+  std::pair<size_t, uint64_t> measureFunction() const {
+    size_t Size = 0;
+    uint64_t Alu = 0;
+    for (const auto &BB : F.blocks()) {
+      Size += BB->size();
+      for (const auto &I : BB->instructions())
+        Alu += staticAluWeight(*I);
+    }
+    return {Size, Alu};
+  }
+
   /// Runs one pass invocation; returns its change count, or ~0u on a
   /// verify-each failure (Err is set).
-  unsigned runOne(const std::string &Name) {
-    FunctionPass &P = passFor(Name);
+  unsigned runOne(const PassPipeline::Element &El) {
+    FunctionPass &P = passFor(El);
+    auto [SizeBefore, AluBefore] = measureFunction();
     auto Start = std::chrono::steady_clock::now();
     unsigned Changes = P.run(F, M, AM);
     auto End = std::chrono::steady_clock::now();
 
-    PassExecution &E = Stats.entry(Name);
+    PassExecution &E = Stats.entry(El.PassName);
     ++E.Invocations;
     E.Changes += Changes;
     E.Millis +=
         std::chrono::duration<double, std::milli>(End - Start).count();
+    if (Changes) {
+      auto [SizeAfter, AluAfter] = measureFunction();
+      E.SizeDelta += static_cast<long long>(SizeAfter) -
+                     static_cast<long long>(SizeBefore);
+      E.AluDelta += static_cast<long long>(AluAfter) -
+                    static_cast<long long>(AluBefore);
+    }
 
     if (Changes)
       AM.invalidate(F, P.preservesCFG());
     if (Opts.VerifyEach) {
       if (Error VE = verifyFunction(F)) {
         Err = makeError("verification failed after pass '%s': %s",
-                        Name.c_str(), VE.message().c_str());
+                        El.PassName.c_str(), VE.message().c_str());
         return ~0u;
       }
     }
@@ -419,7 +562,7 @@ struct PipelineRunner {
       if (E.IsFixpoint)
         C = runFixpoint(E.Children);
       else
-        C = runOne(E.PassName);
+        C = runOne(E);
       if (C == ~0u)
         return ~0u;
       Changes += C;
@@ -464,10 +607,55 @@ Expected<PipelineStats> PassPipeline::run(Function &F, Module &M,
 }
 
 const char *ir::defaultPipelineSpec() {
-  // mem2reg leads: one application promotes everything it ever will, and
-  // the passes behind it then iterate over far less private-memory
-  // traffic (memopt survives for what mem2reg must skip: arrays, locals,
-  // barrier-crossing scalars).
-  return "mem2reg,fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,"
-         "dce)";
+  // mem2reg leads: one application promotes everything it ever will.
+  // unroll runs next (it needs the SSA induction phis, and one
+  // application flattens every constant-trip loop it ever will), turning
+  // the filter-window nests into straight-line blocks. The fixpoint
+  // group then folds the collapsed induction arithmetic (simplify),
+  // merges the cross-block recomputations unrolling and perforation
+  // expose (gvn), and iterates the block-local memory cleanups over IR
+  // that carries far less private traffic (memopt survives for what
+  // mem2reg must skip: arrays, locals, barrier-crossing scalars).
+  return "mem2reg,unroll,fixpoint(simplify,gvn,cse,memopt-forward,licm,"
+         "memopt-dse,dce)";
+}
+
+size_t ir::functionInstructionCount(const Function &F) {
+  size_t N = 0;
+  for (const auto &BB : F.blocks())
+    N += BB->size();
+  return N;
+}
+
+unsigned ir::staticAluWeight(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Alloca:
+  case Opcode::Load:  // Memory lanes, charged separately.
+  case Opcode::Store:
+  case Opcode::Phi:   // Free: codegen folds phis into predecessor moves.
+  case Opcode::Ret:
+    return 0;
+  case Opcode::Call:
+    switch (I.callee()) {
+    case Builtin::Barrier:
+      return 0;
+    case Builtin::Sqrt:
+    case Builtin::Exp:
+    case Builtin::Log:
+    case Builtin::Pow:
+      return 4; // Transcendentals cost more (see sim::Interpreter).
+    default:
+      return 1;
+    }
+  default:
+    return 1; // Arithmetic, comparisons, gep, branches.
+  }
+}
+
+uint64_t ir::functionStaticAluWeight(const Function &F) {
+  uint64_t W = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      W += staticAluWeight(*I);
+  return W;
 }

@@ -11,17 +11,22 @@
 ///  * FunctionPass -- the pass interface: run on one function, report how
 ///    many changes were made, declare whether the CFG survived;
 ///  * PassRegistry -- maps textual names ("mem2reg", "simplify", "cse",
-///    "memopt-forward", "memopt-dse", "licm", "dce") to pass factories;
+///    "memopt-forward", "memopt-dse", "licm", "gvn", "unroll", "dce") to
+///    pass factories; passes taking an integer knob (unroll's IR-size
+///    budget) register a parameterized factory with a default;
 ///  * PassPipeline -- a parsed pipeline specification such as
 ///
-///      fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)
+///      mem2reg,unroll,fixpoint(simplify,gvn,cse,dce)
 ///
-///    where a bare name runs a pass once and fixpoint(...) repeats its
+///    where a bare name runs a pass once, name(N) runs a parameterized
+///    pass with knob N (e.g. unroll(512)), and fixpoint(...) repeats its
 ///    body until a whole round changes nothing (groups nest). Parsing
 ///    round-trips through str().
 ///
 /// Running a pipeline produces a PipelineStats: one table row per pass
-/// with invocation count, change count, and wall-clock time. All derived
+/// with invocation count, change count, wall-clock time, and the net
+/// IR-size and static-ALU-weight deltas the pass's invocations caused
+/// (the instrumentation bench_passes and kperfc surface). All derived
 /// numbers (total(), the named convenience accessors) are computed from
 /// that single table, so they cannot drift apart.
 ///
@@ -40,6 +45,7 @@
 #include "ir/Function.h"
 #include "support/Error.h"
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -70,6 +76,9 @@ public:
 class PassRegistry {
 public:
   using Factory = std::function<std::unique_ptr<FunctionPass>()>;
+  /// Factory of a pass taking one integer knob (e.g. unroll's budget).
+  using ParamFactory =
+      std::function<std::unique_ptr<FunctionPass>(unsigned)>;
 
   /// The process-wide registry, with the built-in passes registered.
   static PassRegistry &instance();
@@ -77,16 +86,38 @@ public:
   /// Registers \p MakePass under \p Name, replacing any previous entry.
   void registerPass(const std::string &Name, Factory MakePass);
 
-  /// Instantiates the pass registered as \p Name, or null if unknown.
+  /// Registers a parameterized pass: specs may spell it bare (\p Name,
+  /// instantiated with \p DefaultParam) or as name(N).
+  void registerParameterizedPass(const std::string &Name,
+                                 ParamFactory MakePass,
+                                 unsigned DefaultParam);
+
+  /// Instantiates the pass registered as \p Name (parameterized passes
+  /// get their default knob), or null if unknown.
   std::unique_ptr<FunctionPass> create(const std::string &Name) const;
 
+  /// Instantiates a parameterized pass with knob \p Param; null when
+  /// \p Name is unknown or not parameterized.
+  std::unique_ptr<FunctionPass> create(const std::string &Name,
+                                       unsigned Param) const;
+
   bool contains(const std::string &Name) const;
+
+  /// True if \p Name is registered and accepts a name(N) parameter.
+  bool isParameterized(const std::string &Name) const;
 
   /// All registered names, sorted.
   std::vector<std::string> registeredNames() const;
 
 private:
-  std::vector<std::pair<std::string, Factory>> Factories;
+  struct Entry {
+    std::string Name;
+    Factory Make;           ///< Always set (default knob baked in).
+    ParamFactory MakeParam; ///< Set for parameterized passes only.
+  };
+  Entry *find(const std::string &Name);
+  const Entry *find(const std::string &Name) const;
+  std::vector<Entry> Factories;
 };
 
 /// One row of the per-pass statistics table.
@@ -95,6 +126,13 @@ struct PassExecution {
   unsigned Invocations = 0; ///< Times the pass ran.
   unsigned Changes = 0;     ///< Total changes reported.
   double Millis = 0;        ///< Wall-clock time spent in the pass.
+  /// Net instruction-count change across this pass's invocations
+  /// (negative = the pass shrank the function).
+  long long SizeDelta = 0;
+  /// Net static ALU-weight change, in the simulator's cost units (what
+  /// one dynamic execution of the remaining instructions would charge
+  /// the ALU; see staticAluWeight).
+  long long AluDelta = 0;
 };
 
 /// What a pipeline run did. Every derived number comes from the one
@@ -118,7 +156,9 @@ struct PipelineStats {
 
   /// Named accessors for the classic pipeline's reporting.
   unsigned promoted() const { return changes("mem2reg"); }
+  unsigned unrolled() const { return changes("unroll"); }
   unsigned simplified() const { return changes("simplify"); }
+  unsigned numbered() const { return changes("gvn"); }
   unsigned merged() const { return changes("cse"); }
   unsigned forwarded() const { return changes("memopt-forward"); }
   unsigned hoisted() const { return changes("licm"); }
@@ -153,10 +193,11 @@ public:
   /// Parses \p Spec. Grammar:
   ///
   ///   pipeline := element (',' element)*  |  <empty>
-  ///   element  := 'fixpoint' '(' pipeline ')'  |  pass-name
+  ///   element  := 'fixpoint' '(' pipeline ')'
+  ///             | pass-name [ '(' integer ')' ]
   ///
-  /// Whitespace is ignored. Unknown pass names and empty fixpoint groups
-  /// are errors.
+  /// Whitespace is ignored. Unknown pass names, empty fixpoint groups,
+  /// and name(N) on a pass that takes no parameter are errors.
   static Expected<PassPipeline> parse(const std::string &Spec);
 
   /// Canonical textual form; parse(str()) reproduces this pipeline.
@@ -175,9 +216,12 @@ public:
 
 private:
   /// A bare pass (IsFixpoint false) or a fixpoint group over Children.
+  /// Parameterized passes spelled name(N) carry the knob in Param.
   struct Element {
     bool IsFixpoint = false;
     std::string PassName;
+    bool HasParam = false;
+    unsigned Param = 0;
     std::vector<Element> Children;
   };
 
@@ -190,6 +234,19 @@ private:
 
 /// The standard cleanup pipeline run over generated kernels.
 const char *defaultPipelineSpec();
+
+/// Static instruction count of \p F (every block's instructions).
+size_t functionInstructionCount(const Function &F);
+
+/// The ALU cost the simulator charges for one execution of \p I: 0 for
+/// phis, allocas, memory accesses (counted as memory, not ALU), rets and
+/// barriers; 4 for transcendental builtins; 1 for everything else.
+unsigned staticAluWeight(const Instruction &I);
+
+/// Sum of staticAluWeight over \p F -- the straight-line ALU work one
+/// work item would execute if every instruction ran once. The per-pass
+/// AluDelta instrumentation is the change in this number.
+uint64_t functionStaticAluWeight(const Function &F);
 
 } // namespace ir
 } // namespace kperf

@@ -14,12 +14,15 @@ using namespace kperf;
 using namespace kperf::ir;
 
 std::string PipelineOptions::spec() const {
-  // Preserve the historical ordering: forwarding runs after CSE so
-  // duplicate GEPs have been merged and pointer identity finds every
-  // same-address pair; DSE runs after LICM.
+  // Preserve the historical ordering: simplify folds the unrolled
+  // induction constants before GVN keys on them; forwarding runs after
+  // CSE so duplicate GEPs have been merged and pointer identity finds
+  // every same-address pair; DSE runs after LICM.
   std::vector<std::string> Names;
   if (Simplify)
     Names.push_back("simplify");
+  if (GVN)
+    Names.push_back("gvn");
   if (CSE)
     Names.push_back("cse");
   if (MemOpt)
@@ -30,9 +33,12 @@ std::string PipelineOptions::spec() const {
     Names.push_back("memopt-dse");
   if (DCE)
     Names.push_back("dce");
-  std::string Spec;
+  std::vector<std::string> Head;
   if (Mem2Reg)
-    Spec = "mem2reg"; // Once, ahead of the fixpoint group.
+    Head.push_back("mem2reg"); // Once, ahead of the fixpoint group.
+  if (Unroll)
+    Head.push_back("unroll"); // Once, on the promoted induction phis.
+  std::string Spec = join(Head, ",");
   if (!Names.empty()) {
     if (!Spec.empty())
       Spec += ',';

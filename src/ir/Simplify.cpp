@@ -6,6 +6,8 @@
 
 #include "ir/Simplify.h"
 
+#include "ir/InstructionUtils.h"
+
 #include <optional>
 
 #include <cmath>
@@ -209,13 +211,12 @@ private:
     if (I.type().isInt()) {
       auto LC = asInt(L), RC = asInt(R);
       if (LC && RC) {
+        // Add/sub/mul fold through the shared helper (the same
+        // semantics loop unrolling folds with); div/rem keep their
+        // divide-by-zero guard here.
+        if (auto Folded = foldIntBinary(I.opcode(), *LC, *RC))
+          return M.getInt(*Folded);
         switch (I.opcode()) {
-        case Opcode::Add:
-          return M.getInt(*LC + *RC);
-        case Opcode::Sub:
-          return M.getInt(*LC - *RC);
-        case Opcode::Mul:
-          return M.getInt(*LC * *RC);
         case Opcode::Div:
           return *RC == 0 ? nullptr : M.getInt(*LC / *RC);
         case Opcode::Rem:
@@ -300,7 +301,7 @@ private:
     if (L->type().isInt()) {
       auto LC = asInt(L), RC = asInt(R);
       if (LC && RC)
-        return fold(*LC, *RC);
+        return M.getBool(evalIntCmp(I.opcode(), *LC, *RC));
     } else {
       auto LC = asFloat(L), RC = asFloat(R);
       if (LC && RC)

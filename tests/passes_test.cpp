@@ -48,10 +48,11 @@ kernel void k(global const float* in, global float* out, int w, int h) {
 TEST(PassRegistryTest, BuiltinPassesAreRegistered) {
   std::vector<std::string> Names =
       PassRegistry::instance().registeredNames();
-  for (const char *Expected : {"cse", "dce", "licm", "mem2reg",
-                               "memopt-dse", "memopt-forward", "simplify"})
+  for (const char *Expected :
+       {"cse", "dce", "gvn", "licm", "mem2reg", "memopt-dse",
+        "memopt-forward", "simplify", "unroll"})
     EXPECT_TRUE(PassRegistry::instance().contains(Expected)) << Expected;
-  EXPECT_GE(Names.size(), 7u);
+  EXPECT_GE(Names.size(), 9u);
   EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
 }
 
@@ -61,6 +62,21 @@ TEST(PassRegistryTest, CreateInstantiatesByName) {
   EXPECT_STREQ(P->name(), "licm");
   EXPECT_TRUE(P->preservesCFG());
   EXPECT_EQ(PassRegistry::instance().create("nonexistent"), nullptr);
+}
+
+TEST(PassRegistryTest, ParameterizedPassCreation) {
+  EXPECT_TRUE(PassRegistry::instance().isParameterized("unroll"));
+  EXPECT_FALSE(PassRegistry::instance().isParameterized("simplify"));
+  EXPECT_FALSE(PassRegistry::instance().isParameterized("nonexistent"));
+  // Bare creation uses the default budget; explicit budgets also work.
+  auto Default = PassRegistry::instance().create("unroll");
+  ASSERT_NE(Default, nullptr);
+  EXPECT_STREQ(Default->name(), "unroll");
+  EXPECT_FALSE(Default->preservesCFG()); // Rewrites the block set.
+  auto Small = PassRegistry::instance().create("unroll", 16u);
+  ASSERT_NE(Small, nullptr);
+  // name(N) on a non-parameterized pass has no factory.
+  EXPECT_EQ(PassRegistry::instance().create("simplify", 3u), nullptr);
 }
 
 //===----------------------------------------------------------------------===//
@@ -73,7 +89,9 @@ TEST(PipelineParseTest, RoundTripsCanonicalSpecs) {
         "fixpoint(simplify,cse,dce)",
         "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)",
         "simplify,fixpoint(cse,dce),licm",
-        "fixpoint(simplify,fixpoint(cse,dce))"}) {
+        "fixpoint(simplify,fixpoint(cse,dce))", "unroll",
+        "unroll(256)", "mem2reg,unroll(64),fixpoint(simplify,gvn,dce)",
+        "fixpoint(gvn,unroll(512),dce)"}) {
     Expected<PassPipeline> P = PassPipeline::parse(Spec);
     ASSERT_TRUE(static_cast<bool>(P)) << Spec;
     EXPECT_EQ(P->str(), Spec);
@@ -105,7 +123,11 @@ TEST(PipelineParseTest, RejectsUnknownPass) {
 TEST(PipelineParseTest, RejectsMalformedSpecs) {
   for (const char *Spec :
        {"fixpoint(", "fixpoint()", "fixpoint(simplify", "simplify,,dce",
-        "simplify)", ",simplify", "fixpoint(simplify))"}) {
+        "simplify)", ",simplify", "fixpoint(simplify))",
+        // Parameter errors: simplify takes none; unroll needs an int
+        // that fits unsigned.
+        "simplify(3)", "unroll(", "unroll()", "unroll(abc)",
+        "unroll(256", "unroll(4294967296)"}) {
     Expected<PassPipeline> P = PassPipeline::parse(Spec);
     EXPECT_FALSE(static_cast<bool>(P)) << Spec;
   }
@@ -143,19 +165,23 @@ TEST(PipelineRunTest, StatsDeriveFromSinglePerPassTable) {
   for (const PassExecution &E : Stats.Passes)
     TableSum += E.Changes;
   EXPECT_EQ(Stats.total(), TableSum);
-  EXPECT_EQ(Stats.promoted() + Stats.simplified() + Stats.merged() +
-                Stats.forwarded() + Stats.hoisted() + Stats.deadStores() +
-                Stats.deleted(),
+  EXPECT_EQ(Stats.promoted() + Stats.unrolled() + Stats.simplified() +
+                Stats.numbered() + Stats.merged() + Stats.forwarded() +
+                Stats.hoisted() + Stats.deadStores() + Stats.deleted(),
             Stats.total());
   EXPECT_GT(Stats.total(), 0u);
   EXPECT_GT(Stats.promoted(), 0u); // mem2reg promoted the scalar allocas.
+  EXPECT_GT(Stats.unrolled(), 0u); // The k<4 loop fully unrolled.
   EXPECT_GE(Stats.Iterations, 2u); // Work round plus the no-change round.
 
-  // mem2reg runs once ahead of the fixpoint group; every pass inside the
-  // group ran once per round.
-  ASSERT_EQ(Stats.Passes.size(), 7u);
+  // mem2reg and unroll run once ahead of the fixpoint group; every pass
+  // inside the group ran once per round.
+  ASSERT_EQ(Stats.Passes.size(), 9u);
   for (const PassExecution &E : Stats.Passes)
-    EXPECT_EQ(E.Invocations, E.Name == "mem2reg" ? 1u : Stats.Iterations)
+    EXPECT_EQ(E.Invocations,
+              E.Name == "mem2reg" || E.Name == "unroll"
+                  ? 1u
+                  : Stats.Iterations)
         << E.Name;
 }
 
@@ -210,9 +236,13 @@ TEST(PipelineOptionsTest, SpecMapsOntoPipelineStrings) {
   NoCse.CSE = false;
   NoCse.MemOpt = false;
   NoCse.LICM = false;
+  NoCse.GVN = false;
+  NoCse.Unroll = false;
   EXPECT_EQ(NoCse.spec(), "mem2reg,fixpoint(simplify,dce)");
   NoCse.Mem2Reg = false;
   EXPECT_EQ(NoCse.spec(), "fixpoint(simplify,dce)");
+  NoCse.Unroll = true;
+  EXPECT_EQ(NoCse.spec(), "unroll,fixpoint(simplify,dce)");
   PipelineOptions OnlyMem2Reg = PipelineOptions::none();
   OnlyMem2Reg.Mem2Reg = true;
   EXPECT_EQ(OnlyMem2Reg.spec(), "mem2reg");
@@ -228,7 +258,7 @@ TEST(PipelineOptionsTest, ShimMatchesDirectSpecRun) {
   NoCse.LICM = false;
   PipelineStats A = runPipeline(*F1, C1.module(), NoCse);
   Expected<PipelineStats> B = runPipelineSpec(
-      *F2, C2.module(), "mem2reg,fixpoint(simplify,dce)");
+      *F2, C2.module(), "mem2reg,unroll,fixpoint(simplify,gvn,dce)");
   ASSERT_TRUE(static_cast<bool>(B));
   EXPECT_EQ(A.total(), B->total());
   EXPECT_EQ(A.Iterations, B->Iterations);
@@ -339,12 +369,14 @@ TEST(AnalysisManagerTest, DomTreeComputedAtMostOncePerFixpointRound) {
   Expected<PipelineStats> Stats = P->run(*F, Ctx.module(), AM);
   ASSERT_TRUE(static_cast<bool>(Stats));
   EXPECT_GE(Stats->Iterations, 2u);
-  EXPECT_LE(AM.counters().DomTreeComputes, Stats->Iterations + 1);
+  // One compute for mem2reg, at most one after unroll rewrote the CFG,
+  // then the (CFG-preserving) fixpoint group reuses the cache.
+  EXPECT_LE(AM.counters().DomTreeComputes, Stats->Iterations + 2);
   // mem2reg queries the tree twice up front (directly, and through the
-  // dominance frontier); LICM queries it once every fixpoint round. The
-  // queries beyond the computes were cache hits.
+  // dominance frontier); GVN and LICM each query it once every fixpoint
+  // round. The queries beyond the computes were cache hits.
   EXPECT_EQ(AM.counters().DomTreeComputes + AM.counters().DomTreeHits,
-            Stats->Iterations + 2);
+            2 * Stats->Iterations + 2);
   // The frontier is computed once for the whole run: mem2reg preserves
   // the CFG, so nothing downstream invalidates it before it is used.
   EXPECT_EQ(AM.counters().DomFrontierComputes, 1u);

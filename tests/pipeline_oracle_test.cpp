@@ -1,0 +1,166 @@
+//===- tests/pipeline_oracle_test.cpp - Differential pipeline oracle --------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The oracle every optimization pass is pinned by: a legal pipeline spec
+// must be a pure optimization. For all nine applications, the perforated
+// variant built under ~a dozen pipeline specs -- including the default,
+// historical pipelines, the new unroll/gvn passes alone, and
+// seeded-random orderings of every registered pass -- must produce
+// byte-identical outputs to the variant built with the empty pipeline,
+// and the IR must verify after every single pass invocation
+// (App::setVerifyEach routes PassRunOptions::VerifyEach through the
+// transform). A pass that changes float evaluation order, drops a store,
+// or miscounts a trip fails here before it can skew a single benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "img/Generators.h"
+#include "ir/PassManager.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace kperf;
+using namespace kperf::apps;
+
+namespace {
+
+const char *AllAppNames[] = {"gaussian", "inversion", "median",
+                             "hotspot",  "sobel3",    "sobel5",
+                             "mean",     "sharpen",   "convsep"};
+
+/// A small workload: enough items for every CFG path (interior + all
+/// clamp borders) while keeping 9 apps x 13 specs fast.
+Workload smallWorkload(const App &A) {
+  if (A.name() == "hotspot")
+    return makeHotspotWorkload(64, /*Seed=*/7, /*Iterations=*/2);
+  return makeImageWorkload(
+      img::generateImage(img::ImageClass::Natural, 64, 64, 7));
+}
+
+/// Seeded-random ordering of every registered pass (each once). Any
+/// ordering of registered passes is a legal pipeline, so these probe
+/// orderings nobody hand-picked.
+std::string shuffledSpec(uint64_t Seed) {
+  std::vector<std::string> Names =
+      ir::PassRegistry::instance().registeredNames();
+  Rng R(Seed);
+  for (size_t I = Names.size(); I > 1; --I)
+    std::swap(Names[I - 1], Names[R.below(I)]);
+  return join(Names, ",");
+}
+
+/// The spec battery: the default, its ancestors, the new passes alone
+/// and in slices, a tight unroll budget (must refuse, not break), and
+/// seeded-random orderings -- every one verified after every pass.
+std::vector<std::string> oracleSpecs() {
+  std::vector<std::string> Specs = {
+      "mem2reg",
+      "unroll",
+      "gvn",
+      "unroll(64)",
+      "mem2reg,unroll",
+      "mem2reg,unroll,fixpoint(gvn,simplify,dce)",
+      ir::defaultPipelineSpec(),
+      "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)",
+      "mem2reg,fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)",
+      shuffledSpec(1),
+      shuffledSpec(2),
+      shuffledSpec(3),
+      "fixpoint(" + shuffledSpec(4) + ")",
+  };
+  return Specs;
+}
+
+/// Builds the Rows2:LI perforated variant of \p A under \p Spec (the
+/// richest codepath: loader loops, barrier, reconstruction, rewritten
+/// body) and runs it, verifying the IR after every pass.
+std::vector<float> runPerforated(App &A, const Workload &W,
+                                 const std::string &Spec) {
+  rt::Session S;
+  A.setPipelineSpec(Spec);
+  A.setVerifyEach(true);
+  Expected<rt::Variant> V = A.buildPerforated(
+      S, perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
+      {16, 16});
+  EXPECT_TRUE(static_cast<bool>(V))
+      << A.name() << " under '" << Spec << "': " << V.error().message();
+  if (!V)
+    return {};
+  Expected<RunOutcome> R = A.run(S, *V, W);
+  EXPECT_TRUE(static_cast<bool>(R))
+      << A.name() << " under '" << Spec << "': " << R.error().message();
+  return R ? std::move(R->Output) : std::vector<float>{};
+}
+
+bool bitIdentical(const std::vector<float> &A,
+                  const std::vector<float> &B) {
+  return A.size() == B.size() &&
+         (A.empty() ||
+          std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) == 0);
+}
+
+} // namespace
+
+TEST(PipelineOracleTest, SpecsAllParse) {
+  for (const std::string &Spec : oracleSpecs()) {
+    Expected<ir::PassPipeline> P = ir::PassPipeline::parse(Spec);
+    EXPECT_TRUE(static_cast<bool>(P)) << Spec;
+  }
+}
+
+TEST(PipelineOracleTest, AllAppsByteIdenticalAcrossPipelines) {
+  std::vector<std::string> Specs = oracleSpecs();
+  for (const char *Name : AllAppNames) {
+    auto A = makeApp(Name);
+    ASSERT_NE(A, nullptr) << Name;
+    Workload W = smallWorkload(*A);
+    // The no-optimization baseline the specs must reproduce exactly.
+    std::vector<float> Baseline = runPerforated(*A, W, "");
+    ASSERT_FALSE(Baseline.empty()) << Name;
+    for (const std::string &Spec : Specs) {
+      std::vector<float> Out = runPerforated(*A, W, Spec);
+      EXPECT_TRUE(bitIdentical(Baseline, Out))
+          << A->name() << ": pipeline '" << Spec
+          << "' changed the output vs the empty pipeline";
+    }
+  }
+}
+
+TEST(PipelineOracleTest, OutputApproxVariantsAreStableToo) {
+  // The Paraprox-style variants run the same cleanup pipeline; spot-check
+  // the spec x output invariance on one window app and one pointwise app.
+  for (const char *Name : {"gaussian", "inversion"}) {
+    auto A = makeApp(Name);
+    ASSERT_NE(A, nullptr) << Name;
+    Workload W = smallWorkload(*A);
+    std::vector<float> Baseline;
+    for (const std::string &Spec :
+         {std::string(""), std::string(ir::defaultPipelineSpec()),
+          shuffledSpec(5)}) {
+      rt::Session S;
+      A->setPipelineSpec(Spec);
+      A->setVerifyEach(true);
+      Expected<rt::Variant> V = A->buildOutputApprox(
+          S, perf::OutputSchemeKind::Rows, 2, {16, 16});
+      ASSERT_TRUE(static_cast<bool>(V))
+          << Name << " under '" << Spec << "': " << V.error().message();
+      Expected<RunOutcome> R = A->run(S, *V, W);
+      ASSERT_TRUE(static_cast<bool>(R))
+          << Name << " under '" << Spec << "': " << R.error().message();
+      if (Baseline.empty())
+        Baseline = R->Output;
+      else
+        EXPECT_TRUE(bitIdentical(Baseline, R->Output))
+            << Name << ": output-approx pipeline '" << Spec
+            << "' changed the output";
+    }
+  }
+}

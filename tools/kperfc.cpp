@@ -46,11 +46,13 @@
 //   kperfc passes <file.pcl> [--kernel name] [--passes SPEC]
 //               [--time-passes] [--verify-each]
 //       Run an optimization pipeline on the kernel and print the
-//       per-pass change counts (and, with --time-passes, wall-clock
-//       timings) plus the optimized IR. The default pipeline is
-//       mem2reg,fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce);
-//       --passes accepts any spec in that grammar, e.g.
-//       --passes=fixpoint(simplify,cse,dce). Invoking kperfc with
+//       per-pass change counts with net IR-size and static-ALU deltas
+//       (and, with --time-passes, wall-clock timings) plus the
+//       optimized IR. The default pipeline is
+//       mem2reg,unroll,fixpoint(simplify,gvn,cse,memopt-forward,licm,
+//       memopt-dse,dce); --passes accepts any spec in that grammar,
+//       including parameterized passes such as unroll(512), e.g.
+//       --passes=fixpoint(simplify,gvn,dce). Invoking kperfc with
 //       --passes and no command is shorthand for the passes command.
 //       See docs/PASSES.md for the full grammar and pass reference.
 //
@@ -684,23 +686,30 @@ int cmdPasses(const Options &O, const std::string &Source) {
 
   std::printf("; pipeline: %s\n", Pipeline->str().c_str());
   if (O.TimePasses)
-    std::printf("; %-16s %6s %9s %9s\n", "pass", "runs", "changes", "ms");
+    std::printf("; %-16s %6s %9s %8s %8s %9s\n", "pass", "runs",
+                "changes", "d-instr", "d-alu", "ms");
   else
-    std::printf("; %-16s %6s %9s\n", "pass", "runs", "changes");
+    std::printf("; %-16s %6s %9s %8s %8s\n", "pass", "runs", "changes",
+                "d-instr", "d-alu");
+  long long SizeDelta = 0, AluDelta = 0;
   for (const ir::PassExecution &E : Stats.Passes) {
+    SizeDelta += E.SizeDelta;
+    AluDelta += E.AluDelta;
     if (O.TimePasses)
-      std::printf("; %-16s %6u %9u %9.3f\n", E.Name.c_str(),
-                  E.Invocations, E.Changes, E.Millis);
+      std::printf("; %-16s %6u %9u %+8lld %+8lld %9.3f\n", E.Name.c_str(),
+                  E.Invocations, E.Changes, E.SizeDelta, E.AluDelta,
+                  E.Millis);
     else
-      std::printf("; %-16s %6u %9u\n", E.Name.c_str(), E.Invocations,
-                  E.Changes);
+      std::printf("; %-16s %6u %9u %+8lld %+8lld\n", E.Name.c_str(),
+                  E.Invocations, E.Changes, E.SizeDelta, E.AluDelta);
   }
   if (O.TimePasses)
-    std::printf("; %-16s %6s %9u %9.3f  (%u rounds)\n", "total", "",
-                Stats.total(), Stats.totalMillis(), Stats.Iterations);
+    std::printf("; %-16s %6s %9u %+8lld %+8lld %9.3f  (%u rounds)\n",
+                "total", "", Stats.total(), SizeDelta, AluDelta,
+                Stats.totalMillis(), Stats.Iterations);
   else
-    std::printf("; %-16s %6s %9u  (%u rounds)\n", "total", "",
-                Stats.total(), Stats.Iterations);
+    std::printf("; %-16s %6s %9u %+8lld %+8lld  (%u rounds)\n", "total",
+                "", Stats.total(), SizeDelta, AluDelta, Stats.Iterations);
   std::printf("; instructions: %zu -> %zu\n", Before, After);
   std::fputs(ir::printFunction(*K->F).c_str(), stdout);
   return 0;
