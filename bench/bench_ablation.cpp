@@ -33,13 +33,13 @@ double speedupWith(const sim::DeviceConfig &Device, unsigned ImageSize,
       img::ImageClass::Natural, ImageSize, ImageSize, 3));
   double Base = 0, Perf = 0;
   {
-    rt::Context Ctx(Device);
-    BuiltKernel BK = cantFail(App->buildBaseline(Ctx, {16, 16}));
+    rt::Session Ctx(Device);
+    rt::Variant BK = cantFail(App->buildBaseline(Ctx, {16, 16}));
     Base = cantFail(App->run(Ctx, BK, W)).Report.TimeMs;
   }
   {
-    rt::Context Ctx(Device);
-    BuiltKernel BK = cantFail(App->buildPerforated(
+    rt::Session Ctx(Device);
+    rt::Variant BK = cantFail(App->buildPerforated(
         Ctx,
         perf::PerforationScheme::rows(
             2, perf::ReconstructionKind::NearestNeighbor),

@@ -15,6 +15,9 @@
 //   energy x   baseline energy / variant energy;
 //   dram -%    percentage of DRAM transactions eliminated.
 //
+// Flags: --json[=FILE] additionally emits records {app, scheme, time_x,
+// energy_x, dram_saved_pct} (default file BENCH_energy.json).
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -36,15 +39,15 @@ struct EnergyRow {
 
 EnergyRow measure(const App &TheApp, const Workload &W,
                   const perf::PerforationScheme &Scheme) {
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session S;
+  Expected<rt::Variant> BK =
       Scheme.Kind == perf::SchemeKind::None
-          ? TheApp.buildBaseline(Ctx, {16, 16})
-          : TheApp.buildPerforated(Ctx, Scheme, {16, 16});
+          ? TheApp.buildBaseline(S, {16, 16})
+          : TheApp.buildPerforated(S, Scheme, {16, 16});
   EnergyRow Row;
   if (!BK)
     return Row;
-  Expected<RunOutcome> R = TheApp.run(Ctx, *BK, W);
+  Expected<RunOutcome> R = TheApp.run(S, *BK, W);
   if (!R)
     return Row;
   Row.TimeMs = R->Report.TimeMs;
@@ -55,7 +58,8 @@ EnergyRow measure(const App &TheApp, const Workload &W,
   return Row;
 }
 
-void reportApp(const App &TheApp, const Workload &W) {
+void reportApp(const App &TheApp, const Workload &W,
+               std::vector<JsonRecord> *Records) {
   EnergyRow Base = measure(TheApp, W, perf::PerforationScheme::none());
   if (!Base.Feasible)
     return;
@@ -85,13 +89,25 @@ void reportApp(const App &TheApp, const Workload &W) {
     std::printf("%-10s %-9s %8.2fx %9.2fx %8.1f%%\n",
                 TheApp.name().c_str(), NS.Label, Base.TimeMs / R.TimeMs,
                 Base.EnergyMJ / R.EnergyMJ, SavedDram);
+    if (Records) {
+      JsonRecord Rec;
+      Rec.add("app", TheApp.name());
+      Rec.add("scheme", NS.Label);
+      Rec.add("time_x", Base.TimeMs / R.TimeMs);
+      Rec.add("energy_x", Base.EnergyMJ / R.EnergyMJ);
+      Rec.add("dram_saved_pct", SavedDram);
+      Records->push_back(std::move(Rec));
+    }
   }
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   BenchSettings S = BenchSettings::fromEnvironment();
+  std::string JsonPath;
+  bool Json = parseJsonFlag(Argc, Argv, "energy", JsonPath);
+  std::vector<JsonRecord> Records;
   std::printf("=== Energy: modeled baseline/variant ratios, %ux%u inputs "
               "===\n\n",
               S.ImageSize, S.ImageSize);
@@ -107,9 +123,9 @@ int main() {
     return makeImageWorkload(Natural);
   };
   for (const auto &TheApp : makeAllApps())
-    reportApp(*TheApp, workloadOf(*TheApp));
+    reportApp(*TheApp, workloadOf(*TheApp), Json ? &Records : nullptr);
   for (const auto &TheApp : makeExtensionApps())
-    reportApp(*TheApp, workloadOf(*TheApp));
+    reportApp(*TheApp, workloadOf(*TheApp), Json ? &Records : nullptr);
 
   std::printf("\nExpected shape: energy ratios track the DRAM savings but "
               "stay below the\ntime ratios -- writes and ALU energy are "
@@ -119,5 +135,7 @@ int main() {
               "under\nRows1: the reconstruction costs more than the saved "
               "traffic, which is\nwhy the paper motivates perforation "
               "with kernels that have data reuse.\n");
+  if (Json && !writeJsonRecords(JsonPath, Records))
+    return 1;
   return 0;
 }

@@ -43,10 +43,10 @@ int main() {
     double Sum = 0;
     const unsigned Seeds = 5;
     for (unsigned SeedIdx = 0; SeedIdx < Seeds; ++SeedIdx) {
-      rt::Context Ctx;
+      rt::Session Ctx;
       Workload W = makeImageWorkload(img::generateImage(
           C.Class, S.ImageSize, S.ImageSize, 100 + SeedIdx));
-      BuiltKernel BK = cantFail(App->buildPerforated(
+      rt::Variant BK = cantFail(App->buildPerforated(
           Ctx,
           perf::PerforationScheme::rows(
               2, perf::ReconstructionKind::NearestNeighbor),

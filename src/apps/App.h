@@ -57,10 +57,6 @@ struct RunOutcome {
   sim::SimReport Report;
 };
 
-/// Deprecated: app variants are plain rt::Variant handles now; the old
-/// name survives for pre-Session call sites.
-using BuiltKernel = rt::Variant;
-
 /// Base class of the six applications.
 class App {
 public:

@@ -1,0 +1,2659 @@
+//===- gpusim/BytecodeExec.cpp ---------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fast execution tiers. Beyond the dispatch strategy (computed goto
+// in the scalar tier, one-instruction-per-work-group batching in the
+// batched tier), the engine differs from the tree walker in how it keeps
+// the SimReport accounting bit-identical without hashing on hot paths:
+//
+//  * Local bank-conflict accounting is direct-indexed: the (op, exec,
+//    wavefront) group keys and their per-bank counters live in flat
+//    epoch-tagged arrays laid out exec-major, grown geometrically in the
+//    exec dimension and cleared per work group by bumping the epoch.
+//  * Global read coalescing is a per-buffer epoch-tagged bitmap over
+//    (segment, wavefront); read keys carry no exec instance, so the
+//    per-item exec counters are not even maintained for reads (op ids
+//    are unique per instruction, so the shared counter table cannot be
+//    observed through the write or local keys).
+//  * Global write coalescing keeps an open-addressing set (write keys
+//    are exec-numbered and unbounded) fronted by a last-key memo that
+//    absorbs the common consecutive-items-same-segment case.
+//
+// The batched tier stores the register file as structure-of-arrays value
+// / base / offset planes, so ALU handlers are dense contiguous loops the
+// compiler auto-vectorizes; work-group fragments stay as [First, First+N)
+// ranges while control flow is uniform and fall back to sorted item lists
+// only across divergent branches, re-densifying on reconvergence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/BytecodeExec.h"
+
+#include "gpusim/CostModel.h"
+#include "gpusim/ExecCommon.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+using namespace kperf;
+using namespace kperf::sim;
+namespace irns = kperf::ir;
+
+// Dispatch strategy of the scalar tier. The batched tier always uses a
+// plain switch: its dispatch cost is amortized over the whole work group,
+// so a jump table buys nothing there.
+#if defined(__GNUC__) && !defined(KPERF_FORCE_SWITCH_DISPATCH)
+#define KPERF_GOTO_DISPATCH 1
+#else
+#define KPERF_GOTO_DISPATCH 0
+#endif
+
+namespace {
+
+constexpr uint64_t hashMix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+constexpr bool isPow2(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+/// Open-addressing hash set of uint64 keys with O(1) epoch-based clear,
+/// used for the write-coalescing keys (exec-numbered, so unbounded; the
+/// direct-indexed schemes of the read/local accounting don't apply).
+class FastSet64 {
+public:
+  FastSet64() : Slots(1024) {}
+
+  void clear() {
+    if (++Epoch == 0) {
+      // Epoch counter wrapped: really wipe so stale tags cannot alias.
+      std::fill(Slots.begin(), Slots.end(), Slot());
+      Epoch = 1;
+    }
+    Count = 0;
+  }
+
+  /// Returns true if \p Key was newly inserted.
+  bool insert(uint64_t Key) {
+    if ((Count + 1) * 10 >= Slots.size() * 7)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    size_t Idx = hashMix(Key) & Mask;
+    for (;;) {
+      Slot &S = Slots[Idx];
+      if (S.Epoch != Epoch) {
+        S.Epoch = Epoch;
+        S.Key = Key;
+        ++Count;
+        return true;
+      }
+      if (S.Key == Key)
+        return false;
+      Idx = (Idx + 1) & Mask;
+    }
+  }
+
+private:
+  struct Slot {
+    uint64_t Key = 0;
+    uint32_t Epoch = 0;
+  };
+
+  void grow() {
+    std::vector<Slot> Old(Slots.size() * 2);
+    Old.swap(Slots);
+    size_t Mask = Slots.size() - 1;
+    for (const Slot &S : Old) {
+      if (S.Epoch != Epoch)
+        continue;
+      size_t Idx = hashMix(S.Key) & Mask;
+      while (Slots[Idx].Epoch == Epoch)
+        Idx = (Idx + 1) & Mask;
+      Slots[Idx] = S;
+    }
+  }
+
+  std::vector<Slot> Slots;
+  uint32_t Epoch = 1;
+  size_t Count = 0;
+};
+
+/// Comparison-kind dispatch for the fused JmpCmp ops; \p K is the offset
+/// from CmpEqI/CmpEqF (Eq, Ne, Lt, Le, Gt, Ge).
+inline bool cmpI(uint8_t K, int32_t X, int32_t Y) {
+  switch (K) {
+  case 0:
+    return X == Y;
+  case 1:
+    return X != Y;
+  case 2:
+    return X < Y;
+  case 3:
+    return X <= Y;
+  case 4:
+    return X > Y;
+  default:
+    return X >= Y;
+  }
+}
+
+inline bool cmpF(uint8_t K, float X, float Y) {
+  switch (K) {
+  case 0:
+    return X == Y;
+  case 1:
+    return X != Y;
+  case 2:
+    return X < Y;
+  case 3:
+    return X <= Y;
+  case 4:
+    return X > Y;
+  default:
+    return X >= Y;
+  }
+}
+
+/// Epoch-tagged counter cell of the direct-indexed local accounting. A
+/// cell whose tag is stale reads as zero; clearing a whole work group's
+/// worth of cells is one epoch increment.
+struct AcctCell {
+  uint32_t V = 0;
+  uint32_t E = 0;
+};
+
+/// Bytecode runtime value of the scalar tier. The address space of a
+/// pointer is static (the opcode encodes it), so only buffer base and
+/// element offset are carried.
+struct BcVal {
+  union {
+    int32_t I;
+    float F;
+  };
+  uint32_t Base;
+  int32_t Off;
+
+  BcVal() : I(0), Base(0), Off(0) {}
+};
+
+/// One cell of the batched tier's value plane; base/offset live in their
+/// own planes so ALU loops touch only 4 bytes per item.
+union Val32 {
+  int32_t I;
+  float F;
+};
+
+/// Item execution status at the end of a phase (mirrors the tree walker).
+enum class StopReason : uint8_t { Barrier, Returned, Fault };
+
+struct ItemState {
+  uint32_t Pc = 0;
+  StopReason Stop = StopReason::Returned;
+};
+
+class BcExecutor {
+public:
+  BcExecutor(const bc::Program &Prog, const irns::Function &F, Range2 Global,
+             Range2 Local, const std::vector<KernelArg> &Args,
+             std::vector<BufferData *> Buffers, const DeviceConfig &Device,
+             bool Batched)
+      : Prog(Prog), F(F), Global(Global), Local(Local), Args(Args),
+        Buffers(std::move(Buffers)), Device(Device), Batched(Batched) {}
+
+  Expected<SimReport> run() {
+    if (Error E = validateLaunch(F, Global, Local, Args, Buffers))
+      return E;
+    // Same gate and text as the tree walker's compile step.
+    if (Prog.LocalWords * 4 > Device.LocalMemBytes)
+      return makeError("launch: kernel '%s' needs %u bytes of local memory, "
+                       "device provides %u",
+                       F.name().c_str(), Prog.LocalWords * 4,
+                       Device.LocalMemBytes);
+
+    BN = Local.count();
+    NumWf = (BN + Device.WavefrontSize - 1) / Device.WavefrontSize;
+
+    // Raw views: buffer contents and per-item geometry are read on every
+    // memory access, so snapshot them out of their owning objects once.
+    Bufs.clear();
+    Bufs.reserve(Buffers.size());
+    for (BufferData *B : Buffers)
+      Bufs.push_back(BufRef{B->data(), B->size()});
+    LxA.resize(BN);
+    LyA.resize(BN);
+    WfA.resize(BN);
+    for (unsigned Item = 0; Item < BN; ++Item) {
+      LxA[Item] = Item % Local.X;
+      LyA[Item] = Item / Local.X;
+      WfA[Item] = Item / Device.WavefrontSize;
+    }
+    SegPow2 = isPow2(Device.SegmentBytes) && Device.SegmentBytes >= 4;
+    if (SegPow2) {
+      SegShiftWords = 0;
+      for (uint64_t S = Device.SegmentBytes / 4; S > 1; S >>= 1)
+        ++SegShiftWords;
+    }
+    BankPow2 = isPow2(Device.NumLocalBanks);
+    BankMask = BankPow2 ? Device.NumLocalBanks - 1 : 0;
+
+    initRegisters();
+    PrivArena.assign(static_cast<size_t>(BN) * Prog.PrivateWords, 0);
+    LocalArena.assign(Prog.LocalWords, 0);
+    States.assign(BN, ItemState());
+    GlobalExec.assign(static_cast<size_t>(BN) * Prog.NumGlobalOps, 0);
+    LocalExec.assign(static_cast<size_t>(BN) * Prog.NumLocalOps, 0);
+    ReadSeen.assign(Bufs.size(), {});
+    REpoch = 0;
+    LEpoch = 0;
+    LExecCap = 0;
+    LMax.clear();
+    LBank.clear();
+
+    unsigned GroupsX = Global.X / Local.X;
+    unsigned GroupsY = Global.Y / Local.Y;
+    Counters Totals;
+    double SumCycles = 0, SumCompute = 0, SumMemory = 0;
+
+    for (unsigned GY = 0; GY < GroupsY; ++GY) {
+      for (unsigned GX = 0; GX < GroupsX; ++GX) {
+        if (Error E = runGroup(GX, GY))
+          return E;
+        Group.WorkGroups = 1;
+        Group.WorkItems = BN;
+        GroupCost Cost = costOfGroup(Group, Device);
+        SumCycles += Cost.TotalCycles;
+        SumCompute += Cost.ComputeCycles;
+        SumMemory += Cost.MemoryCycles;
+        Totals += Group;
+        Group = Counters();
+      }
+    }
+    return finalizeReport(Totals, SumCycles, SumCompute, SumMemory, Device);
+  }
+
+private:
+  //===--- Register file setup ---------------------------------------------//
+
+  /// Shared registers (arguments and constants) are read-only; they are
+  /// materialized once per launch. Non-shared registers are deliberately
+  /// NOT re-zeroed between groups: SSA dominance guarantees every read
+  /// follows a write in the same item run, exactly as in the tree walker.
+  void initRegisters() {
+    std::vector<BcVal> Shared(Prog.NumShared);
+    for (uint32_t S = 0; S < Prog.NumShared; ++S) {
+      const bc::SharedInit &SI = Prog.SharedInits[S];
+      BcVal &V = Shared[S];
+      switch (SI.K) {
+      case bc::SharedInit::Kind::Arg: {
+        const KernelArg &Arg = Args[SI.ArgIndex];
+        switch (Arg.K) {
+        case KernelArg::Kind::Int:
+          V.I = Arg.I;
+          break;
+        case KernelArg::Kind::Float:
+          V.F = Arg.F;
+          break;
+        case KernelArg::Kind::Buffer:
+          V.Base = Arg.BufferIndex;
+          V.Off = 0;
+          break;
+        }
+        break;
+      }
+      case bc::SharedInit::Kind::ConstInt:
+        V.I = SI.I;
+        break;
+      case bc::SharedInit::Kind::ConstFloat:
+        V.F = SI.F;
+        break;
+      }
+    }
+    if (Batched) {
+      // Structure of arrays: register r of item i lives at plane[r*BN+i].
+      size_t Cells = static_cast<size_t>(Prog.NumRegs) * BN;
+      BVal.assign(Cells, Val32{0});
+      BBase.assign(Cells, 0);
+      BOff.assign(Cells, 0);
+      for (uint32_t S = 0; S < Prog.NumShared; ++S) {
+        Val32 V;
+        V.I = Shared[S].I;
+        std::fill_n(BVal.begin() + static_cast<size_t>(S) * BN, BN, V);
+        std::fill_n(BBase.begin() + static_cast<size_t>(S) * BN, BN,
+                    Shared[S].Base);
+        std::fill_n(BOff.begin() + static_cast<size_t>(S) * BN, BN,
+                    Shared[S].Off);
+      }
+    } else {
+      // Array of structures: item i's file at Regs[i*NumRegs], shared
+      // prefix copied per item so operand reads never branch on slot kind.
+      Regs.assign(static_cast<size_t>(BN) * Prog.NumRegs, BcVal());
+      for (unsigned Item = 0; Item < BN; ++Item)
+        std::copy(Shared.begin(), Shared.end(),
+                  Regs.begin() + static_cast<size_t>(Item) * Prog.NumRegs);
+    }
+  }
+
+  //===--- Shared accounting (identical keys to the tree walker) -----------//
+
+  void fault(const std::string &Message) {
+    if (!Err)
+      Err = Error(Message);
+  }
+
+  uint64_t segOfWord(uint64_t WordOff) const {
+    if (SegPow2)
+      return WordOff >> SegShiftWords;
+    return WordOff * 4 / Device.SegmentBytes;
+  }
+
+  uint32_t bankOf(int32_t WordOff) const {
+    uint32_t W = static_cast<uint32_t>(WordOff);
+    return BankPow2 ? (W & BankMask) : W % Device.NumLocalBanks;
+  }
+
+  /// Read keys are (wavefront, base, segment) -- no exec instance -- so a
+  /// per-buffer (segment, wavefront) epoch bitmap replaces the hash set.
+  void noteGlobalRead(unsigned Wf, uint32_t Base, int32_t Off) {
+    std::vector<uint32_t> &Seen = ReadSeen[Base];
+    if (Seen.empty())
+      Seen.assign((segOfWord(Bufs[Base].Size - 1) + 1) * NumWf, 0u);
+    size_t Idx = segOfWord(static_cast<uint64_t>(Off)) * NumWf + Wf;
+    if (Seen[Idx] != REpoch) {
+      Seen[Idx] = REpoch;
+      ++Group.GlobalReadTransactions;
+    }
+  }
+
+  void noteGlobalWrite(uint32_t Exec, uint32_t OpId, unsigned Wf,
+                       uint32_t Base, int32_t Off) {
+    uint64_t Segment = segOfWord(static_cast<uint64_t>(Off));
+    uint64_t Key = (static_cast<uint64_t>(OpId) << 57) |
+                   (static_cast<uint64_t>(Exec) << 43) |
+                   (static_cast<uint64_t>(Wf) << 35) |
+                   (static_cast<uint64_t>(Base) << 28) | Segment;
+    if (HaveLastWriteKey && Key == LastWriteKey)
+      return;
+    LastWriteKey = Key;
+    HaveLastWriteKey = true;
+    if (Segments.insert(Key))
+      ++Group.GlobalWriteTransactions;
+  }
+
+  /// Grows the exec dimension of the local accounting arrays. The layout
+  /// is exec-major, so existing cells keep their indices across a resize.
+  void growLocalAcct(uint32_t NeedExec) {
+    uint32_t NewCap = LExecCap ? LExecCap : 4;
+    while (NewCap <= NeedExec)
+      NewCap *= 2;
+    size_t Groups = static_cast<size_t>(NewCap) * Prog.NumLocalOps * NumWf;
+    LMax.resize(Groups);
+    LBank.resize(Groups * Device.NumLocalBanks);
+    LExecCap = NewCap;
+  }
+
+  /// Incremental form of the tree walker's end-of-group fold: a new group
+  /// key counts one LocalWavefrontOps; every increase of a group's max
+  /// bank count adds the difference, which totals max-1 per group. The
+  /// (op, exec, wavefront) group key indexes flat arrays directly.
+  void noteLocalAccess(uint32_t Exec, uint32_t OpId, unsigned Wf,
+                       int32_t WordOff) {
+    if (Exec >= LExecCap)
+      growLocalAcct(Exec);
+    size_t GIdx =
+        (static_cast<size_t>(Exec) * Prog.NumLocalOps + OpId) * NumWf + Wf;
+    AcctCell &M = LMax[GIdx];
+    bool NewGroup = M.E != LEpoch;
+    if (NewGroup) {
+      M.E = LEpoch;
+      M.V = 0;
+      ++Group.LocalWavefrontOps;
+    }
+    AcctCell &B = LBank[GIdx * Device.NumLocalBanks + bankOf(WordOff)];
+    if (B.E != LEpoch) {
+      B.E = LEpoch;
+      B.V = 0;
+    }
+    uint32_t Count = ++B.V;
+    if (Count > M.V) {
+      Group.BankConflictExtra += Count - M.V - (NewGroup ? 1 : 0);
+      M.V = Count;
+    }
+  }
+
+  //===--- Group orchestration ----------------------------------------------//
+
+  Error runGroup(unsigned GX, unsigned GY) {
+    std::fill(PrivArena.begin(), PrivArena.end(), 0u);
+    std::fill(LocalArena.begin(), LocalArena.end(), 0u);
+    std::fill(States.begin(), States.end(), ItemState());
+    std::fill(GlobalExec.begin(), GlobalExec.end(), 0u);
+    std::fill(LocalExec.begin(), LocalExec.end(), 0u);
+    Segments.clear();
+    HaveLastWriteKey = false;
+    if (++LEpoch == 0) {
+      std::fill(LMax.begin(), LMax.end(), AcctCell());
+      std::fill(LBank.begin(), LBank.end(), AcctCell());
+      LEpoch = 1;
+    }
+    if (++REpoch == 0) {
+      for (std::vector<uint32_t> &Seen : ReadSeen)
+        std::fill(Seen.begin(), Seen.end(), 0u);
+      REpoch = 1;
+    }
+    GroupX = GX;
+    GroupY = GY;
+    return Batched ? runGroupBatched() : runGroupScalar();
+  }
+
+  Error runGroupScalar() {
+    unsigned Alive = BN;
+    bool First = true;
+    while (Alive > 0) {
+      uint32_t BarrierPc = ~0u;
+      unsigned Stopped = 0, Returned = 0;
+      for (unsigned Item = 0; Item < BN; ++Item) {
+        ItemState &S = States[Item];
+        if (!First && S.Stop == StopReason::Returned)
+          continue;
+        runItemScalar(Item);
+        if (Err)
+          return std::move(*Err);
+        if (States[Item].Stop == StopReason::Barrier) {
+          if (BarrierPc == ~0u)
+            BarrierPc = States[Item].Pc;
+          else if (BarrierPc != States[Item].Pc)
+            return makeError("kernel '%s': divergent barriers in work group "
+                             "(%u,%u)",
+                             F.name().c_str(), GroupX, GroupY);
+          ++Stopped;
+        } else {
+          ++Returned;
+        }
+      }
+      if (Stopped != 0 && Returned != 0)
+        return makeError(
+            "kernel '%s': barrier not reached by all items of group (%u,%u)",
+            F.name().c_str(), GroupX, GroupY);
+      Alive = Stopped;
+      First = false;
+    }
+    return Error::success();
+  }
+
+  //===--- Scalar tier: per-item dispatch loop ------------------------------//
+
+#if KPERF_GOTO_DISPATCH
+#define VM_CASE(Name) H_##Name
+#define VM_JUMP() goto *Table[static_cast<unsigned>(IP->Opc)]
+#define VM_NEXT()                                                              \
+  do {                                                                         \
+    ++IP;                                                                      \
+    VM_JUMP();                                                                 \
+  } while (0)
+#else
+#define VM_CASE(Name) case bc::Op::Name
+#define VM_JUMP() break
+#define VM_NEXT()                                                              \
+  {                                                                            \
+    ++IP;                                                                      \
+    break;                                                                     \
+  }
+#endif
+#define VM_FLUSH() (Group.AluOps += Alu)
+#define VM_FAULT(...)                                                          \
+  do {                                                                         \
+    fault(format(__VA_ARGS__));                                                \
+    States[Item].Stop = StopReason::Fault;                                     \
+    VM_FLUSH();                                                                \
+    return;                                                                    \
+  } while (0)
+
+  void runItemScalar(unsigned Item) {
+    BcVal *R = Regs.data() + static_cast<size_t>(Item) * Prog.NumRegs;
+    uint32_t *Priv =
+        Prog.PrivateWords
+            ? PrivArena.data() + static_cast<size_t>(Item) * Prog.PrivateWords
+            : nullptr;
+    const unsigned Lx = LxA[Item];
+    const unsigned Ly = LyA[Item];
+    const unsigned Wavefront = WfA[Item];
+    const bc::Instr *CodeP = Prog.Code.data();
+    const bc::Copy *CopyP = Prog.CopyPool.data();
+    const bc::CopyRange *RangeP = Prog.CopyRanges.data();
+    uint64_t Alu = 0; ///< Flushed into Group.AluOps at every exit point.
+    const bc::Instr *IP = CodeP + States[Item].Pc;
+
+#if KPERF_GOTO_DISPATCH
+    // One entry per bc::Op, in enum order.
+    static const void *const Table[bc::NumOpcodes] = {
+        &&H_AllocaP, &&H_AllocaL, &&H_LdG,    &&H_LdL,    &&H_LdP,
+        &&H_StG,     &&H_StL,     &&H_StP,    &&H_Gep,    &&H_AddI,
+        &&H_SubI,    &&H_MulI,    &&H_DivI,   &&H_RemI,   &&H_AddF,
+        &&H_SubF,    &&H_MulF,    &&H_DivF,   &&H_RemF,   &&H_CmpEqI,
+        &&H_CmpNeI,  &&H_CmpLtI,  &&H_CmpLeI, &&H_CmpGtI, &&H_CmpGeI,
+        &&H_CmpEqF,  &&H_CmpNeF,  &&H_CmpLtF, &&H_CmpLeF, &&H_CmpGtF,
+        &&H_CmpGeF,  &&H_AndB,    &&H_OrB,    &&H_NotB,   &&H_NegI,
+        &&H_NegF,    &&H_I2F,     &&H_F2I,    &&H_Sel,    &&H_DimQuery,
+        &&H_MinI,    &&H_MinF,    &&H_MaxI,   &&H_MaxF,   &&H_ClampI,
+        &&H_ClampF,  &&H_AbsI,    &&H_AbsF,   &&H_SqrtF,  &&H_ExpF,
+        &&H_LogF,    &&H_PowF,    &&H_FloorF, &&H_Bar,    &&H_Jmp,
+        &&H_JmpIf,   &&H_Ret,     &&H_LdGX,   &&H_LdLX,   &&H_LdPX,
+        &&H_StGX,    &&H_StLX,    &&H_StPX,   &&H_JmpCmpI,
+        &&H_JmpCmpF, &&H_MulAddI, &&H_MulAddF};
+    VM_JUMP();
+#else
+    for (;;) {
+      switch (IP->Opc) {
+#endif
+
+    VM_CASE(AllocaP) : {
+      BcVal &D = R[IP->Dst];
+      D.Base = 0;
+      D.Off = IP->Imm;
+      VM_NEXT();
+    }
+    VM_CASE(AllocaL) : {
+      BcVal &D = R[IP->Dst];
+      D.Base = 0;
+      D.Off = IP->Imm;
+      VM_NEXT();
+    }
+    VM_CASE(LdG) : {
+      const BcVal &P = R[IP->A];
+      const BufRef &B = Bufs[P.Base];
+      if (P.Off < 0 || static_cast<size_t>(P.Off) >= B.Size)
+        VM_FAULT("kernel '%s': global read out of bounds (buffer %u, offset "
+                 "%d, size %zu)",
+                 F.name().c_str(), P.Base, P.Off, B.Size);
+      R[IP->Dst].I = static_cast<int32_t>(B.Data[P.Off]);
+      ++Group.GlobalReads;
+      noteGlobalRead(Wavefront, P.Base, P.Off);
+      VM_NEXT();
+    }
+    VM_CASE(LdL) : {
+      const BcVal &P = R[IP->A];
+      if (P.Off < 0 || static_cast<uint32_t>(P.Off) >= Prog.LocalWords)
+        VM_FAULT("kernel '%s': local read out of bounds (offset %d, size %u "
+                 "words)",
+                 F.name().c_str(), P.Off, Prog.LocalWords);
+      R[IP->Dst].I = static_cast<int32_t>(LocalArena[P.Off]);
+      ++Group.LocalAccesses;
+      noteLocalAccess(
+          LocalExec[static_cast<size_t>(Item) * Prog.NumLocalOps + IP->Aux]++,
+          IP->Aux, Wavefront, P.Off);
+      VM_NEXT();
+    }
+    VM_CASE(LdP) : {
+      const BcVal &P = R[IP->A];
+      if (P.Off < 0 || static_cast<uint32_t>(P.Off) >= Prog.PrivateWords)
+        VM_FAULT("kernel '%s': private read out of bounds",
+                 F.name().c_str());
+      R[IP->Dst].I = static_cast<int32_t>(Priv[P.Off]);
+      ++Group.PrivateAccesses;
+      VM_NEXT();
+    }
+    VM_CASE(StG) : {
+      uint32_t Word = static_cast<uint32_t>(R[IP->A].I);
+      const BcVal &P = R[IP->B];
+      const BufRef &B = Bufs[P.Base];
+      if (P.Off < 0 || static_cast<size_t>(P.Off) >= B.Size)
+        VM_FAULT("kernel '%s': global write out of bounds (buffer %u, offset "
+                 "%d, size %zu)",
+                 F.name().c_str(), P.Base, P.Off, B.Size);
+      B.Data[P.Off] = Word;
+      ++Group.GlobalWrites;
+      noteGlobalWrite(
+          GlobalExec[static_cast<size_t>(Item) * Prog.NumGlobalOps +
+                     IP->Aux]++,
+          IP->Aux, Wavefront, P.Base, P.Off);
+      VM_NEXT();
+    }
+    VM_CASE(StL) : {
+      uint32_t Word = static_cast<uint32_t>(R[IP->A].I);
+      const BcVal &P = R[IP->B];
+      if (P.Off < 0 || static_cast<uint32_t>(P.Off) >= Prog.LocalWords)
+        VM_FAULT("kernel '%s': local write out of bounds (offset %d, size %u "
+                 "words)",
+                 F.name().c_str(), P.Off, Prog.LocalWords);
+      LocalArena[P.Off] = Word;
+      ++Group.LocalAccesses;
+      noteLocalAccess(
+          LocalExec[static_cast<size_t>(Item) * Prog.NumLocalOps + IP->Aux]++,
+          IP->Aux, Wavefront, P.Off);
+      VM_NEXT();
+    }
+    VM_CASE(StP) : {
+      uint32_t Word = static_cast<uint32_t>(R[IP->A].I);
+      const BcVal &P = R[IP->B];
+      if (P.Off < 0 || static_cast<uint32_t>(P.Off) >= Prog.PrivateWords)
+        VM_FAULT("kernel '%s': private write out of bounds",
+                 F.name().c_str());
+      Priv[P.Off] = Word;
+      ++Group.PrivateAccesses;
+      VM_NEXT();
+    }
+    VM_CASE(Gep) : {
+      const BcVal &P = R[IP->A];
+      int32_t NewOff = P.Off + R[IP->B].I;
+      BcVal &D = R[IP->Dst];
+      D.Base = P.Base;
+      D.Off = NewOff;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(AddI) : {
+      R[IP->Dst].I = R[IP->A].I + R[IP->B].I;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(SubI) : {
+      R[IP->Dst].I = R[IP->A].I - R[IP->B].I;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(MulI) : {
+      R[IP->Dst].I = R[IP->A].I * R[IP->B].I;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(DivI) : {
+      ++Alu;
+      int32_t Divisor = R[IP->B].I;
+      if (Divisor == 0)
+        VM_FAULT("kernel '%s': integer division by zero", F.name().c_str());
+      R[IP->Dst].I = R[IP->A].I / Divisor;
+      VM_NEXT();
+    }
+    VM_CASE(RemI) : {
+      ++Alu;
+      int32_t Divisor = R[IP->B].I;
+      if (Divisor == 0)
+        VM_FAULT("kernel '%s': integer division by zero", F.name().c_str());
+      R[IP->Dst].I = R[IP->A].I % Divisor;
+      VM_NEXT();
+    }
+    VM_CASE(AddF) : {
+      R[IP->Dst].F = R[IP->A].F + R[IP->B].F;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(SubF) : {
+      R[IP->Dst].F = R[IP->A].F - R[IP->B].F;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(MulF) : {
+      R[IP->Dst].F = R[IP->A].F * R[IP->B].F;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(DivF) : {
+      R[IP->Dst].F = R[IP->A].F / R[IP->B].F;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(RemF) : {
+      R[IP->Dst].F = 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpEqI) : {
+      R[IP->Dst].I = R[IP->A].I == R[IP->B].I ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpNeI) : {
+      R[IP->Dst].I = R[IP->A].I != R[IP->B].I ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpLtI) : {
+      R[IP->Dst].I = R[IP->A].I < R[IP->B].I ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpLeI) : {
+      R[IP->Dst].I = R[IP->A].I <= R[IP->B].I ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpGtI) : {
+      R[IP->Dst].I = R[IP->A].I > R[IP->B].I ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpGeI) : {
+      R[IP->Dst].I = R[IP->A].I >= R[IP->B].I ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpEqF) : {
+      R[IP->Dst].I = R[IP->A].F == R[IP->B].F ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpNeF) : {
+      R[IP->Dst].I = R[IP->A].F != R[IP->B].F ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpLtF) : {
+      R[IP->Dst].I = R[IP->A].F < R[IP->B].F ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpLeF) : {
+      R[IP->Dst].I = R[IP->A].F <= R[IP->B].F ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpGtF) : {
+      R[IP->Dst].I = R[IP->A].F > R[IP->B].F ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(CmpGeF) : {
+      R[IP->Dst].I = R[IP->A].F >= R[IP->B].F ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(AndB) : {
+      R[IP->Dst].I = (R[IP->A].I != 0 && R[IP->B].I != 0) ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(OrB) : {
+      R[IP->Dst].I = (R[IP->A].I != 0 || R[IP->B].I != 0) ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(NotB) : {
+      R[IP->Dst].I = R[IP->A].I == 0 ? 1 : 0;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(NegI) : {
+      R[IP->Dst].I = -R[IP->A].I;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(NegF) : {
+      R[IP->Dst].F = -R[IP->A].F;
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(I2F) : {
+      R[IP->Dst].F = static_cast<float>(R[IP->A].I);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(F2I) : {
+      R[IP->Dst].I = static_cast<int32_t>(R[IP->A].F);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(Sel) : {
+      R[IP->Dst] = R[IP->A].I != 0 ? R[IP->B] : R[IP->C];
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(DimQuery) : {
+      unsigned X = 0, Y = 0;
+      dimValues(static_cast<irns::Builtin>(IP->Sub), Lx, Ly, X, Y);
+      R[IP->Dst].I = R[IP->A].I == 0 ? static_cast<int32_t>(X)
+                                     : static_cast<int32_t>(Y);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(MinI) : {
+      R[IP->Dst].I = std::min(R[IP->A].I, R[IP->B].I);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(MinF) : {
+      R[IP->Dst].F = std::min(R[IP->A].F, R[IP->B].F);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(MaxI) : {
+      R[IP->Dst].I = std::max(R[IP->A].I, R[IP->B].I);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(MaxF) : {
+      R[IP->Dst].F = std::max(R[IP->A].F, R[IP->B].F);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(ClampI) : {
+      R[IP->Dst].I =
+          std::min(std::max(R[IP->A].I, R[IP->B].I), R[IP->C].I);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(ClampF) : {
+      R[IP->Dst].F =
+          std::min(std::max(R[IP->A].F, R[IP->B].F), R[IP->C].F);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(AbsI) : {
+      R[IP->Dst].I = std::abs(R[IP->A].I);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(AbsF) : {
+      R[IP->Dst].F = std::fabs(R[IP->A].F);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(SqrtF) : {
+      R[IP->Dst].F = std::sqrt(R[IP->A].F);
+      Alu += 4;
+      VM_NEXT();
+    }
+    VM_CASE(ExpF) : {
+      R[IP->Dst].F = std::exp(R[IP->A].F);
+      Alu += 4;
+      VM_NEXT();
+    }
+    VM_CASE(LogF) : {
+      R[IP->Dst].F = std::log(R[IP->A].F);
+      Alu += 4;
+      VM_NEXT();
+    }
+    VM_CASE(PowF) : {
+      R[IP->Dst].F = std::pow(R[IP->A].F, R[IP->B].F);
+      Alu += 4;
+      VM_NEXT();
+    }
+    VM_CASE(FloorF) : {
+      R[IP->Dst].F = std::floor(R[IP->A].F);
+      ++Alu;
+      VM_NEXT();
+    }
+    VM_CASE(Bar) : {
+      ++Group.Barriers;
+      States[Item].Pc = static_cast<uint32_t>(IP - CodeP) + 1;
+      States[Item].Stop = StopReason::Barrier;
+      VM_FLUSH();
+      return;
+    }
+    VM_CASE(Jmp) : {
+      if (IP->CL0 != bc::NoCopyList) {
+        const bc::CopyRange &CR = RangeP[IP->CL0];
+        for (uint32_t CI = CR.Begin; CI < CR.Begin + CR.Count; ++CI)
+          R[CopyP[CI].Dst] = R[CopyP[CI].Src];
+      }
+      IP = CodeP + IP->Imm;
+      ++Alu;
+      VM_JUMP();
+    }
+    VM_CASE(JmpIf) : {
+      uint32_t CL;
+      const bc::Instr *NI;
+      if (R[IP->A].I != 0) {
+        CL = IP->CL0;
+        NI = CodeP + IP->Imm;
+      } else {
+        CL = IP->CL1;
+        NI = CodeP + IP->Aux;
+      }
+      if (CL != bc::NoCopyList) {
+        const bc::CopyRange &CR = RangeP[CL];
+        for (uint32_t CI = CR.Begin; CI < CR.Begin + CR.Count; ++CI)
+          R[CopyP[CI].Dst] = R[CopyP[CI].Src];
+      }
+      IP = NI;
+      ++Alu;
+      VM_JUMP();
+    }
+    VM_CASE(Ret) : {
+      States[Item].Stop = StopReason::Returned;
+      VM_FLUSH();
+      return;
+    }
+    VM_CASE(LdGX) : {
+      const BcVal &P = R[IP->A];
+      int32_t Off = P.Off + R[IP->B].I;
+      ++Alu; // The folded address computation.
+      const BufRef &B = Bufs[P.Base];
+      if (Off < 0 || static_cast<size_t>(Off) >= B.Size)
+        VM_FAULT("kernel '%s': global read out of bounds (buffer %u, offset "
+                 "%d, size %zu)",
+                 F.name().c_str(), P.Base, Off, B.Size);
+      R[IP->Dst].I = static_cast<int32_t>(B.Data[Off]);
+      ++Group.GlobalReads;
+      noteGlobalRead(Wavefront, P.Base, Off);
+      VM_NEXT();
+    }
+    VM_CASE(LdLX) : {
+      int32_t Off = R[IP->A].Off + R[IP->B].I;
+      ++Alu;
+      if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.LocalWords)
+        VM_FAULT("kernel '%s': local read out of bounds (offset %d, size %u "
+                 "words)",
+                 F.name().c_str(), Off, Prog.LocalWords);
+      R[IP->Dst].I = static_cast<int32_t>(LocalArena[Off]);
+      ++Group.LocalAccesses;
+      noteLocalAccess(
+          LocalExec[static_cast<size_t>(Item) * Prog.NumLocalOps + IP->Aux]++,
+          IP->Aux, Wavefront, Off);
+      VM_NEXT();
+    }
+    VM_CASE(LdPX) : {
+      int32_t Off = R[IP->A].Off + R[IP->B].I;
+      ++Alu;
+      if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.PrivateWords)
+        VM_FAULT("kernel '%s': private read out of bounds",
+                 F.name().c_str());
+      R[IP->Dst].I = static_cast<int32_t>(Priv[Off]);
+      ++Group.PrivateAccesses;
+      VM_NEXT();
+    }
+    VM_CASE(StGX) : {
+      uint32_t Word = static_cast<uint32_t>(R[IP->A].I);
+      const BcVal &P = R[IP->B];
+      int32_t Off = P.Off + R[IP->C].I;
+      ++Alu;
+      const BufRef &B = Bufs[P.Base];
+      if (Off < 0 || static_cast<size_t>(Off) >= B.Size)
+        VM_FAULT("kernel '%s': global write out of bounds (buffer %u, offset "
+                 "%d, size %zu)",
+                 F.name().c_str(), P.Base, Off, B.Size);
+      B.Data[Off] = Word;
+      ++Group.GlobalWrites;
+      noteGlobalWrite(
+          GlobalExec[static_cast<size_t>(Item) * Prog.NumGlobalOps +
+                     IP->Aux]++,
+          IP->Aux, Wavefront, P.Base, Off);
+      VM_NEXT();
+    }
+    VM_CASE(StLX) : {
+      uint32_t Word = static_cast<uint32_t>(R[IP->A].I);
+      int32_t Off = R[IP->B].Off + R[IP->C].I;
+      ++Alu;
+      if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.LocalWords)
+        VM_FAULT("kernel '%s': local write out of bounds (offset %d, size %u "
+                 "words)",
+                 F.name().c_str(), Off, Prog.LocalWords);
+      LocalArena[Off] = Word;
+      ++Group.LocalAccesses;
+      noteLocalAccess(
+          LocalExec[static_cast<size_t>(Item) * Prog.NumLocalOps + IP->Aux]++,
+          IP->Aux, Wavefront, Off);
+      VM_NEXT();
+    }
+    VM_CASE(StPX) : {
+      uint32_t Word = static_cast<uint32_t>(R[IP->A].I);
+      int32_t Off = R[IP->B].Off + R[IP->C].I;
+      ++Alu;
+      if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.PrivateWords)
+        VM_FAULT("kernel '%s': private write out of bounds",
+                 F.name().c_str());
+      Priv[Off] = Word;
+      ++Group.PrivateAccesses;
+      VM_NEXT();
+    }
+    VM_CASE(JmpCmpI) : {
+      bool Taken = cmpI(IP->Sub, R[IP->A].I, R[IP->B].I);
+      Alu += 2; // Compare + branch.
+      uint32_t CL;
+      const bc::Instr *NI;
+      if (Taken) {
+        CL = IP->CL0;
+        NI = CodeP + IP->Imm;
+      } else {
+        CL = IP->CL1;
+        NI = CodeP + IP->Aux;
+      }
+      if (CL != bc::NoCopyList) {
+        const bc::CopyRange &CR = RangeP[CL];
+        for (uint32_t CI = CR.Begin; CI < CR.Begin + CR.Count; ++CI)
+          R[CopyP[CI].Dst] = R[CopyP[CI].Src];
+      }
+      IP = NI;
+      VM_JUMP();
+    }
+    VM_CASE(JmpCmpF) : {
+      bool Taken = cmpF(IP->Sub, R[IP->A].F, R[IP->B].F);
+      Alu += 2;
+      uint32_t CL;
+      const bc::Instr *NI;
+      if (Taken) {
+        CL = IP->CL0;
+        NI = CodeP + IP->Imm;
+      } else {
+        CL = IP->CL1;
+        NI = CodeP + IP->Aux;
+      }
+      if (CL != bc::NoCopyList) {
+        const bc::CopyRange &CR = RangeP[CL];
+        for (uint32_t CI = CR.Begin; CI < CR.Begin + CR.Count; ++CI)
+          R[CopyP[CI].Dst] = R[CopyP[CI].Src];
+      }
+      IP = NI;
+      VM_JUMP();
+    }
+    VM_CASE(MulAddI) : {
+      R[IP->Dst].I = R[IP->A].I * R[IP->B].I + R[IP->C].I;
+      Alu += 2;
+      VM_NEXT();
+    }
+    VM_CASE(MulAddF) : {
+      // Two roundings, exactly like the unfused MulF + AddF pair.
+      float T = R[IP->A].F * R[IP->B].F;
+      R[IP->Dst].F = T + R[IP->C].F;
+      Alu += 2;
+      VM_NEXT();
+    }
+
+#if !KPERF_GOTO_DISPATCH
+      }
+    }
+#endif
+  }
+
+#undef VM_CASE
+#undef VM_JUMP
+#undef VM_NEXT
+#undef VM_FLUSH
+#undef VM_FAULT
+
+  void dimValues(irns::Builtin B, unsigned Lx, unsigned Ly, unsigned &X,
+                 unsigned &Y) const {
+    switch (B) {
+    case irns::Builtin::GetGlobalId:
+      X = GroupX * Local.X + Lx;
+      Y = GroupY * Local.Y + Ly;
+      break;
+    case irns::Builtin::GetLocalId:
+      X = Lx;
+      Y = Ly;
+      break;
+    case irns::Builtin::GetGroupId:
+      X = GroupX;
+      Y = GroupY;
+      break;
+    case irns::Builtin::GetLocalSize:
+      X = Local.X;
+      Y = Local.Y;
+      break;
+    case irns::Builtin::GetGlobalSize:
+      X = Global.X;
+      Y = Global.Y;
+      break;
+    case irns::Builtin::GetNumGroups:
+      X = Global.X / Local.X;
+      Y = Global.Y / Local.Y;
+      break;
+    default:
+      X = 0;
+      Y = 0;
+      break;
+    }
+  }
+
+  //===--- Batched tier: one instruction across the whole fragment ----------//
+
+  /// Bank-count cap for the on-stack local accounting histogram; devices
+  /// with more banks than this take the table-based path.
+  static constexpr uint32_t MaxFastBanks = 64;
+
+  /// A maximal contiguous range of items inside a sparse fragment.
+  struct Run {
+    uint32_t First = 0;
+    uint32_t Len = 0;
+  };
+
+  /// A set of items at the same pc. While control flow is uniform the set
+  /// is the dense range [First, First+N) and the handlers run contiguous
+  /// auto-vectorizable loops; divergent branches fall back to ascending
+  /// run lists (row-structured divergence like the perforation row parity
+  /// splits into long runs, so the inner loops stay vectorizable), and the
+  /// scheduler re-densifies contiguous merges.
+  struct Frag {
+    uint32_t Pc = 0;
+    uint32_t First = 0;
+    uint32_t N = 0;              ///< Dense size; unused when sparse.
+    uint32_t Count = 0;          ///< Total sparse items; unused when dense.
+    std::vector<Run> Runs;       ///< Sparse runs; empty means dense.
+
+    bool dense() const { return Runs.empty(); }
+    size_t size() const { return dense() ? N : Count; }
+  };
+
+  Val32 *valRow(uint16_t Reg) {
+    return BVal.data() + static_cast<size_t>(Reg) * BN;
+  }
+  uint32_t *baseRow(uint16_t Reg) {
+    return BBase.data() + static_cast<size_t>(Reg) * BN;
+  }
+  int32_t *offRow(uint16_t Reg) {
+    return BOff.data() + static_cast<size_t>(Reg) * BN;
+  }
+
+  /// Divergent branches retire and mint run lists at a high rate, so
+  /// their heap buffers cycle through a free pool instead of the
+  /// allocator.
+  std::vector<Run> takeRuns() {
+    if (RunPool.empty())
+      return {};
+    std::vector<Run> V = std::move(RunPool.back());
+    RunPool.pop_back();
+    V.clear();
+    return V;
+  }
+
+  void recycleRuns(std::vector<Run> &&V) {
+    if (V.capacity() != 0)
+      RunPool.push_back(std::move(V));
+  }
+
+  void materialize(Frag &Fr) {
+    if (!Fr.dense())
+      return;
+    Fr.Runs = takeRuns();
+    Fr.Runs.push_back(Run{Fr.First, Fr.N});
+    Fr.Count = Fr.N;
+    Fr.N = 0;
+  }
+
+  /// Absorbs \p Other (same pc) into \p Cur, keeping runs ascending and
+  /// coalesced and returning to the dense representation when the union
+  /// is one contiguous range. Run lists from a branch split are disjoint.
+  void mergeFrag(Frag &Cur, Frag &Other) {
+    if (Cur.dense() && Other.dense()) {
+      if (Cur.First + Cur.N == Other.First) {
+        Cur.N += Other.N;
+        return;
+      }
+      if (Other.First + Other.N == Cur.First) {
+        Cur.First = Other.First;
+        Cur.N += Other.N;
+        return;
+      }
+    }
+    materialize(Cur);
+    materialize(Other);
+    MergeTmp.clear();
+    auto Push = [this](Run R) {
+      if (!MergeTmp.empty() &&
+          MergeTmp.back().First + MergeTmp.back().Len == R.First)
+        MergeTmp.back().Len += R.Len;
+      else
+        MergeTmp.push_back(R);
+    };
+    size_t AI = 0, BI = 0;
+    while (AI < Cur.Runs.size() && BI < Other.Runs.size())
+      Push(Cur.Runs[AI].First < Other.Runs[BI].First ? Cur.Runs[AI++]
+                                                     : Other.Runs[BI++]);
+    while (AI < Cur.Runs.size())
+      Push(Cur.Runs[AI++]);
+    while (BI < Other.Runs.size())
+      Push(Other.Runs[BI++]);
+    Cur.Runs.swap(MergeTmp);
+    Cur.Count += Other.Count;
+    if (Cur.Runs.size() == 1) {
+      Cur.First = Cur.Runs[0].First;
+      Cur.N = Cur.Runs[0].Len;
+      recycleRuns(std::move(Cur.Runs));
+      Cur.Runs.clear();
+      Cur.Count = 0;
+    }
+  }
+
+  void runCopiesBatched(uint32_t CL, const Frag &Cur) {
+    if (CL == bc::NoCopyList)
+      return;
+    const bc::CopyRange &CR = Prog.CopyRanges[CL];
+    for (uint32_t CI = CR.Begin; CI < CR.Begin + CR.Count; ++CI) {
+      uint16_t DR = Prog.CopyPool[CI].Dst, SR = Prog.CopyPool[CI].Src;
+      Val32 *DV = valRow(DR);
+      const Val32 *SV = valRow(SR);
+      uint32_t *DB = baseRow(DR);
+      const uint32_t *SB = baseRow(SR);
+      int32_t *DO_ = offRow(DR);
+      const int32_t *SO = offRow(SR);
+      if (Cur.dense()) {
+        size_t Begin = Cur.First, Count = Cur.N;
+        std::memcpy(DV + Begin, SV + Begin, Count * sizeof(Val32));
+        std::memcpy(DB + Begin, SB + Begin, Count * sizeof(uint32_t));
+        std::memcpy(DO_ + Begin, SO + Begin, Count * sizeof(int32_t));
+      } else {
+        for (const Run &R : Cur.Runs) {
+          std::memcpy(DV + R.First, SV + R.First, R.Len * sizeof(Val32));
+          std::memcpy(DB + R.First, SB + R.First, R.Len * sizeof(uint32_t));
+          std::memcpy(DO_ + R.First, SO + R.First, R.Len * sizeof(int32_t));
+        }
+      }
+    }
+  }
+
+// Walks one contiguous item range [B, E) as subranges split at wavefront
+// boundaries. `Full` marks a subrange that is an entire wavefront (so the
+// fragment owns every item of that wavefront for this instruction).
+#define WF_CHUNK_WALK(B, E, CB, CE, Full, ...)                                 \
+  for (uint32_t CB = (B), ChunkEnd_ = (E); CB < ChunkEnd_;) {                  \
+    uint32_t WfEnd_ = std::min((CB / WfSize + 1) * WfSize,                     \
+                               static_cast<uint32_t>(BN));                     \
+    uint32_t CE = std::min(WfEnd_, ChunkEnd_);                                 \
+    bool Full = CB % WfSize == 0 && CE == WfEnd_;                              \
+    { __VA_ARGS__ }                                                            \
+    CB = CE;                                                                   \
+  }
+
+// Iterates the current fragment as wavefront-split chunks (see above).
+#define FOR_WF_CHUNKS(CB, CE, Full, ...)                                       \
+  if (Cur.dense()) {                                                           \
+    WF_CHUNK_WALK(Cur.First, Cur.First + Cur.N, CB, CE, Full, __VA_ARGS__)     \
+  } else {                                                                     \
+    for (const Run &Run_ : Cur.Runs) {                                         \
+      WF_CHUNK_WALK(Run_.First, Run_.First + Run_.Len, CB, CE, Full,           \
+                    __VA_ARGS__)                                               \
+    }                                                                          \
+  }
+
+// Iterates the current fragment's items; both arms are contiguous
+// counted loops the compiler unrolls and vectorizes -- a sparse fragment
+// is a list of runs, so only the per-run setup is scalar.
+#define FOR_ITEMS(It, ...)                                                     \
+  if (Cur.dense()) {                                                           \
+    for (uint32_t It = Cur.First, ItEnd_ = Cur.First + Cur.N; It < ItEnd_;     \
+         ++It) {                                                               \
+      __VA_ARGS__                                                              \
+    }                                                                          \
+  } else {                                                                     \
+    for (const Run &Run_ : Cur.Runs)                                           \
+      for (uint32_t It = Run_.First, ItEnd_ = Run_.First + Run_.Len;           \
+           It < ItEnd_; ++It) {                                                \
+        __VA_ARGS__                                                            \
+      }                                                                        \
+  }
+
+#define BT_FAULT(...)                                                          \
+  do {                                                                         \
+    fault(format(__VA_ARGS__));                                                \
+    Group.AluOps += Alu;                                                       \
+    return std::move(*Err);                                                    \
+  } while (0)
+
+  Error runGroupBatched() {
+    uint64_t Alu = 0;
+    unsigned Alive = BN;
+    bool First = true;
+    std::vector<Frag> Frags;
+
+    while (Alive > 0) {
+      // Phase entry: a successful phase ends with every item stopped at
+      // the same barrier or every item returned, so each phase starts
+      // with the full dense group at a common pc.
+      Frag Init;
+      Init.First = 0;
+      Init.N = BN;
+      Init.Pc = First ? 0 : States[0].Pc;
+      for (Frag &Fr : Frags)
+        recycleRuns(std::move(Fr.Runs));
+      Frags.clear();
+      Frags.push_back(std::move(Init));
+
+      std::vector<uint32_t> BarPcs;
+      unsigned Stopped = 0, Returned = 0;
+
+      while (!Frags.empty()) {
+        // Pick the lowest-pc fragment and absorb every fragment already
+        // at the same pc, so paths reconverge before executing it.
+        size_t MinIdx = 0;
+        for (size_t FI = 1; FI < Frags.size(); ++FI)
+          if (Frags[FI].Pc < Frags[MinIdx].Pc)
+            MinIdx = FI;
+        Frag Cur = std::move(Frags[MinIdx]);
+        Frags.erase(Frags.begin() + static_cast<ptrdiff_t>(MinIdx));
+        for (size_t FI = 0; FI < Frags.size();) {
+          if (Frags[FI].Pc != Cur.Pc) {
+            ++FI;
+            continue;
+          }
+          mergeFrag(Cur, Frags[FI]);
+          recycleRuns(std::move(Frags[FI].Runs));
+          Frags.erase(Frags.begin() + static_cast<ptrdiff_t>(FI));
+        }
+
+      // While no other fragment is pending (control flow is uniform --
+      // the common case), keep executing Cur without round-tripping it
+      // through the fragment list; the executed instruction sequence is
+      // identical to the general path's.
+      ExecuteCur:
+        const bc::Instr &I = Prog.Code[Cur.Pc];
+        bool Reinsert = true;
+
+        switch (I.Opc) {
+        case bc::Op::AllocaP:
+        case bc::Op::AllocaL: {
+          uint32_t *DB = baseRow(I.Dst);
+          int32_t *DO_ = offRow(I.Dst);
+          FOR_ITEMS(It, DB[It] = 0; DO_[It] = I.Imm;)
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::LdG: {
+          const uint32_t *PB = baseRow(I.A);
+          const int32_t *PO = offRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          // A fragment whose pointers all carry the same in-bounds buffer
+          // (the common case: the chain descends from one buffer
+          // argument) hoists the per-buffer transaction bitmap and folds
+          // the wavefront id per chunk; anything else -- mixed bases or a
+          // potential fault -- takes the general per-item loop.
+          uint32_t Base0 = PB[Cur.dense() ? Cur.First : Cur.Runs[0].First];
+          const BufRef &Bf = Bufs[Base0];
+          bool FastG = true;
+          FOR_ITEMS(It, FastG &= PB[It] == Base0 && PO[It] >= 0 &&
+                                 static_cast<size_t>(PO[It]) < Bf.Size;)
+          if (FastG) {
+            std::vector<uint32_t> &Seen = ReadSeen[Base0];
+            if (Seen.empty())
+              Seen.assign((segOfWord(Bf.Size - 1) + 1) * NumWf, 0u);
+            uint32_t *SeenP = Seen.data();
+            const uint32_t *Src = Bf.Data;
+            const uint32_t WfSize = Device.WavefrontSize;
+            FOR_WF_CHUNKS(CB, CE, Full, {
+              (void)Full;
+              const size_t WfIdx = CB / WfSize;
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It];
+                D[It].I = static_cast<int32_t>(Src[Off]);
+                size_t Idx =
+                    segOfWord(static_cast<uint64_t>(Off)) * NumWf + WfIdx;
+                if (SeenP[Idx] != REpoch) {
+                  SeenP[Idx] = REpoch;
+                  ++Group.GlobalReadTransactions;
+                }
+              }
+            })
+          } else {
+            FOR_ITEMS(It, {
+              const BufRef &B = Bufs[PB[It]];
+              int32_t Off = PO[It];
+              if (Off < 0 || static_cast<size_t>(Off) >= B.Size)
+                BT_FAULT("kernel '%s': global read out of bounds (buffer "
+                         "%u, offset %d, size %zu)",
+                         F.name().c_str(), PB[It], Off, B.Size);
+              D[It].I = static_cast<int32_t>(B.Data[Off]);
+              noteGlobalRead(WfA[It], PB[It], Off);
+            })
+          }
+          Group.GlobalReads += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::LdL: {
+          const int32_t *PO = offRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          uint32_t *ExecRow =
+              LocalExec.data() + static_cast<size_t>(I.Aux) * BN;
+          const uint32_t WfSize = Device.WavefrontSize;
+          const bool FastOk = Device.NumLocalBanks <= MaxFastBanks;
+          FOR_WF_CHUNKS(CB, CE, Full, {
+            // A chunk that owns its whole wavefront with one shared exec
+            // instance owns the (op, exec, wavefront) accounting key
+            // outright: fold it on a stack histogram and never touch the
+            // persistent tables (the key cannot recur -- exec advances).
+            bool Fast = false;
+            if (Full && FastOk) {
+              uint32_t E0 = ExecRow[CB];
+              int32_t Off0 = PO[CB];
+              uint32_t Bad = 0, NonCon = 0;
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It];
+                Bad |= (ExecRow[It] ^ E0) |
+                       (static_cast<uint32_t>(Off) >= Prog.LocalWords ? 1u
+                                                                      : 0u);
+                NonCon |= static_cast<uint32_t>(
+                    Off ^ (Off0 + static_cast<int32_t>(It - CB)));
+              }
+              Fast = Bad == 0;
+              if (Fast) {
+                uint32_t Max;
+                if (NonCon == 0) {
+                  // Consecutive offsets cycle through the banks, so the
+                  // conflict profile is closed-form and the move is one
+                  // straight copy.
+                  std::memcpy(D + CB, LocalArena.data() + Off0,
+                              (CE - CB) * sizeof(uint32_t));
+                  Max = (CE - CB + Device.NumLocalBanks - 1) /
+                        Device.NumLocalBanks;
+                } else {
+                  uint32_t Hist[MaxFastBanks];
+                  std::fill_n(Hist, Device.NumLocalBanks, 0u);
+                  Max = 0;
+                  for (uint32_t It = CB; It < CE; ++It) {
+                    int32_t Off = PO[It];
+                    D[It].I = static_cast<int32_t>(LocalArena[Off]);
+                    uint32_t C = ++Hist[bankOf(Off)];
+                    if (C > Max)
+                      Max = C;
+                  }
+                }
+                for (uint32_t It = CB; It < CE; ++It)
+                  ExecRow[It] = E0 + 1;
+                ++Group.LocalWavefrontOps;
+                Group.BankConflictExtra += Max - 1;
+              }
+            }
+            if (!Fast) {
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It];
+                if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.LocalWords)
+                  BT_FAULT("kernel '%s': local read out of bounds (offset "
+                           "%d, size %u words)",
+                           F.name().c_str(), Off, Prog.LocalWords);
+                D[It].I = static_cast<int32_t>(LocalArena[Off]);
+                noteLocalAccess(ExecRow[It]++, I.Aux, WfA[It], Off);
+              }
+            }
+          })
+          Group.LocalAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::LdP: {
+          const int32_t *PO = offRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          const uint32_t *Priv = PrivArena.data();
+          FOR_ITEMS(It, {
+            int32_t Off = PO[It];
+            if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.PrivateWords)
+              BT_FAULT("kernel '%s': private read out of bounds",
+                       F.name().c_str());
+            D[It].I = static_cast<int32_t>(
+                Priv[static_cast<size_t>(It) * Prog.PrivateWords + Off]);
+          })
+          Group.PrivateAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::StG: {
+          const Val32 *V = valRow(I.A);
+          const uint32_t *PB = baseRow(I.B);
+          const int32_t *PO = offRow(I.B);
+          uint32_t *ExecRow =
+              GlobalExec.data() + static_cast<size_t>(I.Aux) * BN;
+          // Uniform-base in-bounds fragments build the coalescing key
+          // from a per-chunk prefix (op, exec, wavefront, base are all
+          // invariant across a lockstep chunk) so the per-item work is
+          // one shift and the run cache; see LdG for the fragment test.
+          uint32_t Base0 = PB[Cur.dense() ? Cur.First : Cur.Runs[0].First];
+          const BufRef &Bf = Bufs[Base0];
+          bool FastG = true;
+          FOR_ITEMS(It, FastG &= PB[It] == Base0 && PO[It] >= 0 &&
+                                 static_cast<size_t>(PO[It]) < Bf.Size;)
+          if (FastG) {
+            const uint32_t WfSize = Device.WavefrontSize;
+            FOR_WF_CHUNKS(CB, CE, Full, {
+              (void)Full;
+              uint32_t E0 = ExecRow[CB];
+              bool UniE = true;
+              for (uint32_t It = CB; It < CE; ++It)
+                UniE &= ExecRow[It] == E0;
+              if (UniE) {
+                const uint64_t KeyBase =
+                    (static_cast<uint64_t>(I.Aux) << 57) |
+                    (static_cast<uint64_t>(E0) << 43) |
+                    (static_cast<uint64_t>(CB / WfSize) << 35) |
+                    (static_cast<uint64_t>(Base0) << 28);
+                for (uint32_t It = CB; It < CE; ++It) {
+                  int32_t Off = PO[It];
+                  Bf.Data[Off] = static_cast<uint32_t>(V[It].I);
+                  uint64_t Key =
+                      KeyBase | segOfWord(static_cast<uint64_t>(Off));
+                  if (!HaveLastWriteKey || Key != LastWriteKey) {
+                    LastWriteKey = Key;
+                    HaveLastWriteKey = true;
+                    if (Segments.insert(Key))
+                      ++Group.GlobalWriteTransactions;
+                  }
+                  ExecRow[It] = E0 + 1;
+                }
+              } else {
+                for (uint32_t It = CB; It < CE; ++It) {
+                  int32_t Off = PO[It];
+                  Bf.Data[Off] = static_cast<uint32_t>(V[It].I);
+                  noteGlobalWrite(ExecRow[It]++, I.Aux, WfA[It], Base0, Off);
+                }
+              }
+            })
+          } else {
+            FOR_ITEMS(It, {
+              const BufRef &B = Bufs[PB[It]];
+              int32_t Off = PO[It];
+              if (Off < 0 || static_cast<size_t>(Off) >= B.Size)
+                BT_FAULT("kernel '%s': global write out of bounds (buffer "
+                         "%u, offset %d, size %zu)",
+                         F.name().c_str(), PB[It], Off, B.Size);
+              B.Data[Off] = static_cast<uint32_t>(V[It].I);
+              noteGlobalWrite(ExecRow[It]++, I.Aux, WfA[It], PB[It], Off);
+            })
+          }
+          Group.GlobalWrites += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::StL: {
+          const Val32 *V = valRow(I.A);
+          const int32_t *PO = offRow(I.B);
+          uint32_t *ExecRow =
+              LocalExec.data() + static_cast<size_t>(I.Aux) * BN;
+          const uint32_t WfSize = Device.WavefrontSize;
+          const bool FastOk = Device.NumLocalBanks <= MaxFastBanks;
+          FOR_WF_CHUNKS(CB, CE, Full, {
+            bool Fast = false;
+            if (Full && FastOk) {
+              uint32_t E0 = ExecRow[CB];
+              int32_t Off0 = PO[CB];
+              uint32_t Bad = 0, NonCon = 0;
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It];
+                Bad |= (ExecRow[It] ^ E0) |
+                       (static_cast<uint32_t>(Off) >= Prog.LocalWords ? 1u
+                                                                      : 0u);
+                NonCon |= static_cast<uint32_t>(
+                    Off ^ (Off0 + static_cast<int32_t>(It - CB)));
+              }
+              Fast = Bad == 0;
+              if (Fast) {
+                uint32_t Max;
+                if (NonCon == 0) {
+                  std::memcpy(LocalArena.data() + Off0, V + CB,
+                              (CE - CB) * sizeof(uint32_t));
+                  Max = (CE - CB + Device.NumLocalBanks - 1) /
+                        Device.NumLocalBanks;
+                } else {
+                  uint32_t Hist[MaxFastBanks];
+                  std::fill_n(Hist, Device.NumLocalBanks, 0u);
+                  Max = 0;
+                  for (uint32_t It = CB; It < CE; ++It) {
+                    int32_t Off = PO[It];
+                    LocalArena[Off] = static_cast<uint32_t>(V[It].I);
+                    uint32_t C = ++Hist[bankOf(Off)];
+                    if (C > Max)
+                      Max = C;
+                  }
+                }
+                for (uint32_t It = CB; It < CE; ++It)
+                  ExecRow[It] = E0 + 1;
+                ++Group.LocalWavefrontOps;
+                Group.BankConflictExtra += Max - 1;
+              }
+            }
+            if (!Fast) {
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It];
+                if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.LocalWords)
+                  BT_FAULT("kernel '%s': local write out of bounds (offset "
+                           "%d, size %u words)",
+                           F.name().c_str(), Off, Prog.LocalWords);
+                LocalArena[Off] = static_cast<uint32_t>(V[It].I);
+                noteLocalAccess(ExecRow[It]++, I.Aux, WfA[It], Off);
+              }
+            }
+          })
+          Group.LocalAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::StP: {
+          const Val32 *V = valRow(I.A);
+          const int32_t *PO = offRow(I.B);
+          uint32_t *Priv = PrivArena.data();
+          FOR_ITEMS(It, {
+            int32_t Off = PO[It];
+            if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.PrivateWords)
+              BT_FAULT("kernel '%s': private write out of bounds",
+                       F.name().c_str());
+            Priv[static_cast<size_t>(It) * Prog.PrivateWords + Off] =
+                static_cast<uint32_t>(V[It].I);
+          })
+          Group.PrivateAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::Gep: {
+          const uint32_t *PB = baseRow(I.A);
+          const int32_t *PO = offRow(I.A);
+          const Val32 *Idx = valRow(I.B);
+          uint32_t *DB = baseRow(I.Dst);
+          int32_t *DO_ = offRow(I.Dst);
+          FOR_ITEMS(It, DB[It] = PB[It]; DO_[It] = PO[It] + Idx[It].I;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::AddI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I + B[It].I;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::SubI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I - B[It].I;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::MulI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I * B[It].I;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::DivI:
+        case bc::Op::RemI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          // One vectorized scan classifies the fragment: a zero divisor
+          // forces the faulting per-item loop (AluOps must stop at the
+          // faulting item), while a uniform divisor -- the common shape,
+          // index arithmetic by a constant -- divides in double
+          // precision, which auto-vectorizes where hardware integer
+          // division cannot. Exact: the quotient's rounding error is
+          // below 1/|b| whenever |a|*|b| < 2^52, so truncation recovers
+          // the integer result.
+          int32_t B0 = B[Cur.dense() ? Cur.First : Cur.Runs[0].First].I;
+          uint32_t ZeroAcc = 0, NonUni = 0;
+          FOR_ITEMS(It, {
+            ZeroAcc |= B[It].I == 0 ? 1u : 0u;
+            NonUni |= static_cast<uint32_t>(B[It].I ^ B0);
+          })
+          bool Uniform = NonUni == 0;
+          if (ZeroAcc != 0) {
+            FOR_ITEMS(It, {
+              ++Alu;
+              if (B[It].I == 0)
+                BT_FAULT("kernel '%s': integer division by zero",
+                         F.name().c_str());
+              D[It].I = I.Opc == bc::Op::DivI ? A[It].I / B[It].I
+                                              : A[It].I % B[It].I;
+            })
+          } else if (Uniform && B0 != -1) {
+            const double Dv = B0;
+            if (I.Opc == bc::Op::DivI) {
+              FOR_ITEMS(It, D[It].I = static_cast<int32_t>(A[It].I / Dv);)
+            } else {
+              FOR_ITEMS(It, {
+                int32_t Q = static_cast<int32_t>(A[It].I / Dv);
+                D[It].I = A[It].I - Q * B0;
+              })
+            }
+            Alu += Cur.size();
+          } else if (I.Opc == bc::Op::DivI) {
+            FOR_ITEMS(It, D[It].I = A[It].I / B[It].I;)
+            Alu += Cur.size();
+          } else {
+            FOR_ITEMS(It, D[It].I = A[It].I % B[It].I;)
+            Alu += Cur.size();
+          }
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::AddF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = A[It].F + B[It].F;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::SubF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = A[It].F - B[It].F;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::MulF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = A[It].F * B[It].F;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::DivF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = A[It].F / B[It].F;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::RemF: {
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpEqI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I == B[It].I ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpNeI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I != B[It].I ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpLtI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I < B[It].I ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpLeI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I <= B[It].I ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpGtI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I > B[It].I ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpGeI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I >= B[It].I ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpEqF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].F == B[It].F ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpNeF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].F != B[It].F ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpLtF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].F < B[It].F ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpLeF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].F <= B[It].F ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpGtF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].F > B[It].F ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::CmpGeF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].F >= B[It].F ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::AndB: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = (A[It].I != 0 && B[It].I != 0) ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::OrB: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = (A[It].I != 0 || B[It].I != 0) ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::NotB: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I == 0 ? 1 : 0;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::NegI: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = -A[It].I;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::NegF: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = -A[It].F;)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::I2F: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = static_cast<float>(A[It].I);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::F2I: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = static_cast<int32_t>(A[It].F);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::Sel: {
+          const Val32 *C = valRow(I.A);
+          const Val32 *AV = valRow(I.B), *BV = valRow(I.C);
+          Val32 *DV = valRow(I.Dst);
+          if (I.Sub != 0) { // Scalar select: pointer planes are dead.
+            FOR_ITEMS(It, DV[It] = C[It].I != 0 ? AV[It] : BV[It];)
+          } else {
+            const uint32_t *AB = baseRow(I.B), *BB = baseRow(I.C);
+            const int32_t *AO = offRow(I.B), *BO = offRow(I.C);
+            uint32_t *DB = baseRow(I.Dst);
+            int32_t *DO_ = offRow(I.Dst);
+            FOR_ITEMS(It, {
+              bool T = C[It].I != 0;
+              DV[It] = T ? AV[It] : BV[It];
+              DB[It] = T ? AB[It] : BB[It];
+              DO_[It] = T ? AO[It] : BO[It];
+            })
+          }
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::DimQuery: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          irns::Builtin B = static_cast<irns::Builtin>(I.Sub);
+          if (B == irns::Builtin::GetGlobalId) {
+            int32_t BaseX = static_cast<int32_t>(GroupX * Local.X);
+            int32_t BaseY = static_cast<int32_t>(GroupY * Local.Y);
+            FOR_ITEMS(It, D[It].I = A[It].I == 0
+                                        ? BaseX + static_cast<int32_t>(LxA[It])
+                                        : BaseY + static_cast<int32_t>(LyA[It]);)
+          } else if (B == irns::Builtin::GetLocalId) {
+            FOR_ITEMS(It, D[It].I = A[It].I == 0
+                                        ? static_cast<int32_t>(LxA[It])
+                                        : static_cast<int32_t>(LyA[It]);)
+          } else {
+            unsigned X = 0, Y = 0;
+            dimValues(B, 0, 0, X, Y);
+            FOR_ITEMS(It, D[It].I = A[It].I == 0 ? static_cast<int32_t>(X)
+                                                 : static_cast<int32_t>(Y);)
+          }
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::MinI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = std::min(A[It].I, B[It].I);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::MinF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::min(A[It].F, B[It].F);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::MaxI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = std::max(A[It].I, B[It].I);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::MaxF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::max(A[It].F, B[It].F);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::ClampI: {
+          const Val32 *A = valRow(I.A), *Lo = valRow(I.B), *Hi = valRow(I.C);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It,
+                    D[It].I = std::min(std::max(A[It].I, Lo[It].I), Hi[It].I);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::ClampF: {
+          const Val32 *A = valRow(I.A), *Lo = valRow(I.B), *Hi = valRow(I.C);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It,
+                    D[It].F = std::min(std::max(A[It].F, Lo[It].F), Hi[It].F);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::AbsI: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = std::abs(A[It].I);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::AbsF: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::fabs(A[It].F);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::SqrtF: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::sqrt(A[It].F);)
+          Alu += 4 * Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::ExpF: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::exp(A[It].F);)
+          Alu += 4 * Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::LogF: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::log(A[It].F);)
+          Alu += 4 * Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::PowF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::pow(A[It].F, B[It].F);)
+          Alu += 4 * Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::FloorF: {
+          const Val32 *A = valRow(I.A);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].F = std::floor(A[It].F);)
+          Alu += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::Bar: {
+          Group.Barriers += Cur.size();
+          uint32_t ResumePc = Cur.Pc + 1;
+          FOR_ITEMS(It, {
+            States[It].Pc = ResumePc;
+            States[It].Stop = StopReason::Barrier;
+          })
+          if (std::find(BarPcs.begin(), BarPcs.end(), ResumePc) ==
+              BarPcs.end())
+            BarPcs.push_back(ResumePc);
+          Stopped += Cur.size();
+          Reinsert = false;
+          break;
+        }
+        case bc::Op::Jmp: {
+          runCopiesBatched(I.CL0, Cur);
+          Alu += Cur.size();
+          Cur.Pc = static_cast<uint32_t>(I.Imm);
+          break;
+        }
+        case bc::Op::JmpIf: {
+          const Val32 *C = valRow(I.A);
+          Alu += Cur.size();
+          size_t Taken = 0;
+          FOR_ITEMS(It, Taken += C[It].I != 0 ? 1 : 0;)
+          if (Taken == Cur.size()) {
+            // Uniform taken: the fragment survives intact (dense stays
+            // dense), only the pc changes.
+            runCopiesBatched(I.CL0, Cur);
+            Cur.Pc = static_cast<uint32_t>(I.Imm);
+            break;
+          }
+          if (Taken == 0) {
+            runCopiesBatched(I.CL1, Cur);
+            Cur.Pc = I.Aux;
+            break;
+          }
+          Frag FT, FN;
+          FT.Runs = takeRuns();
+          FN.Runs = takeRuns();
+          auto Append = [](Frag &Fr, uint32_t It) {
+            if (!Fr.Runs.empty() &&
+                Fr.Runs.back().First + Fr.Runs.back().Len == It)
+              ++Fr.Runs.back().Len;
+            else
+              Fr.Runs.push_back({It, 1});
+            ++Fr.Count;
+          };
+          FOR_ITEMS(It, Append(C[It].I != 0 ? FT : FN, It);)
+          FT.Pc = static_cast<uint32_t>(I.Imm);
+          FN.Pc = I.Aux;
+          runCopiesBatched(I.CL0, FT);
+          runCopiesBatched(I.CL1, FN);
+          Frags.push_back(std::move(FT));
+          Frags.push_back(std::move(FN));
+          Reinsert = false;
+          break;
+        }
+        case bc::Op::Ret: {
+          FOR_ITEMS(It, States[It].Stop = StopReason::Returned;)
+          Returned += Cur.size();
+          Reinsert = false;
+          break;
+        }
+        case bc::Op::LdGX: {
+          const uint32_t *PB = baseRow(I.A);
+          const int32_t *PO = offRow(I.A);
+          const Val32 *Idx = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          // Uniform-base in-bounds fast path; see LdG.
+          uint32_t Base0 = PB[Cur.dense() ? Cur.First : Cur.Runs[0].First];
+          const BufRef &Bf = Bufs[Base0];
+          bool FastG = true;
+          FOR_ITEMS(It, {
+            int32_t Off = PO[It] + Idx[It].I;
+            FastG &= PB[It] == Base0 && Off >= 0 &&
+                     static_cast<size_t>(Off) < Bf.Size;
+          })
+          if (FastG) {
+            Alu += Cur.size(); // The folded address computations.
+            std::vector<uint32_t> &Seen = ReadSeen[Base0];
+            if (Seen.empty())
+              Seen.assign((segOfWord(Bf.Size - 1) + 1) * NumWf, 0u);
+            uint32_t *SeenP = Seen.data();
+            const uint32_t *Src = Bf.Data;
+            const uint32_t WfSize = Device.WavefrontSize;
+            FOR_WF_CHUNKS(CB, CE, Full, {
+              (void)Full;
+              const size_t WfIdx = CB / WfSize;
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It] + Idx[It].I;
+                D[It].I = static_cast<int32_t>(Src[Off]);
+                size_t Idx2 =
+                    segOfWord(static_cast<uint64_t>(Off)) * NumWf + WfIdx;
+                if (SeenP[Idx2] != REpoch) {
+                  SeenP[Idx2] = REpoch;
+                  ++Group.GlobalReadTransactions;
+                }
+              }
+            })
+          } else {
+            FOR_ITEMS(It, {
+              ++Alu; // The folded address computation.
+              const BufRef &B = Bufs[PB[It]];
+              int32_t Off = PO[It] + Idx[It].I;
+              if (Off < 0 || static_cast<size_t>(Off) >= B.Size)
+                BT_FAULT("kernel '%s': global read out of bounds (buffer "
+                         "%u, offset %d, size %zu)",
+                         F.name().c_str(), PB[It], Off, B.Size);
+              D[It].I = static_cast<int32_t>(B.Data[Off]);
+              noteGlobalRead(WfA[It], PB[It], Off);
+            })
+          }
+          Group.GlobalReads += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::LdLX: {
+          const int32_t *PO = offRow(I.A);
+          const Val32 *Idx = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          uint32_t *ExecRow =
+              LocalExec.data() + static_cast<size_t>(I.Aux) * BN;
+          const uint32_t WfSize = Device.WavefrontSize;
+          const bool FastOk = Device.NumLocalBanks <= MaxFastBanks;
+          FOR_WF_CHUNKS(CB, CE, Full, {
+            bool Fast = false;
+            if (Full && FastOk) {
+              uint32_t E0 = ExecRow[CB];
+              int32_t Off0 = PO[CB] + Idx[CB].I;
+              uint32_t Bad = 0, NonCon = 0;
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It] + Idx[It].I;
+                Bad |= (ExecRow[It] ^ E0) |
+                       (static_cast<uint32_t>(Off) >= Prog.LocalWords ? 1u
+                                                                      : 0u);
+                NonCon |= static_cast<uint32_t>(
+                    Off ^ (Off0 + static_cast<int32_t>(It - CB)));
+              }
+              Fast = Bad == 0;
+              if (Fast) {
+                uint32_t Max;
+                if (NonCon == 0) {
+                  std::memcpy(D + CB, LocalArena.data() + Off0,
+                              (CE - CB) * sizeof(uint32_t));
+                  Max = (CE - CB + Device.NumLocalBanks - 1) /
+                        Device.NumLocalBanks;
+                } else {
+                  uint32_t Hist[MaxFastBanks];
+                  std::fill_n(Hist, Device.NumLocalBanks, 0u);
+                  Max = 0;
+                  for (uint32_t It = CB; It < CE; ++It) {
+                    int32_t Off = PO[It] + Idx[It].I;
+                    D[It].I = static_cast<int32_t>(LocalArena[Off]);
+                    uint32_t C = ++Hist[bankOf(Off)];
+                    if (C > Max)
+                      Max = C;
+                  }
+                }
+                for (uint32_t It = CB; It < CE; ++It)
+                  ExecRow[It] = E0 + 1;
+                Alu += CE - CB;
+                ++Group.LocalWavefrontOps;
+                Group.BankConflictExtra += Max - 1;
+              }
+            }
+            if (!Fast) {
+              for (uint32_t It = CB; It < CE; ++It) {
+                ++Alu;
+                int32_t Off = PO[It] + Idx[It].I;
+                if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.LocalWords)
+                  BT_FAULT("kernel '%s': local read out of bounds (offset "
+                           "%d, size %u words)",
+                           F.name().c_str(), Off, Prog.LocalWords);
+                D[It].I = static_cast<int32_t>(LocalArena[Off]);
+                noteLocalAccess(ExecRow[It]++, I.Aux, WfA[It], Off);
+              }
+            }
+          })
+          Group.LocalAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::LdPX: {
+          const int32_t *PO = offRow(I.A);
+          const Val32 *Idx = valRow(I.B);
+          Val32 *D = valRow(I.Dst);
+          const uint32_t *Priv = PrivArena.data();
+          FOR_ITEMS(It, {
+            ++Alu;
+            int32_t Off = PO[It] + Idx[It].I;
+            if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.PrivateWords)
+              BT_FAULT("kernel '%s': private read out of bounds",
+                       F.name().c_str());
+            D[It].I = static_cast<int32_t>(
+                Priv[static_cast<size_t>(It) * Prog.PrivateWords + Off]);
+          })
+          Group.PrivateAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::StGX: {
+          const Val32 *V = valRow(I.A);
+          const uint32_t *PB = baseRow(I.B);
+          const int32_t *PO = offRow(I.B);
+          const Val32 *Idx = valRow(I.C);
+          uint32_t *ExecRow =
+              GlobalExec.data() + static_cast<size_t>(I.Aux) * BN;
+          // Uniform-base in-bounds fast path; see StG.
+          uint32_t Base0 = PB[Cur.dense() ? Cur.First : Cur.Runs[0].First];
+          const BufRef &Bf = Bufs[Base0];
+          bool FastG = true;
+          FOR_ITEMS(It, {
+            int32_t Off = PO[It] + Idx[It].I;
+            FastG &= PB[It] == Base0 && Off >= 0 &&
+                     static_cast<size_t>(Off) < Bf.Size;
+          })
+          if (FastG) {
+            Alu += Cur.size(); // The folded address computations.
+            const uint32_t WfSize = Device.WavefrontSize;
+            FOR_WF_CHUNKS(CB, CE, Full, {
+              (void)Full;
+              uint32_t E0 = ExecRow[CB];
+              bool UniE = true;
+              for (uint32_t It = CB; It < CE; ++It)
+                UniE &= ExecRow[It] == E0;
+              if (UniE) {
+                const uint64_t KeyBase =
+                    (static_cast<uint64_t>(I.Aux) << 57) |
+                    (static_cast<uint64_t>(E0) << 43) |
+                    (static_cast<uint64_t>(CB / WfSize) << 35) |
+                    (static_cast<uint64_t>(Base0) << 28);
+                for (uint32_t It = CB; It < CE; ++It) {
+                  int32_t Off = PO[It] + Idx[It].I;
+                  Bf.Data[Off] = static_cast<uint32_t>(V[It].I);
+                  uint64_t Key =
+                      KeyBase | segOfWord(static_cast<uint64_t>(Off));
+                  if (!HaveLastWriteKey || Key != LastWriteKey) {
+                    LastWriteKey = Key;
+                    HaveLastWriteKey = true;
+                    if (Segments.insert(Key))
+                      ++Group.GlobalWriteTransactions;
+                  }
+                  ExecRow[It] = E0 + 1;
+                }
+              } else {
+                for (uint32_t It = CB; It < CE; ++It) {
+                  int32_t Off = PO[It] + Idx[It].I;
+                  Bf.Data[Off] = static_cast<uint32_t>(V[It].I);
+                  noteGlobalWrite(ExecRow[It]++, I.Aux, WfA[It], Base0, Off);
+                }
+              }
+            })
+          } else {
+            FOR_ITEMS(It, {
+              ++Alu;
+              const BufRef &B = Bufs[PB[It]];
+              int32_t Off = PO[It] + Idx[It].I;
+              if (Off < 0 || static_cast<size_t>(Off) >= B.Size)
+                BT_FAULT("kernel '%s': global write out of bounds (buffer "
+                         "%u, offset %d, size %zu)",
+                         F.name().c_str(), PB[It], Off, B.Size);
+              B.Data[Off] = static_cast<uint32_t>(V[It].I);
+              noteGlobalWrite(ExecRow[It]++, I.Aux, WfA[It], PB[It], Off);
+            })
+          }
+          Group.GlobalWrites += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::StLX: {
+          const Val32 *V = valRow(I.A);
+          const int32_t *PO = offRow(I.B);
+          const Val32 *Idx = valRow(I.C);
+          uint32_t *ExecRow =
+              LocalExec.data() + static_cast<size_t>(I.Aux) * BN;
+          const uint32_t WfSize = Device.WavefrontSize;
+          const bool FastOk = Device.NumLocalBanks <= MaxFastBanks;
+          FOR_WF_CHUNKS(CB, CE, Full, {
+            bool Fast = false;
+            if (Full && FastOk) {
+              uint32_t E0 = ExecRow[CB];
+              int32_t Off0 = PO[CB] + Idx[CB].I;
+              uint32_t Bad = 0, NonCon = 0;
+              for (uint32_t It = CB; It < CE; ++It) {
+                int32_t Off = PO[It] + Idx[It].I;
+                Bad |= (ExecRow[It] ^ E0) |
+                       (static_cast<uint32_t>(Off) >= Prog.LocalWords ? 1u
+                                                                      : 0u);
+                NonCon |= static_cast<uint32_t>(
+                    Off ^ (Off0 + static_cast<int32_t>(It - CB)));
+              }
+              Fast = Bad == 0;
+              if (Fast) {
+                uint32_t Max;
+                if (NonCon == 0) {
+                  std::memcpy(LocalArena.data() + Off0, V + CB,
+                              (CE - CB) * sizeof(uint32_t));
+                  Max = (CE - CB + Device.NumLocalBanks - 1) /
+                        Device.NumLocalBanks;
+                } else {
+                  uint32_t Hist[MaxFastBanks];
+                  std::fill_n(Hist, Device.NumLocalBanks, 0u);
+                  Max = 0;
+                  for (uint32_t It = CB; It < CE; ++It) {
+                    int32_t Off = PO[It] + Idx[It].I;
+                    LocalArena[Off] = static_cast<uint32_t>(V[It].I);
+                    uint32_t C = ++Hist[bankOf(Off)];
+                    if (C > Max)
+                      Max = C;
+                  }
+                }
+                for (uint32_t It = CB; It < CE; ++It)
+                  ExecRow[It] = E0 + 1;
+                Alu += CE - CB;
+                ++Group.LocalWavefrontOps;
+                Group.BankConflictExtra += Max - 1;
+              }
+            }
+            if (!Fast) {
+              for (uint32_t It = CB; It < CE; ++It) {
+                ++Alu;
+                int32_t Off = PO[It] + Idx[It].I;
+                if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.LocalWords)
+                  BT_FAULT("kernel '%s': local write out of bounds (offset "
+                           "%d, size %u words)",
+                           F.name().c_str(), Off, Prog.LocalWords);
+                LocalArena[Off] = static_cast<uint32_t>(V[It].I);
+                noteLocalAccess(ExecRow[It]++, I.Aux, WfA[It], Off);
+              }
+            }
+          })
+          Group.LocalAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::StPX: {
+          const Val32 *V = valRow(I.A);
+          const int32_t *PO = offRow(I.B);
+          const Val32 *Idx = valRow(I.C);
+          uint32_t *Priv = PrivArena.data();
+          FOR_ITEMS(It, {
+            ++Alu;
+            int32_t Off = PO[It] + Idx[It].I;
+            if (Off < 0 || static_cast<uint32_t>(Off) >= Prog.PrivateWords)
+              BT_FAULT("kernel '%s': private write out of bounds",
+                       F.name().c_str());
+            Priv[static_cast<size_t>(It) * Prog.PrivateWords + Off] =
+                static_cast<uint32_t>(V[It].I);
+          })
+          Group.PrivateAccesses += Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::JmpCmpI:
+        case bc::Op::JmpCmpF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B);
+          Alu += 2 * Cur.size(); // Compare + branch per item.
+          // Evaluate the comparison for every item before any edge copy
+          // can clobber an operand register.
+          if (CondBuf.size() < BN)
+            CondBuf.resize(BN);
+          uint8_t *C = CondBuf.data();
+#define CMP_FILL(EXPR) FOR_ITEMS(It, C[It] = (EXPR) ? 1 : 0;)
+          switch ((I.Opc == bc::Op::JmpCmpF ? 6 : 0) + I.Sub) {
+          case 0:
+            CMP_FILL(A[It].I == B[It].I) break;
+          case 1:
+            CMP_FILL(A[It].I != B[It].I) break;
+          case 2:
+            CMP_FILL(A[It].I < B[It].I) break;
+          case 3:
+            CMP_FILL(A[It].I <= B[It].I) break;
+          case 4:
+            CMP_FILL(A[It].I > B[It].I) break;
+          case 5:
+            CMP_FILL(A[It].I >= B[It].I) break;
+          case 6:
+            CMP_FILL(A[It].F == B[It].F) break;
+          case 7:
+            CMP_FILL(A[It].F != B[It].F) break;
+          case 8:
+            CMP_FILL(A[It].F < B[It].F) break;
+          case 9:
+            CMP_FILL(A[It].F <= B[It].F) break;
+          case 10:
+            CMP_FILL(A[It].F > B[It].F) break;
+          default:
+            CMP_FILL(A[It].F >= B[It].F) break;
+          }
+#undef CMP_FILL
+          size_t Taken = 0;
+          FOR_ITEMS(It, Taken += C[It];)
+          if (Taken == Cur.size()) {
+            runCopiesBatched(I.CL0, Cur);
+            Cur.Pc = static_cast<uint32_t>(I.Imm);
+            break;
+          }
+          if (Taken == 0) {
+            runCopiesBatched(I.CL1, Cur);
+            Cur.Pc = I.Aux;
+            break;
+          }
+          Frag FT, FN;
+          FT.Runs = takeRuns();
+          FN.Runs = takeRuns();
+          auto Append = [](Frag &Fr, uint32_t It) {
+            if (!Fr.Runs.empty() &&
+                Fr.Runs.back().First + Fr.Runs.back().Len == It)
+              ++Fr.Runs.back().Len;
+            else
+              Fr.Runs.push_back({It, 1});
+            ++Fr.Count;
+          };
+          FOR_ITEMS(It, Append(C[It] ? FT : FN, It);)
+          FT.Pc = static_cast<uint32_t>(I.Imm);
+          FN.Pc = I.Aux;
+          runCopiesBatched(I.CL0, FT);
+          runCopiesBatched(I.CL1, FN);
+          Frags.push_back(std::move(FT));
+          Frags.push_back(std::move(FN));
+          Reinsert = false;
+          break;
+        }
+        case bc::Op::MulAddI: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B), *C = valRow(I.C);
+          Val32 *D = valRow(I.Dst);
+          FOR_ITEMS(It, D[It].I = A[It].I * B[It].I + C[It].I;)
+          Alu += 2 * Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        case bc::Op::MulAddF: {
+          const Val32 *A = valRow(I.A), *B = valRow(I.B), *C = valRow(I.C);
+          Val32 *D = valRow(I.Dst);
+          // Two roundings, exactly like the unfused MulF + AddF pair.
+          FOR_ITEMS(It, {
+            float T = A[It].F * B[It].F;
+            D[It].F = T + C[It].F;
+          })
+          Alu += 2 * Cur.size();
+          ++Cur.Pc;
+          break;
+        }
+        }
+
+        if (Reinsert) {
+          if (Frags.empty())
+            goto ExecuteCur;
+          Frags.push_back(std::move(Cur));
+        } else {
+          recycleRuns(std::move(Cur.Runs));
+        }
+      }
+
+      if (BarPcs.size() > 1) {
+        Group.AluOps += Alu;
+        return makeError("kernel '%s': divergent barriers in work group "
+                         "(%u,%u)",
+                         F.name().c_str(), GroupX, GroupY);
+      }
+      if (Stopped != 0 && Returned != 0) {
+        Group.AluOps += Alu;
+        return makeError(
+            "kernel '%s': barrier not reached by all items of group (%u,%u)",
+            F.name().c_str(), GroupX, GroupY);
+      }
+      Alive = Stopped;
+      First = false;
+    }
+    Group.AluOps += Alu;
+    return Error::success();
+  }
+
+#undef FOR_ITEMS
+#undef FOR_WF_CHUNKS
+#undef WF_CHUNK_WALK
+#undef BT_FAULT
+
+  //===--- Members -----------------------------------------------------------//
+
+  const bc::Program &Prog;
+  const irns::Function &F;
+  Range2 Global, Local;
+  const std::vector<KernelArg> &Args;
+  std::vector<BufferData *> Buffers;
+  const DeviceConfig &Device;
+  bool Batched;
+
+  /// Raw snapshot of one buffer (data pointer and size in words).
+  struct BufRef {
+    uint32_t *Data = nullptr;
+    size_t Size = 0;
+  };
+
+  unsigned BN = 0;    ///< Items per work group.
+  unsigned NumWf = 1; ///< Wavefronts per work group.
+  std::vector<BufRef> Bufs;
+  std::vector<uint32_t> LxA, LyA, WfA; ///< Per-item geometry.
+
+  std::vector<BcVal> Regs; ///< Scalar tier register file (AoS).
+  std::vector<Val32> BVal; ///< Batched tier value plane (SoA).
+  std::vector<uint32_t> BBase;
+  std::vector<int32_t> BOff;
+
+  std::vector<uint32_t> PrivArena;
+  std::vector<uint32_t> LocalArena;
+  std::vector<ItemState> States;
+  /// Per-item exec instance counters. Scalar layout [item*ops+op];
+  /// batched layout [op*items+item] so one instruction's row is
+  /// contiguous. Only writes maintain the global table (read keys carry
+  /// no exec instance).
+  std::vector<uint32_t> GlobalExec;
+  std::vector<uint32_t> LocalExec;
+
+  FastSet64 Segments; ///< Write-coalescing keys.
+  uint64_t LastWriteKey = 0;
+  bool HaveLastWriteKey = false;
+
+  std::vector<std::vector<uint32_t>> ReadSeen; ///< Per-buffer, per (seg, wf).
+  uint32_t REpoch = 0;
+
+  std::vector<AcctCell> LMax;  ///< Per (exec, op, wf): max bank count.
+  std::vector<AcctCell> LBank; ///< Per (exec, op, wf, bank): access count.
+  uint32_t LEpoch = 0;
+  uint32_t LExecCap = 0;
+
+  bool SegPow2 = false;
+  unsigned SegShiftWords = 0;
+  bool BankPow2 = false;
+  uint32_t BankMask = 0;
+
+  std::vector<Run> MergeTmp;
+  std::vector<std::vector<Run>> RunPool; ///< Retired run lists for reuse.
+  std::vector<uint8_t> CondBuf; ///< JmpCmp per-item comparison results.
+
+  unsigned GroupX = 0, GroupY = 0;
+  Counters Group;
+  std::optional<Error> Err;
+};
+
+} // namespace
+
+Expected<SimReport> sim::launchBytecode(
+    const bc::Program &Prog, const ir::Function &F, Range2 Global,
+    Range2 Local, const std::vector<KernelArg> &Args,
+    const std::vector<BufferData *> &Buffers, const DeviceConfig &Device,
+    bool Batched) {
+  return BcExecutor(Prog, F, Global, Local, Args, Buffers, Device, Batched)
+      .run();
+}
+
+//===--- Tier selection -----------------------------------------------------//
+
+const char *sim::execTierName(ExecTier Tier) {
+  switch (Tier) {
+  case ExecTier::Tree:
+    return "tree";
+  case ExecTier::Bytecode:
+    return "bytecode";
+  case ExecTier::Batched:
+    return "batched";
+  }
+  return "tree";
+}
+
+bool sim::parseExecTier(const std::string &Name, ExecTier &Tier) {
+  if (Name == "tree")
+    Tier = ExecTier::Tree;
+  else if (Name == "bytecode")
+    Tier = ExecTier::Bytecode;
+  else if (Name == "batched")
+    Tier = ExecTier::Batched;
+  else
+    return false;
+  return true;
+}
+
+ExecTier sim::defaultExecTier() {
+  ExecTier Tier = ExecTier::Tree;
+  if (const char *Env = std::getenv("KPERF_EXEC_TIER"))
+    parseExecTier(Env, Tier);
+  return Tier;
+}
+
+Expected<SimReport> sim::launchKernel(const ir::Function &F, Range2 Global,
+                                      Range2 Local,
+                                      const std::vector<KernelArg> &Args,
+                                      const std::vector<BufferData *> &Buffers,
+                                      const DeviceConfig &Device,
+                                      const LaunchOptions &Options) {
+  if (Options.Tier == ExecTier::Tree)
+    return launchKernel(F, Global, Local, Args, Buffers, Device);
+  bool Batched = Options.Tier == ExecTier::Batched;
+  if (Options.Program)
+    return launchBytecode(*Options.Program, F, Global, Local, Args, Buffers,
+                          Device, Batched);
+  Expected<bc::Program> Prog = bc::compile(F);
+  if (!Prog)
+    return Prog.takeError();
+  return launchBytecode(*Prog, F, Global, Local, Args, Buffers, Device,
+                        Batched);
+}

@@ -7,6 +7,7 @@
 #include "gpusim/Interpreter.h"
 
 #include "gpusim/CostModel.h"
+#include "gpusim/ExecCommon.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
@@ -71,7 +72,9 @@ public:
         Buffers(std::move(Buffers)), Device(Device) {}
 
   Expected<SimReport> run() {
-    if (Error E = validateLaunch())
+    // Validation is shared across execution tiers (ExecCommon.h) so a
+    // malformed launch is rejected with the same text on every tier.
+    if (Error E = validateLaunch(F, Global, Local, Args, Buffers))
       return E;
     if (Error E = compile())
       return E;
@@ -79,53 +82,6 @@ public:
   }
 
 private:
-  //===--- Launch validation ----------------------------------------------//
-
-  Error validateLaunch() {
-    if (Local.X == 0 || Local.Y == 0 || Global.X == 0 || Global.Y == 0)
-      return makeError("launch: zero-sized range");
-    if (Global.X % Local.X != 0 || Global.Y % Local.Y != 0)
-      return makeError(
-          "launch: global size (%u,%u) not divisible by local size (%u,%u)",
-          Global.X, Global.Y, Local.X, Local.Y);
-    if (Local.count() > 1024)
-      return makeError("launch: work group of %u items exceeds limit 1024",
-                       Local.count());
-    if (Args.size() != F.numArguments())
-      return makeError("launch: kernel '%s' expects %u arguments, got %zu",
-                       F.name().c_str(), F.numArguments(), Args.size());
-    for (unsigned I = 0; I < F.numArguments(); ++I) {
-      const irns::Argument *A = F.argument(I);
-      const KernelArg &Arg = Args[I];
-      if (A->type().isPointer()) {
-        if (A->type().addressSpace() != irns::AddressSpace::Global)
-          return makeError("launch: argument '%s': only global pointer "
-                           "arguments are supported",
-                           A->name().c_str());
-        if (Arg.K != KernelArg::Kind::Buffer)
-          return makeError("launch: argument '%s' expects a buffer",
-                           A->name().c_str());
-        if (Arg.BufferIndex >= Buffers.size() || !Buffers[Arg.BufferIndex])
-          return makeError("launch: argument '%s': buffer index %u out of "
-                           "range (%zu buffers)",
-                           A->name().c_str(), Arg.BufferIndex,
-                           Buffers.size());
-      } else if (A->type().isInt()) {
-        if (Arg.K != KernelArg::Kind::Int)
-          return makeError("launch: argument '%s' expects an int",
-                           A->name().c_str());
-      } else if (A->type().isFloat()) {
-        if (Arg.K != KernelArg::Kind::Float)
-          return makeError("launch: argument '%s' expects a float",
-                           A->name().c_str());
-      } else {
-        return makeError("launch: argument '%s' has unsupported type",
-                         A->name().c_str());
-      }
-    }
-    return Error::success();
-  }
-
   //===--- Compilation to the flat form ------------------------------------//
 
   Error compile() {

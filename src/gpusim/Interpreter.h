@@ -34,6 +34,10 @@
 namespace kperf {
 namespace sim {
 
+namespace bc {
+struct Program;
+} // namespace bc
+
 /// 2-D sizes used for global and local NDRanges.
 struct Range2 {
   unsigned X = 1;
@@ -94,6 +98,45 @@ Expected<SimReport> launchKernel(const ir::Function &F, Range2 Global,
                                  const std::vector<KernelArg> &Args,
                                  const std::vector<BufferData *> &Buffers,
                                  const DeviceConfig &Device);
+
+/// How a launch executes the kernel. All tiers produce byte-identical
+/// outputs and identical SimReport counters; they differ only in
+/// wall-clock speed (see docs/ARCHITECTURE.md, "Execution tiers").
+enum class ExecTier : uint8_t {
+  Tree,     ///< Tree-walking IR interpreter (reference semantics).
+  Bytecode, ///< Register-allocated bytecode, computed-goto dispatch.
+  Batched,  ///< Bytecode run one instruction across the whole group.
+};
+
+/// Returns the command-line name of \p Tier ("tree", "bytecode",
+/// "batched").
+const char *execTierName(ExecTier Tier);
+
+/// Parses a tier name; returns false and leaves \p Tier untouched on an
+/// unknown name.
+bool parseExecTier(const std::string &Name, ExecTier &Tier);
+
+/// The process-wide default tier: KPERF_EXEC_TIER if set to a valid tier
+/// name, else ExecTier::Tree.
+ExecTier defaultExecTier();
+
+/// Optional launch configuration for the tier-selecting launchKernel
+/// overload.
+struct LaunchOptions {
+  ExecTier Tier = ExecTier::Tree;
+  /// Pre-compiled bytecode of the kernel (e.g. from the rt::Session
+  /// cache). Ignored by the tree tier; when null, the fast tiers compile
+  /// on the fly.
+  const bc::Program *Program = nullptr;
+};
+
+/// As above, executing on the tier selected by \p Options.
+Expected<SimReport> launchKernel(const ir::Function &F, Range2 Global,
+                                 Range2 Local,
+                                 const std::vector<KernelArg> &Args,
+                                 const std::vector<BufferData *> &Buffers,
+                                 const DeviceConfig &Device,
+                                 const LaunchOptions &Options);
 
 } // namespace sim
 } // namespace kperf

@@ -6,6 +6,7 @@
 
 #include "runtime/Session.h"
 
+#include "gpusim/Bytecode.h"
 #include "pcl/Compiler.h"
 #include "support/StringUtils.h"
 
@@ -34,26 +35,6 @@ Variant Variant::secondPass() const {
   V.Local = Local2;
   V.DivX = DivX;
   V.DivY = DivY;
-  return V;
-}
-
-PerforatedKernel::operator Variant() const {
-  Variant V;
-  V.Kind = VariantKind::Perforated;
-  V.K = K;
-  V.Local = sim::Range2{LocalX, LocalY};
-  V.LocalMemWords = LocalMemWords;
-  V.PassStats = PassStats;
-  return V;
-}
-
-ApproxKernel::operator Variant() const {
-  Variant V;
-  V.Kind = VariantKind::OutputApprox;
-  V.K = K;
-  V.DivX = DivX;
-  V.DivY = DivY;
-  V.PassStats = PassStats;
   return V;
 }
 
@@ -99,6 +80,8 @@ SessionStats &SessionStats::operator=(const SessionStats &O) {
   VariantEvictions = O.VariantEvictions.load();
   BufferCreates = O.BufferCreates.load();
   BufferReuses = O.BufferReuses.load();
+  BytecodeCompiles = O.BytecodeCompiles.load();
+  BytecodeCacheHits = O.BytecodeCacheHits.load();
   return *this;
 }
 
@@ -109,15 +92,19 @@ double SessionStats::variantHitRate() const {
 }
 
 std::string SessionStats::str() const {
+  // Appended fields only: the prefix format is pinned by session_test
+  // and the CI stats grep.
   return format("source compiles: %u (cache hits: %u); "
                 "variant compiles: %u; variant cache: %u hits / %u "
                 "lookups (%.1f%% hit rate); evictions: %u; "
-                "buffers: %u created, %u reused",
+                "buffers: %u created, %u reused; "
+                "bytecode compiles: %u (cache hits: %u)",
                 SourceCompiles.load(), SourceCacheHits.load(),
                 VariantCompiles.load(), VariantCacheHits.load(),
                 variantLookups(), 100.0 * variantHitRate(),
                 VariantEvictions.load(), BufferCreates.load(),
-                BufferReuses.load());
+                BufferReuses.load(), BytecodeCompiles.load(),
+                BytecodeCacheHits.load());
 }
 
 //===--- Session -------------------------------------------------------------//
@@ -335,6 +322,8 @@ void Session::evictOneVariant() {
   const Variant &V = It->second.V;
   if (V.K.F) {
     Analyses.invalidate(*V.K.F);
+    dropBytecode(V.K.F);
+    dropBytecode(V.K2.F);
     if (std::unique_ptr<ir::Function> Owned = M->takeFunction(V.K.F))
       Graveyard.push_back(std::move(Owned));
   }
@@ -397,9 +386,30 @@ Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
     }
   }
   // Snapshot stable buffer addresses, then run without any session lock:
-  // concurrent workers each drive their own interpreter instance.
+  // concurrent workers each drive their own interpreter instance. The
+  // bytecode tiers additionally pin the program with a shared_ptr copy so
+  // a concurrent invalidation cannot free it mid-launch.
+  sim::LaunchOptions Options;
+  Options.Tier = Tier.load();
+  std::shared_ptr<const sim::bc::Program> Pinned;
+  if (Options.Tier != sim::ExecTier::Tree) {
+    Expected<std::shared_ptr<const sim::bc::Program>> Prog =
+        bytecodeFor(*K.F);
+    if (!Prog) {
+      if (EvictionOccurred.load()) {
+        std::lock_guard<std::mutex> Lock(CompileMutex);
+        if (--InFlightLaunches == 0)
+          Graveyard.clear();
+      } else {
+        --InFlightLaunches;
+      }
+      return Prog.takeError();
+    }
+    Pinned = std::move(*Prog);
+    Options.Program = Pinned.get();
+  }
   Expected<sim::SimReport> Report = sim::launchKernel(
-      *K.F, Global, Local, Args, snapshotBufferBank(), Device);
+      *K.F, Global, Local, Args, snapshotBufferBank(), Device, Options);
   if (EvictionOccurred.load()) {
     std::lock_guard<std::mutex> Lock(CompileMutex);
     if (--InFlightLaunches == 0)
@@ -408,6 +418,34 @@ Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
     --InFlightLaunches;
   }
   return Report;
+}
+
+Expected<std::shared_ptr<const sim::bc::Program>>
+Session::bytecodeFor(const ir::Function &F) {
+  // Held across the compile: concurrent launches of one kernel compile
+  // its bytecode exactly once. Never nests inside CompileMutex from here
+  // (lock order where both are needed is CompileMutex -> BytecodeMutex).
+  std::lock_guard<std::mutex> Lock(BytecodeMutex);
+  auto It = BytecodePrograms.find(&F);
+  if (It != BytecodePrograms.end()) {
+    ++Stats.BytecodeCacheHits;
+    return It->second;
+  }
+  ++Stats.BytecodeCompiles;
+  Expected<sim::bc::Program> Prog = sim::bc::compile(F);
+  if (!Prog)
+    return Prog.takeError();
+  auto Shared =
+      std::make_shared<const sim::bc::Program>(Prog.takeValue());
+  BytecodePrograms.emplace(&F, Shared);
+  return Shared;
+}
+
+void Session::dropBytecode(const ir::Function *F) {
+  if (!F)
+    return;
+  std::lock_guard<std::mutex> Lock(BytecodeMutex);
+  BytecodePrograms.erase(F);
 }
 
 bool Session::isEvictedError(const Error &E) {
@@ -434,22 +472,16 @@ Session::launch(const Variant &V, sim::Range2 FullGlobal,
   return launch(V.K, Global, V.Local, Args);
 }
 
-Expected<sim::SimReport>
-Session::launchApprox(const ApproxKernel &K, sim::Range2 FullGlobal,
-                      sim::Range2 Local,
-                      const std::vector<sim::KernelArg> &Args) {
-  Variant V = K;
-  V.Local = Local;
-  return launch(V, FullGlobal, Args);
-}
-
 void Session::invalidate(const Kernel &K) {
   assert(K.F && "invalidate of null kernel");
   std::lock_guard<std::mutex> Lock(CompileMutex);
   ++Stats.Invalidations;
   Analyses.invalidate(*K.F);
+  dropBytecode(K.F);
   for (auto It = Variants.begin(); It != Variants.end();) {
     if (It->second.Source == K.F) {
+      dropBytecode(It->second.V.K.F);
+      dropBytecode(It->second.V.K2.F);
       Lru.erase(It->second.LruIt);
       It = Variants.erase(It);
     } else {

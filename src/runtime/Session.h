@@ -39,10 +39,6 @@
 ///                           rt::arg::i32(W), rt::arg::i32(H)});
 /// \endcode
 ///
-/// rt::Context is a deprecated alias of Session kept for the pre-Session
-/// API; the PerforatedKernel/ApproxKernel handles it returned survive as
-/// thin views of a Variant.
-///
 /// Concurrency: a Session may be shared by worker threads (the parallel
 /// tuner's model: one simulator run per thread over shared read-only
 /// variants). compile()/perforate()/approximateOutput() serialize on an
@@ -92,8 +88,8 @@ enum class VariantKind : uint8_t {
   OutputApprox, ///< Paraprox-style output approximation (related work).
 };
 
-/// A kernel variant ready to launch: the unified handle subsuming the
-/// historical PerforatedKernel / ApproxKernel / apps' BuiltKernel trio.
+/// A kernel variant ready to launch: one handle covers accurate,
+/// perforated, and output-approximated kernels.
 struct Variant {
   VariantKind Kind = VariantKind::Accurate;
   Kernel K;
@@ -154,6 +150,8 @@ struct SessionStats {
   std::atomic<unsigned> VariantEvictions{0};  ///< LRU cache evictions.
   std::atomic<unsigned> BufferCreates{0};     ///< Fresh buffer slots.
   std::atomic<unsigned> BufferReuses{0};      ///< Free-list checkouts.
+  std::atomic<unsigned> BytecodeCompiles{0};  ///< IR-to-bytecode runs.
+  std::atomic<unsigned> BytecodeCacheHits{0}; ///< Bytecode cache hits.
 
   SessionStats() = default;
   SessionStats(const SessionStats &O) { *this = O; }
@@ -180,36 +178,6 @@ inline sim::KernelArg buffer(unsigned Index) {
   return sim::KernelArg::makeBuffer(Index);
 }
 } // namespace arg
-
-//===--- Deprecated pre-Session handles -------------------------------------//
-
-/// Deprecated: view of a perforated Variant for pre-Session call sites.
-struct PerforatedKernel {
-  Kernel K;
-  unsigned LocalX = 0;
-  unsigned LocalY = 0;
-  unsigned LocalMemWords = 0;
-  ir::PipelineStats PassStats;
-
-  PerforatedKernel() = default;
-  PerforatedKernel(const Variant &V)
-      : K(V.K), LocalX(V.Local.X), LocalY(V.Local.Y),
-        LocalMemWords(V.LocalMemWords), PassStats(V.PassStats) {}
-  operator Variant() const;
-};
-
-/// Deprecated: view of an output-approximated Variant.
-struct ApproxKernel {
-  Kernel K;
-  unsigned DivX = 1;
-  unsigned DivY = 1;
-  ir::PipelineStats PassStats;
-
-  ApproxKernel() = default;
-  ApproxKernel(const Variant &V)
-      : K(V.K), DivX(V.DivX), DivY(V.DivY), PassStats(V.PassStats) {}
-  operator Variant() const;
-};
 
 /// Owns the IR module, device configuration, buffers, cached analyses,
 /// and compiled-variant cache of one simulated device session.
@@ -291,6 +259,16 @@ public:
 
   //===--- Launching --------------------------------------------------------//
 
+  /// Selects the execution tier of subsequent launches (default: the
+  /// process-wide sim::defaultExecTier(), i.e. KPERF_EXEC_TIER or the
+  /// tree walker). The bytecode tiers compile each kernel to bytecode
+  /// once per Session and cache the program alongside the variant cache;
+  /// all tiers produce byte-identical outputs and identical SimReport
+  /// counters. Thread-safe; takes effect for launches that start after
+  /// the call.
+  void setExecTier(sim::ExecTier Tier) { this->Tier.store(Tier); }
+  sim::ExecTier execTier() const { return Tier.load(); }
+
   /// Unified launch: covers \p FullGlobal items with \p V's kernel at its
   /// required local shape, applying the NDRange shrink of
   /// output-approximated variants (rounded up to a multiple of the local
@@ -304,13 +282,6 @@ public:
   Expected<sim::SimReport> launch(const Kernel &K, sim::Range2 Global,
                                   sim::Range2 Local,
                                   const std::vector<sim::KernelArg> &Args);
-
-  /// Deprecated: pre-Session launch helper for ApproxKernel handles;
-  /// shrinks the global range by the kernel's divisors, rounding up to a
-  /// multiple of \p Local.
-  Expected<sim::SimReport> launchApprox(
-      const ApproxKernel &K, sim::Range2 FullGlobal, sim::Range2 Local,
-      const std::vector<sim::KernelArg> &Args);
 
   //===--- Introspection ----------------------------------------------------//
 
@@ -363,6 +334,17 @@ private:
   /// Evicts the least-recently-used variant. CompileMutex held.
   void evictOneVariant();
 
+  /// Returns the cached bytecode program of \p F, compiling it on first
+  /// request. Takes only BytecodeMutex (never CompileMutex); held across
+  /// the compile so concurrent requests for one kernel compile it exactly
+  /// once.
+  Expected<std::shared_ptr<const sim::bc::Program>>
+  bytecodeFor(const ir::Function &F);
+
+  /// Drops the cached bytecode of \p F (kernel mutated or evicted).
+  /// BytecodeMutex must NOT be held.
+  void dropBytecode(const ir::Function *F);
+
   sim::DeviceConfig Device;
   std::unique_ptr<ir::Module> M;
   ir::AnalysisManager Analyses;
@@ -407,11 +389,17 @@ private:
   /// Source cache: (pipeline options key + source text) -> compiled
   /// kernels in declaration order.
   std::map<std::string, std::vector<ir::Function *>> Sources;
-};
 
-/// Deprecated alias: the pre-Session name of this class. New code should
-/// spell it rt::Session.
-using Context = Session;
+  /// Execution tier of launches through this session.
+  std::atomic<sim::ExecTier> Tier{sim::defaultExecTier()};
+  /// Guards BytecodePrograms. Acquired after CompileMutex where both are
+  /// needed (invalidation paths); launches take it alone, briefly, and
+  /// run on a shared_ptr copy so eviction never frees a program under a
+  /// running launch.
+  mutable std::mutex BytecodeMutex;
+  std::map<const ir::Function *, std::shared_ptr<const sim::bc::Program>>
+      BytecodePrograms;
+};
 
 } // namespace rt
 } // namespace kperf

@@ -72,10 +72,8 @@ public:
   }
 
   /// Converts from Expected<U> when the class type U converts to the
-  /// class type T, preserving the error on failure (e.g.
-  /// Expected<rt::Variant> to an Expected of the deprecated
-  /// rt::PerforatedKernel view during the Session migration). Restricted
-  /// to class types so no silent arithmetic narrowing
+  /// class type T, preserving the error on failure. Restricted to class
+  /// types so no silent arithmetic narrowing
   /// (Expected<double> -> Expected<unsigned>) sneaks in.
   template <typename U,
             typename = std::enable_if_t<!std::is_same_v<T, U> &&

@@ -195,8 +195,8 @@ TEST(AppsTest, HotspotWorkloadShape) {
 TEST(AppsTest, HotspotRunMatchesIterationCount) {
   auto App = makeApp("hotspot");
   Workload W = makeHotspotWorkload(32, 2, 3);
-  rt::Context Ctx;
-  BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+  rt::Session Ctx;
+  rt::Variant BK = cantFail(App->buildPlain(Ctx, {16, 16}));
   RunOutcome R = cantFail(App->run(Ctx, BK, W));
   // Three launches of 32x32 items.
   EXPECT_EQ(R.Report.Totals.WorkItems, 3u * 32 * 32);
@@ -318,8 +318,8 @@ TEST(ExtensionAppsTest, PlainVariantsMatchReferences) {
     ASSERT_NE(App, nullptr);
     Workload W =
         makeImageWorkload(generateImage(ImageClass::Natural, 32, 32, 11));
-    rt::Context Ctx;
-    BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(App->buildPlain(Ctx, {16, 16}));
     RunOutcome R = cantFail(App->run(Ctx, BK, W));
     std::vector<float> Ref = App->reference(W);
     ASSERT_EQ(R.Output.size(), Ref.size());
@@ -330,17 +330,17 @@ TEST(ExtensionAppsTest, PlainVariantsMatchReferences) {
 
 TEST(ExtensionAppsTest, ConvSepIsTwoPass) {
   auto App = makeApp("convsep");
-  rt::Context Ctx;
-  BuiltKernel Plain = cantFail(App->buildPlain(Ctx, {16, 16}));
+  rt::Session Ctx;
+  rt::Variant Plain = cantFail(App->buildPlain(Ctx, {16, 16}));
   EXPECT_TRUE(Plain.isTwoPass());
-  BuiltKernel Perf = cantFail(App->buildPerforated(
+  rt::Variant Perf = cantFail(App->buildPerforated(
       Ctx, perf::PerforationScheme::rows(2,
                                          perf::ReconstructionKind::Linear),
       {16, 16}));
   EXPECT_TRUE(Perf.isTwoPass());
   // Single-pass apps never set a second kernel.
   auto Gauss = makeApp("gaussian");
-  BuiltKernel G = cantFail(Gauss->buildPlain(Ctx, {16, 16}));
+  rt::Variant G = cantFail(Gauss->buildPlain(Ctx, {16, 16}));
   EXPECT_FALSE(G.isTwoPass());
 }
 
@@ -348,8 +348,8 @@ TEST(ExtensionAppsTest, ConvSepWorkItemsCoverBothPasses) {
   auto App = makeApp("convsep");
   Workload W =
       makeImageWorkload(generateImage(ImageClass::Flat, 32, 32, 3));
-  rt::Context Ctx;
-  BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+  rt::Session Ctx;
+  rt::Variant BK = cantFail(App->buildPlain(Ctx, {16, 16}));
   RunOutcome R = cantFail(App->run(Ctx, BK, W));
   EXPECT_EQ(R.Report.Totals.WorkItems, 2u * 32 * 32);
 }
@@ -360,8 +360,8 @@ TEST(ExtensionAppsTest, ConvSepStencilSchemeBuilds) {
   auto App = makeApp("convsep");
   Workload W =
       makeImageWorkload(generateImage(ImageClass::Natural, 32, 32, 13));
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session Ctx;
+  Expected<rt::Variant> BK =
       App->buildPerforated(Ctx, perf::PerforationScheme::stencil(),
                            {16, 16});
   ASSERT_TRUE(static_cast<bool>(BK)) << BK.error().message();
@@ -374,8 +374,8 @@ TEST(ExtensionAppsTest, ConvSepOutputApproxShrinksSecondPassOnly) {
   auto App = makeApp("convsep");
   Workload W =
       makeImageWorkload(generateImage(ImageClass::Natural, 32, 32, 17));
-  rt::Context Ctx;
-  BuiltKernel BK = cantFail(App->buildOutputApprox(
+  rt::Session Ctx;
+  rt::Variant BK = cantFail(App->buildOutputApprox(
       Ctx, perf::OutputSchemeKind::Rows, 2, {16, 16}));
   EXPECT_TRUE(BK.isTwoPass());
   RunOutcome R = cantFail(App->run(Ctx, BK, W));
@@ -395,8 +395,8 @@ TEST(ExtensionAppsTest, PerforatedVariantsStayAccurateEnough) {
     auto App = makeApp(Name);
     Workload W =
         makeImageWorkload(generateImage(ImageClass::Natural, 64, 64, 5));
-    rt::Context Ctx;
-    BuiltKernel BK = cantFail(App->buildPerforated(
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(App->buildPerforated(
         Ctx,
         perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
         {16, 16}));

@@ -337,8 +337,8 @@ TEST(PipelineTest, PreservesKernelSemantics) {
       img::generateImage(img::ImageClass::Natural, 32, 32, 21));
   std::vector<float> Ref = TheApp->reference(Wl);
 
-  rt::Context Ctx;
-  apps::BuiltKernel BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
+  rt::Session Ctx;
+  rt::Variant BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
   size_t Before = instructionCount(*BK.K.F);
   PipelineStats S = runDefaultPipeline(*BK.K.F, Ctx.module());
   EXPECT_FALSE(verifyFunction(*BK.K.F));
@@ -356,8 +356,8 @@ TEST(PipelineTest, ShrinksPerforatedKernels) {
   // where CSE pays off: the pipeline (already run inside perforate())
   // must leave no further opportunity, i.e. running it again is a no-op.
   auto TheApp = apps::makeApp("sobel3");
-  rt::Context Ctx;
-  apps::BuiltKernel BK = cantFail(TheApp->buildPerforated(
+  rt::Session Ctx;
+  rt::Variant BK = cantFail(TheApp->buildPerforated(
       Ctx,
       perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear),
       {16, 16}));

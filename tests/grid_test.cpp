@@ -25,8 +25,8 @@ namespace {
 
 Expected<RunOutcome> runGrid(const App &TheApp, const Workload &W,
                              unsigned Period, ReconstructionKind R) {
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK = TheApp.buildPerforated(
+  rt::Session Ctx;
+  Expected<rt::Variant> BK = TheApp.buildPerforated(
       Ctx, PerforationScheme::grid(Period, R), {16, 16});
   if (!BK)
     return BK.takeError();
@@ -75,11 +75,11 @@ TEST(GridTest, ReadsFewerTransactionsThanRows) {
   auto TheApp = makeApp("gaussian");
   Workload W = makeImageWorkload(
       img::generateImage(img::ImageClass::Smooth, 128, 128, 4));
-  rt::Context C1, C2;
-  BuiltKernel Rows = cantFail(TheApp->buildPerforated(
+  rt::Session C1, C2;
+  rt::Variant Rows = cantFail(TheApp->buildPerforated(
       C1, PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
       {16, 16}));
-  BuiltKernel Grid = cantFail(TheApp->buildPerforated(
+  rt::Variant Grid = cantFail(TheApp->buildPerforated(
       C2, PerforationScheme::grid(2, ReconstructionKind::NearestNeighbor),
       {16, 16}));
   uint64_t RowsReads = cantFail(TheApp->run(C1, Rows, W))
@@ -96,8 +96,8 @@ TEST(GridTest, MoreAggressiveMeansMoreError) {
       img::generateImage(img::ImageClass::Natural, 64, 64, 21));
   std::vector<float> Ref = TheApp->reference(W);
   RunOutcome Rows = cantFail([&] {
-    rt::Context Ctx;
-    BuiltKernel BK = cantFail(TheApp->buildPerforated(
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(TheApp->buildPerforated(
         Ctx,
         PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
         {16, 16}));
@@ -162,12 +162,12 @@ TEST(GridTest, WorksOnAllApps) {
 }
 
 TEST(GridTest, PeriodOneRejected) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   auto TheApp = makeApp("gaussian");
   PerforationScheme S;
   S.Kind = SchemeKind::Grid;
   S.Period = 1;
-  Expected<BuiltKernel> BK = TheApp->buildPerforated(Ctx, S, {16, 16});
+  Expected<rt::Variant> BK = TheApp->buildPerforated(Ctx, S, {16, 16});
   EXPECT_FALSE(static_cast<bool>(BK));
 }
 

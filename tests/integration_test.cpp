@@ -28,9 +28,9 @@ Workload smoothWorkload(unsigned Size = 64) {
 TEST(Integration, GaussianPlainMatchesReference) {
   auto App = makeApp("gaussian");
   ASSERT_TRUE(App);
-  rt::Context Ctx;
+  rt::Session Ctx;
   Workload W = smoothWorkload();
-  BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+  rt::Variant BK = cantFail(App->buildPlain(Ctx, {16, 16}));
   RunOutcome R = cantFail(App->run(Ctx, BK, W));
   std::vector<float> Ref = App->reference(W);
   ASSERT_EQ(R.Output.size(), Ref.size());
@@ -40,9 +40,9 @@ TEST(Integration, GaussianPlainMatchesReference) {
 
 TEST(Integration, GaussianBaselineLocalPrefetchIsExact) {
   auto App = makeApp("gaussian");
-  rt::Context Ctx;
+  rt::Session Ctx;
   Workload W = smoothWorkload();
-  BuiltKernel BK = cantFail(App->buildBaseline(Ctx, {16, 16}));
+  rt::Variant BK = cantFail(App->buildBaseline(Ctx, {16, 16}));
   RunOutcome R = cantFail(App->run(Ctx, BK, W));
   std::vector<float> Ref = App->reference(W);
   for (size_t I = 0; I < Ref.size(); ++I)
@@ -51,9 +51,9 @@ TEST(Integration, GaussianBaselineLocalPrefetchIsExact) {
 
 TEST(Integration, GaussianRows1HasSmallError) {
   auto App = makeApp("gaussian");
-  rt::Context Ctx;
+  rt::Session Ctx;
   Workload W = smoothWorkload();
-  BuiltKernel BK = cantFail(App->buildPerforated(
+  rt::Variant BK = cantFail(App->buildPerforated(
       Ctx,
       perf::PerforationScheme::rows(2,
                                     perf::ReconstructionKind::NearestNeighbor),
@@ -66,10 +66,10 @@ TEST(Integration, GaussianRows1HasSmallError) {
 
 TEST(Integration, GaussianPerforationIsFasterThanBaseline) {
   auto App = makeApp("gaussian");
-  rt::Context Ctx;
+  rt::Session Ctx;
   Workload W = smoothWorkload(128);
-  BuiltKernel Base = cantFail(App->buildBaseline(Ctx, {16, 16}));
-  BuiltKernel Perf = cantFail(App->buildPerforated(
+  rt::Variant Base = cantFail(App->buildBaseline(Ctx, {16, 16}));
+  rt::Variant Perf = cantFail(App->buildPerforated(
       Ctx,
       perf::PerforationScheme::rows(2,
                                     perf::ReconstructionKind::NearestNeighbor),
@@ -83,11 +83,11 @@ TEST(Integration, GaussianPerforationIsFasterThanBaseline) {
 
 TEST(Integration, AllAppsPlainMatchReference) {
   for (const auto &App : makeAllApps()) {
-    rt::Context Ctx;
+    rt::Session Ctx;
     Workload W = App->name() == "hotspot"
                      ? makeHotspotWorkload(64, 7, /*Iterations=*/2)
                      : smoothWorkload();
-    BuiltKernel BK = cantFail(App->buildPlain(Ctx, {16, 16}));
+    rt::Variant BK = cantFail(App->buildPlain(Ctx, {16, 16}));
     RunOutcome R = cantFail(App->run(Ctx, BK, W));
     std::vector<float> Ref = App->reference(W);
     ASSERT_EQ(R.Output.size(), Ref.size()) << App->name();
@@ -101,11 +101,11 @@ TEST(Integration, AllAppsPlainMatchReference) {
 
 TEST(Integration, AllAppsRows1RunsAndErrorsAreModerate) {
   for (const auto &App : makeAllApps()) {
-    rt::Context Ctx;
+    rt::Session Ctx;
     Workload W = App->name() == "hotspot"
                      ? makeHotspotWorkload(64, 7, /*Iterations=*/2)
                      : smoothWorkload();
-    BuiltKernel BK = cantFail(App->buildPerforated(
+    rt::Variant BK = cantFail(App->buildPerforated(
         Ctx,
         perf::PerforationScheme::rows(
             2, perf::ReconstructionKind::NearestNeighbor),
@@ -118,9 +118,9 @@ TEST(Integration, AllAppsRows1RunsAndErrorsAreModerate) {
 
 TEST(Integration, OutputApproxRowsRuns) {
   auto App = makeApp("gaussian");
-  rt::Context Ctx;
+  rt::Session Ctx;
   Workload W = smoothWorkload();
-  BuiltKernel BK = cantFail(App->buildOutputApprox(
+  rt::Variant BK = cantFail(App->buildOutputApprox(
       Ctx, perf::OutputSchemeKind::Rows, /*ApproxPerComputed=*/2, {16, 16}));
   RunOutcome R = cantFail(App->run(Ctx, BK, W));
   double Err = App->score(App->reference(W), R.Output);

@@ -49,8 +49,8 @@ double perforatedError(const char *AppName, const Image &In,
                        PerforationScheme Scheme) {
   auto TheApp = makeApp(AppName);
   Workload W = makeImageWorkload(In);
-  rt::Context Ctx;
-  BuiltKernel BK = cantFail(TheApp->buildPerforated(Ctx, Scheme, {16, 16}));
+  rt::Session Ctx;
+  rt::Variant BK = cantFail(TheApp->buildPerforated(Ctx, Scheme, {16, 16}));
   RunOutcome R = cantFail(TheApp->run(Ctx, BK, W));
   return TheApp->score(TheApp->reference(W), R.Output);
 }
@@ -152,8 +152,8 @@ TEST_P(AppSweep, ReadsMonotoneInPeriod) {
       generateImage(ImageClass::Natural, 64, 64, 37));
   uint64_t Prev = ~uint64_t(0);
   for (unsigned Period : {2u, 4u, 8u}) {
-    rt::Context Ctx;
-    BuiltKernel BK = cantFail(TheApp->buildPerforated(
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(TheApp->buildPerforated(
         Ctx,
         PerforationScheme::rows(Period,
                                 ReconstructionKind::NearestNeighbor),
@@ -178,8 +178,8 @@ TEST_P(AppSweep, RuntimeIndependentOfContent) {
   for (ImageClass C :
        {ImageClass::Flat, ImageClass::Natural, ImageClass::Pattern}) {
     Workload W = makeImageWorkload(generateImage(C, 64, 64, 41));
-    rt::Context Ctx;
-    BuiltKernel BK = cantFail(TheApp->buildPerforated(Ctx, S, {16, 16}));
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(TheApp->buildPerforated(Ctx, S, {16, 16}));
     sim::SimReport R = cantFail(TheApp->run(Ctx, BK, W)).Report;
     Times[I] = R.TimeMs;
     Reads[I] = R.Totals.GlobalReadTransactions;
@@ -198,8 +198,8 @@ TEST_P(AppSweep, ExecutionIsDeterministic) {
   std::vector<float> First;
   double FirstTime = 0;
   for (int Round = 0; Round < 2; ++Round) {
-    rt::Context Ctx;
-    BuiltKernel BK = cantFail(TheApp->buildPerforated(
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(TheApp->buildPerforated(
         Ctx,
         PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
         {16, 16}));

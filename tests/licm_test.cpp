@@ -11,7 +11,7 @@
 #include "ir/LICM.h"
 #include "ir/Verifier.h"
 #include "pcl/Compiler.h"
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -29,7 +29,7 @@ BasicBlock *blockNamed(Function &F, const std::string &Name) {
 }
 
 /// Compiles \p Source and returns the single kernel.
-Function *compileKernel(rt::Context &Ctx, const char *Source) {
+Function *compileKernel(rt::Session &Ctx, const char *Source) {
   Expected<std::vector<Function *>> Fns =
       pcl::compile(Ctx.module(), Source);
   EXPECT_TRUE(static_cast<bool>(Fns)) << Fns.error().message();
@@ -170,7 +170,7 @@ kernel void k(global const float* in, global float* out, int w, int h) {
 )";
 
 TEST(LicmTest, HoistsInvariantLoadsOutOfLoop) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   // Before: the loop body loads y/h/w/x afresh each iteration.
   BasicBlock *Body = blockNamed(*F, "for.body0");
@@ -190,7 +190,7 @@ TEST(LicmTest, HoistsInvariantLoadsOutOfLoop) {
 }
 
 TEST(LicmTest, DoesNotHoistLoopCarriedLoads) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   hoistLoopInvariants(*F);
   // The induction variable's load must stay inside the loop: its alloca
@@ -225,7 +225,7 @@ kernel void k(global const float* in, global float* out, int w, int h) {
   out[y * w + x] = acc;
 }
 )";
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, InvariantGlobalLoad);
   hoistLoopInvariants(*F);
   BasicBlock *Body = blockNamed(*F, "for.body0");
@@ -253,7 +253,7 @@ kernel void k(global const float* in, global float* out, int w, int h) {
   out[y * w + x] = q;
 }
 )";
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, DivKernel);
   hoistLoopInvariants(*F);
   Error E = verifyFunction(*F);
@@ -273,8 +273,8 @@ TEST(LicmTest, SemanticsPreservedOnAllApps) {
     apps::Workload W = apps::makeImageWorkload(
         img::generateImage(img::ImageClass::Natural, 32, 32, 29));
     std::vector<float> Ref = TheApp->reference(W);
-    rt::Context Ctx;
-    apps::BuiltKernel BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
     unsigned Hoisted = hoistLoopInvariants(*BK.K.F);
     if (BK.isTwoPass())
       Hoisted += hoistLoopInvariants(*BK.K2.F);
@@ -293,8 +293,8 @@ TEST(LicmTest, ReducesDynamicAluWork) {
   apps::Workload W = apps::makeImageWorkload(
       img::generateImage(img::ImageClass::Natural, 64, 64, 31));
   auto AluPerItem = [&](bool Licm) {
-    rt::Context Ctx;
-    apps::BuiltKernel BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
     if (Licm)
       hoistLoopInvariants(*BK.K.F);
     sim::SimReport R = cantFail(TheApp->run(Ctx, BK, W)).Report;
@@ -376,7 +376,7 @@ TEST(LicmTest, SkipsConditionalPreheader) {
 }
 
 TEST(LicmTest, IdempotentAfterFixpoint) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   unsigned First = hoistLoopInvariants(*F);
   EXPECT_GT(First, 0u);

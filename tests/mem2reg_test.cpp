@@ -22,7 +22,7 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "pcl/Compiler.h"
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -34,7 +34,7 @@ using namespace kperf::ir;
 namespace {
 
 /// Compiles \p Source and returns its single kernel.
-Function *compileKernel(rt::Context &Ctx, const char *Source) {
+Function *compileKernel(rt::Session &Ctx, const char *Source) {
   Expected<std::vector<Function *>> Fns =
       pcl::compile(Ctx.module(), Source);
   EXPECT_TRUE(static_cast<bool>(Fns)) << (Fns ? "" : Fns.error().message());
@@ -73,7 +73,7 @@ PipelineStats promote(Function &F, Module &M) {
 //===----------------------------------------------------------------------===//
 
 TEST(Mem2RegTest, StraightLinePromotionLeavesNoAllocasOrPhis) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   int x = get_global_id(0);
@@ -96,7 +96,7 @@ kernel void k(global const float* in, global float* out, int w) {
 }
 
 TEST(Mem2RegTest, IfElsePlacesPhiAtTheJoin) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   int x = get_global_id(0);
@@ -126,7 +126,7 @@ kernel void k(global const float* in, global float* out, int w) {
 }
 
 TEST(Mem2RegTest, LoopCarriedVariableBecomesHeaderPhi) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   int x = get_global_id(0);
@@ -156,7 +156,7 @@ kernel void k(global const float* in, global float* out, int w) {
 }
 
 TEST(Mem2RegTest, PromotionIsIdempotent) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   float acc = 0.0;
@@ -175,7 +175,7 @@ kernel void k(global const float* in, global float* out, int w) {
 //===----------------------------------------------------------------------===//
 
 TEST(Mem2RegTest, ArrayAllocaIndexedThroughGepStays) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   float window[3];
@@ -218,7 +218,7 @@ TEST(Mem2RegTest, LocalAllocaStays) {
 }
 
 TEST(Mem2RegTest, BarrierBetweenStoreAndLoadBlocksPromotion) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   int x = get_global_id(0);
@@ -240,7 +240,7 @@ kernel void k(global const float* in, global float* out, int w) {
 }
 
 TEST(Mem2RegTest, UsesEntirelyOnOneSideOfABarrierStillPromote) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   barrier();
@@ -258,7 +258,7 @@ kernel void k(global const float* in, global float* out, int w) {
 }
 
 TEST(Mem2RegTest, LoopCarriedValueAcrossInLoopBarrierBlocksPromotion) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   float acc = 0.0;
@@ -384,7 +384,7 @@ TEST(Mem2RegPhiIRTest, VerifierRejectsMissingAndMisplacedPhis) {
 TEST(Mem2RegPhiIRTest, CloneRemapsPhiOperandsAcrossBackEdges) {
   // Loop-carried phi: the incoming on the latch edge is defined *after*
   // the phi's block in layout order, exercising the clone fixup pass.
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, R"(
 kernel void k(global const float* in, global float* out, int w) {
   float acc = 0.0;
@@ -425,7 +425,7 @@ struct RunResult {
   sim::SimReport Report;
 };
 
-RunResult launch(rt::Context &Ctx, Function *F,
+RunResult launch(rt::Session &Ctx, Function *F,
                  const std::vector<float> &Input, unsigned W, unsigned H) {
   unsigned In = Ctx.createBufferFrom(Input);
   unsigned Out = Ctx.createBuffer(Input.size());
@@ -462,12 +462,12 @@ kernel void k(global const float* in, global float* out, int w, int h) {
   for (unsigned I = 0; I < W * H; ++I)
     Input[I] = 0.25f * static_cast<float>(I % 31) + 1.0f;
 
-  rt::Context Plain;
+  rt::Session Plain;
   Function *FPlain = compileKernel(Plain, Source);
   ASSERT_NE(FPlain, nullptr);
   RunResult Before = launch(Plain, FPlain, Input, W, H);
 
-  rt::Context Optimized;
+  rt::Session Optimized;
   Function *FOpt = compileKernel(Optimized, Source);
   ASSERT_NE(FOpt, nullptr);
   promote(*FOpt, Optimized.module());
@@ -511,7 +511,7 @@ kernel void k(global const float* in, global float* out, int w, int h) {
   for (unsigned I = 0; I < W * H; ++I)
     Input[I] = static_cast<float>((I * 7) % 23);
 
-  rt::Context Ctx;
+  rt::Session Ctx;
   rt::Kernel K = cantFail(Ctx.compile(Source, "k"));
   perf::PerforationPlan Plan;
   Plan.Scheme =
@@ -519,7 +519,7 @@ kernel void k(global const float* in, global float* out, int w, int h) {
   Plan.TileX = 4;
   Plan.TileY = 4;
   Plan.VerifyEach = true; // Verify after every cleanup pass.
-  rt::PerforatedKernel P = cantFail(Ctx.perforate(K, Plan));
+  rt::Variant P = cantFail(Ctx.perforate(K, Plan));
   EXPECT_GT(P.PassStats.promoted(), 0u);
 
   unsigned In = Ctx.createBufferFrom(Input);
@@ -530,7 +530,7 @@ kernel void k(global const float* in, global float* out, int w, int h) {
       rt::arg::i32(static_cast<int32_t>(H))};
   cantFail(Ctx.launch(K, {W, H}, {4, 4}, Args));
   std::vector<float> Accurate = Ctx.buffer(Out).downloadFloats();
-  cantFail(Ctx.launch(P.K, {W, H}, {P.LocalX, P.LocalY}, Args));
+  cantFail(Ctx.launch(P, {W, H}, Args));
   std::vector<float> Approx = Ctx.buffer(Out).downloadFloats();
 
   // Perforation is lossy by design; linear reconstruction over a

@@ -230,8 +230,8 @@ TEST(MemOptEffectTest, ReducesPrivateTrafficWithoutChangingResults) {
   std::vector<float> Ref = TheApp->reference(Wl);
 
   auto PrivatePerItem = [&](bool Enable) {
-    rt::Context Ctx;
-    apps::BuiltKernel BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(TheApp->buildPlain(Ctx, {16, 16}));
     if (Enable) {
       forwardStores(*BK.K.F);
       eliminateDeadCode(*BK.K.F);

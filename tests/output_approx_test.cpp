@@ -21,8 +21,8 @@ namespace {
 
 Expected<RunOutcome> runApprox(const App &TheApp, const Workload &W,
                                OutputSchemeKind Kind, unsigned N) {
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session Ctx;
+  Expected<rt::Variant> BK =
       TheApp.buildOutputApprox(Ctx, Kind, N, {16, 16});
   if (!BK)
     return BK.takeError();
@@ -52,8 +52,8 @@ TEST(OutputApproxTest, EveryOutputWritten) {
   for (unsigned Y = 0; Y < 48; ++Y)
     for (unsigned X = 0; X < 48; ++X)
       In.set(X, Y, 0.2f + 0.01f * static_cast<float>((X * 7 + Y) % 31));
-  rt::Context Ctx;
-  BuiltKernel BK = cantFail(
+  rt::Session Ctx;
+  rt::Variant BK = cantFail(
       TheApp->buildOutputApprox(Ctx, OutputSchemeKind::Rows, 2, {16, 16}));
   RunOutcome R = cantFail(TheApp->run(Ctx, BK, makeImageWorkload(In)));
   for (size_t I = 0; I < R.Output.size(); ++I)
@@ -137,9 +137,9 @@ TEST(OutputApproxTest, NonDivisibleSizeStillCoversImage) {
   for (unsigned Y = 0; Y < 52; ++Y)
     for (unsigned X = 0; X < 52; ++X)
       In.set(X, Y, 0.2f + 0.01f * static_cast<float>((X + Y) % 13));
-  rt::Context Ctx;
+  rt::Session Ctx;
   // Local 4x4 keeps the padded launch small.
-  BuiltKernel BK = cantFail(
+  rt::Variant BK = cantFail(
       TheApp->buildOutputApprox(Ctx, OutputSchemeKind::Rows, 2, {4, 4}));
   RunOutcome R = cantFail(TheApp->run(Ctx, BK, makeImageWorkload(In)));
   for (size_t I = 0; I < R.Output.size(); ++I)
@@ -150,10 +150,10 @@ TEST(OutputApproxTest, ReducedNDRangeReducesWork) {
   auto TheApp = makeApp("gaussian");
   Workload W = makeImageWorkload(
       img::generateImage(img::ImageClass::Smooth, 96, 96, 2));
-  rt::Context C1, C2;
+  rt::Session C1, C2;
   RunOutcome Plain = cantFail(TheApp->run(
       C1, cantFail(TheApp->buildPlain(C1, {16, 16})), W));
-  BuiltKernel BK = cantFail(
+  rt::Variant BK = cantFail(
       TheApp->buildOutputApprox(C2, OutputSchemeKind::Rows, 2, {16, 16}));
   RunOutcome R = cantFail(TheApp->run(C2, BK, W));
   EXPECT_LT(R.Report.Totals.WorkItems, Plain.Report.Totals.WorkItems);

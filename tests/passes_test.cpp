@@ -10,7 +10,7 @@
 #include "ir/Passes.h"
 #include "ir/Verifier.h"
 #include "pcl/Compiler.h"
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -22,7 +22,7 @@ using namespace kperf::ir;
 namespace {
 
 /// Compiles \p Source and returns the single kernel.
-Function *compileKernel(rt::Context &Ctx, const char *Source) {
+Function *compileKernel(rt::Session &Ctx, const char *Source) {
   Expected<std::vector<Function *>> Fns =
       pcl::compile(Ctx.module(), Source);
   EXPECT_TRUE(static_cast<bool>(Fns)) << Fns.error().message();
@@ -138,7 +138,7 @@ TEST(PipelineParseTest, RejectsMalformedSpecs) {
 //===----------------------------------------------------------------------===//
 
 TEST(PipelineRunTest, NestedFixpointRunsToCompletion) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   Expected<PassPipeline> P =
       PassPipeline::parse("fixpoint(simplify,fixpoint(cse,dce))");
@@ -155,7 +155,7 @@ TEST(PipelineRunTest, NestedFixpointRunsToCompletion) {
 }
 
 TEST(PipelineRunTest, StatsDeriveFromSinglePerPassTable) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   PipelineStats Stats = runDefaultPipeline(*F, Ctx.module());
 
@@ -186,7 +186,7 @@ TEST(PipelineRunTest, StatsDeriveFromSinglePerPassTable) {
 }
 
 TEST(PipelineRunTest, TimingIsRecordedPerPass) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   PipelineStats Stats = runDefaultPipeline(*F, Ctx.module());
   double Sum = 0;
@@ -198,7 +198,7 @@ TEST(PipelineRunTest, TimingIsRecordedPerPass) {
 }
 
 TEST(PipelineRunTest, VerifyEachPassesOnWellFormedKernels) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   Expected<PassPipeline> P = PassPipeline::parse(defaultPipelineSpec());
   ASSERT_TRUE(static_cast<bool>(P));
@@ -249,7 +249,7 @@ TEST(PipelineOptionsTest, SpecMapsOntoPipelineStrings) {
 }
 
 TEST(PipelineOptionsTest, ShimMatchesDirectSpecRun) {
-  rt::Context C1, C2;
+  rt::Session C1, C2;
   Function *F1 = compileKernel(C1, LoopKernel);
   Function *F2 = compileKernel(C2, LoopKernel);
   PipelineOptions NoCse;
@@ -269,7 +269,7 @@ TEST(PipelineOptionsTest, ShimMatchesDirectSpecRun) {
 //===----------------------------------------------------------------------===//
 
 TEST(AnalysisManagerTest, DominatorTreeIsCachedAcrossQueries) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   AnalysisManager AM;
   const DominatorTree &DT1 = AM.getDominatorTree(*F);
@@ -280,7 +280,7 @@ TEST(AnalysisManagerTest, DominatorTreeIsCachedAcrossQueries) {
 }
 
 TEST(AnalysisManagerTest, CfgPreservingInvalidationKeepsDomTree) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   AnalysisManager AM;
   const DominatorTree &DT1 = AM.getDominatorTree(*F);
@@ -341,7 +341,7 @@ TEST(AnalysisManagerTest, MutatingInvalidationRecomputesCorrectTree) {
 }
 
 TEST(AnalysisManagerTest, GenericCacheDropsOnAnyMutation) {
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   AnalysisManager AM;
   struct Summary {
@@ -361,7 +361,7 @@ TEST(AnalysisManagerTest, DomTreeComputedAtMostOncePerFixpointRound) {
   // default pipeline the dominator tree is computed at most once per
   // fixpoint round (it used to be once per LICM invocation, and LICM
   // recomputed it internally per hoisting wave on top of that).
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   Expected<PassPipeline> P = PassPipeline::parse(defaultPipelineSpec());
   ASSERT_TRUE(static_cast<bool>(P));
@@ -385,7 +385,7 @@ TEST(AnalysisManagerTest, DomTreeComputedAtMostOncePerFixpointRound) {
 TEST(AnalysisManagerTest, CseOnlyPipelineReusesOneTreeAcrossRounds) {
   // In a pipeline of purely CFG-preserving passes the tree is computed
   // exactly once no matter how many rounds run.
-  rt::Context Ctx;
+  rt::Session Ctx;
   Function *F = compileKernel(Ctx, LoopKernel);
   Expected<PassPipeline> P =
       PassPipeline::parse("fixpoint(cse,licm,dce)");
@@ -403,7 +403,7 @@ TEST(AnalysisManagerTest, CseOnlyPipelineReusesOneTreeAcrossRounds) {
 //===----------------------------------------------------------------------===//
 
 TEST(CompilerPipelineTest, PostVerifyPipelineOptimizesKernels) {
-  rt::Context Plain, Optimized;
+  rt::Session Plain, Optimized;
   Function *F1 = compileKernel(Plain, LoopKernel);
 
   pcl::CompileOptions Opts;

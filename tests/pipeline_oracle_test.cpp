@@ -15,6 +15,11 @@
 // transform). A pass that changes float evaluation order, drops a store,
 // or miscounts a trip fails here before it can skew a single benchmark.
 //
+// The same matrix also pins the execution tiers: every variant runs under
+// the tree walker, the scalar bytecode tier, and the batched work-group
+// tier, and the fast tiers must reproduce the tree walker's output byte
+// for byte and its SimReport counters bit for bit.
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/App.h"
@@ -79,11 +84,16 @@ std::vector<std::string> oracleSpecs() {
   return Specs;
 }
 
+const sim::ExecTier AllTiers[] = {sim::ExecTier::Tree,
+                                  sim::ExecTier::Bytecode,
+                                  sim::ExecTier::Batched};
+
 /// Builds the Rows2:LI perforated variant of \p A under \p Spec (the
 /// richest codepath: loader loops, barrier, reconstruction, rewritten
-/// body) and runs it, verifying the IR after every pass.
-std::vector<float> runPerforated(App &A, const Workload &W,
-                                 const std::string &Spec) {
+/// body) and runs it under every execution tier, verifying the IR after
+/// every pass. Outcomes indexed like AllTiers; empty on build failure.
+std::vector<RunOutcome> runPerforated(App &A, const Workload &W,
+                                      const std::string &Spec) {
   rt::Session S;
   A.setPipelineSpec(Spec);
   A.setVerifyEach(true);
@@ -94,10 +104,18 @@ std::vector<float> runPerforated(App &A, const Workload &W,
       << A.name() << " under '" << Spec << "': " << V.error().message();
   if (!V)
     return {};
-  Expected<RunOutcome> R = A.run(S, *V, W);
-  EXPECT_TRUE(static_cast<bool>(R))
-      << A.name() << " under '" << Spec << "': " << R.error().message();
-  return R ? std::move(R->Output) : std::vector<float>{};
+  std::vector<RunOutcome> Outcomes;
+  for (sim::ExecTier Tier : AllTiers) {
+    S.setExecTier(Tier);
+    Expected<RunOutcome> R = A.run(S, *V, W);
+    EXPECT_TRUE(static_cast<bool>(R))
+        << A.name() << " under '" << Spec << "' ("
+        << sim::execTierName(Tier) << "): " << R.error().message();
+    if (!R)
+      return {};
+    Outcomes.push_back(std::move(*R));
+  }
+  return Outcomes;
 }
 
 bool bitIdentical(const std::vector<float> &A,
@@ -105,6 +123,35 @@ bool bitIdentical(const std::vector<float> &A,
   return A.size() == B.size() &&
          (A.empty() ||
           std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) == 0);
+}
+
+bool countersEqual(const sim::Counters &A, const sim::Counters &B) {
+  return A.AluOps == B.AluOps && A.PrivateAccesses == B.PrivateAccesses &&
+         A.LocalAccesses == B.LocalAccesses &&
+         A.LocalWavefrontOps == B.LocalWavefrontOps &&
+         A.BankConflictExtra == B.BankConflictExtra &&
+         A.GlobalReadTransactions == B.GlobalReadTransactions &&
+         A.GlobalWriteTransactions == B.GlobalWriteTransactions &&
+         A.GlobalReads == B.GlobalReads &&
+         A.GlobalWrites == B.GlobalWrites && A.Barriers == B.Barriers &&
+         A.WorkGroups == B.WorkGroups && A.WorkItems == B.WorkItems;
+}
+
+/// Expects tiers 1.. of \p Outcomes to reproduce tier 0 (the tree walker)
+/// exactly: output bytes and every SimReport counter.
+void expectTierParity(const App &A, const std::string &Spec,
+                      const std::vector<RunOutcome> &Outcomes) {
+  for (size_t T = 1; T < Outcomes.size(); ++T) {
+    EXPECT_TRUE(bitIdentical(Outcomes[0].Output, Outcomes[T].Output))
+        << A.name() << " under '" << Spec << "': tier "
+        << sim::execTierName(AllTiers[T])
+        << " changed the output vs the tree walker";
+    EXPECT_TRUE(
+        countersEqual(Outcomes[0].Report.Totals, Outcomes[T].Report.Totals))
+        << A.name() << " under '" << Spec << "': tier "
+        << sim::execTierName(AllTiers[T])
+        << " changed the simulated counters vs the tree walker";
+  }
 }
 
 } // namespace
@@ -116,20 +163,23 @@ TEST(PipelineOracleTest, SpecsAllParse) {
   }
 }
 
-TEST(PipelineOracleTest, AllAppsByteIdenticalAcrossPipelines) {
+TEST(PipelineOracleTest, AllAppsByteIdenticalAcrossPipelinesAndTiers) {
   std::vector<std::string> Specs = oracleSpecs();
   for (const char *Name : AllAppNames) {
     auto A = makeApp(Name);
     ASSERT_NE(A, nullptr) << Name;
     Workload W = smallWorkload(*A);
     // The no-optimization baseline the specs must reproduce exactly.
-    std::vector<float> Baseline = runPerforated(*A, W, "");
+    std::vector<RunOutcome> Baseline = runPerforated(*A, W, "");
     ASSERT_FALSE(Baseline.empty()) << Name;
+    expectTierParity(*A, "", Baseline);
     for (const std::string &Spec : Specs) {
-      std::vector<float> Out = runPerforated(*A, W, Spec);
-      EXPECT_TRUE(bitIdentical(Baseline, Out))
+      std::vector<RunOutcome> Out = runPerforated(*A, W, Spec);
+      ASSERT_FALSE(Out.empty()) << A->name() << " under '" << Spec << "'";
+      EXPECT_TRUE(bitIdentical(Baseline[0].Output, Out[0].Output))
           << A->name() << ": pipeline '" << Spec
           << "' changed the output vs the empty pipeline";
+      expectTierParity(*A, Spec, Out);
     }
   }
 }

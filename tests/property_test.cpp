@@ -94,8 +94,8 @@ protected:
 TEST_P(PerforationSweep, BuildsAndRuns) {
   const SweepParam &P = GetParam();
   auto App = makeApp(P.AppName);
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session Ctx;
+  Expected<rt::Variant> BK =
       App->buildPerforated(Ctx, P.scheme(), {P.WgX, P.WgY});
   if (!P.ExpectFeasible) {
     // Degenerate combination (e.g. a halo-dependent scheme on a 1x1
@@ -116,8 +116,8 @@ TEST_P(PerforationSweep, ConstantInputExact) {
     GTEST_SKIP();
   auto App = makeApp(P.AppName);
   Workload W = constantWorkload();
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session Ctx;
+  Expected<rt::Variant> BK =
       App->buildPerforated(Ctx, P.scheme(), {P.WgX, P.WgY});
   ASSERT_TRUE(static_cast<bool>(BK)) << BK.error().message();
   RunOutcome R = cantFail(App->run(Ctx, *BK, W));
@@ -132,8 +132,8 @@ TEST_P(PerforationSweep, ErrorWithinSanityBound) {
     GTEST_SKIP();
   auto App = makeApp(P.AppName);
   Workload W = naturalWorkload();
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session Ctx;
+  Expected<rt::Variant> BK =
       App->buildPerforated(Ctx, P.scheme(), {P.WgX, P.WgY});
   ASSERT_TRUE(static_cast<bool>(BK));
   RunOutcome R = cantFail(App->run(Ctx, *BK, W));
@@ -156,16 +156,16 @@ TEST_P(PerforationSweep, NeverReadsMoreThanBaseline) {
   Workload W = naturalWorkload();
   uint64_t BaseReads, PerfReads;
   {
-    rt::Context Ctx;
-    BuiltKernel BK = cantFail(
+    rt::Session Ctx;
+    rt::Variant BK = cantFail(
         App->buildPerforated(Ctx, PerforationScheme::none(),
                              {P.WgX, P.WgY}));
     BaseReads = cantFail(App->run(Ctx, BK, W))
                     .Report.Totals.GlobalReadTransactions;
   }
   {
-    rt::Context Ctx;
-    BuiltKernel BK =
+    rt::Session Ctx;
+    rt::Variant BK =
         cantFail(App->buildPerforated(Ctx, P.scheme(), {P.WgX, P.WgY}));
     PerfReads = cantFail(App->run(Ctx, BK, W))
                     .Report.Totals.GlobalReadTransactions;
@@ -243,8 +243,8 @@ TEST_P(OutputApproxSweep, RunsAndConstantExact) {
   const OutputParam &P = GetParam();
   auto App = makeApp(P.AppName);
   Workload W = makeImageWorkload(img::Image(60, 60, 0.42f));
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session Ctx;
+  Expected<rt::Variant> BK =
       App->buildOutputApprox(Ctx, P.Kind, P.N, {4, 4});
   ASSERT_TRUE(static_cast<bool>(BK)) << BK.error().message();
   RunOutcome R = cantFail(App->run(Ctx, *BK, W));
@@ -258,8 +258,8 @@ TEST_P(OutputApproxSweep, ErrorBoundedOnNaturalInput) {
   auto App = makeApp(P.AppName);
   Workload W = makeImageWorkload(
       img::generateImage(img::ImageClass::Natural, 60, 60, 23));
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK =
+  rt::Session Ctx;
+  Expected<rt::Variant> BK =
       App->buildOutputApprox(Ctx, P.Kind, P.N, {4, 4});
   ASSERT_TRUE(static_cast<bool>(BK));
   RunOutcome R = cantFail(App->run(Ctx, *BK, W));
@@ -294,10 +294,10 @@ TEST_P(ShapeSweep, BaselineExactAtAnyShape) {
   auto App = makeApp("gaussian");
   Workload W = makeImageWorkload(
       img::generateImage(img::ImageClass::Natural, 128, 128, 29));
-  rt::Context C1, C2;
+  rt::Session C1, C2;
   RunOutcome Plain = cantFail(
       App->run(C1, cantFail(App->buildPlain(C1, {16, 16})), W));
-  BuiltKernel BK = cantFail(
+  rt::Variant BK = cantFail(
       App->buildPerforated(C2, PerforationScheme::none(), {X, Y}));
   RunOutcome R = cantFail(App->run(C2, BK, W));
   for (size_t I = 0; I < Plain.Output.size(); ++I)

@@ -19,14 +19,14 @@ namespace {
 /// Shared setup: a gaussian kernel + its Rows2 perforation over a 64x64
 /// image already uploaded into the context.
 struct MonitorSetup {
-  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Session> Ctx;
   Kernel Accurate;
-  PerforatedKernel Approx;
+  Variant Approx;
   unsigned In = 0, Out = 0;
   std::vector<sim::KernelArg> Args;
 
   explicit MonitorSetup(img::ImageClass Class, unsigned Period = 4) {
-    Ctx = std::make_unique<Context>();
+    Ctx = std::make_unique<Session>();
     Accurate =
         cantFail(Ctx->compile(apps::gaussianSource(), "gaussian"));
     perf::PerforationPlan Plan;

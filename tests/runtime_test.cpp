@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -22,7 +22,7 @@ kernel void copy(global const float* in, global float* out, int w, int h) {
 )";
 
 TEST(RuntimeTest, CompileAndLaunch) {
-  Context Ctx;
+  Session Ctx;
   Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
   EXPECT_EQ(K.name(), "copy");
   std::vector<float> Data(64);
@@ -37,14 +37,14 @@ TEST(RuntimeTest, CompileAndLaunch) {
 }
 
 TEST(RuntimeTest, CompileErrorPropagates) {
-  Context Ctx;
+  Session Ctx;
   Expected<Kernel> K = Ctx.compile("kernel void broken( {}", "broken");
   ASSERT_FALSE(static_cast<bool>(K));
   EXPECT_FALSE(K.error().message().empty());
 }
 
 TEST(RuntimeTest, UnknownKernelName) {
-  Context Ctx;
+  Session Ctx;
   Expected<Kernel> K = Ctx.compile(CopySource, "nope");
   ASSERT_FALSE(static_cast<bool>(K));
   EXPECT_NE(K.error().message().find("no kernel named"),
@@ -52,7 +52,7 @@ TEST(RuntimeTest, UnknownKernelName) {
 }
 
 TEST(RuntimeTest, BufferAccessors) {
-  Context Ctx;
+  Session Ctx;
   unsigned B = Ctx.createBuffer(4);
   Ctx.buffer(B).setFloat(2, 1.25f);
   EXPECT_FLOAT_EQ(Ctx.buffer(B).floatAt(2), 1.25f);
@@ -61,54 +61,56 @@ TEST(RuntimeTest, BufferAccessors) {
 }
 
 TEST(RuntimeTest, PerforateProducesLaunchConstraints) {
-  Context Ctx;
+  Session Ctx;
   Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
   perf::PerforationPlan Plan;
   Plan.Scheme = perf::PerforationScheme::rows(
       2, perf::ReconstructionKind::NearestNeighbor);
   Plan.TileX = 8;
   Plan.TileY = 4;
-  PerforatedKernel P = cantFail(Ctx.perforate(K, Plan));
-  EXPECT_EQ(P.LocalX, 8u);
-  EXPECT_EQ(P.LocalY, 4u);
+  Variant P = cantFail(Ctx.perforate(K, Plan));
+  EXPECT_EQ(P.Kind, VariantKind::Perforated);
+  EXPECT_EQ(P.Local.X, 8u);
+  EXPECT_EQ(P.Local.Y, 4u);
   EXPECT_EQ(P.LocalMemWords, 8u * 4u); // Halo 0 for a copy kernel.
   EXPECT_NE(P.K.F, K.F);
 }
 
 TEST(RuntimeTest, GeneratedKernelNamesUniquePerKey) {
-  Context Ctx;
+  Session Ctx;
   Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
   perf::PerforationPlan Plan;
   Plan.Scheme = perf::PerforationScheme::rows(
       2, perf::ReconstructionKind::NearestNeighbor);
   // Identical plans share one cached variant; a differing plan gets a
   // distinctly named kernel of its own.
-  PerforatedKernel A = cantFail(Ctx.perforate(K, Plan));
-  PerforatedKernel B = cantFail(Ctx.perforate(K, Plan));
+  Variant A = cantFail(Ctx.perforate(K, Plan));
+  Variant B = cantFail(Ctx.perforate(K, Plan));
   EXPECT_EQ(A.K.F, B.K.F);
   Plan.Scheme =
       perf::PerforationScheme::rows(4, perf::ReconstructionKind::Linear);
-  PerforatedKernel C = cantFail(Ctx.perforate(K, Plan));
+  Variant C = cantFail(Ctx.perforate(K, Plan));
   EXPECT_NE(A.K.F, C.K.F);
   EXPECT_NE(A.K.F->name(), C.K.F->name());
 }
 
-TEST(RuntimeTest, LaunchApproxRoundsUp) {
-  Context Ctx;
+TEST(RuntimeTest, OutputApproxLaunchRoundsUp) {
+  Session Ctx;
   Kernel K = cantFail(Ctx.compile(CopySource, "copy"));
   perf::OutputApproxPlan Plan;
   Plan.Kind = perf::OutputSchemeKind::Rows;
   Plan.ApproxPerComputed = 2;
   Plan.WidthArgIndex = 2;
   Plan.HeightArgIndex = 3;
-  ApproxKernel A = cantFail(Ctx.approximateOutput(K, Plan));
+  Variant A = cantFail(Ctx.approximateOutput(K, Plan));
   EXPECT_EQ(A.DivY, 3u);
+  A.Local = {4, 4};
   std::vector<float> Data(48 * 48, 0.5f);
   unsigned In = Ctx.createBufferFrom(Data);
   unsigned Out = Ctx.createBuffer(Data.size());
   // 48/3 = 16 rows of computed items, divisible by 4: launches cleanly.
-  sim::SimReport R = cantFail(Ctx.launchApprox(
-      A, {48, 48}, {4, 4},
+  sim::SimReport R = cantFail(Ctx.launch(
+      A, {48, 48},
       {arg::buffer(In), arg::buffer(Out), arg::i32(48), arg::i32(48)}));
   EXPECT_EQ(R.Totals.WorkItems, 48u * 16u);
 }
@@ -116,7 +118,7 @@ TEST(RuntimeTest, LaunchApproxRoundsUp) {
 TEST(RuntimeTest, DeviceConfigurable) {
   sim::DeviceConfig D;
   D.NumComputeUnits = 2;
-  Context Ctx(D);
+  Session Ctx(D);
   EXPECT_EQ(Ctx.device().NumComputeUnits, 2u);
   Ctx.device().ReadCostCycles = 99.0;
   EXPECT_DOUBLE_EQ(Ctx.device().ReadCostCycles, 99.0);

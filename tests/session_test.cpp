@@ -250,33 +250,31 @@ TEST(SessionTest, TwoPassVariantLaunchesStageByStage) {
   EXPECT_EQ(O.Output.size(), W.Input.size());
 }
 
-TEST(SessionTest, ContextAliasAndDeprecatedHandlesCompile) {
-  // Pre-Session code keeps working: rt::Context is rt::Session, and the
-  // old handle structs are views of rt::Variant.
-  Context Ctx;
+TEST(SessionTest, VariantCarriesLaunchConstraints) {
+  // The unified Variant handle carries the launch constraints that used
+  // to live in the per-transform handle structs.
+  Session Ctx;
   Kernel K = cantFail(Ctx.compile(ScaleSource, "scale"));
-  PerforatedKernel P = cantFail(Ctx.perforate(K, rows1Plan(8, 4)));
-  EXPECT_EQ(P.LocalX, 8u);
-  EXPECT_EQ(P.LocalY, 4u);
+  Variant P = cantFail(Ctx.perforate(K, rows1Plan(8, 4)));
+  EXPECT_EQ(P.Kind, VariantKind::Perforated);
+  EXPECT_EQ(P.Local.X, 8u);
+  EXPECT_EQ(P.Local.Y, 4u);
 
   perf::OutputApproxPlan Plan;
   Plan.Kind = perf::OutputSchemeKind::Rows;
   Plan.ApproxPerComputed = 2;
   Plan.WidthArgIndex = 2;
   Plan.HeightArgIndex = 3;
-  ApproxKernel A = cantFail(Ctx.approximateOutput(K, Plan));
+  Variant A = cantFail(Ctx.approximateOutput(K, Plan));
+  EXPECT_EQ(A.Kind, VariantKind::OutputApprox);
+  A.Local = {4, 4};
   std::vector<float> Data(48 * 48, 0.5f);
   unsigned In = Ctx.createBufferFrom(Data);
   unsigned Out = Ctx.createBuffer(Data.size());
-  sim::SimReport R = cantFail(Ctx.launchApprox(
-      A, {48, 48}, {4, 4},
+  sim::SimReport R = cantFail(Ctx.launch(
+      A, {48, 48},
       {arg::buffer(In), arg::buffer(Out), arg::i32(48), arg::i32(48)}));
   EXPECT_EQ(R.Totals.WorkItems, 48u * 16u);
-
-  // Expected<Variant> converts to Expected<PerforatedKernel> too.
-  Expected<PerforatedKernel> E = Ctx.perforate(K, rows1Plan(8, 4));
-  ASSERT_TRUE(static_cast<bool>(E));
-  EXPECT_EQ(E->LocalX, 8u);
 }
 
 TEST(SessionTest, StatsLineMentionsCompilesAndHitRate) {

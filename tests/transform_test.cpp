@@ -23,7 +23,7 @@
 #include "img/Generators.h"
 #include "ir/Printer.h"
 #include "perforation/Transform.h"
-#include "runtime/Context.h"
+#include "runtime/Session.h"
 
 #include <cmath>
 #include <gtest/gtest.h>
@@ -57,8 +57,8 @@ double maxAbsDiff(const std::vector<float> &A, const std::vector<float> &B) {
 Expected<RunOutcome> runScheme(const App &TheApp, const Workload &W,
                                PerforationScheme Scheme,
                                sim::Range2 Local = {16, 16}) {
-  rt::Context Ctx;
-  Expected<BuiltKernel> BK = TheApp.buildPerforated(Ctx, Scheme, Local);
+  rt::Session Ctx;
+  Expected<rt::Variant> BK = TheApp.buildPerforated(Ctx, Scheme, Local);
   if (!BK)
     return BK.takeError();
   return TheApp.run(Ctx, *BK, W);
@@ -70,7 +70,7 @@ TEST(TransformTest, BaselineNoneIsExactForAllApps) {
                      ? makeHotspotWorkload(32, 3, 2)
                      : makeImageWorkload(img::generateImage(
                            img::ImageClass::Natural, 32, 32, 5));
-    rt::Context C1, C2;
+    rt::Session C1, C2;
     RunOutcome Plain = cantFail(TheApp->run(
         C1, cantFail(TheApp->buildPlain(C1, {16, 16})), W));
     Expected<RunOutcome> Pref = runScheme(*TheApp, W,

@@ -26,6 +26,12 @@
 //       --passes selects the perforated variant's cleanup pipeline;
 //       --time-passes prints its per-pass statistics.
 //
+//   Commands that launch kernels (run, tune) accept
+//   --exec-tier tree|bytecode|batched to pick the simulator's execution
+//   tier (default: $KPERF_EXEC_TIER or the tree walker). All tiers
+//   produce byte-identical outputs and identical SimReport counters;
+//   the bytecode tiers are just faster wall-clock.
+//
 //   kperfc tune <file.pcl> [--kernel name] [--image in.pgm] [--budget E]
 //               [--size N] [--jobs N] [--variant-cap N]
 //       Explore scheme x reconstruction x work-group configurations for a
@@ -106,6 +112,7 @@ struct Options {
   bool PassSpecGiven = false;
   bool TimePasses = false;
   bool VerifyEach = false;
+  sim::ExecTier Tier = sim::defaultExecTier(); ///< --exec-tier.
 };
 
 int usage() {
@@ -118,6 +125,7 @@ int usage() {
                "              [--image in.pgm] [--out out.pgm] "
                "[--budget E] [--size N]\n"
                "              [--jobs N] [--variant-cap N]\n"
+               "              [--exec-tier tree|bytecode|batched]\n"
                "              [--passes SPEC] [--time-passes] "
                "[--verify-each]\n"
                "       kperfc --passes=SPEC [--time-passes] <file.pcl>\n");
@@ -254,6 +262,14 @@ Expected<Options> parseArgs(int Argc, char **Argv) {
                          "integer; 0 = hardware threads)",
                          V->c_str());
       O.Jobs = static_cast<unsigned>(N);
+    } else if (A == "--exec-tier") {
+      auto V = next();
+      if (!V)
+        return V.takeError();
+      if (!sim::parseExecTier(*V, O.Tier))
+        return makeError("unknown execution tier '%s' (expected "
+                         "tree|bytecode|batched)",
+                         V->c_str());
     } else if (A == "--variant-cap") {
       auto V = next();
       if (!V)
@@ -407,6 +423,7 @@ int cmdRun(const Options &O, const std::string &Source) {
   }
 
   rt::Session Ctx;
+  Ctx.setExecTier(O.Tier);
   Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
   if (!K) {
     std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
@@ -498,6 +515,7 @@ int cmdTune(const Options &O, const std::string &Source) {
   // the accurate baseline is measured once per work-group shape instead
   // of once per configuration.
   rt::Session S;
+  S.setExecTier(O.Tier);
   if (O.VariantCap != 0)
     S.setVariantCapacity(O.VariantCap);
   Expected<rt::Kernel> K = compileFrom(S, O, Source);
