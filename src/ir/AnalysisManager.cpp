@@ -36,11 +36,27 @@ AnalysisManager::getDominanceFrontier(const Function &F) {
   return *E.DomFrontier;
 }
 
+const MemorySSA &AnalysisManager::getMemorySSA(const Function &F) {
+  // Derive through the cached tree and frontier so the three analyses
+  // can never disagree about the CFG they describe.
+  const DominatorTree &DT = getDominatorTree(F);
+  const DominanceFrontier &DF = getDominanceFrontier(F);
+  FunctionEntry &E = Entries[&F];
+  if (E.MemSSA) {
+    ++C.MemSSAHits;
+    return *E.MemSSA;
+  }
+  ++C.MemSSAComputes;
+  E.MemSSA = std::make_unique<MemorySSA>(MemorySSA::compute(F, DT, DF));
+  return *E.MemSSA;
+}
+
 void AnalysisManager::invalidate(const Function &F, bool CFGPreserved) {
   auto It = Entries.find(&F);
   if (It == Entries.end())
     return;
   It->second.Generic.clear();
+  It->second.MemSSA.reset(); // Instruction-sensitive: always dropped.
   if (!CFGPreserved) {
     It->second.DomTree.reset();
     It->second.DomFrontier.reset();

@@ -12,6 +12,8 @@
 ///  * the DominatorTree, with dedicated accessors and hit/compute counters
 ///    (the pass pipeline asserts the tree is computed at most once per
 ///    fixpoint round, not once per LICM invocation);
+///  * MemorySSA, derived from the tree and frontier, shared by the
+///    memory-widened passes (gvn, memopt-dse, licm) within a round;
 ///  * a typed generic cache for results owned by higher layers -- the
 ///    perforation access-analysis summaries live here without ir/ having
 ///    to know their type.
@@ -19,8 +21,8 @@
 /// Invalidation is explicit: after a pass mutates a function, the pass
 /// manager calls invalidate(F, CFGPreserved). CFG-level analyses (the
 /// DominatorTree) survive mutations that keep the block set and branch
-/// edges intact (CSE, MemOpt, DCE, LICM); everything in the generic cache
-/// is instruction-sensitive and dropped on any mutation.
+/// edges intact (CSE, MemOpt, DCE, LICM); MemorySSA and everything in the
+/// generic cache are instruction-sensitive and dropped on any mutation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +31,7 @@
 
 #include "ir/Dominators.h"
 #include "ir/Function.h"
+#include "ir/MemorySSA.h"
 
 #include <memory>
 #include <typeindex>
@@ -45,6 +48,8 @@ public:
     unsigned DomTreeHits = 0;         ///< Cache hits.
     unsigned DomFrontierComputes = 0; ///< Frontier cache misses.
     unsigned DomFrontierHits = 0;     ///< Frontier cache hits.
+    unsigned MemSSAComputes = 0;      ///< Memory-SSA cache misses.
+    unsigned MemSSAHits = 0;          ///< Memory-SSA cache hits.
   };
 
   /// Returns the dominator tree of \p F, computing it on a cache miss.
@@ -55,6 +60,12 @@ public:
   /// tree first if needed). Invalidated together with the tree: both are
   /// pure CFG analyses.
   const DominanceFrontier &getDominanceFrontier(const Function &F);
+
+  /// Returns the memory SSA of \p F (computing the dominator tree and
+  /// frontier first if needed). Dropped on *any* invalidation -- memory
+  /// SSA is instruction-sensitive, so CFG-preserving mutations stale it
+  /// too.
+  const MemorySSA &getMemorySSA(const Function &F);
 
   /// Returns the cached result of type \p T for \p F, or null if absent.
   template <typename T> const T *lookup(const Function &F) const {
@@ -91,6 +102,7 @@ private:
   struct FunctionEntry {
     std::unique_ptr<DominatorTree> DomTree;
     std::unique_ptr<DominanceFrontier> DomFrontier;
+    std::unique_ptr<MemorySSA> MemSSA;
     std::unordered_map<std::type_index, std::shared_ptr<void>> Generic;
   };
 

@@ -8,6 +8,7 @@
 
 #include "ir/Dominators.h"
 #include "ir/InstructionUtils.h"
+#include "ir/MemorySSA.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -26,11 +27,12 @@ constexpr unsigned MaxKeyOperands = 3;
 /// Identity of one pure computation. For phis the operand slots hold the
 /// incoming values in predecessor-index order and Scope pins the parent
 /// block (phi equality only makes sense within one block, where the
-/// predecessor list is shared).
+/// predecessor list is shared). For loads Scope pins the memory-SSA
+/// clobbering access: same pointer + same clobber => same value.
 struct GvnKey {
   Opcode Op = Opcode::Add;
   Builtin Callee = Builtin::Barrier;      // Valid when Op == Call.
-  const void *Scope = nullptr;            // Valid when Op == Phi.
+  const void *Scope = nullptr;            // Valid when Op is Phi or Load.
   const Value *Operands[MaxKeyOperands] = {nullptr, nullptr, nullptr};
 
   bool operator==(const GvnKey &O) const {
@@ -54,10 +56,10 @@ struct GvnKeyHash {
 
 class GvnImpl {
 public:
-  GvnImpl(Function &F, const DominatorTree &DT) : F(F), DT(DT) {}
+  GvnImpl(Function &F, const DominatorTree &DT, const MemorySSA &MSSA)
+      : F(F), DT(DT), MSSA(MSSA) {}
 
   unsigned run() {
-    collectImmutableRoots();
     for (unsigned I = 0; I < F.numArguments(); ++I)
       Order.rank(F.argument(I));
     walkDomTree();
@@ -82,40 +84,6 @@ public:
   }
 
 private:
-  /// Objects whose loaded values cannot change during a launch: const
-  /// global pointer arguments (the verifier rejects stores through them,
-  /// and `const` is the system-wide contract that no other argument
-  /// aliases the buffer for writing), and private allocas with no store
-  /// to them anywhere in the function. A store whose pointer chain does
-  /// not bottom out at an alloca or argument (a pointer-typed
-  /// select/phi, which the verifier permits even though the frontend
-  /// never emits one) could target anything -- including a const buffer
-  /// the verifier's direct-store check cannot see -- so it disqualifies
-  /// every root.
-  void collectImmutableRoots() {
-    std::unordered_set<const Value *> StoredRoots;
-    for (const auto &BB : F.blocks())
-      for (const auto &I : BB->instructions())
-        if (I->opcode() == Opcode::Store) {
-          const Value *Root = rootObject(I->operand(1));
-          const auto *RootI = dyn_cast<Instruction>(Root);
-          if (RootI && RootI->opcode() != Opcode::Alloca)
-            return; // Opaque store target: number no loads at all.
-          StoredRoots.insert(Root);
-        }
-    for (unsigned I = 0; I < F.numArguments(); ++I) {
-      const Argument *A = F.argument(I);
-      if (A->type().isPointer() && A->isConst())
-        ImmutableRoots.insert(A);
-    }
-    for (const auto &BB : F.blocks())
-      for (const auto &I : BB->instructions())
-        if (I->opcode() == Opcode::Alloca &&
-            I->allocaSpace() == AddressSpace::Private &&
-            !StoredRoots.count(I.get()))
-          ImmutableRoots.insert(I.get());
-  }
-
   Value *resolve(Value *V) {
     auto It = Replacement.find(V);
     while (It != Replacement.end()) {
@@ -150,9 +118,18 @@ private:
       return true;
     }
     case Opcode::Load: {
-      if (!ImmutableRoots.count(rootObject(I->operand(0))))
+      // Two loads of one pointer with the same memory-SSA clobbering
+      // access must read the same value: the upward clobber walk visits
+      // every memory state between them, and any def that could change
+      // the location would have stopped it. Immutable locations (const
+      // buffers, never-stored allocas) clobber at LiveOnEntry, so their
+      // loads merge across joins and barriers. The walk only reaches
+      // loads in reachable blocks; an unkeyed load is simply not merged.
+      const MemorySSA::Access *Clobber = MSSA.clobberingAccess(I);
+      if (!Clobber)
         return false;
       Key.Op = Opcode::Load;
+      Key.Scope = Clobber;
       Key.Operands[0] = I->operand(0);
       return true;
     }
@@ -246,7 +223,7 @@ private:
 
   Function &F;
   const DominatorTree &DT;
-  std::unordered_set<const Value *> ImmutableRoots;
+  const MemorySSA &MSSA;
   std::unordered_map<GvnKey, Instruction *, GvnKeyHash> Leaders;
   std::unordered_map<const Value *, Value *> Replacement;
   ValueOrder Order;
@@ -256,5 +233,12 @@ private:
 } // namespace
 
 unsigned ir::numberValuesGlobally(Function &F, const DominatorTree &DT) {
-  return GvnImpl(F, DT).run();
+  DominanceFrontier DF = DominanceFrontier::compute(F, DT);
+  MemorySSA MSSA = MemorySSA::compute(F, DT, DF);
+  return numberValuesGlobally(F, DT, MSSA);
+}
+
+unsigned ir::numberValuesGlobally(Function &F, const DominatorTree &DT,
+                                  const MemorySSA &MSSA) {
+  return GvnImpl(F, DT, MSSA).run();
 }

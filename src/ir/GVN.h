@@ -15,19 +15,16 @@
 /// region.
 ///
 /// Phi-aware: two phis at the head of the same block whose incoming
-/// values match per predecessor are merged. Load numbering is limited to
-/// loads whose value provably cannot change during a launch:
-///
-///  * loads rooted at a `const` global pointer argument -- the verifier
-///    rejects stores through const arguments, and the const qualifier is
-///    this system's contract that no other argument aliases the buffer
-///    for writing (the perforation transform preloads const inputs under
-///    the same assumption);
-///  * loads rooted at a private alloca that is never stored to anywhere
-///    in the function.
-///
-/// Everything else (mutable global buffers, local tiles, stored-to
-/// private arrays) is left to the epoch-tracking block-local CSE.
+/// values match per predecessor are merged. Loads are numbered over
+/// memory SSA (ir/MemorySSA.h): a load's key is its pointer plus its
+/// *clobbering access* -- the nearest memory state that may actually
+/// change the loaded location -- so two loads of one pointer merge
+/// exactly when no may-aliasing write or barrier separates them.
+/// Locations that are immutable for the whole launch (const global
+/// buffers, never-stored allocas) clobber at LiveOnEntry and therefore
+/// merge across joins and barriers; mutable locations merge within
+/// their clobber region, which still subsumes the old const-arg and
+/// never-stored-alloca rules.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,12 +37,18 @@ namespace kperf {
 namespace ir {
 
 class DominatorTree;
+class MemorySSA;
 
-/// Runs global value numbering over \p F using \p DT. \returns the number
-/// of operand uses rewritten to a dominating leader (0 = untouched; the
-/// dead duplicates are left for DCE). Never changes the block set or
-/// branch edges.
+/// Runs global value numbering over \p F using \p DT, deriving a local
+/// memory SSA for load numbering. \returns the number of operand uses
+/// rewritten to a dominating leader (0 = untouched; the dead duplicates
+/// are left for DCE). Never changes the block set or branch edges.
 unsigned numberValuesGlobally(Function &F, const DominatorTree &DT);
+
+/// Variant reusing a precomputed memory SSA for \p F (the pass pipeline
+/// hands in the AnalysisManager-cached one).
+unsigned numberValuesGlobally(Function &F, const DominatorTree &DT,
+                              const MemorySSA &MSSA);
 
 } // namespace ir
 } // namespace kperf

@@ -7,6 +7,7 @@
 #include "ir/LICM.h"
 
 #include "ir/Dominators.h"
+#include "ir/MemorySSA.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -143,6 +144,13 @@ unsigned ir::hoistLoopInvariants(Function &F) {
 }
 
 unsigned ir::hoistLoopInvariants(Function &F, const DominatorTree &DT) {
+  DominanceFrontier DF = DominanceFrontier::compute(F, DT);
+  MemorySSA MSSA = MemorySSA::compute(F, DT, DF);
+  return hoistLoopInvariants(F, DT, MSSA);
+}
+
+unsigned ir::hoistLoopInvariants(Function &F, const DominatorTree &DT,
+                                 const MemorySSA &MSSA) {
   unsigned Hoisted = 0;
   bool AnyChange = true;
   // Hoisting never changes blocks or branch edges, so one dominator tree
@@ -161,25 +169,44 @@ unsigned ir::hoistLoopInvariants(Function &F, const DominatorTree &DT) {
       if (!OrderOk)
         continue;
 
-      // Allocas stored to inside this loop: their loads must not move.
-      std::unordered_set<const Value *> StoredAllocas;
-      bool HasArgStore = false;
+      // Memory defs (stores and barriers) inside this loop, in layout
+      // order: a load hoists only when none of them may clobber its
+      // location.
+      std::vector<const Instruction *> LoopDefs;
       for (const BasicBlock *BB : L.Body)
-        for (const auto &I : BB->instructions()) {
-          if (I->opcode() != Opcode::Store)
-            continue;
-          const Value *Ptr = I->operand(1);
-          while (const auto *G = dyn_cast<Instruction>(Ptr)) {
-            if (G->opcode() != Opcode::Gep)
-              break;
-            Ptr = G->operand(0);
-          }
-          if (isa<Argument>(Ptr))
-            HasArgStore = true;
-          else
-            StoredAllocas.insert(Ptr);
-        }
-      (void)HasArgStore; // Argument loads are never hoisted anyway.
+        for (const auto &I : BB->instructions())
+          if (I->opcode() == Opcode::Store ||
+              (I->opcode() == Opcode::Call &&
+               I->callee() == Builtin::Barrier))
+            LoopDefs.push_back(I.get());
+
+      /// A load is movable when it cannot fault (alloca-rooted with a
+      /// provably in-bounds constant index -- argument buffers have no
+      /// statically known extent, and a hoisted load may execute on a
+      /// zero-trip loop) and its location cannot change while the loop
+      /// runs: either memory SSA certifies no clobber since function
+      /// entry (immutable location or an unbroken non-aliasing def
+      /// chain), or no store/barrier in the loop body may clobber it.
+      /// Barriers clobber local allocas -- a loop spanning a phase
+      /// boundary sees other work items' tile writes -- but never
+      /// private ones.
+      auto IsMovableLoad = [&](const Instruction *I) {
+        MemoryLoc Loc = memoryLocation(I->operand(0));
+        const auto *A = dyn_cast<Instruction>(Loc.Root);
+        if (!A || A->opcode() != Opcode::Alloca ||
+            L.Body.count(A->parent()))
+          return false;
+        if (!Loc.ConstIndex || Loc.Index < 0 ||
+            Loc.Index >= static_cast<int64_t>(A->allocaCount()))
+          return false;
+        const MemorySSA::Access *C = MSSA.clobberingAccess(I);
+        if (C && C == MSSA.liveOnEntry())
+          return true;
+        for (const Instruction *D : LoopDefs)
+          if (mayClobberLocation(D, Loc))
+            return false;
+        return true;
+      };
 
       // Values known loop-invariant (hoisted or defined outside).
       auto IsInvariantValue = [&](const Value *V) {
@@ -213,14 +240,7 @@ unsigned ir::hoistLoopInvariants(Function &F, const DominatorTree &DT) {
             if (isSafeToSpeculate(*I)) {
               Movable = true;
             } else if (I->opcode() == Opcode::Load) {
-              // Private scalar variable: the pointer is the alloca
-              // itself (always in bounds) and nothing in the loop
-              // stores to it.
-              const auto *A = dyn_cast<Instruction>(I->operand(0));
-              Movable = A && A->opcode() == Opcode::Alloca &&
-                        A->allocaSpace() == AddressSpace::Private &&
-                        !StoredAllocas.count(A) &&
-                        L.Body.count(A->parent()) == 0;
+              Movable = IsMovableLoad(I);
             }
             if (!Movable)
               continue;

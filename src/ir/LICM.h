@@ -6,13 +6,13 @@
 ///
 /// \file
 /// Conservative loop-invariant code motion over the natural loops of a
-/// kernel. In the default pipeline LICM runs after mem2reg has promoted
-/// private scalars to SSA values, so its main job is hoisting the
-/// invariant *arithmetic* those values feed (address computations, clamp
-/// chains) out of the filter-window loops. The private-scalar-load rule
-/// below still matters for what mem2reg must leave in memory form --
-/// barrier-crossing scalars -- and for pipelines that run without
-/// mem2reg.
+/// kernel. In the default pipeline LICM runs after mem2reg/sroa have
+/// promoted private scalars and constant-indexed arrays to SSA values,
+/// so its main job is hoisting the invariant *arithmetic* those values
+/// feed (address computations, clamp chains) out of the filter-window
+/// loops. The load rule below still matters for what promotion must
+/// leave in memory form -- runtime-indexed arrays, local tiles -- and
+/// for pipelines that run without promotion.
 ///
 /// Hoisting is speculation-safe by construction -- the simulated device
 /// faults on out-of-bounds accesses, so only never-faulting instructions
@@ -20,8 +20,13 @@
 ///  * pure arithmetic/casts/comparisons/selects/GEPs with loop-invariant
 ///    operands (Div/Rem only when the divisor is a nonzero constant);
 ///  * pure builtin calls (math and work-item queries);
-///  * loads from *private scalar allocas* (the pointer operand is the
-///    alloca itself) that are not stored to anywhere inside the loop.
+///  * loads whose location is an *alloca element with a provably
+///    in-bounds constant index* (private or local; argument buffers have
+///    no statically known extent) defined outside the loop, and whose
+///    clobber set is loop-invariant: memory SSA certifies no clobber
+///    since function entry, or no store/barrier in the loop body may
+///    clobber the location (barriers clobber local allocas -- other
+///    work items' tile writes become visible -- never private ones).
 ///
 /// Loops whose header has no unique out-of-loop predecessor ending in an
 /// unconditional branch (a preheader) are skipped.
@@ -37,6 +42,7 @@ namespace kperf {
 namespace ir {
 
 class DominatorTree;
+class MemorySSA;
 
 /// Hoists loop-invariant instructions in \p F until a fixpoint.
 /// \returns the number of instructions moved.
@@ -47,6 +53,12 @@ unsigned hoistLoopInvariants(Function &F);
 /// \p DT stays valid throughout -- the pass pipeline hands in its cached
 /// tree instead of recomputing one per invocation.
 unsigned hoistLoopInvariants(Function &F, const DominatorTree &DT);
+
+/// Variant additionally reusing a precomputed memory SSA. Hoisting only
+/// moves loads and pure arithmetic, never memory defs, so \p MSSA's def
+/// chains stay accurate for every unmoved instruction throughout.
+unsigned hoistLoopInvariants(Function &F, const DominatorTree &DT,
+                             const MemorySSA &MSSA);
 
 } // namespace ir
 } // namespace kperf

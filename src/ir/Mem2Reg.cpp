@@ -41,9 +41,8 @@ public:
     if (Candidates.empty())
       return 0;
     computeLiveness();
-    dropBarrierCrossing();
-    if (Candidates.empty())
-      return 0;
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      CandidateIndex[Candidates[I].Alloca] = I;
     const DominatorTree &DT = AM.getDominatorTree(F);
     const DominanceFrontier &DF = AM.getDominanceFrontier(F);
     insertPhis(DF);
@@ -64,8 +63,7 @@ private:
   //===--- Candidate selection ---------------------------------------------//
 
   /// Finds private scalar allocas whose every use is a direct load/store
-  /// in a reachable block. Barrier exclusion happens later, once
-  /// block-level liveness is known (see dropBarrierCrossing).
+  /// in a reachable block.
   void collectCandidates() {
     // Flat layout index per instruction and the use lists of every
     // alloca, in one walk.
@@ -131,54 +129,6 @@ private:
               [&](const AllocaInfo &A, const AllocaInfo &B) {
                 return FlatIndex[A.Alloca] < FlatIndex[B.Alloca];
               });
-  }
-
-  //===--- Barrier exclusion ------------------------------------------------//
-
-  /// Drops candidates whose value is live across any work-group barrier.
-  /// Barriers split kernel execution into phases the simulator schedules
-  /// independently; keeping values that cross a phase boundary in private
-  /// memory mirrors how real kernel compilers avoid stretching register
-  /// live ranges across synchronization points. "Live across" is decided
-  /// at the barrier's program point -- a later load in the same block with
-  /// no intervening store, or live-out of the barrier's block with no
-  /// killing store after the barrier -- which, unlike a layout-order
-  /// interval test, also catches loop-carried values whose live range
-  /// crosses an in-loop barrier only on the back edge.
-  void dropBarrierCrossing() {
-    auto LiveAcross = [&](const AllocaInfo &Info, const BasicBlock *BB,
-                          size_t BarrierPos) {
-      const auto &Instrs = BB->instructions();
-      for (size_t I = BarrierPos + 1; I < Instrs.size(); ++I) {
-        const Instruction *In = Instrs[I].get();
-        if (In->opcode() == Opcode::Load && In->operand(0) == Info.Alloca)
-          return true; // Upward-exposed past the barrier.
-        if (In->opcode() == Opcode::Store && In->numOperands() == 2 &&
-            In->operand(1) == Info.Alloca)
-          return false; // Killed before leaving the block.
-      }
-      for (const BasicBlock *Succ : successors(BB))
-        if (Info.LiveIn.count(Succ))
-          return true;
-      return false;
-    };
-
-    Candidates.erase(
-        std::remove_if(Candidates.begin(), Candidates.end(),
-                       [&](const AllocaInfo &Info) {
-                         for (const auto &BB : F.blocks()) {
-                           const auto &Instrs = BB->instructions();
-                           for (size_t I = 0; I < Instrs.size(); ++I)
-                             if (Instrs[I]->opcode() == Opcode::Call &&
-                                 Instrs[I]->callee() == Builtin::Barrier &&
-                                 LiveAcross(Info, BB.get(), I))
-                               return true;
-                         }
-                         return false;
-                       }),
-        Candidates.end());
-    for (size_t I = 0; I < Candidates.size(); ++I)
-      CandidateIndex[Candidates[I].Alloca] = I;
   }
 
   //===--- Liveness (block granularity) ------------------------------------//

@@ -21,15 +21,17 @@
 ///    pointer operand); a GEP over it takes the address and disqualifies
 ///    it;
 ///  * all uses sit in blocks reachable from the entry (uses in dead
-///    blocks would otherwise reference the deleted alloca);
-///  * its value is not live across any work-group barrier (decided at
-///    each barrier's program point from block-level liveness, so a
-///    loop-carried value whose live range crosses an in-loop barrier
-///    only on the back edge is excluded too). Barriers split kernel
-///    execution into phases the simulator schedules independently;
-///    keeping values that cross a phase boundary in private memory
-///    mirrors how real kernel compilers avoid stretching register live
-///    ranges across synchronization points.
+///    blocks would otherwise reference the deleted alloca).
+///
+/// Values live across work-group barriers promote too: every execution
+/// tier suspends and resumes a work item with its live SSA values
+/// intact (the tree walker keeps them in the item's frame, the bytecode
+/// tiers in its register file), so a barrier is transparent to private
+/// scalars -- only *shared* memory (local tiles, global buffers) can
+/// change across one. The barrier exclusion the first mem2reg shipped
+/// with predated memory SSA; it existed to be conservative, not for
+/// correctness, and dropping it is what finally empties priv/item on
+/// kernels whose accumulators straddle a phase boundary.
 ///
 /// Loads that execute before any store yield a zero of the element type
 /// (reading an uninitialized variable; the simulator zero-fills the

@@ -7,6 +7,7 @@
 #include "ir/MemOpt.h"
 
 #include "ir/InstructionUtils.h"
+#include "ir/MemorySSA.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -16,12 +17,6 @@ using namespace kperf;
 using namespace kperf::ir;
 
 namespace {
-
-bool isPrivateAlloca(const Value *Root) {
-  const auto *A = dyn_cast<Instruction>(Root);
-  return A && A->opcode() == Opcode::Alloca &&
-         A->allocaSpace() == AddressSpace::Private;
-}
 
 bool isLocalAlloca(const Value *Root) {
   const auto *A = dyn_cast<Instruction>(Root);
@@ -116,48 +111,69 @@ unsigned ir::forwardStores(Function &F) {
 }
 
 unsigned ir::eliminateDeadStores(Function &F) {
+  DominatorTree DT = DominatorTree::compute(F);
+  DominanceFrontier DF = DominanceFrontier::compute(F, DT);
+  MemorySSA MSSA = MemorySSA::compute(F, DT, DF);
+  return eliminateDeadStores(F, MSSA);
+}
+
+unsigned ir::eliminateDeadStores(Function &F, const MemorySSA &MSSA) {
   std::unordered_set<const Instruction *> Dead;
 
-  for (const auto &BB : F.blocks()) {
-    // Latest unobserved store per exact pointer (private allocas only --
-    // local memory may be read by other work items, and argument
-    // buffers by the host).
-    std::unordered_map<const Value *, Instruction *> Pending;
-
-    auto ForgetRoot = [&](const Value *Root) {
-      for (auto It = Pending.begin(); It != Pending.end();)
-        It = rootObject(It->first) == Root ? Pending.erase(It)
-                                           : std::next(It);
-    };
-
+  for (const auto &BB : F.blocks())
     for (const auto &IPtr : BB->instructions()) {
       Instruction *I = IPtr.get();
-      switch (I->opcode()) {
-      case Opcode::Store: {
-        const Value *Ptr = I->operand(1);
-        const Value *Root = rootObject(Ptr);
-        if (!isPrivateAlloca(Root))
+      if (I->opcode() != Opcode::Store)
+        continue;
+      // Only provably in-bounds constant-indexed private stores may
+      // die: private memory is per-item and vanishes at kernel exit
+      // (local may be read by other work items, argument buffers by
+      // the host), and removing a store that could fault would change
+      // fault behavior.
+      MemoryLoc L = memoryLocation(I->operand(1));
+      const auto *A = dyn_cast<Instruction>(L.Root);
+      if (!A || A->opcode() != Opcode::Alloca ||
+          A->allocaSpace() != AddressSpace::Private)
+        continue;
+      if (!L.ConstIndex || L.Index < 0 ||
+          L.Index >= static_cast<int64_t>(A->allocaCount()))
+        continue;
+      const MemorySSA::Access *D = MSSA.defFor(I);
+      if (!D)
+        continue; // Unreachable block: leave it to DCE's sweeps.
+
+      // Flood downward over the states in which the stored value may
+      // still sit in L: the def itself, then every def/phi built on a
+      // flooded state that does not provably overwrite L. A
+      // may-aliasing load observed in any flooded state keeps the
+      // store; exhausting the flood means every path overwrites L
+      // before reading it or reaches kernel exit, where private memory
+      // dies.
+      bool Live = false;
+      std::vector<const MemorySSA::Access *> Work = {D};
+      std::unordered_set<const MemorySSA::Access *> Visited = {D};
+      while (!Work.empty() && !Live) {
+        const MemorySSA::Access *Cur = Work.back();
+        Work.pop_back();
+        for (const Instruction *Ld : Cur->LoadUsers)
+          if (mayAliasLocations(memoryLocation(Ld->operand(0)), L)) {
+            Live = true;
+            break;
+          }
+        if (Live)
           break;
-        auto It = Pending.find(Ptr);
-        if (It != Pending.end())
-          Dead.insert(It->second); // Overwritten before any read.
-        // A store to a sibling element does not overwrite, but it also
-        // does not observe: older pending stores to the same root stay
-        // pending only if their pointer differs -- which is exactly the
-        // state after the update below.
-        Pending[Ptr] = I;
-        break;
+        for (const MemorySSA::Access *U : Cur->DefUsers) {
+          if (U->Kind == MemorySSA::AccessKind::Def &&
+              U->Inst->opcode() == Opcode::Store &&
+              mustOverwrite(memoryLocation(U->Inst->operand(1)), L))
+            continue; // Killed along this path before any read.
+          if (Visited.insert(U).second)
+            Work.push_back(U);
+        }
       }
-      case Opcode::Load:
-        // Any load from the same alloca might observe a pending store
-        // (distinct gep values can compute equal addresses).
-        ForgetRoot(rootObject(I->operand(0)));
-        break;
-      default:
-        break;
-      }
+      if (!Live)
+        Dead.insert(I);
     }
-  }
 
   if (Dead.empty())
     return 0;

@@ -5,26 +5,33 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Block-local memory traffic cleanups over alloca-based variables. In
-/// the default pipeline mem2reg first promotes private scalars to SSA
-/// outright; these passes then cover what promotion must skip -- arrays
-/// indexed through GEPs, local-memory tiles, and scalars whose live
-/// range crosses a barrier -- and any pipeline that runs without
-/// mem2reg:
+/// Memory traffic cleanups over alloca-based variables. In the default
+/// pipeline mem2reg and sroa promote private scalars and
+/// constant-indexed arrays to SSA outright; these passes then cover what
+/// promotion must skip -- runtime-indexed arrays, local-memory tiles --
+/// and any pipeline that runs without promotion:
 ///
-///  * **store-to-load forwarding** -- a load that follows a store to the
-///    same address in the same block, with no intervening write that
-///    could alias, yields the stored value directly;
-///  * **dead-store elimination** -- a store to a private alloca that is
-///    overwritten by a later store to the same address in the same block,
-///    with no intervening read that could observe it, is removed.
+///  * **store-to-load forwarding** (block-local) -- a load that follows a
+///    store to the same address in the same block, with no intervening
+///    write that could alias, yields the stored value directly;
+///  * **dead-store elimination** (region-local, over memory SSA) -- a
+///    store to a provably in-bounds constant-indexed private location
+///    whose value no later load can observe is removed. Observability is
+///    decided by flooding the memory-SSA def/phi graph downward from the
+///    store: a path that overwrites the location before any may-aliasing
+///    load kills it there, and a path that reaches kernel exit kills it
+///    too (private memory is per-item and dies with the item), so stores
+///    overwritten *across block boundaries* and stores that are simply
+///    never read both go away.
 ///
-/// Aliasing is resolved with the same conservative rules as CSE: allocas
-/// are distinct objects (and never alias arguments); any store through an
-/// argument pointer may alias every other argument; barriers publish
-/// local and global memory but leave private memory alone. Forwarding is
-/// additionally restricted to private and local allocas -- forwarding
-/// through an argument pointer could hide host-visible buffer aliasing.
+/// Aliasing comes from the shared MemoryLoc rules (ir/MemorySSA.h):
+/// allocas are distinct objects (and never alias arguments); any store
+/// through an argument pointer may alias every other argument;
+/// same-root accesses disambiguate by constant GEP index; barriers
+/// publish local and global memory but leave private memory alone.
+/// Forwarding is additionally restricted to private and local allocas --
+/// forwarding through an argument pointer could hide host-visible buffer
+/// aliasing.
 ///
 /// Forwarded loads become dead; run eliminateDeadCode() afterwards (the
 /// pipeline does).
@@ -39,13 +46,19 @@
 namespace kperf {
 namespace ir {
 
+class MemorySSA;
+
 /// Forwards stored values to subsequent same-address loads in \p F.
 /// \returns the number of loads replaced.
 unsigned forwardStores(Function &F);
 
-/// Deletes private-alloca stores that are overwritten before any read.
-/// \returns the number of stores removed.
+/// Deletes private-alloca stores no later load can observe, deriving a
+/// local memory SSA. \returns the number of stores removed.
 unsigned eliminateDeadStores(Function &F);
+
+/// Variant reusing a precomputed memory SSA for \p F (the pass pipeline
+/// hands in the AnalysisManager-cached one).
+unsigned eliminateDeadStores(Function &F, const MemorySSA &MSSA);
 
 } // namespace ir
 } // namespace kperf

@@ -1,0 +1,238 @@
+//===- ir/MemorySSA.cpp -----------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/MemorySSA.h"
+
+#include "ir/InstructionUtils.h"
+
+using namespace kperf;
+using namespace kperf::ir;
+
+//===----------------------------------------------------------------------===//
+// MemoryLoc alias API
+//===----------------------------------------------------------------------===//
+
+MemoryLoc ir::memoryLocation(const Value *Ptr) {
+  MemoryLoc L;
+  L.ConstIndex = true;
+  L.Index = 0;
+  while (const auto *I = dyn_cast<Instruction>(Ptr)) {
+    if (I->opcode() != Opcode::Gep)
+      break;
+    if (const auto *C = dyn_cast<ConstantInt>(I->operand(1)))
+      L.Index += C->value();
+    else
+      L.ConstIndex = false; // Runtime index: any element of the root.
+    Ptr = I->operand(0);
+  }
+  if (isa<Argument>(Ptr) ||
+      (isa<Instruction>(Ptr) &&
+       cast<Instruction>(Ptr)->opcode() == Opcode::Alloca))
+    L.Root = Ptr;
+  else
+    L.Root = nullptr; // Pointer phi/select: opaque.
+  return L;
+}
+
+bool ir::mayAliasLocations(const MemoryLoc &A, const MemoryLoc &B) {
+  if (!A.Root || !B.Root)
+    return true;
+  if (A.Root == B.Root)
+    return !(A.ConstIndex && B.ConstIndex) || A.Index == B.Index;
+  // Distinct allocas are distinct objects, and allocas never overlap
+  // argument buffers.
+  const bool AIsAlloca = isa<Instruction>(A.Root);
+  const bool BIsAlloca = isa<Instruction>(B.Root);
+  if (AIsAlloca || BIsAlloca)
+    return false;
+  // Two distinct pointer arguments: the host may bind one buffer to
+  // both, unless their address spaces differ.
+  return A.Root->type().addressSpace() == B.Root->type().addressSpace();
+}
+
+bool ir::mustOverwrite(const MemoryLoc &Kill, const MemoryLoc &Victim) {
+  return Kill.Root && Kill.Root == Victim.Root && Kill.ConstIndex &&
+         Victim.ConstIndex && Kill.Index == Victim.Index;
+}
+
+bool ir::mayClobberLocation(const Instruction *Def, const MemoryLoc &L) {
+  if (Def->opcode() == Opcode::Store) {
+    MemoryLoc S = memoryLocation(Def->operand(1));
+    if (!S.Root)
+      return true; // Opaque target: could write anything, even const.
+    if (const auto *A = dyn_cast<Argument>(L.Root))
+      if (A->isConst())
+        return false; // Nothing identifiable writes a const buffer.
+    return mayAliasLocations(S, L);
+  }
+  assert(Def->opcode() == Opcode::Call &&
+         Def->callee() == Builtin::Barrier && "not a memory def");
+  if (!L.Root)
+    return true;
+  // A barrier publishes other work items' writes to shared memory;
+  // private memory is per-item and unaffected.
+  if (const auto *A = dyn_cast<Argument>(L.Root))
+    return !A->isConst();
+  return cast<Instruction>(L.Root)->allocaSpace() == AddressSpace::Local;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isMemoryDef(const Instruction *I) {
+  return I->opcode() == Opcode::Store ||
+         (I->opcode() == Opcode::Call && I->callee() == Builtin::Barrier);
+}
+
+} // namespace
+
+MemorySSA::Access *MemorySSA::newAccess(AccessKind Kind,
+                                        const BasicBlock *BB) {
+  Accesses.push_back(std::make_unique<Access>());
+  Access *A = Accesses.back().get();
+  A->Kind = Kind;
+  A->Block = BB;
+  return A;
+}
+
+MemorySSA MemorySSA::compute(const Function &F, const DominatorTree &DT,
+                             const DominanceFrontier &DF) {
+  MemorySSA M;
+  M.Live = M.newAccess(AccessKind::LiveOnEntry, nullptr);
+
+  // Pass 1: classify every store target and find the defining blocks.
+  std::unordered_set<const BasicBlock *> DefBlocks;
+  for (const auto &BB : F.blocks())
+    for (const auto &IPtr : BB->instructions()) {
+      const Instruction *I = IPtr.get();
+      if (!isMemoryDef(I))
+        continue;
+      DefBlocks.insert(BB.get());
+      if (I->opcode() != Opcode::Store)
+        continue;
+      MemoryLoc S = memoryLocation(I->operand(1));
+      if (S.Root) {
+        M.StoredRoots.insert(S.Root);
+        M.HasArgStore |= isa<Argument>(S.Root);
+      } else {
+        M.OpaqueStore = true;
+      }
+    }
+
+  // Pass 2: MemoryPhis on the (unpruned) iterated dominance frontier of
+  // the defining blocks, reachable blocks only. Memory is one variable,
+  // so pruning buys nothing -- every reachable join below a def merges.
+  {
+    std::vector<const BasicBlock *> Work(DefBlocks.begin(),
+                                         DefBlocks.end());
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!DT.isReachable(BB))
+        continue;
+      for (const BasicBlock *Frontier : DF.frontier(BB)) {
+        if (M.Phis.count(Frontier))
+          continue;
+        M.Phis[Frontier] = M.newAccess(AccessKind::Phi, Frontier);
+        Work.push_back(Frontier); // A phi is itself a definition.
+      }
+    }
+  }
+
+  // Pass 3: dominator-tree renaming walk threading the current state.
+  // Children inherit the state at the end of their idom -- sound because
+  // any block a different state could reach sits on a frontier and got a
+  // phi above (same argument as scalar SSA construction).
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+      Children;
+  for (const auto &BB : F.blocks())
+    if (const BasicBlock *IDom = DT.idom(BB.get()))
+      Children[IDom].push_back(BB.get());
+
+  struct Frame {
+    const BasicBlock *BB;
+    Access *State;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({F.entry(), M.Live});
+  unsigned NextID = 1;
+
+  while (!Stack.empty()) {
+    Frame Fr = Stack.back();
+    Stack.pop_back();
+
+    Access *State = Fr.State;
+    if (auto It = M.Phis.find(Fr.BB); It != M.Phis.end()) {
+      State = It->second;
+      if (!State->ID)
+        State->ID = NextID++;
+    }
+
+    for (const auto &IPtr : Fr.BB->instructions()) {
+      Instruction *I = IPtr.get();
+      if (I->opcode() == Opcode::Load) {
+        M.Reaching[I] = State;
+        State->LoadUsers.push_back(I);
+      } else if (isMemoryDef(I)) {
+        M.Reaching[I] = State;
+        Access *D = M.newAccess(AccessKind::Def, Fr.BB);
+        D->ID = NextID++;
+        D->Inst = I;
+        D->Defining = State;
+        State->DefUsers.push_back(D);
+        M.Defs[I] = D;
+        State = D;
+      }
+    }
+
+    for (const BasicBlock *Succ : successors(Fr.BB))
+      if (auto It = M.Phis.find(Succ); It != M.Phis.end()) {
+        It->second->Incoming.push_back(State);
+        It->second->IncomingBlocks.push_back(Fr.BB);
+        State->DefUsers.push_back(It->second);
+      }
+
+    if (auto ChildIt = Children.find(Fr.BB); ChildIt != Children.end())
+      // Push in reverse so the walk visits children in block order
+      // (deterministic access IDs).
+      for (auto It = ChildIt->second.rbegin();
+           It != ChildIt->second.rend(); ++It)
+        Stack.push_back({*It, State});
+  }
+
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+bool MemorySSA::isImmutableLocation(const MemoryLoc &L) const {
+  if (!L.Root || OpaqueStore)
+    return false;
+  if (const auto *A = dyn_cast<Argument>(L.Root))
+    return A->isConst() || !HasArgStore;
+  return !StoredRoots.count(L.Root);
+}
+
+const MemorySSA::Access *
+MemorySSA::clobberingAccess(const Instruction *Load) const {
+  const Access *A = reachingAccess(Load);
+  if (!A)
+    return nullptr; // Unreachable block: never executed, never keyed.
+  MemoryLoc L = memoryLocation(Load->operand(0));
+  if (isImmutableLocation(L))
+    return Live;
+  while (A->Kind == AccessKind::Def) {
+    if (mayClobberLocation(A->Inst, L))
+      return A;
+    A = A->Defining;
+  }
+  return A; // Phi or LiveOnEntry.
+}

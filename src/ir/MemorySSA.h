@@ -1,0 +1,191 @@
+//===- ir/MemorySSA.h - Memory SSA over kernel memory -------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A walk-based memory-SSA analysis over the kernel's one conceptual
+/// memory variable (private allocas, local tiles, and global argument
+/// buffers together). Every Store and every work-group Barrier is a
+/// **MemoryDef** producing a new memory state on top of the one it
+/// observed; every Load is a **MemoryUse** of the state reaching it;
+/// joins where distinct states meet get a **MemoryPhi**, placed on the
+/// iterated dominance frontier of the defining blocks and filled in by
+/// the same dominator-tree renaming walk mem2reg uses for scalars. The
+/// distinguished **LiveOnEntry** access is the state at function entry
+/// (the simulator zero-fills private arenas, so it reads as zero for
+/// private memory and as the bound buffer contents for arguments).
+///
+/// The analysis records, per access, the loads that observe it and the
+/// defs built on top of it, so clients can walk both up (reaching /
+/// clobbering queries, GVN) and down (dead-store elimination). Aliasing
+/// uses this system's contracts, exposed as the free MemoryLoc API
+/// below:
+///
+///  * distinct allocas never overlap, and never overlap arguments;
+///  * two distinct pointer *arguments* may alias (the host may bind one
+///    buffer twice) -- unless one is `const`, the system-wide contract
+///    that nothing writes that buffer during a launch;
+///  * same-root accesses disambiguate by constant GEP index; any
+///    variable index aliases every element of its root;
+///  * a store through a pointer whose chain does not bottom out at an
+///    alloca or argument (a pointer-typed phi/select) could target
+///    anything and clobbers every location;
+///  * barriers publish other work items' writes: they clobber local
+///    allocas and non-const argument buffers, never private memory.
+///
+/// Cached in AnalysisManager (getMemorySSA) and dropped on *any*
+/// invalidation: unlike the dominator tree, memory SSA is
+/// instruction-sensitive, so even CFG-preserving mutations stale it.
+/// Accesses are keyed by instruction pointer; passes that only *move*
+/// instructions (LICM) may keep querying a snapshot, because moving a
+/// non-def never changes any def chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_MEMORYSSA_H
+#define KPERF_IR_MEMORYSSA_H
+
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace kperf {
+namespace ir {
+
+/// What a pointer operand provably addresses: the underlying object and,
+/// when every GEP on the chain has a constant index, the exact element.
+struct MemoryLoc {
+  /// The underlying Alloca instruction or Argument; null when the chain
+  /// bottoms out in something opaque (pointer phi/select), which must be
+  /// treated as aliasing everything.
+  const Value *Root = nullptr;
+  /// True when the full GEP chain uses constant indices only.
+  bool ConstIndex = false;
+  /// Element index relative to Root (sum of the chain); valid only when
+  /// ConstIndex.
+  int64_t Index = 0;
+};
+
+/// Resolves \p Ptr to its MemoryLoc by walking the GEP chain.
+MemoryLoc memoryLocation(const Value *Ptr);
+
+/// True if locations \p A and \p B may address the same element.
+bool mayAliasLocations(const MemoryLoc &A, const MemoryLoc &B);
+
+/// True if a write to \p Kill provably overwrites all of \p Victim
+/// (same root, both constant-indexed, equal index).
+bool mustOverwrite(const MemoryLoc &Kill, const MemoryLoc &Victim);
+
+/// True if executing \p Def (a Store or Barrier call) may change the
+/// contents of \p L.
+bool mayClobberLocation(const Instruction *Def, const MemoryLoc &L);
+
+/// Memory SSA form of one function. Compute with compute(); query by
+/// instruction. All Access pointers stay valid for the lifetime of the
+/// MemorySSA object (moves included).
+class MemorySSA {
+public:
+  enum class AccessKind : uint8_t {
+    LiveOnEntry, ///< Memory state at function entry.
+    Def,         ///< A Store or Barrier: new state on top of Defining.
+    Phi,         ///< Join of the incoming predecessors' states.
+  };
+
+  struct Access {
+    AccessKind Kind = AccessKind::LiveOnEntry;
+    /// Stable numbering (0 = LiveOnEntry) in renaming-walk order; used
+    /// for deterministic printing and test assertions.
+    unsigned ID = 0;
+    /// The defining Store or Barrier call (Def only).
+    Instruction *Inst = nullptr;
+    /// Owning block (null for LiveOnEntry).
+    const BasicBlock *Block = nullptr;
+    /// The state this Def was built on (null for LiveOnEntry and Phi).
+    Access *Defining = nullptr;
+    /// Phi only: incoming state per predecessor, index-parallel.
+    std::vector<Access *> Incoming;
+    std::vector<const BasicBlock *> IncomingBlocks;
+    /// Loads whose reaching state is this access.
+    std::vector<const Instruction *> LoadUsers;
+    /// Defs built directly on this state, and phis it flows into.
+    std::vector<Access *> DefUsers;
+  };
+
+  /// Builds memory SSA for \p F. \p DT and \p DF must belong to \p F.
+  static MemorySSA compute(const Function &F, const DominatorTree &DT,
+                           const DominanceFrontier &DF);
+
+  /// The state at function entry.
+  const Access *liveOnEntry() const { return Live; }
+
+  /// The memory state observed just before \p I executes; recorded for
+  /// every Load, Store, and Barrier call in a reachable block (null
+  /// otherwise).
+  const Access *reachingAccess(const Instruction *I) const {
+    auto It = Reaching.find(I);
+    return It == Reaching.end() ? nullptr : It->second;
+  }
+
+  /// The MemoryDef created by \p I (a Store or Barrier call in a
+  /// reachable block; null otherwise).
+  const Access *defFor(const Instruction *I) const {
+    auto It = Defs.find(I);
+    return It == Defs.end() ? nullptr : It->second;
+  }
+
+  /// The MemoryPhi of \p BB, or null if the block has none.
+  const Access *phiFor(const BasicBlock *BB) const {
+    auto It = Phis.find(BB);
+    return It == Phis.end() ? nullptr : It->second;
+  }
+
+  /// The nearest access that may actually change what \p Load reads:
+  /// walks the def chain upward from the load's reaching state, skipping
+  /// defs that provably cannot alias the loaded location, and stops at
+  /// the first may-aliasing Def, at a Phi, or at LiveOnEntry. Locations
+  /// that are immutable for the whole launch (see isImmutableLocation)
+  /// short-circuit to LiveOnEntry even across phis -- this is what lets
+  /// GVN merge const-buffer loads across joins and barriers. Null for
+  /// loads in unreachable blocks.
+  const Access *clobberingAccess(const Instruction *Load) const;
+
+  /// True if nothing can write \p L during a launch: no store in the
+  /// function targets an opaque root, and \p L's root is either never
+  /// stored to (allocas; every work item runs this same function, so no
+  /// store here means no store anywhere) or a `const` argument; a
+  /// non-const argument qualifies only when no argument-rooted store
+  /// exists at all (two argument pointers may be one buffer).
+  bool isImmutableLocation(const MemoryLoc &L) const;
+
+  /// True if some store in the function writes through a pointer with no
+  /// identifiable root object.
+  bool hasOpaqueStore() const { return OpaqueStore; }
+
+  /// Total number of accesses including LiveOnEntry.
+  size_t numAccesses() const { return Accesses.size(); }
+
+private:
+  Access *newAccess(AccessKind Kind, const BasicBlock *BB);
+
+  std::vector<std::unique_ptr<Access>> Accesses;
+  Access *Live = nullptr;
+  std::unordered_map<const Instruction *, Access *> Reaching;
+  std::unordered_map<const Instruction *, Access *> Defs;
+  std::unordered_map<const BasicBlock *, Access *> Phis;
+  /// Roots (allocas / arguments) some store writes through.
+  std::unordered_set<const Value *> StoredRoots;
+  bool OpaqueStore = false;
+  bool HasArgStore = false;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_MEMORYSSA_H

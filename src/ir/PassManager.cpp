@@ -13,6 +13,7 @@
 #include "ir/LoopUnroll.h"
 #include "ir/Mem2Reg.h"
 #include "ir/MemOpt.h"
+#include "ir/SROA.h"
 #include "ir/Simplify.h"
 #include "ir/Verifier.h"
 #include "support/StringUtils.h"
@@ -64,12 +65,13 @@ public:
   bool preservesCFG() const override { return true; }
 };
 
-/// Dead-store elimination half of MemOpt.
+/// Dead-store elimination half of MemOpt, region-local over the cached
+/// memory SSA.
 class MemOptDSEPass : public FunctionPass {
 public:
   const char *name() const override { return "memopt-dse"; }
-  unsigned run(Function &F, Module &, AnalysisManager &) override {
-    return eliminateDeadStores(F);
+  unsigned run(Function &F, Module &, AnalysisManager &AM) override {
+    return eliminateDeadStores(F, AM.getMemorySSA(F));
   }
   bool preservesCFG() const override { return true; }
 };
@@ -77,12 +79,28 @@ public:
 /// Loop-invariant code motion. Moves instructions between existing
 /// blocks; the block set and branch edges stay intact, so the dominator
 /// tree it reads from the AnalysisManager remains valid across its own
-/// mutations -- this is the pass the analysis cache exists for.
+/// mutations -- this is the pass the analysis cache exists for. The
+/// memory SSA it hands to the load-hoisting rule stays accurate too:
+/// LICM never moves a store or barrier, so no def chain changes.
 class LICMPass : public FunctionPass {
 public:
   const char *name() const override { return "licm"; }
   unsigned run(Function &F, Module &, AnalysisManager &AM) override {
-    return hoistLoopInvariants(F, AM.getDominatorTree(F));
+    return hoistLoopInvariants(F, AM.getDominatorTree(F),
+                               AM.getMemorySSA(F));
+  }
+  bool preservesCFG() const override { return true; }
+};
+
+/// Scalar replacement of aggregates: splits constant-indexed private
+/// array allocas into per-element scalars for mem2reg to promote.
+/// Inserts and erases allocas/GEPs only; blocks and branch edges stay
+/// intact.
+class SROAPass : public FunctionPass {
+public:
+  const char *name() const override { return "sroa"; }
+  unsigned run(Function &F, Module &, AnalysisManager &) override {
+    return scalarizeAggregates(F);
   }
   bool preservesCFG() const override { return true; }
 };
@@ -109,14 +127,16 @@ public:
   bool preservesCFG() const override { return true; }
 };
 
-/// Cross-block value numbering scoped by the dominator tree. Redirects
-/// uses to dominating leaders; terminators and edges stay intact, so the
-/// tree it reads remains valid across its own mutations.
+/// Cross-block value numbering scoped by the dominator tree, with load
+/// numbering over the cached memory SSA. Redirects uses to dominating
+/// leaders; terminators and edges stay intact, so the tree it reads
+/// remains valid across its own mutations.
 class GVNPass : public FunctionPass {
 public:
   const char *name() const override { return "gvn"; }
   unsigned run(Function &F, Module &, AnalysisManager &AM) override {
-    return numberValuesGlobally(F, AM.getDominatorTree(F));
+    return numberValuesGlobally(F, AM.getDominatorTree(F),
+                                AM.getMemorySSA(F));
   }
   bool preservesCFG() const override { return true; }
 };
@@ -155,6 +175,8 @@ PassRegistry &PassRegistry::instance() {
     Reg->registerPass("licm", [] { return std::make_unique<LICMPass>(); });
     Reg->registerPass("mem2reg",
                       [] { return std::make_unique<Mem2RegPass>(); });
+    Reg->registerPass("sroa",
+                      [] { return std::make_unique<SROAPass>(); });
     Reg->registerPass("gvn", [] { return std::make_unique<GVNPass>(); });
     Reg->registerParameterizedPass(
         "unroll",
@@ -611,13 +633,16 @@ const char *ir::defaultPipelineSpec() {
   // unroll runs next (it needs the SSA induction phis, and one
   // application flattens every constant-trip loop it ever will), turning
   // the filter-window nests into straight-line blocks. The fixpoint
-  // group then folds the collapsed induction arithmetic (simplify),
-  // merges the cross-block recomputations unrolling and perforation
-  // expose (gvn), and iterates the block-local memory cleanups over IR
-  // that carries far less private traffic (memopt survives for what
-  // mem2reg must skip: arrays, locals, barrier-crossing scalars).
-  return "mem2reg,unroll,fixpoint(simplify,gvn,cse,memopt-forward,licm,"
-         "memopt-dse,dce)";
+  // group then folds the collapsed induction arithmetic (simplify) --
+  // which is what turns the window arrays' `ky*W+kx` GEP indices into
+  // constants -- so sroa can split them into scalars and the in-group
+  // mem2reg can promote those (plus anything unroll exposed) in the same
+  // round; gvn then merges the cross-block recomputations unrolling and
+  // perforation expose, and the memory cleanups iterate over IR that
+  // carries almost no private traffic (memopt survives for what
+  // promotion must skip: runtime-indexed arrays and local tiles).
+  return "mem2reg,unroll,fixpoint(simplify,sroa,mem2reg,gvn,cse,"
+         "memopt-forward,licm,memopt-dse,dce)";
 }
 
 size_t ir::functionInstructionCount(const Function &F) {

@@ -10,10 +10,10 @@
 ///
 ///  * FunctionPass -- the pass interface: run on one function, report how
 ///    many changes were made, declare whether the CFG survived;
-///  * PassRegistry -- maps textual names ("mem2reg", "simplify", "cse",
-///    "memopt-forward", "memopt-dse", "licm", "gvn", "unroll", "dce") to
-///    pass factories; passes taking an integer knob (unroll's IR-size
-///    budget) register a parameterized factory with a default;
+///  * PassRegistry -- maps textual names ("mem2reg", "sroa", "simplify",
+///    "cse", "memopt-forward", "memopt-dse", "licm", "gvn", "unroll",
+///    "dce") to pass factories; passes taking an integer knob (unroll's
+///    IR-size budget) register a parameterized factory with a default;
 ///  * PassPipeline -- a parsed pipeline specification such as
 ///
 ///      mem2reg,unroll,fixpoint(simplify,gvn,cse,dce)
@@ -156,6 +156,7 @@ struct PipelineStats {
 
   /// Named accessors for the classic pipeline's reporting.
   unsigned promoted() const { return changes("mem2reg"); }
+  unsigned scalarized() const { return changes("sroa"); }
   unsigned unrolled() const { return changes("unroll"); }
   unsigned simplified() const { return changes("simplify"); }
   unsigned numbered() const { return changes("gvn"); }

@@ -15,12 +15,18 @@ using namespace kperf::ir;
 
 std::string PipelineOptions::spec() const {
   // Preserve the historical ordering: simplify folds the unrolled
-  // induction constants before GVN keys on them; forwarding runs after
-  // CSE so duplicate GEPs have been merged and pointer identity finds
-  // every same-address pair; DSE runs after LICM.
+  // induction constants before sroa keys on them (constant GEP indices)
+  // and before GVN numbers them; the in-group mem2reg promotes the
+  // scalars sroa just split; forwarding runs after CSE so duplicate GEPs
+  // have been merged and pointer identity finds every same-address pair;
+  // DSE runs after LICM.
   std::vector<std::string> Names;
   if (Simplify)
     Names.push_back("simplify");
+  if (SROA)
+    Names.push_back("sroa");
+  if (SROA && Mem2Reg) // In-group promotion exists for sroa's scalars.
+    Names.push_back("mem2reg");
   if (GVN)
     Names.push_back("gvn");
   if (CSE)

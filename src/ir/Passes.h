@@ -7,11 +7,11 @@
 /// \file
 /// Compatibility shim over the pass-manager layer (PassManager.h). The
 /// standard pipeline run over generated kernels -- mem2reg and unroll
-/// once, then simplify, GVN, CSE, memopt forwarding, LICM, memopt DSE,
-/// and DCE iterated to a fixpoint -- is defaultPipelineSpec(); the
-/// PipelineOptions bool-struct survives only so older call sites (and
-/// the pass-ablation benchmark's history) keep compiling, and maps onto
-/// a pipeline spec string.
+/// once, then simplify, SROA, mem2reg again, GVN, CSE, memopt
+/// forwarding, LICM, memopt DSE, and DCE iterated to a fixpoint -- is
+/// defaultPipelineSpec(); the PipelineOptions bool-struct survives only
+/// so older call sites (and the pass-ablation benchmark's history) keep
+/// compiling, and maps onto a pipeline spec string.
 ///
 /// New code should parse and run PassPipeline directly, or use
 /// runPipelineSpec() below.
@@ -31,17 +31,19 @@ namespace ir {
 /// favor of pipeline spec strings; retained as the compatibility shim for
 /// callers predating the pass manager.
 struct PipelineOptions {
-  bool Mem2Reg = true; ///< SSA promotion ahead of the fixpoint group.
+  bool Mem2Reg = true; ///< SSA promotion: ahead of the fixpoint group,
+                       ///< and inside it (after SROA splits arrays).
   bool Unroll = true;  ///< Constant-trip full unrolling after mem2reg.
   bool Simplify = true;
-  bool GVN = true; ///< Cross-block value numbering in the fixpoint group.
+  bool SROA = true; ///< Array-alloca scalarization in the fixpoint group.
+  bool GVN = true;  ///< Cross-block value numbering in the fixpoint group.
   bool CSE = true;
   bool MemOpt = true; ///< Store forwarding + dead-store elimination.
   bool LICM = true;
   bool DCE = true;
 
   static PipelineOptions none() {
-    return {false, false, false, false, false, false, false, false};
+    return {false, false, false, false, false, false, false, false, false};
   }
 
   /// The pipeline spec these options describe: the default fixpoint

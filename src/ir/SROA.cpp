@@ -1,0 +1,185 @@
+//===- ir/SROA.cpp ----------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SROA.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Everything known about one splittable array alloca.
+struct ArrayInfo {
+  Instruction *Alloca = nullptr;
+  /// Constant-indexed GEPs over the array (each use only by direct
+  /// loads/stores through it).
+  std::vector<Instruction *> Geps;
+  /// Direct loads of the array pointer itself (element 0).
+  std::vector<Instruction *> DirectLoads;
+  /// Direct stores through the array pointer itself (element 0).
+  std::vector<Instruction *> DirectStores;
+};
+
+/// Returns the constant element index of GEP \p G into its array, or -1
+/// when the index is a runtime value.
+int64_t constGepIndex(const Instruction *G) {
+  const auto *C = dyn_cast<ConstantInt>(G->operand(1));
+  return C ? C->value() : -1;
+}
+
+} // namespace
+
+unsigned ir::scalarizeAggregates(Function &F) {
+  // Candidate arrays in layout order (deterministic element naming).
+  std::vector<Instruction *> Arrays;
+  std::unordered_map<const Instruction *, ArrayInfo> Infos;
+  for (const auto &BB : F.blocks())
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      if (I->opcode() == Opcode::Alloca &&
+          I->allocaSpace() == AddressSpace::Private &&
+          I->allocaCount() > 1) {
+        Arrays.push_back(I);
+        Infos[I].Alloca = I;
+      }
+    }
+  if (Arrays.empty())
+    return 0;
+
+  // Classify every use; any non-conforming one disqualifies its array.
+  std::unordered_set<const Instruction *> Disqualified;
+  auto ArrayOperand = [&](const Instruction *I,
+                          unsigned OpI) -> Instruction * {
+    auto *Op = dyn_cast<Instruction>(I->operand(OpI));
+    return Op && Infos.count(Op) ? Op : nullptr;
+  };
+
+  for (const auto &BB : F.blocks())
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        Instruction *A = ArrayOperand(I, OpI);
+        if (!A)
+          continue;
+        if (I->opcode() == Opcode::Load && OpI == 0) {
+          Infos[A].DirectLoads.push_back(I);
+        } else if (I->opcode() == Opcode::Store && OpI == 1) {
+          Infos[A].DirectStores.push_back(I);
+        } else if (I->opcode() == Opcode::Gep && OpI == 0) {
+          int64_t Idx = constGepIndex(I);
+          if (Idx < 0 || Idx >= static_cast<int64_t>(A->allocaCount())) {
+            // Runtime index (could be any element) or out of bounds
+            // (the access faults; splitting must not change that).
+            Disqualified.insert(A);
+            continue;
+          }
+          Infos[A].Geps.push_back(I);
+        } else {
+          // Stored as a value, fed to a call/select/phi/nested GEP:
+          // the address escapes.
+          Disqualified.insert(A);
+        }
+      }
+    }
+
+  // GEP results must feed only direct loads/stores through them.
+  std::unordered_map<const Instruction *, const Instruction *> GepArray;
+  for (auto &[A, Info] : Infos)
+    if (!Disqualified.count(A))
+      for (const Instruction *G : Info.Geps)
+        GepArray[G] = A;
+  for (const auto &BB : F.blocks())
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        auto *Op = dyn_cast<Instruction>(I->operand(OpI));
+        if (!Op)
+          continue;
+        auto It = GepArray.find(Op);
+        if (It == GepArray.end())
+          continue;
+        bool DirectLoad = I->opcode() == Opcode::Load && OpI == 0;
+        bool DirectStore = I->opcode() == Opcode::Store && OpI == 1;
+        if (!(DirectLoad || DirectStore))
+          Disqualified.insert(It->second);
+      }
+    }
+
+  unsigned Changes = 0;
+  std::unordered_set<const Instruction *> Dead;
+  // Load/store pointer operand -> replacement element alloca.
+  std::unordered_map<const Value *, Instruction *> ElementFor;
+
+  for (Instruction *A : Arrays) {
+    if (Disqualified.count(A))
+      continue;
+    ArrayInfo &Info = Infos[A];
+    BasicBlock *BB = A->parent();
+    size_t Pos = BB->indexOf(A);
+    Type ElemPtr = Type::pointerTo(A->type().pointeeType().scalarKind(),
+                                   AddressSpace::Private);
+
+    // One scalar alloca per element, at the array's position (so they
+    // dominate every access the array dominated).
+    std::vector<Instruction *> Elements(A->allocaCount(), nullptr);
+    for (unsigned E = 0; E < A->allocaCount(); ++E) {
+      auto Elem = std::make_unique<Instruction>(
+          Opcode::Alloca, ElemPtr, std::vector<Value *>{},
+          format("%s.%u", A->name().c_str(), E));
+      Elements[E] = BB->insert(Pos + E, std::move(Elem));
+      ++Changes;
+    }
+
+    for (Instruction *G : Info.Geps) {
+      ElementFor[G] = Elements[static_cast<size_t>(constGepIndex(G))];
+      Dead.insert(G);
+    }
+    if (!Info.DirectLoads.empty() || !Info.DirectStores.empty())
+      ElementFor[A] = Elements[0];
+    Dead.insert(A);
+    ++Changes; // The split itself.
+  }
+  if (Dead.empty())
+    return 0;
+
+  // Rewrite every load/store pointer onto its element alloca.
+  for (const auto &BB : F.blocks())
+    for (const auto &IPtr : BB->instructions()) {
+      Instruction *I = IPtr.get();
+      if (I->opcode() == Opcode::Load) {
+        auto It = ElementFor.find(I->operand(0));
+        if (It != ElementFor.end()) {
+          I->setOperand(0, It->second);
+          ++Changes;
+        }
+      } else if (I->opcode() == Opcode::Store) {
+        auto It = ElementFor.find(I->operand(1));
+        if (It != ElementFor.end()) {
+          I->setOperand(1, It->second);
+          ++Changes;
+        }
+      }
+    }
+
+  // Erase the split arrays and their GEPs.
+  for (const auto &BB : F.blocks()) {
+    auto &Instrs =
+        const_cast<BasicBlock *>(BB.get())->mutableInstructions();
+    Instrs.erase(std::remove_if(Instrs.begin(), Instrs.end(),
+                                [&](const auto &I) {
+                                  return Dead.count(I.get()) != 0;
+                                }),
+                 Instrs.end());
+  }
+  return Changes;
+}

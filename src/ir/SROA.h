@@ -1,0 +1,57 @@
+//===- ir/SROA.h - Scalar replacement of aggregates ---------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar replacement of aggregates: splits a private *array* alloca
+/// whose every access uses a provably in-bounds constant index into one
+/// scalar alloca per element, rewriting each constant-indexed load and
+/// store onto its element and deleting the GEPs and the array. The
+/// filter-window arrays of sobel5/median (`float w[25]`) reach this
+/// shape once unroll + simplify have folded their `ky*W+kx` index
+/// arithmetic to constants; after splitting, mem2reg promotes the
+/// elements to SSA values and priv/item drops to zero.
+///
+/// An array alloca is split when all of the following hold:
+///
+///  * it is **private** (local tiles are shared across work items and
+///    must keep their memory form) with more than one element (scalars
+///    are mem2reg's job already);
+///  * every use is either a GEP with a ConstantInt index in
+///    [0, element count) whose own uses are all direct loads and stores
+///    *through* it, or a direct load/store of the array pointer itself
+///    (element 0);
+///  * no GEP index is a runtime value, no index is out of bounds (the
+///    access would fault; splitting must not change fault behavior),
+///    and the address never escapes (into another GEP, a select, a phi,
+///    a call, or a stored *value*).
+///
+/// Element allocas are inserted at the array alloca's position, so they
+/// dominate every rewritten access, and inherit zero-initialization
+/// from the simulator's zero-filled private arena exactly like the
+/// array did. Runs inside the default pipeline's fixpoint group as
+/// "sroa", before that round's mem2reg; emptied GEPs and split arrays
+/// are erased here, unused element allocas are swept by DCE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_SROA_H
+#define KPERF_IR_SROA_H
+
+#include "ir/Function.h"
+
+namespace kperf {
+namespace ir {
+
+/// Splits every eligible private array alloca of \p F into per-element
+/// scalar allocas. \returns the number of IR changes made (arrays split
+/// + element allocas created + loads/stores rewritten), 0 when nothing
+/// was eligible. Never changes the block set or branch edges.
+unsigned scalarizeAggregates(Function &F);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_SROA_H

@@ -195,15 +195,42 @@ TEST_F(MemOptTest, InterveningLoadKeepsStore) {
   EXPECT_EQ(eliminateDeadStores(*F), 0u);
 }
 
-TEST_F(MemOptTest, SiblingElementStoresBothLive) {
+TEST_F(MemOptTest, SiblingElementStoresBothDeadAtExit) {
   Value *A =
       B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "a");
   B.createStore(M.getFloat(1.0f), B.createGep(A, M.getInt(0)));
   B.createStore(M.getFloat(2.0f), B.createGep(A, M.getInt(1)));
   finishAndVerify();
-  // Different gep values: neither overwrites the other (even though the
-  // indices here happen to be distinct constants, the pass only trusts
-  // pointer identity).
+  // Neither store overwrites the other (distinct constant elements), but
+  // no load ever reads either one and private memory dies with the work
+  // item: the memory-SSA walk reaches kernel exit and removes both.
+  EXPECT_EQ(eliminateDeadStores(*F), 2u);
+}
+
+TEST_F(MemOptTest, SiblingElementStoresLiveWhenRead) {
+  Value *A =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "a");
+  Value *G0 = B.createGep(A, M.getInt(0));
+  Value *G1 = B.createGep(A, M.getInt(1));
+  B.createStore(M.getFloat(1.0f), G0);
+  B.createStore(M.getFloat(2.0f), G1);
+  keep(B.createLoad(G0, "l0"), 0);
+  keep(B.createLoad(G1, "l1"), 1);
+  finishAndVerify();
+  // With readers of both elements, constant-index disambiguation must
+  // not let either store kill its sibling.
+  EXPECT_EQ(eliminateDeadStores(*F), 0u);
+}
+
+TEST_F(MemOptTest, VariableIndexStoreNeverRemoved) {
+  Value *A =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "a");
+  Value *Idx = B.createCall(Builtin::GetGlobalId, {M.getInt(0)}, "x");
+  B.createStore(M.getFloat(1.0f), B.createGep(A, Idx));
+  finishAndVerify();
+  // The runtime index may be out of bounds; removing the store would
+  // change fault behavior, so only provably in-bounds constant-index
+  // private stores are DSE candidates.
   EXPECT_EQ(eliminateDeadStores(*F), 0u);
 }
 

@@ -1,0 +1,375 @@
+//===- tests/memssa_test.cpp - Memory SSA analysis tests --------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the walk-based memory SSA (ir/MemorySSA.h): MemoryDef chains and
+// reaching queries across barriers, MemoryPhi placement at joins,
+// clobber conservatism for variable-indexed and opaque stores, the
+// MemoryLoc alias rules, and the AnalysisManager caching contract (a
+// repeated query hits the cache, any invalidation -- even CFG-preserving
+// -- forces a fresh walk).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AnalysisManager.h"
+#include "ir/IRBuilder.h"
+#include "ir/MemorySSA.h"
+#include "ir/Verifier.h"
+#include "pcl/Compiler.h"
+#include "runtime/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Fixture with a const input buffer, a mutable output buffer, an int
+/// argument, and an open entry block.
+class MemSSATest : public ::testing::Test {
+protected:
+  MemSSATest() : B(M) {
+    F = M.createFunction("f");
+    In = F->addArgument(
+        Type::pointerTo(ScalarKind::Float, AddressSpace::Global), "in",
+        true);
+    Out = F->addArgument(
+        Type::pointerTo(ScalarKind::Float, AddressSpace::Global), "out",
+        false);
+    W = F->addArgument(Type::intTy(), "w", false);
+    Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+  }
+
+  /// Verifies \p F and computes its memory SSA.
+  MemorySSA build() {
+    Error E = verifyFunction(*F);
+    EXPECT_FALSE(E) << E.message();
+    DT = DominatorTree::compute(*F);
+    DF = DominanceFrontier::compute(*F, DT);
+    return MemorySSA::compute(*F, DT, DF);
+  }
+
+  Module M;
+  Function *F = nullptr;
+  Argument *In = nullptr;
+  Argument *Out = nullptr;
+  Argument *W = nullptr;
+  BasicBlock *Entry = nullptr;
+  IRBuilder B;
+  DominatorTree DT;
+  DominanceFrontier DF;
+};
+
+//===----------------------------------------------------------------------===//
+// MemoryLoc alias rules
+//===----------------------------------------------------------------------===//
+
+TEST_F(MemSSATest, MemoryLocationResolvesGepChains) {
+  Instruction *A =
+      B.createAlloca(ScalarKind::Float, 8, AddressSpace::Private, "a");
+  Instruction *G1 = B.createGep(A, M.getInt(2), "g1");
+  Instruction *G2 = B.createGep(G1, M.getInt(3), "g2");
+  Instruction *GV = B.createGep(A, W, "gv");
+  B.createRet();
+
+  MemoryLoc Direct = memoryLocation(A);
+  EXPECT_EQ(Direct.Root, A);
+  EXPECT_TRUE(Direct.ConstIndex);
+  EXPECT_EQ(Direct.Index, 0);
+
+  MemoryLoc Nested = memoryLocation(G2); // Chain indices sum.
+  EXPECT_EQ(Nested.Root, A);
+  EXPECT_TRUE(Nested.ConstIndex);
+  EXPECT_EQ(Nested.Index, 5);
+
+  MemoryLoc Runtime = memoryLocation(GV);
+  EXPECT_EQ(Runtime.Root, A);
+  EXPECT_FALSE(Runtime.ConstIndex);
+}
+
+TEST_F(MemSSATest, AliasAndOverwriteRules) {
+  Instruction *A =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "a");
+  Instruction *C =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "c");
+  Instruction *GV = B.createGep(A, W, "gv");
+  B.createRet();
+
+  MemoryLoc A0 = memoryLocation(A);
+  MemoryLoc AVar = memoryLocation(GV);
+  MemoryLoc C0 = memoryLocation(C);
+  MemoryLoc InLoc = memoryLocation(In);
+  MemoryLoc OutLoc = memoryLocation(Out);
+
+  // Same root: constant indices disambiguate, variable aliases all.
+  EXPECT_FALSE(mayAliasLocations(A0, C0));  // Distinct allocas.
+  EXPECT_TRUE(mayAliasLocations(A0, AVar)); // Variable index.
+  EXPECT_FALSE(mayAliasLocations(A0, InLoc));  // Alloca vs argument.
+  EXPECT_TRUE(mayAliasLocations(InLoc, OutLoc)); // Args may double-bind.
+
+  // mustOverwrite requires same root and equal constant indices.
+  EXPECT_TRUE(mustOverwrite(A0, A0));
+  EXPECT_FALSE(mustOverwrite(AVar, A0)); // Variable kill never proves.
+  EXPECT_FALSE(mustOverwrite(A0, AVar)); // Variable victim never proved.
+  EXPECT_FALSE(mustOverwrite(A0, C0));
+}
+
+//===----------------------------------------------------------------------===//
+// Def chains, barriers, clobber walks
+//===----------------------------------------------------------------------===//
+
+TEST_F(MemSSATest, StraightLineDefChain) {
+  Instruction *A =
+      B.createAlloca(ScalarKind::Float, 1, AddressSpace::Private, "a");
+  Instruction *S1 = B.createStore(M.getFloat(1.0f), A);
+  Instruction *S2 = B.createStore(M.getFloat(2.0f), A);
+  Instruction *L = B.createLoad(A, "l");
+  B.createStore(L, B.createGep(Out, M.getInt(0)));
+  B.createRet();
+
+  MemorySSA MSSA = build();
+  const MemorySSA::Access *D1 = MSSA.defFor(S1);
+  const MemorySSA::Access *D2 = MSSA.defFor(S2);
+  ASSERT_NE(D1, nullptr);
+  ASSERT_NE(D2, nullptr);
+  EXPECT_EQ(D1->Defining, MSSA.liveOnEntry());
+  EXPECT_EQ(D2->Defining, D1);
+  // The load observes the state after S2, and S2 is its clobber.
+  EXPECT_EQ(MSSA.reachingAccess(L), D2);
+  EXPECT_EQ(MSSA.clobberingAccess(L), D2);
+  // Downward: D1's def-users contain D2; D2's load-users contain L.
+  ASSERT_EQ(D1->DefUsers.size(), 1u);
+  EXPECT_EQ(D1->DefUsers[0], D2);
+  ASSERT_GE(D2->LoadUsers.size(), 1u);
+  EXPECT_EQ(D2->LoadUsers[0], L);
+}
+
+TEST_F(MemSSATest, BarrierClobbersLocalAndArgsButNotPrivate) {
+  Instruction *P =
+      B.createAlloca(ScalarKind::Float, 1, AddressSpace::Private, "p");
+  Instruction *T =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Local, "t");
+  Instruction *SP = B.createStore(M.getFloat(1.0f), P);
+  Instruction *G0 = B.createGep(T, M.getInt(0), "g0");
+  B.createStore(M.getFloat(2.0f), G0);
+  Instruction *Bar = B.createCall(Builtin::Barrier, {}, "");
+  Instruction *LP = B.createLoad(P, "lp");   // Private: barrier-immune.
+  Instruction *LT = B.createLoad(G0, "lt");  // Local: barrier publishes.
+  Instruction *LI =
+      B.createLoad(B.createGep(In, M.getInt(0)), "li"); // Const arg.
+  B.createStore(B.createAdd(LP, B.createAdd(LT, LI)),
+                B.createGep(Out, M.getInt(0)));
+  B.createRet();
+
+  MemorySSA MSSA = build();
+  // The barrier is a def on top of the local store's state.
+  const MemorySSA::Access *DBar = MSSA.defFor(Bar);
+  ASSERT_NE(DBar, nullptr);
+  EXPECT_EQ(DBar->Kind, MemorySSA::AccessKind::Def);
+  // All three loads observe the post-barrier state...
+  EXPECT_EQ(MSSA.reachingAccess(LP), DBar);
+  EXPECT_EQ(MSSA.reachingAccess(LT), DBar);
+  // ...but only the local load is actually clobbered by the barrier; the
+  // private load's walk skips it (and the intervening local store) back
+  // to its own store, and the const-arg load short-circuits to entry.
+  EXPECT_EQ(MSSA.clobberingAccess(LP), MSSA.defFor(SP));
+  EXPECT_EQ(MSSA.clobberingAccess(LT), DBar);
+  EXPECT_EQ(MSSA.clobberingAccess(LI), MSSA.liveOnEntry());
+}
+
+TEST_F(MemSSATest, VariableIndexStoreClobbersWholeRoot) {
+  Instruction *A =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "a");
+  Instruction *C =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "c");
+  B.createStore(M.getFloat(1.0f), B.createGep(A, M.getInt(2)));
+  Instruction *SV =
+      B.createStore(M.getFloat(2.0f), B.createGep(A, W, "gv"));
+  Instruction *LA0 = B.createLoad(B.createGep(A, M.getInt(0), "ga0"), "la");
+  Instruction *LC0 = B.createLoad(B.createGep(C, M.getInt(0), "gc0"), "lc");
+  B.createStore(B.createAdd(LA0, LC0), B.createGep(Out, M.getInt(0)));
+  B.createRet();
+
+  MemorySSA MSSA = build();
+  // a[0]'s walk stops at the variable-indexed store (may be element 0),
+  // having skipped nothing: the a[2] store below it is irrelevant.
+  EXPECT_EQ(MSSA.clobberingAccess(LA0), MSSA.defFor(SV));
+  // c is a different object: both stores skip, never-stored root
+  // short-circuits to entry.
+  EXPECT_EQ(MSSA.clobberingAccess(LC0), MSSA.liveOnEntry());
+}
+
+TEST_F(MemSSATest, ConstIndexSiblingStoreIsSkipped) {
+  Instruction *A =
+      B.createAlloca(ScalarKind::Float, 4, AddressSpace::Private, "a");
+  Instruction *S0 =
+      B.createStore(M.getFloat(1.0f), B.createGep(A, M.getInt(0), "g0"));
+  B.createStore(M.getFloat(2.0f), B.createGep(A, M.getInt(1), "g1"));
+  Instruction *L0 = B.createLoad(B.createGep(A, M.getInt(0), "g0b"), "l0");
+  B.createStore(L0, B.createGep(Out, M.getInt(0)));
+  B.createRet();
+
+  MemorySSA MSSA = build();
+  // The a[1] store sits between the a[0] store and the a[0] load; the
+  // walk disambiguates by constant index and lands on the a[0] store.
+  EXPECT_EQ(MSSA.clobberingAccess(L0), MSSA.defFor(S0));
+}
+
+TEST_F(MemSSATest, MemoryPhiAtJoin) {
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+  Instruction *A =
+      B.createAlloca(ScalarKind::Float, 1, AddressSpace::Private, "a");
+  Instruction *Cond = B.createCmp(Opcode::CmpLt, W, M.getInt(0), "c");
+  B.createCondBr(Cond, Then, Else);
+  B.setInsertPoint(Then);
+  Instruction *ST = B.createStore(M.getFloat(1.0f), A);
+  B.createBr(Join);
+  B.setInsertPoint(Else);
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  Instruction *L = B.createLoad(A, "l");
+  B.createStore(L, B.createGep(Out, M.getInt(0)));
+  B.createRet();
+
+  MemorySSA MSSA = build();
+  // One store on one arm: the join needs a MemoryPhi merging the store's
+  // state with live-on-entry; the load observes (and is clobbered at)
+  // that phi -- the walk must not cross it for a stored-to root.
+  const MemorySSA::Access *Phi = MSSA.phiFor(Join);
+  ASSERT_NE(Phi, nullptr);
+  EXPECT_EQ(Phi->Kind, MemorySSA::AccessKind::Phi);
+  ASSERT_EQ(Phi->Incoming.size(), 2u);
+  const MemorySSA::Access *DT_ = MSSA.defFor(ST);
+  bool SawStore = false, SawEntry = false;
+  for (const MemorySSA::Access *Inc : Phi->Incoming) {
+    SawStore |= Inc == DT_;
+    SawEntry |= Inc == MSSA.liveOnEntry();
+  }
+  EXPECT_TRUE(SawStore);
+  EXPECT_TRUE(SawEntry);
+  EXPECT_EQ(MSSA.reachingAccess(L), Phi);
+  EXPECT_EQ(MSSA.clobberingAccess(L), Phi);
+  EXPECT_EQ(MSSA.phiFor(Entry), nullptr);
+  EXPECT_EQ(MSSA.phiFor(Then), nullptr);
+}
+
+TEST_F(MemSSATest, NoStoresMeansOneAccess) {
+  Instruction *L =
+      B.createLoad(B.createGep(In, M.getInt(0), "g"), "l");
+  (void)L;
+  B.createRet();
+  MemorySSA MSSA = build();
+  EXPECT_EQ(MSSA.numAccesses(), 1u); // LiveOnEntry only.
+  EXPECT_EQ(MSSA.reachingAccess(L), MSSA.liveOnEntry());
+  EXPECT_EQ(MSSA.clobberingAccess(L), MSSA.liveOnEntry());
+  EXPECT_FALSE(MSSA.hasOpaqueStore());
+}
+
+TEST_F(MemSSATest, OpaqueStoreClobbersEverything) {
+  Instruction *PA =
+      B.createAlloca(ScalarKind::Float, 1, AddressSpace::Private, "pa");
+  Instruction *PB =
+      B.createAlloca(ScalarKind::Float, 1, AddressSpace::Private, "pb");
+  Instruction *SA = B.createStore(M.getFloat(1.0f), PA);
+  (void)SA;
+  Instruction *Cond = B.createCmp(Opcode::CmpLt, W, M.getInt(0), "c");
+  Instruction *Sel = B.createSelect(Cond, PA, PB, "sel");
+  Instruction *SO = B.createStore(M.getFloat(2.0f), Sel);
+  Instruction *LA = B.createLoad(PA, "la");
+  Instruction *LIn = B.createLoad(B.createGep(In, M.getInt(0)), "li");
+  B.createStore(B.createAdd(LA, LIn), B.createGep(Out, M.getInt(0)));
+  B.createRet();
+
+  MemorySSA MSSA = build();
+  EXPECT_TRUE(MSSA.hasOpaqueStore());
+  // The select-store may write pa; and with an opaque store in the
+  // function even the const argument loses its immutability fast path.
+  EXPECT_EQ(MSSA.clobberingAccess(LA), MSSA.defFor(SO));
+  EXPECT_EQ(MSSA.clobberingAccess(LIn), MSSA.defFor(SO));
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager caching and invalidation
+//===----------------------------------------------------------------------===//
+
+TEST(MemSSAAnalysisManagerTest, RepeatedQueryHitsCache) {
+  rt::Session Ctx;
+  Expected<Function *> F = pcl::compileKernel(Ctx.module(), R"(
+kernel void k(global const float* in, global float* out, int w) {
+  float a[2];
+  a[0] = in[get_global_id(0)];
+  a[1] = a[0] * 2.0;
+  out[get_global_id(0)] = a[1];
+}
+)",
+                                              "k");
+  ASSERT_TRUE(static_cast<bool>(F)) << F.error().message();
+  AnalysisManager AM;
+  const MemorySSA &M1 = AM.getMemorySSA(**F);
+  const MemorySSA &M2 = AM.getMemorySSA(**F);
+  EXPECT_EQ(&M1, &M2);
+  EXPECT_EQ(AM.counters().MemSSAComputes, 1u);
+  EXPECT_EQ(AM.counters().MemSSAHits, 1u);
+}
+
+TEST(MemSSAAnalysisManagerTest, CfgPreservingInvalidationStillDrops) {
+  rt::Session Ctx;
+  Expected<Function *> F = pcl::compileKernel(Ctx.module(), R"(
+kernel void k(global const float* in, global float* out, int w) {
+  out[get_global_id(0)] = in[get_global_id(0)];
+}
+)",
+                                              "k");
+  ASSERT_TRUE(static_cast<bool>(F)) << F.error().message();
+  AnalysisManager AM;
+  AM.getDominatorTree(**F);
+  AM.getMemorySSA(**F);
+  EXPECT_EQ(AM.counters().MemSSAComputes, 1u);
+  // Memory SSA is instruction-sensitive: a CFG-preserving mutation keeps
+  // the dominator tree but must still drop the memory SSA.
+  AM.invalidate(**F, /*CFGPreserved=*/true);
+  AM.getMemorySSA(**F);
+  EXPECT_EQ(AM.counters().MemSSAComputes, 2u);
+  EXPECT_EQ(AM.counters().DomTreeComputes, 1u);
+}
+
+TEST(MemSSAAnalysisManagerTest, MutationYieldsFreshWalk) {
+  // Build by hand so the IR can be mutated directly between queries.
+  Module M;
+  IRBuilder B(M);
+  Function *F = M.createFunction("f");
+  F->addArgument(Type::pointerTo(ScalarKind::Float, AddressSpace::Global),
+                 "out", false);
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  Instruction *A =
+      B.createAlloca(ScalarKind::Float, 1, AddressSpace::Private, "a");
+  Instruction *S1 = B.createStore(M.getFloat(1.0f), A);
+  B.createStore(M.getFloat(2.0f), A);
+  B.createRet();
+  ASSERT_FALSE(static_cast<bool>(verifyFunction(*F)));
+
+  AnalysisManager AM;
+  size_t Before = AM.getMemorySSA(*F).numAccesses();
+  EXPECT_EQ(Before, 3u); // LiveOnEntry + two defs.
+
+  // Erase the first store, tell the manager, and expect the fresh walk
+  // to see one def fewer.
+  auto &Instrs = Entry->mutableInstructions();
+  for (auto It = Instrs.begin(); It != Instrs.end(); ++It)
+    if (It->get() == S1) {
+      Instrs.erase(It);
+      break;
+    }
+  AM.invalidate(*F, /*CFGPreserved=*/true);
+  EXPECT_EQ(AM.getMemorySSA(*F).numAccesses(), 2u);
+  EXPECT_EQ(AM.counters().MemSSAComputes, 2u);
+}
+
+} // namespace

@@ -50,9 +50,9 @@ TEST(PassRegistryTest, BuiltinPassesAreRegistered) {
       PassRegistry::instance().registeredNames();
   for (const char *Expected :
        {"cse", "dce", "gvn", "licm", "mem2reg", "memopt-dse",
-        "memopt-forward", "simplify", "unroll"})
+        "memopt-forward", "simplify", "sroa", "unroll"})
     EXPECT_TRUE(PassRegistry::instance().contains(Expected)) << Expected;
-  EXPECT_GE(Names.size(), 9u);
+  EXPECT_GE(Names.size(), 10u);
   EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
 }
 
@@ -165,24 +165,28 @@ TEST(PipelineRunTest, StatsDeriveFromSinglePerPassTable) {
   for (const PassExecution &E : Stats.Passes)
     TableSum += E.Changes;
   EXPECT_EQ(Stats.total(), TableSum);
-  EXPECT_EQ(Stats.promoted() + Stats.unrolled() + Stats.simplified() +
-                Stats.numbered() + Stats.merged() + Stats.forwarded() +
-                Stats.hoisted() + Stats.deadStores() + Stats.deleted(),
+  EXPECT_EQ(Stats.promoted() + Stats.scalarized() + Stats.unrolled() +
+                Stats.simplified() + Stats.numbered() + Stats.merged() +
+                Stats.forwarded() + Stats.hoisted() + Stats.deadStores() +
+                Stats.deleted(),
             Stats.total());
   EXPECT_GT(Stats.total(), 0u);
   EXPECT_GT(Stats.promoted(), 0u); // mem2reg promoted the scalar allocas.
   EXPECT_GT(Stats.unrolled(), 0u); // The k<4 loop fully unrolled.
   EXPECT_GE(Stats.Iterations, 2u); // Work round plus the no-change round.
 
-  // mem2reg and unroll run once ahead of the fixpoint group; every pass
-  // inside the group ran once per round.
-  ASSERT_EQ(Stats.Passes.size(), 9u);
-  for (const PassExecution &E : Stats.Passes)
-    EXPECT_EQ(E.Invocations,
-              E.Name == "mem2reg" || E.Name == "unroll"
-                  ? 1u
-                  : Stats.Iterations)
-        << E.Name;
+  // unroll runs once ahead of the fixpoint group; mem2reg runs once up
+  // front plus once per round (inside the group, after sroa); every
+  // other group member ran once per round.
+  ASSERT_EQ(Stats.Passes.size(), 10u);
+  for (const PassExecution &E : Stats.Passes) {
+    unsigned Expected = Stats.Iterations;
+    if (E.Name == "unroll")
+      Expected = 1;
+    else if (E.Name == "mem2reg")
+      Expected = 1 + Stats.Iterations;
+    EXPECT_EQ(E.Invocations, Expected) << E.Name;
+  }
 }
 
 TEST(PipelineRunTest, TimingIsRecordedPerPass) {
@@ -238,6 +242,10 @@ TEST(PipelineOptionsTest, SpecMapsOntoPipelineStrings) {
   NoCse.LICM = false;
   NoCse.GVN = false;
   NoCse.Unroll = false;
+  // With SROA on, the fixpoint group carries sroa plus the in-group
+  // mem2reg that promotes its scalars.
+  EXPECT_EQ(NoCse.spec(), "mem2reg,fixpoint(simplify,sroa,mem2reg,dce)");
+  NoCse.SROA = false;
   EXPECT_EQ(NoCse.spec(), "mem2reg,fixpoint(simplify,dce)");
   NoCse.Mem2Reg = false;
   EXPECT_EQ(NoCse.spec(), "fixpoint(simplify,dce)");
@@ -372,14 +380,19 @@ TEST(AnalysisManagerTest, DomTreeComputedAtMostOncePerFixpointRound) {
   // One compute for mem2reg, at most one after unroll rewrote the CFG,
   // then the (CFG-preserving) fixpoint group reuses the cache.
   EXPECT_LE(AM.counters().DomTreeComputes, Stats->Iterations + 2);
-  // mem2reg queries the tree twice up front (directly, and through the
-  // dominance frontier); GVN and LICM each query it once every fixpoint
-  // round. The queries beyond the computes were cache hits.
-  EXPECT_EQ(AM.counters().DomTreeComputes + AM.counters().DomTreeHits,
-            2 * Stats->Iterations + 2);
-  // The frontier is computed once for the whole run: mem2reg preserves
-  // the CFG, so nothing downstream invalidates it before it is used.
-  EXPECT_EQ(AM.counters().DomFrontierComputes, 1u);
+  // Many passes query the tree (directly, through the dominance
+  // frontier, and through memory SSA, which derives both); all queries
+  // beyond the computes were cache hits.
+  EXPECT_GT(AM.counters().DomTreeHits, AM.counters().DomTreeComputes);
+  // The frontier is computed at most twice: once for the up-front
+  // mem2reg, once after unroll rewrote the CFG; the fixpoint group is
+  // CFG-preserving and reuses it.
+  EXPECT_LE(AM.counters().DomFrontierComputes, 2u);
+  // Memory SSA is instruction-sensitive, so it recomputes after every
+  // pass that changed something -- but the final no-change round serves
+  // gvn, licm, and memopt-dse from one walk: hits must show up.
+  EXPECT_GT(AM.counters().MemSSAComputes, 0u);
+  EXPECT_GT(AM.counters().MemSSAHits, 0u);
 }
 
 TEST(AnalysisManagerTest, CseOnlyPipelineReusesOneTreeAcrossRounds) {
@@ -395,7 +408,9 @@ TEST(AnalysisManagerTest, CseOnlyPipelineReusesOneTreeAcrossRounds) {
   ASSERT_TRUE(static_cast<bool>(Stats));
   EXPECT_GE(Stats->Iterations, 2u);
   EXPECT_EQ(AM.counters().DomTreeComputes, 1u);
-  EXPECT_EQ(AM.counters().DomTreeHits, Stats->Iterations - 1);
+  // LICM also queries the tree through memory SSA (and its dominance
+  // frontier), so hits exceed the one-direct-query-per-round floor.
+  EXPECT_GE(AM.counters().DomTreeHits, Stats->Iterations - 1);
 }
 
 //===----------------------------------------------------------------------===//

@@ -6,9 +6,11 @@
 //
 // The oracle every optimization pass is pinned by: a legal pipeline spec
 // must be a pure optimization. For all nine applications, the perforated
-// variant built under ~a dozen pipeline specs -- including the default,
-// historical pipelines, the new unroll/gvn passes alone, and
-// seeded-random orderings of every registered pass -- must produce
+// variant built under ~twenty pipeline specs -- including the default,
+// historical pipelines, the unroll/gvn/sroa passes alone, adversarial
+// orderings that run sroa/gvn/memopt-dse *before* any promotion or
+// simplification has normalized the IR they expect, and seeded-random
+// orderings of every registered pass -- must produce
 // byte-identical outputs to the variant built with the empty pipeline,
 // and the IR must verify after every single pass invocation
 // (App::setVerifyEach routes PassRunOptions::VerifyEach through the
@@ -42,7 +44,7 @@ const char *AllAppNames[] = {"gaussian", "inversion", "median",
                              "mean",     "sharpen",   "convsep"};
 
 /// A small workload: enough items for every CFG path (interior + all
-/// clamp borders) while keeping 9 apps x 13 specs fast.
+/// clamp borders) while keeping 9 apps x ~20 specs fast.
 Workload smallWorkload(const App &A) {
   if (A.name() == "hotspot")
     return makeHotspotWorkload(64, /*Seed=*/7, /*Iterations=*/2);
@@ -63,23 +65,38 @@ std::string shuffledSpec(uint64_t Seed) {
 }
 
 /// The spec battery: the default, its ancestors, the new passes alone
-/// and in slices, a tight unroll budget (must refuse, not break), and
+/// and in slices, a tight unroll budget (must refuse, not break),
+/// adversarial orderings that feed sroa/gvn/memopt-dse IR no sane
+/// pipeline would (runtime window indices, unpromoted scalars -- the
+/// passes must refuse or stay semantics-preserving, never break), and
 /// seeded-random orderings -- every one verified after every pass.
 std::vector<std::string> oracleSpecs() {
   std::vector<std::string> Specs = {
       "mem2reg",
       "unroll",
       "gvn",
+      "sroa",
       "unroll(64)",
       "mem2reg,unroll",
       "mem2reg,unroll,fixpoint(gvn,simplify,dce)",
       ir::defaultPipelineSpec(),
       "fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)",
       "mem2reg,fixpoint(simplify,cse,memopt-forward,licm,memopt-dse,dce)",
+      // Adversarial: sroa/gvn/memopt-dse ahead of mem2reg and simplify,
+      // so window indices are still runtime arithmetic and every scalar
+      // is still in memory form.
+      "sroa,mem2reg",
+      "sroa,gvn,memopt-dse,mem2reg",
+      "memopt-dse,sroa,unroll,gvn,mem2reg",
+      "unroll,fixpoint(sroa,simplify,mem2reg,dce),gvn",
+      "fixpoint(sroa,mem2reg,gvn,memopt-dse)",
       shuffledSpec(1),
       shuffledSpec(2),
       shuffledSpec(3),
+      shuffledSpec(6),
+      shuffledSpec(7),
       "fixpoint(" + shuffledSpec(4) + ")",
+      "fixpoint(" + shuffledSpec(8) + ")",
   };
   return Specs;
 }

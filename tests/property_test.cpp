@@ -17,10 +17,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/App.h"
+#include "ir/PassManager.h"
 #include "perforation/Tuner.h"
 #include "img/Generators.h"
+#include "support/Rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <gtest/gtest.h>
 
 using namespace kperf;
@@ -217,6 +220,72 @@ std::vector<SweepParam> makeSweep() {
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, PerforationSweep,
                          ::testing::ValuesIn(makeSweep()), paramName);
+
+//===----------------------------------------------------------------------===//
+// Widened DSE property: random perforation configs
+//===----------------------------------------------------------------------===//
+
+TEST(WidenedDsePropertyTest, RandomConfigsOutputAndTrafficInvariant) {
+  // Region-local DSE over memory SSA removes *private* stores no load
+  // can observe. For seeded-random perforation configurations, the
+  // default pipeline with and without memopt-dse must therefore produce
+  // byte-identical outputs, and dropping dead stores may only ever
+  // reduce traffic -- never add a global transaction.
+  const std::string WithDse = ir::defaultPipelineSpec();
+  const std::string WithoutDse =
+      "mem2reg,unroll,fixpoint(simplify,sroa,mem2reg,gvn,cse,"
+      "memopt-forward,licm,dce)";
+  const char *Apps[] = {"gaussian", "inversion", "median",
+                        "sobel3",   "sobel5",    "hotspot",
+                        "mean",     "sharpen",   "convsep"};
+  const SchemeKind Kinds[] = {SchemeKind::None, SchemeKind::Rows,
+                              SchemeKind::Cols, SchemeKind::Stencil,
+                              SchemeKind::Grid};
+  const std::pair<unsigned, unsigned> Shapes[] = {{16, 16}, {8, 8}, {32, 8}};
+
+  Rng R(20260807);
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    SweepParam P;
+    P.AppName = Apps[R.below(std::size(Apps))];
+    P.Kind = Kinds[R.below(std::size(Kinds))];
+    P.Period = R.below(2) == 0 ? 2 : 4;
+    P.Recon = R.below(2) == 0 ? ReconstructionKind::NearestNeighbor
+                              : ReconstructionKind::Linear;
+    std::tie(P.WgX, P.WgY) = Shapes[R.below(std::size(Shapes))];
+    SCOPED_TRACE("trial " + std::to_string(Trial) + ": " + P.AppName);
+
+    auto App = makeApp(P.AppName);
+    Workload W =
+        std::string(P.AppName) == "hotspot"
+            ? makeHotspotWorkload(64, 17, 2)
+            : makeImageWorkload(
+                  img::generateImage(img::ImageClass::Natural, 64, 64, 17));
+
+    auto Build = [&](const std::string &Spec, rt::Session &Ctx) {
+      App->setPipelineSpec(Spec);
+      App->setVerifyEach(true);
+      return cantFail(App->run(
+          Ctx, cantFail(App->buildPerforated(Ctx, P.scheme(),
+                                             {P.WgX, P.WgY})),
+          W));
+    };
+    rt::Session C1, C2;
+    RunOutcome Off = Build(WithoutDse, C1);
+    RunOutcome On = Build(WithDse, C2);
+
+    ASSERT_EQ(Off.Output.size(), On.Output.size());
+    EXPECT_EQ(std::memcmp(Off.Output.data(), On.Output.data(),
+                          Off.Output.size() * sizeof(float)),
+              0)
+        << "memopt-dse changed the output bytes";
+    EXPECT_LE(On.Report.Totals.GlobalReadTransactions,
+              Off.Report.Totals.GlobalReadTransactions);
+    EXPECT_LE(On.Report.Totals.GlobalWriteTransactions,
+              Off.Report.Totals.GlobalWriteTransactions);
+    EXPECT_LE(On.Report.Totals.PrivateAccesses,
+              Off.Report.Totals.PrivateAccesses);
+  }
+}
 
 //===----------------------------------------------------------------------===//
 // Output-approximation sweep

@@ -55,8 +55,9 @@
 //       per-pass change counts with net IR-size and static-ALU deltas
 //       (and, with --time-passes, wall-clock timings) plus the
 //       optimized IR. The default pipeline is
-//       mem2reg,unroll,fixpoint(simplify,gvn,cse,memopt-forward,licm,
-//       memopt-dse,dce); --passes accepts any spec in that grammar,
+//       mem2reg,unroll,fixpoint(simplify,sroa,mem2reg,gvn,cse,
+//       memopt-forward,licm,memopt-dse,dce); --passes accepts any
+//       spec in that grammar,
 //       including parameterized passes such as unroll(512), e.g.
 //       --passes=fixpoint(simplify,gvn,dce). Invoking kperfc with
 //       --passes and no command is shorthand for the passes command.
