@@ -6,6 +6,8 @@
 
 #include "gpusim/Bytecode.h"
 
+#include "ir/DivergenceAnalysis.h"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -66,7 +68,8 @@ private:
 
 class Compiler {
 public:
-  explicit Compiler(const irns::Function &F) : F(F) {}
+  explicit Compiler(const irns::Function &F)
+      : F(F), Div(irns::DivergenceAnalysis::compute(F)) {}
 
   Expected<Program> run() {
     if (Error E = assignSharedRegisters())
@@ -740,6 +743,8 @@ private:
     }
     case irns::Opcode::CondBr: {
       B.Opc = Op::JmpIf;
+      if (Div.isUniform(I.operand(0)))
+        B.Flags = FlagUniformCond;
       B.A = Ops[0];
       B.Imm = static_cast<int32_t>(StartPc.at(I.branchTarget(0)));
       B.Aux = StartPc.at(I.branchTarget(1));
@@ -816,6 +821,9 @@ private:
   //===--- Members -----------------------------------------------------------//
 
   const irns::Function &F;
+  /// Uniform/divergent facts for the uniform-branch flag on JmpIf; the
+  /// fusion pass copies the whole Instr, so JmpCmp inherits it.
+  const irns::DivergenceAnalysis Div;
   Program P;
 
   std::unordered_map<const irns::Value *, uint16_t> SharedReg;

@@ -97,6 +97,13 @@ constexpr unsigned NumOpcodes = static_cast<unsigned>(Op::MulAddF) + 1;
 /// Sentinel for "this edge has no phi copies".
 constexpr uint32_t NoCopyList = ~0u;
 
+/// Instr::Flags bit: the branch condition is provably uniform across the
+/// work group (ir::DivergenceAnalysis at compile time). The batched
+/// executor may then read one item's condition register and branch the
+/// whole fragment without the per-item scan; counters are charged as if
+/// every item had been scanned, so SimReport stays bit-identical.
+constexpr uint8_t FlagUniformCond = 1;
+
 /// One bytecode instruction. Register operands are 16-bit; compilation
 /// fails gracefully on kernels needing more than 65535 registers.
 struct Instr {
@@ -104,6 +111,7 @@ struct Instr {
   uint8_t Sub = 0;            ///< DimQuery: ir::Builtin; JmpCmp: cmp kind
                               ///< (offset from CmpEqI/CmpEqF); Sel: 1 when
                               ///< the result is scalar (value plane only).
+  uint8_t Flags = 0;          ///< FlagUniformCond on JmpIf/JmpCmp.
   uint16_t Dst = 0;
   uint16_t A = 0, B = 0, C = 0;
   int32_t Imm = 0;            ///< Alloca arena offset / jump target pc.

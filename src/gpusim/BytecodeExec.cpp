@@ -2077,6 +2077,21 @@ private:
         case bc::Op::JmpIf: {
           const Val32 *C = valRow(I.A);
           Alu += Cur.size();
+          if (I.Flags & bc::FlagUniformCond) {
+            // Compile-time divergence analysis proved the condition
+            // uniform: every item in the fragment holds the same value,
+            // so one register read decides the branch and the per-item
+            // scan and fragment-split bookkeeping are skipped entirely.
+            uint32_t First = Cur.dense() ? Cur.First : Cur.Runs[0].First;
+            if (C[First].I != 0) {
+              runCopiesBatched(I.CL0, Cur);
+              Cur.Pc = static_cast<uint32_t>(I.Imm);
+            } else {
+              runCopiesBatched(I.CL1, Cur);
+              Cur.Pc = I.Aux;
+            }
+            break;
+          }
           size_t Taken = 0;
           FOR_ITEMS(It, Taken += C[It].I != 0 ? 1 : 0;)
           if (Taken == Cur.size()) {
@@ -2412,6 +2427,34 @@ private:
         case bc::Op::JmpCmpF: {
           const Val32 *A = valRow(I.A), *B = valRow(I.B);
           Alu += 2 * Cur.size(); // Compare + branch per item.
+          if (I.Flags & bc::FlagUniformCond) {
+            // Uniform fused compare (flag inherited from the JmpIf the
+            // peephole pass folded): evaluate one item, branch all.
+            uint32_t It = Cur.dense() ? Cur.First : Cur.Runs[0].First;
+            bool Taken;
+            switch ((I.Opc == bc::Op::JmpCmpF ? 6 : 0) + I.Sub) {
+            case 0: Taken = A[It].I == B[It].I; break;
+            case 1: Taken = A[It].I != B[It].I; break;
+            case 2: Taken = A[It].I < B[It].I; break;
+            case 3: Taken = A[It].I <= B[It].I; break;
+            case 4: Taken = A[It].I > B[It].I; break;
+            case 5: Taken = A[It].I >= B[It].I; break;
+            case 6: Taken = A[It].F == B[It].F; break;
+            case 7: Taken = A[It].F != B[It].F; break;
+            case 8: Taken = A[It].F < B[It].F; break;
+            case 9: Taken = A[It].F <= B[It].F; break;
+            case 10: Taken = A[It].F > B[It].F; break;
+            default: Taken = A[It].F >= B[It].F; break;
+            }
+            if (Taken) {
+              runCopiesBatched(I.CL0, Cur);
+              Cur.Pc = static_cast<uint32_t>(I.Imm);
+            } else {
+              runCopiesBatched(I.CL1, Cur);
+              Cur.Pc = I.Aux;
+            }
+            break;
+          }
           // Evaluate the comparison for every item before any edge copy
           // can clobber an operand register.
           if (CondBuf.size() < BN)

@@ -6,6 +6,8 @@
 
 #include "ir/AnalysisManager.h"
 
+#include <cstdio>
+
 using namespace kperf;
 using namespace kperf::ir;
 
@@ -51,12 +53,54 @@ const MemorySSA &AnalysisManager::getMemorySSA(const Function &F) {
   return *E.MemSSA;
 }
 
+const RangeAnalysis &
+AnalysisManager::getRangeAnalysis(const Function &F,
+                                  const NDRangeBounds &Bounds) {
+  const DominatorTree &DT = getDominatorTree(F);
+  FunctionEntry &E = Entries[&F];
+  if (E.Range && E.RangeBounds == Bounds) {
+    ++C.RangeHits;
+    return *E.Range;
+  }
+  ++C.RangeComputes;
+  E.Range =
+      std::make_unique<RangeAnalysis>(RangeAnalysis::compute(F, DT, Bounds));
+  E.RangeBounds = Bounds;
+  return *E.Range;
+}
+
+const DivergenceAnalysis &
+AnalysisManager::getDivergenceAnalysis(const Function &F) {
+  FunctionEntry &E = Entries[&F];
+  if (E.Div) {
+    ++C.DivHits;
+    return *E.Div;
+  }
+  ++C.DivComputes;
+  E.Div =
+      std::make_unique<DivergenceAnalysis>(DivergenceAnalysis::compute(F));
+  return *E.Div;
+}
+
+std::string AnalysisManager::Counters::str() const {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "domtree %u/%u, frontier %u/%u, memssa %u/%u, "
+                "range %u/%u, divergence %u/%u (computes/hits)",
+                DomTreeComputes, DomTreeHits, DomFrontierComputes,
+                DomFrontierHits, MemSSAComputes, MemSSAHits, RangeComputes,
+                RangeHits, DivComputes, DivHits);
+  return Buf;
+}
+
 void AnalysisManager::invalidate(const Function &F, bool CFGPreserved) {
   auto It = Entries.find(&F);
   if (It == Entries.end())
     return;
   It->second.Generic.clear();
   It->second.MemSSA.reset(); // Instruction-sensitive: always dropped.
+  It->second.Range.reset();  // Likewise.
+  It->second.Div.reset();
   if (!CFGPreserved) {
     It->second.DomTree.reset();
     It->second.DomFrontier.reset();

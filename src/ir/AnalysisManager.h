@@ -29,9 +29,11 @@
 #ifndef KPERF_IR_ANALYSISMANAGER_H
 #define KPERF_IR_ANALYSISMANAGER_H
 
+#include "ir/DivergenceAnalysis.h"
 #include "ir/Dominators.h"
 #include "ir/Function.h"
 #include "ir/MemorySSA.h"
+#include "ir/RangeAnalysis.h"
 
 #include <memory>
 #include <typeindex>
@@ -50,6 +52,14 @@ public:
     unsigned DomFrontierHits = 0;     ///< Frontier cache hits.
     unsigned MemSSAComputes = 0;      ///< Memory-SSA cache misses.
     unsigned MemSSAHits = 0;          ///< Memory-SSA cache hits.
+    unsigned RangeComputes = 0;       ///< Range-analysis cache misses.
+    unsigned RangeHits = 0;           ///< Range-analysis cache hits.
+    unsigned DivComputes = 0;         ///< Divergence cache misses.
+    unsigned DivHits = 0;             ///< Divergence cache hits.
+
+    /// One-line cache accounting, "domtree 3/12 memssa 2/5 ..."
+    /// (computes/hits per analysis), for --time-passes and tools.
+    std::string str() const;
   };
 
   /// Returns the dominator tree of \p F, computing it on a cache miss.
@@ -66,6 +76,17 @@ public:
   /// SSA is instruction-sensitive, so CFG-preserving mutations stale it
   /// too.
   const MemorySSA &getMemorySSA(const Function &F);
+
+  /// Returns the interval analysis of \p F seeded with \p Bounds. Cached
+  /// per function *and* bounds: a query under different launch bounds
+  /// recomputes (and recounts as a compute). Instruction-sensitive,
+  /// dropped on any invalidation.
+  const RangeAnalysis &getRangeAnalysis(
+      const Function &F, const NDRangeBounds &Bounds = NDRangeBounds());
+
+  /// Returns the divergence analysis of \p F. Instruction-sensitive,
+  /// dropped on any invalidation.
+  const DivergenceAnalysis &getDivergenceAnalysis(const Function &F);
 
   /// Returns the cached result of type \p T for \p F, or null if absent.
   template <typename T> const T *lookup(const Function &F) const {
@@ -103,6 +124,9 @@ private:
     std::unique_ptr<DominatorTree> DomTree;
     std::unique_ptr<DominanceFrontier> DomFrontier;
     std::unique_ptr<MemorySSA> MemSSA;
+    std::unique_ptr<RangeAnalysis> Range;
+    NDRangeBounds RangeBounds; ///< Seeds the cached Range was built with.
+    std::unique_ptr<DivergenceAnalysis> Div;
     std::unordered_map<std::type_index, std::shared_ptr<void>> Generic;
   };
 

@@ -1,0 +1,223 @@
+//===- ir/DivergenceAnalysis.cpp -------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DivergenceAnalysis.h"
+
+#include "ir/Dominators.h"
+#include "ir/MemorySSA.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Post-dominator tree and the control-dependence relation derived from
+/// it, computed over block indices with a virtual exit node that joins
+/// every Ret (index == number of blocks). Same Cooper-Harvey-Kennedy
+/// scheme as ir/Dominators.cpp, run on the reversed CFG.
+struct ControlDependence {
+  static constexpr unsigned None = ~0u;
+
+  /// CtrlDeps[b] = blocks whose branch decides whether b executes.
+  std::vector<std::vector<unsigned>> CtrlDeps;
+
+  static ControlDependence compute(const Function &F) {
+    ControlDependence CD;
+    const unsigned N = static_cast<unsigned>(F.numBlocks());
+    const unsigned VExit = N;
+    std::unordered_map<const BasicBlock *, unsigned> Index;
+    for (unsigned I = 0; I < N; ++I)
+      Index[F.block(I)] = I;
+
+    // Forward successor lists; Ret blocks feed the virtual exit.
+    std::vector<std::vector<unsigned>> Succ(N + 1), Pred(N + 1);
+    for (unsigned I = 0; I < N; ++I) {
+      const Instruction *T = F.block(I)->terminator();
+      if (T && T->opcode() == Opcode::Ret) {
+        Succ[I].push_back(VExit);
+      } else {
+        for (const BasicBlock *S : successors(F.block(I)))
+          Succ[I].push_back(Index.at(S));
+      }
+      for (unsigned S : Succ[I])
+        Pred[S].push_back(I);
+    }
+
+    // Postorder of the reversed graph from the virtual exit (reversed
+    // successors == forward predecessors).
+    std::vector<unsigned> PostIdx(N + 1, None), PostOrder;
+    {
+      std::vector<uint8_t> State(N + 1, 0);
+      std::vector<unsigned> Stack = {VExit};
+      while (!Stack.empty()) {
+        unsigned B = Stack.back();
+        if (State[B] == 0) {
+          State[B] = 1;
+          for (unsigned P : Pred[B])
+            if (State[P] == 0)
+              Stack.push_back(P);
+        } else {
+          Stack.pop_back();
+          if (State[B] == 1) {
+            State[B] = 2;
+            PostIdx[B] = static_cast<unsigned>(PostOrder.size());
+            PostOrder.push_back(B);
+          }
+        }
+      }
+    }
+
+    // CHK intersection walk on the reversed graph: the immediate
+    // post-dominators.
+    std::vector<unsigned> IPDom(N + 1, None);
+    IPDom[VExit] = VExit;
+    auto Intersect = [&](unsigned A, unsigned B) {
+      while (A != B) {
+        while (PostIdx[A] < PostIdx[B])
+          A = IPDom[A];
+        while (PostIdx[B] < PostIdx[A])
+          B = IPDom[B];
+      }
+      return A;
+    };
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (auto It = PostOrder.rbegin(); It != PostOrder.rend(); ++It) {
+        unsigned B = *It;
+        if (B == VExit)
+          continue;
+        unsigned NewIP = None;
+        for (unsigned S : Succ[B]) { // Reversed-graph predecessors.
+          if (IPDom[S] == None)
+            continue;
+          NewIP = NewIP == None ? S : Intersect(S, NewIP);
+        }
+        if (NewIP != None && IPDom[B] != NewIP) {
+          IPDom[B] = NewIP;
+          Changed = true;
+        }
+      }
+    }
+
+    // Ferrante-Ottenstein-Warren runner walk: for each CFG edge A -> S,
+    // every block on S's post-dominator chain strictly below ipdom(A) is
+    // control-dependent on A.
+    CD.CtrlDeps.assign(N, {});
+    for (unsigned A = 0; A < N; ++A) {
+      if (Succ[A].size() < 2)
+        continue; // Only branches create control dependence.
+      for (unsigned S : Succ[A]) {
+        unsigned Runner = S;
+        while (Runner != VExit && Runner != None &&
+               Runner != IPDom[A]) {
+          std::vector<unsigned> &Deps = CD.CtrlDeps[Runner];
+          if (Deps.empty() || Deps.back() != A)
+            Deps.push_back(A);
+          Runner = IPDom[Runner];
+        }
+      }
+    }
+    return CD;
+  }
+};
+
+/// True if a load through \p Ptr reads memory whose contents are the same
+/// for every work item: a `const` global argument buffer, the one kind of
+/// location nothing may write during a launch.
+bool loadsLaunchInvariantMemory(const Value *Ptr) {
+  MemoryLoc L = memoryLocation(Ptr);
+  const auto *A = dyn_cast<Argument>(L.Root);
+  return A && A->isConst();
+}
+
+} // namespace
+
+DivergenceAnalysis DivergenceAnalysis::compute(const Function &F) {
+  DivergenceAnalysis DA;
+  ControlDependence CD = ControlDependence::compute(F);
+
+  auto DivergentTerminator = [&](const BasicBlock *BB) {
+    const Instruction *T = BB->terminator();
+    return T && T->opcode() == Opcode::CondBr &&
+           DA.DivergentValues.count(T->operand(0)) != 0;
+  };
+
+  // Value and block divergence feed each other (a phi looks at its
+  // predecessors' execution, a block at its controlling branches), so
+  // iterate both to a joint fixpoint; both sets only grow.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = 0; BI < F.numBlocks(); ++BI) {
+      const BasicBlock *BB = F.block(BI);
+      if (!DA.DivergentBlocks.count(BB)) {
+        for (unsigned Dep : CD.CtrlDeps[BI]) {
+          const BasicBlock *A = F.block(Dep);
+          if (DivergentTerminator(A) || DA.DivergentBlocks.count(A)) {
+            DA.DivergentBlocks.insert(BB);
+            Changed = true;
+            break;
+          }
+        }
+      }
+      for (const auto &I : BB->instructions()) {
+        if (I->type().isVoid() || DA.DivergentValues.count(I.get()))
+          continue;
+        bool Divergent = false;
+        switch (I->opcode()) {
+        case Opcode::Call:
+          switch (I->callee()) {
+          case Builtin::GetGlobalId:
+          case Builtin::GetLocalId:
+            Divergent = true;
+            break;
+          default:
+            for (const Value *Op : I->operands())
+              Divergent |= DA.DivergentValues.count(Op) != 0;
+            break;
+          }
+          break;
+        case Opcode::Load:
+          Divergent = DA.DivergentValues.count(I->operand(0)) != 0 ||
+                      !loadsLaunchInvariantMemory(I->operand(0));
+          break;
+        case Opcode::Phi:
+          for (unsigned K = 0; K < I->numIncoming(); ++K) {
+            if (DA.DivergentValues.count(I->incomingValue(K)))
+              Divergent = true;
+            // Sync dependence: with several incoming edges, items can
+            // disagree about which one they arrived by whenever an edge
+            // is taken by only a subset.
+            if (I->numIncoming() > 1) {
+              const BasicBlock *P = I->incomingBlock(K);
+              if (DA.DivergentBlocks.count(P) || DivergentTerminator(P))
+                Divergent = true;
+            }
+          }
+          break;
+        default:
+          for (const Value *Op : I->operands())
+            Divergent |= DA.DivergentValues.count(Op) != 0;
+          break;
+        }
+        if (Divergent) {
+          DA.DivergentValues.insert(I.get());
+          Changed = true;
+        }
+      }
+    }
+  }
+  return DA;
+}
+
+bool DivergenceAnalysis::hasUniformBranch(const BasicBlock *BB) const {
+  const Instruction *T = BB->terminator();
+  return T && T->opcode() == Opcode::CondBr && isUniform(T->operand(0));
+}

@@ -1,0 +1,86 @@
+//===- ir/DivergenceAnalysis.h - Uniformity of values and blocks --*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies every SSA value as **uniform** (provably identical across
+/// all work items of a group that compute it) or **divergent** (may
+/// differ), and every block as divergently executed or not -- the
+/// GPU-compiler facts behind the lint diagnostics (barriers under
+/// divergent control flow, per-item-distinct local addresses) and the
+/// batched executor's uniform-branch fast path.
+///
+/// Sources of divergence are the work-item id queries (get_local_id /
+/// get_global_id; group ids and sizes are uniform per group) and loads --
+/// except loads at a uniform address whose pointer provably bottoms out
+/// in a `const` global argument, the one kind of memory whose contents
+/// cannot differ between items. Divergence propagates through:
+///
+///  * **data dependence**: any instruction with a divergent operand;
+///  * **sync dependence**: control dependence is computed from a
+///    post-dominator tree over the reversed CFG (virtual exit joining
+///    every Ret), a block is divergently executed iff it is
+///    control-dependent on a block with a divergent terminator or on a
+///    divergently executed block (transitively: whether you reach a
+///    uniform branch at all can be divergent), and a multi-predecessor
+///    phi is divergent when any incoming edge can be traversed by only a
+///    subset of the items (its predecessor is divergently executed or
+///    ends in a divergent conditional branch).
+///
+/// Reconvergence falls out of post-dominance: past the join of an `if`,
+/// blocks are no longer control-dependent on its branch, so a barrier
+/// after the join is uniform even when the branch was divergent.
+///
+/// Cached in the AnalysisManager (getDivergenceAnalysis, dropped on any
+/// invalidation); also computed standalone by the bytecode compiler,
+/// which has no manager at hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_DIVERGENCEANALYSIS_H
+#define KPERF_IR_DIVERGENCEANALYSIS_H
+
+#include "ir/Function.h"
+
+#include <unordered_set>
+
+namespace kperf {
+namespace ir {
+
+class DivergenceAnalysis {
+public:
+  /// Computes uniformity facts for \p F.
+  static DivergenceAnalysis compute(const Function &F);
+
+  /// True if \p V may evaluate to different values on different work
+  /// items of one group.
+  bool isDivergent(const Value *V) const {
+    return DivergentValues.count(V) != 0;
+  }
+  bool isUniform(const Value *V) const { return !isDivergent(V); }
+
+  /// True if some items of a group may execute \p BB while others do not
+  /// (the block sits under divergent control flow). A barrier here is the
+  /// static image of the simulator's divergent-barrier fault.
+  bool isDivergentBlock(const BasicBlock *BB) const {
+    return DivergentBlocks.count(BB) != 0;
+  }
+
+  /// True if \p BB ends in a conditional branch all items agree on: a
+  /// CondBr with a uniform condition. Such branches cannot split a
+  /// work-group fragment.
+  bool hasUniformBranch(const BasicBlock *BB) const;
+
+  size_t numDivergentValues() const { return DivergentValues.size(); }
+
+private:
+  std::unordered_set<const Value *> DivergentValues;
+  std::unordered_set<const BasicBlock *> DivergentBlocks;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_DIVERGENCEANALYSIS_H

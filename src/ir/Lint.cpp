@@ -1,0 +1,290 @@
+//===- ir/Lint.cpp ---------------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lint.h"
+
+#include "ir/DivergenceAnalysis.h"
+#include "ir/MemorySSA.h"
+
+#include <unordered_set>
+
+using namespace kperf;
+using namespace kperf::ir;
+using namespace kperf::ir::lint;
+
+std::string LintResult::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.Sev == Severity::Error ? "error: " : "warning: ";
+    Out += D.Check;
+    Out += ": ";
+    Out += D.Message;
+    Out += "\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// "block 'name' #3 (%v)" -- enough to find the instruction in dumped IR.
+std::string locate(const Instruction *I) {
+  std::string Loc =
+      "block '" + I->parent()->name() + "' #" +
+      std::to_string(I->parent()->indexOf(I));
+  if (!I->name().empty())
+    Loc += " (%" + I->name() + ")";
+  return Loc;
+}
+
+Interval addIntervals(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return Interval::empty();
+  Interval S = Interval::make(A.Lo + B.Lo, A.Hi + B.Hi);
+  if (S.Lo < INT32_MIN || S.Hi > INT32_MAX)
+    return Interval::full();
+  return S;
+}
+
+class Linter {
+public:
+  Linter(const Function &F, AnalysisManager &AM, const LintOptions &Opts)
+      : F(F), DT(AM.getDominatorTree(F)), MSSA(AM.getMemorySSA(F)),
+        RA(AM.getRangeAnalysis(F, Opts.Bounds)),
+        DA(AM.getDivergenceAnalysis(F)) {}
+
+  LintResult run() {
+    for (const auto &BB : F.blocks()) {
+      if (!DT.isReachable(BB.get()))
+        continue;
+      for (const auto &I : BB->instructions())
+        visit(I.get());
+    }
+    checkLocalRaces();
+    return std::move(R);
+  }
+
+private:
+  void diag(Severity Sev, const char *Check, const Instruction *I,
+            std::string Message) {
+    R.Diags.push_back(Diagnostic{
+        Sev, Check,
+        "kernel '" + F.name() + "': " + std::move(Message) + " at " +
+            locate(I),
+        I});
+  }
+
+  void visit(const Instruction *I) {
+    switch (I->opcode()) {
+    case Opcode::Load:
+      checkAccess(I, I->operand(0), /*IsStore=*/false);
+      checkUninitPrivate(I);
+      recordLocalAccess(I, I->operand(0), /*IsStore=*/false);
+      break;
+    case Opcode::Store:
+      checkAccess(I, I->operand(1), /*IsStore=*/true);
+      recordLocalAccess(I, I->operand(1), /*IsStore=*/true);
+      break;
+    case Opcode::Div:
+    case Opcode::Rem:
+      checkDivByZero(I);
+      break;
+    case Opcode::Call:
+      if (I->callee() == Builtin::Barrier && DA.isDivergentBlock(I->parent()))
+        diag(Severity::Error, "divergent-barrier", I,
+             "barrier reachable under divergent control flow (work items "
+             "of a group may not all execute it)");
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// Sums the GEP-chain index ranges of \p Ptr at the access block.
+  Interval indexRange(const Value *Ptr, const BasicBlock *At) {
+    Interval Idx = Interval::constant(0);
+    const Value *P = Ptr;
+    while (const auto *G = dyn_cast<Instruction>(P)) {
+      if (G->opcode() != Opcode::Gep)
+        break;
+      Idx = addIntervals(Idx, RA.rangeAt(G->operand(1), At));
+      P = G->operand(0);
+    }
+    return Idx;
+  }
+
+  void checkAccess(const Instruction *I, const Value *Ptr, bool IsStore) {
+    MemoryLoc L = memoryLocation(Ptr);
+    if (!L.Root)
+      return; // Opaque pointer chains have no extent to check against.
+    Interval Idx = indexRange(Ptr, I->parent());
+    if (Idx.isEmpty())
+      return; // Refinement proved the access unreachable.
+    const char *Kind = IsStore ? "write" : "read";
+    if (const auto *A = dyn_cast<Instruction>(L.Root)) {
+      // Alloca-backed private or local storage with a known extent.
+      int64_t Extent = A->allocaCount();
+      const char *Space =
+          A->allocaSpace() == AddressSpace::Local ? "local" : "private";
+      if (Idx.disjointFrom(0, Extent - 1))
+        diag(Severity::Error, "oob", I,
+             std::string("definite out-of-bounds ") + Space + " " + Kind +
+                 ": index range " + Idx.str() + " outside '" +
+                 A->name() + "'[0.." + std::to_string(Extent - 1) + "]");
+      else if (!Idx.within(0, Extent - 1))
+        diag(Severity::Warning, "oob", I,
+             std::string("possible out-of-bounds ") + Space + " " + Kind +
+                 ": index range " + Idx.str() + " exceeds '" + A->name() +
+                 "'[0.." + std::to_string(Extent - 1) + "]");
+      return;
+    }
+    // Global argument buffers: the extent is host-side, so only sign
+    // information is actionable. A fully-unknown lower bound (typical
+    // i*w+x arithmetic) stays quiet.
+    if (Idx.Hi < 0)
+      diag(Severity::Error, "oob", I,
+           std::string("definite out-of-bounds global ") + Kind +
+               ": index range " + Idx.str() + " into '" +
+               L.Root->name() + "' is negative");
+    else if (Idx.Lo < 0 && Idx.Lo != INT32_MIN)
+      diag(Severity::Warning, "oob", I,
+           std::string("possible out-of-bounds global ") + Kind +
+               ": index range " + Idx.str() + " into '" +
+               L.Root->name() + "' includes negative offsets");
+  }
+
+  void checkUninitPrivate(const Instruction *Load) {
+    MemoryLoc L = memoryLocation(Load->operand(0));
+    const auto *A = dyn_cast<Instruction>(L.Root);
+    if (!A || A->allocaSpace() != AddressSpace::Private)
+      return;
+    if (MSSA.clobberingAccess(Load) == MSSA.liveOnEntry())
+      diag(Severity::Warning, "uninit-private", Load,
+           "load of never-stored private memory '" + A->name() +
+               "' (reads the arena zero-fill)");
+  }
+
+  void checkDivByZero(const Instruction *I) {
+    if (!I->type().isInt())
+      return;
+    Interval D = RA.rangeAt(I->operand(1), I->parent());
+    if (D.isEmpty())
+      return;
+    if (D == Interval::constant(0))
+      diag(Severity::Error, "div-by-zero", I,
+           "definite integer division by zero");
+    else if (D.contains(0) && !D.isFull())
+      diag(Severity::Warning, "div-by-zero", I,
+           "possible integer division by zero: divisor range " + D.str());
+  }
+
+  //===--- Local-memory race check -----------------------------------------//
+
+  struct LocalAccess {
+    const Instruction *I = nullptr;
+    const Value *Ptr = nullptr;
+    MemoryLoc Loc;
+    bool IsStore = false;
+    /// Barrier defs (or LiveOnEntry) that open this access's phase.
+    std::unordered_set<const MemorySSA::Access *> Anchors;
+  };
+
+  void recordLocalAccess(const Instruction *I, const Value *Ptr,
+                         bool IsStore) {
+    MemoryLoc L = memoryLocation(Ptr);
+    const auto *A = dyn_cast<Instruction>(L.Root);
+    if (!A || A->opcode() != Opcode::Alloca ||
+        A->allocaSpace() != AddressSpace::Local)
+      return;
+    LocalAccess LA;
+    LA.I = I;
+    LA.Ptr = Ptr;
+    LA.Loc = L;
+    LA.IsStore = IsStore;
+    // Walk the memory-SSA chain upward to the defs that opened this
+    // barrier phase; stores and phis are transparent, barriers and
+    // LiveOnEntry anchor.
+    std::vector<const MemorySSA::Access *> Stack = {
+        MSSA.reachingAccess(I)};
+    std::unordered_set<const MemorySSA::Access *> Seen;
+    while (!Stack.empty()) {
+      const MemorySSA::Access *Acc = Stack.back();
+      Stack.pop_back();
+      if (!Acc || !Seen.insert(Acc).second)
+        continue;
+      switch (Acc->Kind) {
+      case MemorySSA::AccessKind::LiveOnEntry:
+        LA.Anchors.insert(Acc);
+        break;
+      case MemorySSA::AccessKind::Def:
+        if (Acc->Inst->opcode() == Opcode::Call) // A barrier def.
+          LA.Anchors.insert(Acc);
+        else
+          Stack.push_back(Acc->Defining);
+        break;
+      case MemorySSA::AccessKind::Phi:
+        for (const MemorySSA::Access *In : Acc->Incoming)
+          Stack.push_back(In);
+        break;
+      }
+    }
+    LocalAccesses.push_back(std::move(LA));
+  }
+
+  bool samePhase(const LocalAccess &A, const LocalAccess &B) {
+    for (const MemorySSA::Access *Anchor : A.Anchors)
+      if (B.Anchors.count(Anchor))
+        return true;
+    return false;
+  }
+
+  void checkLocalRaces() {
+    // Self race: a store all items execute, to one shared element, of
+    // per-item values. Under a divergent guard this is the single-writer
+    // idiom and stays quiet.
+    for (const LocalAccess &A : LocalAccesses)
+      if (A.IsStore && DA.isUniform(A.Ptr) &&
+          DA.isDivergent(A.I->operand(0)) &&
+          !DA.isDivergentBlock(A.I->parent()))
+        diag(Severity::Warning, "local-race", A.I,
+             "all work items write the same local element of '" +
+                 A.Loc.Root->name() + "' with differing values");
+    // Pair races: distinct address expressions that may alias inside one
+    // barrier phase. A single divergent address shared by both accesses
+    // is assumed per-item-distinct (the tile[lid] idiom).
+    for (size_t I = 0; I < LocalAccesses.size(); ++I)
+      for (size_t J = I + 1; J < LocalAccesses.size(); ++J) {
+        const LocalAccess &A = LocalAccesses[I], &B = LocalAccesses[J];
+        if (!A.IsStore && !B.IsStore)
+          continue;
+        if (A.Ptr == B.Ptr)
+          continue;
+        if (!mayAliasLocations(A.Loc, B.Loc) || !samePhase(A, B))
+          continue;
+        const LocalAccess &W = A.IsStore ? A : B;
+        const LocalAccess &O = A.IsStore ? B : A;
+        diag(Severity::Warning, "local-race", W.I,
+             std::string("possible ") + (O.IsStore ? "write-write" : "read-write") +
+                 " race between work items on '" + W.Loc.Root->name() +
+                 "': no barrier between this write and the " +
+                 (O.IsStore ? "write" : "read") + " at " + locate(O.I));
+      }
+  }
+
+  const Function &F;
+  const DominatorTree &DT;
+  const MemorySSA &MSSA;
+  const RangeAnalysis &RA;
+  const DivergenceAnalysis &DA;
+  std::vector<LocalAccess> LocalAccesses;
+  LintResult R;
+};
+
+} // namespace
+
+LintResult lint::run(const Function &F, AnalysisManager &AM,
+                     const LintOptions &Opts) {
+  return Linter(F, AM, Opts).run();
+}

@@ -1,0 +1,107 @@
+//===- ir/Lint.h - Static kernel diagnostics ----------------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A GPUVerify-flavoured static checker over the kernel SSA: every safety
+/// property the simulator enforces dynamically (gpusim/Interpreter.cpp
+/// faults) gets a compile-time image here, built on RangeAnalysis,
+/// DivergenceAnalysis, and MemorySSA. Checks and their severities:
+///
+///  * **oob** -- the pointer of each load/store is resolved to its root
+///    object and the GEP-chain index range is intersected with the
+///    object's extent. Range fully outside an alloca: *error* ("definite
+///    out of bounds"); range partly outside: *warning*. Global argument
+///    buffers have host-side extents the kernel cannot see, so only
+///    provably-negative indices are reported (definitely negative:
+///    error; possibly negative with an informative bound: warning) --
+///    an unknown `i*w+x` stays quiet rather than flagging every kernel.
+///  * **divergent-barrier** -- a barrier in a divergently executed block
+///    is the static image of the simulator's "barrier not reached by all
+///    items" fault: *error*.
+///  * **local-race** -- two local-memory accesses, at least one a store,
+///    that may alias and share a barrier phase (their memory-SSA
+///    upward walks meet the same phase anchor: a barrier def or
+///    LiveOnEntry). Reported as *warnings*: the check leans on one
+///    usability heuristic -- a divergent address reused by both
+///    accesses (the `tile[lid]` idiom) is assumed per-item-distinct --
+///    so its positives are "likely", not proven. A store to a uniform
+///    local address of a divergent value outside divergent control is
+///    reported too (every item writes the same element, each a
+///    different value); the same store under a divergent guard is the
+///    single-writer idiom and stays quiet.
+///  * **uninit-private** -- a load whose clobber walk reaches
+///    LiveOnEntry through private memory reads the arena's zero-fill,
+///    which is almost always a missing initialization: *warning*.
+///  * **div-by-zero** -- an integer divisor whose range is exactly
+///    [0,0]: *error*; a range that merely contains 0 but is otherwise
+///    informative: *warning* (a fully-unknown divisor stays quiet).
+///
+/// The severity contract the tests pin: *error* means the analysis
+/// proved the fault (no false positives on kernels that run fault-free),
+/// *warning* means it could not prove safety. `kperfc lint` maps errors
+/// to a nonzero exit (warnings too under --Werror), and rt::Session can
+/// run the same checks as an opt-in gate after perforation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_LINT_H
+#define KPERF_IR_LINT_H
+
+#include "ir/AnalysisManager.h"
+#include "ir/RangeAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace kperf {
+namespace ir {
+namespace lint {
+
+enum class Severity : uint8_t { Warning, Error };
+
+struct Diagnostic {
+  Severity Sev = Severity::Warning;
+  /// Stable check id: "oob", "divergent-barrier", "local-race",
+  /// "uninit-private", "div-by-zero".
+  std::string Check;
+  /// Full human-readable text including the instruction location.
+  std::string Message;
+  const Instruction *Inst = nullptr;
+};
+
+struct LintOptions {
+  /// Launch-shape seeds for RangeAnalysis (zero sizes = unknown).
+  NDRangeBounds Bounds;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> Diags;
+
+  unsigned numErrors() const {
+    unsigned N = 0;
+    for (const Diagnostic &D : Diags)
+      N += D.Sev == Severity::Error;
+    return N;
+  }
+  unsigned numWarnings() const {
+    return static_cast<unsigned>(Diags.size()) - numErrors();
+  }
+  bool hasErrors() const { return numErrors() != 0; }
+
+  /// All diagnostics, one "severity: check: message" line each.
+  std::string str() const;
+};
+
+/// Runs every check over \p F, pulling (and caching) the analyses
+/// through \p AM.
+LintResult run(const Function &F, AnalysisManager &AM,
+               const LintOptions &Opts = LintOptions());
+
+} // namespace lint
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_LINT_H

@@ -1,0 +1,531 @@
+//===- ir/RangeAnalysis.cpp ------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/RangeAnalysis.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+std::string Interval::str() const {
+  if (isEmpty())
+    return "[empty]";
+  auto Bound = [](int64_t V) {
+    if (V == INT32_MIN)
+      return std::string("min");
+    if (V == INT32_MAX)
+      return std::string("max");
+    return std::to_string(V);
+  };
+  return "[" + Bound(Lo) + "," + Bound(Hi) + "]";
+}
+
+namespace {
+
+/// Collapses any bound that left int32 to the full range: the simulator
+/// wraps int32 arithmetic, so a wrapped value can be anything.
+Interval clamp32(Interval X) {
+  if (X.isEmpty())
+    return X;
+  if (X.Lo < INT32_MIN || X.Hi > INT32_MAX)
+    return Interval::full();
+  return X;
+}
+
+bool anyEmpty(const Interval &A, const Interval &B) {
+  return A.isEmpty() || B.isEmpty();
+}
+
+Interval addRanges(const Interval &A, const Interval &B) {
+  if (anyEmpty(A, B))
+    return Interval::empty();
+  return clamp32(Interval::make(A.Lo + B.Lo, A.Hi + B.Hi));
+}
+
+Interval subRanges(const Interval &A, const Interval &B) {
+  if (anyEmpty(A, B))
+    return Interval::empty();
+  return clamp32(Interval::make(A.Lo - B.Hi, A.Hi - B.Lo));
+}
+
+Interval mulRanges(const Interval &A, const Interval &B) {
+  if (anyEmpty(A, B))
+    return Interval::empty();
+  // Bounds are int32-clamped, so the corner products fit in int64.
+  int64_t C[4] = {A.Lo * B.Lo, A.Lo * B.Hi, A.Hi * B.Lo, A.Hi * B.Hi};
+  return clamp32(Interval::make(*std::min_element(C, C + 4),
+                                *std::max_element(C, C + 4)));
+}
+
+Interval negRange(const Interval &A) {
+  if (A.isEmpty())
+    return A;
+  return clamp32(Interval::make(-A.Hi, -A.Lo));
+}
+
+Interval divRanges(const Interval &A, const Interval &B) {
+  if (anyEmpty(A, B))
+    return Interval::empty();
+  // A divisor that may be zero faults at runtime; range-wise anything.
+  if (B.contains(0))
+    return Interval::full();
+  // Truncating division is monotone in each operand over a
+  // constant-sign divisor range, so the corners bound the result.
+  int64_t C[4] = {A.Lo / B.Lo, A.Lo / B.Hi, A.Hi / B.Lo, A.Hi / B.Hi};
+  return clamp32(Interval::make(*std::min_element(C, C + 4),
+                                *std::max_element(C, C + 4)));
+}
+
+Interval remRanges(const Interval &A, const Interval &B) {
+  if (anyEmpty(A, B))
+    return Interval::empty();
+  int64_t M = std::max(std::abs(B.Lo), std::abs(B.Hi));
+  if (M == 0)
+    return Interval::full(); // Always faults; stay conservative.
+  // |a % b| < |b|, and the sign follows the dividend.
+  Interval R = Interval::make(-(M - 1), M - 1);
+  if (A.Lo >= 0)
+    R = Interval::make(0, std::min(A.Hi, M - 1));
+  else if (A.Hi <= 0)
+    R = Interval::make(std::max(A.Lo, -(M - 1)), 0);
+  return clamp32(R);
+}
+
+Interval minRanges(const Interval &A, const Interval &B) {
+  if (anyEmpty(A, B))
+    return Interval::empty();
+  return Interval::make(std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi));
+}
+
+Interval maxRanges(const Interval &A, const Interval &B) {
+  if (anyEmpty(A, B))
+    return Interval::empty();
+  return Interval::make(std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+}
+
+Interval absRange(const Interval &A) {
+  if (A.isEmpty())
+    return A;
+  if (A.Lo >= 0)
+    return A;
+  if (A.Hi <= 0)
+    return negRange(A);
+  return clamp32(Interval::make(0, std::max(-A.Lo, A.Hi)));
+}
+
+/// True for value types this analysis tracks (int and bool scalars).
+bool tracked(const Type &Ty) { return Ty.isInt() || Ty.isBool(); }
+
+/// Seed for a work-item query along dimension \p Dim (0/1; any other
+/// value means "unknown dimension" and unions both).
+Interval dimSeed(Builtin BI, const NDRangeBounds &B, int Dim) {
+  if (Dim < 0 || Dim > 1) {
+    Interval U = dimSeed(BI, B, 0).unite(dimSeed(BI, B, 1));
+    return U;
+  }
+  int64_t GS = B.GlobalSize[Dim], LS = B.LocalSize[Dim];
+  int64_t NG = (GS > 0 && LS > 0) ? (GS + LS - 1) / LS : 0;
+  switch (BI) {
+  case Builtin::GetGlobalId:
+    return GS > 0 ? Interval::make(0, GS - 1) : Interval::make(0, INT32_MAX);
+  case Builtin::GetLocalId:
+    return LS > 0 ? Interval::make(0, LS - 1) : Interval::make(0, INT32_MAX);
+  case Builtin::GetGroupId:
+    return NG > 0 ? Interval::make(0, NG - 1) : Interval::make(0, INT32_MAX);
+  case Builtin::GetGlobalSize:
+    return GS > 0 ? Interval::constant(GS) : Interval::make(1, INT32_MAX);
+  case Builtin::GetLocalSize:
+    return LS > 0 ? Interval::constant(LS) : Interval::make(1, INT32_MAX);
+  case Builtin::GetNumGroups:
+    return NG > 0 ? Interval::constant(NG) : Interval::make(1, INT32_MAX);
+  default:
+    return Interval::full();
+  }
+}
+
+/// Interval transfer function of one tracked instruction. \p Get supplies
+/// operand ranges (map lookup during the fixpoint, the refined recursion
+/// during queries).
+Interval transfer(const Instruction *I, const NDRangeBounds &B,
+                  const std::function<Interval(const Value *)> &Get) {
+  switch (I->opcode()) {
+  case Opcode::Add:
+    return addRanges(Get(I->operand(0)), Get(I->operand(1)));
+  case Opcode::Sub:
+    return subRanges(Get(I->operand(0)), Get(I->operand(1)));
+  case Opcode::Mul:
+    return mulRanges(Get(I->operand(0)), Get(I->operand(1)));
+  case Opcode::Div:
+    return divRanges(Get(I->operand(0)), Get(I->operand(1)));
+  case Opcode::Rem:
+    return remRanges(Get(I->operand(0)), Get(I->operand(1)));
+  case Opcode::Neg:
+    return negRange(Get(I->operand(0)));
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::LogicalAnd:
+  case Opcode::LogicalOr:
+  case Opcode::LogicalNot:
+    return Interval::make(0, 1);
+  case Opcode::Select: {
+    Interval C = Get(I->operand(0));
+    if (C.isEmpty())
+      return Interval::empty();
+    if (C == Interval::constant(1))
+      return Get(I->operand(1));
+    if (C == Interval::constant(0))
+      return Get(I->operand(2));
+    return Get(I->operand(1)).unite(Get(I->operand(2)));
+  }
+  case Opcode::Phi: {
+    Interval U = Interval::empty();
+    for (unsigned K = 0; K < I->numIncoming(); ++K)
+      U = U.unite(Get(I->incomingValue(K)));
+    return U;
+  }
+  case Opcode::Call:
+    switch (I->callee()) {
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetLocalSize:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetNumGroups: {
+      int Dim = -1;
+      if (const auto *C = dyn_cast<ConstantInt>(I->operand(0)))
+        Dim = C->value();
+      return dimSeed(I->callee(), B, Dim);
+    }
+    case Builtin::Min:
+      return minRanges(Get(I->operand(0)), Get(I->operand(1)));
+    case Builtin::Max:
+      return maxRanges(Get(I->operand(0)), Get(I->operand(1)));
+    case Builtin::Clamp:
+      return minRanges(maxRanges(Get(I->operand(0)), Get(I->operand(1))),
+                       Get(I->operand(2)));
+    case Builtin::Abs:
+      return absRange(Get(I->operand(0)));
+    default:
+      return Interval::full();
+    }
+  default:
+    // Loads, FloatToInt, and anything else escape the analysis.
+    return Interval::full();
+  }
+}
+
+/// The range of a non-instruction value (constants, arguments).
+Interval leafRange(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return Interval::constant(CI->value());
+  if (const auto *CB = dyn_cast<ConstantBool>(V))
+    return Interval::constant(CB->value() ? 1 : 0);
+  if (V->type().isBool())
+    return Interval::make(0, 1);
+  return Interval::full();
+}
+
+} // namespace
+
+RangeAnalysis RangeAnalysis::compute(const Function &F,
+                                     const DominatorTree &DT,
+                                     const NDRangeBounds &Bounds) {
+  RangeAnalysis RA;
+  RA.Bounds = Bounds;
+  for (const auto &BB : F.blocks())
+    RA.IDom[BB.get()] = DT.idom(BB.get());
+
+  // Branch refinements: a conditional branch whose target has that branch
+  // block as unique predecessor pins the condition's truth value
+  // throughout the blocks the target dominates.
+  struct Refiner {
+    RangeAnalysis &RA;
+    RefineMap *M = nullptr;
+
+    Interval rangeOf(const Value *V) const { return RA.rangeOf(V); }
+    void add(const Value *V, Interval R) {
+      if (isConstant(V))
+        return;
+      auto It = M->find(V);
+      if (It == M->end())
+        M->emplace(V, R);
+      else
+        It->second = It->second.intersect(R);
+    }
+    void compare(Opcode Op, const Value *X, const Value *Y, bool Taken) {
+      if (!X->type().isInt() || !Y->type().isInt())
+        return;
+      Interval RX = rangeOf(X), RY = rangeOf(Y);
+      if (RX.isEmpty() || RY.isEmpty())
+        return;
+      // Normalize Gt/Ge to Lt/Le with swapped operands.
+      if (Op == Opcode::CmpGt || Op == Opcode::CmpGe) {
+        std::swap(X, Y);
+        std::swap(RX, RY);
+        Op = Op == Opcode::CmpGt ? Opcode::CmpLt : Opcode::CmpLe;
+      }
+      // And Ne to Eq with flipped polarity.
+      if (Op == Opcode::CmpNe) {
+        Op = Opcode::CmpEq;
+        Taken = !Taken;
+      }
+      switch (Op) {
+      case Opcode::CmpLt:
+        if (Taken) { // X < Y
+          add(X, Interval::make(INT32_MIN, RY.Hi - 1));
+          add(Y, Interval::make(RX.Lo + 1, INT32_MAX));
+        } else { // X >= Y
+          add(X, Interval::make(RY.Lo, INT32_MAX));
+          add(Y, Interval::make(INT32_MIN, RX.Hi));
+        }
+        break;
+      case Opcode::CmpLe:
+        if (Taken) { // X <= Y
+          add(X, Interval::make(INT32_MIN, RY.Hi));
+          add(Y, Interval::make(RX.Lo, INT32_MAX));
+        } else { // X > Y
+          add(X, Interval::make(RY.Lo + 1, INT32_MAX));
+          add(Y, Interval::make(INT32_MIN, RX.Hi - 1));
+        }
+        break;
+      case Opcode::CmpEq:
+        if (Taken) {
+          add(X, RY);
+          add(Y, RX);
+        } else {
+          // Intervals cannot carve holes; != only bites at a bound.
+          if (RY.isConstant()) {
+            if (RY.Lo == RX.Lo)
+              add(X, Interval::make(RX.Lo + 1, INT32_MAX));
+            else if (RY.Lo == RX.Hi)
+              add(X, Interval::make(INT32_MIN, RX.Hi - 1));
+          }
+          if (RX.isConstant()) {
+            if (RX.Lo == RY.Lo)
+              add(Y, Interval::make(RY.Lo + 1, INT32_MAX));
+            else if (RX.Lo == RY.Hi)
+              add(Y, Interval::make(INT32_MIN, RY.Hi - 1));
+          }
+        }
+        break;
+      default:
+        break;
+      }
+    }
+    void collect(const Value *Cond, bool Taken) {
+      const auto *CI = dyn_cast<Instruction>(Cond);
+      if (!CI)
+        return;
+      switch (CI->opcode()) {
+      case Opcode::LogicalNot:
+        collect(CI->operand(0), !Taken);
+        break;
+      case Opcode::LogicalAnd:
+        if (Taken) { // Both conjuncts hold.
+          collect(CI->operand(0), true);
+          collect(CI->operand(1), true);
+        }
+        break;
+      case Opcode::LogicalOr:
+        if (!Taken) { // Both disjuncts fail.
+          collect(CI->operand(0), false);
+          collect(CI->operand(1), false);
+        }
+        break;
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpGt:
+      case Opcode::CmpGe:
+        compare(CI->opcode(), CI->operand(0), CI->operand(1), Taken);
+        break;
+      default:
+        break;
+      }
+    }
+  };
+  auto Preds = predecessors(F);
+  auto RebuildRefinements = [&] {
+    RA.Refinements.clear();
+    for (const auto &BBPtr : F.blocks()) {
+      const BasicBlock *T = BBPtr.get();
+      if (!DT.isReachable(T))
+        continue;
+      auto PIt = Preds.find(T);
+      if (PIt == Preds.end() || PIt->second.size() != 1)
+        continue;
+      const BasicBlock *A = PIt->second.front();
+      const Instruction *Term = A->terminator();
+      if (!Term || Term->opcode() != Opcode::CondBr ||
+          Term->branchTarget(0) == Term->branchTarget(1))
+        continue;
+      Refiner R{RA, &RA.Refinements[T]};
+      R.collect(Term->operand(0), /*Taken=*/Term->branchTarget(0) == T);
+      if (R.M->empty())
+        RA.Refinements.erase(T);
+    }
+  };
+
+  // Merged refinement environment of a block: its own map intersected
+  // with every dominator's (rebuilt per fixpoint round, memoized).
+  std::unordered_map<const BasicBlock *, RefineMap> Envs;
+  std::function<const RefineMap &(const BasicBlock *)> EnvOf =
+      [&](const BasicBlock *B) -> const RefineMap & {
+    auto It = Envs.find(B);
+    if (It != Envs.end())
+      return It->second;
+    RefineMap M;
+    auto DIt = RA.IDom.find(B);
+    if (DIt != RA.IDom.end() && DIt->second)
+      M = EnvOf(DIt->second);
+    auto RIt = RA.Refinements.find(B);
+    if (RIt != RA.Refinements.end())
+      for (const auto &[V, R] : RIt->second) {
+        auto EIt = M.find(V);
+        if (EIt == M.end())
+          M.emplace(V, R);
+        else
+          EIt->second = EIt->second.intersect(R);
+      }
+    return Envs.emplace(B, std::move(M)).first->second;
+  };
+
+  // Ascending Kleene iteration from bottom (absent == empty), in block
+  // order (blocks are laid out roughly topologically, so most values
+  // converge in one pass). Operands are evaluated under the block's
+  // branch refinements so a widened loop counter's increment stays
+  // bounded by the exit test instead of overflow-collapsing the phi:
+  // that is what makes `for (i = 0; i < n; i++)` converge to
+  // [0, INT32_MAX] rather than full range. Refinements are rebuilt from
+  // the current ranges each round; the loop only exits after a full
+  // round with no changes, so the final state is a post-fixpoint under
+  // refinements derived from the final (sound) ranges. Phi bounds still
+  // moving after round 2 widen to their int32 extreme; past round 8
+  // every moving bound widens, a belt-and-braces termination guarantee.
+  auto Get = [&RA](const Value *V) -> Interval {
+    if (isa<Instruction>(V)) {
+      auto It = RA.Ranges.find(V);
+      return It == RA.Ranges.end() ? Interval::empty() : It->second;
+    }
+    return leafRange(V);
+  };
+  bool Changed = true;
+  for (unsigned Iter = 1; Changed; ++Iter) {
+    RebuildRefinements();
+    Envs.clear();
+    Changed = false;
+    for (const auto &BB : F.blocks()) {
+      if (!DT.isReachable(BB.get()))
+        continue;
+      const RefineMap &Env = EnvOf(BB.get());
+      std::function<Interval(const Value *)> GetIn =
+          [&](const Value *V) -> Interval {
+        Interval R = Get(V);
+        auto It = Env.find(V);
+        if (It != Env.end() && !R.isEmpty())
+          R = R.intersect(It->second);
+        return R;
+      };
+      for (const auto &I : BB->instructions()) {
+        if (!tracked(I->type()))
+          continue;
+        Interval Old = Get(I.get());
+        Interval New = transfer(I.get(), Bounds, GetIn).unite(Old);
+        if (New == Old)
+          continue;
+        bool Widen =
+            Iter > 8 || (Iter > 2 && I->opcode() == Opcode::Phi);
+        if (Widen) {
+          if (New.Lo < Old.Lo)
+            New.Lo = INT32_MIN;
+          if (New.Hi > Old.Hi)
+            New.Hi = INT32_MAX;
+        }
+        if (New != Old) {
+          RA.Ranges[I.get()] = New;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return RA;
+}
+
+Interval RangeAnalysis::rangeOf(const Value *V) const {
+  if (isa<Instruction>(V)) {
+    if (!tracked(V->type()))
+      return Interval::full();
+    auto It = Ranges.find(V);
+    // Absent means the fixpoint never reached it (unreachable block).
+    return It == Ranges.end() ? Interval::full() : It->second;
+  }
+  return leafRange(V);
+}
+
+Interval RangeAnalysis::rangeAt(const Value *V,
+                                const BasicBlock *At) const {
+  if (!At)
+    return rangeOf(V);
+  // Merge the refinement maps of every dominator of At (each guarded
+  // region's conditions hold throughout the blocks its head dominates).
+  RefineMap Env;
+  for (const BasicBlock *D = At; D;) {
+    auto It = Refinements.find(D);
+    if (It != Refinements.end())
+      for (const auto &[Val, R] : It->second) {
+        auto EIt = Env.find(Val);
+        if (EIt == Env.end())
+          Env.emplace(Val, R);
+        else
+          EIt->second = EIt->second.intersect(R);
+      }
+    auto DIt = IDom.find(D);
+    D = DIt == IDom.end() ? nullptr : DIt->second;
+  }
+  if (Env.empty())
+    return rangeOf(V);
+  return evalRefined(V, Env, 0);
+}
+
+Interval RangeAnalysis::evalRefined(const Value *V, const RefineMap &Env,
+                                    unsigned Depth) const {
+  Interval Base = rangeOf(V);
+  auto It = Env.find(V);
+  if (It != Env.end())
+    Base = Base.intersect(It->second);
+  if (Depth >= 6)
+    return Base;
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I || !tracked(I->type()))
+    return Base;
+  // Re-run the transfer function under the refined environment so
+  // refinements reach derived expressions (x refined => x+1 refined).
+  // Phis don't recurse: cycles run through them, and their base range
+  // already merged every path.
+  switch (I->opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Neg:
+  case Opcode::Select:
+  case Opcode::Call: {
+    std::function<Interval(const Value *)> Get =
+        [&](const Value *Op) { return evalRefined(Op, Env, Depth + 1); };
+    return transfer(I, Bounds, Get).intersect(Base);
+  }
+  default:
+    return Base;
+  }
+}

@@ -1,0 +1,150 @@
+//===- ir/RangeAnalysis.h - Integer interval analysis ------------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval analysis over the kernel's integer (and bool) SSA values.
+/// Every value gets an inclusive [Lo, Hi] range of the int32 values it can
+/// take at runtime:
+///
+///  * constants are singletons; work-item queries are seeded from the
+///    optional NDRangeBounds (get_local_id(d) in [0, LocalSize[d]-1] when
+///    the launch shape is known, [0, INT32_MAX] otherwise -- ids are
+///    never negative);
+///  * arithmetic uses standard interval transfer functions computed in
+///    int64; any bound that leaves int32 collapses the result to the full
+///    range (**wraparound conservatism**: the simulator's int32 wrap
+///    could land anywhere, so no tighter claim is sound);
+///  * loop phis are **widened**: once the ascending fixpoint has run two
+///    rounds, a bound still growing jumps straight to its int32 extreme,
+///    so `for (i = 0; i < n; i++)` converges to i in [0, INT32_MAX]
+///    immediately instead of iterating;
+///  * branch conditions **refine** dominated code: in a block dominated
+///    by the true edge of `if (x < n)`, x's range is intersected with
+///    [INT32_MIN, hi(n)-1] -- the edge's target must have the branch
+///    block as its unique predecessor, which is what makes "dominated by
+///    the target" equal "the condition holds". Refinements apply
+///    transitively through a bounded recursion, so `x + 1` under the
+///    same branch tightens too.
+///
+/// Float values are not tracked. The analysis is cached in the
+/// AnalysisManager (getRangeAnalysis) keyed by the seeding bounds and is
+/// dropped on any invalidation; it is the index-arithmetic half of the
+/// lint diagnostics (ir/Lint.h) and self-contained enough to compute
+/// standalone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_RANGEANALYSIS_H
+#define KPERF_IR_RANGEANALYSIS_H
+
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace kperf {
+namespace ir {
+
+/// An inclusive range of int32 values, carried in int64 so transfer
+/// functions can detect overflow before clamping. Empty ranges (Lo > Hi)
+/// arise from refinement along infeasible branches.
+struct Interval {
+  int64_t Lo = INT32_MIN;
+  int64_t Hi = INT32_MAX;
+
+  static Interval full() { return Interval(); }
+  static Interval empty() { return Interval{1, 0}; }
+  static Interval constant(int64_t V) { return Interval{V, V}; }
+  static Interval make(int64_t Lo, int64_t Hi) { return Interval{Lo, Hi}; }
+
+  bool isEmpty() const { return Lo > Hi; }
+  bool isFull() const { return Lo == INT32_MIN && Hi == INT32_MAX; }
+  bool isConstant() const { return Lo == Hi; }
+  bool contains(int64_t V) const { return V >= Lo && V <= Hi; }
+  /// True if every value of this range lies in [OtherLo, OtherHi].
+  bool within(int64_t OtherLo, int64_t OtherHi) const {
+    return isEmpty() || (Lo >= OtherLo && Hi <= OtherHi);
+  }
+  /// True if no value of this range lies in [OtherLo, OtherHi].
+  bool disjointFrom(int64_t OtherLo, int64_t OtherHi) const {
+    return isEmpty() || Hi < OtherLo || Lo > OtherHi;
+  }
+
+  bool operator==(const Interval &O) const {
+    return (isEmpty() && O.isEmpty()) || (Lo == O.Lo && Hi == O.Hi);
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+
+  Interval intersect(const Interval &O) const {
+    return Interval{Lo > O.Lo ? Lo : O.Lo, Hi < O.Hi ? Hi : O.Hi};
+  }
+  Interval unite(const Interval &O) const {
+    if (isEmpty())
+      return O;
+    if (O.isEmpty())
+      return *this;
+    return Interval{Lo < O.Lo ? Lo : O.Lo, Hi > O.Hi ? Hi : O.Hi};
+  }
+
+  /// Renders as "[lo,hi]" (bounds at the int32 extremes print as "min"/
+  /// "max"), for diagnostics and tests.
+  std::string str() const;
+};
+
+/// Launch-shape seeds for the work-item query builtins. A zero size means
+/// "unknown": ids stay non-negative but unbounded, sizes stay >= 1.
+struct NDRangeBounds {
+  int64_t GlobalSize[2] = {0, 0};
+  int64_t LocalSize[2] = {0, 0};
+
+  bool operator==(const NDRangeBounds &O) const {
+    return GlobalSize[0] == O.GlobalSize[0] &&
+           GlobalSize[1] == O.GlobalSize[1] &&
+           LocalSize[0] == O.LocalSize[0] && LocalSize[1] == O.LocalSize[1];
+  }
+  bool operator!=(const NDRangeBounds &O) const { return !(*this == O); }
+};
+
+/// Interval analysis of one function. Compute once; query per value, with
+/// or without the branch refinements that hold at a given block.
+class RangeAnalysis {
+public:
+  /// Computes ranges for \p F. \p DT must belong to \p F.
+  static RangeAnalysis compute(const Function &F, const DominatorTree &DT,
+                               const NDRangeBounds &Bounds = NDRangeBounds());
+
+  /// Flow-insensitive range of \p V (full for untracked kinds: floats,
+  /// pointers).
+  Interval rangeOf(const Value *V) const;
+
+  /// Range of \p V at \p At, refined by every branch condition whose
+  /// guarded region dominates \p At. Falls back to rangeOf() when \p At
+  /// is null or unreachable.
+  Interval rangeAt(const Value *V, const BasicBlock *At) const;
+
+  const NDRangeBounds &bounds() const { return Bounds; }
+
+private:
+  /// Intersections contributed by the branch condition guarding a block
+  /// (the block is a unique-predecessor branch target).
+  using RefineMap = std::unordered_map<const Value *, Interval>;
+
+  Interval evalRefined(const Value *V, const RefineMap &Env,
+                       unsigned Depth) const;
+
+  std::unordered_map<const Value *, Interval> Ranges;
+  std::unordered_map<const BasicBlock *, RefineMap> Refinements;
+  /// Immediate dominators, copied out of the tree so query-time walks
+  /// don't tie this object's lifetime to the DominatorTree's.
+  std::unordered_map<const BasicBlock *, const BasicBlock *> IDom;
+  NDRangeBounds Bounds;
+};
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_RANGEANALYSIS_H

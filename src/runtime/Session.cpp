@@ -7,6 +7,7 @@
 #include "runtime/Session.h"
 
 #include "gpusim/Bytecode.h"
+#include "ir/Lint.h"
 #include "pcl/Compiler.h"
 #include "support/StringUtils.h"
 
@@ -255,6 +256,22 @@ Expected<Variant> Session::perforate(const Kernel &K,
       perf::applyInputPerforation(*M, *K.F, Plan, Name, &Analyses);
   if (!R)
     return R.takeError();
+  if (LintGate.load()) {
+    // Static safety gate: reject the generated kernel on any proven
+    // fault before it can reach a launch. The range analysis is seeded
+    // with the work-group shape the variant must launch with.
+    ir::lint::LintOptions LO;
+    LO.Bounds.LocalSize[0] = R->LocalX;
+    LO.Bounds.LocalSize[1] = R->LocalY;
+    ir::lint::LintResult LR = ir::lint::run(*R->Kernel, Analyses, LO);
+    if (LR.hasErrors()) {
+      Analyses.invalidate(*R->Kernel);
+      std::unique_ptr<ir::Function> Rejected = M->takeFunction(R->Kernel);
+      return makeError("lint gate: perforated kernel '%s' failed the "
+                       "static checks:\n%s",
+                       Name.c_str(), LR.str().c_str());
+    }
+  }
   Variant V;
   V.Kind = VariantKind::Perforated;
   V.K = Kernel{R->Kernel};

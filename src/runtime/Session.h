@@ -257,6 +257,17 @@ public:
   void setVariantCapacity(unsigned N);
   unsigned variantCapacity() const;
 
+  /// Opt-in static safety gate: when enabled, every kernel perforate()
+  /// generates is run through the ir/Lint.h checks (range analysis
+  /// seeded with the variant's work-group shape) and error-severity
+  /// diagnostics -- a proven out-of-bounds access, a barrier under
+  /// divergent control flow, a definite division by zero -- fail the
+  /// perforation instead of faulting later inside a launch. The rejected
+  /// kernel is removed from the module; nothing is cached. Warnings
+  /// never gate. Off by default; thread-safe.
+  void setLintGate(bool Enabled) { LintGate.store(Enabled); }
+  bool lintGate() const { return LintGate.load(); }
+
   //===--- Launching --------------------------------------------------------//
 
   /// Selects the execution tier of subsequent launches (default: the
@@ -389,6 +400,9 @@ private:
   /// Source cache: (pipeline options key + source text) -> compiled
   /// kernels in declaration order.
   std::map<std::string, std::vector<ir::Function *>> Sources;
+
+  /// Opt-in post-perforation static-check gate (setLintGate).
+  std::atomic<bool> LintGate{false};
 
   /// Execution tier of launches through this session.
   std::atomic<sim::ExecTier> Tier{sim::defaultExecTier()};

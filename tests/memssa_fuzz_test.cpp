@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gpusim/Interpreter.h"
+#include "ir/Lint.h"
 #include "ir/PassManager.h"
 #include "pcl/Compiler.h"
 #include "support/Rng.h"
@@ -52,11 +53,17 @@ class KernelGenerator {
 public:
   explicit KernelGenerator(uint64_t Seed) : R(Seed) {}
 
+  /// True if the last generate() planted the out-of-bounds payload (the
+  /// static-lint companion test expects an error-severity diagnostic
+  /// exactly for these seeds).
+  bool plantedFault() const { return Planted; }
+
   std::string generate() {
     Stmts.clear();
     Floats = {"acc"};
     Arrays.clear();
     NextId = 0;
+    Planted = false;
 
     // One or two private arrays to fuzz sroa/DSE/GVN against.
     unsigned NumArrays = 1 + R.below(2);
@@ -79,6 +86,7 @@ public:
       Stmts.push_back("if (x == " + std::to_string(R.below(4)) + ") { " +
                       A.Name + "[" + std::to_string(A.Size + 4096) +
                       "] = 1.0; }");
+      Planted = true;
     }
 
     std::string Src;
@@ -286,6 +294,7 @@ private:
   }
 
   Rng R;
+  bool Planted = false;
   std::vector<std::string> Stmts;
   std::vector<std::string> Floats;
   std::vector<Arr> Arrays;
@@ -395,6 +404,43 @@ TEST(MemSSAFuzzTest, TwoHundredSeedsDifferentiallyIdentical) {
     if (::testing::Test::HasFatalFailure())
       return;
   }
+}
+
+TEST(MemSSAFuzzTest, PlantedFaultsAreFlaggedStatically) {
+  // The static checker (ir/Lint.h) over the same 200 seeds, after the
+  // default pipeline: every planted far-OOB constant-index store must be
+  // reported at error severity, and -- the severity contract -- no
+  // fault-free kernel may produce any error-severity diagnostic
+  // (warnings are fine: the generator deliberately leaves some array
+  // elements uninitialized).
+  unsigned Planted = 0;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    KernelGenerator G(Seed);
+    std::string Source = G.generate();
+    SCOPED_TRACE("seed " + std::to_string(Seed) + "\n" + Source);
+    ir::Module M;
+    pcl::CompileOptions Opts;
+    Opts.PipelineSpec = ir::defaultPipelineSpec();
+    Expected<ir::Function *> F = pcl::compileKernel(M, Source, "k", Opts);
+    ASSERT_TRUE(static_cast<bool>(F)) << F.error().message();
+    ir::AnalysisManager AM;
+    ir::lint::LintOptions LO;
+    LO.Bounds.GlobalSize[0] = GlobalItems;
+    LO.Bounds.LocalSize[0] = GroupItems;
+    ir::lint::LintResult R = ir::lint::run(**F, AM, LO);
+    if (G.plantedFault()) {
+      ++Planted;
+      bool FlaggedOob = false;
+      for (const ir::lint::Diagnostic &D : R.Diags)
+        FlaggedOob |= D.Sev == ir::lint::Severity::Error && D.Check == "oob";
+      EXPECT_TRUE(FlaggedOob)
+          << "planted OOB store not flagged; diagnostics:\n" << R.str();
+    } else {
+      EXPECT_EQ(R.numErrors(), 0u)
+          << "false positive on a fault-free kernel:\n" << R.str();
+    }
+  }
+  EXPECT_GT(Planted, 10u); // The 1-in-8 payload actually exercised.
 }
 
 TEST(MemSSAFuzzTest, GeneratorIsDeterministic) {

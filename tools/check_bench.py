@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Bench-trajectory checker (the CI bench-baseline job).
+
+Diffs a fresh `bench_interp --json` run against the committed
+BENCH_interp.json and fails if the trajectory regressed:
+
+  * a (app, tier) record present in the baseline is missing from the
+    fresh run, or vice versa;
+  * a parity flag differs -- outputs_identical / counters_identical
+    must be exactly 1 in both runs (bit-identity is not a statistic);
+  * a speedup drifted outside the multiplicative tolerance: fresh
+    must lie within [baseline / tol, baseline * tol].  Wall-clock on
+    shared CI runners is noisy, so the default tolerance is a factor
+    of 3; the ordering and parity checks carry the precision.
+
+Usage: python3 tools/check_bench.py [--tolerance F] baseline.json fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    return {(r["app"], r["tier"]): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tolerance", type=float, default=3.0,
+                    help="multiplicative speedup tolerance (default 3.0)")
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    errors = []
+
+    for key in sorted(set(base) | set(fresh)):
+        app, tier = key
+        if key not in fresh:
+            errors.append(f"{app}/{tier}: missing from fresh run")
+            continue
+        if key not in base:
+            errors.append(f"{app}/{tier}: not in committed baseline")
+            continue
+        b, f = base[key], fresh[key]
+        for flag in ("outputs_identical", "counters_identical"):
+            if f.get(flag) != 1:
+                errors.append(f"{app}/{tier}: fresh {flag} = {f.get(flag)}")
+            if b.get(flag) != 1:
+                errors.append(f"{app}/{tier}: baseline {flag} = {b.get(flag)}")
+        bs, fs = b.get("speedup"), f.get("speedup")
+        if not bs or not fs or bs <= 0 or fs <= 0:
+            errors.append(f"{app}/{tier}: bad speedup {bs!r} -> {fs!r}")
+        elif not (bs / args.tolerance <= fs <= bs * args.tolerance):
+            errors.append(
+                f"{app}/{tier}: speedup {fs:.2f}x outside "
+                f"[{bs / args.tolerance:.2f}, {bs * args.tolerance:.2f}] "
+                f"(baseline {bs:.2f}x)")
+
+    if errors:
+        print(f"check_bench: {len(errors)} problem(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {len(fresh)} records match the baseline "
+          f"(parity exact, speedups within {args.tolerance:g}x).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,16 @@
 //       --variant-cap N bounds the session's variant cache to N entries
 //       (LRU eviction; 0 = unlimited).
 //
+//   kperfc lint <file.pcl> [--kernel name] [--passes SPEC] [--wg WxH]
+//               [--Werror] [--time-passes]
+//       Run the static kernel checks (ir/Lint.h: out-of-bounds accesses,
+//       barriers under divergent control flow, local-memory races,
+//       never-initialized private loads, division by zero) over every
+//       kernel in the file, after the default cleanup pipeline (or
+//       --passes). --wg seeds the range analysis with the local shape.
+//       Exit 1 when any error-severity diagnostic fires (warnings too
+//       under --Werror); --time-passes adds the analysis-cache counters.
+//
 //   kperfc passes <file.pcl> [--kernel name] [--passes SPEC]
 //               [--time-passes] [--verify-each]
 //       Run an optimization pipeline on the kernel and print the
@@ -75,6 +85,7 @@
 #include "img/Generators.h"
 #include "img/Metrics.h"
 #include "img/PGM.h"
+#include "ir/Lint.h"
 #include "ir/Passes.h"
 #include "ir/Printer.h"
 #include "perforation/AccessAnalysis.h"
@@ -113,13 +124,14 @@ struct Options {
   bool PassSpecGiven = false;
   bool TimePasses = false;
   bool VerifyEach = false;
+  bool Werror = false; ///< lint: warnings also fail the exit code.
   sim::ExecTier Tier = sim::defaultExecTier(); ///< --exec-tier.
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: kperfc <dump-ir|analyze|perforate|run|tune|passes> "
-               "<file.pcl>\n"
+               "usage: kperfc <dump-ir|analyze|perforate|run|tune|passes|"
+               "lint> <file.pcl>\n"
                "              [--kernel NAME] [--scheme baseline|rows1|"
                "rows2|cols1|cols2|stencil]\n"
                "              [--recon nn|li] [--wg WxH]\n"
@@ -128,7 +140,7 @@ int usage() {
                "              [--jobs N] [--variant-cap N]\n"
                "              [--exec-tier tree|bytecode|batched]\n"
                "              [--passes SPEC] [--time-passes] "
-               "[--verify-each]\n"
+               "[--verify-each] [--Werror]\n"
                "       kperfc --passes=SPEC [--time-passes] <file.pcl>\n");
   return 2;
 }
@@ -196,6 +208,10 @@ Expected<Options> parseArgs(int Argc, char **Argv) {
       if (Error E = noValue())
         return E;
       O.VerifyEach = true;
+    } else if (A == "--Werror") {
+      if (Error E = noValue())
+        return E;
+      O.Werror = true;
     } else if (A == "--kernel") {
       auto V = next();
       if (!V)
@@ -669,6 +685,51 @@ int cmdTune(const Options &O, const std::string &Source) {
   return 0;
 }
 
+int cmdLint(const Options &O, const std::string &Source) {
+  rt::Session Ctx;
+  // Lint the kernels as they would execute: the default cleanup
+  // pipeline (or --passes) first, checks over the optimized SSA.
+  pcl::CompileOptions CO;
+  CO.PipelineSpec =
+      O.PassSpecGiven ? O.PassSpec : ir::defaultPipelineSpec();
+  CO.VerifyEach = O.VerifyEach;
+  std::vector<rt::Kernel> Kernels;
+  if (!O.KernelName.empty()) {
+    Expected<rt::Kernel> K = Ctx.compile(Source, O.KernelName, CO);
+    if (!K) {
+      std::fprintf(stderr, "error: %s\n", K.error().message().c_str());
+      return 1;
+    }
+    Kernels.push_back(*K);
+  } else {
+    Expected<std::vector<rt::Kernel>> All = Ctx.compileAll(Source, CO);
+    if (!All) {
+      std::fprintf(stderr, "error: %s\n", All.error().message().c_str());
+      return 1;
+    }
+    Kernels = std::move(*All);
+  }
+
+  ir::lint::LintOptions LO;
+  LO.Bounds.LocalSize[0] = O.WgX;
+  LO.Bounds.LocalSize[1] = O.WgY;
+  unsigned Errors = 0, Warnings = 0;
+  for (const rt::Kernel &K : Kernels) {
+    ir::lint::LintResult R = ir::lint::run(*K.F, Ctx.analyses(), LO);
+    std::fputs(R.str().c_str(), stdout);
+    Errors += R.numErrors();
+    Warnings += R.numWarnings();
+  }
+  std::printf("%zu kernel%s checked: %u error%s, %u warning%s\n",
+              Kernels.size(), Kernels.size() == 1 ? "" : "s", Errors,
+              Errors == 1 ? "" : "s", Warnings,
+              Warnings == 1 ? "" : "s");
+  if (O.TimePasses)
+    std::printf("analyses: %s\n",
+                Ctx.analyses().counters().str().c_str());
+  return Errors != 0 || (O.Werror && Warnings != 0) ? 1 : 0;
+}
+
 int cmdPasses(const Options &O, const std::string &Source) {
   rt::Session Ctx;
   Expected<rt::Kernel> K = compileFrom(Ctx, O, Source);
@@ -730,6 +791,9 @@ int cmdPasses(const Options &O, const std::string &Source) {
     std::printf("; %-16s %6s %9u %+8lld %+8lld  (%u rounds)\n", "total",
                 "", Stats.total(), SizeDelta, AluDelta, Stats.Iterations);
   std::printf("; instructions: %zu -> %zu\n", Before, After);
+  if (O.TimePasses)
+    std::printf("; analyses: %s\n",
+                Ctx.analyses().counters().str().c_str());
   std::fputs(ir::printFunction(*K->F).c_str(), stdout);
   return 0;
 }
@@ -759,6 +823,8 @@ int main(int Argc, char **Argv) {
     return cmdTune(*O, *Source);
   if (O->Command == "passes")
     return cmdPasses(*O, *Source);
+  if (O->Command == "lint")
+    return cmdLint(*O, *Source);
   std::fprintf(stderr, "error: unknown command '%s'\n",
                O->Command.c_str());
   return usage();
