@@ -1,0 +1,486 @@
+//===- ir/Serializer.cpp ----------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Serializer.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+//===--- Encoding tables -----------------------------------------------------//
+
+namespace {
+
+const Opcode kAllOpcodes[] = {
+    Opcode::Alloca,     Opcode::Load,     Opcode::Store,
+    Opcode::Gep,        Opcode::Add,      Opcode::Sub,
+    Opcode::Mul,        Opcode::Div,      Opcode::Rem,
+    Opcode::CmpEq,      Opcode::CmpNe,    Opcode::CmpLt,
+    Opcode::CmpLe,      Opcode::CmpGt,    Opcode::CmpGe,
+    Opcode::LogicalAnd, Opcode::LogicalOr, Opcode::LogicalNot,
+    Opcode::Neg,        Opcode::IntToFloat, Opcode::FloatToInt,
+    Opcode::Select,     Opcode::Call,     Opcode::Phi,
+    Opcode::Br,         Opcode::CondBr,   Opcode::Ret,
+};
+
+const Builtin kAllBuiltins[] = {
+    Builtin::GetGlobalId,  Builtin::GetLocalId,  Builtin::GetGroupId,
+    Builtin::GetLocalSize, Builtin::GetGlobalSize, Builtin::GetNumGroups,
+    Builtin::Barrier,      Builtin::Min,         Builtin::Max,
+    Builtin::Clamp,        Builtin::Abs,         Builtin::Sqrt,
+    Builtin::Exp,          Builtin::Log,         Builtin::Pow,
+    Builtin::Floor,
+};
+
+bool opcodeFromName(const std::string &Name, Opcode &Op) {
+  for (Opcode Candidate : kAllOpcodes)
+    if (Name == opcodeName(Candidate)) {
+      Op = Candidate;
+      return true;
+    }
+  return false;
+}
+
+bool builtinFromName(const std::string &Name, Builtin &B) {
+  for (Builtin Candidate : kAllBuiltins)
+    if (Name == builtinName(Candidate)) {
+      B = Candidate;
+      return true;
+    }
+  return false;
+}
+
+/// Type -> compact code: scalars "v"/"b"/"i"/"f"; pointers "p" + pointee
+/// ("i"/"f") + space ("p"/"l"/"g").
+std::string typeCode(const Type &Ty) {
+  if (Ty.isPointer()) {
+    std::string Code = "p";
+    Code += Ty.scalarKind() == ScalarKind::Int ? 'i' : 'f';
+    switch (Ty.addressSpace()) {
+    case AddressSpace::Private:
+      Code += 'p';
+      break;
+    case AddressSpace::Local:
+      Code += 'l';
+      break;
+    case AddressSpace::Global:
+      Code += 'g';
+      break;
+    }
+    return Code;
+  }
+  if (Ty.isVoid())
+    return "v";
+  if (Ty.isBool())
+    return "b";
+  if (Ty.isInt())
+    return "i";
+  return "f";
+}
+
+bool typeFromCode(const std::string &Code, Type &Ty) {
+  if (Code == "v") {
+    Ty = Type::voidTy();
+    return true;
+  }
+  if (Code == "b") {
+    Ty = Type::boolTy();
+    return true;
+  }
+  if (Code == "i") {
+    Ty = Type::intTy();
+    return true;
+  }
+  if (Code == "f") {
+    Ty = Type::floatTy();
+    return true;
+  }
+  if (Code.size() != 3 || Code[0] != 'p')
+    return false;
+  ScalarKind Elem;
+  if (Code[1] == 'i')
+    Elem = ScalarKind::Int;
+  else if (Code[1] == 'f')
+    Elem = ScalarKind::Float;
+  else
+    return false;
+  AddressSpace Space;
+  if (Code[2] == 'p')
+    Space = AddressSpace::Private;
+  else if (Code[2] == 'l')
+    Space = AddressSpace::Local;
+  else if (Code[2] == 'g')
+    Space = AddressSpace::Global;
+  else
+    return false;
+  Ty = Type::pointerTo(Elem, Space);
+  return true;
+}
+
+/// Names are cosmetic; anything that would break the one-line-per-record
+/// format is replaced by a placeholder.
+std::string sanitizeName(const std::string &Name) {
+  if (Name.empty())
+    return "_";
+  for (char C : Name)
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+      return "_";
+  return Name;
+}
+
+/// Checked numeric parse; the cache files this reader consumes may be
+/// truncated or hand-edited, and this library never throws.
+bool parseU64(const std::string &S, uint64_t &Out, int Base = 10) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, Base);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseI64(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+uint32_t floatBits(float V) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+float floatFromBits(uint32_t Bits) {
+  float V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+} // namespace
+
+//===--- Serialization -------------------------------------------------------//
+
+std::string ir::serializeFunction(const Function &F) {
+  // Global instruction indices, in (block, position) order.
+  std::map<const Value *, size_t> InstrIndex;
+  std::map<const BasicBlock *, size_t> BlockIndex;
+  size_t NextInstr = 0;
+  for (size_t BI = 0; BI < F.numBlocks(); ++BI) {
+    const BasicBlock *BB = F.block(BI);
+    BlockIndex[BB] = BI;
+    for (const auto &I : BB->instructions())
+      InstrIndex[I.get()] = NextInstr++;
+  }
+
+  auto operandToken = [&](const Value *V) -> std::string {
+    if (const auto *A = dyn_cast<Argument>(V))
+      return format("a%u", A->index());
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return format("i%d", CI->value());
+    if (const auto *CF = dyn_cast<ConstantFloat>(V))
+      return format("f%08x", floatBits(CF->value()));
+    if (const auto *CB = dyn_cast<ConstantBool>(V))
+      return CB->value() ? "bt" : "bf";
+    auto It = InstrIndex.find(V);
+    assert(It != InstrIndex.end() && "operand outside the function");
+    return format("v%zu", It->second);
+  };
+
+  std::ostringstream Out;
+  Out << kSerialFormatVersion << "\n";
+  Out << "function " << sanitizeName(F.name()) << "\n";
+  for (unsigned AI = 0; AI < F.numArguments(); ++AI) {
+    const Argument *A = F.argument(AI);
+    Out << "arg " << typeCode(A->type()) << " "
+        << (A->isConst() ? "c" : "m") << " " << sanitizeName(A->name())
+        << "\n";
+  }
+  for (size_t BI = 0; BI < F.numBlocks(); ++BI) {
+    const BasicBlock *BB = F.block(BI);
+    Out << "block " << sanitizeName(BB->name()) << "\n";
+    for (const auto &IP : BB->instructions()) {
+      const Instruction *I = IP.get();
+      Out << "inst " << typeCode(I->type()) << " "
+          << opcodeName(I->opcode()) << " " << sanitizeName(I->name())
+          << " " << I->numOperands();
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI) {
+        Out << " " << operandToken(I->operand(OpI));
+        if (I->opcode() == Opcode::Phi)
+          Out << " P" << BlockIndex.at(I->incomingBlock(OpI));
+      }
+      switch (I->opcode()) {
+      case Opcode::Alloca:
+        Out << " n" << I->allocaCount();
+        break;
+      case Opcode::Call:
+        Out << " @" << builtinName(I->callee());
+        break;
+      case Opcode::Br:
+        Out << " T" << BlockIndex.at(I->branchTarget(0));
+        break;
+      case Opcode::CondBr:
+        Out << " T" << BlockIndex.at(I->branchTarget(0)) << " T"
+            << BlockIndex.at(I->branchTarget(1));
+        break;
+      default:
+        break;
+      }
+      Out << "\n";
+    }
+  }
+  Out << "endfunction\n";
+  return Out.str();
+}
+
+//===--- Deserialization -----------------------------------------------------//
+
+namespace {
+
+/// One parsed "inst" record awaiting operand/target fixup.
+struct PendingInstr {
+  Instruction *I = nullptr;
+  std::vector<std::string> OperandTokens;
+  std::vector<size_t> PhiPreds; ///< Index-parallel to OperandTokens.
+  size_t Targets[2] = {~size_t(0), ~size_t(0)};
+};
+
+Error corrupt(const char *What, size_t LineNo) {
+  return makeError("deserialize: %s (line %zu)", What, LineNo);
+}
+
+} // namespace
+
+Expected<Function *> ir::deserializeFunction(Module &M,
+                                             const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+
+  auto nextLine = [&]() -> bool {
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty())
+        return true;
+    }
+    return false;
+  };
+
+  if (!nextLine() || Line != kSerialFormatVersion)
+    return makeError("deserialize: format-version stamp mismatch "
+                     "(want '%s')",
+                     kSerialFormatVersion);
+  if (!nextLine())
+    return corrupt("truncated input", LineNo);
+  std::istringstream Header(Line);
+  std::string Tag, FuncName;
+  Header >> Tag >> FuncName;
+  if (Tag != "function" || FuncName.empty())
+    return corrupt("expected 'function <name>'", LineNo);
+
+  Function *F = M.createFunction(FuncName == "_" ? "" : FuncName);
+  // On any failure below, detach the half-built function again; interned
+  // constants are harmless to keep.
+  auto fail = [&](Error E) -> Expected<Function *> {
+    M.takeFunction(F);
+    return E;
+  };
+
+  std::vector<BasicBlock *> Blocks;
+  std::vector<PendingInstr> Pending;
+  BasicBlock *CurBB = nullptr;
+  bool Ended = false;
+
+  while (nextLine()) {
+    std::istringstream LS(Line);
+    LS >> Tag;
+    if (Tag == "arg") {
+      if (CurBB)
+        return fail(corrupt("'arg' after first block", LineNo));
+      std::string TyCode, ConstFlag, Name;
+      LS >> TyCode >> ConstFlag >> Name;
+      Type Ty;
+      if (!typeFromCode(TyCode, Ty) ||
+          (ConstFlag != "c" && ConstFlag != "m") || Name.empty())
+        return fail(corrupt("malformed 'arg' record", LineNo));
+      F->addArgument(Ty, Name == "_" ? "" : Name, ConstFlag == "c");
+    } else if (Tag == "block") {
+      std::string Name;
+      LS >> Name;
+      if (Name.empty())
+        return fail(corrupt("malformed 'block' record", LineNo));
+      CurBB = F->createBlock(Name == "_" ? "" : Name);
+      Blocks.push_back(CurBB);
+    } else if (Tag == "inst") {
+      if (!CurBB)
+        return fail(corrupt("'inst' before any block", LineNo));
+      std::string TyCode, OpName, Name;
+      unsigned NumOps = 0;
+      LS >> TyCode >> OpName >> Name >> NumOps;
+      Type Ty;
+      Opcode Op;
+      if (!typeFromCode(TyCode, Ty) || !opcodeFromName(OpName, Op) ||
+          Name.empty() || LS.fail() || NumOps > 1u << 20)
+        return fail(corrupt("malformed 'inst' record", LineNo));
+      PendingInstr P;
+      for (unsigned OpI = 0; OpI < NumOps; ++OpI) {
+        std::string Token;
+        LS >> Token;
+        if (Token.empty())
+          return fail(corrupt("missing operand token", LineNo));
+        P.OperandTokens.push_back(Token);
+        if (Op == Opcode::Phi) {
+          LS >> Token;
+          uint64_t Pred = 0;
+          if (Token.size() < 2 || Token[0] != 'P' ||
+              !parseU64(Token.substr(1), Pred))
+            return fail(corrupt("missing phi predecessor", LineNo));
+          P.PhiPreds.push_back(static_cast<size_t>(Pred));
+        }
+      }
+      // Phis get their operands via addIncoming during fixup; everything
+      // else is built with null placeholders patched below.
+      std::vector<Value *> Placeholders(
+          Op == Opcode::Phi ? 0 : P.OperandTokens.size(), nullptr);
+      Instruction *I = CurBB->append(std::make_unique<Instruction>(
+          Op, Ty, std::move(Placeholders), Name == "_" ? "" : Name));
+      P.I = I;
+      std::string Extra;
+      while (LS >> Extra) {
+        if (Extra.size() < 2)
+          return fail(corrupt("malformed extra token", LineNo));
+        switch (Extra[0]) {
+        case 'n': {
+          uint64_t Count = 0;
+          if (Op != Opcode::Alloca || !parseU64(Extra.substr(1), Count))
+            return fail(corrupt("count on non-alloca", LineNo));
+          I->setAllocaCount(static_cast<unsigned>(Count));
+          break;
+        }
+        case '@': {
+          Builtin B;
+          if (Op != Opcode::Call || !builtinFromName(Extra.substr(1), B))
+            return fail(corrupt("bad callee", LineNo));
+          I->setCallee(B);
+          break;
+        }
+        case 'T': {
+          uint64_t Target = 0;
+          if ((Op != Opcode::Br && Op != Opcode::CondBr) ||
+              !parseU64(Extra.substr(1), Target))
+            return fail(corrupt("target on non-branch", LineNo));
+          size_t Slot = P.Targets[0] == ~size_t(0) ? 0 : 1;
+          P.Targets[Slot] = static_cast<size_t>(Target);
+          break;
+        }
+        default:
+          return fail(corrupt("unknown extra token", LineNo));
+        }
+      }
+      Pending.push_back(std::move(P));
+    } else if (Tag == "endfunction") {
+      Ended = true;
+      break;
+    } else {
+      return fail(corrupt("unknown record tag", LineNo));
+    }
+  }
+  if (!Ended)
+    return fail(corrupt("missing 'endfunction'", LineNo));
+
+  // Fixup pass: resolve operand tokens, phi incomings, branch targets.
+  std::vector<Instruction *> ByIndex;
+  for (BasicBlock *BB : Blocks)
+    for (const auto &I : BB->instructions())
+      ByIndex.push_back(I.get());
+
+  auto resolve = [&](const std::string &Token) -> Value * {
+    if (Token.size() < 2)
+      return nullptr;
+    const std::string Payload = Token.substr(1);
+    switch (Token[0]) {
+    case 'a': {
+      uint64_t Index = 0;
+      if (!parseU64(Payload, Index) || Index >= F->numArguments())
+        return nullptr;
+      return F->argument(static_cast<unsigned>(Index));
+    }
+    case 'i': {
+      int64_t V = 0;
+      if (!parseI64(Payload, V))
+        return nullptr;
+      return M.getInt(static_cast<int32_t>(V));
+    }
+    case 'f': {
+      uint64_t Bits = 0;
+      if (!parseU64(Payload, Bits, 16))
+        return nullptr;
+      return M.getFloat(floatFromBits(static_cast<uint32_t>(Bits)));
+    }
+    case 'b':
+      return Token == "bt" || Token == "bf" ? M.getBool(Token == "bt")
+                                            : nullptr;
+    case 'v': {
+      uint64_t Index = 0;
+      if (!parseU64(Payload, Index) || Index >= ByIndex.size())
+        return nullptr;
+      return ByIndex[static_cast<size_t>(Index)];
+    }
+    default:
+      return nullptr;
+    }
+  };
+
+  for (PendingInstr &P : Pending) {
+    if (P.I->opcode() == Opcode::Phi) {
+      for (size_t OpI = 0; OpI < P.OperandTokens.size(); ++OpI) {
+        Value *V = resolve(P.OperandTokens[OpI]);
+        if (!V || P.PhiPreds[OpI] >= Blocks.size())
+          return fail(makeError("deserialize: unresolvable phi operand "
+                                "'%s'",
+                                P.OperandTokens[OpI].c_str()));
+        P.I->addIncoming(V, Blocks[P.PhiPreds[OpI]]);
+      }
+    } else {
+      for (size_t OpI = 0; OpI < P.OperandTokens.size(); ++OpI) {
+        Value *V = resolve(P.OperandTokens[OpI]);
+        if (!V)
+          return fail(makeError("deserialize: unresolvable operand '%s'",
+                                P.OperandTokens[OpI].c_str()));
+        P.I->setOperand(static_cast<unsigned>(OpI), V);
+      }
+    }
+    if (P.I->opcode() == Opcode::Br || P.I->opcode() == Opcode::CondBr) {
+      unsigned Want = P.I->opcode() == Opcode::Br ? 1 : 2;
+      for (unsigned TI = 0; TI < Want; ++TI) {
+        if (P.Targets[TI] >= Blocks.size())
+          return fail(makeError("deserialize: branch target out of "
+                                "range"));
+        P.I->setBranchTarget(TI, Blocks[P.Targets[TI]]);
+      }
+    }
+  }
+  return F;
+}

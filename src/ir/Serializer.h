@@ -1,0 +1,55 @@
+//===- ir/Serializer.h - IR function (de)serialization -----------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compact, line-oriented text serialization of ir::Function, used by the
+/// runtime's content-addressed on-disk variant cache (runtime/Session.h)
+/// so warm restarts and cross-process sweeps skip recompiling generated
+/// kernels. Unlike the Printer (write-only, human-facing), this format
+/// round-trips: deserializeFunction() rebuilds a structurally identical
+/// function inside a Module.
+///
+/// The format is versioned by kSerialFormatVersion; readers reject any
+/// other stamp, so stale cache files from older builds are recompiled
+/// instead of misparsed. Opcodes, builtins, and types are encoded by
+/// mnemonic (not enum value), keeping the format stable across enum
+/// reorderings within one version. Float constants are encoded as raw
+/// IEEE-754 bit patterns so reloaded kernels are bit-identical.
+///
+/// Callers should run ir::verifyFunction over a deserialized function
+/// before trusting it -- the deserializer checks structure (token shapes,
+/// index ranges) but not the per-opcode type contracts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_IR_SERIALIZER_H
+#define KPERF_IR_SERIALIZER_H
+
+#include "ir/Function.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace kperf {
+namespace ir {
+
+/// Format-version stamp; the first line of every serialized function.
+/// Bump when the encoding changes incompatibly.
+inline constexpr const char *kSerialFormatVersion = "kperf-ir-v1";
+
+/// Renders \p F in the round-trippable serialization format.
+std::string serializeFunction(const Function &F);
+
+/// Rebuilds a function from \p Text (as produced by serializeFunction)
+/// inside \p M. Constants are interned through \p M; the new function is
+/// appended to the module. Fails with a descriptive error on a version
+/// mismatch or any structural corruption, leaving \p M unchanged.
+Expected<Function *> deserializeFunction(Module &M, const std::string &Text);
+
+} // namespace ir
+} // namespace kperf
+
+#endif // KPERF_IR_SERIALIZER_H

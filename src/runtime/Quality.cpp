@@ -17,6 +17,25 @@ QualityMonitor::QualityMonitor(Session &S, Kernel Accurate, Variant Approx,
       AccurateLocal(AccurateLocal), ErrorBudget(ErrorBudget),
       CheckEvery(CheckEvery == 0 ? 1 : CheckEvery) {}
 
+void QualityMonitor::setHistoryCapacity(unsigned N) {
+  HistoryCapacity = N;
+  if (HistoryCapacity != 0)
+    while (History.size() > HistoryCapacity)
+      History.pop_front();
+}
+
+void QualityMonitor::reset() {
+  FellBack = false;
+  Launches = 0;
+  History.clear();
+}
+
+void QualityMonitor::rearm(const Variant &NewApprox) {
+  Approx = NewApprox;
+  FellBack = false;
+  History.clear();
+}
+
 Expected<MonitoredLaunch>
 QualityMonitor::launch(const std::vector<sim::KernelArg> &Args,
                        unsigned OutBuffer, const ScoreFn &Score) {
@@ -61,6 +80,9 @@ QualityMonitor::launch(const std::vector<sim::KernelArg> &Args,
 
   double Err = Score(Reference, Test);
   History.push_back(Err);
+  if (HistoryCapacity != 0)
+    while (History.size() > HistoryCapacity)
+      History.pop_front();
   Result.Checked = true;
   Result.MeasuredError = Err;
 

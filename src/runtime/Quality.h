@@ -30,6 +30,7 @@
 
 #include "runtime/Session.h"
 
+#include <deque>
 #include <functional>
 
 namespace kperf {
@@ -68,14 +69,37 @@ public:
                                    unsigned OutBuffer,
                                    const ScoreFn &Score);
 
-  /// True once the monitor has given up on the approximate kernel.
+  /// True once the monitor has given up on the approximate kernel. No
+  /// longer necessarily permanent: rearm() (e.g. after an online re-tune
+  /// hot-swaps the variant) puts the monitor back in approximate mode.
   bool fellBack() const { return FellBack; }
 
   /// Number of launches performed so far.
   unsigned launches() const { return Launches; }
 
-  /// Errors measured at check points, in order.
-  const std::vector<double> &history() const { return History; }
+  /// Errors measured at check points, oldest first. Capped to the history
+  /// capacity: a long-lived monitor keeps a sliding window, not an
+  /// unbounded log.
+  const std::deque<double> &history() const { return History; }
+
+  /// Caps history() to the most recent \p N checks (0 = unbounded;
+  /// default 64). Shrinking drops the oldest entries immediately.
+  void setHistoryCapacity(unsigned N);
+  unsigned historyCapacity() const { return HistoryCapacity; }
+
+  /// The variant currently monitored.
+  const Variant &approx() const { return Approx; }
+  double errorBudget() const { return ErrorBudget; }
+
+  /// Returns the monitor to its initial state: approximate mode, zero
+  /// launches, empty history. The variant is kept.
+  void reset();
+
+  /// Swaps in \p NewApprox (e.g. a re-tuned variant) and re-arms the
+  /// monitor: FellBack clears and history restarts so stale errors from
+  /// the replaced variant never count against the new one. The launch
+  /// counter keeps running.
+  void rearm(const Variant &NewApprox);
 
 private:
   Session &S;
@@ -85,10 +109,11 @@ private:
   sim::Range2 AccurateLocal;
   double ErrorBudget;
   unsigned CheckEvery;
+  unsigned HistoryCapacity = 64;
 
   bool FellBack = false;
   unsigned Launches = 0;
-  std::vector<double> History;
+  std::deque<double> History;
 };
 
 } // namespace rt

@@ -1,0 +1,337 @@
+//===- runtime/Server.cpp ---------------------------------------------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Server.h"
+
+#include "img/Metrics.h"
+#include "perforation/Tuner.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace kperf;
+using namespace kperf::rt;
+
+//===--- Internal state ------------------------------------------------------//
+
+/// One lock stripe: a fully private session (own module, analyses,
+/// caches). Striping at the session level is what makes the stripes
+/// independent -- ir::Module and the analysis caches are not thread-safe,
+/// so sharing one module across stripes would only re-serialize compiles.
+struct Server::Shard {
+  Session S;
+  explicit Shard(const sim::DeviceConfig &Device) : S(Device) {}
+};
+
+struct Server::Service {
+  ServiceConfig C;
+  unsigned ShardIdx = 0;
+  /// Serializes requests to this service: the monitor and the frame
+  /// buffers below are single-stream state. Requests to other services
+  /// never wait on this.
+  std::mutex Mu;
+  Kernel Accurate;
+  unsigned In = 0;  ///< Persistent input frame buffer (shard session).
+  unsigned Out = 0; ///< Persistent output frame buffer.
+  std::unique_ptr<QualityMonitor> Mon;
+  /// Degraded: the budget proved unreachable (or the lint gate rejected
+  /// every perforation); serve accurate-only from now on.
+  bool AccurateOnly = false;
+  unsigned ReTunesLeft = 0;
+};
+
+//===--- ServerStats ---------------------------------------------------------//
+
+namespace {
+
+void accumulate(SessionStats &Into, const SessionStats &From) {
+  Into.SourceCompiles += From.SourceCompiles.load();
+  Into.SourceCacheHits += From.SourceCacheHits.load();
+  Into.VariantCompiles += From.VariantCompiles.load();
+  Into.VariantCacheHits += From.VariantCacheHits.load();
+  Into.Invalidations += From.Invalidations.load();
+  Into.VariantEvictions += From.VariantEvictions.load();
+  Into.BufferCreates += From.BufferCreates.load();
+  Into.BufferReuses += From.BufferReuses.load();
+  Into.BytecodeCompiles += From.BytecodeCompiles.load();
+  Into.BytecodeCacheHits += From.BytecodeCacheHits.load();
+  Into.LintRejections += From.LintRejections.load();
+  Into.DiskVariantHits += From.DiskVariantHits.load();
+  Into.DiskVariantStores += From.DiskVariantStores.load();
+}
+
+} // namespace
+
+std::string ServerStats::str() const {
+  return format("requests: %u; checks: %u; re-tunes: %u; degraded: %u; "
+                "services: %u; shards: %u; sessions: %s",
+                Requests, Checks, ReTunes, DegradedServices, Services,
+                Shards, Sessions.str().c_str());
+}
+
+//===--- Server --------------------------------------------------------------//
+
+Server::Server(ServerConfig C) : Config(std::move(C)) {
+  if (Config.Shards == 0)
+    Config.Shards = 1;
+  for (unsigned I = 0; I < Config.Shards; ++I) {
+    auto Sh = std::make_unique<Shard>(Config.Device);
+    if (Config.VariantCapacity != 0)
+      Sh->S.setVariantCapacity(Config.VariantCapacity);
+    Sh->S.setLintGate(Config.LintGate);
+    if (!Config.DiskCacheDir.empty())
+      cantFail(Sh->S.setDiskCache(Config.DiskCacheDir));
+    Shards.push_back(std::move(Sh));
+  }
+}
+
+Server::~Server() = default;
+
+Expected<Variant>
+Server::buildVariant(Service &Svc, const perf::PerforationScheme &Scheme) {
+  perf::PerforationPlan Plan;
+  Plan.Scheme = Scheme;
+  Plan.TileX = Svc.C.Tile.X;
+  Plan.TileY = Svc.C.Tile.Y;
+  if (!Svc.C.PipelineSpec.empty())
+    Plan.PipelineSpec = Svc.C.PipelineSpec;
+  return Shards[Svc.ShardIdx]->S.perforate(Svc.Accurate, Plan);
+}
+
+Error Server::addService(const ServiceConfig &C) {
+  ServiceConfig Cfg = C;
+  if (Cfg.Name.empty())
+    Cfg.Name = Cfg.Kernel;
+  if (Cfg.Width == 0 || Cfg.Height == 0)
+    return makeError("service '%s': frame shape must be nonzero",
+                     Cfg.Name.c_str());
+  if (!Cfg.Score)
+    Cfg.Score = [](const std::vector<float> &R,
+                   const std::vector<float> &T) {
+      return img::meanRelativeError(R, T);
+    };
+  {
+    std::lock_guard<std::mutex> Lock(ServicesMutex);
+    if (ServiceMap.count(Cfg.Name))
+      return makeError("service '%s' already registered",
+                       Cfg.Name.c_str());
+  }
+
+  auto Svc = std::make_unique<Service>();
+  // Hashed lock striping: the stable prefix of every VariantKey this
+  // service will ever request (kernel + pipeline + source identity)
+  // picks the stripe, so all its variants compile and cache on one
+  // shard while distinct kernels spread across shards.
+  const std::string Pipeline = Cfg.PipelineSpec.empty()
+                                   ? ir::defaultPipelineSpec()
+                                   : Cfg.PipelineSpec;
+  Svc->ShardIdx = static_cast<unsigned>(
+      fnv1a64(Cfg.Kernel + "|" + Pipeline + "|" + Cfg.Source) %
+      Shards.size());
+  Svc->C = Cfg;
+  Session &S = Shards[Svc->ShardIdx]->S;
+
+  Expected<Kernel> K = S.compile(Cfg.Source, Cfg.Kernel);
+  if (!K)
+    return Error(K.error());
+  Svc->Accurate = *K;
+  Svc->In = S.createBuffer(size_t(Cfg.Width) * Cfg.Height);
+  Svc->Out = S.createBuffer(size_t(Cfg.Width) * Cfg.Height);
+  Svc->ReTunesLeft = Config.MaxReTunesPerService;
+
+  Expected<Variant> V = buildVariant(*Svc, Cfg.Scheme);
+  if (!V) {
+    // A lint-gate rejection is not a registration failure: the service
+    // comes up accurate-only (and a later re-tune never happens, since
+    // there is nothing to monitor).
+    if (V.error().message().find("lint gate:") == std::string::npos)
+      return Error(V.error());
+    Svc->AccurateOnly = true;
+  } else {
+    Svc->Mon = std::make_unique<QualityMonitor>(
+        S, Svc->Accurate, *V, sim::Range2{Cfg.Width, Cfg.Height},
+        sim::Range2{16, 16}, Cfg.ErrorBudget, Cfg.CheckEvery);
+  }
+
+  std::lock_guard<std::mutex> Lock(ServicesMutex);
+  if (ServiceMap.count(Cfg.Name))
+    return makeError("service '%s' already registered", Cfg.Name.c_str());
+  ServiceOrder.push_back(Cfg.Name);
+  ServiceMap.emplace(Cfg.Name, std::move(Svc));
+  return Error::success();
+}
+
+bool Server::retune(Service &Svc, const std::vector<float> &Input) {
+  Session &S = Shards[Svc.ShardIdx]->S;
+  const sim::Range2 Global{Svc.C.Width, Svc.C.Height};
+  const size_t N = size_t(Svc.C.Width) * Svc.C.Height;
+
+  // Reference output and time on the offending input.
+  unsigned RefIn = S.createBufferFrom(Input);
+  unsigned RefOut = S.createBuffer(N);
+  std::vector<sim::KernelArg> RefArgs = {
+      arg::buffer(RefIn), arg::buffer(RefOut),
+      arg::i32(static_cast<int32_t>(Svc.C.Width)),
+      arg::i32(static_cast<int32_t>(Svc.C.Height))};
+  Expected<sim::SimReport> AccR =
+      S.launch(Svc.Accurate, Global, sim::Range2{16, 16}, RefArgs);
+  if (!AccR) {
+    S.releaseBuffer(RefIn);
+    S.releaseBuffer(RefOut);
+    return false;
+  }
+  const std::vector<float> Reference = S.buffer(RefOut).downloadFloats();
+  const double AccurateMs = AccR->TimeMs;
+  S.releaseBuffer(RefIn);
+  S.releaseBuffer(RefOut);
+
+  // Candidate space: the scheme families at the service tile, mildest
+  // first. The current (failing) scheme may reappear; its error on this
+  // very input just measured past budget, so the filter drops it again.
+  using perf::PerforationScheme;
+  using perf::ReconstructionKind;
+  std::vector<perf::TunerConfig> Space;
+  for (PerforationScheme Scheme :
+       {PerforationScheme::rows(2, ReconstructionKind::Linear),
+        PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor),
+        PerforationScheme::cols(2, ReconstructionKind::Linear),
+        PerforationScheme::stencil(),
+        PerforationScheme::rows(4, ReconstructionKind::Linear)})
+    Space.push_back(
+        perf::TunerConfig{Scheme, Svc.C.Tile.X, Svc.C.Tile.Y});
+
+  perf::EvaluateFn Evaluate =
+      [&](const perf::TunerConfig &TC) -> Expected<perf::Measurement> {
+    Expected<Variant> V = buildVariant(Svc, TC.Scheme);
+    if (!V)
+      return V.takeError();
+    unsigned EvalIn = S.createBufferFrom(Input);
+    unsigned EvalOut = S.createBuffer(N);
+    std::vector<sim::KernelArg> Args = {
+        arg::buffer(EvalIn), arg::buffer(EvalOut),
+        arg::i32(static_cast<int32_t>(Svc.C.Width)),
+        arg::i32(static_cast<int32_t>(Svc.C.Height))};
+    Expected<sim::SimReport> R = S.launch(*V, Global, Args);
+    if (!R) {
+      S.releaseBuffer(EvalIn);
+      S.releaseBuffer(EvalOut);
+      return R.takeError();
+    }
+    perf::Measurement M;
+    M.Error = Svc.C.Score(Reference, S.buffer(EvalOut).downloadFloats());
+    M.Speedup = R->TimeMs > 0 ? AccurateMs / R->TimeMs : 0;
+    M.PassStats = V->PassStats;
+    S.releaseBuffer(EvalIn);
+    S.releaseBuffer(EvalOut);
+    return M;
+  };
+
+  std::vector<perf::TunerResult> Results =
+      perf::tuneParallel(Space, Evaluate, Config.TuneJobs);
+  size_t Best = perf::bestWithinErrorBudget(Results, Svc.C.ErrorBudget);
+  if (Best == ~size_t(0))
+    return false;
+
+  // Hot-swap: the winner was already compiled (and cached) during the
+  // evaluation, so this hits the shard's variant cache.
+  Expected<Variant> Winner =
+      buildVariant(Svc, Results[Best].Config.Scheme);
+  if (!Winner)
+    return false;
+  Svc.Mon->rearm(*Winner);
+  return true;
+}
+
+Expected<ServeResult> Server::serve(const std::string &ServiceName,
+                                    const std::vector<float> &Input) {
+  Service *Svc = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(ServicesMutex);
+    auto It = ServiceMap.find(ServiceName);
+    if (It == ServiceMap.end())
+      return makeError("no service named '%s'", ServiceName.c_str());
+    Svc = It->second.get();
+  }
+  ++Requests;
+
+  std::lock_guard<std::mutex> Lock(Svc->Mu);
+  Session &S = Shards[Svc->ShardIdx]->S;
+  const size_t N = size_t(Svc->C.Width) * Svc->C.Height;
+  if (Input.size() != N)
+    return makeError("service '%s': expected %zu samples, got %zu",
+                     Svc->C.Name.c_str(), N, Input.size());
+  S.buffer(Svc->In).uploadFloats(Input);
+  std::vector<sim::KernelArg> Args = {
+      arg::buffer(Svc->In), arg::buffer(Svc->Out),
+      arg::i32(static_cast<int32_t>(Svc->C.Width)),
+      arg::i32(static_cast<int32_t>(Svc->C.Height))};
+  const sim::Range2 Global{Svc->C.Width, Svc->C.Height};
+
+  ServeResult Result;
+  if (Svc->AccurateOnly) {
+    Expected<sim::SimReport> R =
+        S.launch(Svc->Accurate, Global, sim::Range2{16, 16}, Args);
+    if (!R)
+      return R.takeError();
+    Result.Report = *R;
+  } else {
+    Expected<MonitoredLaunch> L =
+        Svc->Mon->launch(Args, Svc->Out, Svc->C.Score);
+    if (!L)
+      return L.takeError();
+    Result.Report = L->Report;
+    Result.UsedApproximate = L->UsedApproximate;
+    Result.Checked = L->Checked;
+    Result.MeasuredError = L->MeasuredError;
+    if (L->Checked)
+      ++Checks;
+    if (Svc->Mon->fellBack()) {
+      // Quality loop: the budget was violated. Instead of falling back
+      // forever, re-tune online on the offending input and hot-swap the
+      // winner -- unless this service already spent its re-tunes.
+      if (Svc->ReTunesLeft > 0) {
+        --Svc->ReTunesLeft;
+        ++ReTunes;
+        Result.ReTuned = true;
+        if (!retune(*Svc, Input))
+          Svc->AccurateOnly = true;
+      } else {
+        Svc->AccurateOnly = true;
+      }
+    }
+  }
+  Result.Output = S.buffer(Svc->Out).downloadFloats();
+  return Result;
+}
+
+std::vector<std::string> Server::services() const {
+  std::lock_guard<std::mutex> Lock(ServicesMutex);
+  return ServiceOrder;
+}
+
+Expected<unsigned> Server::shardOf(const std::string &Service) const {
+  std::lock_guard<std::mutex> Lock(ServicesMutex);
+  auto It = ServiceMap.find(Service);
+  if (It == ServiceMap.end())
+    return makeError("no service named '%s'", Service.c_str());
+  return It->second->ShardIdx;
+}
+
+ServerStats Server::stats() const {
+  ServerStats St;
+  for (const auto &Sh : Shards)
+    accumulate(St.Sessions, Sh->S.stats());
+  St.Requests = Requests.load();
+  St.Checks = Checks.load();
+  St.ReTunes = ReTunes.load();
+  St.Shards = static_cast<unsigned>(Shards.size());
+  std::lock_guard<std::mutex> Lock(ServicesMutex);
+  St.Services = static_cast<unsigned>(ServiceMap.size());
+  for (const auto &Entry : ServiceMap)
+    if (Entry.second->AccurateOnly)
+      ++St.DegradedServices;
+  return St;
+}

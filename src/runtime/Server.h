@@ -1,0 +1,190 @@
+//===- runtime/Server.h - Multi-tenant perforation server --------*- C++ -*-==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Long-lived serving layer over rt::Session: the "perforation as a
+/// service" end-game of the paper -- compile once, serve many approximate
+/// launches behind a quality guarantee, re-tune online when observed
+/// error drifts past the budget.
+///
+/// A Server owns a small pool of shards, each a fully private rt::Session
+/// (own ir::Module, analyses, caches, CompileMutex). Services are routed
+/// to a shard by hashing their canonical VariantKey, so two distinct
+/// kernels compile genuinely concurrently -- lock striping at the shard
+/// granularity rather than one global compile lock. Requests for the same
+/// key land on the same shard and dedup under that shard's CompileMutex,
+/// exactly once.
+///
+/// Each registered service wraps one standard-signature image kernel
+/// (global const float* in, global float* out, int w, int h) with a fixed
+/// frame shape, an initial perforation scheme, and an error budget. serve()
+/// launches the current variant through a rt::QualityMonitor; when the
+/// monitor falls back (measured error past budget), the server runs an
+/// online perf::tuneParallel re-tune over a candidate scheme space using
+/// the offending request's input as the tuning workload, and hot-swaps the
+/// winning variant into the monitor (QualityMonitor::rearm) under the
+/// service lock. Only when no candidate fits the budget does the service
+/// degrade to permanently accurate.
+///
+/// Thread-safety: every public method may be called from any client
+/// thread. Requests to one service serialize on that service's lock (the
+/// monitor and its frame buffers are per-service state); requests to
+/// different services proceed concurrently, sharing nothing but their
+/// shard's session (whose compile caches are internally synchronized and
+/// whose launches run lock-free).
+///
+/// Lock order: service lock -> shard session internals (CompileMutex ->
+/// BytecodeMutex -> BufferMutex). See docs/ARCHITECTURE.md ("Serving").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KPERF_RUNTIME_SERVER_H
+#define KPERF_RUNTIME_SERVER_H
+
+#include "perforation/Scheme.h"
+#include "runtime/Quality.h"
+#include "runtime/Session.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kperf {
+namespace rt {
+
+/// Server-wide configuration, fixed at construction.
+struct ServerConfig {
+  /// Number of shard sessions (lock stripes). Distinct variant keys
+  /// hash across shards and compile concurrently; 0 is clamped to 1.
+  unsigned Shards = 4;
+  /// Root of the content-addressed on-disk variant cache shared by all
+  /// shards ("" = off). Warm restarts then skip recompilation entirely.
+  std::string DiskCacheDir;
+  /// Per-shard variant cache capacity (0 = unlimited).
+  unsigned VariantCapacity = 0;
+  /// Run every generated kernel through the static lint gate.
+  bool LintGate = false;
+  /// Worker threads for online re-tunes (0 = one per hardware thread).
+  unsigned TuneJobs = 1;
+  /// Re-tunes allowed per service before it degrades to permanently
+  /// accurate.
+  unsigned MaxReTunesPerService = 2;
+  sim::DeviceConfig Device;
+};
+
+/// One quality-managed kernel service. The kernel must have the standard
+/// image signature (global const float* in, global float* out, int w,
+/// int h) and is served at a fixed frame shape.
+struct ServiceConfig {
+  std::string Name;   ///< Service name ("" = kernel name).
+  std::string Source; ///< PCL source text.
+  std::string Kernel; ///< Kernel function name within Source.
+  unsigned Width = 0; ///< Served frame shape (required, nonzero).
+  unsigned Height = 0;
+  /// Initial perforation scheme and tile; the online re-tune may replace
+  /// the scheme later.
+  perf::PerforationScheme Scheme;
+  sim::Range2 Tile{16, 16};
+  double ErrorBudget = 0.05;
+  unsigned CheckEvery = 8;
+  /// Output scorer (defaults to img::meanRelativeError).
+  ScoreFn Score;
+  /// Cleanup pipeline spec ("" = library default).
+  std::string PipelineSpec;
+};
+
+/// Outcome of one serve() call.
+struct ServeResult {
+  std::vector<float> Output;
+  sim::SimReport Report;
+  bool UsedApproximate = false;
+  bool Checked = false; ///< This request included a quality check.
+  double MeasuredError = 0;
+  bool ReTuned = false; ///< This request triggered an online re-tune.
+};
+
+/// Aggregated serving counters. Session is the sum over all shard
+/// sessions (snapshot semantics, see SessionStats).
+struct ServerStats {
+  SessionStats Sessions;
+  unsigned Requests = 0;
+  unsigned Checks = 0;
+  unsigned ReTunes = 0;
+  /// Services currently degraded to permanently accurate.
+  unsigned DegradedServices = 0;
+  unsigned Services = 0;
+  unsigned Shards = 0;
+
+  /// One report line (append-only format, like SessionStats::str()).
+  std::string str() const;
+};
+
+/// Multi-tenant perforation server; see the file comment.
+class Server {
+public:
+  explicit Server(ServerConfig Config = ServerConfig());
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  const ServerConfig &config() const { return Config; }
+
+  /// Registers a service: compiles the kernel on its shard, builds the
+  /// initial perforated variant, and arms the quality monitor. Fails if
+  /// the name is taken, the shape is zero, or compilation/perforation
+  /// fails (a lint-gate rejection arms the service in accurate-only
+  /// mode instead of failing registration).
+  Error addService(const ServiceConfig &C);
+
+  /// Serves one frame: \p Input must hold Width*Height samples. Returns
+  /// the filtered frame plus what ran (approximate or accurate), whether
+  /// this request carried a quality check, and whether it triggered an
+  /// online re-tune.
+  Expected<ServeResult> serve(const std::string &Service,
+                              const std::vector<float> &Input);
+
+  /// Registered service names, in registration order.
+  std::vector<std::string> services() const;
+
+  /// The shard index \p Service is routed to (stable for the server's
+  /// lifetime; exposed for tests and load diagnostics).
+  Expected<unsigned> shardOf(const std::string &Service) const;
+
+  ServerStats stats() const;
+
+private:
+  struct Shard;
+  struct Service;
+
+  /// Builds the perforated variant of \p Svc for \p Scheme through its
+  /// shard session (cached by VariantKey, so re-tunes that pick a
+  /// previously built scheme hit the cache).
+  Expected<Variant> buildVariant(Service &Svc,
+                                 const perf::PerforationScheme &Scheme);
+
+  /// Online re-tune of \p Svc using \p Input as the workload; hot-swaps
+  /// the winner into the monitor. Returns true if a variant within
+  /// budget was found. Service lock held.
+  bool retune(Service &Svc, const std::vector<float> &Input);
+
+  ServerConfig Config;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  /// Guards the service registry (not the per-service state).
+  mutable std::mutex ServicesMutex;
+  std::map<std::string, std::unique_ptr<Service>> ServiceMap;
+  std::vector<std::string> ServiceOrder;
+
+  std::atomic<unsigned> Requests{0};
+  std::atomic<unsigned> Checks{0};
+  std::atomic<unsigned> ReTunes{0};
+};
+
+} // namespace rt
+} // namespace kperf
+
+#endif // KPERF_RUNTIME_SERVER_H

@@ -8,10 +8,20 @@
 
 #include "gpusim/Bytecode.h"
 #include "ir/Lint.h"
+#include "ir/Printer.h"
+#include "ir/Serializer.h"
+#include "ir/Verifier.h"
 #include "pcl/Compiler.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace kperf;
 using namespace kperf::rt;
@@ -83,6 +93,9 @@ SessionStats &SessionStats::operator=(const SessionStats &O) {
   BufferReuses = O.BufferReuses.load();
   BytecodeCompiles = O.BytecodeCompiles.load();
   BytecodeCacheHits = O.BytecodeCacheHits.load();
+  LintRejections = O.LintRejections.load();
+  DiskVariantHits = O.DiskVariantHits.load();
+  DiskVariantStores = O.DiskVariantStores.load();
   return *this;
 }
 
@@ -99,13 +112,15 @@ std::string SessionStats::str() const {
                 "variant compiles: %u; variant cache: %u hits / %u "
                 "lookups (%.1f%% hit rate); evictions: %u; "
                 "buffers: %u created, %u reused; "
-                "bytecode compiles: %u (cache hits: %u)",
+                "bytecode compiles: %u (cache hits: %u); "
+                "lint rejections: %u; disk: %u hits, %u stores",
                 SourceCompiles.load(), SourceCacheHits.load(),
                 VariantCompiles.load(), VariantCacheHits.load(),
                 variantLookups(), 100.0 * variantHitRate(),
                 VariantEvictions.load(), BufferCreates.load(),
                 BufferReuses.load(), BytecodeCompiles.load(),
-                BytecodeCacheHits.load());
+                BytecodeCacheHits.load(), LintRejections.load(),
+                DiskVariantHits.load(), DiskVariantStores.load());
 }
 
 //===--- Session -------------------------------------------------------------//
@@ -238,8 +253,8 @@ std::string cacheKeyFor(const ir::Function &F, const VariantKey &Key) {
 Expected<Variant> Session::perforate(const Kernel &K,
                                      const perf::PerforationPlan &Plan) {
   assert(K.F && "perforate of null kernel");
-  const std::string Key =
-      cacheKeyFor(*K.F, VariantKey::forPerforation(*K.F, Plan));
+  const VariantKey VK = VariantKey::forPerforation(*K.F, Plan);
+  const std::string Key = cacheKeyFor(*K.F, VK);
   // Held across the transform: N concurrent requests for one key compile
   // it exactly once (the rest block, then hit).
   std::lock_guard<std::mutex> Lock(CompileMutex);
@@ -249,7 +264,17 @@ Expected<Variant> Session::perforate(const Kernel &K,
     touchVariant(It);
     return It->second.V;
   }
-  ++Stats.VariantCompiles;
+  const uint64_t ContentKey =
+      DiskCacheDir.empty() ? 0 : contentKeyFor(*K.F, VK);
+  {
+    Variant V;
+    if (!DiskCacheDir.empty() &&
+        loadVariantFromDisk(ContentKey, VariantKind::Perforated, V)) {
+      ++Stats.DiskVariantHits;
+      insertVariant(Key, V, K.F);
+      return V;
+    }
+  }
   std::string Name =
       format("%s.perf%u", K.F->name().c_str(), NameCounter++);
   Expected<perf::TransformResult> R =
@@ -265,6 +290,9 @@ Expected<Variant> Session::perforate(const Kernel &K,
     LO.Bounds.LocalSize[1] = R->LocalY;
     ir::lint::LintResult LR = ir::lint::run(*R->Kernel, Analyses, LO);
     if (LR.hasErrors()) {
+      // Rejections are not VariantCompiles: nothing was inserted, so
+      // counting them there would skew the reported hit rate.
+      ++Stats.LintRejections;
       Analyses.invalidate(*R->Kernel);
       std::unique_ptr<ir::Function> Rejected = M->takeFunction(R->Kernel);
       return makeError("lint gate: perforated kernel '%s' failed the "
@@ -272,6 +300,7 @@ Expected<Variant> Session::perforate(const Kernel &K,
                        Name.c_str(), LR.str().c_str());
     }
   }
+  ++Stats.VariantCompiles;
   Variant V;
   V.Kind = VariantKind::Perforated;
   V.K = Kernel{R->Kernel};
@@ -279,6 +308,8 @@ Expected<Variant> Session::perforate(const Kernel &K,
   V.LocalMemWords = R->LocalMemWords;
   V.PassStats = std::move(R->PassStats);
   insertVariant(Key, V, K.F);
+  if (!DiskCacheDir.empty())
+    storeVariantToDisk(ContentKey, V);
   return V;
 }
 
@@ -286,8 +317,8 @@ Expected<Variant>
 Session::approximateOutput(const Kernel &K,
                            const perf::OutputApproxPlan &Plan) {
   assert(K.F && "approximateOutput of null kernel");
-  const std::string Key =
-      cacheKeyFor(*K.F, VariantKey::forOutputApprox(*K.F, Plan));
+  const VariantKey VK = VariantKey::forOutputApprox(*K.F, Plan);
+  const std::string Key = cacheKeyFor(*K.F, VK);
   std::lock_guard<std::mutex> Lock(CompileMutex);
   auto It = Variants.find(Key);
   if (It != Variants.end()) {
@@ -295,13 +326,24 @@ Session::approximateOutput(const Kernel &K,
     touchVariant(It);
     return It->second.V;
   }
-  ++Stats.VariantCompiles;
+  const uint64_t ContentKey =
+      DiskCacheDir.empty() ? 0 : contentKeyFor(*K.F, VK);
+  {
+    Variant V;
+    if (!DiskCacheDir.empty() &&
+        loadVariantFromDisk(ContentKey, VariantKind::OutputApprox, V)) {
+      ++Stats.DiskVariantHits;
+      insertVariant(Key, V, K.F);
+      return V;
+    }
+  }
   std::string Name =
       format("%s.oapprox%u", K.F->name().c_str(), NameCounter++);
   Expected<perf::OutputApproxResult> R =
       perf::applyOutputApproximation(*M, *K.F, Plan, Name);
   if (!R)
     return R.takeError();
+  ++Stats.VariantCompiles;
   Variant V;
   V.Kind = VariantKind::OutputApprox;
   V.K = Kernel{R->Kernel};
@@ -309,6 +351,8 @@ Session::approximateOutput(const Kernel &K,
   V.DivY = R->DivY;
   V.PassStats = std::move(R->PassStats);
   insertVariant(Key, V, K.F);
+  if (!DiskCacheDir.empty())
+    storeVariantToDisk(ContentKey, V);
   return V;
 }
 
@@ -331,25 +375,33 @@ void Session::evictOneVariant() {
   auto It = Variants.find(Lru.back());
   assert(It != Variants.end() && "LRU list out of sync with the cache");
   ++Stats.VariantEvictions;
-  // Detach the generated kernel from the module (the whole point of the
-  // capacity: bound the module's footprint in a long-lived service) but
-  // defer its destruction to the next quiescent point -- a worker thread
-  // may still be launching it. Any analyses cached for it go now: a
-  // later function allocated at the same address must not hit them.
-  const Variant &V = It->second.V;
-  if (V.K.F) {
-    Analyses.invalidate(*V.K.F);
-    dropBytecode(V.K.F);
-    dropBytecode(V.K2.F);
-    if (std::unique_ptr<ir::Function> Owned = M->takeFunction(V.K.F))
-      Graveyard.push_back(std::move(Owned));
-  }
+  retireVariantKernels(It->second.V);
   Lru.pop_back();
   Variants.erase(It);
+  reclaimAtQuiescence();
+}
+
+void Session::retireVariantKernels(const Variant &V) {
+  // Detach the generated kernels from the module (bounding its footprint
+  // in a long-lived service) but defer their destruction to the next
+  // quiescent point -- a worker thread may still be launching them. Any
+  // analyses cached for them go now: a later function allocated at the
+  // same address must not hit them.
+  for (const ir::Function *F : {V.K.F, V.K2.F}) {
+    if (!F)
+      continue;
+    Analyses.invalidate(*F);
+    dropBytecode(F);
+    if (std::unique_ptr<ir::Function> Owned = M->takeFunction(F))
+      Graveyard.push_back(std::move(Owned));
+  }
+}
+
+void Session::reclaimAtQuiescence() {
   // The flag store must precede the in-flight read (both seq_cst): a
   // launch whose increment we miss here is then guaranteed to see the
   // flag and validate its kernel under CompileMutex -- see launch().
-  EvictionOccurred.store(true);
+  KernelsRetired.store(true);
   if (InFlightLaunches.load() == 0)
     Graveyard.clear();
 }
@@ -379,18 +431,19 @@ Expected<sim::SimReport>
 Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
                 const std::vector<sim::KernelArg> &Args) {
   assert(K.F && "launch of null kernel");
-  // Pin first, check later: the increment and the EvictionOccurred read
+  // Pin first, check later: the increment and the KernelsRetired read
   // below are both seq_cst, so in the total order either our increment
-  // precedes an evictor's in-flight check (it defers reclamation until
+  // precedes a retirer's in-flight check (it defers reclamation until
   // we finish) or our flag read follows its flag store (we take the
   // validation path below). Either way no kernel is destroyed under a
   // running launch.
   ++InFlightLaunches;
-  if (EvictionOccurred.load()) {
-    // Under capacity-bounded eviction a held handle may refer to an
-    // evicted kernel: confirm it is still alive -- in the module, or in
-    // the graveyard awaiting reclamation. Both scans are bounded by the
-    // variant capacity (plus source kernels), so this stays cheap.
+  if (KernelsRetired.load()) {
+    // Once any kernel has been retired (evicted or invalidated) a held
+    // handle may refer to a dead kernel: confirm it is still alive -- in
+    // the module, or in the graveyard awaiting reclamation. Both scans
+    // are bounded by the variant capacity (plus source kernels), so this
+    // stays cheap.
     std::lock_guard<std::mutex> Lock(CompileMutex);
     bool Alive = M->contains(K.F);
     for (const auto &Dead : Graveyard)
@@ -398,8 +451,8 @@ Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
     if (!Alive) {
       --InFlightLaunches;
       return makeError("launch: kernel variant was evicted from the "
-                       "session cache; re-request it via perforate()/"
-                       "approximateOutput()");
+                       "session cache or invalidated; re-request it via "
+                       "perforate()/approximateOutput()");
     }
   }
   // Snapshot stable buffer addresses, then run without any session lock:
@@ -413,7 +466,7 @@ Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
     Expected<std::shared_ptr<const sim::bc::Program>> Prog =
         bytecodeFor(*K.F);
     if (!Prog) {
-      if (EvictionOccurred.load()) {
+      if (KernelsRetired.load()) {
         std::lock_guard<std::mutex> Lock(CompileMutex);
         if (--InFlightLaunches == 0)
           Graveyard.clear();
@@ -427,7 +480,7 @@ Session::launch(const Kernel &K, sim::Range2 Global, sim::Range2 Local,
   }
   Expected<sim::SimReport> Report = sim::launchKernel(
       *K.F, Global, Local, Args, snapshotBufferBank(), Device, Options);
-  if (EvictionOccurred.load()) {
+  if (KernelsRetired.load()) {
     std::lock_guard<std::mutex> Lock(CompileMutex);
     if (--InFlightLaunches == 0)
       Graveyard.clear();
@@ -495,14 +548,163 @@ void Session::invalidate(const Kernel &K) {
   ++Stats.Invalidations;
   Analyses.invalidate(*K.F);
   dropBytecode(K.F);
+  // Retire the derived variant kernels through the same graveyard /
+  // quiescence discipline eviction uses; merely erasing the cache
+  // entries would leak one module function per invalidated variant.
+  bool Retired = false;
   for (auto It = Variants.begin(); It != Variants.end();) {
     if (It->second.Source == K.F) {
-      dropBytecode(It->second.V.K.F);
-      dropBytecode(It->second.V.K2.F);
+      retireVariantKernels(It->second.V);
+      Retired = true;
       Lru.erase(It->second.LruIt);
       It = Variants.erase(It);
     } else {
       ++It;
     }
   }
+  if (Retired)
+    reclaimAtQuiescence();
+}
+
+//===--- On-disk variant cache -----------------------------------------------//
+//
+// One file per variant under DiskCacheDir, named <16-hex-content-key>.kpv:
+//
+//   KPERF-VARIANT-v1
+//   kind <u8>          (VariantKind; must match the requested kind)
+//   local <x> <y>
+//   localmem <words>
+//   div <x> <y>
+//   endheader
+//   <ir::serializeFunction text, own format-version stamp included>
+//
+// The content key hashes the printed source-kernel IR, the canonical
+// VariantKey, and the lint-gate setting, so a mutated source kernel or a
+// changed gate never hits a stale entry. Only single-pass variants are
+// stored (two-pass chaining is assembled above the Session). PassStats
+// are not persisted; disk hits report default-constructed pipeline stats.
+
+namespace {
+const char *kVariantFileStamp = "KPERF-VARIANT-v1";
+} // namespace
+
+Error Session::setDiskCache(const std::string &Dir) {
+  std::lock_guard<std::mutex> Lock(CompileMutex);
+  if (Dir.empty()) {
+    DiskCacheDir.clear();
+    return Error::success();
+  }
+  if (::mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return makeError("disk cache: cannot create directory '%s'",
+                     Dir.c_str());
+  struct stat St;
+  if (::stat(Dir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
+    return makeError("disk cache: '%s' is not a directory", Dir.c_str());
+  DiskCacheDir = Dir;
+  return Error::success();
+}
+
+uint64_t Session::contentKeyFor(const ir::Function &F,
+                                const VariantKey &Key) {
+  std::string Content = ir::printFunction(F);
+  Content += '\x01';
+  Content += Key.str();
+  if (LintGate.load())
+    Content += "\x01gated";
+  return fnv1a64(Content);
+}
+
+bool Session::loadVariantFromDisk(uint64_t ContentKey, VariantKind Kind,
+                                  Variant &V) {
+  const std::string Path =
+      DiskCacheDir + "/" + format("%016llx.kpv",
+                                  static_cast<unsigned long long>(ContentKey));
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line;
+  if (!std::getline(In, Line) || Line != kVariantFileStamp)
+    return false; // Stale format version: recompile and overwrite.
+  Variant Loaded;
+  bool SawEnd = false;
+  while (std::getline(In, Line)) {
+    if (Line == "endheader") {
+      SawEnd = true;
+      break;
+    }
+    std::istringstream LS(Line);
+    std::string Tag;
+    LS >> Tag;
+    if (Tag == "kind") {
+      unsigned Kind8 = 0;
+      LS >> Kind8;
+      Loaded.Kind = static_cast<VariantKind>(Kind8);
+    } else if (Tag == "local") {
+      LS >> Loaded.Local.X >> Loaded.Local.Y;
+    } else if (Tag == "localmem") {
+      LS >> Loaded.LocalMemWords;
+    } else if (Tag == "div") {
+      LS >> Loaded.DivX >> Loaded.DivY;
+    } else {
+      return false; // Unknown header record: treat as corrupt.
+    }
+    if (LS.fail())
+      return false;
+  }
+  if (!SawEnd || Loaded.Kind != Kind)
+    return false;
+  std::ostringstream Body;
+  Body << In.rdbuf();
+  Expected<ir::Function *> F = ir::deserializeFunction(*M, Body.str());
+  if (!F)
+    return false;
+  // The deserializer checks structure only; re-verify the full per-opcode
+  // type contracts before the kernel can reach a launch.
+  if (Error E = ir::verifyFunction(**F)) {
+    M->takeFunction(*F);
+    return false;
+  }
+  // Keep reloaded names unique: a fresh session's NameCounter restarts,
+  // so a later compile could otherwise mint the same name.
+  if ((*F)->name().empty() ||
+      M->function((*F)->name()) != *F)
+    (*F)->setName(format("%s.disk%u", (*F)->name().c_str(), NameCounter++));
+  Loaded.K = Kernel{*F};
+  V = Loaded;
+  return true;
+}
+
+void Session::storeVariantToDisk(uint64_t ContentKey, const Variant &V) {
+  if (!V.K.F || V.isTwoPass())
+    return; // Two-pass chains are assembled above the Session.
+  const std::string Path =
+      DiskCacheDir + "/" + format("%016llx.kpv",
+                                  static_cast<unsigned long long>(ContentKey));
+  // Write-to-temp + rename keeps concurrent processes sharing one cache
+  // directory safe: readers only ever see complete files.
+  const std::string Tmp =
+      Path + format(".tmp.%ld", static_cast<long>(::getpid()));
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return; // Best effort: an unwritable cache never fails a compile.
+    Out << kVariantFileStamp << "\n";
+    Out << "kind " << static_cast<unsigned>(V.Kind) << "\n";
+    Out << "local " << V.Local.X << " " << V.Local.Y << "\n";
+    Out << "localmem " << V.LocalMemWords << "\n";
+    Out << "div " << V.DivX << " " << V.DivY << "\n";
+    Out << "endheader\n";
+    Out << ir::serializeFunction(*V.K.F);
+    Out.flush();
+    if (!Out) {
+      Out.close();
+      std::remove(Tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return;
+  }
+  ++Stats.DiskVariantStores;
 }

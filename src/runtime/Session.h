@@ -152,6 +152,14 @@ struct SessionStats {
   std::atomic<unsigned> BufferReuses{0};      ///< Free-list checkouts.
   std::atomic<unsigned> BytecodeCompiles{0};  ///< IR-to-bytecode runs.
   std::atomic<unsigned> BytecodeCacheHits{0}; ///< Bytecode cache hits.
+  /// Perforated kernels rejected by the opt-in lint gate. Rejections are
+  /// not VariantCompiles: nothing was inserted into the cache, so
+  /// counting them there would skew the hit rate.
+  std::atomic<unsigned> LintRejections{0};
+  /// Variants materialized from the on-disk cache instead of compiling.
+  std::atomic<unsigned> DiskVariantHits{0};
+  /// Variants serialized to the on-disk cache after compiling.
+  std::atomic<unsigned> DiskVariantStores{0};
 
   SessionStats() = default;
   SessionStats(const SessionStats &O) { *this = O; }
@@ -310,7 +318,28 @@ public:
   /// Callers that mutate a compiled kernel directly must call this before
   /// the next perforate()/approximateOutput() of that kernel, or they
   /// will be served stale variants.
+  ///
+  /// The generated variant kernels are detached from the module and
+  /// retired through the same graveyard/quiescence discipline LRU
+  /// eviction uses: a launch already in flight on a dropped variant
+  /// finishes safely, and the kernel is destroyed at the next quiescent
+  /// point. A mutate/re-perforate loop therefore keeps the module's
+  /// function count bounded instead of leaking one function per
+  /// invalidated variant.
   void invalidate(const Kernel &K);
+
+  /// Enables the content-addressed on-disk variant cache rooted at
+  /// \p Dir (created if absent). On a variant-cache miss the Session
+  /// probes Dir for a file addressed by the hash of the source kernel's
+  /// printed IR + the transform descriptor + the pipeline spec; a valid
+  /// file (format-version stamp checked, IR re-verified) is deserialized
+  /// into the module instead of recompiling and counted as a
+  /// DiskVariantHits. Freshly compiled variants are serialized back
+  /// (atomic rename), so warm restarts and cross-process sweeps skip
+  /// recompilation. Pass "" to disable. Not thread-safe against
+  /// concurrent compiles; set it before sharing the session.
+  Error setDiskCache(const std::string &Dir);
+  const std::string &diskCache() const { return DiskCacheDir; }
 
   /// Compile/cache counters since construction (or the last reset).
   const SessionStats &stats() const { return Stats; }
@@ -345,6 +374,30 @@ private:
   /// Evicts the least-recently-used variant. CompileMutex held.
   void evictOneVariant();
 
+  /// Shared retirement discipline of eviction and invalidation: drops the
+  /// cached analyses and bytecode of \p V's generated kernels, detaches
+  /// them from the module, and parks them in the graveyard until the
+  /// next quiescent point (no launch in flight). CompileMutex held.
+  void retireVariantKernels(const Variant &V);
+
+  /// Marks that retired kernels exist and frees the graveyard if no
+  /// launch is in flight. CompileMutex held.
+  void reclaimAtQuiescence();
+
+  /// Disk-cache probe: materializes the variant stored under
+  /// \p ContentKey into the module, or returns false. CompileMutex held.
+  bool loadVariantFromDisk(uint64_t ContentKey, VariantKind Kind,
+                           Variant &V);
+
+  /// Best-effort disk-cache store of a freshly compiled variant.
+  /// CompileMutex held.
+  void storeVariantToDisk(uint64_t ContentKey, const Variant &V);
+
+  /// Content address of one (source kernel, transform, pipeline) triple:
+  /// a hash over the printed source IR and the canonical key, so a
+  /// mutated kernel never hits a stale disk entry. CompileMutex held.
+  uint64_t contentKeyFor(const ir::Function &F, const VariantKey &Key);
+
   /// Returns the cached bytecode program of \p F, compiling it on first
   /// request. Takes only BytecodeMutex (never CompileMutex); held across
   /// the compile so concurrent requests for one kernel compile it exactly
@@ -377,19 +430,20 @@ private:
   unsigned VariantCapacity = 0; ///< 0 = unlimited.
   SessionStats Stats;
 
-  /// Deferred reclamation of evicted kernels: eviction moves the
-  /// function here (guarded by CompileMutex), launches in flight pin
-  /// it, and the graveyard is freed at the next quiescent point (no
-  /// launch in flight).
+  /// Deferred reclamation of retired kernels: eviction and invalidation
+  /// both move detached variant functions here (guarded by
+  /// CompileMutex), launches in flight pin them, and the graveyard is
+  /// freed at the next quiescent point (no launch in flight).
   std::vector<std::unique_ptr<ir::Function>> Graveyard;
-  /// Every launch increments this lock-free on entry (seq_cst), so an
-  /// eviction that starts mid-launch sees it nonzero and defers the
+  /// Every launch increments this lock-free on entry (seq_cst), so a
+  /// retirement that starts mid-launch sees it nonzero and defers the
   /// reclamation even if that launch never took the validation path.
   std::atomic<unsigned> InFlightLaunches{0};
-  /// Sticky: set on the first eviction, never cleared. Launches
-  /// validate their kernel (and synchronize on CompileMutex) only once
-  /// this is set, so sessions that never evict launch lock-free.
-  std::atomic<bool> EvictionOccurred{false};
+  /// Sticky: set on the first retirement (eviction or invalidation),
+  /// never cleared. Launches validate their kernel (and synchronize on
+  /// CompileMutex) only once this is set, so sessions that never retire
+  /// a kernel launch lock-free.
+  std::atomic<bool> KernelsRetired{false};
 
   /// Variant cache keyed by source-function identity + VariantKey::str()
   /// (the identity prefix keeps two same-named functions from colliding),
@@ -403,6 +457,9 @@ private:
 
   /// Opt-in post-perforation static-check gate (setLintGate).
   std::atomic<bool> LintGate{false};
+
+  /// Root of the content-addressed on-disk variant cache ("" = off).
+  std::string DiskCacheDir;
 
   /// Execution tier of launches through this session.
   std::atomic<sim::ExecTier> Tier{sim::defaultExecTier()};

@@ -12,6 +12,15 @@
 
 using namespace kperf;
 
+uint64_t kperf::fnv1a64(const std::string &Text) {
+  uint64_t Hash = 14695981039346656037ull;
+  for (char C : Text) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
 std::string kperf::format(const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);

@@ -13,10 +13,15 @@
 #ifndef KPERF_SUPPORT_STRINGUTILS_H
 #define KPERF_SUPPORT_STRINGUTILS_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace kperf {
+
+/// FNV-1a 64-bit hash of \p Text. Stable across platforms and runs, so it
+/// is safe to use in on-disk cache file names (unlike std::hash).
+uint64_t fnv1a64(const std::string &Text);
 
 /// printf-style formatting into a std::string.
 std::string format(const char *Fmt, ...)

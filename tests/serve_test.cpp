@@ -1,0 +1,311 @@
+//===- tests/serve_test.cpp - Multi-tenant serving layer tests ---------------==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// rt::Server: service registration and shard routing, serve() parity
+// with a direct session launch, the online re-tune hot-swap (quality
+// loop), degradation when the budget proves unreachable, the lint-gate
+// accurate-only path, disk-cache warm restarts with zero variant
+// compiles, and concurrent clients across services.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Kernels.h"
+#include "img/Generators.h"
+#include "runtime/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+using namespace kperf;
+using namespace kperf::rt;
+
+namespace {
+
+ServiceConfig imageService(const char *Name, const char *Source,
+                           unsigned Size = 64) {
+  ServiceConfig C;
+  C.Name = Name;
+  C.Source = Source;
+  C.Kernel = Name;
+  C.Width = Size;
+  C.Height = Size;
+  C.Scheme = perf::PerforationScheme::rows(
+      2, perf::ReconstructionKind::NearestNeighbor);
+  return C;
+}
+
+std::vector<float> frame(img::ImageClass Class, unsigned Size,
+                         uint64_t Seed) {
+  return img::generateImage(Class, Size, Size, Seed).pixels();
+}
+
+TEST(ServerTest, RegistrationAndStableRouting) {
+  Server Srv(ServerConfig{});
+  std::vector<std::pair<const char *, const char *>> Defs = {
+      {"gaussian", apps::gaussianSource()},
+      {"inversion", apps::inversionSource()},
+      {"sobel3", apps::sobel3Source()},
+      {"mean", apps::meanSource()}};
+  for (const auto &D : Defs)
+    ASSERT_FALSE(
+        static_cast<bool>(Srv.addService(imageService(D.first, D.second))));
+
+  EXPECT_EQ(Srv.services(),
+            (std::vector<std::string>{"gaussian", "inversion", "sobel3",
+                                      "mean"}));
+  for (const auto &D : Defs) {
+    unsigned Shard = cantFail(Srv.shardOf(D.first));
+    EXPECT_LT(Shard, Srv.config().Shards);
+    // Routing is a pure hash of the service's key material: stable.
+    EXPECT_EQ(Shard, cantFail(Srv.shardOf(D.first)));
+  }
+  ServerStats St = Srv.stats();
+  EXPECT_EQ(St.Services, 4u);
+  EXPECT_EQ(St.Shards, 4u);
+  EXPECT_EQ(St.Sessions.VariantCompiles, 4u);
+  EXPECT_NE(St.str().find("services: 4"), std::string::npos);
+
+  // Duplicate names are rejected; the original service stays.
+  Error Dup = Srv.addService(imageService("gaussian", apps::gaussianSource()));
+  ASSERT_TRUE(static_cast<bool>(Dup));
+  EXPECT_NE(Dup.message().find("already registered"), std::string::npos);
+  EXPECT_EQ(Srv.stats().Services, 4u);
+}
+
+TEST(ServerTest, ServeMatchesDirectSessionLaunch) {
+  // An unchecked approximate serve must produce exactly what launching
+  // the same perforated variant in a plain session produces.
+  Server Srv(ServerConfig{});
+  ASSERT_FALSE(static_cast<bool>(
+      Srv.addService(imageService("gaussian", apps::gaussianSource()))));
+  std::vector<float> Input = frame(img::ImageClass::Natural, 64, 3);
+  ServeResult R = cantFail(Srv.serve("gaussian", Input));
+  EXPECT_TRUE(R.UsedApproximate);
+  EXPECT_FALSE(R.Checked); // CheckEvery=8: the first request is free.
+  ASSERT_EQ(R.Output.size(), Input.size());
+
+  Session S;
+  Kernel K = cantFail(S.compile(apps::gaussianSource(), "gaussian"));
+  perf::PerforationPlan Plan;
+  Plan.Scheme = perf::PerforationScheme::rows(
+      2, perf::ReconstructionKind::NearestNeighbor);
+  Variant V = cantFail(S.perforate(K, Plan));
+  unsigned In = S.createBufferFrom(Input);
+  unsigned Out = S.createBuffer(Input.size());
+  cantFail(S.launch(V, {64, 64},
+                    {arg::buffer(In), arg::buffer(Out), arg::i32(64),
+                     arg::i32(64)}));
+  EXPECT_EQ(R.Output, S.buffer(Out).downloadFloats());
+}
+
+TEST(ServerTest, ServeErrors) {
+  Server Srv(ServerConfig{});
+  ASSERT_FALSE(static_cast<bool>(
+      Srv.addService(imageService("inversion", apps::inversionSource()))));
+
+  Expected<ServeResult> Unknown = Srv.serve("nope", {});
+  ASSERT_FALSE(static_cast<bool>(Unknown));
+  EXPECT_NE(Unknown.error().message().find("no service"), std::string::npos);
+
+  Expected<ServeResult> Short = Srv.serve("inversion", {1.0f, 2.0f});
+  ASSERT_FALSE(static_cast<bool>(Short));
+  EXPECT_NE(Short.error().message().find("expected"), std::string::npos);
+
+  ServiceConfig Bad = imageService("zero", apps::meanSource());
+  Bad.Width = 0;
+  Error E = Srv.addService(Bad);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("nonzero"), std::string::npos);
+}
+
+TEST(ServerTest, QualityLoopReTunesAndHotSwaps) {
+  // Deterministic quality loop: a test-controlled scorer reports the
+  // first check catastrophically over budget (forcing the monitor to
+  // fall back) and every later comparison clean. The server must spend
+  // one online re-tune, hot-swap the winner, and recover to serving
+  // approximate -- not degrade to permanently accurate.
+  Server Srv(ServerConfig{});
+  ServiceConfig C = imageService("gaussian", apps::gaussianSource());
+  C.CheckEvery = 1; // Every request carries a check.
+  auto Calls = std::make_shared<unsigned>(0);
+  C.Score = [Calls](const std::vector<float> &,
+                    const std::vector<float> &) {
+    return ++*Calls == 1 ? 1.0 : 0.0;
+  };
+  ASSERT_FALSE(static_cast<bool>(Srv.addService(C)));
+
+  std::vector<float> Input = frame(img::ImageClass::Pattern, 64, 5);
+  ServeResult First = cantFail(Srv.serve("gaussian", Input));
+  EXPECT_TRUE(First.Checked);
+  EXPECT_FALSE(First.UsedApproximate); // The violating check serves accurate.
+  EXPECT_GT(First.MeasuredError, 0.05);
+  EXPECT_TRUE(First.ReTuned);
+
+  ServeResult Second = cantFail(Srv.serve("gaussian", Input));
+  EXPECT_TRUE(Second.UsedApproximate); // Hot-swapped monitor is re-armed.
+  EXPECT_FALSE(Second.ReTuned);
+
+  ServerStats St = Srv.stats();
+  EXPECT_EQ(St.ReTunes, 1u);
+  EXPECT_EQ(St.DegradedServices, 0u);
+  EXPECT_EQ(St.Requests, 2u);
+  EXPECT_EQ(St.Checks, 2u);
+  // The re-tune evaluated its candidate space through the shard's
+  // variant cache, and the winner's rebuild was a pure cache hit.
+  EXPECT_GE(St.Sessions.VariantCacheHits, 1u);
+  EXPECT_EQ(St.Sessions.SourceCompiles, 1u);
+}
+
+TEST(ServerTest, UnreachableBudgetDegradesToAccurate) {
+  // Every comparison reports over budget: the re-tune finds no candidate
+  // within budget and the service degrades to permanently accurate.
+  ServerConfig SC;
+  SC.MaxReTunesPerService = 1;
+  Server Srv(SC);
+  ServiceConfig C = imageService("mean", apps::meanSource());
+  C.CheckEvery = 1;
+  C.Score = [](const std::vector<float> &, const std::vector<float> &) {
+    return 1.0;
+  };
+  ASSERT_FALSE(static_cast<bool>(Srv.addService(C)));
+
+  std::vector<float> Input = frame(img::ImageClass::Smooth, 64, 9);
+  ServeResult First = cantFail(Srv.serve("mean", Input));
+  EXPECT_TRUE(First.ReTuned);
+  EXPECT_FALSE(First.UsedApproximate);
+
+  ServeResult Second = cantFail(Srv.serve("mean", Input));
+  EXPECT_FALSE(Second.UsedApproximate);
+  EXPECT_FALSE(Second.Checked); // Accurate-only: the monitor is bypassed.
+
+  ServerStats St = Srv.stats();
+  EXPECT_EQ(St.ReTunes, 1u);
+  EXPECT_EQ(St.DegradedServices, 1u);
+}
+
+TEST(ServerTest, LintGateRejectionServesAccurateOnly) {
+  // A kernel whose perforated form fails the static gate still registers
+  // -- as an accurate-only service -- and keeps serving correct frames.
+  // The proven division by zero hides behind a branch that never runs at
+  // h > 0, so the accurate kernel executes cleanly; the gate rejects the
+  // instruction statically all the same.
+  const char *GatedSource = R"(
+kernel void gated(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (h < 0) {
+    int z = 0;
+    out[x / z] = 0.0;
+  }
+  out[y * w + x] = in[y * w + x];
+}
+)";
+  ServerConfig SC;
+  SC.LintGate = true;
+  Server Srv(SC);
+  ASSERT_FALSE(static_cast<bool>(Srv.addService(imageService("gated",
+                                                             GatedSource))));
+  // A well-behaved kernel passes the gate and serves approximate.
+  ASSERT_FALSE(static_cast<bool>(
+      Srv.addService(imageService("inversion", apps::inversionSource()))));
+
+  std::vector<float> Input = frame(img::ImageClass::Smooth, 64, 2);
+  ServeResult R = cantFail(Srv.serve("gated", Input));
+  EXPECT_FALSE(R.UsedApproximate);
+  EXPECT_EQ(R.Output, Input); // The live path is an identity copy.
+  EXPECT_TRUE(cantFail(Srv.serve("inversion", Input)).UsedApproximate);
+
+  ServerStats St = Srv.stats();
+  EXPECT_EQ(St.DegradedServices, 1u);
+  EXPECT_EQ(St.Sessions.LintRejections, 1u);
+}
+
+TEST(ServerTest, DiskCacheWarmRestartCompilesNothing) {
+  // The acceptance criterion: a cold-restarted server over a warm disk
+  // cache reports zero variant compiles for the same service set, and
+  // serves byte-identical frames.
+  std::string Dir = ::testing::TempDir() + "kperf_server_diskcache";
+  std::filesystem::remove_all(Dir);
+  ServerConfig SC;
+  SC.DiskCacheDir = Dir;
+
+  std::vector<std::pair<const char *, const char *>> Defs = {
+      {"gaussian", apps::gaussianSource()},
+      {"inversion", apps::inversionSource()},
+      {"sobel3", apps::sobel3Source()}};
+  std::vector<float> Input = frame(img::ImageClass::Natural, 64, 7);
+
+  std::vector<std::vector<float>> ColdOutputs;
+  {
+    Server Cold(SC);
+    for (const auto &D : Defs)
+      ASSERT_FALSE(static_cast<bool>(
+          Cold.addService(imageService(D.first, D.second))));
+    for (const auto &D : Defs)
+      ColdOutputs.push_back(cantFail(Cold.serve(D.first, Input)).Output);
+    ServerStats St = Cold.stats();
+    EXPECT_EQ(St.Sessions.VariantCompiles, 3u);
+    EXPECT_EQ(St.Sessions.DiskVariantStores, 3u);
+    EXPECT_EQ(St.Sessions.DiskVariantHits, 0u);
+  }
+
+  Server Warm(SC);
+  for (const auto &D : Defs)
+    ASSERT_FALSE(static_cast<bool>(
+        Warm.addService(imageService(D.first, D.second))));
+  ServerStats St = Warm.stats();
+  EXPECT_EQ(St.Sessions.VariantCompiles, 0u);
+  EXPECT_EQ(St.Sessions.DiskVariantHits, 3u);
+  for (size_t I = 0; I < Defs.size(); ++I)
+    EXPECT_EQ(cantFail(Warm.serve(Defs[I].first, Input)).Output,
+              ColdOutputs[I])
+        << Defs[I].first;
+}
+
+TEST(ServerTest, ConcurrentClientsAcrossServices) {
+  // Clients hammering different services proceed concurrently (distinct
+  // service locks, shard sessions synchronized internally) and each
+  // stream sees exactly the single-threaded outputs.
+  Server Srv(ServerConfig{});
+  std::vector<std::pair<const char *, const char *>> Defs = {
+      {"gaussian", apps::gaussianSource()},
+      {"inversion", apps::inversionSource()},
+      {"sobel3", apps::sobel3Source()},
+      {"sharpen", apps::sharpenSource()}};
+  for (const auto &D : Defs)
+    ASSERT_FALSE(
+        static_cast<bool>(Srv.addService(imageService(D.first, D.second))));
+
+  // Single-threaded reference outputs, from an identical fresh server.
+  Server Ref(ServerConfig{});
+  for (const auto &D : Defs)
+    ASSERT_FALSE(
+        static_cast<bool>(Ref.addService(imageService(D.first, D.second))));
+  std::vector<float> Input = frame(img::ImageClass::Smooth, 64, 13);
+  std::vector<std::vector<float>> Want;
+  for (const auto &D : Defs)
+    Want.push_back(cantFail(Ref.serve(D.first, Input)).Output);
+
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < Defs.size(); ++T)
+    Threads.emplace_back([&, T]() {
+      for (unsigned I = 0; I < 6; ++I) {
+        Expected<ServeResult> R = Srv.serve(Defs[T].first, Input);
+        if (!R || R->Output != Want[T])
+          ++Mismatches;
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+  EXPECT_EQ(Srv.stats().Requests, 24u);
+}
+
+} // namespace

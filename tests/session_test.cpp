@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 using namespace kperf;
 using namespace kperf::rt;
 
@@ -107,12 +109,17 @@ TEST(SessionTest, SameNamedKernelsDoNotCollide) {
   EXPECT_EQ(S.stats().VariantCompiles, 2u);
   EXPECT_EQ(S.stats().VariantCacheHits, 0u);
 
-  // Invalidating one kernel leaves the other's cached variant intact.
+  // Invalidating one kernel leaves the other's cached variant intact;
+  // re-perforating the invalidated one is a fresh compile, not a cache
+  // hit. (Compare counters, not pointers: the retired kernel is really
+  // freed at quiescence, so the allocator may reuse its address.)
   S.invalidate(A);
   Variant VB2 = cantFail(S.perforate(B, rows1Plan()));
   EXPECT_EQ(VB2.K.F, VB.K.F);
-  Variant VA2 = cantFail(S.perforate(A, rows1Plan()));
-  EXPECT_NE(VA2.K.F, VA.K.F);
+  EXPECT_EQ(S.stats().VariantCacheHits, 1u);
+  cantFail(S.perforate(A, rows1Plan()));
+  EXPECT_EQ(S.stats().VariantCompiles, 3u);
+  EXPECT_EQ(S.stats().VariantCacheHits, 1u);
 }
 
 TEST(SessionTest, OutputApproxCached) {
@@ -171,7 +178,10 @@ TEST(SessionTest, InvalidateAfterKernelMutation) {
   S.invalidate(K);
   EXPECT_EQ(S.stats().Invalidations, 1u);
   Variant After = cantFail(S.perforate(K, rows1Plan()));
-  EXPECT_NE(After.K.F, Before.K.F);
+  // A fresh compile from the mutated kernel (counters, not pointers: the
+  // retired kernel is freed at quiescence and its address may be
+  // reused), now computing out = 3 * in.
+  EXPECT_EQ(S.stats().VariantCompiles, 2u);
   cantFail(S.launch(After, {32, 32}, Args));
   EXPECT_FLOAT_EQ(S.buffer(Out).floatAt(0), 3.0f);
 }
@@ -275,6 +285,157 @@ TEST(SessionTest, VariantCarriesLaunchConstraints) {
       A, {48, 48},
       {arg::buffer(In), arg::buffer(Out), arg::i32(48), arg::i32(48)}));
   EXPECT_EQ(R.Totals.WorkItems, 48u * 16u);
+}
+
+TEST(SessionTest, InvalidateDoesNotLeakVariantKernels) {
+  // Regression: invalidate() used to drop cache entries without
+  // takeFunction()ing the generated kernels, so a mutate/re-perforate
+  // loop leaked one module function (plus its cached analyses) per
+  // cycle. The function count must return to baseline every cycle.
+  Session S;
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+  cantFail(S.perforate(K, rows1Plan()));
+  size_t Baseline = S.module().numFunctions();
+
+  for (unsigned I = 0; I < 100; ++I) {
+    S.invalidate(K);
+    cantFail(S.perforate(K, rows1Plan()));
+    ASSERT_EQ(S.module().numFunctions(), Baseline) << "cycle " << I;
+  }
+  EXPECT_EQ(S.stats().Invalidations, 100u);
+  EXPECT_EQ(S.stats().VariantCompiles, 101u);
+
+  // Two-pass variants retire both stage kernels.
+  auto App = apps::makeApp("convsep");
+  Session S2;
+  Variant V = cantFail(App->buildPlain(S2, {16, 16}));
+  ASSERT_TRUE(V.isTwoPass());
+  size_t Baseline2 = S2.module().numFunctions();
+  for (unsigned I = 0; I < 20; ++I) {
+    for (const std::string &Name : {std::string("convsep_row"),
+                                    std::string("convsep_col")})
+      S2.invalidate(Kernel{S2.module().function(Name)});
+    cantFail(App->buildPlain(S2, {16, 16}));
+    ASSERT_EQ(S2.module().numFunctions(), Baseline2) << "cycle " << I;
+  }
+}
+
+TEST(SessionTest, InvalidateDefersReclaimToQuiescence) {
+  // A Variant handle held across invalidate() must fail its next launch
+  // with the evicted-variant error, never a dangling access.
+  Session S;
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+  Variant V = cantFail(S.perforate(K, rows1Plan()));
+  S.invalidate(K);
+
+  std::vector<float> Data(32 * 32, 1.0f);
+  unsigned In = S.createBufferFrom(Data);
+  unsigned Out = S.createBuffer(Data.size());
+  Expected<sim::SimReport> R = S.launch(
+      V, {32, 32},
+      {arg::buffer(In), arg::buffer(Out), arg::i32(32), arg::i32(32)});
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_TRUE(Session::isEvictedError(R.error()));
+}
+
+TEST(SessionTest, LintRejectionsAreNotVariantCompiles) {
+  // A gate rejection inserts nothing, so it must not count as a compile
+  // (that would skew the hit rate); it gets its own appended counter.
+  const char *OobSource = R"(
+kernel void oob(global const float* in, global float* out, int w, int h) {
+  float p[8];
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  p[0] = in[y * w + x];
+  p[8200] = 3.0;
+  out[y * w + x] = p[0];
+}
+)";
+  Session S;
+  S.setLintGate(true);
+  Kernel K = cantFail(S.compile(OobSource, "oob"));
+  size_t Baseline = S.module().numFunctions();
+
+  Expected<Variant> V = S.perforate(K, rows1Plan());
+  ASSERT_FALSE(static_cast<bool>(V));
+  EXPECT_NE(V.error().message().find("lint gate:"), std::string::npos);
+  EXPECT_EQ(S.stats().LintRejections, 1u);
+  EXPECT_EQ(S.stats().VariantCompiles, 0u);
+  EXPECT_EQ(S.stats().VariantCacheHits, 0u);
+  // The rejected kernel was removed from the module.
+  EXPECT_EQ(S.module().numFunctions(), Baseline);
+
+  std::string Line = S.stats().str();
+  EXPECT_NE(Line.find("lint rejections: 1"), std::string::npos) << Line;
+}
+
+TEST(SessionTest, DiskCacheServesWarmRestart) {
+  // A second session pointed at the same cache directory materializes
+  // every variant from disk: zero variant compiles on the warm path.
+  std::string Dir = ::testing::TempDir() + "kperf_diskcache_test";
+  std::filesystem::remove_all(Dir); // Stale entries from a previous run.
+  auto App = apps::makeApp("gaussian");
+  perf::PerforationScheme Scheme =
+      perf::PerforationScheme::rows(2, perf::ReconstructionKind::Linear);
+
+  std::vector<float> Cold;
+  {
+    Session S;
+    cantFail(S.setDiskCache(Dir));
+    EXPECT_EQ(S.diskCache(), Dir);
+    Variant V = cantFail(App->buildPerforated(S, Scheme, {16, 16}));
+    EXPECT_EQ(S.stats().VariantCompiles, 1u);
+    EXPECT_EQ(S.stats().DiskVariantStores, 1u);
+    EXPECT_EQ(S.stats().DiskVariantHits, 0u);
+    apps::Workload W = apps::makeImageWorkload(
+        img::generateImage(img::ImageClass::Natural, 64, 64, 3));
+    Cold = cantFail(App->run(S, V, W)).Output;
+  }
+
+  Session Warm;
+  cantFail(Warm.setDiskCache(Dir));
+  Variant V = cantFail(App->buildPerforated(Warm, Scheme, {16, 16}));
+  EXPECT_EQ(Warm.stats().VariantCompiles, 0u);
+  EXPECT_EQ(Warm.stats().DiskVariantHits, 1u);
+  EXPECT_EQ(Warm.stats().DiskVariantStores, 0u);
+  // Within one session the reloaded variant is then an in-memory hit.
+  cantFail(App->buildPerforated(Warm, Scheme, {16, 16}));
+  EXPECT_EQ(Warm.stats().VariantCacheHits, 1u);
+  EXPECT_EQ(Warm.stats().DiskVariantHits, 1u);
+
+  // And the reloaded kernel computes byte-identical output.
+  apps::Workload W = apps::makeImageWorkload(
+      img::generateImage(img::ImageClass::Natural, 64, 64, 3));
+  EXPECT_EQ(Cold, cantFail(App->run(Warm, V, W)).Output);
+
+  std::string Line = Warm.stats().str();
+  EXPECT_NE(Line.find("disk: 1 hits, 0 stores"), std::string::npos) << Line;
+}
+
+TEST(SessionTest, DiskCacheKeyTracksSourceIR) {
+  // The content address hashes the *printed source IR*, not just the
+  // kernel name: a mutated kernel must miss the stale disk entry.
+  std::string Dir = ::testing::TempDir() + "kperf_diskcache_mutate";
+  std::filesystem::remove_all(Dir); // Stale entries from a previous run.
+  Session S;
+  cantFail(S.setDiskCache(Dir));
+  Kernel K = cantFail(S.compile(ScaleSource, "scale"));
+  cantFail(S.perforate(K, rows1Plan()));
+  EXPECT_EQ(S.stats().DiskVariantStores, 1u);
+
+  // Mutate the source kernel (scale by 3, not 2) and invalidate.
+  for (auto &BB : K.F->blocks())
+    for (auto &I : BB->instructions())
+      for (unsigned OpI = 0; OpI < I->numOperands(); ++OpI)
+        if (auto *CF = ir::dyn_cast<ir::ConstantFloat>(I->operand(OpI)))
+          if (CF->value() == 2.0f)
+            I->setOperand(OpI, S.module().getFloat(3.0f));
+  S.invalidate(K);
+
+  cantFail(S.perforate(K, rows1Plan()));
+  EXPECT_EQ(S.stats().DiskVariantHits, 0u);
+  EXPECT_EQ(S.stats().VariantCompiles, 2u);
+  EXPECT_EQ(S.stats().DiskVariantStores, 2u);
 }
 
 TEST(SessionTest, StatsLineMentionsCompilesAndHitRate) {

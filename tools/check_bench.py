@@ -1,19 +1,33 @@
 #!/usr/bin/env python3
-"""Bench-trajectory checker (the CI bench-baseline job).
+"""Bench-trajectory checker (the CI bench-baseline jobs).
 
-Diffs a fresh `bench_interp --json` run against the committed
-BENCH_interp.json and fails if the trajectory regressed:
+Diffs a fresh `bench_* --json` run against a committed BENCH_*.json
+baseline and fails if the trajectory regressed. Works for any benchmark
+given the fields that identify a record and the fields to compare:
 
-  * a (app, tier) record present in the baseline is missing from the
-    fresh run, or vice versa;
-  * a parity flag differs -- outputs_identical / counters_identical
-    must be exactly 1 in both runs (bit-identity is not a statistic);
-  * a speedup drifted outside the multiplicative tolerance: fresh
-    must lie within [baseline / tol, baseline * tol].  Wall-clock on
-    shared CI runners is noisy, so the default tolerance is a factor
-    of 3; the ordering and parity checks carry the precision.
+  * --keys: the fields whose tuple identifies one record (default
+    "app,tier", the BENCH_interp schema). A record present on one side
+    but not the other fails.
+  * --exact-flags: parity flags that must be exactly 1 on BOTH sides
+    (default "outputs_identical,counters_identical"; bit-identity is
+    not a statistic). Pass '' to disable.
+  * --exact-fields: fields that must be equal between baseline and
+    fresh (deterministic counters, e.g. request counts).
+  * --ratio-fields: noisy throughput-like fields (default "speedup")
+    checked within the multiplicative tolerance: fresh must lie in
+    [baseline / tol, baseline * tol]. Wall-clock on shared CI runners
+    is noisy, so the default tolerance is a factor of 3; the record-set
+    and exact checks carry the precision.
 
-Usage: python3 tools/check_bench.py [--tolerance F] baseline.json fresh.json
+A compared field absent from both records is skipped (schemas where
+only the summary record carries throughput); absent from exactly one
+side it is an error.
+
+Usage:
+  python3 tools/check_bench.py baseline.json fresh.json
+  python3 tools/check_bench.py --keys bench,service \
+    --exact-fields requests,failed --ratio-fields launches_per_sec \
+    --exact-flags '' --tolerance 10 BENCH_serve.json fresh.json
 """
 
 import argparse
@@ -21,46 +35,79 @@ import json
 import sys
 
 
-def load(path):
+def split_fields(spec):
+    return [f for f in spec.split(",") if f]
+
+
+def load(path, keys):
     with open(path, encoding="utf-8") as f:
         rows = json.load(f)
-    return {(r["app"], r["tier"]): r for r in rows}
+    table = {}
+    for r in rows:
+        key = tuple(str(r.get(k)) for k in keys)
+        if key in table:
+            raise SystemExit(
+                f"check_bench: duplicate record {key} in {path}")
+        table[key] = r
+    return table
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--tolerance", type=float, default=3.0,
-                    help="multiplicative speedup tolerance (default 3.0)")
+                    help="multiplicative ratio-field tolerance "
+                         "(default 3.0)")
+    ap.add_argument("--keys", default="app,tier",
+                    help="comma-separated record-identifying fields")
+    ap.add_argument("--exact-flags",
+                    default="outputs_identical,counters_identical",
+                    help="fields that must be exactly 1 on both sides")
+    ap.add_argument("--exact-fields", default="",
+                    help="fields that must be equal on both sides")
+    ap.add_argument("--ratio-fields", default="speedup",
+                    help="fields checked within the tolerance")
     ap.add_argument("baseline")
     ap.add_argument("fresh")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+    keys = split_fields(args.keys)
+    if not keys:
+        raise SystemExit("check_bench: --keys must name at least one field")
+    base = load(args.baseline, keys)
+    fresh = load(args.fresh, keys)
     errors = []
 
     for key in sorted(set(base) | set(fresh)):
-        app, tier = key
+        name = "/".join(key)
         if key not in fresh:
-            errors.append(f"{app}/{tier}: missing from fresh run")
+            errors.append(f"{name}: missing from fresh run")
             continue
         if key not in base:
-            errors.append(f"{app}/{tier}: not in committed baseline")
+            errors.append(f"{name}: not in committed baseline")
             continue
         b, f = base[key], fresh[key]
-        for flag in ("outputs_identical", "counters_identical"):
+        for flag in split_fields(args.exact_flags):
             if f.get(flag) != 1:
-                errors.append(f"{app}/{tier}: fresh {flag} = {f.get(flag)}")
+                errors.append(f"{name}: fresh {flag} = {f.get(flag)}")
             if b.get(flag) != 1:
-                errors.append(f"{app}/{tier}: baseline {flag} = {b.get(flag)}")
-        bs, fs = b.get("speedup"), f.get("speedup")
-        if not bs or not fs or bs <= 0 or fs <= 0:
-            errors.append(f"{app}/{tier}: bad speedup {bs!r} -> {fs!r}")
-        elif not (bs / args.tolerance <= fs <= bs * args.tolerance):
-            errors.append(
-                f"{app}/{tier}: speedup {fs:.2f}x outside "
-                f"[{bs / args.tolerance:.2f}, {bs * args.tolerance:.2f}] "
-                f"(baseline {bs:.2f}x)")
+                errors.append(f"{name}: baseline {flag} = {b.get(flag)}")
+        for field in split_fields(args.exact_fields):
+            bv, fv = b.get(field), f.get(field)
+            if bv is None and fv is None:
+                continue
+            if bv != fv:
+                errors.append(f"{name}: {field} {fv!r} != baseline {bv!r}")
+        for field in split_fields(args.ratio_fields):
+            bv, fv = b.get(field), f.get(field)
+            if bv is None and fv is None:
+                continue
+            if not bv or not fv or bv <= 0 or fv <= 0:
+                errors.append(f"{name}: bad {field} {bv!r} -> {fv!r}")
+            elif not (bv / args.tolerance <= fv <= bv * args.tolerance):
+                errors.append(
+                    f"{name}: {field} {fv:.2f} outside "
+                    f"[{bv / args.tolerance:.2f}, "
+                    f"{bv * args.tolerance:.2f}] (baseline {bv:.2f})")
 
     if errors:
         print(f"check_bench: {len(errors)} problem(s):", file=sys.stderr)
@@ -68,7 +115,7 @@ def main():
             print(f"  {e}", file=sys.stderr)
         return 1
     print(f"check_bench: {len(fresh)} records match the baseline "
-          f"(parity exact, speedups within {args.tolerance:g}x).")
+          f"(ratios within {args.tolerance:g}x).")
     return 0
 
 
