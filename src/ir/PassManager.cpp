@@ -10,6 +10,7 @@
 #include "ir/DCE.h"
 #include "ir/GVN.h"
 #include "ir/LICM.h"
+#include "ir/LoopPerforate.h"
 #include "ir/LoopUnroll.h"
 #include "ir/Mem2Reg.h"
 #include "ir/MemOpt.h"
@@ -155,6 +156,23 @@ private:
   unsigned Budget;
 };
 
+/// Generalized loop perforation: strides eligible induction variables by
+/// the knob (default 1 = structural no-op). Inserts arithmetic and
+/// rewrites phi incomings only; the block set and branch edges stay
+/// intact.
+class LoopPerforatePass : public FunctionPass {
+public:
+  explicit LoopPerforatePass(unsigned Stride) : Stride(Stride) {}
+  const char *name() const override { return "perforate-loop"; }
+  unsigned run(Function &F, Module &M, AnalysisManager &AM) override {
+    return perforateLoops(F, M, AM, Stride);
+  }
+  bool preservesCFG() const override { return true; }
+
+private:
+  unsigned Stride;
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -182,6 +200,12 @@ PassRegistry &PassRegistry::instance() {
         "unroll",
         [](unsigned Budget) { return std::make_unique<UnrollPass>(Budget); },
         DefaultUnrollBudget);
+    Reg->registerParameterizedPass(
+        "perforate-loop",
+        [](unsigned Stride) {
+          return std::make_unique<LoopPerforatePass>(Stride);
+        },
+        /*DefaultParam=*/1);
     Reg->registerPass("dce", [] { return std::make_unique<DCEPass>(); });
     return Reg;
   }();

@@ -12,8 +12,9 @@
 ///    many changes were made, declare whether the CFG survived;
 ///  * PassRegistry -- maps textual names ("mem2reg", "sroa", "simplify",
 ///    "cse", "memopt-forward", "memopt-dse", "licm", "gvn", "unroll",
-///    "dce") to pass factories; passes taking an integer knob (unroll's
-///    IR-size budget) register a parameterized factory with a default;
+///    "perforate-loop", "dce") to pass factories; passes taking an
+///    integer knob (unroll's IR-size budget, perforate-loop's stride)
+///    register a parameterized factory with a default;
 ///  * PassPipeline -- a parsed pipeline specification such as
 ///
 ///      mem2reg,unroll,fixpoint(simplify,gvn,cse,dce)

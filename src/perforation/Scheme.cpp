@@ -15,17 +15,20 @@ std::string PerforationScheme::str() const {
   auto reconName = [&]() {
     return Recon == ReconstructionKind::NearestNeighbor ? "NN" : "LI";
   };
+  // Labels carry the actual period: Period/2 used to collapse rows(2)
+  // and rows(3) onto the same "Rows1" label, colliding tuner and bench
+  // keys.
   switch (Kind) {
   case SchemeKind::None:
     return "Baseline";
   case SchemeKind::Rows:
-    return format("Rows%u:%s", Period / 2, reconName());
+    return format("Rows%u:%s", Period, reconName());
   case SchemeKind::Cols:
-    return format("Cols%u:%s", Period / 2, reconName());
+    return format("Cols%u:%s", Period, reconName());
   case SchemeKind::Stencil:
     return "Stencil1:NN";
   case SchemeKind::Grid:
-    return format("Grid%u:%s", Period / 2, reconName());
+    return format("Grid%u:%s", Period, reconName());
   }
   return "?";
 }
@@ -42,9 +45,16 @@ double PerforationScheme::loadedFraction(unsigned TileW, unsigned TileH,
   case SchemeKind::Cols:
     return 1.0 / static_cast<double>(Period);
   case SchemeKind::Stencil: {
-    double Center = static_cast<double>(TileW - 2 * HaloX) *
-                    static_cast<double>(TileH - 2 * HaloY);
-    return Center / Total;
+    // Clamp to 0 when the tile is smaller than twice the halo: the
+    // unsigned subtraction would otherwise wrap and report a loaded
+    // fraction far above 1.
+    double CenterW = TileW > 2 * HaloX
+                         ? static_cast<double>(TileW - 2 * HaloX)
+                         : 0.0;
+    double CenterH = TileH > 2 * HaloY
+                         ? static_cast<double>(TileH - 2 * HaloY)
+                         : 0.0;
+    return CenterW * CenterH / Total;
   }
   case SchemeKind::Grid:
     return 1.0 / (static_cast<double>(Period) * Period);

@@ -67,7 +67,9 @@ struct PerforationScheme {
     return {SchemeKind::Grid, Period, R};
   }
 
-  /// Short name like "Rows1:NN" used in reports (paper Fig. 8 legend).
+  /// Short name like "Rows2:NN" used in reports (the number is the
+  /// actual skip period, so rows(2) and rows(3) label distinctly; the
+  /// paper's Fig. 8 legend calls period 2 "Rows1").
   std::string str() const;
 
   /// Fraction of tile elements fetched from global memory, for a tile of

@@ -9,11 +9,16 @@
 #include "support/ParallelFor.h"
 #include "support/StringUtils.h"
 
+#include <cmath>
+
 using namespace kperf;
 using namespace kperf::perf;
 
 std::string TunerConfig::str() const {
-  return format("%s@%ux%u", Scheme.str().c_str(), TileX, TileY);
+  std::string S = format("%s@%ux%u", Scheme.str().c_str(), TileX, TileY);
+  if (LoopStride > 1)
+    S += format("/L%u", LoopStride);
+  return S;
 }
 
 std::string TunerResult::summary() const {
@@ -46,8 +51,53 @@ std::vector<TunerConfig> perf::defaultTuningSpace() {
   std::vector<TunerConfig> Space;
   for (const PerforationScheme &S : Schemes)
     for (auto [X, Y] : figure9WorkGroupShapes())
-      Space.push_back(TunerConfig{S, X, Y});
+      for (unsigned Stride : {1u, 2u})
+        Space.push_back(TunerConfig{S, X, Y, Stride});
   return Space;
+}
+
+std::string perf::jointPipelineSpec(const std::string &Base,
+                                    unsigned Stride) {
+  if (Stride <= 1)
+    return Base;
+  std::string Pass = format("perforate-loop(%u)", Stride);
+  if (Base.empty())
+    return Pass;
+  // Split at top-level commas only -- fixpoint(...) groups nest.
+  std::vector<std::string> Elements;
+  size_t Start = 0;
+  int Depth = 0;
+  for (size_t I = 0; I <= Base.size(); ++I) {
+    if (I == Base.size() || (Base[I] == ',' && Depth == 0)) {
+      Elements.push_back(Base.substr(Start, I - Start));
+      Start = I + 1;
+    } else if (Base[I] == '(') {
+      ++Depth;
+    } else if (Base[I] == ')') {
+      --Depth;
+    }
+  }
+  auto stripped = [](const std::string &S) {
+    size_t B = S.find_first_not_of(" \t");
+    if (B == std::string::npos)
+      return std::string();
+    return S.substr(B, S.find_last_not_of(" \t") - B + 1);
+  };
+  size_t At = Elements.size();
+  for (size_t I = 0; I < Elements.size(); ++I) {
+    std::string E = stripped(Elements[I]);
+    if (E == "unroll" || E.rfind("unroll(", 0) == 0) {
+      At = I;
+      break;
+    }
+  }
+  if (At == Elements.size()) {
+    At = 0;
+    while (At < Elements.size() && stripped(Elements[At]) == "mem2reg")
+      ++At;
+  }
+  Elements.insert(Elements.begin() + static_cast<ptrdiff_t>(At), Pass);
+  return join(Elements, ",");
 }
 
 std::vector<TunerResult>
@@ -95,10 +145,21 @@ size_t perf::bestWithinErrorBudget(const std::vector<TunerResult> &Results,
                                    double MaxError) {
   size_t Best = ~size_t(0);
   for (size_t I = 0; I < Results.size(); ++I) {
-    if (!Results[I].Feasible || Results[I].M.Error > MaxError)
+    // NaN compares false against any budget, so a degenerate measurement
+    // (0/0 error on an all-skipped tile) would otherwise slip through the
+    // filter and win on speedup. Non-finite error is infeasible, period.
+    if (!Results[I].Feasible || !std::isfinite(Results[I].M.Error) ||
+        Results[I].M.Error > MaxError)
       continue;
+    // Fastest wins; an exact speedup tie goes to the lower error. Ties
+    // are common, not exotic: the cost model is max(compute, memory),
+    // so a config that only trims the non-bottleneck axis (e.g. a loop
+    // stride inside a memory-bound tile) keeps the identical modeled
+    // time while improving or degrading accuracy.
     if (Best == ~size_t(0) ||
-        Results[I].M.Speedup > Results[Best].M.Speedup)
+        Results[I].M.Speedup > Results[Best].M.Speedup ||
+        (Results[I].M.Speedup == Results[Best].M.Speedup &&
+         Results[I].M.Error < Results[Best].M.Error))
       Best = I;
   }
   return Best;

@@ -28,11 +28,16 @@
 namespace kperf {
 namespace perf {
 
-/// One point of the tuning space.
+/// One point of the tuning space. LoopStride is the generalized
+/// loop-perforation axis: 1 leaves the pipeline alone, higher strides
+/// splice `perforate-loop(stride)` into the variant's pass pipeline (see
+/// jointPipelineSpec), so the tuner searches scheme x tile x stride
+/// jointly.
 struct TunerConfig {
   PerforationScheme Scheme;
   unsigned TileX = 16;
   unsigned TileY = 16;
+  unsigned LoopStride = 1;
 
   std::string str() const;
 };
@@ -64,10 +69,17 @@ struct TunerResult {
 using EvaluateFn =
     std::function<Expected<Measurement>(const TunerConfig &)>;
 
-/// The default tuning space: {Rows1, Rows2, Stencil1, Grid1} x {NN, LI}
-/// x the work-group shapes of the paper's Fig. 9, plus the accurate
-/// baseline.
+/// The default tuning space: the classic scheme x reconstruction points
+/// crossed with the work-group shapes of the paper's Fig. 9 and with
+/// loop-perforation strides {1, 2}, plus the accurate baseline.
 std::vector<TunerConfig> defaultTuningSpace();
+
+/// Splices `perforate-loop(Stride)` into pipeline spec \p Base: before
+/// the first top-level `unroll` element when one exists (strided loops
+/// must still flatten), otherwise after the leading `mem2reg` run (the
+/// induction phis the pass matches exist only after promotion), else at
+/// the front. \p Base is returned unchanged when Stride <= 1.
+std::string jointPipelineSpec(const std::string &Base, unsigned Stride);
 
 /// The ten work-group shapes swept in the paper's Fig. 9.
 std::vector<std::pair<unsigned, unsigned>> figure9WorkGroupShapes();
@@ -93,8 +105,10 @@ std::vector<TunerResult> tuneParallel(const std::vector<TunerConfig> &Space,
                                       const EvaluateFn &Evaluate,
                                       unsigned Jobs);
 
-/// Filters \p Results to those meeting \p MaxError, then returns the index
-/// of the fastest; returns npos (~size_t(0)) if none qualifies.
+/// Filters \p Results to those meeting \p MaxError (non-finite error is
+/// always infeasible), then returns the index of the fastest, breaking
+/// exact speedup ties toward the lower error; returns npos (~size_t(0))
+/// if none qualifies.
 size_t bestWithinErrorBudget(const std::vector<TunerResult> &Results,
                              double MaxError);
 

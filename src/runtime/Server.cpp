@@ -91,13 +91,16 @@ Server::Server(ServerConfig C) : Config(std::move(C)) {
 Server::~Server() = default;
 
 Expected<Variant>
-Server::buildVariant(Service &Svc, const perf::PerforationScheme &Scheme) {
+Server::buildVariant(Service &Svc, const perf::PerforationScheme &Scheme,
+                     unsigned LoopStride) {
   perf::PerforationPlan Plan;
   Plan.Scheme = Scheme;
   Plan.TileX = Svc.C.Tile.X;
   Plan.TileY = Svc.C.Tile.Y;
   if (!Svc.C.PipelineSpec.empty())
     Plan.PipelineSpec = Svc.C.PipelineSpec;
+  Plan.PipelineSpec =
+      perf::jointPipelineSpec(Plan.PipelineSpec, LoopStride);
   return Shards[Svc.ShardIdx]->S.perforate(Svc.Accurate, Plan);
 }
 
@@ -188,9 +191,10 @@ bool Server::retune(Service &Svc, const std::vector<float> &Input) {
   S.releaseBuffer(RefIn);
   S.releaseBuffer(RefOut);
 
-  // Candidate space: the scheme families at the service tile, mildest
-  // first. The current (failing) scheme may reappear; its error on this
-  // very input just measured past budget, so the filter drops it again.
+  // Candidate space: the scheme families at the service tile crossed
+  // with loop-perforation strides {1, 2}, mildest first. The current
+  // (failing) scheme may reappear; its error on this very input just
+  // measured past budget, so the filter drops it again.
   using perf::PerforationScheme;
   using perf::ReconstructionKind;
   std::vector<perf::TunerConfig> Space;
@@ -200,12 +204,13 @@ bool Server::retune(Service &Svc, const std::vector<float> &Input) {
         PerforationScheme::cols(2, ReconstructionKind::Linear),
         PerforationScheme::stencil(),
         PerforationScheme::rows(4, ReconstructionKind::Linear)})
-    Space.push_back(
-        perf::TunerConfig{Scheme, Svc.C.Tile.X, Svc.C.Tile.Y});
+    for (unsigned Stride : {1u, 2u})
+      Space.push_back(perf::TunerConfig{Scheme, Svc.C.Tile.X,
+                                        Svc.C.Tile.Y, Stride});
 
   perf::EvaluateFn Evaluate =
       [&](const perf::TunerConfig &TC) -> Expected<perf::Measurement> {
-    Expected<Variant> V = buildVariant(Svc, TC.Scheme);
+    Expected<Variant> V = buildVariant(Svc, TC.Scheme, TC.LoopStride);
     if (!V)
       return V.takeError();
     unsigned EvalIn = S.createBufferFrom(Input);
@@ -237,8 +242,8 @@ bool Server::retune(Service &Svc, const std::vector<float> &Input) {
 
   // Hot-swap: the winner was already compiled (and cached) during the
   // evaluation, so this hits the shard's variant cache.
-  Expected<Variant> Winner =
-      buildVariant(Svc, Results[Best].Config.Scheme);
+  Expected<Variant> Winner = buildVariant(
+      Svc, Results[Best].Config.Scheme, Results[Best].Config.LoopStride);
   if (!Winner)
     return false;
   Svc.Mon->rearm(*Winner);

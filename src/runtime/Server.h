@@ -162,9 +162,13 @@ private:
 
   /// Builds the perforated variant of \p Svc for \p Scheme through its
   /// shard session (cached by VariantKey, so re-tunes that pick a
-  /// previously built scheme hit the cache).
+  /// previously built scheme hit the cache). \p LoopStride > 1 splices
+  /// perforate-loop(stride) into the service's cleanup pipeline
+  /// (perf::jointPipelineSpec); the spec is part of the VariantKey, so
+  /// strided variants cache under distinct keys.
   Expected<Variant> buildVariant(Service &Svc,
-                                 const perf::PerforationScheme &Scheme);
+                                 const perf::PerforationScheme &Scheme,
+                                 unsigned LoopStride = 1);
 
   /// Online re-tune of \p Svc using \p Input as the workload; hot-swaps
   /// the winner into the monitor. Returns true if a variant within

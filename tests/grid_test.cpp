@@ -36,7 +36,7 @@ Expected<RunOutcome> runGrid(const App &TheApp, const Workload &W,
 TEST(GridTest, SchemeDescriptor) {
   PerforationScheme S =
       PerforationScheme::grid(2, ReconstructionKind::Linear);
-  EXPECT_EQ(S.str(), "Grid1:LI");
+  EXPECT_EQ(S.str(), "Grid2:LI");
   EXPECT_DOUBLE_EQ(S.loadedFraction(18, 18, 1, 1), 0.25);
   auto Mask = schemeMask(S, 6, 6, 1, 1, -1, -1);
   for (unsigned R = 0; R < 6; ++R)

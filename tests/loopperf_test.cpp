@@ -1,0 +1,299 @@
+//===- tests/loopperf_test.cpp - perforate-loop(stride) pass unit tests -----==//
+//
+// Part of the kernel-perforation project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The generalized loop-perforation pass: stride 1 must be a structural
+// no-op, stride N must rewrite eligible induction variables and rescale
+// escaping add-reductions, and every illegal shape (memory-observing
+// skipped iterations, variable steps, side exits, equality exit tests)
+// must be refused with the function untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+#include "ir/PassManager.h"
+#include "ir/Printer.h"
+#include "img/Metrics.h"
+#include "pcl/Compiler.h"
+#include "runtime/Session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+using namespace kperf;
+using namespace kperf::ir;
+
+namespace {
+
+/// Compiles the first kernel of \p Source, running \p Spec with
+/// verify-each on; per-pass stats land in \p Stats when given.
+rt::Kernel compileWith(rt::Session &S, const char *Source,
+                       const std::string &Spec,
+                       PipelineStats *Stats = nullptr) {
+  pcl::CompileOptions Opts;
+  Opts.PipelineSpec = Spec;
+  Opts.VerifyEach = true;
+  Opts.Stats = Stats;
+  Expected<std::vector<rt::Kernel>> Ks = S.compileAll(Source, Opts);
+  EXPECT_TRUE(static_cast<bool>(Ks)) << Ks.error().message();
+  return Ks->front();
+}
+
+bool hasBackEdge(const Function &F) {
+  DominatorTree DT = DominatorTree::compute(F);
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *Succ : successors(BB.get()))
+      if (DT.isReachable(BB.get()) && DT.dominates(Succ, BB.get()))
+        return true;
+  return false;
+}
+
+/// Runs a 16x16 launch of kernel(in, out, w, h) over \p In.
+std::vector<float> runKernelOn(rt::Session &S, const rt::Kernel &K,
+                               const std::vector<float> &In) {
+  constexpr unsigned N = 16;
+  unsigned InBuf = S.createBufferFrom(In);
+  unsigned OutBuf = S.createBuffer(In.size());
+  Expected<sim::SimReport> R =
+      S.launch(K, {N, N}, {8, 8},
+               {rt::arg::buffer(InBuf), rt::arg::buffer(OutBuf),
+                rt::arg::i32(N), rt::arg::i32(N)});
+  EXPECT_TRUE(static_cast<bool>(R)) << R.error().message();
+  return S.buffer(OutBuf).downloadFloats();
+}
+
+std::vector<float> rampInput() {
+  std::vector<float> In(16 * 16);
+  for (unsigned I = 0; I < In.size(); ++I)
+    In[I] = 0.25f * static_cast<float>(I % 17) + 1.0f;
+  return In;
+}
+
+/// The two pipelines' outputs over \p In must agree bit for bit.
+void expectSameOutput(const char *Source, const std::string &SpecA,
+                      const std::string &SpecB,
+                      const std::vector<float> &In) {
+  rt::Session SA, SB;
+  std::vector<float> A =
+      runKernelOn(SA, compileWith(SA, Source, SpecA), In);
+  std::vector<float> B =
+      runKernelOn(SB, compileWith(SB, Source, SpecB), In);
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_EQ(std::memcmp(A.data(), B.data(), A.size() * sizeof(float)), 0)
+      << "'" << SpecA << "' vs '" << SpecB << "'";
+}
+
+const char *WindowKernel = R"(
+kernel void k(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float acc = 0.0;
+  for (int i = 0; i < 4; i++) {
+    acc += in[clamp(y + i - 1, 0, h - 1) * w + x];
+  }
+  out[y * w + x] = acc;
+}
+)";
+
+const char *NestedKernel = R"(
+kernel void k(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float acc = 0.0;
+  for (int ky = 0; ky < 3; ky++) {
+    for (int kx = 0; kx < 3; kx++) {
+      acc += in[clamp(y + ky - 1, 0, h - 1) * w
+                + clamp(x + kx - 1, 0, w - 1)];
+    }
+  }
+  out[y * w + x] = acc / 9.0;
+}
+)";
+
+TEST(LoopPerforateTest, Stride1IsStructuralNoOp) {
+  // Bare name (default knob 1) and the explicit spelling: byte-identical
+  // printed IR, zero reported changes.
+  for (const char *Spec :
+       {"mem2reg,perforate-loop", "mem2reg,perforate-loop(1)"}) {
+    rt::Session SA, SB;
+    PipelineStats Stats;
+    rt::Kernel A = compileWith(SA, NestedKernel, "mem2reg");
+    rt::Kernel B = compileWith(SB, NestedKernel, Spec, &Stats);
+    EXPECT_EQ(Stats.changes("perforate-loop"), 0u) << Spec;
+    EXPECT_EQ(printFunction(*A.F), printFunction(*B.F)) << Spec;
+  }
+}
+
+TEST(LoopPerforateTest, Stride2RewritesInductionStep) {
+  rt::Session S;
+  PipelineStats Stats;
+  rt::Kernel K =
+      compileWith(S, WindowKernel, "mem2reg,perforate-loop(2)", &Stats);
+  EXPECT_EQ(Stats.changes("perforate-loop"), 1u);
+  EXPECT_TRUE(hasBackEdge(*K.F)); // Still a loop, just strided.
+  // The rewritten increment carries the idempotence marker.
+  bool SawPerfInc = false;
+  for (const auto &BB : K.F->blocks())
+    for (const auto &I : BB->instructions())
+      SawPerfInc |= I->name().find(".perf") != std::string::npos;
+  EXPECT_TRUE(SawPerfInc);
+}
+
+TEST(LoopPerforateTest, CompensationIsExactOnConstantInput) {
+  // 4 trips at stride 2 leaves 2; each surviving contribution is scaled
+  // by 4/2 = 2, so a constant input sums back to the full-trip total
+  // exactly (all values representable): the perforated kernel is
+  // byte-identical to baseline on constant data.
+  std::vector<float> Ones(16 * 16, 1.0f);
+  expectSameOutput(WindowKernel, "mem2reg", "mem2reg,perforate-loop(2)",
+                   Ones);
+}
+
+TEST(LoopPerforateTest, NestedLoopsComposeMultiplicatively) {
+  // Both 3-trip loops perforate (3 -> 2 trips, factor 1.5 each); the
+  // leaves end up scaled by 1.5 * 1.5 = 2.25 = 9/4, so the 4 surviving
+  // samples of a constant input still average to the input value.
+  rt::Session S;
+  PipelineStats Stats;
+  compileWith(S, NestedKernel, "mem2reg,perforate-loop(2)", &Stats);
+  EXPECT_EQ(Stats.changes("perforate-loop"), 2u);
+  std::vector<float> Ones(16 * 16, 1.0f);
+  expectSameOutput(NestedKernel, "mem2reg", "mem2reg,perforate-loop(2)",
+                   Ones);
+}
+
+TEST(LoopPerforateTest, ApproximationErrorIsSmallOnSmoothInput) {
+  rt::Session SA, SB;
+  std::vector<float> In = rampInput();
+  std::vector<float> Ref =
+      runKernelOn(SA, compileWith(SA, NestedKernel, "mem2reg"), In);
+  std::vector<float> Approx = runKernelOn(
+      SB, compileWith(SB, NestedKernel, "mem2reg,perforate-loop(2)"), In);
+  double MRE = img::meanRelativeError(Ref, Approx);
+  EXPECT_TRUE(std::isfinite(MRE));
+  EXPECT_LT(MRE, 0.2); // Approximate, but in the perforation regime.
+}
+
+TEST(LoopPerforateTest, PerforatedLoopStillUnrolls) {
+  // The strided loop keeps a constant trip count, so the unroller
+  // flattens it; the flattened form reproduces the rolled strided form
+  // bit for bit.
+  rt::Session S;
+  rt::Kernel K =
+      compileWith(S, WindowKernel, "mem2reg,perforate-loop(2),unroll");
+  EXPECT_FALSE(hasBackEdge(*K.F));
+  expectSameOutput(WindowKernel, "mem2reg,perforate-loop(2)",
+                   "mem2reg,perforate-loop(2),unroll", rampInput());
+}
+
+TEST(LoopPerforateTest, FixpointDoesNotCompoundStride) {
+  // Inside a fixpoint group the pass sees its own output; the ".perf"
+  // marker on the rewritten increment keeps round 2 from striding again.
+  rt::Session S;
+  PipelineStats Stats;
+  compileWith(S, WindowKernel, "mem2reg,fixpoint(perforate-loop(2),dce)",
+              &Stats);
+  EXPECT_EQ(Stats.changes("perforate-loop"), 1u);
+  expectSameOutput(WindowKernel, "mem2reg,perforate-loop(2)",
+                   "mem2reg,fixpoint(perforate-loop(2),dce)", rampInput());
+}
+
+//===----------------------------------------------------------------------===//
+// Legality refusals: each illegal shape compiles unchanged (zero pass
+// changes, byte-identical output to the un-perforated pipeline).
+//===----------------------------------------------------------------------===//
+
+void expectRefused(const char *Source) {
+  rt::Session S;
+  PipelineStats Stats;
+  compileWith(S, Source, "mem2reg,perforate-loop(2)", &Stats);
+  EXPECT_EQ(Stats.changes("perforate-loop"), 0u);
+  expectSameOutput(Source, "mem2reg", "mem2reg,perforate-loop(2)",
+                   rampInput());
+}
+
+TEST(LoopPerforateTest, RefusesMemoryObservingStores) {
+  // The loop fills a private window array that straight-line code reads
+  // afterwards: skipping an iteration would leave win[i] unwritten for
+  // a read that observes it, so the pass must refuse (median's shape).
+  expectRefused(R"(
+kernel void k(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float win[4];
+  for (int i = 0; i < 4; i++) {
+    win[i] = in[clamp(y + i - 1, 0, h - 1) * w + x];
+  }
+  out[y * w + x] = win[0] + win[1] + win[2] + win[3];
+}
+)");
+}
+
+TEST(LoopPerforateTest, RefusesVariableStep) {
+  // Step is an argument, not a constant: a strided rewrite could walk an
+  // arbitrary index set.
+  expectRefused(R"(
+kernel void k(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float acc = 0.0;
+  for (int i = 0; i < 4; i = i + h) {
+    acc += in[clamp(y + i, 0, h - 1) * w + x];
+  }
+  out[y * w + x] = acc;
+}
+)");
+}
+
+TEST(LoopPerforateTest, RefusesSideExit) {
+  // A return inside the body is a second exit that could observe the
+  // skipped iterations' partial state.
+  expectRefused(R"(
+kernel void k(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float acc = 0.0;
+  out[y * w + x] = 0.0;
+  for (int i = 0; i < 4; i++) {
+    if (in[y * w + x] > 1000000.0) {
+      return;
+    }
+    acc += in[clamp(y + i - 1, 0, h - 1) * w + x];
+  }
+  out[y * w + x] = acc;
+}
+)");
+}
+
+TEST(LoopPerforateTest, RefusesEqualityExitTest) {
+  // i != 4 terminates only by landing exactly on the bound; a strided
+  // step hops over it, so only order relations qualify.
+  expectRefused(R"(
+kernel void k(global const float* in, global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float acc = 0.0;
+  for (int i = 0; i != 4; i++) {
+    acc += in[clamp(y + i - 1, 0, h - 1) * w + x];
+  }
+  out[y * w + x] = acc;
+}
+)");
+}
+
+TEST(LoopPerforateTest, RefusesBeforePromotion) {
+  // Ahead of mem2reg no induction phi exists; the pass must find
+  // nothing rather than mangle memory-form loops.
+  rt::Session S;
+  PipelineStats Stats;
+  compileWith(S, NestedKernel, "perforate-loop(2),mem2reg", &Stats);
+  EXPECT_EQ(Stats.changes("perforate-loop"), 0u);
+  expectSameOutput(NestedKernel, "mem2reg", "perforate-loop(2),mem2reg",
+                   rampInput());
+}
+
+} // namespace

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace kperf;
 using namespace kperf::perf;
 
@@ -105,8 +108,9 @@ TEST(ParetoTest, NonFrontPointsAreDominated) {
 
 TEST(TunerTest, DefaultSpaceShape) {
   auto Space = defaultTuningSpace();
-  // 7 schemes (baseline, Rows1/2 x NN/LI, Stencil1, Grid1) x 10 shapes.
-  EXPECT_EQ(Space.size(), 70u);
+  // 7 schemes (baseline, Rows2/4 x NN/LI, Stencil1, Grid2) x 10 shapes
+  // x 2 loop-perforation strides.
+  EXPECT_EQ(Space.size(), 140u);
   EXPECT_EQ(figure9WorkGroupShapes().size(), 10u);
 }
 
@@ -115,7 +119,7 @@ TEST(TunerTest, ConfigLabels) {
   C.Scheme = PerforationScheme::rows(2, ReconstructionKind::Linear);
   C.TileX = 8;
   C.TileY = 32;
-  EXPECT_EQ(C.str(), "Rows1:LI@8x32");
+  EXPECT_EQ(C.str(), "Rows2:LI@8x32");
   C.Scheme = PerforationScheme::stencil();
   EXPECT_EQ(C.str(), "Stencil1:NN@8x32");
   C.Scheme = PerforationScheme::none();
@@ -158,6 +162,81 @@ TEST(TunerTest, BudgetSelectionNoneQualifies) {
   EXPECT_EQ(bestWithinErrorBudget(Results, 0.01), ~size_t(0));
 }
 
+TEST(TunerTest, BudgetSelectionRejectsNonFiniteError) {
+  // A degenerate measurement (0/0 -> NaN error) compares false against
+  // any budget; it must be treated as infeasible, not crowned fastest.
+  std::vector<TunerResult> Results(3);
+  Results[0].Feasible = true;
+  Results[0].M = {9.0, std::nan("")};
+  Results[1].Feasible = true;
+  Results[1].M = {2.0, 0.02};
+  Results[2].Feasible = true;
+  Results[2].M = {8.0, std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(bestWithinErrorBudget(Results, 0.05), 1u);
+  // All degenerate: nothing qualifies.
+  std::vector<TunerResult> AllNaN(1);
+  AllNaN[0].Feasible = true;
+  AllNaN[0].M = {9.0, std::nan("")};
+  EXPECT_EQ(bestWithinErrorBudget(AllNaN, 0.05), ~size_t(0));
+}
+
+TEST(TunerTest, BudgetSelectionBreaksSpeedupTiesTowardLowerError) {
+  // The cost model is max(compute, memory), so configs that only trim
+  // the non-bottleneck axis tie at the identical modeled speedup; the
+  // one that also loses less accuracy must win regardless of order.
+  std::vector<TunerResult> Results(4);
+  Results[0].Feasible = true;
+  Results[0].M = {4.0, 0.030};
+  Results[1].Feasible = true;
+  Results[1].M = {4.0, 0.025}; // Same speed, lower error: the winner.
+  Results[2].Feasible = true;
+  Results[2].M = {4.0, 0.028};
+  Results[3].Feasible = true;
+  Results[3].M = {3.5, 0.001}; // Slower never beats faster on a tie.
+  EXPECT_EQ(bestWithinErrorBudget(Results, 0.05), 1u);
+  // A strictly faster config still wins even with the worst error.
+  Results[2].M = {4.5, 0.049};
+  EXPECT_EQ(bestWithinErrorBudget(Results, 0.05), 2u);
+}
+
+TEST(TunerTest, StrideLabelAndSpaceCoverage) {
+  TunerConfig C;
+  C.Scheme = PerforationScheme::rows(2, ReconstructionKind::Linear);
+  C.TileX = 8;
+  C.TileY = 32;
+  C.LoopStride = 2;
+  EXPECT_EQ(C.str(), "Rows2:LI@8x32/L2"); // Stride 1 stays unsuffixed.
+  unsigned Strided = 0;
+  for (const TunerConfig &TC : defaultTuningSpace())
+    Strided += TC.LoopStride > 1;
+  EXPECT_EQ(Strided, defaultTuningSpace().size() / 2);
+}
+
+TEST(TunerTest, JointPipelineSpecSplicing) {
+  // Stride 1: untouched.
+  EXPECT_EQ(jointPipelineSpec("mem2reg,unroll", 1), "mem2reg,unroll");
+  EXPECT_EQ(jointPipelineSpec("", 1), "");
+  // Before the first top-level unroll, so strided loops still flatten.
+  EXPECT_EQ(jointPipelineSpec("mem2reg,unroll", 2),
+            "mem2reg,perforate-loop(2),unroll");
+  EXPECT_EQ(jointPipelineSpec("mem2reg,unroll(64),gvn", 3),
+            "mem2reg,perforate-loop(3),unroll(64),gvn");
+  // No unroll: after the leading mem2reg run (induction phis exist only
+  // after promotion), else at the front.
+  EXPECT_EQ(jointPipelineSpec("mem2reg,gvn,dce", 2),
+            "mem2reg,perforate-loop(2),gvn,dce");
+  EXPECT_EQ(jointPipelineSpec("gvn,dce", 2), "perforate-loop(2),gvn,dce");
+  EXPECT_EQ(jointPipelineSpec("", 2), "perforate-loop(2)");
+  // An unroll nested in a fixpoint group is not a top-level slot.
+  EXPECT_EQ(jointPipelineSpec("fixpoint(unroll,dce)", 2),
+            "perforate-loop(2),fixpoint(unroll,dce)");
+  // The spliced default must parse under the registered grammar.
+  std::string Joint = jointPipelineSpec(ir::defaultPipelineSpec(), 2);
+  EXPECT_NE(Joint.find("perforate-loop(2),unroll"), std::string::npos);
+  EXPECT_TRUE(
+      static_cast<bool>(ir::PassPipeline::parse(Joint)));
+}
+
 TEST(TunerTest, ToTradeoffPointsSkipsInfeasible) {
   std::vector<TunerResult> Results(2);
   Results[0].Feasible = true;
@@ -173,12 +252,12 @@ TEST(TunerTest, ToTradeoffPointsSkipsInfeasible) {
 TEST(SchemeTest, Names) {
   EXPECT_EQ(PerforationScheme::rows(2, ReconstructionKind::NearestNeighbor)
                 .str(),
-            "Rows1:NN");
+            "Rows2:NN");
   EXPECT_EQ(PerforationScheme::rows(4, ReconstructionKind::Linear).str(),
-            "Rows2:LI");
+            "Rows4:LI");
   EXPECT_EQ(PerforationScheme::cols(2, ReconstructionKind::NearestNeighbor)
                 .str(),
-            "Cols1:NN");
+            "Cols2:NN");
   EXPECT_EQ(PerforationScheme::stencil().str(), "Stencil1:NN");
   EXPECT_EQ(PerforationScheme::none().str(), "Baseline");
 }
@@ -230,6 +309,47 @@ TEST(SchemeTest, StencilMaskIsFigure5) {
     for (unsigned C = 0; C < 8; ++C) {
       bool Center = R >= 1 && R < 7 && C >= 1 && C < 7;
       EXPECT_EQ(Mask[R][C] == '#', Center);
+    }
+}
+
+TEST(SchemeTest, StencilLoadedFractionClampsOnSmallTiles) {
+  // A tile smaller than twice the halo has no interior: the fraction is
+  // 0, never the wrapped-unsigned garbage the subtraction would give.
+  PerforationScheme S = PerforationScheme::stencil();
+  EXPECT_DOUBLE_EQ(S.loadedFraction(2, 2, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(S.loadedFraction(1, 8, 2, 0), 0.0);  // Width collapses.
+  EXPECT_DOUBLE_EQ(S.loadedFraction(8, 3, 0, 2), 0.0);  // Height collapses.
+  EXPECT_DOUBLE_EQ(S.loadedFraction(2, 2, 1, 0), 0.0);  // Exactly 2*halo.
+  // A tile just past the threshold keeps its one-element interior.
+  EXPECT_DOUBLE_EQ(S.loadedFraction(3, 3, 1, 1), 1.0 / 9.0);
+}
+
+TEST(SchemeTest, RowMaskNegativeOriginParity) {
+  // Work groups left/above the image get negative tile origins; the mask
+  // must still follow *global* parity ((M % P + P) % P, not plain %).
+  PerforationScheme S =
+      PerforationScheme::rows(3, ReconstructionKind::NearestNeighbor);
+  auto Mask = schemeMask(S, 4, 6, 0, 0, 0, -5);
+  for (unsigned R = 0; R < 6; ++R) {
+    int Global = -5 + static_cast<int>(R);
+    bool Loaded = ((Global % 3) + 3) % 3 == 0; // Rows -3, 0 load.
+    for (unsigned C = 0; C < 4; ++C)
+      EXPECT_EQ(Mask[R][C], Loaded ? '#' : '.')
+          << "row " << R << " col " << C;
+  }
+}
+
+TEST(SchemeTest, GridMaskNegativeOriginParity) {
+  PerforationScheme S =
+      PerforationScheme::grid(3, ReconstructionKind::Linear);
+  auto Mask = schemeMask(S, 7, 7, 0, 0, -4, -2);
+  for (unsigned R = 0; R < 7; ++R)
+    for (unsigned C = 0; C < 7; ++C) {
+      int GR = -2 + static_cast<int>(R);
+      int GC = -4 + static_cast<int>(C);
+      bool Loaded = ((GR % 3) + 3) % 3 == 0 && ((GC % 3) + 3) % 3 == 0;
+      EXPECT_EQ(Mask[R][C], Loaded ? '#' : '.')
+          << "row " << R << " col " << C;
     }
 }
 

@@ -50,7 +50,8 @@ TEST(PassRegistryTest, BuiltinPassesAreRegistered) {
       PassRegistry::instance().registeredNames();
   for (const char *Expected :
        {"cse", "dce", "gvn", "licm", "mem2reg", "memopt-dse",
-        "memopt-forward", "simplify", "sroa", "unroll"})
+        "memopt-forward", "perforate-loop", "simplify", "sroa",
+        "unroll"})
     EXPECT_TRUE(PassRegistry::instance().contains(Expected)) << Expected;
   EXPECT_GE(Names.size(), 10u);
   EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
@@ -66,6 +67,7 @@ TEST(PassRegistryTest, CreateInstantiatesByName) {
 
 TEST(PassRegistryTest, ParameterizedPassCreation) {
   EXPECT_TRUE(PassRegistry::instance().isParameterized("unroll"));
+  EXPECT_TRUE(PassRegistry::instance().isParameterized("perforate-loop"));
   EXPECT_FALSE(PassRegistry::instance().isParameterized("simplify"));
   EXPECT_FALSE(PassRegistry::instance().isParameterized("nonexistent"));
   // Bare creation uses the default budget; explicit budgets also work.
@@ -75,6 +77,11 @@ TEST(PassRegistryTest, ParameterizedPassCreation) {
   EXPECT_FALSE(Default->preservesCFG()); // Rewrites the block set.
   auto Small = PassRegistry::instance().create("unroll", 16u);
   ASSERT_NE(Small, nullptr);
+  // Stride-parameterized perforation: bare = stride 1 (the no-op).
+  auto Perf = PassRegistry::instance().create("perforate-loop", 2u);
+  ASSERT_NE(Perf, nullptr);
+  EXPECT_STREQ(Perf->name(), "perforate-loop");
+  EXPECT_TRUE(Perf->preservesCFG()); // Rewrites steps, never edges.
   // name(N) on a non-parameterized pass has no factory.
   EXPECT_EQ(PassRegistry::instance().create("simplify", 3u), nullptr);
 }

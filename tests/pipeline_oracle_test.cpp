@@ -90,6 +90,18 @@ std::vector<std::string> oracleSpecs() {
       "memopt-dse,sroa,unroll,gvn,mem2reg",
       "unroll,fixpoint(sroa,simplify,mem2reg,dce),gvn",
       "fixpoint(sroa,mem2reg,gvn,memopt-dse)",
+      // perforate-loop(1) is the structural no-op stride: splicing it
+      // anywhere in the pipeline must stay byte-identical to baseline.
+      "perforate-loop",
+      "perforate-loop(1)",
+      "mem2reg,perforate-loop(1),unroll",
+      // The default pipeline with the no-op stride spliced where the
+      // tuner would put a real one (jointPipelineSpec's slot).
+      "mem2reg,perforate-loop(1),unroll,fixpoint(simplify,sroa,mem2reg,"
+      "gvn,cse,memopt-forward,licm,memopt-dse,dce)",
+      // And the real strided pass parked where no induction phis exist
+      // yet (before mem2reg): it must refuse cleanly, changing nothing.
+      "perforate-loop(2),mem2reg,unroll",
       shuffledSpec(1),
       shuffledSpec(2),
       shuffledSpec(3),

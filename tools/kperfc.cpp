@@ -598,14 +598,18 @@ int cmdTune(const Options &O, const std::string &Source) {
     if (Acc == AccurateMs.end())
       return makeError("no accurate baseline at %ux%u", Config.TileX,
                        Config.TileY);
-    if (Config.Scheme.Kind == perf::SchemeKind::None)
+    if (Config.Scheme.Kind == perf::SchemeKind::None &&
+        Config.LoopStride <= 1)
       return perf::Measurement{1.0, 0.0, {}};
     perf::PerforationPlan Plan;
     Plan.Scheme = Config.Scheme;
     Plan.TileX = Config.TileX;
     Plan.TileY = Config.TileY;
-    if (O.PassSpecGiven)
-      Plan.PipelineSpec = O.PassSpec;
+    // The stride axis rides in the pipeline spec (VariantKey embeds the
+    // spec, so strided variants cache under distinct keys for free).
+    Plan.PipelineSpec = perf::jointPipelineSpec(
+        O.PassSpecGiven ? O.PassSpec : Plan.PipelineSpec,
+        Config.LoopStride);
     Plan.VerifyEach = O.VerifyEach;
     // With --variant-cap, another worker's compile can evict our variant
     // between perforate() and launch(); re-requesting it recompiles the
